@@ -1,0 +1,81 @@
+"""Experiment §2 (trip planning): I-SQL vs the SQL formulations.
+
+The paper argues I-SQL phrases the certain-destination query more
+concisely than SQL, whose division must be simulated with two nested
+not-exists. This bench runs all three formulations on scaled data:
+
+* I-SQL: ``select certain Arr from HFlights choice of Dep``
+* SQL: the double-not-exists simulation of division
+* RA: the division query of Example 5.8
+
+Shape claims: identical answers; the relational division is the fastest
+and the nested not-exists (quadratic re-scans) the slowest at scale.
+"""
+
+import time
+
+import pytest
+
+from repro.isql import ISQLSession
+from repro.relational import Database, Divide, Project, Table
+
+DOUBLE_NOT_EXISTS = """
+    select Arr from HFlights F1
+    where not exists
+      (select * from HFlights F2
+       where not exists
+         (select * from HFlights F3
+          where F3.Dep = F2.Dep and F3.Arr = F1.Arr));
+"""
+
+ISQL = "select certain Arr from HFlights choice of Dep;"
+
+DIVISION = Divide(
+    Project(("Arr", "Dep"), Table("HFlights")),
+    Project(("Dep",), Table("HFlights")),
+)
+
+
+@pytest.fixture(scope="module")
+def session(small_flights):
+    s = ISQLSession()
+    s.register("HFlights", small_flights)
+    return s
+
+
+def test_isql_choice_certain(benchmark, session):
+    result = benchmark(lambda: session.query(ISQL).relation)
+    assert result.rows == {("A0",)}
+
+
+def test_sql_double_not_exists(benchmark, session):
+    result = benchmark(lambda: session.query(DOUBLE_NOT_EXISTS).relation)
+    assert result.rows == {("A0",)}
+
+
+def test_ra_division(benchmark, small_flights):
+    db = Database({"HFlights": small_flights})
+    result = benchmark(lambda: DIVISION.evaluate(db))
+    assert result.rows == {("A0",)}
+
+
+def test_shape_all_formulations_agree_and_division_wins(benchmark, medium_flights):
+    s = ISQLSession()
+    s.register("HFlights", medium_flights)
+    db = Database({"HFlights": medium_flights})
+
+    start = time.perf_counter()
+    sql_answer = s.query(DOUBLE_NOT_EXISTS).relation
+    sql_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    isql_answer = s.query(ISQL).relation
+    isql_time = time.perf_counter() - start
+
+    division_answer = benchmark(lambda: DIVISION.evaluate(db))
+    start = time.perf_counter()
+    DIVISION.evaluate(db)
+    division_time = time.perf_counter() - start
+
+    assert sql_answer == isql_answer == division_answer
+    assert division_time < sql_time

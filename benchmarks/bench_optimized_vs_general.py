@@ -1,0 +1,59 @@
+"""Experiment §5.3 / Ex. 5.8: optimized vs general translation output.
+
+Both translations of `cert(π_Arr(χ_Dep(HFlights)))` are evaluated over
+a scaled HFlights. Shape claims: the optimized query is smaller and
+evaluates faster (Section 5.3's stated purpose), and the Example 5.8
+compact form is the fastest route of all.
+"""
+
+import time
+
+from repro.core import cert, choice_of, project, rel
+from repro.inline import conservative_ra_query, optimized_ra_query
+from repro.relational import Database
+
+QUERY = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+
+
+def _db(flights):
+    return Database({"HFlights": flights})
+
+
+def test_general_query_evaluation(benchmark, medium_flights):
+    db = _db(medium_flights)
+    expr = conservative_ra_query(QUERY, db.schemas())
+    result = benchmark(lambda: expr.evaluate(db))
+    assert result.rows == {("A0",)}
+
+
+def test_optimized_query_evaluation(benchmark, medium_flights):
+    db = _db(medium_flights)
+    expr = optimized_ra_query(QUERY, db.schemas())
+    result = benchmark(lambda: expr.evaluate(db))
+    assert result.rows == {("A0",)}
+
+
+def test_example58_compact_form_evaluation(benchmark, medium_flights):
+    db = _db(medium_flights)
+    expr = optimized_ra_query(QUERY, db.schemas(), assume_nonempty=True)
+    result = benchmark(lambda: expr.evaluate(db))
+    assert result.rows == {("A0",)}
+
+
+def test_shape_optimized_is_smaller_and_faster(benchmark, large_flights):
+    db = _db(large_flights)
+    general = conservative_ra_query(QUERY, db.schemas())
+    optimized = optimized_ra_query(QUERY, db.schemas())
+    assert optimized.size() < general.size()
+
+    start = time.perf_counter()
+    general_answer = general.evaluate(db)
+    general_time = time.perf_counter() - start
+
+    optimized_answer = benchmark(lambda: optimized.evaluate(db))
+    start = time.perf_counter()
+    optimized.evaluate(db)
+    optimized_time = time.perf_counter() - start
+
+    assert general_answer == optimized_answer
+    assert optimized_time < general_time

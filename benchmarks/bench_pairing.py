@@ -1,0 +1,55 @@
+"""Experiment §7: world-pairing on inlined representations.
+
+Shape claims: pairing the 2ⁿ-subset world-set yields exactly 4ⁿ worlds
+(the counting argument for WSA's inexpressiveness of pairing), the
+inlined-representation implementation matches the semantic definition,
+and its cost grows with the squared world count.
+"""
+
+import time
+
+from repro.inline import (
+    InlinedRepresentation,
+    pair_on_inlined,
+    pair_worlds,
+    subset_world_set,
+)
+
+
+def test_pairing_on_inlined(benchmark):
+    rep = InlinedRepresentation.of_world_set(subset_world_set([1, 2, 3]))
+    paired = benchmark(lambda: pair_on_inlined(rep, "R", "R2"))
+    assert paired.world_count() == 64
+
+
+def test_pairing_on_explicit_worlds(benchmark):
+    ws = subset_world_set([1, 2, 3])
+    paired = benchmark(lambda: pair_worlds(ws, "R", "R2"))
+    assert len(paired) == 64
+
+
+def test_shape_exponential_growth(benchmark):
+    def counts():
+        return [
+            pair_on_inlined(
+                InlinedRepresentation.of_world_set(subset_world_set(list(range(n)))),
+                "R",
+                "R2",
+            ).world_count()
+            for n in (1, 2, 3, 4)
+        ]
+
+    measured = benchmark(counts)
+    assert measured == [4, 16, 64, 256]
+
+
+def test_shape_inlined_matches_semantics(benchmark):
+    ws = subset_world_set([1, 2])
+    rep = InlinedRepresentation.of_world_set(ws)
+
+    start = time.perf_counter()
+    semantic = pair_worlds(ws, "R", "R2")
+    time.perf_counter() - start
+
+    paired = benchmark(lambda: pair_on_inlined(rep, "R", "R2"))
+    assert paired.rep() == semantic

@@ -1,0 +1,62 @@
+"""Experiment Prop. 4.2: repair-by-key world growth and the reduction.
+
+Shape claims: the number of repairs grows exponentially with the number
+of key-violating groups (2ⁿ for n duplicated keys — the paper's
+"exponentially many worlds"), counting them is cheap, enumerating them
+is not, and the 3-colorability reduction decides small instances.
+"""
+
+import time
+
+from repro.core import count_repairs, key_repairs
+from repro.core.np_hard import brute_force_colorable, is_colorable
+from repro.datagen import census, random_graph
+
+
+def test_count_repairs_large_census(benchmark):
+    dirty = census(200, duplicate_rate=0.5, seed=7)
+    count = benchmark(lambda: count_repairs(dirty, ("SSN",)))
+    assert count > 1
+
+
+def test_enumerate_repairs_small_census(benchmark):
+    dirty = census(10, duplicate_rate=0.8, seed=7)
+    repairs = benchmark(lambda: list(key_repairs(dirty, ("SSN",))))
+    assert len(repairs) == count_repairs(dirty, ("SSN",))
+
+
+def test_three_colorability_via_wsa(benchmark):
+    vertices, edges = random_graph(5, 0.5, seed=3)
+    verdict = benchmark(lambda: is_colorable(vertices, edges))
+    assert verdict == brute_force_colorable(vertices, edges)
+
+
+def test_shape_exponential_world_growth(benchmark):
+    """Repair counts double with each extra duplicated key."""
+
+    def counts():
+        results = []
+        for duplicates in (2, 4, 6, 8, 10):
+            dirty = census(duplicates, duplicate_rate=1.0, seed=1)
+            results.append(count_repairs(dirty, ("SSN",)))
+        return results
+
+    measured = benchmark(counts)
+    for smaller, larger in zip(measured, measured[1:]):
+        assert larger == smaller * 4  # two more duplicates → ×2² worlds
+
+
+def test_shape_counting_beats_enumeration(benchmark):
+    dirty = census(12, duplicate_rate=1.0, seed=5)
+
+    start = time.perf_counter()
+    count = count_repairs(dirty, ("SSN",))
+    counting_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    enumerated = sum(1 for _ in key_repairs(dirty, ("SSN",)))
+    enumeration_time = time.perf_counter() - start
+
+    assert enumerated == count == 2**12
+    assert counting_time < enumeration_time
+    benchmark(lambda: count_repairs(dirty, ("SSN",)))

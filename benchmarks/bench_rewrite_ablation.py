@@ -1,0 +1,122 @@
+"""Ablation: which Figure 7 rule groups buy the Example 6.1/6.2 wins?
+
+DESIGN.md calls out the two rule classes (Commute and Reduce) as the
+optimizer's design choices. This bench optimizes q2 with the full rule
+set, the Reduce rules alone, and the Commute rules alone, and evaluates
+each result. Shape claims: the full set dominates; Commute alone cannot
+remove the χ (poss must first be pushed down to meet it), so it keeps
+most of the original cost.
+"""
+
+import time
+
+from repro.core import (
+    answer,
+    choice_of,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    select,
+)
+from repro.datagen import flights, hotels
+from repro.optimizer import Rewriter
+from repro.optimizer.equivalences import (
+    RULE_1_2_4,
+    RULE_3,
+    RULE_5,
+    RULE_6,
+    RULE_7,
+    RULE_8,
+    RULE_9_10,
+    RULE_11,
+    RULE_12,
+    RULE_13,
+    RULE_14,
+    RULE_15,
+    RULE_16,
+    RULE_17,
+    RULE_18_19,
+    RULE_20,
+    RULE_21,
+    RULE_22_23,
+    RULE_24,
+)
+from repro.relational import eq
+from repro.worlds import World, WorldSet
+
+SCHEMAS = {"HFlights": ("Dep", "Arr"), "Hotels": ("Name", "City", "Price")}
+
+COMMUTE = (RULE_1_2_4, RULE_3, RULE_5, RULE_6, RULE_7, RULE_8, RULE_9_10)
+REDUCE = (
+    RULE_11,
+    RULE_12,
+    RULE_13,
+    RULE_14,
+    RULE_15,
+    RULE_16,
+    RULE_17,
+    RULE_18_19,
+    RULE_20,
+    RULE_21,
+    RULE_22_23,
+    RULE_24,
+)
+
+
+def _q2():
+    inner = poss_group(
+        ("Dep",),
+        ("Dep", "Arr", "Name", "City", "Price"),
+        choice_of(("Dep", "City"), product(rel("HFlights"), rel("Hotels"))),
+    )
+    return poss(project("City", select(eq("Arr", "City"), inner)))
+
+
+def _world_set():
+    return WorldSet.single(
+        World.of(
+            {"HFlights": flights(5, 7, 3, seed=2), "Hotels": hotels(7, 2, seed=2)}
+        )
+    )
+
+
+def _optimize_with(rules):
+    rewriter = Rewriter(rules) if rules is not None else Rewriter()
+    optimized, _ = rewriter.optimize(_q2(), SCHEMAS, finalize=rules is None)
+    return optimized
+
+
+def test_full_rule_set(benchmark):
+    ws = _world_set()
+    optimized = _optimize_with(None)
+    benchmark(lambda: answer(optimized, ws))
+
+
+def test_reduce_rules_only(benchmark):
+    ws = _world_set()
+    optimized = _optimize_with(REDUCE)
+    benchmark(lambda: answer(optimized, ws))
+
+
+def test_commute_rules_only(benchmark):
+    ws = _world_set()
+    optimized = _optimize_with(COMMUTE)
+    benchmark(lambda: answer(optimized, ws))
+
+
+def test_shape_ablation_ordering(benchmark):
+    """Full ≤ either ablation; all preserve the answer."""
+    ws = _world_set()
+    reference = answer(_q2(), ws)
+    timings = {}
+    for label, rules in (("full", None), ("reduce", REDUCE), ("commute", COMMUTE)):
+        optimized = _optimize_with(rules)
+        assert answer(optimized, ws) == reference
+        start = time.perf_counter()
+        answer(optimized, ws)
+        timings[label] = time.perf_counter() - start
+    assert timings["full"] <= timings["commute"] * 1.5
+    assert timings["full"] <= timings["reduce"] * 1.5
+    benchmark(lambda: _optimize_with(None))

@@ -1,0 +1,89 @@
+"""Experiment Ex. 6.1/6.2, Figures 8/9: do the rewrites pay off?
+
+Evaluates q1/q1' and q2/q2' (the paper's hotel-meeting queries) under
+the Figure 3 semantics on generated Flights × Hotels data. Shape
+claims: both rewrites preserve answers and win by a large factor (the
+rewritten plans avoid materializing the χ_{Dep,City} world-set of size
+|Dep| × |City|).
+"""
+
+import time
+
+from repro.core import (
+    answer,
+    cert,
+    choice_of,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    select,
+)
+from repro.datagen import flights, hotels
+from repro.optimizer import optimize
+from repro.relational import eq
+from repro.worlds import World, WorldSet
+
+SCHEMAS = {"HFlights": ("Dep", "Arr"), "Hotels": ("Name", "City", "Price")}
+
+
+def _query(closing):
+    inner = poss_group(
+        ("Dep",),
+        ("Dep", "Arr", "Name", "City", "Price"),
+        choice_of(("Dep", "City"), product(rel("HFlights"), rel("Hotels"))),
+    )
+    return closing(project("City", select(eq("Arr", "City"), inner)))
+
+
+def _world_set():
+    return WorldSet.single(
+        World.of(
+            {"HFlights": flights(6, 8, 3, seed=1), "Hotels": hotels(8, 2, seed=1)}
+        )
+    )
+
+
+def test_q1_original(benchmark):
+    ws = _world_set()
+    query = _query(cert)
+    benchmark(lambda: answer(query, ws))
+
+
+def test_q1_rewritten(benchmark):
+    ws = _world_set()
+    rewritten, _ = optimize(_query(cert), SCHEMAS)
+    benchmark(lambda: answer(rewritten, ws))
+
+
+def test_q2_original(benchmark):
+    ws = _world_set()
+    query = _query(poss)
+    benchmark(lambda: answer(query, ws))
+
+
+def test_q2_rewritten(benchmark):
+    ws = _world_set()
+    rewritten, _ = optimize(_query(poss), SCHEMAS)
+    benchmark(lambda: answer(rewritten, ws))
+
+
+def test_shape_rewrites_win(benchmark):
+    ws = _world_set()
+    for closing in (cert, poss):
+        query = _query(closing)
+        rewritten, _ = optimize(query, SCHEMAS)
+
+        start = time.perf_counter()
+        original_answer = answer(query, ws)
+        original_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rewritten_answer = answer(rewritten, ws)
+        rewritten_time = time.perf_counter() - start
+
+        assert original_answer == rewritten_answer
+        assert rewritten_time < original_time
+
+    benchmark(lambda: optimize(_query(cert), SCHEMAS))

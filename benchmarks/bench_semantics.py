@@ -1,0 +1,67 @@
+"""Substrate micro-benchmarks: the Figure 3 operators one by one.
+
+Not a paper experiment per se, but the per-operator costs explain every
+macro result: χ is linear in choices × worlds, pγ/cγ are quadratic in
+the number of worlds (pairwise grouping), poss/cert linear.
+"""
+
+import pytest
+
+from repro.core import (
+    cert,
+    cert_group,
+    choice_of,
+    evaluate,
+    poss,
+    poss_group,
+    product,
+    rel,
+    rename,
+)
+from repro.datagen import flights
+from repro.worlds import World, WorldSet
+
+
+@pytest.fixture(scope="module")
+def split_worlds():
+    """A 15-world set created by choice-of on a medium Flights."""
+    base = WorldSet.single(World.of({"Flights": flights(15, 20, 5, seed=1)}))
+    return evaluate(choice_of("Dep", rel("Flights")), base, name="F")
+
+
+def test_choice_of(benchmark):
+    ws = WorldSet.single(World.of({"Flights": flights(15, 20, 5, seed=1)}))
+    result = benchmark(lambda: evaluate(choice_of("Dep", rel("Flights")), ws, name="Q"))
+    assert len(result) == 15
+
+
+def test_poss_across_worlds(benchmark, split_worlds):
+    result = benchmark(lambda: evaluate(poss(rel("F")), split_worlds, name="Q"))
+    assert len(result) == 15
+
+
+def test_cert_across_worlds(benchmark, split_worlds):
+    result = benchmark(lambda: evaluate(cert(rel("F")), split_worlds, name="Q"))
+    assert len(result) == 15
+
+
+def test_poss_group(benchmark, split_worlds):
+    query = poss_group(("Arr",), ("Dep", "Arr"), rel("F"))
+    benchmark(lambda: evaluate(query, split_worlds, name="Q"))
+
+
+def test_cert_group(benchmark, split_worlds):
+    query = cert_group(("Arr",), ("Dep", "Arr"), rel("F"))
+    benchmark(lambda: evaluate(query, split_worlds, name="Q"))
+
+
+def test_product_pairs_worlds(benchmark):
+    ws = WorldSet.single(World.of({"Flights": flights(6, 8, 3, seed=1)}))
+    query = product(
+        choice_of("Dep", rel("Flights")),
+        rename(
+            {"Dep": "Dep2", "Arr": "Arr2"}, choice_of("Arr", rel("Flights"))
+        ),
+    )
+    result = benchmark(lambda: evaluate(query, ws, name="Q"))
+    assert len(result) >= 6

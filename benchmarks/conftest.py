@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures and the scaling workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import flights, hotels
+
+
+@pytest.fixture(scope="module")
+def small_flights():
+    return flights(6, 8, 3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def medium_flights():
+    return flights(15, 20, 5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def large_flights():
+    return flights(30, 40, 8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def small_hotels():
+    return hotels(8, 2, seed=1)

@@ -1,0 +1,45 @@
+"""Remark 4.6: genericity separates world-set algebra from TriQL.
+
+U₁ and U₂ are two ULDBs (x-relations with alternatives, '?', lineage)
+that represent exactly the same three possible worlds {1}, {2}, {}.
+The TriQL query with a horizontal subquery
+
+    select * from R where
+    exists [select * from R r1, R r2 where r1.A <> r2.A];
+
+answers differently on the two representations — TriQL reads the
+packaging of alternatives, not the represented world-set. Every
+world-set algebra query, by construction, cannot tell them apart
+(Proposition 4.5).
+
+Run:  python examples/uldb_genericity.py
+"""
+
+from repro.core import evaluate, poss, rel
+from repro.render import render_world_set
+from repro.uldb import remark_46_instances, remark_46_query
+
+
+def main() -> None:
+    u1, u2 = remark_46_instances()
+    print("U1:", *u1.tuples, sep="\n  ")
+    print("U2:", *u2.tuples, sep="\n  ")
+
+    w1, w2 = u1.possible_worlds(), u2.possible_worlds()
+    print(f"\nrep(U1) == rep(U2): {w1 == w2}  ({len(w1)} worlds)")
+
+    a1 = remark_46_query(u1).possible_worlds()
+    a2 = remark_46_query(u2).possible_worlds()
+    print("\nTriQL horizontal query on U1 →", len(a1), "answer worlds")
+    print(render_world_set(a1))
+    print("\nTriQL horizontal query on U2 →", len(a2), "answer worlds")
+    print(render_world_set(a2))
+    print("\nTriQL generic on this pair:", a1 == a2)
+
+    r1 = evaluate(poss(rel("R")), w1, name="Q")
+    r2 = evaluate(poss(rel("R")), w2, name="Q")
+    print("World-set algebra (poss(R)) agrees on both:", r1 == r2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""repro — World-set Algebra and I-SQL for incomplete information.
+
+A faithful, self-contained reproduction of
+
+    Lyublena Antova, Christoph Koch, Dan Olteanu.
+    "From Complete to Incomplete Information and Back." SIGMOD 2007.
+
+The package provides:
+
+* :mod:`repro.relational` — a set-semantics relational algebra engine
+  (the substrate the paper assumes);
+* :mod:`repro.worlds` — worlds, world-sets, isomorphism and genericity;
+* :mod:`repro.core` — world-set algebra: AST, Figure 3 semantics,
+  operator typing, repair-by-key, NP-hardness reduction;
+* :mod:`repro.inline` — the inlined representation (Definition 5.1),
+  the Figure 6 translation to relational algebra (Theorem 5.7) and the
+  §5.3 optimized complete-to-complete translation;
+* :mod:`repro.optimizer` — the Figure 7 equivalences and the rewrite
+  engine of Section 6;
+* :mod:`repro.isql` — the I-SQL language: parser, evaluation engine
+  (with aggregation and possible-worlds DML), sessions, and compilation
+  of the algebra fragment to world-set algebra;
+* :mod:`repro.uldb` — the ULDB/TriQL fragment of Remark 4.6;
+* :mod:`repro.datagen` / :mod:`repro.render` — workload generators and
+  paper-figure-style ASCII rendering.
+
+Quickstart::
+
+    from repro import ISQLSession
+    from repro.datagen import paper_flights
+
+    session = ISQLSession()
+    session.register("Flights", paper_flights())
+    result = session.query("select certain Arr from Flights choice of Dep;")
+    print(result.relation.sorted_rows())   # [('ATL',)]
+"""
+
+from repro.core import (
+    WSAQuery,
+    answer,
+    answers,
+    cert,
+    cert_group,
+    choice_of,
+    evaluate,
+    evaluate_on_database,
+    is_complete_to_complete,
+    poss,
+    poss_group,
+    product,
+    project,
+    query_type,
+    rel,
+    rename,
+    repair_by_key,
+    select,
+)
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    RepresentationError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    TranslationError,
+    TypingError,
+)
+from repro.inline import (
+    InlinedRepresentation,
+    apply_general,
+    conservative_ra_query,
+    evaluate_optimized,
+    optimized_ra_query,
+    translate_general,
+)
+from repro.isql import ISQLSession, compile_query, parse_query, parse_script
+from repro.optimizer import optimize
+from repro.relational import Database, Relation, Schema
+from repro.worlds import World, WorldSet, are_isomorphic, check_generic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EvaluationError",
+    "ISQLSession",
+    "InlinedRepresentation",
+    "ParseError",
+    "Relation",
+    "RepresentationError",
+    "ReproError",
+    "RewriteError",
+    "Schema",
+    "SchemaError",
+    "TranslationError",
+    "TypingError",
+    "WSAQuery",
+    "World",
+    "WorldSet",
+    "answer",
+    "answers",
+    "apply_general",
+    "are_isomorphic",
+    "cert",
+    "cert_group",
+    "check_generic",
+    "choice_of",
+    "compile_query",
+    "conservative_ra_query",
+    "evaluate",
+    "evaluate_on_database",
+    "evaluate_optimized",
+    "is_complete_to_complete",
+    "optimize",
+    "optimized_ra_query",
+    "parse_query",
+    "parse_script",
+    "poss",
+    "poss_group",
+    "product",
+    "project",
+    "query_type",
+    "rel",
+    "rename",
+    "repair_by_key",
+    "select",
+    "translate_general",
+]

@@ -1,0 +1,111 @@
+"""Proposition 4.2: WSA with repair-by-key is NP-hard.
+
+The paper notes that "one can easily reduce the 3-colorability problem
+to the evaluation of a world-set algebra query" with repair-by-key.
+This module spells the reduction out:
+
+1. Build the candidate relation ``Cand(VID, Color) = V × Colors`` and
+   the (symmetric) edge relation ``E(U, V)``.
+2. Guess: ``Coloring ← repair by key VID (Cand)`` creates one world per
+   total color assignment (|Colors|^|V| worlds). Materializing the
+   result as a *base* relation of the world-set is what lets the check
+   query reference the same guess twice — in world-set algebra a binary
+   operator correlates its operands only through the base relations
+   R₁, …, R_k (Figure 3), so the guess must be added to the worlds
+   first (this is exactly I-SQL's ``V ← select …`` view mechanism).
+3. Check, per world: a monochromatic edge is a violation; the query
+
+       poss( π_∅(Cand) − π_∅( σ_{C1=C2}(Coloring ⋈ E ⋈ Coloring) ) )
+
+   answers the nullary relation {⟨⟩} iff some world is violation-free,
+   i.e. iff the graph is |Colors|-colorable.
+
+The module also ships a brute-force oracle for the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.core import ast as wsa
+from repro.core.semantics import answer, evaluate
+from repro.relational.predicates import eq
+from repro.relational.relation import Relation
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+#: The three colors of the classical 3-colorability problem.
+THREE_COLORS = ("red", "green", "blue")
+
+
+def coloring_candidates(
+    vertices: Sequence[object], colors: Sequence[object] = THREE_COLORS
+) -> Relation:
+    """``Cand(VID, Color)``: every vertex paired with every color."""
+    return Relation(("VID", "Color"), itertools.product(vertices, colors))
+
+
+def edge_relation(edges: Iterable[tuple[object, object]]) -> Relation:
+    """``E(U, V)``: the symmetric closure of the edge list."""
+    rows: set[tuple] = set()
+    for u, v in edges:
+        rows.add((u, v))
+        rows.add((v, u))
+    return Relation(("U", "V"), rows)
+
+
+def guess_query() -> wsa.WSAQuery:
+    """The guess phase: all repairs of Cand keyed on VID."""
+    return wsa.repair_by_key(("VID",), wsa.rel("Cand"))
+
+
+def check_query() -> wsa.WSAQuery:
+    """The check phase, evaluated after `Coloring` was materialized."""
+    left = wsa.rename({"VID": "U", "Color": "C1"}, wsa.rel("Coloring"))
+    right = wsa.rename({"VID": "V", "Color": "C2"}, wsa.rel("Coloring"))
+    monochromatic = wsa.select(
+        eq("C1", "C2"),
+        wsa.natural_join(wsa.natural_join(left, wsa.rel("E")), right),
+    )
+    has_vertices = wsa.project((), wsa.rel("Cand"))
+    no_violation = wsa.difference(has_vertices, wsa.project((), monochromatic))
+    return wsa.poss(no_violation)
+
+
+def is_colorable(
+    vertices: Sequence[object],
+    edges: Iterable[tuple[object, object]],
+    colors: Sequence[object] = THREE_COLORS,
+    max_worlds: int | None = 1_000_000,
+) -> bool:
+    """Decide |colors|-colorability by evaluating the WSA program."""
+    vertices = list(vertices)
+    if not vertices:
+        return True
+    base = World.of(
+        {
+            "Cand": coloring_candidates(vertices, colors),
+            "E": edge_relation(edges),
+        }
+    )
+    guessed = evaluate(
+        guess_query(), WorldSet.single(base), name="Coloring", max_worlds=max_worlds
+    )
+    verdict = answer(check_query(), guessed, max_worlds=max_worlds)
+    return bool(verdict)
+
+
+def brute_force_colorable(
+    vertices: Sequence[object],
+    edges: Iterable[tuple[object, object]],
+    colors: Sequence[object] = THREE_COLORS,
+) -> bool:
+    """Independent oracle: try every assignment directly."""
+    vertices = list(vertices)
+    edge_list = [(u, v) for u, v in edges]
+    for assignment in itertools.product(colors, repeat=len(vertices)):
+        color = dict(zip(vertices, assignment))
+        if all(color[u] != color[v] for u, v in edge_list):
+            return True
+    return not vertices

@@ -1,0 +1,69 @@
+"""Key repairs of a relation (the ``repair by key`` construct).
+
+Given a relation R and a set of key attributes U, a *repair* is a
+maximal sub-relation of R in which U is a key — equivalently, a choice
+of exactly one tuple for every distinct U-value occurring in R
+(Sections 2 and 3: "each choice of a distinct tuple for each
+combination of values is a possible repair of the database").
+
+The number of repairs is the product of the sizes of the key groups and
+grows exponentially; :func:`count_repairs` computes the count without
+enumeration, which the NP-hardness benchmark uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.ast import repairs_of_rows
+from repro.relational.relation import Relation
+
+
+def key_groups(relation: Relation, key: Sequence[str]) -> dict[tuple, list[tuple]]:
+    """Partition the relation's rows by their key value."""
+    positions = relation.schema.indices(key)
+    groups: dict[tuple, list[tuple]] = {}
+    for row in sorted(relation.rows, key=lambda r: tuple(map(str, r))):
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+    return groups
+
+
+def count_repairs(relation: Relation, key: Sequence[str]) -> int:
+    """The number of repairs (product of key-group sizes; 1 if empty)."""
+    count = 1
+    for rows in key_groups(relation, key).values():
+        count *= len(rows)
+    return count
+
+
+def key_repairs(relation: Relation, key: Sequence[str]) -> Iterator[Relation]:
+    """Enumerate all repairs of *relation* under key *key*.
+
+    An empty relation has exactly one repair: itself.
+    """
+    positions = relation.schema.indices(key)
+    produced = False
+    for rows in repairs_of_rows(list(relation.rows), positions):
+        produced = True
+        yield Relation(relation.schema, rows)
+    if not produced:
+        yield relation
+
+
+def is_repair(candidate: Relation, original: Relation, key: Sequence[str]) -> bool:
+    """Check the repair invariants (used by the property-based tests).
+
+    A candidate is a repair iff it is contained in the original, its key
+    values are unique, and it covers every key value of the original.
+    """
+    if candidate.schema.attributes != original.schema.attributes:
+        return False
+    if not candidate.rows <= original.rows:
+        return False
+    positions = original.schema.indices(key)
+    candidate_keys = [tuple(r[p] for p in positions) for r in candidate.rows]
+    original_keys = {tuple(r[p] for p in positions) for r in original.rows}
+    return (
+        len(candidate_keys) == len(set(candidate_keys))
+        and set(candidate_keys) == original_keys
+    )

@@ -1,0 +1,343 @@
+"""Reference semantics of world-set algebra — Figure 3 of the paper.
+
+A query q evaluated on a world-set A over schema ⟨R₁, …, R_k⟩ extends
+every world with a new relation R_{k+1} holding q's answer in that
+world. The semantics function ⟦·⟧ is implemented operator by operator:
+
+* base relations copy themselves into R_{k+1};
+* unary relational operators transform R_{k+1} per world;
+* binary operators combine the two operand world-sets on worlds that
+  agree on the base relations R₁, …, R_k;
+* χ_U splits worlds per distinct U-value (one world with an empty
+  answer when the answer is empty — the paper's dummy choice v = 1);
+* pγ/cγ group worlds that agree on π_U(R_{k+1}) — note that, following
+  Example 3.1, grouping compares only the answer projections, never the
+  base relations (see the faithfulness notes in DESIGN.md);
+* poss/cert union/intersect the answer across all worlds and write the
+  result back into every world;
+* repair-by-key enumerates key-consistent maximal sub-relations
+  (the Section 4.1 extension).
+
+Because world-sets are *sets*, worlds that become identical collapse;
+this is what makes 1↦1 queries end in singleton world-sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import EvaluationError
+from repro.core.ast import (
+    ActiveDomain,
+    Cert,
+    CertGroup,
+    ChoiceOf,
+    Difference,
+    Divide,
+    Intersect,
+    NaturalJoin,
+    Poss,
+    PossGroup,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    RepairByKey,
+    Select,
+    ThetaJoin,
+    Union,
+    WSAQuery,
+    _NaturalJoinExpansion,
+    repairs_of_rows,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+
+class Evaluator:
+    """Evaluates world-set algebra queries by the Figure 3 semantics."""
+
+    def __init__(
+        self,
+        world_set: WorldSet,
+        answer_name: str,
+        max_worlds: int | None = None,
+    ) -> None:
+        self.base = world_set
+        self.answer_name = answer_name
+        self.max_worlds = max_worlds
+        self.env = {name: schema for name, schema in world_set.signature}
+        self.base_names = world_set.relation_names
+
+    # -- public entry point --------------------------------------------------
+
+    def evaluate(self, query: WSAQuery) -> WorldSet:
+        """⟦query⟧(A): the input world-set extended with the answer."""
+        query.attributes(self.env)  # validate the whole tree up front
+        return self._eval(query)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _signature(self, query: WSAQuery) -> tuple[tuple[str, Schema], ...]:
+        answer_schema = Schema(query.attributes(self.env))
+        return self.base.signature + ((self.answer_name, answer_schema),)
+
+    def _guard(self, count: int) -> None:
+        if self.max_worlds is not None and count > self.max_worlds:
+            raise EvaluationError(
+                f"evaluation would produce {count} worlds, over the "
+                f"limit of {self.max_worlds}"
+            )
+
+    def _result(self, query: WSAQuery, worlds) -> WorldSet:
+        world_set = WorldSet(worlds, self._signature(query))
+        self._guard(len(world_set))
+        return world_set
+
+    # -- the semantics function, by case -------------------------------------------
+
+    def _eval(self, query: WSAQuery) -> WorldSet:
+        if isinstance(query, Rel):
+            return self._eval_rel(query)
+        if isinstance(query, ActiveDomain):
+            return self._eval_active_domain(query)
+        if isinstance(query, Select):
+            return self._eval_unary(query, lambda r: r.select(query.predicate))
+        if isinstance(query, Project):
+            return self._eval_unary(query, lambda r: r.project(query.attrs))
+        if isinstance(query, Rename):
+            return self._eval_unary(query, lambda r: r.rename(query.mapping))
+        if isinstance(query, Product):
+            return self._eval_binary(query, lambda a, b: a.product(b))
+        if isinstance(query, Union):
+            return self._eval_binary(query, lambda a, b: a.union(b))
+        if isinstance(query, Intersect):
+            return self._eval_binary(query, lambda a, b: a.intersection(b))
+        if isinstance(query, Difference):
+            return self._eval_binary(query, lambda a, b: a.difference(b))
+        if isinstance(query, ThetaJoin):
+            return self._eval_binary(
+                query, lambda a, b: a.theta_join(b, query.predicate)
+            )
+        if isinstance(query, (NaturalJoin, _NaturalJoinExpansion)):
+            return self._eval_binary(query, lambda a, b: a.natural_join(b))
+        if isinstance(query, Divide):
+            return self._eval_binary(query, lambda a, b: a.divide(b))
+        if isinstance(query, ChoiceOf):
+            return self._eval_choice(query)
+        if isinstance(query, Poss):
+            return self._eval_closing(query, certain=False)
+        if isinstance(query, Cert):
+            return self._eval_closing(query, certain=True)
+        if isinstance(query, PossGroup):
+            return self._eval_group(query, certain=False)
+        if isinstance(query, CertGroup):
+            return self._eval_group(query, certain=True)
+        if isinstance(query, RepairByKey):
+            return self._eval_repair(query)
+        raise EvaluationError(f"no semantics for query node {type(query).__name__}")
+
+    def _eval_rel(self, query: Rel) -> WorldSet:
+        worlds = (
+            world.extend(self.answer_name, world[query.name])
+            for world in self.base.worlds
+        )
+        return self._result(query, worlds)
+
+    def _eval_active_domain(self, query: ActiveDomain) -> WorldSet:
+        domain = sorted(self.base.active_domain(), key=str)
+        arity = len(query.attrs)
+        size = len(domain) ** arity
+        if self.max_worlds is not None and size > 1_000_000:
+            raise EvaluationError(f"active-domain relation too large ({size} rows)")
+        relation = Relation(query.attrs, itertools.product(domain, repeat=arity))
+        worlds = (world.extend(self.answer_name, relation) for world in self.base.worlds)
+        return self._result(query, worlds)
+
+    def _eval_unary(self, query: WSAQuery, operation) -> WorldSet:
+        inner = self._eval(query.children()[0])
+        worlds = (
+            world.replace_answer(operation(world.answer()))
+            for world in inner.worlds
+        )
+        return self._result(query, worlds)
+
+    def _eval_binary(self, query: WSAQuery, operation) -> WorldSet:
+        left_ws = self._eval(query.children()[0])
+        right_ws = self._eval(query.children()[1])
+        # Figure 3: combine worlds of the two operand world-sets that
+        # agree on the base relations R₁, …, R_k.
+        right_by_base: dict[World, list[Relation]] = {}
+        for world in right_ws.worlds:
+            right_by_base.setdefault(world.base(), []).append(world.answer())
+
+        def generate():
+            for world in left_ws.worlds:
+                base = world.base()
+                left_answer = world.answer()
+                for right_answer in right_by_base.get(base, ()):  # pragma: no branch
+                    yield base.extend(
+                        self.answer_name, operation(left_answer, right_answer)
+                    )
+
+        return self._result(query, generate())
+
+    def _eval_choice(self, query: ChoiceOf) -> WorldSet:
+        inner = self._eval(query.child)
+
+        def generate():
+            for world in inner.worlds:
+                answer = world.answer()
+                choices = answer.distinct_values(query.attrs)
+                if not choices:
+                    # Empty answer: Figure 3's dummy choice v = 1 keeps
+                    # one world whose answer is (still) empty.
+                    yield world
+                    continue
+                for values in choices:
+                    assignment = dict(zip(query.attrs, values))
+                    yield world.replace_answer(answer.select_values(assignment))
+
+        return self._result(query, generate())
+
+    def _eval_closing(self, query: WSAQuery, certain: bool) -> WorldSet:
+        inner = self._eval(query.children()[0])
+        if not inner.worlds:
+            return inner
+        closed = (
+            inner.certain(self.answer_name)
+            if certain
+            else inner.possible(self.answer_name)
+        )
+        worlds = (world.replace_answer(closed) for world in inner.worlds)
+        return self._result(query, worlds)
+
+    def _eval_group(self, query: PossGroup | CertGroup, certain: bool) -> WorldSet:
+        inner = self._eval(query.children()[0])
+        group_attrs = query.group_attrs
+        proj_attrs = query.proj_attrs
+
+        def group_key(world: World) -> frozenset:
+            return frozenset(world.answer().project(group_attrs).rows)
+
+        members: dict[frozenset, list[Relation]] = {}
+        for world in inner.worlds:
+            members.setdefault(group_key(world), []).append(
+                world.answer().project(proj_attrs)
+            )
+
+        schema = Schema(proj_attrs)
+        grouped: dict[frozenset, Relation] = {}
+        for key, relations in members.items():
+            rows: set[tuple] | None = None
+            for relation in relations:
+                aligned = relation._reordered(schema.attributes).rows
+                if rows is None:
+                    rows = set(aligned)
+                elif certain:
+                    rows &= aligned
+                else:
+                    rows |= aligned
+            grouped[key] = Relation(schema, rows or ())
+
+        worlds = (
+            world.replace_answer(grouped[group_key(world)]) for world in inner.worlds
+        )
+        return self._result(query, worlds)
+
+    def _eval_repair(self, query: RepairByKey) -> WorldSet:
+        inner = self._eval(query.child)
+
+        def generate():
+            for world in inner.worlds:
+                answer = world.answer()
+                positions = answer.schema.indices(query.attrs)
+                produced = False
+                for rows in repairs_of_rows(list(answer.rows), positions):
+                    produced = True
+                    yield world.replace_answer(Relation(answer.schema, rows))
+                if not produced:
+                    yield world  # empty answer: the unique repair is empty
+
+        # Guard before materializing: the number of repairs per world is
+        # the product of key-group sizes, which can be astronomically
+        # large (Proposition 4.2).
+        if self.max_worlds is not None:
+            total = 0
+            for world in inner.worlds:
+                answer = world.answer()
+                positions = answer.schema.indices(query.attrs)
+                count = 1
+                groups: dict[tuple, int] = {}
+                for row in answer.rows:
+                    key = tuple(row[p] for p in positions)
+                    groups[key] = groups.get(key, 0) + 1
+                for size in groups.values():
+                    count *= size
+                    if count > self.max_worlds:
+                        break
+                total += max(count, 1)
+                if total > self.max_worlds:
+                    raise EvaluationError(
+                        f"repair-by-key would produce over {self.max_worlds} worlds"
+                    )
+        return self._result(query, generate())
+
+
+# -- module-level convenience API ---------------------------------------------
+
+
+def evaluate(
+    query: WSAQuery,
+    world_set: WorldSet,
+    name: str | None = None,
+    max_worlds: int | None = None,
+) -> WorldSet:
+    """⟦query⟧(world_set): extend every world with the answer relation.
+
+    *name* is the name given to the answer relation R_{k+1} (a fresh
+    name is generated when omitted). *max_worlds* guards against
+    exponential blow-ups from repair-by-key.
+    """
+    answer_name = name if name is not None else world_set.fresh_name()
+    return Evaluator(world_set, answer_name, max_worlds).evaluate(query)
+
+
+def evaluate_on_database(
+    query: WSAQuery,
+    database: Database | World,
+    name: str | None = None,
+    max_worlds: int | None = None,
+) -> WorldSet:
+    """Evaluate on a complete database (a singleton world-set)."""
+    world = database if isinstance(database, World) else World(dict(database.items()))
+    return evaluate(query, WorldSet.single(world), name=name, max_worlds=max_worlds)
+
+
+def answers(
+    query: WSAQuery, world_set: WorldSet, max_worlds: int | None = None
+) -> frozenset[Relation]:
+    """The distinct answer relations of *query* across all worlds."""
+    name = world_set.fresh_name()
+    result = evaluate(query, world_set, name=name, max_worlds=max_worlds)
+    return frozenset(result.instances(name))
+
+
+def answer(
+    query: WSAQuery, world_set: WorldSet, max_worlds: int | None = None
+) -> Relation:
+    """The unique answer of a query that closes the worlds (poss/cert).
+
+    Raises :class:`EvaluationError` if the answer differs across worlds
+    (i.e. the query is not of type ·↦1 on this input).
+    """
+    distinct = answers(query, world_set, max_worlds=max_worlds)
+    if len(distinct) != 1:
+        raise EvaluationError(
+            f"query has {len(distinct)} distinct answers across worlds; "
+            "expected exactly one (use answers() for open queries)"
+        )
+    return next(iter(distinct))

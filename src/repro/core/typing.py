@@ -1,0 +1,71 @@
+"""Static operator typing for world-set algebra (Section 4.1).
+
+Operators are typed by the cardinality of their input and output
+world-sets, with kinds ``1`` (singleton) and ``m`` (many), and type
+overloading:
+
+* relational algebra operators and group-worlds-by: 1↦1 and m↦m;
+* choice-of and repair-by-key: 1↦m and m↦m;
+* poss and cert: m↦1 (overloaded 1↦1).
+
+A query's type is obtained by composing the operator types. A query of
+type 1↦1 is *complete-to-complete*: starting from a complete database
+it ends in a complete database, and by Theorem 5.7 it is equivalent to
+a relational algebra query. Section 5 uses exactly this static type to
+decide when the translation's final step may project away the world-id
+attributes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypingError
+from repro.core.ast import (
+    ActiveDomain,
+    Cert,
+    CertGroup,
+    ChoiceOf,
+    Poss,
+    PossGroup,
+    Rel,
+    RepairByKey,
+    WSAQuery,
+)
+
+#: Kind of a singleton world-set.
+ONE = "1"
+#: Kind of a general (multi-world) world-set.
+MANY = "m"
+
+
+def kind_after(query: WSAQuery, input_kind: str) -> str:
+    """The world-set kind after applying *query* to an *input_kind* set."""
+    if input_kind not in (ONE, MANY):
+        raise TypingError(f"unknown world-set kind {input_kind!r}")
+    if isinstance(query, (Rel, ActiveDomain)):
+        return input_kind
+    if isinstance(query, (Poss, Cert)):
+        # poss/cert close the possible-worlds semantics: m↦1 (and 1↦1).
+        kind_after(query.child, input_kind)
+        return ONE
+    if isinstance(query, (ChoiceOf, RepairByKey)):
+        # The splitting operators: 1↦m and m↦m.
+        kind_after(query.children()[0], input_kind)
+        return MANY
+    children = query.children()
+    if not children:
+        raise TypingError(f"cannot type leaf {type(query).__name__}")
+    if isinstance(query, (PossGroup, CertGroup)):
+        # Group-worlds-by is 1↦1 or m↦m: it never changes the kind.
+        return kind_after(children[0], input_kind)
+    kinds = [kind_after(child, input_kind) for child in children]
+    return MANY if MANY in kinds else ONE
+
+
+def query_type(query: WSAQuery) -> str:
+    """The query's type as the paper writes it, e.g. ``"1↦1, m↦m"``."""
+    return f"1↦{kind_after(query, ONE)}, m↦{kind_after(query, MANY)}"
+
+
+def is_complete_to_complete(query: WSAQuery) -> bool:
+    """True iff the query has type 1↦1 (maps complete DBs to complete DBs)."""
+    return kind_after(query, ONE) == ONE

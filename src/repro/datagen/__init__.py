@@ -1,0 +1,35 @@
+"""Seeded workload and random-instance generators."""
+
+from repro.datagen.random_worlds import (
+    DEFAULT_SCHEMAS,
+    RandomQueryBuilder,
+    random_query,
+    random_relation,
+    random_world_set,
+)
+from repro.datagen.workloads import (
+    census,
+    company,
+    flights,
+    hotels,
+    lineitem,
+    paper_company,
+    paper_flights,
+    random_graph,
+)
+
+__all__ = [
+    "DEFAULT_SCHEMAS",
+    "RandomQueryBuilder",
+    "census",
+    "company",
+    "flights",
+    "hotels",
+    "lineitem",
+    "paper_company",
+    "paper_flights",
+    "random_graph",
+    "random_query",
+    "random_relation",
+    "random_world_set",
+]

@@ -1,0 +1,254 @@
+"""Random world-sets and random world-set algebra queries.
+
+These generators drive the property-based test suites: the Figure 6 and
+§5.3 translators are validated against the Figure 3 reference semantics
+on randomized inputs, and every Figure 7 equivalence is checked on
+randomized world-sets.
+
+Determinism: everything is parameterized by an integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core import ast as wsa
+from repro.relational.predicates import Const, Predicate, eq, neq
+from repro.relational.relation import Relation
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+#: Attribute pools per relation used by the random generators.
+DEFAULT_SCHEMAS: dict[str, tuple[str, ...]] = {
+    "R": ("A", "B"),
+    "S": ("C", "D"),
+}
+
+
+def random_relation(
+    attrs: Sequence[str],
+    rng: random.Random,
+    max_rows: int = 6,
+    domain: Sequence[object] = (0, 1, 2, 3),
+) -> Relation:
+    """A random relation over *attrs* with up to *max_rows* rows."""
+    n_rows = rng.randrange(max_rows + 1)
+    rows = {
+        tuple(rng.choice(domain) for _ in attrs) for _ in range(n_rows)
+    }
+    return Relation(tuple(attrs), rows)
+
+
+def random_world_set(
+    seed: int,
+    schemas: dict[str, tuple[str, ...]] | None = None,
+    max_worlds: int = 4,
+    max_rows: int = 5,
+    domain: Sequence[object] = (0, 1, 2, 3),
+) -> WorldSet:
+    """A random non-empty world-set over *schemas*."""
+    rng = random.Random(seed)
+    schemas = schemas or DEFAULT_SCHEMAS
+    n_worlds = 1 + rng.randrange(max_worlds)
+    worlds = []
+    for _ in range(n_worlds):
+        worlds.append(
+            World.of(
+                {
+                    name: random_relation(attrs, rng, max_rows, domain)
+                    for name, attrs in schemas.items()
+                }
+            )
+        )
+    return WorldSet(worlds)
+
+
+class RandomQueryBuilder:
+    """Builds random, well-typed world-set algebra queries.
+
+    The generator tracks output attributes so every produced query is
+    schema-correct; *allow* restricts the operator repertoire (e.g. the
+    translator tests exclude repair-by-key).
+    """
+
+    def __init__(
+        self,
+        schemas: dict[str, tuple[str, ...]],
+        rng: random.Random,
+        domain: Sequence[object] = (0, 1, 2, 3),
+        allow_repair: bool = False,
+        allow_constants: bool = True,
+    ) -> None:
+        self.schemas = schemas
+        self.rng = rng
+        self.domain = domain
+        self.allow_repair = allow_repair
+        # Constant-free queries are what Definition 4.4's genericity is
+        # stated over (the paper defers C-genericity to [1]).
+        self.allow_constants = allow_constants
+        self._rename_counter = 0
+
+    def _random_predicate(self, attrs: Sequence[str]) -> Predicate:
+        rng = self.rng
+        attr = rng.choice(list(attrs))
+        attr_only = not self.allow_constants
+        if (rng.random() < 0.5 or attr_only) and len(attrs) > 1:
+            other = rng.choice([a for a in attrs if a != attr])
+            return eq(attr, other) if rng.random() < 0.5 else neq(attr, other)
+        if attr_only:
+            return eq(attr, attr) if rng.random() < 0.5 else neq(attr, attr)
+        constant = Const(rng.choice(self.domain))
+        return eq(attr, constant) if rng.random() < 0.5 else neq(attr, constant)
+
+    def _subset(self, attrs: Sequence[str], allow_empty: bool = False) -> tuple[str, ...]:
+        rng = self.rng
+        lower = 0 if allow_empty else 1
+        size = rng.randrange(lower, len(attrs) + 1)
+        return tuple(rng.sample(list(attrs), size))
+
+    def build(self, depth: int) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """A random query of at most *depth* operators plus its attrs."""
+        rng = self.rng
+        if depth <= 0:
+            name = rng.choice(list(self.schemas))
+            return wsa.rel(name), self.schemas[name]
+        choices = [
+            "select",
+            "project",
+            "rename",
+            "choice",
+            "poss",
+            "cert",
+            "pgroup",
+            "cgroup",
+            "union",
+            "difference",
+            "intersect",
+            "product",
+        ]
+        if self.allow_repair:
+            choices.append("repair")
+        kind = rng.choice(choices)
+        if kind in ("union", "difference", "intersect"):
+            left, attrs = self.build(depth - 1)
+            right = self._same_schema_query(left, attrs)
+            node = {
+                "union": wsa.union,
+                "difference": wsa.difference,
+                "intersect": wsa.intersect,
+            }[kind](left, right)
+            return node, attrs
+        if kind == "product":
+            left, left_attrs = self.build(depth - 1)
+            right, right_attrs = self.build(depth - 1)
+            overlap = set(left_attrs) & set(right_attrs)
+            if overlap:
+                self._rename_counter += 1
+                mapping = {a: f"{a}_{self._rename_counter}" for a in overlap}
+                right = wsa.rename(mapping, right)
+                right_attrs = tuple(mapping.get(a, a) for a in right_attrs)
+            return wsa.product(left, right), left_attrs + right_attrs
+        child, attrs = self.build(depth - 1)
+        if kind == "select":
+            return wsa.select(self._random_predicate(attrs), child), attrs
+        if kind == "project":
+            keep = self._subset(attrs)
+            return wsa.project(keep, child), keep
+        if kind == "rename":
+            self._rename_counter += 1
+            target = self.rng.choice(list(attrs))
+            mapping = {target: f"{target}_{self._rename_counter}"}
+            return wsa.rename(mapping, child), tuple(
+                mapping.get(a, a) for a in attrs
+            )
+        if kind == "choice":
+            return wsa.choice_of(self._subset(attrs), child), attrs
+        if kind == "poss":
+            return wsa.poss(child), attrs
+        if kind == "cert":
+            return wsa.cert(child), attrs
+        if kind == "repair":
+            return wsa.repair_by_key(self._subset(attrs), child), attrs
+        group = self._subset(attrs, allow_empty=True)
+        projection = self._subset(attrs)
+        constructor = wsa.poss_group if kind == "pgroup" else wsa.cert_group
+        return constructor(group, projection, child), projection
+
+    def _same_schema_query(
+        self, template: wsa.WSAQuery, attrs: tuple[str, ...]
+    ) -> wsa.WSAQuery:
+        """A random schema-compatible second operand for a set operation.
+
+        Derives the operand from *template* by stacking random
+        schema-preserving operators, which guarantees the attribute sets
+        match — base relations with matching schemas are also eligible.
+        """
+        rng = self.rng
+        candidates: list[wsa.WSAQuery] = [template]
+        for name, schema in self.schemas.items():
+            if set(schema) == set(attrs):
+                candidates.append(wsa.rel(name))
+            elif set(attrs) <= set(schema):
+                candidates.append(wsa.project(attrs, wsa.rel(name)))
+        query = rng.choice(candidates)
+        for _ in range(rng.randrange(3)):
+            wrap = rng.random()
+            if wrap < 0.4:
+                query = wsa.select(self._random_predicate(attrs), query)
+            elif wrap < 0.6:
+                query = wsa.choice_of(self._subset(attrs), query)
+            elif wrap < 0.8:
+                query = wsa.poss(query)
+            else:
+                query = wsa.cert(query)
+        return query
+
+
+def random_query(
+    seed: int,
+    schemas: dict[str, tuple[str, ...]] | None = None,
+    depth: int = 3,
+    allow_repair: bool = False,
+    allow_constants: bool = True,
+) -> wsa.WSAQuery:
+    """A random well-typed query over *schemas* (module-level wrapper)."""
+    schemas = schemas or DEFAULT_SCHEMAS
+    builder = RandomQueryBuilder(
+        schemas,
+        random.Random(seed),
+        allow_repair=allow_repair,
+        allow_constants=allow_constants,
+    )
+    query, _ = builder.build(depth)
+    return query
+
+
+def query_constants(query: wsa.WSAQuery) -> frozenset[object]:
+    """All constant values appearing in a query's selection predicates."""
+    from repro.relational.predicates import (
+        And,
+        Comparison,
+        Not,
+        Or,
+        Predicate,
+    )
+
+    found: set[object] = set()
+
+    def visit_predicate(predicate: Predicate) -> None:
+        if isinstance(predicate, Comparison):
+            for term in (predicate.left, predicate.right):
+                if isinstance(term, Const):
+                    found.add(term.value)
+        elif isinstance(predicate, (And, Or)):
+            visit_predicate(predicate.left)
+            visit_predicate(predicate.right)
+        elif isinstance(predicate, Not):
+            visit_predicate(predicate.operand)
+
+    for node in query.walk():
+        predicate = getattr(node, "predicate", None)
+        if predicate is not None:
+            visit_predicate(predicate)
+    return frozenset(found)

@@ -1,0 +1,189 @@
+"""Seeded workload generators for the paper's application scenarios.
+
+Each generator is deterministic in its seed and scales with explicit
+size parameters, so benchmarks can sweep them. The schemas are the ones
+Section 2 of the paper uses:
+
+* ``Flights(Dep, Arr)`` / ``Flights(Fid, Dep, Arr, Dtime, Atime)`` —
+  trip planning;
+* ``Company_Emp(CID, EID)`` and ``Emp_Skills(EID, Skill)`` — business
+  decision support;
+* ``Census(SSN, Name, POB, POW)`` — dirty data for repair-by-key;
+* ``Lineitem(Product, Quantity, Price, Year)`` — the simplified TPC-H
+  relation of the Q17-like what-if query;
+* ``Hotels(Name, City, Price)`` — the Example 6.1 extension.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.relation import Relation
+
+#: The five-row Flights relation of Figure 2 (a).
+PAPER_FLIGHTS_ROWS = (
+    ("FRA", "BCN"),
+    ("FRA", "ATL"),
+    ("PAR", "ATL"),
+    ("PAR", "BCN"),
+    ("PHL", "ATL"),
+)
+
+
+def paper_flights() -> Relation:
+    """The exact Flights relation of Figure 2 (a)."""
+    return Relation(("Dep", "Arr"), PAPER_FLIGHTS_ROWS)
+
+
+def paper_company() -> tuple[Relation, Relation]:
+    """The exact Company_Emp / Emp_Skills relations of Section 2."""
+    company_emp = Relation(
+        ("CID", "EID"),
+        [("ACME", "e1"), ("ACME", "e2"), ("HAL", "e3"), ("HAL", "e4"), ("HAL", "e5")],
+    )
+    emp_skills = Relation(
+        ("EID", "Skill"),
+        [
+            ("e1", "Web"),
+            ("e2", "Web"),
+            ("e3", "Java"),
+            ("e3", "Web"),
+            ("e4", "SQL"),
+            ("e5", "Java"),
+        ],
+    )
+    return company_emp, emp_skills
+
+
+def flights(
+    n_departures: int,
+    n_arrivals: int,
+    flights_per_departure: int,
+    seed: int = 0,
+) -> Relation:
+    """A random ``Flights(Dep, Arr)`` with a guaranteed common arrival.
+
+    Every departure gets a flight to arrival ``A0`` so that the trip
+    planning query ("certain arrivals") has a non-trivial answer, plus
+    *flights_per_departure − 1* random destinations.
+    """
+    rng = random.Random(seed)
+    departures = [f"D{i}" for i in range(n_departures)]
+    arrivals = [f"A{i}" for i in range(n_arrivals)]
+    rows: set[tuple] = set()
+    for dep in departures:
+        rows.add((dep, "A0"))
+        for _ in range(max(flights_per_departure - 1, 0)):
+            rows.add((dep, rng.choice(arrivals)))
+    return Relation(("Dep", "Arr"), rows)
+
+
+def hotels(n_cities: int, hotels_per_city: int, seed: int = 0) -> Relation:
+    """A random ``Hotels(Name, City, Price)`` over arrival cities A0…"""
+    rng = random.Random(seed + 1)
+    rows = []
+    for city_index in range(n_cities):
+        for hotel_index in range(hotels_per_city):
+            rows.append(
+                (
+                    f"H{city_index}.{hotel_index}",
+                    f"A{city_index}",
+                    50 + rng.randrange(20) * 10,
+                )
+            )
+    return Relation(("Name", "City", "Price"), rows)
+
+
+def company(
+    n_companies: int,
+    employees_per_company: int,
+    n_skills: int,
+    skills_per_employee: int,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Random ``Company_Emp`` / ``Emp_Skills`` for the acquisition query."""
+    rng = random.Random(seed + 2)
+    skills = [f"S{i}" for i in range(n_skills)]
+    company_rows = []
+    skill_rows: set[tuple] = set()
+    employee = 0
+    for company_index in range(n_companies):
+        for _ in range(employees_per_company):
+            eid = f"e{employee}"
+            employee += 1
+            company_rows.append((f"C{company_index}", eid))
+            for _ in range(skills_per_employee):
+                skill_rows.add((eid, rng.choice(skills)))
+    return Relation(("CID", "EID"), company_rows), Relation(("EID", "Skill"), skill_rows)
+
+
+def census(
+    n_people: int,
+    duplicate_rate: float = 0.3,
+    seed: int = 0,
+) -> Relation:
+    """A dirty ``Census(SSN, Name, POB, POW)`` violating SSN → rest.
+
+    A *duplicate_rate* fraction of people get a second, conflicting
+    record under the same SSN (a mistyped city), so repair-by-key on
+    SSN produces 2^(duplicates) worlds.
+    """
+    rng = random.Random(seed + 3)
+    cities = [f"City{i}" for i in range(max(n_people // 2, 4))]
+    rows = []
+    for person in range(n_people):
+        ssn = 1000 + person
+        name = f"Person{person}"
+        pob, pow_ = rng.choice(cities), rng.choice(cities)
+        rows.append((ssn, name, pob, pow_))
+        if rng.random() < duplicate_rate:
+            # The conflicting record must differ, or set semantics would
+            # collapse it and the key violation would vanish.
+            conflicting = rng.choice([c for c in cities if c != pob])
+            rows.append((ssn, name, conflicting, pow_))
+    return Relation(("SSN", "Name", "POB", "POW"), rows)
+
+
+def lineitem(
+    years: Sequence[int] = (2002, 2003, 2004, 2005),
+    n_products: int = 20,
+    n_quantities: int = 4,
+    rows_per_year: int = 50,
+    seed: int = 0,
+) -> Relation:
+    """The simplified TPC-H ``Lineitem(Product, Quantity, Price, Year)``.
+
+    Quantities model package sizes (e.g. 100 g, 1 kg); prices are drawn
+    so that yearly revenues differ enough for the Q17-like threshold
+    query to discriminate.
+    """
+    rng = random.Random(seed + 4)
+    quantities = [100 * (index + 1) for index in range(n_quantities)]
+    rows: set[tuple] = set()
+    for year in years:
+        for _ in range(rows_per_year):
+            rows.add(
+                (
+                    f"P{rng.randrange(n_products)}",
+                    rng.choice(quantities),
+                    (1 + rng.randrange(400)) * 100,
+                    year,
+                )
+            )
+    return Relation(("Product", "Quantity", "Price", "Year"), rows)
+
+
+def random_graph(
+    n_vertices: int, edge_probability: float, seed: int = 0
+) -> tuple[list[str], list[tuple[str, str]]]:
+    """A seeded Erdős–Rényi graph for the 3-colorability reduction."""
+    rng = random.Random(seed + 5)
+    vertices = [f"v{i}" for i in range(n_vertices)]
+    edges = [
+        (vertices[i], vertices[j])
+        for i in range(n_vertices)
+        for j in range(i + 1, n_vertices)
+        if rng.random() < edge_probability
+    ]
+    return vertices, edges

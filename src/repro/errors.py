@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type. Subclasses mirror the major subsystems:
+schemas, evaluation, typing, parsing, rewriting, and world-set
+representations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation or operator was used with an incompatible schema.
+
+    Raised, e.g., when a union's operands have different attribute sets,
+    when a product's operands share attribute names, or when a projection
+    references an unknown attribute.
+    """
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated against the given data."""
+
+
+class TypingError(ReproError):
+    """A world-set algebra query failed static type checking (Section 4.1)."""
+
+
+class TranslationError(ReproError):
+    """A world-set query cannot be translated to relational algebra.
+
+    Raised for the operators beyond relational algebra's reach:
+    repair-by-key (NP-hard, Proposition 4.2) and the active-domain
+    relation of Proposition 6.3.
+    """
+
+
+class ParseError(ReproError):
+    """An I-SQL statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class RewriteError(ReproError):
+    """A rewrite rule was applied to a query it does not match."""
+
+
+class RepresentationError(ReproError):
+    """An inlined representation (Definition 5.1) is malformed."""

@@ -1,0 +1,37 @@
+"""Inlined representations and the WSA → RA translations (Section 5)."""
+
+from repro.inline.optimized import (
+    OptimizedTranslator,
+    evaluate_optimized,
+    optimized_ra_query,
+)
+from repro.inline.pairing import pair_on_inlined, pair_worlds, subset_world_set
+from repro.inline.physical import PhysicalEvaluator, PhysicalState, physical_answer
+from repro.inline.representation import WORLD_TABLE, InlinedRepresentation
+from repro.inline.translate import (
+    GeneralTranslation,
+    GeneralTranslator,
+    apply_general,
+    conservative_ra_query,
+    lower_query,
+    translate_general,
+)
+
+__all__ = [
+    "GeneralTranslation",
+    "GeneralTranslator",
+    "InlinedRepresentation",
+    "OptimizedTranslator",
+    "PhysicalEvaluator",
+    "PhysicalState",
+    "WORLD_TABLE",
+    "physical_answer",
+    "apply_general",
+    "conservative_ra_query",
+    "evaluate_optimized",
+    "lower_query",
+    "optimized_ra_query",
+    "pair_on_inlined",
+    "pair_worlds",
+    "subset_world_set",
+]

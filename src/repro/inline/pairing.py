@@ -1,0 +1,88 @@
+"""The world-pairing operation of Section 7.
+
+The paper separates world-set algebra from relational algebra over
+inlined representations with the *pairing* query: for each pair of
+worlds (I, J) create a world containing R^I and, renamed, R^J. Pairing
+is generic and easily expressed over inlined representations (a product
+of the table with a renamed copy of itself), but not expressible in
+world-set algebra: starting from the world-set of all 2ⁿ subsets of an
+n-element relation, pairing yields 2^{2n} worlds, while a fixed WSA
+query can only increase the number of worlds polynomially per operator
+through choice-of.
+
+This module implements pairing both on explicit world-sets and on
+inlined representations, and builds the 2ⁿ-subset witness family.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.errors import RepresentationError
+from repro.inline.representation import InlinedRepresentation
+from repro.relational.relation import Relation
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+
+def pair_worlds(world_set: WorldSet, relation: str, paired_name: str) -> WorldSet:
+    """Pairing on explicit world-sets: one world per ordered world pair.
+
+    Every output world holds the original relations of world I plus,
+    under *paired_name* with renamed attributes, relation *relation* of
+    world J.
+    """
+    if paired_name in world_set.relation_names:
+        raise RepresentationError(f"relation {paired_name!r} already exists")
+    worlds = []
+    for first in world_set.worlds:
+        for second in world_set.worlds:
+            renamed = second[relation].rename(
+                {a: f"{paired_name}.{a}" for a in second[relation].schema}
+            )
+            worlds.append(first.extend(paired_name, renamed))
+    return WorldSet(worlds)
+
+
+def pair_on_inlined(
+    representation: InlinedRepresentation, relation: str, paired_name: str
+) -> InlinedRepresentation:
+    """Pairing expressed on the inlined representation (pure RA).
+
+    The world-id attributes are doubled: the output ids are (V, V′)
+    for every combination of two input world ids. Every original table
+    is copied into all pairs; the paired copy of *relation* carries the
+    second id component.
+    """
+    ids = representation.id_attrs
+    second_ids = {v: f"{v}'" for v in ids}
+    world = representation.world_table
+    second_world = world.rename(second_ids)
+    paired_world = world.product(second_world)
+
+    tables: list[tuple[str, Relation]] = []
+    for name in representation.tables.names:
+        # The original table lives in world V of the pair (V, V′).
+        tables.append((name, representation.tables[name].product(second_world)))
+    source = representation.tables[relation]
+    renamed = source.rename(
+        {
+            **{a: f"{paired_name}.{a}" for a in representation.value_attributes(relation)},
+            **second_ids,
+        }
+    )
+    tables.append((paired_name, renamed.product(world)))
+    return InlinedRepresentation(
+        tables, paired_world, ids + tuple(second_ids[v] for v in ids)
+    )
+
+
+def subset_world_set(values: Sequence[object], relation: str = "R") -> WorldSet:
+    """The Section 7 witness: all 2ⁿ subsets of {values} as worlds."""
+    attrs = ("A",)
+    worlds = []
+    for mask in itertools.product((False, True), repeat=len(values)):
+        rows = [(v,) for v, keep in zip(values, mask) if keep]
+        worlds.append(World.of({relation: Relation(attrs, rows)}))
+    return WorldSet(worlds)

@@ -1,0 +1,164 @@
+"""The inlined representation of world-sets (Definition 5.1).
+
+An inlined representation T = ⟨R₁ᵀ[U₁ ∪ V], …, R_kᵀ[U_k ∪ V], W[V]⟩
+stores all instances of each relation across all worlds in one table,
+tagged with world-identifier attributes V, plus a world table W of all
+world ids. ``rep(T)`` decodes the represented world-set:
+
+    rep(T) = { ⟨π_{U₁}(σ_{V=w}(R₁ᵀ)), …⟩ | w ∈ W }
+
+The world table may contain ids that appear in no table — this encodes
+worlds with empty relations; an empty W encodes the empty world-set,
+and a nullary W = {⟨⟩} encodes a single (complete) world.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import RepresentationError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema, is_id_attribute
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+#: Reserved name of the world table inside translation databases.
+WORLD_TABLE = "#W"
+
+
+class InlinedRepresentation:
+    """A world-set inlined into flat relations plus a world table."""
+
+    __slots__ = ("tables", "world_table", "id_attrs")
+
+    def __init__(
+        self,
+        tables: Mapping[str, Relation] | Iterable[tuple[str, Relation]],
+        world_table: Relation,
+        id_attrs: Iterable[str] | None = None,
+    ) -> None:
+        self.tables = Database(tables)
+        self.world_table = world_table
+        if id_attrs is None:
+            id_attrs = world_table.schema.attributes
+        self.id_attrs = tuple(id_attrs)
+        self._validate()
+
+    def _validate(self) -> None:
+        if set(self.world_table.schema.attributes) != set(self.id_attrs):
+            raise RepresentationError(
+                f"world table attributes {list(self.world_table.schema)} "
+                f"differ from declared id attributes {list(self.id_attrs)}"
+            )
+        id_set = set(self.id_attrs)
+        world_ids = {
+            tuple(row[p] for p in self.world_table.schema.indices(self.id_attrs))
+            for row in self.world_table.rows
+        }
+        for name, relation in self.tables.items():
+            missing = id_set - relation.schema.as_set()
+            if missing:
+                raise RepresentationError(
+                    f"table {name!r} lacks id attributes {sorted(missing)}"
+                )
+            positions = relation.schema.indices(self.id_attrs)
+            for row in relation.rows:
+                world_id = tuple(row[p] for p in positions)
+                if world_id not in world_ids:
+                    raise RepresentationError(
+                        f"table {name!r} references world id {world_id!r} "
+                        "that is not in the world table"
+                    )
+
+    # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def of_database(database: Database | Mapping[str, Relation]) -> "InlinedRepresentation":
+        """Encode a complete database: V = ∅, W = {⟨⟩} (Example 5.6 step 1)."""
+        items = database.items() if isinstance(database, Database) else database.items()
+        return InlinedRepresentation(dict(items), Relation.unit(), ())
+
+    @staticmethod
+    def of_world_set(
+        world_set: WorldSet, id_attr: str = "$world"
+    ) -> "InlinedRepresentation":
+        """Encode an explicit world-set with one integer id attribute."""
+        if not is_id_attribute(id_attr):
+            raise RepresentationError(f"{id_attr!r} must use the id prefix")
+        worlds = world_set.sorted_worlds()
+        names = world_set.relation_names
+        tables: dict[str, Relation] = {}
+        for name, schema in world_set.signature:
+            attrs = schema.attributes + (id_attr,)
+            rows: list[tuple] = []
+            for index, world in enumerate(worlds):
+                aligned = world[name]._reordered(schema.attributes)
+                rows.extend(row + (index,) for row in aligned.rows)
+            tables[name] = Relation(attrs, rows)
+        world_table = Relation((id_attr,), ((i,) for i in range(len(worlds))))
+        return InlinedRepresentation(tables, world_table, (id_attr,))
+
+    # -- decoding ------------------------------------------------------------------
+
+    def value_attributes(self, name: str) -> tuple[str, ...]:
+        """The value (non-id) attributes U_i of table *name*."""
+        ids = set(self.id_attrs)
+        return tuple(a for a in self.tables[name].schema if a not in ids)
+
+    def world_ids(self) -> list[tuple]:
+        """The world identifiers, in deterministic order."""
+        return self.world_table.distinct_values(self.id_attrs)
+
+    def world(self, world_id: tuple) -> World:
+        """Decode the world with identifier *world_id*."""
+        assignment = dict(zip(self.id_attrs, world_id))
+        relations = []
+        for name, table in self.tables.items():
+            values = self.value_attributes(name)
+            relations.append(
+                (name, table.select_values(assignment).project(values))
+            )
+        return World.of(relations)
+
+    def rep(self) -> WorldSet:
+        """rep(T): the represented world-set (Definition 5.1).
+
+        Equivalent worlds stored under different ids collapse, since
+        world-sets are sets.
+        """
+        signature = tuple(
+            (name, Schema(self.value_attributes(name))) for name in self.tables
+        )
+        return WorldSet((self.world(w) for w in self.world_ids()), signature)
+
+    # -- views ----------------------------------------------------------------------
+
+    def as_database(self) -> Database:
+        """The tables plus the world table, for RA query evaluation."""
+        return self.tables.with_relation(WORLD_TABLE, self.world_table)
+
+    def world_count(self) -> int:
+        """Number of world identifiers (equivalent worlds counted apart)."""
+        return len(self.world_table)
+
+    def __repr__(self) -> str:
+        tables = ", ".join(f"{n}[{len(r)}]" for n, r in self.tables.items())
+        return (
+            f"InlinedRepresentation({tables}; |W|={len(self.world_table)}, "
+            f"V={list(self.id_attrs)})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InlinedRepresentation):
+            return NotImplemented
+        return (
+            dict(self.tables.items()) == dict(other.tables.items())
+            and self.world_table == other.world_table
+            and self.id_attrs == other.id_attrs
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self.tables.items()), self.world_table, self.id_attrs)
+        )

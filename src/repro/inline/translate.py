@@ -1,0 +1,378 @@
+"""The general world-set-algebra → relational-algebra translation (Figure 6).
+
+Given a world-set algebra query and an inlined representation schema,
+the translator produces *relational algebra expressions* computing the
+output representation ⟨R'₁, …, R'_k, R'_{k+1}, W'⟩, where R'_{k+1}
+encodes the answer. Composing those expressions yields Theorem 5.7: a
+1↦1 query is equivalent to a single relational algebra query of
+polynomial size over the complete input database.
+
+Implementation notes on the paper's formulas (see DESIGN.md):
+
+* the choice-of world-table update ``W' = W =⊳⊲ δ_{B→V_B}(R)`` is
+  implemented with R first projected to its id and choice attributes,
+  so W' carries only id attributes;
+* the grouping relation S' ("an equivalence relation over world ids")
+  is computed symmetrically — pairs of worlds whose answer projections
+  are *equal*, not merely contained;
+* the cγ helper relations P/P' are read as: a tuple is dropped from a
+  group when it misses *some* world of the group (the literal
+  projection lists in Figure 6 are garbled; Example 5.4 and the
+  reference semantics pin the intent).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import TranslationError, TypingError
+from repro.core.ast import (
+    ActiveDomain,
+    Cert,
+    CertGroup,
+    ChoiceOf,
+    Difference,
+    Divide,
+    Intersect,
+    NaturalJoin,
+    Poss,
+    PossGroup,
+    Product,
+    Project,
+    Rel,
+    Rename,
+    RepairByKey,
+    Select,
+    ThetaJoin,
+    Union,
+    WSAQuery,
+    _NaturalJoinExpansion,
+)
+from repro.core.typing import is_complete_to_complete
+from repro.inline.representation import WORLD_TABLE, InlinedRepresentation
+from repro.relational import algebra as ra
+from repro.relational.predicates import conjunction, eq
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SchemaLike = Mapping[str, Schema | Sequence[str]]
+
+
+def _schema_env(schemas: SchemaLike) -> dict[str, Schema]:
+    env: dict[str, Schema] = {}
+    for name, schema in schemas.items():
+        env[name] = schema if isinstance(schema, Schema) else Schema(schema)
+    return env
+
+
+def lower_query(query: WSAQuery, env: Mapping[str, Schema]) -> WSAQuery:
+    """Expand derived operators (θ-join, natural join, ÷) to base ones."""
+    children = tuple(lower_query(child, env) for child in query.children())
+    if isinstance(query, ThetaJoin):
+        return Select(query.predicate, Product(children[0], children[1]))
+    if isinstance(query, (NaturalJoin, _NaturalJoinExpansion)):
+        return _NaturalJoinExpansion(children[0], children[1]).expand(env)
+    if isinstance(query, Divide):
+        return Divide(children[0], children[1]).expand(env)
+    if children != query.children():
+        return query._with_children(children)
+    return query
+
+
+class TranslationState:
+    """The inlined-representation expressions at one translation point."""
+
+    __slots__ = ("tables", "world", "ids")
+
+    def __init__(
+        self,
+        tables: dict[str, ra.RAExpr],
+        world: ra.RAExpr,
+        ids: tuple[str, ...],
+    ) -> None:
+        self.tables = tables
+        self.world = world
+        self.ids = ids
+
+
+class GeneralTranslation:
+    """The result of translating one query: expressions plus metadata."""
+
+    __slots__ = ("query", "state", "answer", "value_attrs", "source")
+
+    def __init__(
+        self,
+        query: WSAQuery,
+        state: TranslationState,
+        answer: ra.RAExpr,
+        value_attrs: tuple[str, ...],
+        source: InlinedRepresentation | None,
+    ) -> None:
+        self.query = query
+        self.state = state
+        self.answer = answer
+        self.value_attrs = value_attrs
+        self.source = source
+
+    def apply(
+        self, representation: InlinedRepresentation | None = None, name: str = "Q"
+    ) -> InlinedRepresentation:
+        """Evaluate all expressions, producing the output representation.
+
+        The answer table is added under *name* (R_{k+1} of Section 5.2).
+        """
+        rep = representation if representation is not None else self.source
+        if rep is None:
+            raise TranslationError("no input representation supplied")
+        database = rep.as_database()
+        cache: dict[int, Relation] = {}
+        tables = [
+            (table, expression._cached(database, cache))
+            for table, expression in self.state.tables.items()
+        ]
+        tables.append((name, self.answer._cached(database, cache)))
+        world = self.state.world._cached(database, cache)
+        return InlinedRepresentation(tables, world, self.state.ids)
+
+    def answer_size(self) -> int:
+        """Operator count of the answer expression (polynomial in |q|)."""
+        return self.answer.size()
+
+
+class GeneralTranslator:
+    """Implements the translation function ⟦·⟧τ of Figure 6."""
+
+    def __init__(self, value_schemas: SchemaLike, base_ids: Sequence[str] = ()) -> None:
+        self.env = _schema_env(value_schemas)
+        self.base_ids = tuple(base_ids)
+        self._counter = 0
+
+    # -- fresh attribute names ---------------------------------------------------
+
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _choice_ids(self, attrs: Sequence[str]) -> dict[str, str]:
+        n = self._fresh()
+        return {a: f"${a}#{n}" for a in attrs}
+
+    def _group_ids(self, ids: Sequence[str]) -> dict[str, str]:
+        n = self._fresh()
+        return {v: f"$g{n}.{v.lstrip('$')}" for v in ids}
+
+    def _primed(self, attrs: Sequence[str]) -> dict[str, str]:
+        n = self._fresh()
+        return {a: f"{a}⋆{n}" for a in attrs}
+
+    # -- entry points --------------------------------------------------------------
+
+    def translate(self, query: WSAQuery) -> tuple[TranslationState, ra.RAExpr]:
+        """Translate *query*, returning the final state and answer expression."""
+        query.attributes(self.env)  # validate up front
+        lowered = lower_query(query, self.env)
+        initial = TranslationState(
+            {name: ra.Table(name) for name in self.env},
+            ra.Table(WORLD_TABLE) if self.base_ids else ra.Literal(Relation.unit()),
+            self.base_ids,
+        )
+        return self._translate(lowered, initial)
+
+    # -- the translation, by case -----------------------------------------------------
+
+    def _translate(
+        self, query: WSAQuery, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        if isinstance(query, Rel):
+            return state, state.tables[query.name]
+        if isinstance(query, Select):
+            state, answer = self._translate(query.child, state)
+            return state, ra.Select(query.predicate, answer)
+        if isinstance(query, Project):
+            state, answer = self._translate(query.child, state)
+            return state, ra.Project(query.attrs + state.ids, answer)
+        if isinstance(query, Rename):
+            state, answer = self._translate(query.child, state)
+            return state, ra.Rename(query.mapping, answer)
+        if isinstance(query, ChoiceOf):
+            return self._translate_choice(query, state)
+        if isinstance(query, Poss):
+            state, answer = self._translate(query.child, state)
+            values = self._value_attrs(answer, state)
+            return state, ra.Product(ra.Project(values, answer), state.world)
+        if isinstance(query, Cert):
+            state, answer = self._translate(query.child, state)
+            return state, ra.Product(ra.Divide(answer, state.world), state.world)
+        if isinstance(query, (PossGroup, CertGroup)):
+            return self._translate_group(query, state)
+        if isinstance(query, (Product, Union, Intersect, Difference)):
+            return self._translate_binary(query, state)
+        if isinstance(query, RepairByKey):
+            raise TranslationError(
+                "repair-by-key exceeds relational algebra (Proposition 4.2)"
+            )
+        if isinstance(query, ActiveDomain):
+            raise TranslationError(
+                "the active-domain relation of Proposition 6.3 is not part "
+                "of the Figure 6 translation"
+            )
+        raise TranslationError(f"untranslatable node {type(query).__name__}")
+
+    def _value_attrs(self, answer: ra.RAExpr, state: TranslationState) -> tuple[str, ...]:
+        schema = answer.schema(self._ra_env(state))
+        ids = set(state.ids)
+        return tuple(a for a in schema if a not in ids)
+
+    def _ra_env(self, state: TranslationState) -> dict[str, Schema]:
+        env: dict[str, Schema] = {}
+        for name, schema in self.env.items():
+            env[name] = Schema(schema.attributes + self.base_ids)
+        env[WORLD_TABLE] = Schema(self.base_ids)
+        return env
+
+    def _translate_choice(
+        self, query: ChoiceOf, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        state, answer = self._translate(query.child, state)
+        mapping = self._choice_ids(query.attrs)
+        # W' = W =⊳⊲ δ_{B→V_B}(π_{V,B}(R)): pad worlds with an empty
+        # answer using the constant c (the dummy choice of Figure 3).
+        choices = ra.Rename(mapping, ra.Project(state.ids + query.attrs, answer))
+        world = ra.OuterJoinPad(state.world, choices)
+        # R' = π_{D,V,B as V_B}(R): copy the choice attributes as ids.
+        extended = answer
+        for attr in query.attrs:
+            extended = ra.CopyAttr(attr, mapping[attr], extended)
+        tables = {
+            name: ra.NaturalJoin(expression, world)
+            for name, expression in state.tables.items()
+        }
+        new_state = TranslationState(
+            tables, world, state.ids + tuple(mapping[a] for a in query.attrs)
+        )
+        return new_state, extended
+
+    def _translate_group(
+        self, query: PossGroup | CertGroup, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        state, answer = self._translate(query.child, state)
+        ids = state.ids
+        if not ids:
+            # A single world forms a single group: grouping degenerates
+            # to the projection π_V.
+            return state, ra.Project(query.proj_attrs, answer)
+        group_map = self._group_ids(ids)
+        group_ids = tuple(group_map[v] for v in ids)
+        grouping = query.group_attrs
+        projection = query.proj_attrs
+
+        # --- the γ^B_A helper of Figure 6 -------------------------------
+        # Pairs of world ids whose answers agree on π_A form the
+        # equivalence relation S' (symmetric by construction).
+        by_group = ra.Project(grouping + ids, answer)            # π_{A,V}(R)
+        ids_only = ra.Project(ids, answer)                        # π_V(R)
+        partners = ra.Rename(group_map, ids_only)                 # π_{V2}(δ(R))
+        all_pairs = ra.Product(ids_only, partners)
+        primed = self._primed(grouping)
+        partner_values = ra.Rename(
+            {**primed, **group_map}, ra.Project(grouping + ids, answer)
+        )
+        agree_condition = conjunction([eq(a, primed[a]) for a in grouping])
+        agree = ra.Project(
+            grouping + ids + group_ids,
+            ra.ThetaJoin(agree_condition, by_group, partner_values)
+            if grouping
+            else ra.Product(by_group, partner_values),
+        )
+        missing_left = ra.Project(
+            ids + group_ids, ra.Difference(ra.Product(by_group, partners), agree)
+        )
+        swap = {**group_map, **{g: v for v, g in group_map.items()}}
+        missing_right = ra.Rename(swap, missing_left)
+        equivalence = ra.Difference(
+            ra.Difference(all_pairs, missing_left), missing_right
+        )
+        grouped = ra.Project(
+            projection + ids + group_ids, ra.NaturalJoin(answer, equivalence)
+        )
+
+        inverse = {g: v for v, g in group_map.items()}
+        candidates = ra.Rename(inverse, ra.Project(projection + group_ids, grouped))
+        if isinstance(query, PossGroup):
+            # pγ: drop the old world ids, rename group ids back to V.
+            return state, candidates
+        # cγ: drop tuples that miss some world of their group.
+        candidate_pairs = ra.NaturalJoin(
+            ra.Project(projection + group_ids, grouped), equivalence
+        )
+        missing = ra.Difference(
+            ra.Project(projection + ids + group_ids, candidate_pairs),
+            ra.Project(projection + ids + group_ids, grouped),
+        )
+        not_certain = ra.Rename(inverse, ra.Project(projection + group_ids, missing))
+        return state, ra.Difference(candidates, not_certain)
+
+    def _translate_binary(
+        self, query: WSAQuery, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        left_state, left = self._translate(query.children()[0], state)
+        right_state, right = self._translate(query.children()[1], state)
+        world = ra.NaturalJoin(left_state.world, right_state.world)
+        new_left = tuple(v for v in left_state.ids if v not in set(state.ids))
+        new_right = tuple(v for v in right_state.ids if v not in set(state.ids))
+        ids = state.ids + new_left + new_right
+        tables = {
+            name: ra.NaturalJoin(expression, world)
+            for name, expression in state.tables.items()
+        }
+        new_state = TranslationState(tables, world, ids)
+        if isinstance(query, Product):
+            # R' ⋈_{V=V} R'': tuples of the same original world combine;
+            # the join also pairs the worlds created by the two operands.
+            return new_state, ra.NaturalJoin(left, right)
+        operators = {Union: ra.Union, Intersect: ra.Intersection, Difference: ra.Difference}
+        operator = operators[type(query)]
+        return new_state, operator(
+            ra.NaturalJoin(left, world), ra.NaturalJoin(right, world)
+        )
+
+
+# -- module-level API ---------------------------------------------------------------
+
+
+def translate_general(
+    query: WSAQuery, representation: InlinedRepresentation
+) -> GeneralTranslation:
+    """Translate *query* against the schema of *representation*."""
+    value_schemas = {
+        name: representation.value_attributes(name) for name in representation.tables
+    }
+    translator = GeneralTranslator(value_schemas, representation.id_attrs)
+    state, answer = translator.translate(query)
+    value_attrs = query.attributes(translator.env)
+    return GeneralTranslation(query, state, answer, value_attrs, representation)
+
+
+def apply_general(
+    query: WSAQuery, representation: InlinedRepresentation, name: str = "Q"
+) -> InlinedRepresentation:
+    """Translate and evaluate in one step (Example 5.4 end to end)."""
+    return translate_general(query, representation).apply(name=name)
+
+
+def conservative_ra_query(query: WSAQuery, schemas: SchemaLike) -> ra.RAExpr:
+    """Theorem 5.7: the equivalent relational algebra query of a 1↦1 query.
+
+    The returned expression operates directly on the complete database
+    (no world table needed); its final projection drops the world-id
+    attributes introduced by nested operators.
+    """
+    if not is_complete_to_complete(query):
+        raise TypingError(
+            "only 1↦1 (complete-to-complete) queries admit an equivalent "
+            "relational algebra query over the plain database"
+        )
+    translator = GeneralTranslator(schemas, ())
+    state, answer = translator.translate(query)
+    value_attrs = query.attributes(translator.env)
+    return ra.Project(value_attrs, answer)

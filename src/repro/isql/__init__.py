@@ -1,0 +1,27 @@
+"""I-SQL: the paper's SQL analog for incomplete information."""
+
+from repro.isql import ast
+from repro.isql.compile import FragmentError, compile_query
+from repro.isql.engine import Engine
+from repro.isql.explain import Explanation, explain, run_via_translation
+from repro.isql.lexer import Token, tokenize
+from repro.isql.parser import parse_query, parse_script, parse_statement
+from repro.isql.session import DMLResult, ISQLSession, QueryResult
+
+__all__ = [
+    "DMLResult",
+    "Engine",
+    "Explanation",
+    "FragmentError",
+    "ISQLSession",
+    "QueryResult",
+    "Token",
+    "ast",
+    "compile_query",
+    "explain",
+    "parse_query",
+    "parse_script",
+    "parse_statement",
+    "run_via_translation",
+    "tokenize",
+]

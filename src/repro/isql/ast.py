@@ -1,0 +1,323 @@
+"""Abstract syntax of I-SQL (Figure 1 of the paper).
+
+The statement forms are::
+
+    select [possible | certain] sellist
+    from   qlist
+    [where cond]
+    [group by attrlist]
+    [choice of attrlist]
+    [repair by key attrlist]
+    [group worlds by sqlquery | attrlist];
+
+    insert into relname values (v, …);
+    delete from relname [where cond];
+    update relname set settings [where cond];
+
+plus the ``create view name as query`` used throughout Section 2 and
+the materializing assignment ``name <- query`` with which the paper
+builds up the acquisition scenario (U ←, V ←, W ←).
+
+Value expressions cover what the Section 2 examples need: column
+references (qualified or not), literals, arithmetic, aggregates
+(sum/count/min/max/avg), and scalar subqueries; conditions add the
+comparisons, boolean connectives, [not] in ⟨subquery⟩ and [not] exists
+⟨subquery⟩.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+# -- value expressions ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column reference, optionally qualified: ``Y.Revenue`` or ``Arr``."""
+
+    qualifier: str | None
+    name: str
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number or string."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """Binary arithmetic over value expressions: + − * /."""
+
+    op: str
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call in a select list: ``sum(Price)``, ``count(*)``."""
+
+    function: str
+    argument: Column | None  # None encodes count(*)
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """A parenthesized subquery used as a value (must yield one value)."""
+
+    query: "SelectQuery"
+
+
+ValueExpr = Union[Column, Literal, Arithmetic, Aggregate, ScalarSubquery]
+
+
+# -- conditions ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op ∈ {=, !=, <, <=, >, >=}."""
+
+    op: str
+    left: ValueExpr
+    right: ValueExpr
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [not] in (subquery)``."""
+
+    needle: ValueExpr
+    query: "SelectQuery"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ExistsSubquery:
+    """``[not] exists (subquery)``."""
+
+    query: "SelectQuery"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``and`` / ``or`` over two conditions."""
+
+    op: str
+    left: "Condition"
+    right: "Condition"
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """Negation of a condition."""
+
+    operand: "Condition"
+
+
+Condition = Union[Comparison, InSubquery, ExistsSubquery, BoolOp, NotOp]
+
+
+# -- queries -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression plus an optional alias."""
+
+    expression: ValueExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` select list."""
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A from-list item naming a base relation or view, with an alias."""
+
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    """A from-list item holding a parenthesized subquery, with an alias."""
+
+    query: "SelectQuery"
+    alias: str
+
+
+FromItem = Union[TableRef, SubqueryRef]
+
+
+@dataclass(frozen=True)
+class GroupWorldsBy:
+    """The world-grouping clause: an attribute list or a subquery."""
+
+    attributes: tuple[str, ...] | None = None
+    query: "SelectQuery | None" = None
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A full I-SQL select statement (Figure 1)."""
+
+    select_list: tuple[SelectItem, ...] | Star
+    from_items: tuple[FromItem, ...]
+    where: Condition | None = None
+    group_by: tuple[str, ...] = ()
+    choice_of: tuple[str, ...] = ()
+    repair_by_key: tuple[str, ...] = ()
+    group_worlds_by: GroupWorldsBy | None = None
+    closing: str | None = None  # "possible" | "certain" | None
+
+
+# -- statements ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateView:
+    """``create view name as query`` — a lazily expanded macro."""
+
+    name: str
+    query: SelectQuery
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``name <- query`` — materialize the answer into every world.
+
+    This is the mechanism of the paper's stepwise scenarios: the result
+    becomes a base relation of the world-set, so later statements can
+    reference it repeatedly *with correlation* (unlike a view, which is
+    re-expanded — and thus re-splits worlds — on every reference).
+    """
+
+    name: str
+    query: SelectQuery
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``insert into relname values (v, …)``."""
+
+    relation: str
+    values: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``delete from relname [where cond]``."""
+
+    relation: str
+    where: Condition | None = None
+
+
+@dataclass(frozen=True)
+class SetClause:
+    """One ``attr = expr`` of an update statement."""
+
+    attribute: str
+    expression: ValueExpr
+
+
+@dataclass(frozen=True)
+class Update:
+    """``update relname set settings [where cond]``."""
+
+    relation: str
+    settings: tuple[SetClause, ...]
+    where: Condition | None = None
+
+
+Statement = Union[SelectQuery, CreateView, Assignment, Insert, Delete, Update]
+
+
+def condition_subqueries(condition: Condition | None) -> list[SelectQuery]:
+    """All subqueries appearing anywhere in a condition."""
+    if condition is None:
+        return []
+    found: list[SelectQuery] = []
+
+    def visit_value(expr: ValueExpr) -> None:
+        if isinstance(expr, ScalarSubquery):
+            found.append(expr.query)
+        elif isinstance(expr, Arithmetic):
+            visit_value(expr.left)
+            visit_value(expr.right)
+
+    def visit(cond: Condition) -> None:
+        if isinstance(cond, Comparison):
+            visit_value(cond.left)
+            visit_value(cond.right)
+        elif isinstance(cond, InSubquery):
+            visit_value(cond.needle)
+            found.append(cond.query)
+        elif isinstance(cond, ExistsSubquery):
+            found.append(cond.query)
+        elif isinstance(cond, BoolOp):
+            visit(cond.left)
+            visit(cond.right)
+        elif isinstance(cond, NotOp):
+            visit(cond.operand)
+
+    visit(condition)
+    return found
+
+
+def is_world_splitting(query: SelectQuery, views: dict[str, SelectQuery]) -> bool:
+    """True iff evaluating *query* can change the set of worlds.
+
+    Choice-of and repair-by-key split worlds; a referenced view splits
+    if its definition does; from-subqueries and condition subqueries
+    propagate the property. (possible/certain/group-worlds-by merge
+    information across worlds but keep the world count, so they do not
+    count as splitting — but they do make a subquery non-world-local;
+    see :func:`is_world_local`.)
+    """
+    if query.choice_of or query.repair_by_key:
+        return True
+    for item in query.from_items:
+        if isinstance(item, SubqueryRef) and is_world_splitting(item.query, views):
+            return True
+        if isinstance(item, TableRef) and item.name in views:
+            if is_world_splitting(views[item.name], views):
+                return True
+    for sub in condition_subqueries(query.where):
+        if is_world_splitting(sub, views):
+            return True
+    return False
+
+
+def is_world_local(query: SelectQuery, views: dict[str, SelectQuery]) -> bool:
+    """True iff the query can be evaluated inside a single world.
+
+    World-local queries neither split worlds nor look across world
+    borders (possible/certain/group-worlds-by). Only world-local
+    subqueries may be correlated with outer rows.
+    """
+    if query.closing is not None or query.group_worlds_by is not None:
+        return False
+    if query.choice_of or query.repair_by_key:
+        return False
+    for item in query.from_items:
+        if isinstance(item, SubqueryRef) and not is_world_local(item.query, views):
+            return False
+        if isinstance(item, TableRef) and item.name in views:
+            if not is_world_local(views[item.name], views):
+                return False
+    for sub in condition_subqueries(query.where):
+        if not is_world_local(sub, views):
+            return False
+    return True

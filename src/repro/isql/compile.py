@@ -1,0 +1,216 @@
+"""Compilation of the I-SQL algebra fragment to world-set algebra.
+
+Section 4 defines world-set algebra as the algebra of the I-SQL
+fragment without SQL grouping and aggregation. This module implements
+that correspondence: :func:`compile_query` maps a parsed
+:class:`~repro.isql.ast.SelectQuery` of the fragment to a
+:class:`~repro.core.ast.WSAQuery` following the paper's order of
+evaluation — from-product, where, choice-of, repair-by-key,
+group-worlds-by, projection, possible/certain.
+
+The compiled query is used two ways: the test suite cross-validates the
+I-SQL engine against the Figure 3 semantics on paper scenarios, and a
+1↦1 compiled query can be handed to the Section 5 translators to run
+I-SQL on any relational engine (the paper's concluding vision).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.core import ast as wsa
+from repro.isql import ast
+from repro.relational.predicates import Comparison as RAComparison
+from repro.relational.predicates import Const, Predicate, conjunction
+from repro.relational.schema import Schema
+
+SchemaLike = dict[str, tuple[str, ...]]
+
+
+class FragmentError(EvaluationError):
+    """The query uses constructs outside the world-set algebra fragment."""
+
+
+def _qualified(alias: str, attr: str) -> str:
+    return f"{alias}.{attr.rsplit('.', 1)[-1]}"
+
+
+class _Compiler:
+    """Compiles one select query given the base-relation schemas."""
+
+    def __init__(self, schemas: SchemaLike, views: dict[str, ast.SelectQuery]) -> None:
+        self.schemas = dict(schemas)
+        self.views = dict(views or {})
+
+    # -- attribute resolution ------------------------------------------------------
+
+    @staticmethod
+    def _resolve(name: str, attrs: tuple[str, ...]) -> str:
+        qualifier, _, base = name.rpartition(".")
+        if qualifier:
+            if name in attrs:
+                return name
+            raise FragmentError(f"unknown attribute {name!r}")
+        matches = [a for a in attrs if a.rsplit(".", 1)[-1] == base]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise FragmentError(f"unknown attribute {name!r}")
+        raise FragmentError(f"ambiguous attribute {name!r}")
+
+    def _value_term(self, expr: ast.ValueExpr, attrs: tuple[str, ...]):
+        if isinstance(expr, ast.Column):
+            name = expr.display()
+            return self._resolve(name, attrs)
+        if isinstance(expr, ast.Literal):
+            return Const(expr.value)
+        raise FragmentError(
+            "only column references and literals are allowed in the "
+            "algebra fragment's conditions"
+        )
+
+    def _condition(self, cond: ast.Condition, attrs: tuple[str, ...]) -> Predicate:
+        if isinstance(cond, ast.Comparison):
+            return RAComparison(
+                self._value_term(cond.left, attrs),
+                cond.op,
+                self._value_term(cond.right, attrs),
+            )
+        if isinstance(cond, ast.BoolOp):
+            left = self._condition(cond.left, attrs)
+            right = self._condition(cond.right, attrs)
+            return (left & right) if cond.op == "and" else (left | right)
+        if isinstance(cond, ast.NotOp):
+            return ~self._condition(cond.operand, attrs)
+        raise FragmentError(
+            f"{type(cond).__name__} conditions are outside the algebra fragment"
+        )
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile(self, query: ast.SelectQuery) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """Compile to a WSA query plus its (unqualified) output attributes."""
+        if query.group_by or self._has_aggregates(query):
+            raise FragmentError(
+                "SQL grouping/aggregation is outside world-set algebra "
+                "(Section 4); use the engine instead"
+            )
+
+        # Step 1: the from-product, with alias-qualified attributes.
+        compiled: wsa.WSAQuery | None = None
+        attrs: tuple[str, ...] = ()
+        for item in query.from_items:
+            if isinstance(item, ast.TableRef) and item.name in self.views:
+                item = ast.SubqueryRef(self.views[item.name], item.alias)
+            if isinstance(item, ast.TableRef):
+                if item.name not in self.schemas:
+                    raise FragmentError(f"unknown relation {item.name!r}")
+                item_query: wsa.WSAQuery = wsa.rel(item.name)
+                item_attrs = self.schemas[item.name]
+            else:
+                item_query, item_attrs = self.compile(item.query)
+            mapping = {a: _qualified(item.alias, a) for a in item_attrs}
+            item_query = wsa.rename(mapping, item_query)
+            item_attrs = tuple(mapping[a] for a in item_attrs)
+            if compiled is None:
+                compiled, attrs = item_query, item_attrs
+            else:
+                compiled = wsa.product(compiled, item_query)
+                attrs = attrs + item_attrs
+
+        assert compiled is not None
+
+        # Step 2: the where condition.
+        if query.where is not None:
+            compiled = wsa.select(self._condition(query.where, attrs), compiled)
+
+        # Step 3: choice-of, repair-by-key, group-worlds-by.
+        if query.choice_of:
+            compiled = wsa.choice_of(
+                tuple(self._resolve(a, attrs) for a in query.choice_of), compiled
+            )
+        if query.repair_by_key:
+            compiled = wsa.repair_by_key(
+                tuple(self._resolve(a, attrs) for a in query.repair_by_key), compiled
+            )
+
+        # Step 4: projection and the closing constructs.
+        projection = self._projection(query, attrs)
+        output = tuple(out for out, _ in projection)
+        sources = tuple(src for _, src in projection)
+
+        if query.group_worlds_by is not None:
+            if query.group_worlds_by.attributes is None:
+                raise FragmentError(
+                    "group worlds by ⟨subquery⟩ is outside the algebra "
+                    "fragment; group on an attribute list instead"
+                )
+            if query.closing is None:
+                raise FragmentError("group worlds by requires possible/certain")
+            group = tuple(
+                self._resolve(a, attrs) for a in query.group_worlds_by.attributes
+            )
+            constructor = (
+                wsa.poss_group if query.closing == "possible" else wsa.cert_group
+            )
+            compiled = constructor(group, sources, compiled)
+        else:
+            compiled = wsa.project(sources, compiled)
+            if query.closing == "possible":
+                compiled = wsa.poss(compiled)
+            elif query.closing == "certain":
+                compiled = wsa.cert(compiled)
+
+        # Rename the qualified projection attributes to the output names.
+        mapping = {src: out for out, src in projection if src != out}
+        if mapping:
+            compiled = wsa.rename(mapping, compiled)
+        return compiled, output
+
+    def _projection(
+        self, query: ast.SelectQuery, attrs: tuple[str, ...]
+    ) -> list[tuple[str, str]]:
+        """(output name, qualified source) pairs for the select list."""
+        if isinstance(query.select_list, ast.Star):
+            pairs = []
+            seen: dict[str, int] = {}
+            for attr in attrs:
+                base = attr.rsplit(".", 1)[-1]
+                seen[base] = seen.get(base, 0) + 1
+            for attr in attrs:
+                base = attr.rsplit(".", 1)[-1]
+                pairs.append((base if seen[base] == 1 else attr, attr))
+            return pairs
+        pairs = []
+        for item in query.select_list:
+            if not isinstance(item.expression, ast.Column):
+                raise FragmentError(
+                    "the algebra fragment's select list may only contain columns"
+                )
+            source = self._resolve(item.expression.display(), attrs)
+            output = item.alias or item.expression.name
+            pairs.append((output, source))
+        return pairs
+
+    @staticmethod
+    def _has_aggregates(query: ast.SelectQuery) -> bool:
+        if isinstance(query.select_list, ast.Star):
+            return False
+        from repro.isql.engine import Engine
+
+        return any(
+            Engine._contains_aggregate(item.expression) for item in query.select_list
+        )
+
+
+def compile_query(
+    query: ast.SelectQuery,
+    schemas: SchemaLike | dict[str, Schema],
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> wsa.WSAQuery:
+    """Compile an algebra-fragment I-SQL query to world-set algebra."""
+    plain: SchemaLike = {
+        name: (schema.attributes if isinstance(schema, Schema) else tuple(schema))
+        for name, schema in schemas.items()
+    }
+    compiled, _ = _Compiler(plain, views or {}).compile(query)
+    return compiled

@@ -1,0 +1,123 @@
+"""I-SQL on top of a relational engine (the paper's concluding vision).
+
+Section 8 sketches the implementation route this module realizes: parse
+an I-SQL query of the algebra fragment, compile it to world-set algebra
+(Section 4), type it (Section 4.1), and — when it is
+complete-to-complete — translate it to a relational algebra query
+(Sections 5.2/5.3) that "can be evaluated in any relational database
+management system".
+
+:func:`explain` returns the whole pipeline as a structured report;
+:func:`run_via_translation` actually executes a 1↦1 fragment query via
+the §5.3 optimized relational query and returns the answer relation.
+The test suite keeps this route in agreement with the I-SQL engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TypingError
+from repro.core.ast import WSAQuery
+from repro.core.typing import is_complete_to_complete, query_type
+from repro.inline.optimized import optimized_ra_query
+from repro.inline.translate import conservative_ra_query
+from repro.isql import ast
+from repro.isql.compile import compile_query
+from repro.isql.parser import parse_query
+from repro.relational.algebra import RAExpr
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The compilation pipeline of one I-SQL query.
+
+    Attributes mirror the paper's layers: the parsed statement, the
+    world-set algebra query, its type, and — for 1↦1 queries — the two
+    relational algebra translations.
+    """
+
+    statement: ast.SelectQuery
+    algebra: WSAQuery
+    type: str
+    complete_to_complete: bool
+    relational_general: RAExpr | None
+    relational_optimized: RAExpr | None
+
+    def render(self) -> str:
+        """A human-readable multi-line report."""
+        lines = [
+            f"world-set algebra : {self.algebra.to_text()}",
+            f"type              : {self.type}",
+        ]
+        if self.complete_to_complete:
+            assert self.relational_optimized is not None
+            assert self.relational_general is not None
+            lines.append(
+                f"relational (§5.3) : {self.relational_optimized.to_text()}"
+            )
+            lines.append(
+                "relational (Fig.6): DAG of "
+                f"{self.relational_general.dag_size()} operators"
+            )
+        else:
+            lines.append(
+                "relational        : not 1↦1 — evaluate over an inlined "
+                "representation or the world-set semantics"
+            )
+        return "\n".join(lines)
+
+
+def explain(
+    text_or_query: str | ast.SelectQuery,
+    schemas: dict[str, tuple[str, ...]],
+    views: dict[str, ast.SelectQuery] | None = None,
+    assume_nonempty: bool = False,
+) -> Explanation:
+    """Compile an algebra-fragment I-SQL query through every layer."""
+    statement = (
+        parse_query(text_or_query)
+        if isinstance(text_or_query, str)
+        else text_or_query
+    )
+    algebra = compile_query(statement, schemas, views)
+    c2c = is_complete_to_complete(algebra)
+    general = conservative_ra_query(algebra, schemas) if c2c else None
+    optimized = (
+        optimized_ra_query(algebra, schemas, assume_nonempty=assume_nonempty)
+        if c2c
+        else None
+    )
+    return Explanation(
+        statement=statement,
+        algebra=algebra,
+        type=query_type(algebra),
+        complete_to_complete=c2c,
+        relational_general=general,
+        relational_optimized=optimized,
+    )
+
+
+def run_via_translation(
+    text_or_query: str | ast.SelectQuery,
+    database: Database,
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> Relation:
+    """Execute a 1↦1 fragment query through the optimized translation.
+
+    This is the paper's "one way to evaluate such queries in any
+    relational database engine": no world-set is ever materialized.
+    """
+    schemas = {
+        name: database.schema(name).attributes for name in database.names
+    }
+    report = explain(text_or_query, schemas, views)
+    if not report.complete_to_complete:
+        raise TypingError(
+            "only complete-to-complete (1↦1) queries can run purely "
+            f"relationally; this query has type {report.type}"
+        )
+    assert report.relational_optimized is not None
+    return report.relational_optimized.evaluate(database)

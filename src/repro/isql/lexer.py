@@ -1,0 +1,131 @@
+"""Tokenizer for I-SQL.
+
+Hand-rolled and line-aware; produces a flat token list the recursive
+descent parser consumes. Keywords are case-insensitive; identifiers
+keep their case. Both ``!=`` and ``<>`` denote inequality, and ``<-``
+is the materializing assignment arrow (the paper writes ``←``, which is
+accepted too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select",
+    "possible",
+    "certain",
+    "from",
+    "where",
+    "group",
+    "by",
+    "choice",
+    "of",
+    "repair",
+    "key",
+    "worlds",
+    "as",
+    "and",
+    "or",
+    "not",
+    "in",
+    "exists",
+    "create",
+    "view",
+    "insert",
+    "into",
+    "values",
+    "delete",
+    "update",
+    "set",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "avg",
+}
+
+SYMBOLS = (
+    "<=",
+    ">=",
+    "!=",
+    "<>",
+    "<-",
+    "←",
+    "(",
+    ")",
+    ",",
+    ".",
+    "*",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "/",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind, its text, and its source offset."""
+
+    kind: str  # "keyword" | "ident" | "number" | "string" | "symbol" | "eof"
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, raising :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if source.startswith("--", index):
+            newline = source.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = source.find("'", index + 1)
+            if end < 0:
+                raise ParseError("unterminated string literal", index)
+            tokens.append(Token("string", source[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch.isdigit():
+            start = index
+            while index < length and (source[index].isdigit() or source[index] == "."):
+                index += 1
+            # A trailing dot belongs to a qualified name, not the number.
+            text = source[start:index]
+            if text.endswith("."):
+                text = text[:-1]
+                index -= 1
+            tokens.append(Token("number", text, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            text = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, text, start))
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                text = "<-" if symbol == "←" else ("!=" if symbol == "<>" else symbol)
+                tokens.append(Token("symbol", text, index))
+                index += len(symbol)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", index)
+    tokens.append(Token("eof", "", length))
+    return tokens

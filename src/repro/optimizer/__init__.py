@@ -1,0 +1,29 @@
+"""Algebraic optimization of world-set algebra queries (Section 6)."""
+
+from repro.optimizer.cost import CostEstimate, compare, estimate
+from repro.optimizer.equivalences import (
+    DEFAULT_RULES,
+    FINALIZE_RULES,
+    RewriteRule,
+    cert_via_domain,
+    cert_via_poss,
+    default_rules,
+    poss_via_cert,
+)
+from repro.optimizer.rewriter import RewriteStep, Rewriter, optimize
+
+__all__ = [
+    "CostEstimate",
+    "DEFAULT_RULES",
+    "FINALIZE_RULES",
+    "RewriteRule",
+    "RewriteStep",
+    "Rewriter",
+    "cert_via_domain",
+    "cert_via_poss",
+    "compare",
+    "default_rules",
+    "estimate",
+    "optimize",
+    "poss_via_cert",
+]

@@ -1,0 +1,104 @@
+"""Relational algebra substrate: schemas, relations, predicates, RA ASTs.
+
+This package implements the complete-database machinery the paper builds
+on: the named perspective of the relational model (Section 4.1), set
+semantics, the six base operators plus derived join/division operators,
+and the padded left outer join of Remark 5.5.
+"""
+
+from repro.relational.algebra import (
+    Antijoin,
+    CopyAttr,
+    Difference,
+    Divide,
+    Intersection,
+    Literal,
+    NaturalJoin,
+    OuterJoinPad,
+    Product,
+    Project,
+    RAExpr,
+    Rename,
+    Select,
+    Semijoin,
+    Table,
+    ThetaJoin,
+    Union,
+    evaluate,
+)
+from repro.relational.database import Database
+from repro.relational.pad import PAD, PadConstant
+from repro.relational.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    FALSE,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+    conjunction,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    neq,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import (
+    ID_PREFIX,
+    Schema,
+    id_attribute,
+    is_id_attribute,
+    value_attribute,
+)
+from repro.relational.simplify import simplify
+
+__all__ = [
+    "Antijoin",
+    "And",
+    "Attr",
+    "Comparison",
+    "Const",
+    "CopyAttr",
+    "Database",
+    "Difference",
+    "Divide",
+    "FALSE",
+    "ID_PREFIX",
+    "Intersection",
+    "Literal",
+    "NaturalJoin",
+    "Not",
+    "Or",
+    "OuterJoinPad",
+    "PAD",
+    "PadConstant",
+    "Predicate",
+    "Product",
+    "Project",
+    "RAExpr",
+    "Relation",
+    "Rename",
+    "Schema",
+    "Select",
+    "Semijoin",
+    "Table",
+    "ThetaJoin",
+    "TRUE",
+    "Union",
+    "conjunction",
+    "eq",
+    "evaluate",
+    "ge",
+    "gt",
+    "id_attribute",
+    "is_id_attribute",
+    "le",
+    "lt",
+    "neq",
+    "simplify",
+    "value_attribute",
+]

@@ -1,0 +1,473 @@
+"""Relational algebra expressions: AST, schema inference, evaluation.
+
+This module gives relational algebra a first-class syntax so that the
+Figure 6 translation can *construct* relational queries (Theorem 5.7
+produces a query, not just an answer). Expressions are immutable and
+hashable; evaluation against a :class:`Database` memoizes shared
+subexpressions, which the translation produces in abundance (the world
+table expression is referenced by several operands).
+
+The node set covers the six base operators (σ, π, δ, ×, ∪, −), the
+derived operators (∩, ⋈, θ-join, ⋉, antijoin, ÷), the padded left outer
+join ``=⊳⊲`` of Remark 5.5, literal relations, and the column-copy
+projection ``π_{*, A as B}`` used by the choice-of translation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.database import Database
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+SchemaEnv = Mapping[str, Schema]
+
+
+class RAExpr:
+    """Abstract base class of relational algebra expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["RAExpr", ...]:
+        """Immediate subexpressions."""
+        raise NotImplementedError
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        """Infer the output schema under the table-schema environment."""
+        raise NotImplementedError
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        raise NotImplementedError
+
+    def evaluate(self, db: Database) -> Relation:
+        """Evaluate against *db*, memoizing shared subexpressions."""
+        return self._evaluate(db, {})
+
+    def _cached(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        key = id(self)
+        hit = cache.get(key)
+        if hit is None:
+            hit = self._evaluate(db, cache)
+            cache[key] = hit
+        return hit
+
+    # -- analysis -------------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of operator nodes, counting shared subtrees repeatedly."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def dag_size(self) -> int:
+        """Number of *distinct* operator nodes (shared subtrees once).
+
+        This is the faithful metric for Theorem 5.7's polynomial-size
+        claim: Figure 6's translation is written with let-bound
+        intermediate expressions, i.e. as a DAG, and evaluation memoizes
+        shared nodes accordingly.
+        """
+        seen: set[int] = set()
+
+        def visit(node: "RAExpr") -> int:
+            if id(node) in seen:
+                return 0
+            seen.add(id(node))
+            return 1 + sum(visit(child) for child in node.children())
+
+        return visit(self)
+
+    def depth(self) -> int:
+        """Height of the expression tree."""
+        kids = self.children()
+        return 1 + (max(child.depth() for child in kids) if kids else 0)
+
+    def tables(self) -> frozenset[str]:
+        """Names of base tables referenced anywhere in the expression."""
+        found: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Table):
+                found.add(node.name)
+        return frozenset(found)
+
+    def walk(self) -> Iterator["RAExpr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def to_text(self) -> str:
+        """A compact textbook-style rendering (π, σ, δ, ⋈, ÷ …)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.to_text()
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+class Table(RAExpr):
+    """Reference to a database relation by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return ()
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise SchemaError(f"unknown table {self.name!r}") from None
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return db[self.name]
+
+    def to_text(self) -> str:
+        return self.name
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+class Literal(RAExpr):
+    """A constant relation embedded in the query (e.g. W = {⟨⟩})."""
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return ()
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self.relation.schema
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.relation
+
+    def to_text(self) -> str:
+        if not self.relation.schema and len(self.relation) == 1:
+            return "{⟨⟩}"
+        return f"lit[{len(self.relation)}]"
+
+    def _key(self) -> tuple:
+        return (self.relation,)
+
+
+class Select(RAExpr):
+    """Selection σ_φ(q)."""
+
+    __slots__ = ("predicate", "child")
+
+    def __init__(self, predicate: Predicate, child: RAExpr) -> None:
+        self.predicate = predicate
+        self.child = child
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.child,)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        schema = self.child.schema(env)
+        for attr in self.predicate.attributes():
+            schema.index(attr)
+        return schema
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.child._cached(db, cache).select(self.predicate)
+
+    def to_text(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.predicate, self.child)
+
+
+class Project(RAExpr):
+    """Projection π_U(q)."""
+
+    __slots__ = ("attributes", "child")
+
+    def __init__(self, attributes: Sequence[str], child: RAExpr) -> None:
+        self.attributes = tuple(attributes)
+        self.child = child
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.child,)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self.child.schema(env).project(self.attributes)
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.child._cached(db, cache).project(self.attributes)
+
+    def to_text(self) -> str:
+        return f"π[{','.join(self.attributes)}]({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.attributes, self.child)
+
+
+class Rename(RAExpr):
+    """Renaming δ_{old→new}(q)."""
+
+    __slots__ = ("mapping", "child")
+
+    def __init__(self, mapping: Mapping[str, str], child: RAExpr) -> None:
+        self.mapping = dict(mapping)
+        self.child = child
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.child,)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self.child.schema(env).rename(self.mapping)
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.child._cached(db, cache).rename(self.mapping)
+
+    def to_text(self) -> str:
+        renames = ",".join(f"{old}→{new}" for old, new in sorted(self.mapping.items()))
+        return f"δ[{renames}]({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (tuple(sorted(self.mapping.items())), self.child)
+
+
+class CopyAttr(RAExpr):
+    """The column-copy projection π_{*, source as target}(q) of §5.2."""
+
+    __slots__ = ("source", "target", "child")
+
+    def __init__(self, source: str, target: str, child: RAExpr) -> None:
+        self.source = source
+        self.target = target
+        self.child = child
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.child,)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        schema = self.child.schema(env)
+        schema.index(self.source)
+        return Schema(schema.attributes + (self.target,))
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.child._cached(db, cache).copy_attribute(self.source, self.target)
+
+    def to_text(self) -> str:
+        return f"π[*,{self.source} as {self.target}]({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.source, self.target, self.child)
+
+
+class _Binary(RAExpr):
+    """Shared plumbing for binary operator nodes."""
+
+    __slots__ = ("left", "right")
+    symbol = "?"
+
+    def __init__(self, left: RAExpr, right: RAExpr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} {self.symbol} {self.right.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def _same_attrs_schema(self, env: SchemaEnv, op: str) -> Schema:
+        left = self.left.schema(env)
+        right = self.right.schema(env)
+        if not left.same_attributes(right):
+            raise SchemaError(
+                f"{op} operands must have equal attribute sets; "
+                f"got {list(left)} vs {list(right)}"
+            )
+        return left
+
+
+class Union(_Binary):
+    """Set union q₁ ∪ q₂."""
+
+    __slots__ = ()
+    symbol = "∪"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self._same_attrs_schema(env, "union")
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).union(self.right._cached(db, cache))
+
+
+class Difference(_Binary):
+    """Set difference q₁ − q₂."""
+
+    __slots__ = ()
+    symbol = "−"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self._same_attrs_schema(env, "difference")
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).difference(self.right._cached(db, cache))
+
+
+class Intersection(_Binary):
+    """Set intersection q₁ ∩ q₂."""
+
+    __slots__ = ()
+    symbol = "∩"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self._same_attrs_schema(env, "intersection")
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).intersection(self.right._cached(db, cache))
+
+
+class Product(_Binary):
+    """Cartesian product q₁ × q₂ (disjoint attribute sets)."""
+
+    __slots__ = ()
+    symbol = "×"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        return self.left.schema(env).concat(self.right.schema(env))
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).product(self.right._cached(db, cache))
+
+
+class NaturalJoin(_Binary):
+    """Natural join q₁ ⋈ q₂ on all shared attribute names."""
+
+    __slots__ = ()
+    symbol = "⋈"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        left = self.left.schema(env)
+        right = self.right.schema(env)
+        shared = left.as_set() & right.as_set()
+        return Schema(left.attributes + tuple(a for a in right if a not in shared))
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).natural_join(self.right._cached(db, cache))
+
+
+class ThetaJoin(RAExpr):
+    """θ-join q₁ ⋈_φ q₂ over disjoint schemas."""
+
+    __slots__ = ("predicate", "left", "right")
+
+    def __init__(self, predicate: Predicate, left: RAExpr, right: RAExpr) -> None:
+        self.predicate = predicate
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        schema = self.left.schema(env).concat(self.right.schema(env))
+        for attr in self.predicate.attributes():
+            schema.index(attr)
+        return schema
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).theta_join(
+            self.right._cached(db, cache), self.predicate
+        )
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} ⋈[{self.predicate!r}] {self.right.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.predicate, self.left, self.right)
+
+
+class Semijoin(_Binary):
+    """Left semijoin q₁ ⋉ q₂ on shared attributes."""
+
+    __slots__ = ()
+    symbol = "⋉"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        self.right.schema(env)
+        return self.left.schema(env)
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).semijoin(self.right._cached(db, cache))
+
+
+class Antijoin(_Binary):
+    """Left antijoin q₁ ▷ q₂ on shared attributes (not-exists)."""
+
+    __slots__ = ()
+    symbol = "▷"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        self.right.schema(env)
+        return self.left.schema(env)
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).antijoin(self.right._cached(db, cache))
+
+
+class Divide(_Binary):
+    """Relational division q₁ ÷ q₂."""
+
+    __slots__ = ()
+    symbol = "÷"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        left = self.left.schema(env)
+        right = self.right.schema(env)
+        if not right.as_set() <= left.as_set():
+            raise SchemaError("division requires divisor attributes ⊆ dividend attributes")
+        return left.drop(right.attributes)
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).divide(self.right._cached(db, cache))
+
+
+class OuterJoinPad(_Binary):
+    """The padded left outer join q₁ =⊳⊲ q₂ of Remark 5.5."""
+
+    __slots__ = ()
+    symbol = "=⊳⊲"
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        left = self.left.schema(env)
+        right = self.right.schema(env)
+        shared = left.as_set() & right.as_set()
+        return Schema(left.attributes + tuple(a for a in right if a not in shared))
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        return self.left._cached(db, cache).left_outer_join_padded(
+            self.right._cached(db, cache)
+        )
+
+
+def evaluate(expression: RAExpr, db: Database) -> Relation:
+    """Evaluate *expression* against *db* (module-level convenience)."""
+    if not isinstance(expression, RAExpr):
+        raise EvaluationError(f"not a relational algebra expression: {expression!r}")
+    return expression.evaluate(db)

@@ -1,0 +1,98 @@
+"""A complete (single-world) database: a named collection of relations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class Database:
+    """An immutable mapping from relation names to :class:`Relation`s.
+
+    Name order is preserved: the paper's world-set schemas
+    ⟨R₁, …, R_k⟩ are ordered, and the inlined representation appends
+    the query answer as R_{k+1}.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[tuple[str, Relation]] = ()) -> None:
+        items = relations.items() if isinstance(relations, Mapping) else relations
+        store: dict[str, Relation] = {}
+        for name, relation in items:
+            if name in store:
+                raise SchemaError(f"duplicate relation name {name!r}")
+            store[name] = relation
+        self._relations = store
+
+    # -- container protocol -------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; database has {list(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(r)}]" for n, r in self._relations.items())
+        return f"Database({parts})"
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Relation names, in declaration order."""
+        return tuple(self._relations)
+
+    def schema(self, name: str) -> Schema:
+        """The schema of relation *name*."""
+        return self[name].schema
+
+    def schemas(self) -> dict[str, Schema]:
+        """Mapping of every relation name to its schema."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def items(self) -> Iterator[tuple[str, Relation]]:
+        return iter(self._relations.items())
+
+    def active_domain(self) -> frozenset[object]:
+        """All values appearing in any relation of the database."""
+        values: set[object] = set()
+        for relation in self._relations.values():
+            values |= relation.active_domain()
+        return frozenset(values)
+
+    # -- construction of derived databases ------------------------------------
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """A new database (of the same class) with *name* added or replaced."""
+        store = dict(self._relations)
+        store[name] = relation
+        return type(self)(store)
+
+    def without_relation(self, name: str) -> "Database":
+        """A new database (of the same class) with *name* removed."""
+        self[name]
+        return type(self)((n, r) for n, r in self._relations.items() if n != name)

@@ -1,0 +1,405 @@
+"""Selection predicates for relational algebra and world-set algebra.
+
+Predicates form a small boolean AST over comparisons of attributes and
+constants. They are immutable, hashable (so rewrite rules can compare
+query trees structurally), and compile to fast row-level closures via
+:meth:`Predicate.bind`.
+
+Supported comparisons mirror what the paper's examples need:
+``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=`` between two attributes or an
+attribute and a constant, plus ``and`` / ``or`` / ``not`` and the
+constants ``TRUE`` / ``FALSE``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NEGATED: dict[str, str] = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+class Term:
+    """A comparison operand: an attribute reference or a constant."""
+
+    __slots__ = ()
+
+    def attributes(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Term":
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        """Compile to a function from a row tuple to the operand's value."""
+        raise NotImplementedError
+
+
+class Attr(Term):
+    """Reference to an attribute by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Attr":
+        return Attr(mapping.get(self.name, self.name))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        position = schema.index(self.name)
+        return lambda row: row[position]
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Attr) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Attr", self.name))
+
+
+class Const(Term):
+    """A literal constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Const":
+        return self
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and type(other.value) is type(self.value)
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Const", type(self.value).__name__, self.value))
+
+
+def _as_term(operand: object) -> Term:
+    """Coerce a raw operand to a Term (strings name attributes)."""
+    if isinstance(operand, Term):
+        return operand
+    if isinstance(operand, str):
+        return Attr(operand)
+    return Const(operand)
+
+
+class Predicate:
+    """Abstract base class for selection conditions."""
+
+    __slots__ = ()
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names referenced by the predicate."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Predicate":
+        """The predicate with attributes renamed by *mapping* (old → new)."""
+        raise NotImplementedError
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        """Compile to a fast row-level boolean function for *schema*."""
+        raise NotImplementedError
+
+    def negate(self) -> "Predicate":
+        """Logical negation, pushed through comparisons where possible."""
+        return Not(self)
+
+    # Convenience connectives so predicates compose fluently.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return self.negate()
+
+    def equality_pairs(self) -> list[tuple[str, str]] | None:
+        """If the predicate is a conjunction of attr=attr equalities,
+        return the list of pairs; otherwise None.
+
+        Used by the evaluator to pick hash-based equi-joins.
+        """
+        return None
+
+
+class Comparison(Predicate):
+    """A binary comparison between two terms."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: object, op: str, right: object) -> None:
+        if op not in _OPS:
+            raise SchemaError(f"unknown comparison operator {op!r}")
+        self.left = _as_term(left)
+        self.op = op
+        self.right = _as_term(right)
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(self.left.rename(mapping), self.op, self.right.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        compare = _OPS[self.op]
+
+        def check(row: tuple) -> bool:
+            try:
+                return bool(compare(left(row), right(row)))
+            except TypeError:
+                # Mixed-type ordering comparisons are false rather than
+                # an error, matching SQL's typed-comparison failure mode
+                # under a best-effort Python value model.
+                return False
+
+        return check
+
+    def negate(self) -> "Comparison":
+        return Comparison(self.left, _NEGATED[self.op], self.right)
+
+    def equality_pairs(self) -> list[tuple[str, str]] | None:
+        if self.op == "=" and isinstance(self.left, Attr) and isinstance(self.right, Attr):
+            return [(self.left.name, self.right.name)]
+        return None
+
+    def __repr__(self) -> str:
+        return f"{self.left!r}{self.op}{self.right!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.op, self.right))
+
+
+class And(Predicate):
+    """Conjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "And":
+        return And(self.left.rename(mapping), self.right.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: left(row) and right(row)
+
+    def negate(self) -> Predicate:
+        return Or(self.left.negate(), self.right.negate())
+
+    def equality_pairs(self) -> list[tuple[str, str]] | None:
+        left = self.left.equality_pairs()
+        right = self.right.equality_pairs()
+        if left is None or right is None:
+            return None
+        return left + right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and other.left == self.left and other.right == self.right
+
+    def __hash__(self) -> int:
+        return hash(("And", self.left, self.right))
+
+
+class Or(Predicate):
+    """Disjunction of two predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(self.left.rename(mapping), self.right.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: left(row) or right(row)
+
+    def negate(self) -> Predicate:
+        return And(self.left.negate(), self.right.negate())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and other.left == self.left and other.right == self.right
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.left, self.right))
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Not":
+        return Not(self.operand.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        inner = self.operand.bind(schema)
+        return lambda row: not inner(row)
+
+    def negate(self) -> Predicate:
+        return self.operand
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and other.operand == self.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+
+class _Boolean(Predicate):
+    """A constant predicate (TRUE or FALSE)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        self.value = value
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "_Boolean":
+        return self
+
+    def bind(self, schema: Schema) -> Callable[[tuple], bool]:
+        value = self.value
+        return lambda row: value
+
+    def negate(self) -> "_Boolean":
+        return FALSE if self.value else TRUE
+
+    def equality_pairs(self) -> list[tuple[str, str]] | None:
+        return [] if self.value else None
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Boolean) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("_Boolean", self.value))
+
+
+#: The always-true predicate.
+TRUE = _Boolean(True)
+#: The always-false predicate.
+FALSE = _Boolean(False)
+
+
+# -- convenience constructors ---------------------------------------------
+
+
+def eq(left: object, right: object) -> Comparison:
+    """``left = right`` (strings are attribute names)."""
+    return Comparison(left, "=", right)
+
+
+def neq(left: object, right: object) -> Comparison:
+    """``left != right`` (strings are attribute names)."""
+    return Comparison(left, "!=", right)
+
+
+def lt(left: object, right: object) -> Comparison:
+    """``left < right``."""
+    return Comparison(left, "<", right)
+
+
+def le(left: object, right: object) -> Comparison:
+    """``left <= right``."""
+    return Comparison(left, "<=", right)
+
+
+def gt(left: object, right: object) -> Comparison:
+    """``left > right``."""
+    return Comparison(left, ">", right)
+
+
+def ge(left: object, right: object) -> Comparison:
+    """``left >= right``."""
+    return Comparison(left, ">=", right)
+
+
+def conjunction(predicates: list[Predicate]) -> Predicate:
+    """The conjunction of all *predicates* (TRUE when empty)."""
+    result: Predicate = TRUE
+    for index, predicate in enumerate(predicates):
+        result = predicate if index == 0 else And(result, predicate)
+    return result

@@ -1,0 +1,350 @@
+"""Immutable set-semantics relations and their algebraic operations.
+
+A :class:`Relation` is a schema plus a frozen set of rows (value tuples
+aligned positionally with the schema). All operations are pure and
+return new relations. The operation set covers the six base operators of
+Section 4.1 (σ, π, δ, ×, ∪, −), the derived operators ∩, ⋈ and ÷, the
+semijoin, and the padded left outer join ``=⊳⊲`` of Remark 5.5.
+
+Joins on explicit equality conditions and the natural join use hash
+partitioning so that the translation of Figure 6 (which is join-heavy on
+world-id attributes) evaluates in near-linear time per operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.pad import PAD, row_sort_key
+from repro.relational.predicates import Predicate
+from repro.relational.schema import Schema
+
+Row = tuple
+
+
+def _coerce_row(schema: Schema, row: object) -> Row:
+    """Normalize a dict / sequence row to a positional tuple."""
+    if isinstance(row, dict):
+        missing = [a for a in schema if a not in row]
+        if missing:
+            raise SchemaError(f"row {row!r} is missing attributes {missing}")
+        extra = [key for key in row if key not in schema]
+        if extra:
+            raise SchemaError(f"row {row!r} has unknown attributes {extra}")
+        return tuple(row[a] for a in schema)
+    values = tuple(row)  # type: ignore[arg-type]
+    if len(values) != len(schema):
+        raise SchemaError(
+            f"row {values!r} has {len(values)} values; schema {list(schema)} "
+            f"expects {len(schema)}"
+        )
+    return values
+
+
+class Relation:
+    """An immutable relation: a schema and a frozen set of rows."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema | Sequence[str], rows: Iterable[object] = ()) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.rows: frozenset[Row] = frozenset(_coerce_row(schema, row) for row in rows)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def empty(attributes: Sequence[str]) -> "Relation":
+        """An empty relation over *attributes*."""
+        return Relation(attributes, ())
+
+    @staticmethod
+    def unit() -> "Relation":
+        """The nullary relation {⟨⟩}: one empty tuple, zero attributes.
+
+        This is the world table ``W = {⟨⟩}`` that encodes a single
+        (complete) world in Definition 5.1.
+        """
+        return Relation((), ((),))
+
+    @staticmethod
+    def from_named_rows(rows: Iterable[Mapping[str, object]], attributes: Sequence[str]) -> "Relation":
+        """Build a relation from dict rows with an explicit attribute order."""
+        return Relation(attributes, rows)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same attribute set and same tuples.
+
+        Attribute *order* is irrelevant (named perspective): the rows of
+        the other relation are compared after aligning its columns.
+        """
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema == other.schema:
+            return self.rows == other.rows
+        if not self.schema.same_attributes(other.schema):
+            return False
+        aligned = other._reordered(self.schema.attributes)
+        return self.rows == aligned.rows
+
+    def __hash__(self) -> int:
+        canonical_attrs = tuple(sorted(self.schema.attributes))
+        canonical = self._reordered(canonical_attrs) if canonical_attrs != self.schema.attributes else self
+        return hash((canonical_attrs, canonical.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.schema)!r}, {len(self.rows)} rows)"
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic display order."""
+        return sorted(self.rows, key=row_sort_key)
+
+    def named_rows(self) -> list[dict[str, object]]:
+        """Rows as attribute-name dictionaries (deterministic order)."""
+        attrs = self.schema.attributes
+        return [dict(zip(attrs, row)) for row in self.sorted_rows()]
+
+    def _reordered(self, attributes: Sequence[str]) -> "Relation":
+        """The same relation with columns in the given order."""
+        positions = self.schema.indices(attributes)
+        return Relation(attributes, (tuple(row[p] for p in positions) for row in self.rows))
+
+    # -- unary operators -------------------------------------------------------
+
+    def select(self, predicate: Predicate) -> "Relation":
+        """Selection σ_φ: keep rows satisfying *predicate*."""
+        check = predicate.bind(self.schema)
+        return Relation(self.schema, (row for row in self.rows if check(row)))
+
+    def select_values(self, assignment: Mapping[str, object]) -> "Relation":
+        """Selection σ_{A=v,...} for a constant assignment (fast path)."""
+        positions = [(self.schema.index(a), v) for a, v in assignment.items()]
+        return Relation(
+            self.schema,
+            (row for row in self.rows if all(row[p] == v for p, v in positions)),
+        )
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection π_U with set-semantics deduplication."""
+        schema = self.schema.project(attributes)
+        positions = self.schema.indices(attributes)
+        return Relation(schema, (tuple(row[p] for p in positions) for row in self.rows))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Renaming δ_{old→new}; value tuples are unchanged."""
+        return Relation(self.schema.rename(mapping), self.rows)
+
+    def extend(self, attribute: str, function: Callable[[dict[str, object]], object]) -> "Relation":
+        """Append a computed attribute (used by I-SQL expressions).
+
+        *function* receives the row as a dict and returns the new value.
+        Not part of world-set algebra proper; the Figure 6 translation
+        only ever copies existing attributes (see :meth:`copy_attribute`).
+        """
+        if attribute in self.schema:
+            raise SchemaError(f"attribute {attribute!r} already exists")
+        attrs = self.schema.attributes
+        schema = Schema(attrs + (attribute,))
+        rows = (row + (function(dict(zip(attrs, row))),) for row in self.rows)
+        return Relation(schema, rows)
+
+    def copy_attribute(self, source: str, target: str) -> "Relation":
+        """π_{*, source as target}: duplicate a column under a new name.
+
+        This is the ``π_{*,Dep as V_Dep}`` step of Example 5.6.
+        """
+        if target in self.schema:
+            raise SchemaError(f"attribute {target!r} already exists")
+        position = self.schema.index(source)
+        schema = Schema(self.schema.attributes + (target,))
+        return Relation(schema, (row + (row[position],) for row in self.rows))
+
+    # -- binary operators --------------------------------------------------------
+
+    def _require_union_compatible(self, other: "Relation", op: str) -> "Relation":
+        if not self.schema.same_attributes(other.schema):
+            raise SchemaError(
+                f"{op} operands must have equal attribute sets; "
+                f"got {list(self.schema)} vs {list(other.schema)}"
+            )
+        return other._reordered(self.schema.attributes)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union ∪ (named perspective: equal attribute sets)."""
+        other = self._require_union_compatible(other, "union")
+        return Relation(self.schema, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference −."""
+        other = self._require_union_compatible(other, "difference")
+        return Relation(self.schema, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection ∩."""
+        other = self._require_union_compatible(other, "intersection")
+        return Relation(self.schema, self.rows & other.rows)
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product ×; attribute sets must be disjoint."""
+        schema = self.schema.concat(other.schema)
+        rows = (left + right for left in self.rows for right in other.rows)
+        return Relation(schema, rows)
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """Natural join ⋈ on all shared attribute names (hash-based)."""
+        common = self.schema.common(other.schema)
+        if not common:
+            return self.product(other)
+        left_key = self.schema.indices(common)
+        right_key = other.schema.indices(common)
+        right_rest = [i for i, a in enumerate(other.schema) if a not in common]
+        schema = Schema(self.schema.attributes + tuple(other.schema[i] for i in right_rest))
+
+        buckets: dict[tuple, list[Row]] = {}
+        for row in other.rows:
+            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+
+        def generate() -> Iterator[Row]:
+            for left in self.rows:
+                key = tuple(left[i] for i in left_key)
+                for right in buckets.get(key, ()):  # pragma: no branch
+                    yield left + tuple(right[i] for i in right_rest)
+
+        return Relation(schema, generate())
+
+    def equi_join(self, other: "Relation", pairs: Sequence[tuple[str, str]]) -> "Relation":
+        """θ-join on a conjunction of cross-schema equalities (hash-based).
+
+        *pairs* lists ``(left_attr, right_attr)`` equalities. Attribute
+        sets must be disjoint (rename first, as the paper does with its
+        positional qualifiers like ``1.CID``).
+        """
+        schema = self.schema.concat(other.schema)
+        if not pairs:
+            return self.product(other)
+        left_key = self.schema.indices(a for a, _ in pairs)
+        right_key = other.schema.indices(b for _, b in pairs)
+
+        buckets: dict[tuple, list[Row]] = {}
+        for row in other.rows:
+            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+
+        def generate() -> Iterator[Row]:
+            for left in self.rows:
+                key = tuple(left[i] for i in left_key)
+                for right in buckets.get(key, ()):  # pragma: no branch
+                    yield left + right
+
+        return Relation(schema, generate())
+
+    def theta_join(self, other: "Relation", predicate: Predicate) -> "Relation":
+        """θ-join with an arbitrary predicate over the concatenated schema."""
+        pairs = predicate.equality_pairs()
+        if pairs is not None:
+            left_attrs = self.schema.as_set()
+            oriented: list[tuple[str, str]] = []
+            for a, b in pairs:
+                if a in left_attrs and b not in left_attrs:
+                    oriented.append((a, b))
+                elif b in left_attrs and a not in left_attrs:
+                    oriented.append((b, a))
+                else:
+                    oriented = []
+                    break
+            if oriented or not pairs:
+                return self.equi_join(other, oriented)
+        return self.product(other).select(predicate)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Left semijoin ⋉ on shared attributes: rows with a join partner."""
+        common = self.schema.common(other.schema)
+        if not common:
+            return self if other.rows else Relation(self.schema)
+        left_key = self.schema.indices(common)
+        right_keys = {tuple(row[i] for i in other.schema.indices(common)) for row in other.rows}
+        return Relation(
+            self.schema,
+            (row for row in self.rows if tuple(row[i] for i in left_key) in right_keys),
+        )
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Left antijoin: rows of self with no join partner in other."""
+        common = self.schema.common(other.schema)
+        if not common:
+            return Relation(self.schema) if other.rows else self
+        left_key = self.schema.indices(common)
+        right_keys = {tuple(row[i] for i in other.schema.indices(common)) for row in other.rows}
+        return Relation(
+            self.schema,
+            (row for row in self.rows if tuple(row[i] for i in left_key) not in right_keys),
+        )
+
+    def divide(self, other: "Relation") -> "Relation":
+        """Relational division ÷.
+
+        ``R[D ∪ V] ÷ S[V]`` returns the D-tuples d such that ⟨d, v⟩ ∈ R
+        for *every* v ∈ S. Division by an empty relation returns the
+        projection π_D(R) (the universally quantified condition is
+        vacuously true), matching the classical definition
+        π_D(R) − π_D((π_D(R) × S) − R).
+        """
+        divisor_attrs = other.schema.as_set()
+        if not divisor_attrs <= self.schema.as_set():
+            raise SchemaError(
+                f"division requires divisor attributes {sorted(divisor_attrs)} "
+                f"⊆ dividend attributes {list(self.schema)}"
+            )
+        keep = tuple(a for a in self.schema if a not in divisor_attrs)
+        quotient_positions = self.schema.indices(keep)
+        divisor_positions = self.schema.indices(other.schema.attributes)
+        required = frozenset(other.rows)
+
+        seen: dict[tuple, set[tuple]] = {}
+        for row in self.rows:
+            d = tuple(row[p] for p in quotient_positions)
+            seen.setdefault(d, set()).add(tuple(row[p] for p in divisor_positions))
+        return Relation(keep, (d for d, vs in seen.items() if required <= vs))
+
+    def left_outer_join_padded(self, other: "Relation") -> "Relation":
+        """The modified left outer join ``=⊳⊲`` of Remark 5.5.
+
+        ``R =⊳⊲ S = (R ⋈ S) ∪ ((R − R ⋉ S) × {⟨c,…,c⟩})`` — dangling
+        R-rows are padded with the special constant :data:`PAD` on S's
+        non-shared attributes.
+        """
+        joined = self.natural_join(other)
+        dangling = self.difference(self.semijoin(other))
+        pad_attrs = tuple(a for a in other.schema if a not in self.schema.as_set())
+        pad_row = (PAD,) * len(pad_attrs)
+        # joined's schema is self's attributes followed by pad_attrs.
+        padded = Relation(
+            joined.schema,
+            (row + pad_row for row in dangling._reordered(self.schema.attributes).rows),
+        )
+        return joined.union(padded)
+
+    # -- helpers used by the world-set machinery ---------------------------------
+
+    def distinct_values(self, attributes: Sequence[str]) -> list[tuple]:
+        """Distinct value combinations of *attributes*, in stable order."""
+        return self.project(attributes).sorted_rows()
+
+    def active_domain(self) -> frozenset[object]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(value for row in self.rows for value in row)

@@ -1,0 +1,171 @@
+"""Relation schemas for the named perspective of the relational model.
+
+A :class:`Schema` is an ordered sequence of distinct attribute names.
+Following Section 4.1 of the paper we use the *named* perspective:
+set operations require equal attribute sets, products require disjoint
+ones, and attributes are addressed by name rather than position.
+
+World-id attributes (Section 5.1) live in the same namespace but are
+marked with the ``$`` prefix so that they can never collide with value
+attributes; :func:`is_id_attribute` and :func:`id_attribute` implement
+the convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+#: Prefix that marks world-identifier attributes in inlined representations.
+ID_PREFIX = "$"
+
+
+def id_attribute(name: str) -> str:
+    """Return the world-id attribute derived from value attribute *name*.
+
+    This realizes the ``V_B`` naming of Section 5.2: the choice-of
+    translation extends a table with id attributes that copy the choice
+    attributes, e.g. ``Dep`` gives rise to ``$Dep``.
+    """
+    if name.startswith(ID_PREFIX):
+        raise SchemaError(f"attribute {name!r} is already a world-id attribute")
+    return ID_PREFIX + name
+
+
+def is_id_attribute(name: str) -> bool:
+    """Return True iff *name* follows the world-id naming convention."""
+    return name.startswith(ID_PREFIX)
+
+
+def value_attribute(name: str) -> str:
+    """Strip the id prefix from a world-id attribute name."""
+    if not is_id_attribute(name):
+        raise SchemaError(f"attribute {name!r} is not a world-id attribute")
+    return name[len(ID_PREFIX) :]
+
+
+class Schema:
+    """An ordered list of distinct attribute names.
+
+    Schemas are immutable and hashable. Order matters only for display
+    and for positional row storage; all algebraic comparisons are by
+    attribute *set*, per the named perspective.
+    """
+
+    __slots__ = ("_attrs", "_index")
+
+    def __init__(self, attributes: Iterable[str]) -> None:
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for position, name in enumerate(attrs):
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid attribute name: {name!r}")
+            if name in index:
+                raise SchemaError(f"duplicate attribute name: {name!r}")
+            index[name] = position
+        self._attrs = attrs
+        self._index = index
+
+    # -- basic container protocol -----------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return self._attrs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, position: int) -> str:
+        return self._attrs[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attrs)!r})"
+
+    # -- queries ------------------------------------------------------------
+
+    def index(self, name: str) -> int:
+        """Return the position of attribute *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self._attrs)}"
+            ) from None
+
+    def indices(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Return positions for each of *names*, in the order given."""
+        return tuple(self.index(name) for name in names)
+
+    def as_set(self) -> frozenset[str]:
+        """The attribute names as a frozen set."""
+        return frozenset(self._attrs)
+
+    def same_attributes(self, other: "Schema") -> bool:
+        """True iff both schemas have the same attribute *set*."""
+        return self.as_set() == other.as_set()
+
+    def disjoint_from(self, other: "Schema") -> bool:
+        """True iff the two schemas share no attribute name."""
+        return not (self.as_set() & other.as_set())
+
+    def common(self, other: "Schema") -> tuple[str, ...]:
+        """Attributes present in both schemas, in this schema's order."""
+        other_set = other.as_set()
+        return tuple(a for a in self._attrs if a in other_set)
+
+    @property
+    def id_attributes(self) -> tuple[str, ...]:
+        """The world-id attributes (``$``-prefixed), in order."""
+        return tuple(a for a in self._attrs if is_id_attribute(a))
+
+    @property
+    def value_attributes(self) -> tuple[str, ...]:
+        """The data attributes (non-``$``-prefixed), in order."""
+        return tuple(a for a in self._attrs if not is_id_attribute(a))
+
+    # -- construction of derived schemas ------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema of a projection onto *names* (validates membership)."""
+        names = tuple(names)
+        for name in names:
+            self.index(name)
+        return Schema(names)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Schema after the renaming δ given by *mapping* (old → new)."""
+        for old in mapping:
+            self.index(old)
+        return Schema(mapping.get(a, a) for a in self._attrs)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a product; requires disjoint attribute sets."""
+        if not self.disjoint_from(other):
+            shared = sorted(self.as_set() & other.as_set())
+            raise SchemaError(
+                f"product operands share attributes {shared}; rename first"
+            )
+        return Schema(self._attrs + other._attrs)
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema without the attributes in *names*."""
+        dropped = set(names)
+        for name in dropped:
+            self.index(name)
+        return Schema(a for a in self._attrs if a not in dropped)

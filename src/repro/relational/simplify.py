@@ -1,0 +1,190 @@
+"""Schema-aware simplification of relational algebra expressions.
+
+The optimized complete-to-complete translation (Section 5.3) produces
+queries littered with column copies, renamings and pass-through
+projections. This module normalizes them so that, e.g., the translation
+of ``cert(π_Arr(χ_Dep(HFlights)))`` prints as the paper's Example 5.8:
+
+    π_{Arr,Dep}(HFlights) ÷ π_{Dep}(HFlights)
+
+The rules are standard algebraic identities (projection cascades,
+rename fusion and hoisting, identity elimination, unit-table join
+elimination, rename-invariant division) applied bottom-up to fixpoint.
+All rules strictly reduce size or hoist renamings upward, so the
+rewriting terminates.
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import (
+    CopyAttr,
+    Divide,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RAExpr,
+    Rename,
+    SchemaEnv,
+    Select,
+    ThetaJoin,
+)
+from repro.relational.predicates import TRUE
+
+
+def _is_unit_literal(node: RAExpr) -> bool:
+    """True for the literal nullary world table {⟨⟩}."""
+    return (
+        isinstance(node, Literal)
+        and len(node.relation.schema) == 0
+        and len(node.relation) == 1
+    )
+
+
+def _rebuild(node: RAExpr, children: list[RAExpr]) -> RAExpr:
+    """Clone *node* with new children (used by the bottom-up driver)."""
+    if isinstance(node, Select):
+        return Select(node.predicate, children[0])
+    if isinstance(node, Project):
+        return Project(node.attributes, children[0])
+    if isinstance(node, Rename):
+        return Rename(node.mapping, children[0])
+    if isinstance(node, CopyAttr):
+        return CopyAttr(node.source, node.target, children[0])
+    if isinstance(node, ThetaJoin):
+        return ThetaJoin(node.predicate, children[0], children[1])
+    if children:
+        return type(node)(*children)  # type: ignore[call-arg]
+    return node
+
+
+def _simplify_project(node: Project, env: SchemaEnv) -> RAExpr | None:
+    child = node.child
+    # π_A(q) = q when A is exactly q's schema in order.
+    if node.attributes == child.schema(env).attributes:
+        return child
+    # Projection cascade: π_A(π_B(q)) = π_A(q).
+    if isinstance(child, Project):
+        return Project(node.attributes, child.child)
+    # π over a column copy: drop or turn into a rename.
+    if isinstance(child, CopyAttr):
+        if child.target not in node.attributes:
+            return Project(node.attributes, child.child)
+        if child.source not in node.attributes:
+            pre_image = tuple(
+                child.source if a == child.target else a for a in node.attributes
+            )
+            return Rename({child.source: child.target}, Project(pre_image, child.child))
+    # Hoist renames out of projections: π_A(δ_m(q)) = δ_m'(π_A'(q)).
+    if isinstance(child, Rename):
+        inverse = {new: old for old, new in child.mapping.items()}
+        pre_image = tuple(inverse.get(a, a) for a in node.attributes)
+        restricted = {
+            old: new for old, new in child.mapping.items() if new in node.attributes
+        }
+        return Rename(restricted, Project(pre_image, child.child))
+    return None
+
+
+def _simplify_rename(node: Rename, env: SchemaEnv) -> RAExpr | None:
+    mapping = {old: new for old, new in node.mapping.items() if old != new}
+    if not mapping:
+        return node.child
+    if len(mapping) != len(node.mapping):
+        return Rename(mapping, node.child)
+    # Rename fusion: δ_m2(δ_m1(q)) = δ_{m2∘m1}(q).
+    if isinstance(node.child, Rename):
+        inner = node.child
+        composed = dict(inner.mapping)
+        consumed = set()
+        for old, new in composed.items():
+            if new in mapping:
+                composed[old] = mapping[new]
+                consumed.add(new)
+        for old, new in mapping.items():
+            if old not in consumed:
+                composed[old] = new
+        return Rename(composed, inner.child)
+    return None
+
+
+def _simplify_select(node: Select, env: SchemaEnv) -> RAExpr | None:
+    if node.predicate == TRUE:
+        return node.child
+    # Hoist renames out of selections: σ_φ(δ_m(q)) = δ_m(σ_φ'(q)).
+    if isinstance(node.child, Rename):
+        inner = node.child
+        inverse = {new: old for old, new in inner.mapping.items()}
+        return Rename(inner.mapping, Select(node.predicate.rename(inverse), inner.child))
+    return None
+
+
+def _simplify_divide(node: Divide, env: SchemaEnv) -> RAExpr | None:
+    left, right = node.left, node.right
+    # Division is invariant under a shared renaming of the divisor
+    # attributes: δ_m(q1) ÷ δ_m(q2) = δ_m'(q1 ÷ q2) with m' the
+    # restriction of the dividend renaming to quotient attributes.
+    if isinstance(left, Rename) and isinstance(right, Rename):
+        divisor_attrs = right.child.schema(env).as_set()
+        right_map = right.mapping
+        left_map = left.mapping
+        agree = all(left_map.get(a, a) == right_map.get(a, a) for a in divisor_attrs)
+        if agree:
+            quotient_map = {
+                old: new
+                for old, new in left_map.items()
+                if old not in divisor_attrs
+            }
+            return Rename(quotient_map, Divide(left.child, right.child))
+    # A dividend-only renaming not touching divisor attributes hoists out.
+    if isinstance(left, Rename):
+        divisor_attrs = right.schema(env).as_set()
+        touches = set(left.mapping) | set(left.mapping.values())
+        if not (touches & divisor_attrs):
+            return Rename(left.mapping, Divide(left.child, right))
+    return None
+
+
+def _simplify_joins(node: RAExpr, env: SchemaEnv) -> RAExpr | None:
+    if isinstance(node, (Product, NaturalJoin)):
+        if _is_unit_literal(node.left):
+            return node.right
+        if _is_unit_literal(node.right):
+            return node.left
+    if isinstance(node, ThetaJoin) and node.predicate == TRUE:
+        return Product(node.left, node.right)
+    return None
+
+
+def _simplify_node(node: RAExpr, env: SchemaEnv) -> RAExpr | None:
+    if isinstance(node, Project):
+        return _simplify_project(node, env)
+    if isinstance(node, Rename):
+        return _simplify_rename(node, env)
+    if isinstance(node, Select):
+        return _simplify_select(node, env)
+    if isinstance(node, Divide):
+        return _simplify_divide(node, env)
+    return _simplify_joins(node, env)
+
+
+def simplify(expression: RAExpr, env: SchemaEnv, max_rounds: int = 100) -> RAExpr:
+    """Simplify *expression* bottom-up to fixpoint under *env* schemas."""
+
+    def walk(node: RAExpr) -> RAExpr:
+        children = [walk(child) for child in node.children()]
+        if children and tuple(children) != node.children():
+            node = _rebuild(node, children)
+        rewritten = _simplify_node(node, env)
+        while rewritten is not None:
+            node = rewritten
+            rewritten = _simplify_node(node, env)
+        return node
+
+    previous = expression
+    for _ in range(max_rounds):
+        current = walk(previous)
+        if current == previous:
+            return current
+        previous = current
+    return previous

@@ -1,0 +1,18 @@
+"""ASCII rendering of relations, world-sets, representations, and plans."""
+
+from repro.render.plans import render_plan, render_ra_plan
+from repro.render.tables import (
+    render_database,
+    render_relation,
+    render_representation,
+    render_world_set,
+)
+
+__all__ = [
+    "render_database",
+    "render_plan",
+    "render_ra_plan",
+    "render_relation",
+    "render_representation",
+    "render_world_set",
+]

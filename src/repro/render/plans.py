@@ -1,0 +1,99 @@
+"""Operator-tree rendering for query plans (Figures 8 and 9).
+
+Renders world-set algebra queries and relational algebra expressions as
+indented ASCII trees, the vertical format the paper uses for the
+q1/q1′ and q2/q2′ plan pairs.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import (
+    Cert,
+    CertGroup,
+    ChoiceOf,
+    Poss,
+    PossGroup,
+    Project,
+    Rel,
+    Rename,
+    RepairByKey,
+    Select,
+    ThetaJoin,
+    WSAQuery,
+    _GroupWorldsBy,
+)
+from repro.relational.algebra import RAExpr
+
+
+def _wsa_label(node: WSAQuery) -> str:
+    if isinstance(node, Rel):
+        return node.name
+    if isinstance(node, Select):
+        return f"σ[{node.predicate!r}]"
+    if isinstance(node, Project):
+        return f"π[{','.join(node.attrs)}]"
+    if isinstance(node, Rename):
+        renames = ",".join(f"{o}→{n}" for o, n in sorted(node.mapping.items()))
+        return f"δ[{renames}]"
+    if isinstance(node, ChoiceOf):
+        return f"χ[{','.join(node.attrs)}]"
+    if isinstance(node, _GroupWorldsBy):
+        kind = "p" if isinstance(node, PossGroup) else "c"
+        return f"{kind}γ[{','.join(node.proj_attrs) or '∅'}; by {','.join(node.group_attrs) or '∅'}]"
+    if isinstance(node, Poss):
+        return "poss"
+    if isinstance(node, Cert):
+        return "cert"
+    if isinstance(node, ThetaJoin):
+        return f"⋈[{node.predicate!r}]"
+    if isinstance(node, RepairByKey):
+        return f"repair[{','.join(node.attrs)}]"
+    symbol = getattr(node, "symbol", None)
+    return symbol if symbol else type(node).__name__
+
+
+def render_plan(query: WSAQuery, title: str | None = None) -> str:
+    """Render a world-set algebra plan as an indented tree."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+
+    def walk(node: WSAQuery, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + _wsa_label(node))
+        children = node.children()
+        child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(query, "", True, True)
+    return "\n".join(lines)
+
+
+def _ra_label(node: RAExpr) -> str:
+    text = node.to_text()
+    head, _, _ = text.partition("(")
+    symbol = getattr(node, "symbol", None)
+    if symbol and not node.children():
+        return text
+    if symbol and len(node.children()) == 2:
+        return symbol
+    return head if head else text
+
+
+def render_ra_plan(expression: RAExpr, title: str | None = None) -> str:
+    """Render a relational algebra expression as an indented tree."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+
+    def walk(node: RAExpr, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + _ra_label(node))
+        children = node.children()
+        child_prefix = prefix + ("" if is_root else ("   " if is_last else "│  "))
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(expression, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""ULDB (Trio) substrate: x-relations and the TriQL fragment of Remark 4.6."""
+
+from repro.uldb.triql import (
+    horizontal_exists,
+    remark_46_instances,
+    remark_46_query,
+    select_where_horizontal,
+)
+from repro.uldb.xrelation import XRelation, XTuple
+
+__all__ = [
+    "XRelation",
+    "XTuple",
+    "horizontal_exists",
+    "remark_46_instances",
+    "remark_46_query",
+    "select_where_horizontal",
+]

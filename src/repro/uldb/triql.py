@@ -1,0 +1,82 @@
+"""The TriQL fragment of Remark 4.6: horizontal subqueries.
+
+TriQL's *horizontal selection* ``[select … from R r1, R r2 where …]``
+is evaluated **across the alternatives of each x-tuple** — an x-tuple
+is selected iff the bracketed subquery is non-empty over its own
+alternatives. Remark 4.6 uses the query
+
+    select * from R where
+    exists [select * from R r1, R r2 where r1.A <> r2.A];
+
+("keep x-tuples with at least two distinct alternatives") to show that
+TriQL is *not generic*: two ULDBs representing the same world-set can
+produce answers representing different world-sets, because the query
+reads the representation (how alternatives are packaged into x-tuples),
+not the represented worlds.
+
+We implement exactly this query shape: a horizontal exists-condition
+comparing pairs of alternatives of one x-tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.uldb.xrelation import XRelation, XTuple
+
+#: A predicate over a pair of alternatives (each a plain value tuple).
+PairPredicate = Callable[[tuple, tuple], bool]
+
+
+def horizontal_exists(x_tuple: XTuple, predicate: PairPredicate) -> bool:
+    """Evaluate ``exists [select * from R r1, R r2 where φ(r1, r2)]``.
+
+    The horizontal subquery ranges over the alternatives of the given
+    x-tuple only (that is TriQL's horizontal scoping).
+    """
+    return any(
+        predicate(first, second)
+        for first in x_tuple.alternatives
+        for second in x_tuple.alternatives
+    )
+
+
+def select_where_horizontal(
+    relation: XRelation, predicate: PairPredicate
+) -> XRelation:
+    """``select * from R where exists [… where φ(r1, r2)]``.
+
+    Returns a new x-relation with the x-tuples whose alternative pairs
+    satisfy the predicate; alternatives, maybe markers and lineage are
+    preserved (the answer of a TriQL query keeps the x-tuple structure).
+    """
+    selected = [
+        x_tuple
+        for x_tuple in relation.tuples
+        if horizontal_exists(x_tuple, predicate)
+    ]
+    return XRelation(relation.name, relation.attributes, selected)
+
+
+def remark_46_query(relation: XRelation) -> XRelation:
+    """The exact query of Remark 4.6 over a unary x-relation R(A)."""
+    return select_where_horizontal(
+        relation, lambda first, second: first[0] != second[0]
+    )
+
+
+def remark_46_instances() -> tuple[XRelation, XRelation]:
+    """The ULDBs U₁ and U₂ of Remark 4.6.
+
+    U₁: one maybe x-tuple t1 with alternatives (1) and (2), no lineage.
+    U₂: two maybe x-tuples t1 = (1) and t2 = (2) whose lineage points to
+    the first and second alternative, respectively, of an external
+    x-tuple s1. Both represent the same three worlds {1}, {2}, {}.
+    """
+    u1 = XRelation("R", ("A",))
+    u1.add(XTuple("t1", [(1,), (2,)], maybe=True))
+
+    u2 = XRelation("R", ("A",))
+    u2.add(XTuple("t1", [(1,)], maybe=True, lineage=[{("s1", 0)}]))
+    u2.add(XTuple("t2", [(2,)], maybe=True, lineage=[{("s1", 1)}]))
+    return u1, u2

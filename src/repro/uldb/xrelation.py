@@ -1,0 +1,148 @@
+"""ULDBs: x-relations with alternatives, '?' (maybe), and lineage.
+
+This is the fragment of the Trio/ULDB model [Benjelloun et al., VLDB
+2006] that Remark 4.6 of the paper needs:
+
+* an *x-tuple* has an identifier, one or more *alternatives* (ordinary
+  tuples), an optional *maybe* marker ``?``, and per-alternative
+  *lineage* — a set of ``(external tuple id, alternative index)`` pairs
+  it depends on;
+* a possible world chooses one alternative for every external id
+  referenced anywhere, includes each x-tuple's alternative whose
+  lineage is satisfied by that choice, and may drop maybe-tuples;
+* alternatives of one x-tuple are mutually exclusive, and x-tuples
+  whose lineage points to different alternatives of the same external
+  tuple never co-occur.
+
+:func:`XRelation.possible_worlds` enumerates the represented world-set
+as plain :class:`~repro.relational.relation.Relation` instances, which
+is what the genericity comparison of Remark 4.6 is stated over.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+Lineage = frozenset[tuple[str, int]]
+
+
+class XTuple:
+    """One x-tuple: alternatives, a maybe marker, per-alternative lineage."""
+
+    __slots__ = ("tid", "alternatives", "maybe", "lineage")
+
+    def __init__(
+        self,
+        tid: str,
+        alternatives: Sequence[tuple],
+        maybe: bool = False,
+        lineage: Sequence[Iterable[tuple[str, int]]] | None = None,
+    ) -> None:
+        if not alternatives:
+            raise SchemaError(f"x-tuple {tid!r} needs at least one alternative")
+        self.tid = tid
+        self.alternatives = tuple(tuple(a) for a in alternatives)
+        self.maybe = maybe
+        if lineage is None:
+            lineage = [frozenset() for _ in self.alternatives]
+        if len(lineage) != len(self.alternatives):
+            raise SchemaError(
+                f"x-tuple {tid!r}: lineage must align with alternatives"
+            )
+        self.lineage: tuple[Lineage, ...] = tuple(frozenset(l) for l in lineage)
+
+    def __repr__(self) -> str:
+        alts = " || ".join(repr(a) for a in self.alternatives)
+        marker = " ?" if self.maybe else ""
+        return f"{self.tid}: {alts}{marker}"
+
+
+class XRelation:
+    """An uncertain relation: a schema plus a list of x-tuples."""
+
+    __slots__ = ("name", "attributes", "tuples")
+
+    def __init__(
+        self, name: str, attributes: Sequence[str], tuples: Sequence[XTuple] = ()
+    ) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.tuples = list(tuples)
+        for x_tuple in self.tuples:
+            for alternative in x_tuple.alternatives:
+                if len(alternative) != len(self.attributes):
+                    raise SchemaError(
+                        f"alternative {alternative!r} of {x_tuple.tid!r} does "
+                        f"not match schema {list(self.attributes)}"
+                    )
+
+    def add(self, x_tuple: XTuple) -> None:
+        """Append an x-tuple (validating its arity)."""
+        XRelation(self.name, self.attributes, [x_tuple])  # arity check
+        self.tuples.append(x_tuple)
+
+    # -- possible worlds ------------------------------------------------------------
+
+    def external_ids(self) -> list[str]:
+        """External tuple ids referenced by any lineage, in stable order."""
+        own = {x.tid for x in self.tuples}
+        seen: list[str] = []
+        for x_tuple in self.tuples:
+            for lineage in x_tuple.lineage:
+                for tid, _ in sorted(lineage):
+                    if tid not in own and tid not in seen:
+                        seen.append(tid)
+        return seen
+
+    def _external_arity(self, tid: str) -> int:
+        """Number of alternatives an external id is assumed to have."""
+        indices = {
+            index
+            for x_tuple in self.tuples
+            for lineage in x_tuple.lineage
+            for t, index in lineage
+            if t == tid
+        }
+        return max(indices) + 1 if indices else 1
+
+    def possible_worlds(self) -> WorldSet:
+        """Enumerate the represented set of possible worlds.
+
+        Choices: one alternative per external id, one alternative (or
+        absence, if maybe) per x-tuple consistent with its lineage.
+        """
+        externals = self.external_ids()
+        arities = [self._external_arity(tid) for tid in externals]
+        worlds: set[World] = set()
+        for choice in itertools.product(*(range(a) for a in arities)):
+            external_choice = dict(zip(externals, choice))
+            options: list[list[tuple | None]] = []
+            for x_tuple in self.tuples:
+                viable: list[tuple | None] = [
+                    alternative
+                    for alternative, lineage in zip(
+                        x_tuple.alternatives, x_tuple.lineage
+                    )
+                    if all(
+                        external_choice.get(tid, index) == index
+                        for tid, index in lineage
+                    )
+                ]
+                if x_tuple.maybe or not viable:
+                    viable.append(None)
+                options.append(viable)
+            for selection in itertools.product(*options):
+                rows = [row for row in selection if row is not None]
+                worlds.add(
+                    World.of({self.name: Relation(self.attributes, rows)})
+                )
+        return WorldSet(worlds)
+
+    def __repr__(self) -> str:
+        return f"XRelation({self.name}, {len(self.tuples)} x-tuples)"

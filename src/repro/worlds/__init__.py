@@ -1,0 +1,19 @@
+"""World-set data model: worlds, world-sets, isomorphism, genericity."""
+
+from repro.worlds.isomorphism import (
+    apply_bijection,
+    are_isomorphic,
+    check_generic,
+    find_isomorphism,
+)
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+__all__ = [
+    "World",
+    "WorldSet",
+    "apply_bijection",
+    "are_isomorphic",
+    "check_generic",
+    "find_isomorphism",
+]

@@ -1,0 +1,138 @@
+"""World-set isomorphism and genericity (Definitions 4.3 and 4.4).
+
+Two world-sets A and A' are isomorphic under a bijection
+θ : dom(A) → dom(A') iff θ maps A's worlds exactly onto A''s worlds.
+A query q is *generic* iff A ≅_θ A' implies q(A) ≅_θ q(A').
+
+:func:`find_isomorphism` searches for such a bijection with
+profile-based pruning; :func:`check_generic` is the Proposition 4.5 /
+Remark 4.6 test harness used by the genericity test suites for both
+world-set algebra (generic) and TriQL on ULDBs (not generic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Mapping
+
+from repro.relational.pad import sort_key
+from repro.relational.relation import Relation
+from repro.worlds.world import World
+from repro.worlds.worldset import WorldSet
+
+Bijection = Mapping[object, object]
+
+
+def apply_bijection(world_set: WorldSet, theta: Bijection) -> WorldSet:
+    """Apply the domain bijection θ to every value of every world.
+
+    Values missing from θ are kept unchanged, which lets callers pass
+    partial maps for domains that are only partially renamed.
+    """
+
+    def map_world(world: World) -> World:
+        return World(
+            (
+                name,
+                Relation(
+                    world[name].schema,
+                    (tuple(theta.get(v, v) for v in row) for row in world[name].rows),
+                ),
+            )
+            for name in world.names
+        )
+
+    return WorldSet(map_world(world) for world in world_set.worlds)
+
+
+def _value_profile(world_set: WorldSet) -> dict[object, tuple]:
+    """A θ-invariant fingerprint for each domain value.
+
+    For every value we count, per (relation, column), how often it
+    occurs in each world, and aggregate the per-world counts into a
+    sorted multiset. Any isomorphism must map values to values with
+    identical profiles, which prunes the backtracking search hard.
+    """
+    per_value: dict[object, Counter] = {}
+    for world in world_set.worlds:
+        world_key: dict[object, Counter] = {}
+        for name in world.names:
+            relation = world[name]
+            for row in relation.rows:
+                for column, value in enumerate(row):
+                    world_key.setdefault(value, Counter())[(name, column)] += 1
+        for value, counts in world_key.items():
+            per_value.setdefault(value, Counter())[
+                tuple(sorted(counts.items()))
+            ] += 1
+    return {
+        value: tuple(sorted(profile.items(), key=str))
+        for value, profile in per_value.items()
+    }
+
+
+def find_isomorphism(a: WorldSet, b: WorldSet) -> dict[object, object] | None:
+    """Find θ with a ≅_θ b, or None if the world-sets are not isomorphic."""
+    if a.signature != b.signature or len(a) != len(b):
+        return None
+    dom_a = sorted(a.active_domain(), key=sort_key)
+    dom_b = sorted(b.active_domain(), key=sort_key)
+    if len(dom_a) != len(dom_b):
+        return None
+    profile_a = _value_profile(a)
+    profile_b = _value_profile(b)
+
+    candidates: dict[object, list[object]] = {}
+    for value in dom_a:
+        matches = [w for w in dom_b if profile_b[w] == profile_a[value]]
+        if not matches:
+            return None
+        candidates[value] = matches
+
+    order = sorted(dom_a, key=lambda v: (len(candidates[v]), sort_key(v)))
+    assignment: dict[object, object] = {}
+    used: set[object] = set()
+
+    def backtrack(position: int) -> bool:
+        if position == len(order):
+            return apply_bijection(a, assignment) == b
+        value = order[position]
+        for target in candidates[value]:
+            if target in used:
+                continue
+            assignment[value] = target
+            used.add(target)
+            if backtrack(position + 1):
+                return True
+            del assignment[value]
+            used.remove(target)
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def are_isomorphic(a: WorldSet, b: WorldSet) -> bool:
+    """True iff some bijection θ witnesses a ≅_θ b (Definition 4.3)."""
+    return find_isomorphism(a, b) is not None
+
+
+def check_generic(
+    query: Callable[[WorldSet], WorldSet],
+    world_set: WorldSet,
+    theta: Bijection,
+) -> bool:
+    """Check Definition 4.4 for one instance: does θ commute with *query*?
+
+    Returns True iff q(θ(A)) ≅ q(A) under the same θ. The bijection must
+    be injective on the world-set's active domain.
+    """
+    domain = world_set.active_domain()
+    image = [theta.get(v, v) for v in domain]
+    if len(set(image)) != len(image):
+        raise ValueError("theta must be injective on the active domain")
+    mapped_input = apply_bijection(world_set, theta)
+    answer_then_map = apply_bijection(query(world_set), theta)
+    map_then_answer = query(mapped_input)
+    return answer_then_map == map_then_answer

@@ -1,0 +1,67 @@
+"""A possible world: a complete database instance over a fixed schema.
+
+The paper treats a world as a tuple of relations ⟨R₁, …, R_k⟩ over a
+schema Σ. We reuse :class:`repro.relational.Database` (which preserves
+name order) and add the world-specific helpers the semantics needs:
+schema signatures, prefix restriction (for the binary-operator world
+matching of Figure 3), and answer-relation access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class World(Database):
+    """One possible world. Immutable and hashable."""
+
+    __slots__ = ()
+
+    @staticmethod
+    def of(relations: Mapping[str, Relation] | Iterable[tuple[str, Relation]]) -> "World":
+        """Build a world from (name, relation) pairs."""
+        return World(relations)
+
+    def signature(self) -> tuple[tuple[str, Schema], ...]:
+        """The world's schema: ordered (name, schema) pairs."""
+        return tuple((name, self[name].schema) for name in self.names)
+
+    def restrict(self, names: Iterable[str]) -> "World":
+        """The world restricted to a prefix/subset of its relations.
+
+        Figure 3's binary operators combine worlds "that agree on the
+        relations R₁, …, R_k"; agreement is checked on this restriction.
+        """
+        names = tuple(names)
+        return World((name, self[name]) for name in names)
+
+    def base(self) -> "World":
+        """All relations except the last (the ⟨R₁,…,R_k⟩ prefix)."""
+        return self.restrict(self.names[:-1])
+
+    def answer(self) -> Relation:
+        """The last relation R_{k+1} — the query answer in this world."""
+        names = self.names
+        if not names:
+            raise SchemaError("world has no relations")
+        return self[names[-1]]
+
+    def extend(self, name: str, relation: Relation) -> "World":
+        """The world with a fresh relation appended as R_{k+1}."""
+        if name in self:
+            raise SchemaError(f"relation {name!r} already exists in world")
+        return World(tuple(self.items()) + ((name, relation),))
+
+    def replace_answer(self, relation: Relation) -> "World":
+        """The world with its last relation replaced."""
+        names = self.names
+        if not names:
+            raise SchemaError("world has no relations")
+        return World(
+            tuple((n, self[n]) for n in names[:-1]) + ((names[-1], relation),)
+        )

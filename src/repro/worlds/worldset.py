@@ -1,0 +1,188 @@
+"""World-sets: finite sets of possible worlds over a common schema.
+
+A :class:`WorldSet` is the paper's set of possible worlds
+A = {I₁, …, I_n}. World-sets are set-based (Section 3 fixes set
+semantics), so two worlds that become equal after an operation collapse
+into one — this is exactly what makes 1↦1 queries produce singleton
+world-sets (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.worlds.world import World
+
+
+class WorldSet:
+    """An immutable set of worlds sharing one schema.
+
+    The empty world-set is permitted (it is representable by an empty
+    world table, Definition 5.1); its schema is remembered so that
+    operators can still type-check against it.
+    """
+
+    __slots__ = ("worlds", "_signature")
+
+    def __init__(
+        self,
+        worlds: Iterable[World],
+        schema: tuple[tuple[str, Schema], ...] | None = None,
+    ) -> None:
+        frozen = frozenset(worlds)
+        signatures = {world.signature() for world in frozen}
+        if len(signatures) > 1:
+            raise SchemaError(
+                "worlds of a world-set must share one schema; got "
+                + " vs ".join(str([n for n, _ in s]) for s in signatures)
+            )
+        if signatures:
+            inferred = next(iter(signatures))
+            if schema is not None and schema != inferred:
+                raise SchemaError(
+                    f"declared schema {schema} does not match worlds' {inferred}"
+                )
+            schema = inferred
+        elif schema is None:
+            schema = ()
+        self.worlds = frozen
+        self._signature = schema
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def single(world: World) -> "WorldSet":
+        """The singleton world-set {A} of a complete database."""
+        return WorldSet((world,))
+
+    @staticmethod
+    def empty(schema: tuple[tuple[str, Schema], ...] = ()) -> "WorldSet":
+        """The empty world-set (no possible world at all)."""
+        return WorldSet((), schema)
+
+    # -- container protocol -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[World]:
+        return iter(self.worlds)
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __contains__(self, world: object) -> bool:
+        return world in self.worlds
+
+    @staticmethod
+    def _canonical_signature(
+        signature: tuple[tuple[str, Schema], ...]
+    ) -> tuple[tuple[str, frozenset[str]], ...]:
+        """Signature up to attribute order (the named perspective)."""
+        return tuple((name, schema.as_set()) for name, schema in signature)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorldSet):
+            return NotImplemented
+        return self.worlds == other.worlds and self._canonical_signature(
+            self._signature
+        ) == self._canonical_signature(other._signature)
+
+    def __hash__(self) -> int:
+        return hash((self.worlds, self._canonical_signature(self._signature)))
+
+    def __repr__(self) -> str:
+        names = [name for name, _ in self._signature]
+        return f"WorldSet({len(self.worlds)} worlds over {names})"
+
+    # -- schema ---------------------------------------------------------------------
+
+    @property
+    def signature(self) -> tuple[tuple[str, Schema], ...]:
+        """Ordered (relation name, schema) pairs shared by all worlds."""
+        return self._signature
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """The relation names R₁, …, R_k of the shared schema."""
+        return tuple(name for name, _ in self._signature)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True iff the world-set contains exactly one world."""
+        return len(self.worlds) == 1
+
+    def the_world(self) -> World:
+        """The unique world of a singleton world-set."""
+        if not self.is_singleton:
+            raise SchemaError(
+                f"expected a singleton world-set, got {len(self.worlds)} worlds"
+            )
+        return next(iter(self.worlds))
+
+    def fresh_name(self, stem: str = "Q") -> str:
+        """A relation name not used by the schema (for query answers)."""
+        taken = set(self.relation_names)
+        if stem not in taken:
+            return stem
+        counter = 1
+        while f"{stem}{counter}" in taken:
+            counter += 1
+        return f"{stem}{counter}"
+
+    # -- transformation helpers used by the semantics --------------------------------
+
+    def map_worlds(self, function: Callable[[World], World]) -> "WorldSet":
+        """Apply *function* to every world (set semantics may collapse)."""
+        return WorldSet(function(world) for world in self.worlds)
+
+    def extend_each(self, name: str, function: Callable[[World], Relation]) -> "WorldSet":
+        """Append relation *name* computed per world by *function*."""
+        return WorldSet(world.extend(name, function(world)) for world in self.worlds)
+
+    def instances(self, name: str) -> list[Relation]:
+        """All instances of relation *name* across worlds (deduplicated)."""
+        return list({world[name] for world in self.worlds})
+
+    def possible(self, name: str) -> Relation:
+        """Union of relation *name* over all worlds (the `poss` closure)."""
+        schema = self._schema_of(name)
+        rows: set[tuple] = set()
+        for world in self.worlds:
+            rows |= world[name]._reordered(schema.attributes).rows
+        return Relation(schema, rows)
+
+    def certain(self, name: str) -> Relation:
+        """Intersection of relation *name* over all worlds (`cert`)."""
+        schema = self._schema_of(name)
+        rows: set[tuple] | None = None
+        for world in self.worlds:
+            world_rows = world[name]._reordered(schema.attributes).rows
+            rows = set(world_rows) if rows is None else rows & world_rows
+        return Relation(schema, rows or ())
+
+    def _schema_of(self, name: str) -> Schema:
+        for rel_name, schema in self._signature:
+            if rel_name == name:
+                return schema
+        raise SchemaError(f"unknown relation {name!r} in world-set schema")
+
+    def active_domain(self) -> frozenset[object]:
+        """All values appearing in any relation of any world."""
+        values: set[object] = set()
+        for world in self.worlds:
+            values |= world.active_domain()
+        return frozenset(values)
+
+    def sorted_worlds(self) -> list[World]:
+        """Worlds in a deterministic display order."""
+
+        def key(world: World) -> tuple:
+            return tuple(
+                tuple(world[name].sorted_rows()) for name in world.names
+            )
+
+        try:
+            return sorted(self.worlds, key=key)
+        except TypeError:
+            return sorted(self.worlds, key=lambda w: str(key(w)))

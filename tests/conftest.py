@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's example relations and world-sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import paper_company, paper_flights
+from repro.relational import Database, Relation
+from repro.worlds import World, WorldSet
+
+
+@pytest.fixture
+def flights() -> Relation:
+    """Figure 2 (a): the five-row Flights relation."""
+    return paper_flights()
+
+
+@pytest.fixture
+def flights_db(flights: Relation) -> Database:
+    return Database({"Flights": flights})
+
+
+@pytest.fixture
+def flights_ws(flights: Relation) -> WorldSet:
+    """The singleton world-set over Figure 2 (a)."""
+    return WorldSet.single(World.of({"Flights": flights}))
+
+
+@pytest.fixture
+def hflights_db(flights: Relation) -> Database:
+    """The trip-planning view HFlights (all departures are hometowns)."""
+    return Database({"HFlights": flights})
+
+
+@pytest.fixture
+def company_ws() -> WorldSet:
+    """The Section 2 company acquisition database as a world-set."""
+    company_emp, emp_skills = paper_company()
+    return WorldSet.single(
+        World.of({"Company_Emp": company_emp, "Emp_Skills": emp_skills})
+    )
+
+
+@pytest.fixture
+def figure2b_worlds(flights: Relation) -> WorldSet:
+    """Figure 2 (b): the three worlds created by choice-of on Dep."""
+    worlds = []
+    for dep in ("FRA", "PAR", "PHL"):
+        rows = [row for row in flights.rows if row[0] == dep]
+        worlds.append(World.of({"Flights": Relation(("Dep", "Arr"), rows)}))
+    return WorldSet(worlds)
+
+
+@pytest.fixture
+def figure5_db() -> Database:
+    """Figure 5 (a): relations R(A, B) and S(C, D)."""
+    r = Relation(("A", "B"), [(1, 2), (2, 3), (2, 4), (3, 2)])
+    s = Relation(("C", "D"), [(2, 3), (4, 5)])
+    return Database({"R": r, "S": s})

@@ -1,0 +1,122 @@
+"""World-set algebra AST: validation, structure, desugaring."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.core import ast as wsa
+from repro.relational import Schema, eq, Const
+
+ENV = {"R": Schema(("A", "B")), "S": Schema(("B", "C"))}
+
+
+class TestAttributeInference:
+    def test_rel(self):
+        assert wsa.rel("R").attributes(ENV) == ("A", "B")
+
+    def test_rel_unknown(self):
+        with pytest.raises(SchemaError):
+            wsa.rel("Z").attributes(ENV)
+
+    def test_select_validates_predicate(self):
+        with pytest.raises(SchemaError):
+            wsa.select(eq("Z", Const(1)), wsa.rel("R")).attributes(ENV)
+
+    def test_project(self):
+        assert wsa.project("A", wsa.rel("R")).attributes(ENV) == ("A",)
+        with pytest.raises(SchemaError):
+            wsa.project(("A", "A"), wsa.rel("R")).attributes(ENV)
+        with pytest.raises(SchemaError):
+            wsa.project("Z", wsa.rel("R")).attributes(ENV)
+
+    def test_empty_projection_is_legal(self):
+        assert wsa.project((), wsa.rel("R")).attributes(ENV) == ()
+
+    def test_rename(self):
+        assert wsa.rename({"A": "X"}, wsa.rel("R")).attributes(ENV) == ("X", "B")
+
+    def test_product_requires_disjoint(self):
+        with pytest.raises(SchemaError, match="share"):
+            wsa.product(wsa.rel("R"), wsa.rel("S")).attributes(ENV)
+
+    def test_set_ops_require_equal_attrs(self):
+        with pytest.raises(SchemaError):
+            wsa.union(wsa.rel("R"), wsa.rel("S")).attributes(ENV)
+        assert wsa.union(wsa.rel("R"), wsa.rel("R")).attributes(ENV) == ("A", "B")
+
+    def test_natural_join(self):
+        q = wsa.natural_join(wsa.rel("R"), wsa.rel("S"))
+        assert q.attributes(ENV) == ("A", "B", "C")
+        assert q.shared_attributes(ENV) == ("B",)
+
+    def test_divide(self):
+        q = wsa.divide(wsa.rel("R"), wsa.project("B", wsa.rel("R")))
+        assert q.attributes(ENV) == ("A",)
+        with pytest.raises(SchemaError):
+            wsa.divide(wsa.rel("R"), wsa.rel("S")).attributes(ENV)
+
+    def test_choice_and_groups_validate(self):
+        assert wsa.choice_of("A", wsa.rel("R")).attributes(ENV) == ("A", "B")
+        with pytest.raises(SchemaError):
+            wsa.choice_of("Z", wsa.rel("R")).attributes(ENV)
+        q = wsa.poss_group("A", ("A", "B"), wsa.rel("R"))
+        assert q.attributes(ENV) == ("A", "B")
+        with pytest.raises(SchemaError):
+            wsa.cert_group("Z", "A", wsa.rel("R")).attributes(ENV)
+
+    def test_repair(self):
+        assert wsa.repair_by_key("A", wsa.rel("R")).attributes(ENV) == ("A", "B")
+
+    def test_active_domain(self):
+        assert wsa.active_domain(("X", "Y")).attributes(ENV) == ("X", "Y")
+        with pytest.raises(SchemaError):
+            wsa.active_domain(())
+
+
+class TestStructure:
+    def test_equality_and_hash(self):
+        a = wsa.poss(wsa.project("A", wsa.rel("R")))
+        b = wsa.poss(wsa.project("A", wsa.rel("R")))
+        assert a == b and hash(a) == hash(b)
+        assert a != wsa.cert(wsa.project("A", wsa.rel("R")))
+
+    def test_size_and_walk(self):
+        q = wsa.cert(wsa.project("A", wsa.choice_of("B", wsa.rel("R"))))
+        assert q.size() == 4
+        assert len(list(q.walk())) == 4
+
+    def test_relation_names(self):
+        q = wsa.product(wsa.rel("R"), wsa.rename({"B": "B2", "C": "C2"}, wsa.rel("S")))
+        assert q.relation_names() == frozenset({"R", "S"})
+
+    def test_to_text_roundtrips_structure(self):
+        q = wsa.cert_group(("A",), ("A", "B"), wsa.rel("R"))
+        assert q.to_text() == "cγ[A,B; by A](R)"
+
+    def test_with_children_rebuild(self):
+        q = wsa.select(eq("A", Const(1)), wsa.rel("R"))
+        rebuilt = q._with_children((wsa.rel("R"),))
+        assert rebuilt == q
+
+
+class TestDesugar:
+    def test_theta_join(self):
+        q = wsa.theta_join(eq("A", "C"), wsa.rel("R"), wsa.rename({"B": "B2"}, wsa.rel("S")))
+        lowered = q.desugar()
+        assert isinstance(lowered, wsa.Select)
+        assert isinstance(lowered.child, wsa.Product)
+
+    def test_intersect(self):
+        q = wsa.intersect(wsa.rel("R"), wsa.rel("R"))
+        lowered = q.desugar()
+        assert isinstance(lowered, wsa.Difference)
+
+    def test_natural_join_expansion(self):
+        q = wsa.natural_join(wsa.rel("R"), wsa.rel("S"))
+        expansion = q.desugar().expand(ENV)
+        assert isinstance(expansion, wsa.Project)
+        assert expansion.attributes(ENV) == ("A", "B", "C")
+
+    def test_divide_expansion(self):
+        q = wsa.divide(wsa.rel("R"), wsa.project("B", wsa.rel("R")))
+        expansion = q.expand(ENV)
+        assert expansion.attributes(ENV) == ("A",)

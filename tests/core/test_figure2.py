@@ -1,0 +1,31 @@
+"""Figure 2 and Examples 3.1/3.2: trip planning on the world-set level."""
+
+from repro.core import cert, choice_of, evaluate, project, rel
+from repro.relational import Relation
+
+
+class TestFigure2b:
+    def test_choice_of_dep_creates_three_worlds(self, flights_ws):
+        result = evaluate(choice_of("Dep", rel("Flights")), flights_ws, name="F")
+        assert len(result) == 3
+        answers = {frozenset(w["F"].rows) for w in result.worlds}
+        assert answers == {
+            frozenset({("FRA", "BCN"), ("FRA", "ATL")}),
+            frozenset({("PAR", "ATL"), ("PAR", "BCN")}),
+            frozenset({("PHL", "ATL")}),
+        }
+
+
+class TestFigure2d:
+    def test_certain_arrivals_extend_every_world(self, figure2b_worlds):
+        """Figure 2 (d): each world gains F = {ATL}."""
+        result = evaluate(cert(project("Arr", rel("Flights"))), figure2b_worlds, name="F")
+        assert len(result) == 3
+        for world in result.worlds:
+            assert world["F"] == Relation(("Arr",), [("ATL",)])
+
+    def test_from_single_world_the_answer_is_unique(self, flights_ws):
+        from repro.core import answer
+
+        q = cert(project("Arr", choice_of("Dep", rel("Flights"))))
+        assert answer(q, flights_ws).rows == {("ATL",)}

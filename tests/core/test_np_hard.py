@@ -1,0 +1,67 @@
+"""Proposition 4.2: the 3-colorability reduction (guess and check)."""
+
+import pytest
+
+from repro.core.np_hard import (
+    THREE_COLORS,
+    brute_force_colorable,
+    check_query,
+    coloring_candidates,
+    edge_relation,
+    guess_query,
+    is_colorable,
+)
+from repro.core.typing import MANY, ONE, kind_after
+from repro.datagen import random_graph
+
+
+class TestBuildingBlocks:
+    def test_candidates_cover_all_pairs(self):
+        cand = coloring_candidates(["a", "b"], ("r", "g"))
+        assert len(cand) == 4
+
+    def test_edge_relation_is_symmetric(self):
+        edges = edge_relation([("a", "b")])
+        assert edges.rows == {("a", "b"), ("b", "a")}
+
+    def test_guess_query_splits_worlds(self):
+        assert kind_after(guess_query(), ONE) == MANY
+
+    def test_check_query_closes_worlds(self):
+        assert kind_after(check_query(), MANY) == ONE
+
+
+class TestDecisions:
+    def test_triangle_is_3_colorable(self):
+        assert is_colorable("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+
+    def test_k4_is_not_3_colorable(self):
+        vertices = "abcd"
+        edges = [(u, v) for i, u in enumerate(vertices) for v in vertices[i + 1 :]]
+        assert not is_colorable(vertices, edges)
+
+    def test_k4_is_4_colorable(self):
+        vertices = "abcd"
+        edges = [(u, v) for i, u in enumerate(vertices) for v in vertices[i + 1 :]]
+        assert is_colorable(vertices, edges, colors=("r", "g", "b", "y"))
+
+    def test_edgeless_graph(self):
+        assert is_colorable("ab", [])
+
+    def test_empty_graph(self):
+        assert is_colorable("", [])
+
+    def test_two_colorability_of_even_cycle(self):
+        cycle = [("v0", "v1"), ("v1", "v2"), ("v2", "v3"), ("v3", "v0")]
+        assert is_colorable([f"v{i}" for i in range(4)], cycle, colors=("r", "g"))
+
+    def test_two_colorability_fails_on_odd_cycle(self):
+        cycle = [("v0", "v1"), ("v1", "v2"), ("v2", "v0")]
+        assert not is_colorable([f"v{i}" for i in range(3)], cycle, colors=("r", "g"))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_reduction_agrees_with_brute_force(seed):
+    vertices, edges = random_graph(5, 0.55, seed=seed)
+    expected = brute_force_colorable(vertices, edges, THREE_COLORS)
+    assert is_colorable(vertices, edges) == expected

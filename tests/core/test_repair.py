@@ -1,0 +1,86 @@
+"""Key repairs: enumeration, counting, invariants (incl. hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import count_repairs, is_repair, key_groups, key_repairs
+from repro.relational import Relation
+
+
+def relation(rows):
+    return Relation(("K", "V"), rows)
+
+
+class TestCounting:
+    def test_count_is_product_of_group_sizes(self):
+        r = relation([(1, "a"), (1, "b"), (2, "c"), (2, "d"), (2, "e")])
+        assert count_repairs(r, ("K",)) == 2 * 3
+
+    def test_empty_relation_has_one_repair(self):
+        assert count_repairs(relation([]), ("K",)) == 1
+
+    def test_key_groups_partition(self):
+        r = relation([(1, "a"), (1, "b"), (2, "c")])
+        groups = key_groups(r, ("K",))
+        assert set(groups) == {(1,), (2,)}
+        assert sum(len(g) for g in groups.values()) == 3
+
+
+class TestEnumeration:
+    def test_enumerates_all(self):
+        r = relation([(1, "a"), (1, "b"), (2, "c")])
+        repairs = list(key_repairs(r, ("K",)))
+        assert len(repairs) == 2
+        assert all(is_repair(candidate, r, ("K",)) for candidate in repairs)
+
+    def test_empty_relation_yields_itself(self):
+        r = relation([])
+        assert list(key_repairs(r, ("K",))) == [r]
+
+    def test_full_key_means_single_repair(self):
+        r = relation([(1, "a"), (2, "b")])
+        assert list(key_repairs(r, ("K", "V"))) == [r]
+
+
+class TestIsRepair:
+    def test_rejects_non_subset(self):
+        r = relation([(1, "a")])
+        assert not is_repair(relation([(1, "z")]), r, ("K",))
+
+    def test_rejects_duplicate_keys(self):
+        r = relation([(1, "a"), (1, "b")])
+        assert not is_repair(r, r, ("K",))
+
+    def test_rejects_missing_keys(self):
+        r = relation([(1, "a"), (2, "b")])
+        assert not is_repair(relation([(1, "a")]), r, ("K",))
+
+    def test_rejects_schema_mismatch(self):
+        assert not is_repair(Relation(("X",), [(1,)]), relation([(1, "a")]), ("K",))
+
+
+rows_strategy = st.frozensets(
+    st.tuples(st.integers(0, 3), st.integers(0, 2)), max_size=8
+)
+
+
+@given(rows_strategy)
+@settings(max_examples=80)
+def test_enumeration_matches_count_and_invariants(rows):
+    r = relation(rows)
+    repairs = list(key_repairs(r, ("K",)))
+    assert len(repairs) == count_repairs(r, ("K",))
+    assert len(set(repairs)) == len(repairs)
+    if rows:
+        for candidate in repairs:
+            assert is_repair(candidate, r, ("K",))
+
+
+@given(rows_strategy)
+@settings(max_examples=50)
+def test_union_of_repairs_recovers_nothing_extra(rows):
+    r = relation(rows)
+    union: set = set()
+    for candidate in key_repairs(r, ("K",)):
+        union |= candidate.rows
+    assert union <= r.rows

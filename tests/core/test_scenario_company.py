@@ -1,0 +1,95 @@
+"""The Section 2 company-acquisition scenario and Example 4.1."""
+
+from repro.core import (
+    answer,
+    cert_group,
+    choice_of,
+    evaluate,
+    natural_join,
+    poss,
+    product,
+    project,
+    rel,
+    rename,
+    select,
+    theta_join,
+)
+from repro.relational import Relation, eq, neq, Const
+
+
+class TestStepwiseScenario:
+    def test_u_v_w_and_final_result(self, company_ws):
+        # U ← select * from Company_Emp choice of CID
+        ws = evaluate(choice_of("CID", rel("Company_Emp")), company_ws, name="U")
+        assert len(ws) == 2
+
+        # V ← one (key) employee leaves that company.
+        chosen = choice_of("EID2", rename({"CID": "CID2", "EID": "EID2"}, rel("U")))
+        v_query = project(
+            ("CID", "EID"),
+            select(
+                eq("CID", "CID2") & neq("EID", "EID2"),
+                product(rel("Company_Emp"), chosen),
+            ),
+        )
+        ws = evaluate(v_query, ws, name="V")
+        assert len(ws) == 5
+        v_answers = {frozenset(w["V"].rows) for w in ws.worlds}
+        assert v_answers == {
+            frozenset({("ACME", "e1")}),
+            frozenset({("ACME", "e2")}),
+            frozenset({("HAL", "e3"), ("HAL", "e4")}),
+            frozenset({("HAL", "e3"), ("HAL", "e5")}),
+            frozenset({("HAL", "e4"), ("HAL", "e5")}),
+        }
+
+        # W ← certain skills per acquisition target.
+        w_query = cert_group(
+            ("CID",),
+            ("CID", "Skill"),
+            project(("CID", "Skill"), natural_join(rel("V"), rel("Emp_Skills"))),
+        )
+        ws = evaluate(w_query, ws, name="W")
+        assert len(ws) == 5
+        w_answers = {w["W"] for w in ws.worlds}
+        assert w_answers == {
+            Relation(("CID", "Skill"), [("ACME", "Web")]),
+            Relation(("CID", "Skill"), [("HAL", "Java")]),
+        }
+
+        # Result: possible acquisition targets guaranteeing 'Web'.
+        final = poss(project("CID", select(eq("Skill", Const("Web")), rel("W"))))
+        assert answer(final, ws).rows == {("ACME",)}
+
+
+class TestExample41:
+    def test_single_expression_query(self, company_ws):
+        """Example 4.1: the whole scenario as one world-set algebra query."""
+        chosen = choice_of(("CID2", "EID2"), rename({"CID": "CID2", "EID": "EID2"}, rel("Company_Emp")))
+        leaves = theta_join(
+            eq("CID", "CID2") & neq("EID", "EID2"), chosen, rel("Company_Emp")
+        )
+        v = project(("CID", "EID"), leaves)
+        w = cert_group(
+            ("CID",),
+            ("CID", "Skill"),
+            project(("CID", "Skill"), natural_join(v, rel("Emp_Skills"))),
+        )
+        query = poss(project("CID", select(eq("Skill", Const("Web")), w)))
+        assert answer(query, company_ws).rows == {("ACME",)}
+
+    def test_example_41_is_complete_to_complete(self, company_ws):
+        from repro.core import is_complete_to_complete, query_type
+
+        chosen = choice_of(("CID2", "EID2"), rename({"CID": "CID2", "EID": "EID2"}, rel("Company_Emp")))
+        v = project(
+            ("CID", "EID"),
+            theta_join(eq("CID", "CID2") & neq("EID", "EID2"), chosen, rel("Company_Emp")),
+        )
+        w = cert_group(
+            ("CID",), ("CID", "Skill"),
+            project(("CID", "Skill"), natural_join(v, rel("Emp_Skills"))),
+        )
+        query = poss(project("CID", select(eq("Skill", Const("Web")), w)))
+        assert is_complete_to_complete(query)
+        assert query_type(query) == "1↦1, m↦1"

@@ -1,0 +1,258 @@
+"""Figure 3 semantics, operator by operator."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.core import (
+    answer,
+    answers,
+    cert,
+    cert_group,
+    choice_of,
+    difference,
+    divide,
+    evaluate,
+    evaluate_on_database,
+    intersect,
+    natural_join,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    rename,
+    repair_by_key,
+    select,
+    theta_join,
+    union,
+)
+from repro.core.ast import active_domain
+from repro.relational import Relation, eq, neq, Const
+from repro.worlds import World, WorldSet
+
+
+def ws_of(*row_sets, attrs=("A",), name="R"):
+    return WorldSet(
+        [World.of({name: Relation(attrs, rows)}) for rows in row_sets]
+    )
+
+
+class TestBaseAndUnary:
+    def test_identity_copies_relation_into_answer(self):
+        ws = ws_of([(1,)], [(2,)])
+        result = evaluate(rel("R"), ws, name="Q")
+        assert result.relation_names == ("R", "Q")
+        for world in result.worlds:
+            assert world["Q"] == world["R"]
+
+    def test_select_per_world(self):
+        ws = ws_of([(1,), (2,)], [(2,), (3,)])
+        result = answers(select(eq("A", Const(2)), rel("R")), ws)
+        assert result == {Relation(("A",), [(2,)])}
+
+    def test_project_and_rename(self):
+        ws = ws_of([(1, 2)], attrs=("A", "B"))
+        assert answer(project("B", rel("R")), ws).rows == {(2,)}
+        assert answer(rename({"A": "X"}, rel("R")), ws).schema.attributes == ("X", "B")
+
+
+class TestBinary:
+    def test_binary_matches_on_base_relations(self):
+        """Figure 3: operands combine only within the same base world."""
+        ws = ws_of([(1,)], [(2,)])
+        q = union(rel("R"), select(neq("A", Const(0)), rel("R")))
+        result = evaluate(q, ws, name="Q")
+        assert len(result) == 2
+        for world in result.worlds:
+            assert world["Q"] == world["R"]
+
+    def test_product_pairs_choice_worlds(self):
+        """The binary join of world-sets produces all world combinations."""
+        ws = ws_of([(1,), (2,)])
+        q = product(
+            rename({"A": "X"}, choice_of("A", rel("R"))),
+            rename({"A": "Y"}, choice_of("A", rel("R"))),
+        )
+        result = evaluate(q, ws, name="Q")
+        assert {world["Q"] for world in result.worlds} == {
+            Relation(("X", "Y"), [(a, b)]) for a in (1, 2) for b in (1, 2)
+        }
+
+    def test_difference_and_intersection(self):
+        ws = ws_of([(1,), (2,)])
+        assert answer(
+            difference(rel("R"), select(eq("A", Const(1)), rel("R"))), ws
+        ).rows == {(2,)}
+        assert answer(
+            intersect(rel("R"), select(eq("A", Const(1)), rel("R"))), ws
+        ).rows == {(1,)}
+
+    def test_derived_joins_match_desugaring(self):
+        ws = WorldSet.single(
+            World.of(
+                {
+                    "R": Relation(("A", "B"), [(1, 2), (2, 3)]),
+                    "S": Relation(("B", "C"), [(2, "x")]),
+                }
+            )
+        )
+        q = natural_join(rel("R"), rel("S"))
+        assert answer(q, ws).rows == {(1, 2, "x")}
+        tq = theta_join(eq("B", "B2"), rel("R"), rename({"B": "B2", "C": "C2"}, rel("S")))
+        assert answer(tq, ws).rows == {(1, 2, 2, "x")}
+
+    def test_divide_in_algebra(self):
+        ws = WorldSet.single(
+            World.of({"R": Relation(("A", "B"), [(1, 2), (1, 3), (2, 2)])})
+        )
+        q = divide(rel("R"), project("B", rel("R")))
+        assert answer(q, ws).rows == {(1,)}
+
+
+class TestChoiceOf:
+    def test_splits_per_distinct_value(self):
+        ws = ws_of([(1,), (1,), (2,)])
+        result = evaluate(choice_of("A", rel("R")), ws, name="Q")
+        assert {w["Q"] for w in result.worlds} == {
+            Relation(("A",), [(1,)]),
+            Relation(("A",), [(2,)]),
+        }
+
+    def test_choice_keeps_base_relations(self):
+        ws = ws_of([(1,), (2,)])
+        result = evaluate(choice_of("A", rel("R")), ws, name="Q")
+        for world in result.worlds:
+            assert world["R"].rows == {(1,), (2,)}
+
+    def test_empty_answer_keeps_one_world(self):
+        """Figure 3's dummy choice v=1 on the empty relation."""
+        ws = ws_of([])
+        result = evaluate(choice_of("A", rel("R")), ws, name="Q")
+        assert len(result) == 1
+        assert not result.the_world()["Q"]
+
+    def test_choice_on_multiple_attributes(self):
+        ws = ws_of([(1, "x"), (1, "y")], attrs=("A", "B"))
+        result = evaluate(choice_of(("A", "B"), rel("R")), ws, name="Q")
+        assert len(result) == 2
+
+    def test_empty_attribute_choice_is_identity_per_world(self):
+        ws = ws_of([(1,), (2,)])
+        result = evaluate(choice_of((), rel("R")), ws, name="Q")
+        assert len(result) == 1
+        assert result.the_world()["Q"].rows == {(1,), (2,)}
+
+
+class TestClosings:
+    def test_example_31_certain_arrivals(self, figure2b_worlds):
+        """Example 3.1: cert extends all three worlds with F = {ATL}."""
+        q = cert(project("Arr", rel("Flights")))
+        result = evaluate(q, figure2b_worlds, name="F")
+        assert len(result) == 3  # worlds differ in their base Flights
+        for world in result.worlds:
+            assert world["F"].rows == {("ATL",)}
+
+    def test_poss_collects_union(self):
+        ws = ws_of([(1,)], [(2,)])
+        result = evaluate(poss(rel("R")), ws, name="Q")
+        for world in result.worlds:
+            assert world["Q"].rows == {(1,), (2,)}
+
+    def test_closing_collapses_choice_worlds(self):
+        ws = ws_of([(1,), (2,)])
+        result = evaluate(poss(choice_of("A", rel("R"))), ws, name="Q")
+        assert len(result) == 1  # uniform answers + same base collapse
+
+    def test_empty_world_set_propagates(self):
+        ws = WorldSet.empty((("R", Relation(("A",)).schema),))
+        assert len(evaluate(cert(rel("R")), ws, name="Q")) == 0
+
+
+class TestGroupWorldsBy:
+    def test_groups_by_projection(self):
+        ws = ws_of([(1, "x")], [(1, "y")], [(2, "z")], attrs=("A", "B"))
+        q = poss_group(("A",), ("A", "B"), rel("R"))
+        result = evaluate(q, ws, name="Q")
+        by_base = {
+            next(iter(w["R"].rows)): w["Q"].rows for w in result.worlds
+        }
+        assert by_base[(1, "x")] == {(1, "x"), (1, "y")}
+        assert by_base[(2, "z")] == {(2, "z")}
+
+    def test_cert_group_intersects(self):
+        ws = ws_of([(1, "x"), (1, "y")], [(1, "x"), (1, "z")], attrs=("A", "B"))
+        q = cert_group(("A",), ("A", "B"), rel("R"))
+        result = evaluate(q, ws, name="Q")
+        for world in result.worlds:
+            assert world["Q"].rows == {(1, "x")}
+
+    def test_empty_answers_group_together(self):
+        ws = ws_of([], [(1,)])
+        q = poss_group(("A",), ("A",), select(eq("A", Const(99)), rel("R")))
+        result = evaluate(q, ws, name="Q")
+        for world in result.worlds:
+            assert not world["Q"]
+
+    def test_grouping_ignores_base_relations(self):
+        """Following Example 3.1, grouping compares answers only."""
+        ws = ws_of([(1,)], [(1,), (1,)], [(2,)])
+        q = poss_group(("A",), ("A",), rel("R"))
+        result = evaluate(q, ws, name="Q")
+        one_worlds = [w for w in result.worlds if (1,) in w["R"].rows]
+        for world in one_worlds:
+            assert world["Q"].rows == {(1,)}
+
+
+class TestRepairByKey:
+    def test_enumerates_repairs(self):
+        ws = ws_of([(1, "x"), (1, "y"), (2, "z")], attrs=("K", "V"))
+        result = evaluate(repair_by_key("K", rel("R")), ws, name="Q")
+        repaired = {frozenset(w["Q"].rows) for w in result.worlds}
+        assert repaired == {
+            frozenset({(1, "x"), (2, "z")}),
+            frozenset({(1, "y"), (2, "z")}),
+        }
+
+    def test_empty_relation_single_repair(self):
+        ws = ws_of([], attrs=("K", "V"))
+        result = evaluate(repair_by_key("K", rel("R")), ws, name="Q")
+        assert len(result) == 1
+
+    def test_max_worlds_guard(self):
+        rows = [(i // 2, i) for i in range(20)]  # 2^10 repairs
+        ws = ws_of(rows, attrs=("K", "V"))
+        with pytest.raises(EvaluationError, match="repair-by-key"):
+            evaluate(repair_by_key("K", rel("R")), ws, name="Q", max_worlds=100)
+
+
+class TestActiveDomain:
+    def test_domain_relation(self):
+        ws = ws_of([(1,)], [(2,)])
+        result = evaluate(active_domain(("X",)), ws, name="Q")
+        for world in result.worlds:
+            assert world["Q"].rows == {(1,), (2,)}
+
+    def test_arity_two(self):
+        ws = ws_of([(1,), (2,)])
+        result = evaluate(active_domain(("X", "Y")), ws, name="Q")
+        assert len(next(iter(result.worlds))["Q"]) == 4
+
+
+class TestConvenienceAPI:
+    def test_answer_requires_uniformity(self):
+        ws = ws_of([(1,), (2,)])
+        with pytest.raises(EvaluationError, match="distinct answers"):
+            answer(choice_of("A", rel("R")), ws)
+
+    def test_evaluate_on_database(self):
+        from repro.relational import Database
+
+        db = Database({"R": Relation(("A",), [(1,)])})
+        result = evaluate_on_database(rel("R"), db, name="Q")
+        assert result.the_world()["Q"].rows == {(1,)}
+
+    def test_answer_name_defaults_to_fresh(self):
+        ws = ws_of([(1,)])
+        result = evaluate(rel("R"), ws)
+        assert result.relation_names[0] == "R"
+        assert len(result.relation_names) == 2

@@ -1,0 +1,127 @@
+"""Property-based invariants of the Figure 3 semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cert,
+    cert_group,
+    choice_of,
+    evaluate,
+    intersect,
+    poss,
+    poss_group,
+    project,
+    rel,
+)
+from repro.datagen import random_query, random_world_set
+
+seeds = st.integers(0, 20_000)
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_every_operator_preserves_base_relations(seed):
+    """All operators extend worlds; R₁…R_k are never modified."""
+    ws = random_world_set(seed)
+    query = random_query(seed * 3 + 1, depth=3)
+    result = evaluate(query, ws, name="Q")
+    input_bases = {world for world in ws.worlds}
+    for world in result.worlds:
+        assert world.base() in input_bases
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_intersect_equals_its_desugaring(seed):
+    ws = random_world_set(seed)
+    q = intersect(rel("R"), rel("R"))
+    assert evaluate(q, ws, name="Q") == evaluate(q.desugar(), ws, name="Q")
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_poss_is_trivial_group_worlds_by(seed):
+    """Figure 3 defines poss as pγ^*_true: grouping by the empty
+    attribute list unifies all non-empty-answer worlds; combined with
+    the (*, i.e. all-attribute) projection, poss(q) and pγ^*_∅(q) agree
+    whenever some world has a non-empty answer; cert similarly."""
+    ws = random_world_set(seed, max_worlds=3)
+    inner = rel("R")
+    closed = evaluate(poss(inner), ws, name="Q")
+    grouped = evaluate(poss_group((), ("A", "B"), inner), ws, name="Q")
+    # Grouping by π_∅ splits empty-answer worlds from non-empty ones,
+    # so compare only when every world has a non-empty answer.
+    if all(world["R"] for world in ws.worlds):
+        assert closed == grouped
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_cert_answer_contained_in_every_world_answer(seed):
+    ws = random_world_set(seed)
+    inner = choice_of("A", rel("R"))
+    opened = evaluate(inner, ws, name="Q")
+    closed = evaluate(cert(inner), ws, name="Q")
+    certain = next(iter(closed.worlds))["Q"] if closed.worlds else None
+    for world in opened.worlds:
+        if certain is not None:
+            assert certain.rows <= world["Q"].rows or certain.rows == set()
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_poss_answer_is_union_of_world_answers(seed):
+    ws = random_world_set(seed)
+    inner = choice_of("B", rel("R"))
+    opened = evaluate(inner, ws, name="Q")
+    closed = evaluate(poss(inner), ws, name="Q")
+    union_rows = set()
+    for world in opened.worlds:
+        union_rows |= world["Q"].rows
+    for world in closed.worlds:
+        assert world["Q"].rows == union_rows
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_choice_of_partitions_each_world_answer(seed):
+    """The χ-created answers partition the original answer per world."""
+    ws = random_world_set(seed, max_worlds=1)
+    opened = evaluate(choice_of("A", rel("R")), ws, name="Q")
+    original = ws.the_world()["R"]
+    pieces = [world["Q"].rows for world in opened.worlds]
+    recombined = set().union(*pieces) if pieces else set()
+    assert recombined == original.rows
+    for i, left in enumerate(pieces):
+        for right in pieces[i + 1 :]:
+            assert not (left & right) or left == right
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_group_worlds_by_full_projection_is_identity_on_answers(seed):
+    """Eq. (12) semantically: pγ^X_X(q) answers = π_X(q) answers."""
+    ws = random_world_set(seed)
+    grouped = evaluate(poss_group(("A",), ("A",), rel("R")), ws, name="Q")
+    projected = evaluate(project("A", rel("R")), ws, name="Q")
+    assert grouped == projected
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_evaluation_is_deterministic(seed):
+    ws = random_world_set(seed)
+    query = random_query(seed + 17, depth=3)
+    assert evaluate(query, ws, name="Q") == evaluate(query, ws, name="Q")
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_cert_group_bounded_by_poss_group(seed):
+    ws = random_world_set(seed)
+    certain = evaluate(cert_group(("A",), ("A", "B"), rel("R")), ws, name="Q")
+    possible = evaluate(poss_group(("A",), ("A", "B"), rel("R")), ws, name="Q")
+    cert_by_base = {w.base(): w["Q"].rows for w in certain.worlds}
+    for world in possible.worlds:
+        assert cert_by_base[world.base()] <= world["Q"].rows

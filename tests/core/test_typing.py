@@ -1,0 +1,74 @@
+"""Operator typing (Section 4.1): kinds 1 and m with overloading."""
+
+import pytest
+
+from repro.errors import TypingError
+from repro.core import (
+    MANY,
+    ONE,
+    cert,
+    cert_group,
+    choice_of,
+    is_complete_to_complete,
+    kind_after,
+    poss,
+    poss_group,
+    project,
+    query_type,
+    rel,
+    repair_by_key,
+    select,
+    union,
+)
+from repro.relational import eq, Const
+
+
+class TestKinds:
+    def test_relational_operators_preserve_kind(self):
+        q = project("A", select(eq("A", Const(1)), rel("R")))
+        assert kind_after(q, ONE) == ONE
+        assert kind_after(q, MANY) == MANY
+
+    def test_choice_of_splits(self):
+        q = choice_of("A", rel("R"))
+        assert kind_after(q, ONE) == MANY
+        assert kind_after(q, MANY) == MANY
+
+    def test_repair_splits(self):
+        assert kind_after(repair_by_key("A", rel("R")), ONE) == MANY
+
+    def test_closing_operators_are_m_to_1(self):
+        assert kind_after(poss(choice_of("A", rel("R"))), ONE) == ONE
+        assert kind_after(cert(rel("R")), MANY) == ONE
+
+    def test_groups_preserve_kind(self):
+        q = poss_group("A", "A", choice_of("A", rel("R")))
+        assert kind_after(q, ONE) == MANY
+        q2 = cert_group("A", "A", rel("R"))
+        assert kind_after(q2, ONE) == ONE
+
+    def test_binary_combines(self):
+        q = union(rel("R"), choice_of("A", rel("R")))
+        assert kind_after(q, ONE) == MANY
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TypingError):
+            kind_after(rel("R"), "zero")
+
+
+class TestQueryTypes:
+    def test_paper_queries_are_1_to_1(self):
+        """All Section 2 queries end in poss/cert, hence type 1↦1."""
+        trip = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+        assert query_type(trip) == "1↦1, m↦1"
+        assert is_complete_to_complete(trip)
+
+    def test_open_query_is_1_to_m(self):
+        q = choice_of("Dep", rel("HFlights"))
+        assert query_type(q) == "1↦m, m↦m"
+        assert not is_complete_to_complete(q)
+
+    def test_plain_relational_query(self):
+        q = select(eq("Dep", Const("FRA")), rel("HFlights"))
+        assert query_type(q) == "1↦1, m↦m"
+        assert is_complete_to_complete(q)

@@ -1,0 +1,55 @@
+"""Example 5.6: the step-by-step general translation of the trip query."""
+
+from repro.core import answer, cert, choice_of, project, rel
+from repro.inline import (
+    InlinedRepresentation,
+    WORLD_TABLE,
+    apply_general,
+    conservative_ra_query,
+    translate_general,
+)
+from repro.relational import Relation
+from repro.worlds import World, WorldSet
+
+QUERY = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+
+
+class TestExample56:
+    def test_step1_initial_representation(self, hflights_db):
+        """Step 1: ⟨HFlights, W⟩ with W a nullary single-tuple table."""
+        rep = InlinedRepresentation.of_database(hflights_db)
+        assert rep.world_table == Relation.unit()
+
+    def test_step3_choice_worlds(self, hflights_db):
+        """Step 3: χ_Dep makes F's Dep values the world ids."""
+        rep = InlinedRepresentation.of_database(hflights_db)
+        out = apply_general(choice_of("Dep", rel("HFlights")), rep, name="F")
+        assert {row[0] for row in out.world_table.rows} == {"FRA", "PAR", "PHL"}
+        # HFlights is copied into all three worlds.
+        assert len(out.tables["HFlights"]) == 15
+
+    def test_steps_4_to_6_final_answer(self, hflights_db):
+        """Steps 4–6: projection, division by W, id-drop → {ATL}."""
+        rep = InlinedRepresentation.of_database(hflights_db)
+        out = apply_general(QUERY, rep, name="F")
+        decoded = {world["F"] for world in out.rep().worlds}
+        assert decoded == {Relation(("Arr",), [("ATL",)])}
+
+    def test_composed_ra_query(self, hflights_db):
+        """Theorem 5.7 on this query: one RA query computes {ATL}."""
+        ra_query = conservative_ra_query(QUERY, hflights_db.schemas())
+        assert ra_query.evaluate(hflights_db).rows == {("ATL",)}
+        ws = WorldSet.single(World.of(dict(hflights_db.items())))
+        assert ra_query.evaluate(hflights_db) == answer(QUERY, ws)
+
+    def test_translation_references_world_table_lazily(self, hflights_db):
+        """The cert step divides by the world table expression."""
+        rep = InlinedRepresentation.of_database(hflights_db)
+        translation = translate_general(QUERY, rep)
+        text = translation.answer.to_text()
+        assert "÷" in text
+
+    def test_world_table_name_reserved(self, hflights_db):
+        rep = InlinedRepresentation.of_database(hflights_db)
+        assert WORLD_TABLE == "#W"
+        assert WORLD_TABLE in rep.as_database()

@@ -1,0 +1,86 @@
+"""lower_query: derived operators expand to the Figure 3 base operators."""
+
+from repro.core import (
+    cert,
+    divide,
+    evaluate,
+    natural_join,
+    project,
+    rel,
+    rename,
+    theta_join,
+)
+from repro.core.ast import (
+    Difference,
+    Divide,
+    NaturalJoin,
+    Product,
+    Project,
+    Select,
+    ThetaJoin,
+    _NaturalJoinExpansion,
+)
+from repro.datagen import random_world_set
+from repro.inline.translate import lower_query
+from repro.relational import Schema, eq
+
+ENV = {"R": Schema(("A", "B")), "S": Schema(("B", "C"))}
+
+
+class TestLowering:
+    def test_theta_join_becomes_select_product(self):
+        query = theta_join(
+            eq("A", "C"), rel("R"), rename({"B": "B2"}, rel("S"))
+        )
+        lowered = lower_query(query, ENV)
+        assert isinstance(lowered, Select)
+        assert isinstance(lowered.child, Product)
+
+    def test_natural_join_expands_fully(self):
+        lowered = lower_query(natural_join(rel("R"), rel("S")), ENV)
+        assert not any(
+            isinstance(node, (NaturalJoin, _NaturalJoinExpansion, ThetaJoin))
+            for node in lowered.walk()
+        )
+        assert isinstance(lowered, Project)
+
+    def test_divide_expands_to_differences(self):
+        query = divide(rel("R"), project("B", rel("R")))
+        lowered = lower_query(query, ENV)
+        assert not any(isinstance(node, Divide) for node in lowered.walk())
+        assert any(isinstance(node, Difference) for node in lowered.walk())
+
+    def test_base_operators_unchanged(self):
+        query = cert(project("A", rel("R")))
+        assert lower_query(query, ENV) == query
+
+    def test_nested_derived_operators(self):
+        inner = natural_join(rel("R"), rel("S"))
+        query = theta_join(
+            eq("A", "A2"),
+            inner,
+            rename({"A": "A2", "B": "B2", "C": "C2"}, inner),
+        )
+        lowered = lower_query(query, ENV)
+        assert not any(
+            isinstance(node, (NaturalJoin, _NaturalJoinExpansion, ThetaJoin))
+            for node in lowered.walk()
+        )
+
+
+class TestLoweringPreservesSemantics:
+    def test_on_random_world_sets(self):
+        schemas = {"R": ("A", "B"), "S": ("B", "C")}
+        env = {name: Schema(attrs) for name, attrs in schemas.items()}
+        queries = [
+            natural_join(rel("R"), rel("S")),
+            divide(rel("R"), project("B", rel("R"))),
+            theta_join(eq("A", "C"), rel("R"), rename({"B": "B2"}, rel("S"))),
+        ]
+        for seed in range(25):
+            ws = random_world_set(seed, schemas=schemas)
+            for query in queries:
+                lowered = lower_query(query, env)
+                assert evaluate(query, ws, name="Q") == evaluate(
+                    lowered, ws, name="Q"
+                ), query.to_text()

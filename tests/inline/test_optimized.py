@@ -1,0 +1,123 @@
+"""Section 5.3: the optimized complete-to-complete translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TranslationError, TypingError
+from repro.core import (
+    answer,
+    cert,
+    choice_of,
+    is_complete_to_complete,
+    poss,
+    project,
+    rel,
+    repair_by_key,
+    select,
+)
+from repro.datagen import random_query, random_world_set
+from repro.inline import evaluate_optimized, optimized_ra_query
+from repro.relational import Const, Database, Relation, Table, eq
+from repro.worlds import World, WorldSet
+
+seeds = st.integers(0, 50_000)
+
+
+class TestExample58:
+    def test_verbatim_form(self, hflights_db):
+        """π_{Arr,Dep}(HFlights) ÷ π_{Dep}(HFlights), as printed."""
+        query = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+        expr = optimized_ra_query(query, hflights_db.schemas(), assume_nonempty=True)
+        assert expr.to_text() == "(π[Arr,Dep](HFlights) ÷ π[Dep](HFlights))"
+        assert expr.evaluate(hflights_db).rows == {("ATL",)}
+
+    def test_default_form_keeps_empty_world_guard(self, hflights_db):
+        query = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+        expr = optimized_ra_query(query, hflights_db.schemas())
+        assert "=⊳⊲" in expr.to_text()
+        assert expr.evaluate(hflights_db).rows == {("ATL",)}
+
+    def test_both_forms_agree_on_empty_input(self):
+        query = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+        empty = Database({"HFlights": Relation(("Dep", "Arr"))})
+        schemas = empty.schemas()
+        default = optimized_ra_query(query, schemas).evaluate(empty)
+        compact = optimized_ra_query(query, schemas, assume_nonempty=True).evaluate(empty)
+        assert default == compact == Relation(("Arr",))
+
+
+class TestPassThrough:
+    def test_pure_ra_query_translates_to_itself(self, hflights_db):
+        """§5.3: a relational algebra query passes through unchanged."""
+        query = project("Arr", select(eq("Dep", Const("FRA")), rel("HFlights")))
+        expr = optimized_ra_query(query, hflights_db.schemas())
+        assert expr.to_text() == "π[Arr](σ[Dep='FRA'](HFlights))"
+
+    def test_base_relation_passes_through(self, hflights_db):
+        assert optimized_ra_query(rel("HFlights"), hflights_db.schemas()) == Table(
+            "HFlights"
+        )
+
+    def test_poss_on_complete_data_disappears(self, hflights_db):
+        """Example 6.2's closing remark: poss over one world is dropped
+        by translation (its answer needs no world ids)."""
+        query = poss(project("Arr", rel("HFlights")))
+        expr = optimized_ra_query(query, hflights_db.schemas())
+        assert expr.to_text() == "π[Arr](HFlights)"
+
+
+@given(seeds)
+@settings(max_examples=150, deadline=None)
+def test_optimized_matches_reference_semantics_on_c2c_queries(seed):
+    world_set = random_world_set(seed, max_worlds=1)
+    query = random_query(seed * 17 + 3, depth=3)
+    if not is_complete_to_complete(query):
+        return
+    db = Database(dict(world_set.the_world().items()))
+    assert evaluate_optimized(query, db) == answer(query, world_set)
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_optimized_is_smaller_than_general(seed):
+    """The §5.3 queries are never larger than the Figure 6 queries."""
+    from repro.inline import conservative_ra_query
+
+    query = random_query(seed * 29 + 11, depth=3)
+    if not is_complete_to_complete(query):
+        return
+    schemas = {"R": ("A", "B"), "S": ("C", "D")}
+    optimized = optimized_ra_query(query, schemas)
+    general = conservative_ra_query(query, schemas)
+    assert optimized.size() <= general.size()
+
+
+class TestRejections:
+    def test_non_c2c_rejected(self):
+        with pytest.raises(TypingError):
+            optimized_ra_query(choice_of("A", rel("R")), {"R": ("A", "B")})
+
+    def test_repair_rejected(self):
+        with pytest.raises(TranslationError):
+            optimized_ra_query(
+                poss(repair_by_key("A", rel("R"))), {"R": ("A", "B")}
+            )
+
+
+class TestGroupingOnSingleWorld:
+    def test_group_worlds_by_degenerates_to_projection(self, hflights_db):
+        from repro.core import poss_group
+
+        query = poss(poss_group(("Dep",), ("Arr",), rel("HFlights")))
+        expr = optimized_ra_query(query, hflights_db.schemas())
+        assert expr.to_text() == "π[Arr](HFlights)"
+
+    def test_grouping_over_choice_translates(self, hflights_db):
+        from repro.core import cert_group
+
+        query = poss(
+            cert_group(("Dep",), ("Arr",), choice_of("Dep", rel("HFlights")))
+        )
+        ws = WorldSet.single(World.of(dict(hflights_db.items())))
+        assert evaluate_optimized(query, hflights_db) == answer(query, ws)

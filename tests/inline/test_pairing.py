@@ -1,0 +1,75 @@
+"""Section 7: world-pairing is RA-expressible on inlined reps, not in WSA."""
+
+import pytest
+
+from repro.errors import RepresentationError
+from repro.inline import (
+    InlinedRepresentation,
+    pair_on_inlined,
+    pair_worlds,
+    subset_world_set,
+)
+from repro.relational import Relation
+from repro.worlds import World, WorldSet
+
+
+class TestSubsetWitness:
+    def test_all_subsets_enumerated(self):
+        ws = subset_world_set([1, 2, 3])
+        assert len(ws) == 8
+
+    def test_empty_value_list(self):
+        assert len(subset_world_set([])) == 1
+
+
+class TestPairWorlds:
+    def test_squares_the_world_count(self):
+        ws = subset_world_set([1, 2])
+        paired = pair_worlds(ws, "R", "R2")
+        assert len(paired) == len(ws) ** 2
+
+    def test_pairs_carry_both_relations(self):
+        ws = WorldSet(
+            [
+                World.of({"R": Relation(("A",), [(1,)])}),
+                World.of({"R": Relation(("A",), [(2,)])}),
+            ]
+        )
+        paired = pair_worlds(ws, "R", "R2")
+        combos = {
+            (frozenset(w["R"].rows), frozenset(w["R2"].rows))
+            for w in paired.worlds
+        }
+        assert combos == {
+            (frozenset({(1,)}), frozenset({(1,)})),
+            (frozenset({(1,)}), frozenset({(2,)})),
+            (frozenset({(2,)}), frozenset({(1,)})),
+            (frozenset({(2,)}), frozenset({(2,)})),
+        }
+
+    def test_existing_name_rejected(self):
+        ws = subset_world_set([1])
+        with pytest.raises(RepresentationError):
+            pair_worlds(ws, "R", "R")
+
+
+class TestPairOnInlined:
+    def test_matches_world_level_pairing(self):
+        """The RA implementation agrees with the semantic definition."""
+        ws = subset_world_set([1, 2])
+        rep = InlinedRepresentation.of_world_set(ws)
+        paired_rep = pair_on_inlined(rep, "R", "R2")
+        semantic = pair_worlds(ws, "R", "R2")
+        assert paired_rep.rep() == semantic
+
+    def test_doubles_the_id_attributes(self):
+        rep = InlinedRepresentation.of_world_set(subset_world_set([1]))
+        paired = pair_on_inlined(rep, "R", "R2")
+        assert len(paired.id_attrs) == 2 * len(rep.id_attrs)
+
+    def test_exponential_gap_shape(self):
+        """|pairing(2ⁿ subsets)| = 4ⁿ: the Section 7 counting argument."""
+        for n in (1, 2, 3):
+            ws = subset_world_set(list(range(n)))
+            rep = InlinedRepresentation.of_world_set(ws)
+            assert pair_on_inlined(rep, "R", "R2").world_count() == 4**n

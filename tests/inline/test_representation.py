@@ -1,0 +1,120 @@
+"""Definition 5.1: inlined representations and rep() decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RepresentationError
+from repro.datagen import random_world_set
+from repro.inline import InlinedRepresentation
+from repro.relational import Database, Relation
+from repro.worlds import World, WorldSet
+
+
+class TestFigure4:
+    """Figure 4: RT(A,V) = {(1,1),(3,1),(1,2)}, W = {1,2,3}."""
+
+    @pytest.fixture
+    def representation(self):
+        table = Relation(("A", "$V"), [(1, 1), (3, 1), (1, 2)])
+        world_table = Relation(("$V",), [(1,), (2,), (3,)])
+        return InlinedRepresentation({"R": table}, world_table, ("$V",))
+
+    def test_decodes_the_three_worlds(self, representation):
+        decoded = representation.rep()
+        answers = {world["R"] for world in decoded.worlds}
+        assert answers == {
+            Relation(("A",), [(1,), (3,)]),
+            Relation(("A",), [(1,)]),
+            Relation(("A",), []),
+        }
+
+    def test_world_lookup_by_id(self, representation):
+        assert representation.world((3,))["R"].rows == set()
+        assert representation.world((1,))["R"].rows == {(1,), (3,)}
+
+    def test_value_attributes(self, representation):
+        assert representation.value_attributes("R") == ("A",)
+
+    def test_world_count_counts_ids(self, representation):
+        assert representation.world_count() == 3
+
+
+class TestValidation:
+    def test_tables_must_carry_id_attributes(self):
+        with pytest.raises(RepresentationError, match="lacks id"):
+            InlinedRepresentation(
+                {"R": Relation(("A",), [(1,)])},
+                Relation(("$V",), [(1,)]),
+                ("$V",),
+            )
+
+    def test_dangling_world_ids_rejected(self):
+        with pytest.raises(RepresentationError, match="not in the world table"):
+            InlinedRepresentation(
+                {"R": Relation(("A", "$V"), [(1, 7)])},
+                Relation(("$V",), [(1,)]),
+                ("$V",),
+            )
+
+    def test_world_table_attrs_must_match_ids(self):
+        with pytest.raises(RepresentationError):
+            InlinedRepresentation(
+                {}, Relation(("$V",), [(1,)]), ("$other",)
+            )
+
+    def test_world_table_may_have_extra_ids(self):
+        """W may contain ids absent from every table (empty worlds)."""
+        rep = InlinedRepresentation(
+            {"R": Relation(("A", "$V"), [(1, 1)])},
+            Relation(("$V",), [(1,), (2,)]),
+            ("$V",),
+        )
+        assert len(rep.rep()) == 2
+
+
+class TestEncodings:
+    def test_complete_database_has_nullary_world_table(self, flights_db):
+        rep = InlinedRepresentation.of_database(flights_db)
+        assert rep.id_attrs == ()
+        assert rep.world_table == Relation.unit()
+        assert rep.rep() == WorldSet.single(World.of(dict(flights_db.items())))
+
+    def test_empty_world_table_encodes_empty_world_set(self):
+        rep = InlinedRepresentation(
+            {"R": Relation(("A", "$V"), [])}, Relation(("$V",), []), ("$V",)
+        )
+        assert len(rep.rep()) == 0
+
+    def test_of_world_set_requires_id_prefix(self, flights_ws):
+        with pytest.raises(RepresentationError):
+            InlinedRepresentation.of_world_set(flights_ws, id_attr="world")
+
+    def test_as_database_includes_world_table(self, flights_db):
+        from repro.inline import WORLD_TABLE
+
+        rep = InlinedRepresentation.of_database(flights_db)
+        assert WORLD_TABLE in rep.as_database()
+
+    def test_equality(self, flights_db):
+        a = InlinedRepresentation.of_database(flights_db)
+        b = InlinedRepresentation.of_database(flights_db)
+        assert a == b and hash(a) == hash(b)
+
+
+@given(st.integers(0, 5_000))
+@settings(max_examples=100, deadline=None)
+def test_encode_decode_roundtrip(seed):
+    """rep(of_world_set(A)) = A for arbitrary world-sets."""
+    world_set = random_world_set(seed)
+    rep = InlinedRepresentation.of_world_set(world_set)
+    assert rep.rep() == world_set
+
+
+def test_roundtrip_keeps_equivalent_worlds_as_one():
+    """Equivalent worlds under different ids collapse in rep()."""
+    table = Relation(("A", "$V"), [(1, 1), (1, 2)])
+    world_table = Relation(("$V",), [(1,), (2,)])
+    rep = InlinedRepresentation({"R": table}, world_table, ("$V",))
+    assert rep.world_count() == 2
+    assert len(rep.rep()) == 1

@@ -1,0 +1,101 @@
+"""Section 3, "Order of evaluation": the clause pipeline, pinned.
+
+The skeleton select-from-where evaluates first; choice-of, repair-by-
+key and group-worlds-by apply *after* the where-clause and *before* the
+select-list projection — so a query may choose on an attribute it does
+not output, and the where-clause filters before worlds are split.
+"""
+
+import pytest
+
+from repro.isql import ISQLSession
+from repro.relational import Relation
+
+
+@pytest.fixture
+def session(flights):
+    s = ISQLSession()
+    s.register("Flights", flights)
+    return s
+
+
+class TestChoiceAfterWhere:
+    def test_where_filters_before_choice(self, session):
+        """PHL's only flight goes to ATL; filtering Arr != 'ATL' first
+        removes PHL entirely, so only two choice-worlds remain."""
+        result = session.query(
+            "select * from Flights where Arr != 'ATL' choice of Dep;"
+        )
+        assert result.world_count() == 2
+
+    def test_choice_before_where_would_differ(self, session):
+        """Splitting first (via a subquery) keeps the PHL world with an
+        empty answer — three worlds, not two."""
+        result = session.query(
+            "select * from (select * from Flights choice of Dep) F "
+            "where Arr != 'ATL';"
+        )
+        answers = result.answers()
+        assert Relation(("Dep", "Arr"), []) in answers  # the emptied PHL world
+
+
+class TestChoiceBeforeProjection:
+    def test_choice_attribute_need_not_be_projected(self, session):
+        """`select Arr … choice of Dep` — Dep is consumed by choice-of
+        before the projection drops it."""
+        result = session.query("select Arr from Flights choice of Dep;")
+        assert result.world_count() == 2  # FRA/PAR collapse, PHL separate
+        for answer in result.answers():
+            assert answer.schema.attributes == ("Arr",)
+
+    def test_repair_key_need_not_be_projected(self):
+        s = ISQLSession()
+        s.register("R", Relation(("K", "V"), [(1, "a"), (1, "b")]))
+        result = s.query("select V from R repair by key K;")
+        assert result.answers() == frozenset(
+            {Relation(("V",), [("a",)]), Relation(("V",), [("b",)])}
+        )
+
+
+class TestGroupWorldsAfterRepair:
+    def test_figure_1_clause_order(self):
+        """choice-of → repair-by-key → group-worlds-by, per Figure 1."""
+        s = ISQLSession()
+        s.register(
+            "R",
+            Relation(("G", "K", "V"), [(1, 1, "a"), (1, 1, "b"), (2, 2, "c")]),
+        )
+        # choice of G splits by group; repair by key K then repairs each
+        # world; certain per G-group intersects the repairs.
+        result = s.query(
+            "select certain V from R choice of G repair by key K "
+            "group worlds by G;"
+        )
+        answers = result.answers()
+        # G=1 group: repairs {a} and {b} intersect to ∅; G=2: {c}.
+        assert Relation(("V",), []) in answers
+        assert Relation(("V",), [("c",)]) in answers
+
+
+class TestClosingLast:
+    def test_certain_applies_to_projected_tuples(self, session):
+        """The paper: 'if possible or certain are present we union,
+        respectively intersect, the tuples in that projection'."""
+        result = session.query(
+            "select certain Arr from Flights choice of Dep;"
+        )
+        assert result.relation.rows == {("ATL",)}
+
+    def test_possible_after_grouping_merges_within_groups(self, session):
+        result = session.query(
+            "select possible Arr from Flights choice of Dep, Arr "
+            "group worlds by Dep;"
+        )
+        # Groups are per departure; union of its per-arrival worlds
+        # recovers each departure's arrival set.
+        assert result.answers() == frozenset(
+            {
+                Relation(("Arr",), [("ATL",), ("BCN",)]),
+                Relation(("Arr",), [("ATL",)]),
+            }
+        )

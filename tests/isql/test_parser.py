@@ -1,0 +1,217 @@
+"""The I-SQL grammar of Figure 1, clause by clause."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.isql import ast, parse_query, parse_script, parse_statement
+
+
+class TestSelectCore:
+    def test_star(self):
+        q = parse_query("select * from Flights")
+        assert isinstance(q.select_list, ast.Star)
+        assert q.from_items == (ast.TableRef("Flights", "Flights"),)
+
+    def test_column_list_with_aliases(self):
+        q = parse_query("select R1.CID, R1.EID as E from Company_Emp R1")
+        items = q.select_list
+        assert items[0].expression == ast.Column("R1", "CID")
+        assert items[1].alias == "E"
+
+    def test_closing_markers(self):
+        assert parse_query("select possible CID from W").closing == "possible"
+        assert parse_query("select certain Arr from F").closing == "certain"
+        assert parse_query("select Arr from F").closing is None
+
+    def test_from_subquery_with_alias(self):
+        q = parse_query("select * from (select * from U choice of EID) R2")
+        item = q.from_items[0]
+        assert isinstance(item, ast.SubqueryRef) and item.alias == "R2"
+        assert item.query.choice_of == ("EID",)
+
+    def test_from_subquery_gets_fresh_alias(self):
+        q = parse_query("select * from (select * from U)")
+        assert q.from_items[0].alias.startswith("_t")
+
+    def test_where_condition_tree(self):
+        q = parse_query(
+            "select * from R where A = 1 and (B != 2 or not C = 'x')"
+        )
+        assert isinstance(q.where, ast.BoolOp) and q.where.op == "and"
+        right = q.where.right
+        assert isinstance(right, ast.BoolOp) and right.op == "or"
+        assert isinstance(right.right, ast.NotOp)
+
+
+class TestWorldClauses:
+    def test_choice_of(self):
+        q = parse_query("select * from Flights choice of Dep")
+        assert q.choice_of == ("Dep",)
+
+    def test_choice_of_multiple(self):
+        q = parse_query("select * from R choice of A, B")
+        assert q.choice_of == ("A", "B")
+
+    def test_repair_by_key(self):
+        q = parse_query("select * from Census repair by key SSN")
+        assert q.repair_by_key == ("SSN",)
+
+    def test_group_worlds_by_attrs(self):
+        q = parse_query("select certain A from R group worlds by A, B")
+        assert q.group_worlds_by == ast.GroupWorldsBy(attributes=("A", "B"))
+
+    def test_group_worlds_by_subquery(self):
+        q = parse_query(
+            "select certain CID, Skill from V group worlds by (select CID from V)"
+        )
+        clause = q.group_worlds_by
+        assert clause.query is not None and clause.attributes is None
+
+    def test_group_by_versus_group_worlds_by(self):
+        q = parse_query(
+            "select Year, sum(Price) as Revenue from L group by Year"
+        )
+        assert q.group_by == ("Year",) and q.group_worlds_by is None
+
+    def test_clauses_in_figure1_order(self):
+        q = parse_query(
+            "select certain A from R where A = 1 group by A "
+            "choice of A repair by key A group worlds by A"
+        )
+        assert q.group_by == ("A",)
+        assert q.choice_of == ("A",)
+        assert q.repair_by_key == ("A",)
+        assert q.group_worlds_by == ast.GroupWorldsBy(attributes=("A",))
+
+
+class TestExpressions:
+    def test_aggregates(self):
+        q = parse_query("select sum(Price), count(*), min(A.B) from L")
+        items = q.select_list
+        assert items[0].expression == ast.Aggregate("sum", ast.Column(None, "Price"))
+        assert items[1].expression == ast.Aggregate("count", None)
+        assert items[2].expression == ast.Aggregate("min", ast.Column("A", "B"))
+
+    def test_arithmetic_precedence(self):
+        q = parse_query("select * from R where A + B * 2 > 7")
+        comparison = q.where
+        assert isinstance(comparison.left, ast.Arithmetic)
+        assert comparison.left.op == "+"
+        assert comparison.left.right.op == "*"
+
+    def test_scalar_subquery_in_condition(self):
+        q = parse_query(
+            "select * from L where (select sum(Price) from L) - 5 > 0"
+        )
+        left = q.where.left
+        assert isinstance(left, ast.Arithmetic)
+        assert isinstance(left.left, ast.ScalarSubquery)
+
+    def test_in_and_not_in(self):
+        q = parse_query("select * from L where Quantity not in (select * from L)")
+        assert isinstance(q.where, ast.InSubquery) and q.where.negated
+        q2 = parse_query("select * from L where A in (select * from L)")
+        assert not q2.where.negated
+
+    def test_exists_and_not_exists(self):
+        q = parse_query("select * from F where not exists (select * from F)")
+        assert isinstance(q.where, ast.ExistsSubquery) and q.where.negated
+
+    def test_negative_literals(self):
+        q = parse_query("select * from R where A > -5")
+        assert q.where.right == ast.Literal(-5)
+
+    def test_string_literals(self):
+        q = parse_query("select * from F where Arr = 'BCN'")
+        assert q.where.right == ast.Literal("BCN")
+
+
+class TestStatements:
+    def test_create_view(self):
+        s = parse_statement("create view HFlights as select * from Flights")
+        assert isinstance(s, ast.CreateView) and s.name == "HFlights"
+
+    def test_assignment_arrow(self):
+        s = parse_statement("U <- select * from Company_Emp choice of CID;")
+        assert isinstance(s, ast.Assignment) and s.name == "U"
+
+    def test_insert(self):
+        s = parse_statement("insert into Flights values ('FRA', 'LIS')")
+        assert s == ast.Insert("Flights", ("FRA", "LIS"))
+
+    def test_insert_numbers(self):
+        s = parse_statement("insert into R values (1, -2, 3.5)")
+        assert s.values == (1, -2, 3.5)
+
+    def test_delete(self):
+        s = parse_statement("delete from Flights where Arr = 'ATL'")
+        assert isinstance(s, ast.Delete) and s.where is not None
+        assert parse_statement("delete from Flights").where is None
+
+    def test_update(self):
+        s = parse_statement("update R set A = A + 1, B = 0 where A > 2")
+        assert isinstance(s, ast.Update)
+        assert [c.attribute for c in s.settings] == ["A", "B"]
+
+    def test_script_parses_multiple_statements(self):
+        script = parse_script(
+            "U <- select * from C choice of CID; select possible CID from U;"
+        )
+        assert len(script) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("select * from R where A = 1 garbage")
+
+    def test_bare_ident_after_table_is_an_alias(self):
+        q = parse_query("select * from R extra")
+        assert q.from_items[0].alias == "extra"
+
+    def test_bad_statement_start(self):
+        with pytest.raises(ParseError, match="unexpected statement"):
+            parse_statement("frobnicate the database")
+
+    def test_parse_query_rejects_dml(self):
+        with pytest.raises(ParseError):
+            parse_query("delete from R")
+
+
+class TestPaperQueries:
+    """Every I-SQL statement printed in the paper parses."""
+
+    PAPER_STATEMENTS = [
+        "select * from Company_Emp choice of CID;",
+        """select R1.CID, R1.EID
+           from Company_Emp R1, (select * from U choice of EID) R2
+           where R1.CID = R2.CID and R1.EID != R2.EID;""",
+        """select certain CID, Skill from V, Emp_Skill
+           where V.EID = Emp_Skill.EID
+           group worlds by (select CID from V);""",
+        "select possible CID from W where Skill = 'Web';",
+        "create view HFlights as select * from Flights where Dep in (select * from Hometowns);",
+        "select certain Arr from HFlights choice of Dep;",
+        """select Arr from HFlights F1
+           where not exists
+             (select * from HFlights F2
+              where not exists
+                (select * from HFlights F3
+                 where F3.Dep = F2.Dep and F3.Arr = F1.Arr));""",
+        """create view YearQuantity as
+           select A.Year, sum(A.Price) as Revenue
+           from (select * from Lineitem choice of Year) as A
+           where Quantity not in
+             (select * from Lineitem choice of Quantity)
+           group by A.Year;""",
+        """select possible Year from YearQuantity as Y
+           where (select sum(Price) from Lineitem
+                  where Lineitem.Year = Y.Year)
+                 - Y.Revenue > 1000000;""",
+        "select * from Census repair by key SSN;",
+        "select * from R repair by key A;",
+        "select * from Flights where Arr = 'BCN';",
+        "delete from Flights where Arr = 'ATL';",
+    ]
+
+    @pytest.mark.parametrize("statement", PAPER_STATEMENTS)
+    def test_parses(self, statement):
+        parse_statement(statement)

@@ -1,0 +1,69 @@
+"""The heuristic cost model: sanity and monotonicity checks."""
+
+from repro.core import (
+    cert,
+    choice_of,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    rename,
+    select,
+    union,
+)
+from repro.core.ast import active_domain, repair_by_key
+from repro.optimizer import compare, estimate
+from repro.relational import Const, eq
+
+
+class TestEstimates:
+    def test_base_relation_uses_given_size(self):
+        est = estimate(rel("R"), {"R": 500})
+        assert est.rows == 500 and est.worlds == 1
+
+    def test_default_size_applies(self):
+        assert estimate(rel("Z")).rows == 100
+
+    def test_selection_halves_rows(self):
+        est = estimate(select(eq("A", Const(1)), rel("R")), {"R": 100})
+        assert est.rows == 50
+
+    def test_choice_multiplies_worlds(self):
+        est = estimate(choice_of("A", rel("R")), {"R": 100})
+        assert est.worlds == 100
+
+    def test_product_multiplies_rows(self):
+        q = product(rel("R"), rename({"A": "X", "B": "Y"}, rel("S")))
+        est = estimate(q, {"R": 10, "S": 20})
+        assert est.rows == 200
+
+    def test_union_adds_rows(self):
+        est = estimate(union(rel("R"), rel("R")), {"R": 10})
+        assert est.rows == 20
+
+    def test_grouping_charges_pairwise_world_work(self):
+        cheap = estimate(project("A", choice_of("A", rel("R"))), {"R": 50})
+        grouped = estimate(
+            poss_group(("A",), ("A",), choice_of("A", rel("R"))), {"R": 50}
+        )
+        assert grouped.work > cheap.work
+
+    def test_closing_keeps_worlds_metric(self):
+        est = estimate(poss(choice_of("A", rel("R"))), {"R": 10})
+        assert est.rows == 1.0 or est.rows >= 0
+
+    def test_repair_and_domain_have_costs(self):
+        assert estimate(repair_by_key("A", rel("R")), {"R": 8}).worlds > 1
+        assert estimate(active_domain(("X", "Y"))).rows == 100**2
+
+
+class TestCompare:
+    def test_identity_ratio_is_one(self):
+        q = select(eq("A", Const(1)), rel("R"))
+        assert abs(compare(q, q) - 1.0) < 1e-9
+
+    def test_removing_a_choice_wins(self):
+        before = poss(choice_of("A", rel("R")))
+        after = poss(rel("R"))
+        assert compare(before, after, {"R": 200}) > 1

@@ -1,0 +1,351 @@
+"""Figure 7: every equivalence validated against the Figure 3 semantics.
+
+Each equation is checked on randomized world-sets: the left- and
+right-hand sides are built from random subqueries and must produce
+identical world-sets. Eq. (20)/(21) are additionally pinned with the
+counterexample found during development (see DESIGN.md): as printed
+they fail when the χ-operand's answer varies across worlds, so the
+shipped rules carry a typing guard.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cert,
+    cert_group,
+    choice_of,
+    difference,
+    evaluate,
+    intersect,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    rename,
+    select,
+    union,
+)
+from repro.datagen import random_world_set
+from repro.relational import Const, eq
+
+seeds = st.integers(0, 30_000)
+SCHEMAS = {"R": ("A", "B"), "S": ("C", "D")}
+
+
+def equal_semantics(lhs, rhs, world_set):
+    return evaluate(lhs, world_set, name="Q") == evaluate(rhs, world_set, name="Q")
+
+
+def subquery(seed):
+    """A random subquery with output attributes (A, B)."""
+    import random
+
+    rng = random.Random(seed)
+    q = rel("R")
+    for _ in range(rng.randrange(3)):
+        roll = rng.random()
+        if roll < 0.4:
+            q = select(eq("A", Const(rng.randrange(4))), q)
+        elif roll < 0.7:
+            q = choice_of(rng.choice(("A", "B", ("A", "B"))), q)
+        else:
+            q = poss(q) if rng.random() < 0.5 else cert(q)
+    return q
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq1_poss_commutes_with_selection(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 1)
+    phi = eq("A", Const(1))
+    assert equal_semantics(poss(select(phi, q)), select(phi, poss(q)), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq2_poss_commutes_with_projection(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 2)
+    assert equal_semantics(poss(project("A", q)), project("A", poss(q)), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq3_poss_distributes_over_union(seed):
+    ws = random_world_set(seed)
+    q1, q2 = subquery(seed + 3), subquery(seed + 4)
+    assert equal_semantics(poss(union(q1, q2)), union(poss(q1), poss(q2)), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq4_cert_commutes_with_selection(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 5)
+    phi = eq("B", Const(2))
+    assert equal_semantics(cert(select(phi, q)), select(phi, cert(q)), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq5_cert_distributes_over_intersection(seed):
+    ws = random_world_set(seed)
+    q1, q2 = subquery(seed + 6), subquery(seed + 7)
+    assert equal_semantics(
+        cert(intersect(q1, q2)), intersect(cert(q1), cert(q2)), ws
+    )
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq6_cert_distributes_over_product(seed):
+    ws = random_world_set(seed)
+    q1 = subquery(seed + 8)
+    q2 = rename({"A": "A2", "B": "B2"}, subquery(seed + 9))
+    assert equal_semantics(cert(product(q1, q2)), product(cert(q1), cert(q2)), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq7_projection_commutes_with_choice(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 10)
+    lhs = project(("A", "B"), choice_of("A", q))
+    rhs = choice_of("A", project(("A", "B"), q))
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq8_choice_commutes_with_product(seed):
+    ws = random_world_set(seed)
+    q1 = subquery(seed + 11)
+    q2 = rename({"C": "C2", "D": "D2"}, rel("S"))
+    lhs = product(choice_of("A", q1), q2)
+    rhs = choice_of("A", product(q1, q2))
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq9_10_selection_commutes_with_grouping(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 12)
+    phi = eq("A", Const(2))  # Attrs(φ) ⊆ X ∩ Y with X = Y = {A, B}
+    for constructor in (poss_group, cert_group):
+        lhs = select(phi, constructor(("A", "B"), ("A", "B"), q))
+        rhs = constructor(("A", "B"), ("A", "B"), select(phi, q))
+        assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq11_poss_absorbs_choice(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 13)
+    assert equal_semantics(poss(choice_of("A", q)), poss(q), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq12_grouping_with_covered_projection_is_projection(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 14)
+    for constructor in (poss_group, cert_group):
+        lhs = constructor(("A", "B"), ("A",), q)
+        assert equal_semantics(lhs, project("A", q), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq13_projection_cancels_poss_grouping(seed):
+    """Eq. (13) is stated for pγ — π distributes over the group unions."""
+    ws = random_world_set(seed)
+    q = subquery(seed + 15)
+    lhs = project("A", poss_group(("A",), ("A", "B"), q))
+    assert equal_semantics(lhs, project("A", q), ws)
+
+
+def test_eq13_does_not_extend_to_cert_grouping():
+    """π_Z(cγ…) ≠ π_Z(q): intersections can lose all Z-witnesses."""
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet(
+        [
+            World.of({"R": Relation(("A", "B"), [(0, 1)])}),
+            World.of({"R": Relation(("A", "B"), [(0, 2)])}),
+        ]
+    )
+    lhs = project("A", cert_group(("A",), ("A", "B"), rel("R")))
+    assert not equal_semantics(lhs, project("A", rel("R")), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq14_projection_merges_into_poss_group(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 16)
+    lhs = project("B", poss_group(("A",), ("A", "B"), q))
+    rhs = poss_group(("A",), ("B",), q)
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq15_poss_absorbs_poss_group(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 17)
+    lhs = poss(poss_group(("A",), ("B",), q))
+    rhs = poss(project("B", q))
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq16_cert_absorbs_cert_group(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 18)
+    lhs = cert(cert_group(("A",), ("B",), q))
+    rhs = cert(project("B", q))
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq17_nested_choices_merge(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 19)
+    assert equal_semantics(
+        choice_of("A", choice_of("B", q)), choice_of(("A", "B"), q), ws
+    )
+    assert equal_semantics(
+        choice_of("A", choice_of("B", q)), choice_of("B", choice_of("A", q)), ws
+    )
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_eq18_nested_groupings_merge_sound_instance(seed):
+    """Eq. (18) with equal grouping attributes: γ^Y_X(pγ^{X∪Z}_X(q)) =
+    pγ^Y_X(q), for both outer kinds — the instance the rewriter applies."""
+    ws = random_world_set(seed)
+    q = subquery(seed + 20)
+    inner = poss_group(("A",), ("A", "B"), q)
+    for outer_ctor in (poss_group, cert_group):
+        lhs = outer_ctor(("A",), ("A",), inner)
+        rhs = poss_group(("A",), ("A",), q)
+        assert equal_semantics(lhs, rhs, ws)
+
+
+def test_eq19_as_printed_counterexample():
+    """Eq. (19) over an inner cγ fails: π_Y does not distribute over the
+    per-group intersections (DESIGN.md faithfulness note)."""
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet(
+        [
+            World.of({"R": Relation(("A", "B"), [(0, 1)])}),
+            World.of({"R": Relation(("A", "B"), [(0, 2)])}),
+        ]
+    )
+    inner = cert_group(("A",), ("A", "B"), rel("R"))  # X={A}, V=∅, Z={B}
+    lhs = poss_group(("A",), ("A",), inner)
+    rhs = cert_group(("A",), ("A",), rel("R"))
+    assert not equal_semantics(lhs, rhs, ws)
+
+
+def test_eq18_extra_inner_grouping_attributes_counterexample():
+    """Eq. (18) with V ≠ ∅ fails: the coarser outer grouping merges
+    inner groups whose per-group unions differ (X=∅, V={A}, Z={B})."""
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet(
+        [
+            World.of({"R": Relation(("A", "B"), [(0, 1)])}),
+            World.of({"R": Relation(("A", "B"), [(2, 3)])}),
+        ]
+    )
+    inner = poss_group(("A",), ("B",), rel("R"))  # pγ^{X∪Z}_{X∪V}
+    lhs = poss_group((), ("B",), inner)  # outer pγ^Y_X with X=∅
+    rhs = poss_group(("A",), ("B",), rel("R"))  # claimed pγ^Y_{X∪V}
+    assert not equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq20_poss_group_over_choice_single_world(seed):
+    """Eq. (20) in the paper's setting: evaluation from one world."""
+    ws = random_world_set(seed, max_worlds=1)
+    lhs = poss_group(("A",), ("A", "B"), choice_of(("A", "B"), rel("R")))
+    rhs = project(("A", "B"), choice_of("A", rel("R")))
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq21_cert_group_over_choice_sound_instance(seed):
+    """Eq. (21) with Y ⊆ X (single-world input): the shipped rule."""
+    ws = random_world_set(seed, max_worlds=1)
+    chi = choice_of(("A", "B"), rel("R"))
+    lhs = cert_group(("A",), ("A",), chi)
+    rhs = project(("A",), chi)
+    assert equal_semantics(lhs, rhs, ws)
+
+
+def test_eq21_as_printed_counterexample():
+    """Eq. (21) with Y ⊈ X fails even from a complete database: two
+    χ-worlds sharing the X-choice but differing on Y intersect to ∅."""
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet.single(
+        World.of({"R": Relation(("A", "B"), [("a", "b1"), ("a", "b2")])})
+    )
+    chi = choice_of(("A", "B"), rel("R"))
+    lhs = cert_group(("A",), ("B",), chi)
+    rhs = project(("B",), chi)
+    assert not equal_semantics(lhs, rhs, ws)
+
+
+def test_eq20_unguarded_counterexample():
+    """The regression pin: Eq. (20) fails on multi-world inputs when the
+    χ-operand's answer varies across worlds (DESIGN.md faithfulness note)."""
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet(
+        [
+            World.of({"R": Relation(("A", "B"), [(1, 10)])}),
+            World.of({"R": Relation(("A", "B"), [(1, 20)])}),
+        ]
+    )
+    lhs = poss_group(("A",), ("A", "B"), choice_of(("A", "B"), rel("R")))
+    rhs = project(("A", "B"), choice_of("A", rel("R")))
+    assert not equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq22_23_closing_compositions(seed):
+    ws = random_world_set(seed)
+    q = subquery(seed + 21)
+    assert equal_semantics(poss(cert(q)), cert(q), ws)
+    assert equal_semantics(cert(cert(q)), cert(q), ws)
+    assert equal_semantics(poss(poss(q)), poss(q), ws)
+    assert equal_semantics(cert(poss(q)), poss(q), ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_eq24_cert_over_difference(seed):
+    ws = random_world_set(seed)
+    q1, q2 = subquery(seed + 22), subquery(seed + 23)
+    lhs = cert(difference(q1, q2))
+    rhs = cert(difference(cert(q1), q2))
+    assert equal_semantics(lhs, rhs, ws)

@@ -1,0 +1,135 @@
+"""Examples 6.1 and 6.2 with Figures 8 and 9: the paper's derivations."""
+
+import pytest
+
+from repro.core import (
+    answer,
+    cert,
+    choice_of,
+    poss,
+    poss_group,
+    product,
+    project,
+    rel,
+    select,
+)
+from repro.optimizer import compare, optimize
+from repro.relational import Relation, eq
+from repro.render import render_plan
+from repro.worlds import World, WorldSet
+
+HF_ATTRS = ("Dep", "Arr")
+HOTEL_ATTRS = ("Name", "City", "Price")
+ALL_ATTRS = HF_ATTRS + HOTEL_ATTRS
+SCHEMAS = {"HFlights": HF_ATTRS, "Hotels": HOTEL_ATTRS}
+
+
+def q1():
+    """q1 = cert(π_City(σ_{Arr=City}(pγ^*_Dep(χ_{Dep,City}(HFlights × Hotels)))))."""
+    return cert(
+        project(
+            "City",
+            select(
+                eq("Arr", "City"),
+                poss_group(
+                    ("Dep",),
+                    ALL_ATTRS,
+                    choice_of(("Dep", "City"), product(rel("HFlights"), rel("Hotels"))),
+                ),
+            ),
+        )
+    )
+
+
+def q2():
+    return poss(
+        project(
+            "City",
+            select(
+                eq("Arr", "City"),
+                poss_group(
+                    ("Dep",),
+                    ALL_ATTRS,
+                    choice_of(("Dep", "City"), product(rel("HFlights"), rel("Hotels"))),
+                ),
+            ),
+        )
+    )
+
+
+@pytest.fixture
+def travel_ws(flights):
+    hotels = Relation(
+        HOTEL_ATTRS,
+        [("Hilton", "BCN", 200), ("Ritz", "ATL", 300), ("Ibis", "ATL", 100)],
+    )
+    return WorldSet.single(World.of({"HFlights": flights, "Hotels": hotels}))
+
+
+class TestExample61:
+    def test_rewritten_form_matches_figure_8b(self):
+        optimized, trace = optimize(q1(), SCHEMAS)
+        assert optimized.to_text() == (
+            "cert(π[City]((χ[Dep](HFlights) ⋈[Arr=City] Hotels)))"
+        )
+        equations = [step.rule.equation for step in trace]
+        assert "Eq. (20)" in equations and "Eq. (8)" in equations
+
+    def test_equivalence_on_data(self, travel_ws):
+        optimized, _ = optimize(q1(), SCHEMAS)
+        assert answer(q1(), travel_ws) == answer(optimized, travel_ws)
+        assert answer(q1(), travel_ws).rows == {("ATL",)}
+
+    def test_figure_8_plans_render(self):
+        optimized, _ = optimize(q1(), SCHEMAS)
+        original_plan = render_plan(q1(), title="(a) Query q1")
+        rewritten_plan = render_plan(optimized, title="(b) Query q1'")
+        assert "pγ" in original_plan and "χ[Dep,City]" in original_plan
+        assert "χ[Dep]" in rewritten_plan and "pγ" not in rewritten_plan
+
+    def test_cost_model_prefers_the_rewrite(self):
+        optimized, _ = optimize(q1(), SCHEMAS)
+        sizes = {"HFlights": 100, "Hotels": 50}
+        assert compare(q1(), optimized, sizes) > 10
+
+
+class TestExample62:
+    def test_rewritten_form_matches_figure_9b(self):
+        optimized, trace = optimize(q2(), SCHEMAS)
+        assert optimized.to_text() == (
+            "π[City](poss((HFlights ⋈[Arr=City] Hotels)))"
+        )
+        equations = [step.rule.equation for step in trace]
+        assert "Eq. (11)" in equations  # poss absorbed the choice-of
+
+    def test_no_world_operators_besides_poss_remain(self):
+        from repro.core.ast import Cert, ChoiceOf, PossGroup
+
+        optimized, _ = optimize(q2(), SCHEMAS)
+        assert not any(
+            isinstance(node, (ChoiceOf, PossGroup, Cert))
+            for node in optimized.walk()
+        )
+
+    def test_equivalence_on_data(self, travel_ws):
+        optimized, _ = optimize(q2(), SCHEMAS)
+        assert answer(q2(), travel_ws) == answer(optimized, travel_ws)
+        assert answer(q2(), travel_ws).rows == {("ATL",), ("BCN",)}
+
+    def test_on_complete_data_poss_can_drop_via_translation(self, travel_ws):
+        """'In case the input data is complete, the operator poss can be
+        dropped and q2' becomes a relational algebra query.'"""
+        from repro.inline import optimized_ra_query
+
+        optimized, _ = optimize(q2(), SCHEMAS)
+        ra = optimized_ra_query(optimized, SCHEMAS)
+        assert "poss" not in ra.to_text()
+        world = travel_ws.the_world()
+        from repro.relational import Database
+
+        db = Database(dict(world.items()))
+        assert ra.evaluate(db) == answer(q2(), travel_ws)
+
+    def test_cost_model_prefers_the_rewrite(self):
+        optimized, _ = optimize(q2(), SCHEMAS)
+        assert compare(q2(), optimized, {"HFlights": 100, "Hotels": 50}) > 10

@@ -1,0 +1,51 @@
+"""Proposition 6.3: poss and cert are inter-expressible (Eq. 25/26)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import cert, evaluate, poss
+from repro.datagen import random_world_set
+from repro.optimizer import cert_via_domain, cert_via_poss, poss_via_cert
+from repro.relational import Schema
+
+seeds = st.integers(0, 20_000)
+ENV = {"R": Schema(("A", "B")), "S": Schema(("C", "D"))}
+
+
+def inner(seed):
+    from tests.optimizer.test_equivalences import subquery
+
+    return subquery(seed)
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_eq25_cert_via_poss(seed):
+    """cert(Q) = Q − poss(poss(Q) − Q)."""
+    ws = random_world_set(seed)
+    q = inner(seed + 1)
+    direct = evaluate(cert(q), ws, name="Q")
+    encoded = evaluate(cert_via_poss(q, ENV), ws, name="Q")
+    assert direct == encoded
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_eq25_cert_via_domain(seed):
+    """cert(Q) = Q − poss(D^arity(Q) − Q)."""
+    ws = random_world_set(seed, max_worlds=3, max_rows=4, domain=(0, 1, 2))
+    q = inner(seed + 2)
+    direct = evaluate(cert(q), ws, name="Q")
+    encoded = evaluate(cert_via_domain(q, ENV), ws, name="Q")
+    assert direct == encoded
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_eq26_poss_via_cert(seed):
+    """poss(Q) = D^arity(Q) − cert(D^arity(Q) − Q)."""
+    ws = random_world_set(seed, max_worlds=3, max_rows=4, domain=(0, 1, 2))
+    q = inner(seed + 3)
+    direct = evaluate(poss(q), ws, name="Q")
+    encoded = evaluate(poss_via_cert(q, ENV), ws, name="Q")
+    assert direct == encoded

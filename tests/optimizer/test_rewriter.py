@@ -1,0 +1,107 @@
+"""The rewrite engine: fixpoints, traces, soundness on random queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RewriteError
+from repro.core import cert, choice_of, evaluate, poss, project, rel, select
+from repro.datagen import random_query, random_world_set
+from repro.optimizer import Rewriter, optimize
+from repro.relational import Const, eq
+
+SCHEMAS = {"R": ("A", "B"), "S": ("C", "D")}
+
+
+class TestMechanics:
+    def test_trace_records_each_step(self):
+        query = poss(choice_of("A", rel("R")))
+        optimized, trace = optimize(query, SCHEMAS)
+        assert optimized == poss(rel("R"))
+        assert any(step.rule.equation == "Eq. (11)" for step in trace)
+        assert trace[0].before == query
+        assert trace[-1].after == optimized
+
+    def test_fixpoint_reaches_no_more_matches(self):
+        query = poss(poss(poss(rel("R"))))
+        optimized, _ = optimize(query, SCHEMAS)
+        assert optimized == poss(rel("R"))
+
+    def test_non_matching_query_is_unchanged(self):
+        query = select(eq("A", Const(1)), rel("R"))
+        optimized, trace = optimize(query, SCHEMAS)
+        assert optimized == query and trace == []
+
+    def test_max_steps_guard(self):
+        from repro.optimizer.equivalences import RewriteRule
+        from repro.core.ast import Poss
+
+        flip = RewriteRule(
+            "loop", "test", lambda q, env: Poss(q) if not isinstance(q, Poss) else None
+        )
+        with pytest.raises(RewriteError, match="converge"):
+            Rewriter([flip], max_steps=5).optimize(rel("R"), SCHEMAS)
+
+    def test_finalize_can_be_disabled(self):
+        query = select(eq("A", Const(1)), poss(rel("R")))
+        kept, _ = optimize(query, SCHEMAS)
+        assert kept == poss(select(eq("A", Const(1)), rel("R")))
+        raw, _ = Rewriter().optimize(query, SCHEMAS, finalize=False)
+        assert raw == query
+
+    def test_invalid_query_rejected_before_rewriting(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            optimize(project("Z", rel("R")), SCHEMAS)
+
+
+class TestSoundness:
+    @given(st.integers(0, 30_000))
+    @settings(max_examples=100, deadline=None)
+    def test_single_world_inputs_default_rules(self, seed):
+        ws = random_world_set(seed, max_worlds=1)
+        query = random_query(seed * 19 + 11, depth=4)
+        optimized, _ = optimize(query, SCHEMAS)
+        assert evaluate(query, ws, name="Q") == evaluate(optimized, ws, name="Q")
+
+    @given(st.integers(0, 30_000))
+    @settings(max_examples=100, deadline=None)
+    def test_world_set_inputs_strict_rules(self, seed):
+        ws = random_world_set(seed)
+        query = random_query(seed * 13 + 5, depth=4)
+        optimized, _ = optimize(query, SCHEMAS, input_kind="m")
+        assert evaluate(query, ws, name="Q") == evaluate(optimized, ws, name="Q")
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_rewriting_never_grows_splitting_operators(self, seed):
+        """poss/cert may duplicate under the distribution rules (3)/(5)/(6),
+        but the world-splitting operators (χ, γ) only move or vanish."""
+        from repro.core.ast import CertGroup, ChoiceOf, PossGroup
+
+        def splitting_ops(q):
+            return sum(
+                isinstance(n, (ChoiceOf, PossGroup, CertGroup)) for n in q.walk()
+            )
+
+        query = random_query(seed * 23 + 7, depth=4)
+        optimized, _ = optimize(query, SCHEMAS)
+        assert splitting_ops(optimized) <= splitting_ops(query)
+
+
+class TestReductionPower:
+    def test_poss_of_choice_collapses_to_relational(self):
+        """Example 6.2's punchline: poss-closed choice queries lose all
+        world operators and become (almost) relational algebra."""
+        query = poss(project("A", choice_of(("A", "B"), rel("R"))))
+        optimized, _ = optimize(query, SCHEMAS)
+        assert optimized == project("A", poss(rel("R")))
+
+    def test_certain_trip_query_reduces(self):
+        query = cert(project("Arr", choice_of("Dep", rel("HFlights"))))
+        optimized, _ = optimize(query, {"HFlights": ("Dep", "Arr")})
+        # cert does not absorb χ (unlike poss): the χ must survive.
+        from repro.core.ast import ChoiceOf
+
+        assert any(isinstance(n, ChoiceOf) for n in optimized.walk())

@@ -1,0 +1,45 @@
+"""Rewrite traces: every intermediate step is itself an equivalence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate
+from repro.datagen import random_query, random_world_set
+from repro.optimizer import Rewriter
+
+SCHEMAS = {"R": ("A", "B"), "S": ("C", "D")}
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_steps_chain(seed):
+    """step[i].after == step[i+1].before, start and end match."""
+    query = random_query(seed * 11 + 3, depth=4)
+    optimized, trace = Rewriter().optimize(query, SCHEMAS)
+    if not trace:
+        assert optimized == query
+        return
+    assert trace[0].before == query
+    assert trace[-1].after == optimized
+    for earlier, later in zip(trace, trace[1:]):
+        assert earlier.after == later.before
+
+
+@given(st.integers(0, 5_000))
+@settings(max_examples=30, deadline=None)
+def test_every_intermediate_step_preserves_semantics(seed):
+    """Not just the endpoints: each single rewrite step is sound."""
+    ws = random_world_set(seed + 100, max_worlds=1)
+    query = random_query(seed * 7 + 1, depth=3)
+    _, trace = Rewriter().optimize(query, SCHEMAS)
+    for step in trace:
+        assert evaluate(step.before, ws, name="Q") == evaluate(
+            step.after, ws, name="Q"
+        ), repr(step)
+
+
+def test_trace_repr_names_the_equation():
+    from repro.core import choice_of, poss, rel
+
+    _, trace = Rewriter().optimize(poss(choice_of("A", rel("R"))), SCHEMAS)
+    assert any("Eq. (11)" in repr(step) for step in trace)

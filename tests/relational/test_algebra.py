@@ -1,0 +1,171 @@
+"""Relational algebra expressions: evaluation, schema inference, analysis."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Antijoin,
+    CopyAttr,
+    Database,
+    Difference,
+    Divide,
+    Intersection,
+    Literal,
+    NaturalJoin,
+    OuterJoinPad,
+    PAD,
+    Product,
+    Project,
+    Relation,
+    Rename,
+    Schema,
+    Select,
+    Semijoin,
+    Table,
+    ThetaJoin,
+    Union,
+    eq,
+    Const,
+    evaluate,
+)
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {
+            "R": Relation(("A", "B"), [(1, 2), (2, 3), (2, 4), (3, 2)]),
+            "S": Relation(("C", "D"), [(2, 3), (4, 5)]),
+        }
+    )
+
+
+ENV = {"R": Schema(("A", "B")), "S": Schema(("C", "D"))}
+
+
+class TestEvaluation:
+    def test_table_and_literal(self, db):
+        assert Table("R").evaluate(db) == db["R"]
+        lit = Literal(Relation.unit())
+        assert lit.evaluate(db) == Relation.unit()
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            Table("Z").evaluate(db)
+
+    def test_select_project_rename(self, db):
+        expr = Project(("A",), Select(eq("B", Const(2)), Table("R")))
+        assert expr.evaluate(db).rows == {(1,), (3,)}
+        assert Rename({"A": "X"}, Table("R")).evaluate(db).schema.attributes == ("X", "B")
+
+    def test_copy_attr(self, db):
+        expr = CopyAttr("A", "$A", Table("R"))
+        assert (1, 2, 1) in expr.evaluate(db)
+
+    def test_set_operators(self, db):
+        r = Table("R")
+        assert Union(r, r).evaluate(db) == db["R"]
+        assert not Difference(r, r).evaluate(db)
+        assert Intersection(r, r).evaluate(db) == db["R"]
+
+    def test_joins(self, db):
+        product = Product(Table("R"), Table("S")).evaluate(db)
+        assert len(product) == 8
+        theta = ThetaJoin(eq("B", "C"), Table("R"), Table("S")).evaluate(db)
+        assert (1, 2, 2, 3) in theta
+        natural = NaturalJoin(Table("R"), Table("S")).evaluate(db)
+        assert natural == product  # no shared attributes
+
+    def test_semijoin_antijoin(self, db):
+        renamed = Rename({"C": "B"}, Project(("C",), Table("S")))
+        kept = Semijoin(Table("R"), renamed).evaluate(db)
+        dropped = Antijoin(Table("R"), renamed).evaluate(db)
+        assert kept.union(dropped) == db["R"]
+
+    def test_divide(self, db):
+        expr = Divide(
+            Project(("A", "B"), Table("R")), Project(("B",), Table("R"))
+        )
+        assert expr.evaluate(db).schema.attributes == ("A",)
+
+    def test_outer_join_pad(self, db):
+        expr = OuterJoinPad(
+            Project(("A",), Table("R")),
+            Select(eq("A", Const(1)), Rename({"C": "A"}, Table("S"))),
+        )
+        result = expr.evaluate(db)
+        assert (2, PAD) in result or (2,) + (PAD,) in result
+
+    def test_memoization_shares_subexpressions(self, db):
+        calls = []
+        original = Table._evaluate
+
+        def counting(self, database, cache):
+            calls.append(self.name)
+            return original(self, database, cache)
+
+        Table._evaluate = counting
+        try:
+            shared = Project(("A",), Table("R"))
+            expr = Union(shared, shared)
+            expr.evaluate(db)
+        finally:
+            Table._evaluate = original
+        assert calls.count("R") == 1
+
+    def test_module_level_evaluate_rejects_non_expr(self, db):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            evaluate("not an expression", db)  # type: ignore[arg-type]
+
+
+class TestSchemaInference:
+    def test_project_schema(self):
+        assert Project(("B",), Table("R")).schema(ENV).attributes == ("B",)
+
+    def test_select_validates_predicate_attrs(self):
+        with pytest.raises(SchemaError):
+            Select(eq("Z", Const(1)), Table("R")).schema(ENV)
+
+    def test_union_requires_same_attrs(self):
+        with pytest.raises(SchemaError):
+            Union(Table("R"), Table("S")).schema(ENV)
+
+    def test_product_requires_disjoint(self):
+        with pytest.raises(SchemaError):
+            Product(Table("R"), Table("R")).schema(ENV)
+
+    def test_divide_schema(self):
+        expr = Divide(Table("R"), Project(("B",), Table("R")))
+        assert expr.schema(ENV).attributes == ("A",)
+
+    def test_natural_join_schema_order(self):
+        expr = NaturalJoin(Table("R"), Rename({"C": "B"}, Table("S")))
+        assert expr.schema(ENV).attributes == ("A", "B", "D")
+
+
+class TestAnalysis:
+    def test_size_and_depth(self):
+        expr = Project(("A",), Select(eq("A", Const(1)), Table("R")))
+        assert expr.size() == 3
+        assert expr.depth() == 3
+
+    def test_tables(self):
+        expr = Union(Project(("A",), Table("R")), Rename({"C": "A"}, Project(("C",), Table("S"))))
+        assert expr.tables() == frozenset({"R", "S"})
+
+    def test_walk_preorder(self):
+        expr = Select(eq("A", Const(1)), Table("R"))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Select", "Table"]
+
+    def test_structural_equality(self):
+        a = Project(("A",), Table("R"))
+        b = Project(("A",), Table("R"))
+        assert a == b and hash(a) == hash(b)
+        assert a != Project(("B",), Table("R"))
+
+    def test_to_text(self):
+        expr = Project(("A",), Table("R"))
+        assert expr.to_text() == "π[A](R)"

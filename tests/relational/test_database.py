@@ -1,0 +1,56 @@
+"""Databases: ordered named relation collections."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Database, Relation
+
+
+@pytest.fixture
+def db():
+    return Database(
+        {"R": Relation(("A",), [(1,)]), "S": Relation(("B",), [(2,)])}
+    )
+
+
+class TestBasics:
+    def test_order_preserved(self, db):
+        assert db.names == ("R", "S")
+
+    def test_lookup_and_errors(self, db):
+        assert db["R"].rows == {(1,)}
+        with pytest.raises(SchemaError, match="unknown relation"):
+            db["Z"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([("R", Relation(("A",))), ("R", Relation(("A",)))])
+
+    def test_equality_and_hash(self, db):
+        same = Database(
+            {"R": Relation(("A",), [(1,)]), "S": Relation(("B",), [(2,)])}
+        )
+        assert db == same and hash(db) == hash(same)
+
+    def test_schemas_and_active_domain(self, db):
+        assert db.schema("R").attributes == ("A",)
+        assert db.active_domain() == frozenset({1, 2})
+
+    def test_with_and_without_relation(self, db):
+        extended = db.with_relation("T", Relation(("C",), [(3,)]))
+        assert extended.names == ("R", "S", "T")
+        assert db.names == ("R", "S")  # immutability
+        shrunk = extended.without_relation("S")
+        assert shrunk.names == ("R", "T")
+
+    def test_without_unknown_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.without_relation("Z")
+
+    def test_subclass_preserved_by_updates(self):
+        from repro.worlds import World
+
+        world = World.of({"R": Relation(("A",), [(1,)])})
+        assert isinstance(world.with_relation("S", Relation(("B",))), World)
+        extended = world.with_relation("S", Relation(("B",)))
+        assert isinstance(extended.without_relation("S"), World)

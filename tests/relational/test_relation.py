@@ -1,0 +1,204 @@
+"""Relations: construction, operators, edge cases of the named perspective."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import PAD, Relation, eq, Const
+
+
+@pytest.fixture
+def r():
+    return Relation(("A", "B"), [(1, 2), (2, 3), (2, 4), (3, 2)])
+
+
+@pytest.fixture
+def s():
+    return Relation(("C", "D"), [(2, 3), (4, 5)])
+
+
+class TestConstruction:
+    def test_rows_deduplicate(self):
+        relation = Relation(("A",), [(1,), (1,), (2,)])
+        assert len(relation) == 2
+
+    def test_dict_rows(self):
+        relation = Relation(("A", "B"), [{"B": 2, "A": 1}])
+        assert (1, 2) in relation
+
+    def test_dict_rows_validate_attributes(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Relation(("A", "B"), [{"A": 1}])
+        with pytest.raises(SchemaError, match="unknown"):
+            Relation(("A",), [{"A": 1, "Z": 2}])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError, match="expects"):
+            Relation(("A", "B"), [(1,)])
+
+    def test_unit_is_the_nullary_singleton(self):
+        unit = Relation.unit()
+        assert len(unit.schema) == 0 and len(unit) == 1
+
+    def test_empty(self):
+        assert not Relation.empty(("A",))
+
+
+class TestEquality:
+    def test_attribute_order_is_immaterial(self):
+        left = Relation(("A", "B"), [(1, 2)])
+        right = Relation(("B", "A"), [(2, 1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_attribute_sets_differ(self):
+        assert Relation(("A",), [(1,)]) != Relation(("B",), [(1,)])
+
+    def test_different_rows_differ(self):
+        assert Relation(("A",), [(1,)]) != Relation(("A",), [(2,)])
+
+
+class TestUnaryOperators:
+    def test_select(self, r):
+        assert r.select(eq("A", Const(2))).rows == {(2, 3), (2, 4)}
+
+    def test_select_values_fast_path(self, r):
+        assert r.select_values({"A": 2, "B": 3}).rows == {(2, 3)}
+
+    def test_project_deduplicates(self, r):
+        assert r.project(("A",)).rows == {(1,), (2,), (3,)}
+
+    def test_project_to_nullary(self, r):
+        assert r.project(()).rows == {()}
+        assert Relation.empty(("A",)).project(()).rows == set()
+
+    def test_rename(self, r):
+        renamed = r.rename({"A": "X"})
+        assert renamed.schema.attributes == ("X", "B")
+        assert renamed.rows == r.rows
+
+    def test_copy_attribute(self, r):
+        copied = r.copy_attribute("A", "$A")
+        assert copied.schema.attributes == ("A", "B", "$A")
+        assert (1, 2, 1) in copied
+
+    def test_copy_attribute_rejects_existing(self, r):
+        with pytest.raises(SchemaError):
+            r.copy_attribute("A", "B")
+
+    def test_extend(self, r):
+        extended = r.extend("S", lambda row: row["A"] + row["B"])
+        assert (1, 2, 3) in extended
+
+
+class TestBinaryOperators:
+    def test_union_intersection_difference(self, r):
+        other = Relation(("A", "B"), [(1, 2), (9, 9)])
+        assert len(r.union(other)) == 5
+        assert r.intersection(other).rows == {(1, 2)}
+        assert (9, 9) not in r.difference(other).union(other).difference(other)
+
+    def test_set_ops_align_column_order(self):
+        left = Relation(("A", "B"), [(1, 2)])
+        right = Relation(("B", "A"), [(2, 1)])
+        assert len(left.union(right)) == 1
+        assert left.intersection(right).rows == {(1, 2)}
+
+    def test_set_ops_require_same_attributes(self, r, s):
+        with pytest.raises(SchemaError):
+            r.union(s)
+
+    def test_product(self, r, s):
+        product = r.product(s)
+        assert len(product) == len(r) * len(s)
+        assert product.schema.attributes == ("A", "B", "C", "D")
+
+    def test_product_requires_disjoint(self, r):
+        with pytest.raises(SchemaError):
+            r.product(r)
+
+    def test_natural_join(self, r):
+        other = Relation(("B", "C"), [(2, "x"), (3, "y")])
+        joined = r.natural_join(other)
+        assert joined.rows == {(1, 2, "x"), (3, 2, "x"), (2, 3, "y")}
+
+    def test_natural_join_without_common_attrs_is_product(self, r, s):
+        assert r.natural_join(s) == r.product(s)
+
+    def test_equi_join(self, r, s):
+        joined = r.equi_join(s, [("B", "C")])
+        assert joined.rows == {(1, 2, 2, 3), (3, 2, 2, 3), (2, 4, 4, 5)}
+
+    def test_theta_join_falls_back_to_filter(self, r, s):
+        joined = r.theta_join(s, eq("B", "C") & eq("A", Const(1)))
+        assert joined.rows == {(1, 2, 2, 3)}
+
+    def test_semijoin_antijoin_partition(self, r):
+        other = Relation(("B", "C"), [(2, "x")])
+        kept = r.semijoin(other)
+        dropped = r.antijoin(other)
+        assert kept.union(dropped) == r
+        assert not kept.intersection(dropped)
+
+    def test_semijoin_no_common_attrs(self, r, s):
+        assert r.semijoin(s) == r
+        assert r.semijoin(Relation.empty(("Z",))) == Relation.empty(("A", "B"))
+
+
+class TestDivision:
+    def test_paper_trip_planning_division(self):
+        hflights = Relation(
+            ("Dep", "Arr"),
+            [("FRA", "BCN"), ("FRA", "ATL"), ("PAR", "ATL"), ("PAR", "BCN"), ("PHL", "ATL")],
+        )
+        quotient = hflights.project(("Arr", "Dep")).divide(hflights.project(("Dep",)))
+        assert quotient.rows == {("ATL",)}
+
+    def test_divide_by_empty_is_vacuous(self, r):
+        assert r.divide(Relation.empty(("B",))) == r.project(("A",))
+
+    def test_divide_by_unit_keeps_everything(self, r):
+        assert r.divide(Relation.unit()) == r
+
+    def test_divide_requires_subset(self, r, s):
+        with pytest.raises(SchemaError):
+            r.divide(s)
+
+    def test_divide_matches_subtraction_definition(self, r):
+        divisor = r.project(("B",))
+        by_definition = r.project(("A",)).difference(
+            r.project(("A",)).product(divisor).difference(r).project(("A",))
+        )
+        assert r.divide(divisor) == by_definition
+
+
+class TestPaddedOuterJoin:
+    def test_pads_dangling_rows(self):
+        left = Relation(("A",), [(1,), (2,)])
+        right = Relation(("A", "B"), [(1, "x")])
+        joined = left.left_outer_join_padded(right)
+        assert joined.rows == {(1, "x"), (2, PAD)}
+
+    def test_unit_left_operand(self):
+        right = Relation(("B",), [(1,)])
+        assert Relation.unit().left_outer_join_padded(right).rows == {(1,)}
+
+    def test_unit_left_operand_with_empty_right_keeps_pad_world(self):
+        joined = Relation.unit().left_outer_join_padded(Relation.empty(("B",)))
+        assert joined.rows == {(PAD,)}
+
+    def test_pad_constant_identity(self):
+        assert PAD == PAD
+        assert PAD < 0 and PAD < "" and not PAD > 0
+        assert repr(PAD) == "⊥"
+
+
+class TestHelpers:
+    def test_distinct_values_sorted(self, r):
+        assert r.distinct_values(("A",)) == [(1,), (2,), (3,)]
+
+    def test_active_domain(self, r):
+        assert r.active_domain() == frozenset({1, 2, 3, 4})
+
+    def test_named_rows(self):
+        relation = Relation(("A", "B"), [(1, 2)])
+        assert relation.named_rows() == [{"A": 1, "B": 2}]

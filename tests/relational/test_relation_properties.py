@@ -1,0 +1,101 @@
+"""Property-based tests of relational algebra laws (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Relation, eq, Const
+
+
+def relations(attrs=("A", "B"), domain=st.integers(0, 3), max_rows=6):
+    row = st.tuples(*([domain] * len(attrs)))
+    return st.frozensets(row, max_size=max_rows).map(
+        lambda rows: Relation(attrs, rows)
+    )
+
+
+@given(relations(), relations(), relations())
+def test_union_is_associative_and_commutative(a, b, c):
+    assert a.union(b) == b.union(a)
+    assert a.union(b.union(c)) == a.union(b).union(c)
+
+
+@given(relations(), relations())
+def test_intersection_via_difference(a, b):
+    assert a.intersection(b) == a.difference(a.difference(b))
+
+
+@given(relations(), relations())
+def test_difference_disjoint_from_subtrahend(a, b):
+    assert not a.difference(b).intersection(b)
+
+
+@given(relations(), relations(attrs=("C", "D")))
+def test_product_cardinality(a, b):
+    assert len(a.product(b)) == len(a) * len(b)
+
+
+@given(relations(), relations(attrs=("B", "C")))
+def test_natural_join_equals_select_over_product(a, b):
+    renamed = b.rename({"B": "B2"})
+    expected = (
+        a.product(renamed)
+        .select(eq("B", "B2"))
+        .project(("A", "B", "C"))
+    )
+    assert a.natural_join(b) == expected
+
+
+@given(relations(), relations(attrs=("B", "C")))
+def test_semijoin_antijoin_partition(a, b):
+    kept = a.semijoin(b)
+    dropped = a.antijoin(b)
+    assert kept.union(dropped) == a
+    assert not kept.intersection(dropped)
+    assert a.natural_join(b).project(("A", "B")) == kept
+
+
+@given(relations())
+def test_division_by_own_projection(a):
+    """Every A-value paired with all B-values of *some* tuple survives
+    division only if paired with *all* B-values present anywhere."""
+    divisor = a.project(("B",))
+    quotient = a.divide(divisor)
+    for (value,) in quotient.rows:
+        for (b_value,) in divisor.rows:
+            assert (value, b_value) in a
+
+
+@given(relations(), relations(attrs=("B",)))
+def test_division_matches_double_negation_definition(a, divisor):
+    by_definition = a.project(("A",)).difference(
+        a.project(("A",)).product(divisor).difference(a).project(("A",))
+    )
+    assert a.divide(divisor) == by_definition
+
+
+@given(relations(), relations(attrs=("B", "C")))
+def test_padded_outer_join_covers_left(a, b):
+    """Every left row appears exactly once as either joined or padded."""
+    joined = a.left_outer_join_padded(b)
+    assert joined.project(("A", "B")).rows >= a.semijoin(b).rows
+    left_back = joined.project(("A", "B"))
+    assert left_back.rows >= a.rows or a.semijoin(b).rows
+
+
+@given(relations())
+def test_select_true_false(a):
+    from repro.relational import TRUE, FALSE
+
+    assert a.select(TRUE) == a
+    assert not a.select(FALSE)
+
+
+@given(relations())
+@settings(max_examples=30)
+def test_projection_is_idempotent(a):
+    assert a.project(("A",)).project(("A",)) == a.project(("A",))
+
+
+@given(relations())
+def test_rename_roundtrip(a):
+    assert a.rename({"A": "X"}).rename({"X": "A"}) == a

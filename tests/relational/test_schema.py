@@ -1,0 +1,96 @@
+"""Schemas: named-perspective attribute bookkeeping."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Schema, id_attribute, is_id_attribute, value_attribute
+
+
+class TestConstruction:
+    def test_preserves_order(self):
+        schema = Schema(("B", "A", "C"))
+        assert schema.attributes == ("B", "A", "C")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(("A", "A"))
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(SchemaError):
+            Schema(("",))
+
+    def test_rejects_non_strings(self):
+        with pytest.raises(SchemaError):
+            Schema((1, 2))  # type: ignore[arg-type]
+
+    def test_empty_schema_is_allowed(self):
+        assert len(Schema(())) == 0
+
+
+class TestQueries:
+    def test_index_and_contains(self):
+        schema = Schema(("A", "B"))
+        assert schema.index("B") == 1
+        assert "A" in schema and "Z" not in schema
+
+    def test_index_unknown_raises(self):
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            Schema(("A",)).index("B")
+
+    def test_indices_follow_request_order(self):
+        assert Schema(("A", "B", "C")).indices(("C", "A")) == (2, 0)
+
+    def test_same_attributes_ignores_order(self):
+        assert Schema(("A", "B")).same_attributes(Schema(("B", "A")))
+
+    def test_common_in_left_order(self):
+        assert Schema(("A", "B", "C")).common(Schema(("C", "B"))) == ("B", "C")
+
+    def test_disjointness(self):
+        assert Schema(("A",)).disjoint_from(Schema(("B",)))
+        assert not Schema(("A",)).disjoint_from(Schema(("A",)))
+
+
+class TestDerivedSchemas:
+    def test_project_validates(self):
+        with pytest.raises(SchemaError):
+            Schema(("A",)).project(("B",))
+
+    def test_rename(self):
+        schema = Schema(("A", "B")).rename({"A": "X"})
+        assert schema.attributes == ("X", "B")
+
+    def test_rename_swap_is_simultaneous(self):
+        schema = Schema(("A", "B")).rename({"A": "B", "B": "A"})
+        assert schema.attributes == ("B", "A")
+
+    def test_concat_requires_disjoint(self):
+        with pytest.raises(SchemaError, match="share attributes"):
+            Schema(("A",)).concat(Schema(("A",)))
+
+    def test_drop(self):
+        assert Schema(("A", "B", "C")).drop(("B",)).attributes == ("A", "C")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(("A",)).drop(("B",))
+
+
+class TestIdAttributes:
+    def test_id_attribute_roundtrip(self):
+        assert id_attribute("Dep") == "$Dep"
+        assert is_id_attribute("$Dep")
+        assert value_attribute("$Dep") == "Dep"
+
+    def test_id_attribute_rejects_double_prefix(self):
+        with pytest.raises(SchemaError):
+            id_attribute("$Dep")
+
+    def test_value_attribute_rejects_plain(self):
+        with pytest.raises(SchemaError):
+            value_attribute("Dep")
+
+    def test_schema_partitions_id_and_value_attrs(self):
+        schema = Schema(("A", "$w", "B"))
+        assert schema.id_attributes == ("$w",)
+        assert schema.value_attributes == ("A", "B")

@@ -1,0 +1,143 @@
+"""The RA plan simplifier: rules, Example 5.8 shape, soundness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Database,
+    Divide,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    Relation,
+    Rename,
+    Schema,
+    Select,
+    Table,
+    ThetaJoin,
+    TRUE,
+    eq,
+    Const,
+    simplify,
+)
+
+ENV = {"R": Schema(("A", "B")), "HF": Schema(("Dep", "Arr"))}
+
+
+def db():
+    return Database(
+        {
+            "R": Relation(("A", "B"), [(1, 2), (2, 3)]),
+            "HF": Relation(
+                ("Dep", "Arr"),
+                [("FRA", "BCN"), ("FRA", "ATL"), ("PAR", "ATL"), ("PAR", "BCN"), ("PHL", "ATL")],
+            ),
+        }
+    )
+
+
+class TestRules:
+    def test_identity_projection_removed(self):
+        expr = Project(("A", "B"), Table("R"))
+        assert simplify(expr, ENV) == Table("R")
+
+    def test_reordering_projection_kept(self):
+        expr = Project(("B", "A"), Table("R"))
+        assert simplify(expr, ENV) == expr
+
+    def test_projection_cascade(self):
+        expr = Project(("A",), Project(("A", "B"), Table("R")))
+        assert simplify(expr, ENV) == Project(("A",), Table("R"))
+
+    def test_copy_then_drop_removed(self):
+        from repro.relational import CopyAttr
+
+        expr = Project(("A", "B"), CopyAttr("A", "$A", Table("R")))
+        assert simplify(expr, ENV) == Table("R")
+
+    def test_copy_then_project_becomes_rename(self):
+        from repro.relational import CopyAttr
+
+        expr = Project(("B", "$A"), CopyAttr("A", "$A", Table("R")))
+        simplified = simplify(expr, ENV)
+        assert simplified == Rename({"A": "$A"}, Project(("B", "A"), Table("R")))
+
+    def test_identity_rename_removed(self):
+        assert simplify(Rename({"A": "A"}, Table("R")), ENV) == Table("R")
+
+    def test_rename_fusion(self):
+        expr = Rename({"X": "Y"}, Rename({"A": "X"}, Table("R")))
+        assert simplify(expr, ENV) == Rename({"A": "Y"}, Table("R"))
+
+    def test_select_true_removed(self):
+        assert simplify(Select(TRUE, Table("R")), ENV) == Table("R")
+
+    def test_rename_hoisted_through_select(self):
+        expr = Select(eq("X", Const(1)), Rename({"A": "X"}, Table("R")))
+        simplified = simplify(expr, ENV)
+        assert simplified == Rename({"A": "X"}, Select(eq("A", Const(1)), Table("R")))
+
+    def test_unit_literal_joins_removed(self):
+        unit = Literal(Relation.unit())
+        assert simplify(Product(unit, Table("R")), ENV) == Table("R")
+        assert simplify(NaturalJoin(Table("R"), unit), ENV) == Table("R")
+
+    def test_theta_join_true_becomes_product(self):
+        expr = ThetaJoin(TRUE, Table("R"), Rename({"Dep": "D", "Arr": "X"}, Table("HF")))
+        assert isinstance(simplify(expr, ENV), Product)
+
+    def test_shared_rename_hoisted_out_of_division(self):
+        expr = Divide(
+            Rename({"Dep": "$Dep"}, Project(("Arr", "Dep"), Table("HF"))),
+            Rename({"Dep": "$Dep"}, Project(("Dep",), Table("HF"))),
+        )
+        simplified = simplify(expr, ENV)
+        assert simplified == Divide(
+            Project(("Arr", "Dep"), Table("HF")), Project(("Dep",), Table("HF"))
+        )
+
+    def test_example_58_shape(self):
+        """The §5.3 pipeline output simplifies to the paper's Example 5.8."""
+        from repro.relational import CopyAttr
+
+        expr = Project(
+            ("Arr",),
+            Divide(
+                Project(("Arr", "$Dep"), CopyAttr("Dep", "$Dep", Table("HF"))),
+                Rename({"Dep": "$Dep"}, Project(("Dep",), Table("HF"))),
+            ),
+        )
+        simplified = simplify(expr, ENV)
+        assert simplified.to_text() == "(π[Arr,Dep](HF) ÷ π[Dep](HF))"
+
+
+class _ExprBuilder:
+    """Random small expressions over R(A,B) for the soundness test."""
+
+    @staticmethod
+    def strategy():
+        leaf = st.just(Table("R"))
+
+        def extend(children):
+            return st.one_of(
+                children.map(lambda c: Project(("A", "B"), c)),
+                children.map(lambda c: Project(("A",), c)) if False else children.map(
+                    lambda c: Select(eq("A", Const(1)), c)
+                ),
+                children.map(lambda c: Rename({"A": "X"}, c)).map(
+                    lambda c: Rename({"X": "A"}, c)
+                ),
+                children.map(lambda c: Product(Literal(Relation.unit()), c)),
+            )
+
+        return st.recursive(leaf, extend, max_leaves=4)
+
+
+@given(_ExprBuilder.strategy())
+def test_simplify_preserves_semantics(expr):
+    database = db()
+    simplified = simplify(expr, ENV)
+    assert simplified.evaluate(database) == expr.evaluate(database)
+    assert simplified.size() <= expr.size()

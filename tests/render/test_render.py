@@ -1,0 +1,89 @@
+"""ASCII rendering of relations, world-sets, representations, plans."""
+
+from repro.core import cert, choice_of, poss_group, product, project, rel
+from repro.inline import InlinedRepresentation
+from repro.relational import Database, Relation
+from repro.render import (
+    render_database,
+    render_plan,
+    render_ra_plan,
+    render_relation,
+    render_representation,
+    render_world_set,
+)
+from repro.worlds import World, WorldSet
+
+
+class TestRelationRendering:
+    def test_header_and_rows(self):
+        text = render_relation(Relation(("Dep", "Arr"), [("FRA", "BCN")]), "Flights")
+        assert "Flights" in text and "Dep" in text and "'FRA'" in text
+
+    def test_empty_relation(self):
+        text = render_relation(Relation(("A",), []))
+        assert "(empty)" in text
+
+    def test_nullary_relation(self):
+        assert "⟨⟩" in render_relation(Relation.unit())
+        assert "∅" in render_relation(Relation((), []))
+
+    def test_deterministic_order(self):
+        relation = Relation(("A",), [(3,), (1,), (2,)])
+        assert render_relation(relation) == render_relation(relation)
+        lines = render_relation(relation).splitlines()
+        assert lines[-3:] == ["1", "2", "3"]
+
+
+class TestCompositeRendering:
+    def test_database(self):
+        db = Database({"R": Relation(("A",), [(1,)])})
+        assert "R" in render_database(db, title="world 1")
+
+    def test_world_set_lists_every_world(self):
+        ws = WorldSet(
+            [
+                World.of({"R": Relation(("A",), [(1,)])}),
+                World.of({"R": Relation(("A",), [(2,)])}),
+            ]
+        )
+        text = render_world_set(ws, title="Figure 2 (b)")
+        assert text.count("world") >= 2 and "2 worlds" in text
+
+    def test_representation_includes_world_table(self):
+        rep = InlinedRepresentation(
+            {"R": Relation(("A", "$V"), [(1, 1)])},
+            Relation(("$V",), [(1,)]),
+            ("$V",),
+        )
+        text = render_representation(rep, title="Figure 4")
+        assert "Rᵀ" in text and "W" in text
+
+
+class TestPlanRendering:
+    def test_wsa_plan_tree(self):
+        query = cert(
+            project(
+                "City",
+                poss_group(("Dep",), ("Dep", "City"), choice_of("Dep", rel("HF"))),
+            )
+        )
+        text = render_plan(query, title="q1")
+        lines = text.splitlines()
+        assert lines[0] == "q1"
+        assert lines[1] == "cert"
+        assert any("pγ" in line for line in lines)
+        assert any("χ[Dep]" in line for line in lines)
+
+    def test_binary_nodes_branch(self):
+        query = product(rel("A"), rel("B"))
+        text = render_plan(query)
+        assert "├─" in text and "└─" in text
+
+    def test_ra_plan_tree(self):
+        from repro.relational import Divide, Project, Table
+
+        expr = Divide(
+            Project(("Arr", "Dep"), Table("HF")), Project(("Dep",), Table("HF"))
+        )
+        text = render_ra_plan(expr, title="Example 5.8")
+        assert "÷" in text and "HF" in text

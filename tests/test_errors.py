@@ -1,0 +1,46 @@
+"""The exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    RepresentationError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    TranslationError,
+    TypingError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for error in (
+        SchemaError,
+        EvaluationError,
+        TypingError,
+        ParseError,
+        RewriteError,
+        RepresentationError,
+        TranslationError,
+    ):
+        assert issubclass(error, ReproError)
+
+
+def test_parse_error_records_position():
+    error = ParseError("bad token", position=17)
+    assert "offset 17" in str(error)
+    assert error.position == 17
+
+
+def test_parse_error_without_position():
+    error = ParseError("bad token")
+    assert str(error) == "bad token"
+    assert error.position is None
+
+
+def test_catching_the_base_class_is_enough():
+    from repro.isql import parse_statement
+
+    with pytest.raises(ReproError):
+        parse_statement("select from where")

@@ -1,0 +1,64 @@
+"""The package façade: everything advertised in ``repro.__all__`` works."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstart:
+    def test_readme_quickstart(self):
+        """The README / module docstring example, verbatim."""
+        from repro import ISQLSession
+        from repro.datagen import paper_flights
+
+        session = ISQLSession()
+        session.register("Flights", paper_flights())
+        result = session.query(
+            "select certain Arr from Flights choice of Dep;"
+        )
+        assert result.relation.sorted_rows() == [("ATL",)]
+
+    def test_algebra_quickstart(self):
+        from repro import answer, cert, choice_of, project, rel
+        from repro.datagen import paper_flights
+        from repro.worlds import World, WorldSet
+
+        ws = WorldSet.single(World.of({"Flights": paper_flights()}))
+        query = cert(project("Arr", choice_of("Dep", rel("Flights"))))
+        assert answer(query, ws).sorted_rows() == [("ATL",)]
+
+    def test_translation_quickstart(self):
+        from repro import optimized_ra_query, cert, choice_of, project, rel
+        from repro.datagen import paper_flights
+        from repro.relational import Database
+
+        db = Database({"Flights": paper_flights()})
+        query = cert(project("Arr", choice_of("Dep", rel("Flights"))))
+        expr = optimized_ra_query(query, db.schemas(), assume_nonempty=True)
+        assert expr.evaluate(db).sorted_rows() == [("ATL",)]
+
+    def test_error_hierarchy(self):
+        from repro import (
+            EvaluationError,
+            ParseError,
+            ReproError,
+            SchemaError,
+            TranslationError,
+            TypingError,
+        )
+
+        for error in (
+            EvaluationError,
+            ParseError,
+            SchemaError,
+            TranslationError,
+            TypingError,
+        ):
+            assert issubclass(error, ReproError)

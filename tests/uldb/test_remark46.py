@@ -1,0 +1,58 @@
+"""Remark 4.6: TriQL on ULDBs is not generic."""
+
+from repro.uldb import (
+    XRelation,
+    XTuple,
+    horizontal_exists,
+    remark_46_instances,
+    remark_46_query,
+    select_where_horizontal,
+)
+from repro.worlds import are_isomorphic
+
+
+class TestHorizontalSelection:
+    def test_exists_compares_alternative_pairs(self):
+        two = XTuple("t", [(1,), (2,)])
+        one = XTuple("t", [(1,)])
+        predicate = lambda a, b: a[0] != b[0]
+        assert horizontal_exists(two, predicate)
+        assert not horizontal_exists(one, predicate)
+
+    def test_selection_keeps_structure(self):
+        relation = XRelation("R", ("A",))
+        relation.add(XTuple("t1", [(1,), (2,)], maybe=True))
+        relation.add(XTuple("t2", [(3,)]))
+        result = select_where_horizontal(relation, lambda a, b: a[0] != b[0])
+        assert [x.tid for x in result.tuples] == ["t1"]
+        assert result.tuples[0].maybe
+
+
+class TestRemark46:
+    def test_u1_u2_represent_the_same_worlds(self):
+        u1, u2 = remark_46_instances()
+        w1, w2 = u1.possible_worlds(), u2.possible_worlds()
+        assert w1 == w2  # isomorphic under the identity bijection
+        assert len(w1) == 3
+
+    def test_query_answers_differ(self):
+        """q(U1) keeps t1; q(U2) selects nothing — the world-sets of the
+        answers are not isomorphic, so TriQL reads the representation."""
+        u1, u2 = remark_46_instances()
+        a1 = remark_46_query(u1).possible_worlds()
+        a2 = remark_46_query(u2).possible_worlds()
+        assert a1 != a2
+        assert not are_isomorphic(a1, a2)
+        assert len(a1) == 3 and len(a2) == 1
+
+    def test_wsa_on_the_same_worlds_is_generic(self):
+        """Contrast: any world-set algebra query treats U1 and U2 alike,
+        because it only sees the represented world-set."""
+        from repro.core import evaluate, poss, rel, select
+        from repro.relational import neq
+
+        u1, u2 = remark_46_instances()
+        query = poss(rel("R"))
+        r1 = evaluate(query, u1.possible_worlds(), name="Q")
+        r2 = evaluate(query, u2.possible_worlds(), name="Q")
+        assert r1 == r2

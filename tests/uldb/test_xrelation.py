@@ -1,0 +1,71 @@
+"""ULDB x-relations: alternatives, maybe, lineage, world enumeration."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.uldb import XRelation, XTuple
+
+
+class TestConstruction:
+    def test_alternatives_required(self):
+        with pytest.raises(SchemaError):
+            XTuple("t1", [])
+
+    def test_arity_checked(self):
+        relation = XRelation("R", ("A",))
+        with pytest.raises(SchemaError):
+            relation.add(XTuple("t1", [(1, 2)]))
+
+    def test_lineage_must_align(self):
+        with pytest.raises(SchemaError):
+            XTuple("t1", [(1,), (2,)], lineage=[{("s1", 0)}])
+
+
+class TestPossibleWorlds:
+    def test_certain_tuple_single_world(self):
+        relation = XRelation("R", ("A",), [XTuple("t1", [(1,)])])
+        worlds = relation.possible_worlds()
+        assert len(worlds) == 1
+        assert next(iter(worlds.worlds))["R"].rows == {(1,)}
+
+    def test_maybe_tuple_two_worlds(self):
+        relation = XRelation("R", ("A",), [XTuple("t1", [(1,)], maybe=True)])
+        worlds = relation.possible_worlds()
+        assert {frozenset(w["R"].rows) for w in worlds.worlds} == {
+            frozenset(),
+            frozenset({(1,)}),
+        }
+
+    def test_alternatives_are_mutually_exclusive(self):
+        relation = XRelation("R", ("A",), [XTuple("t1", [(1,), (2,)])])
+        worlds = relation.possible_worlds()
+        assert {frozenset(w["R"].rows) for w in worlds.worlds} == {
+            frozenset({(1,)}),
+            frozenset({(2,)}),
+        }
+
+    def test_lineage_on_conflicting_alternatives_never_cooccur(self):
+        relation = XRelation("R", ("A",))
+        relation.add(XTuple("t1", [(1,)], lineage=[{("s1", 0)}]))
+        relation.add(XTuple("t2", [(2,)], lineage=[{("s1", 1)}]))
+        worlds = relation.possible_worlds()
+        for world in worlds.worlds:
+            assert world["R"].rows != {(1,), (2,)}
+
+    def test_shared_lineage_cooccurs(self):
+        relation = XRelation("R", ("A",))
+        relation.add(XTuple("t1", [(1,)], lineage=[{("s1", 0)}]))
+        relation.add(XTuple("t2", [(2,)], lineage=[{("s1", 0)}]))
+        worlds = relation.possible_worlds()
+        assert any(w["R"].rows == {(1,), (2,)} for w in worlds.worlds)
+
+    def test_external_ids_discovered(self):
+        relation = XRelation("R", ("A",))
+        relation.add(XTuple("t1", [(1,)], lineage=[{("s2", 1), ("s1", 0)}]))
+        assert set(relation.external_ids()) == {"s1", "s2"}
+
+    def test_two_independent_xtuples_product(self):
+        relation = XRelation("R", ("A",))
+        relation.add(XTuple("t1", [(1,), (2,)]))
+        relation.add(XTuple("t2", [(3,)], maybe=True))
+        assert len(relation.possible_worlds()) == 4

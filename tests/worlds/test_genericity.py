@@ -1,0 +1,89 @@
+"""Proposition 4.5: world-set algebra is generic (property-based).
+
+Definition 4.4 states genericity for constant-free queries ("the above
+definition ignores the issue of constants in queries … it can be easily
+generalized"): the first suite checks constant-free queries against
+arbitrary bijections, the second checks C-genericity — queries with
+constants commute with bijections that fix those constants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.semantics import evaluate
+from repro.datagen import random_query, random_world_set
+from repro.datagen.random_worlds import query_constants
+from repro.worlds import check_generic
+
+
+@st.composite
+def constant_free_instance(draw):
+    seed = draw(st.integers(0, 10_000))
+    world_set = random_world_set(seed)
+    query = random_query(seed * 31 + 7, depth=3, allow_constants=False)
+    domain = sorted(world_set.active_domain(), key=str)
+    targets = draw(st.permutations([f"v{i}" for i in range(len(domain))]))
+    theta = dict(zip(domain, targets))
+    return world_set, query, theta
+
+
+@given(constant_free_instance())
+@settings(max_examples=60, deadline=None)
+def test_constant_free_queries_commute_with_any_bijection(case):
+    world_set, query, theta = case
+    assert check_generic(
+        lambda ws: evaluate(query, ws, name="Q"), world_set, theta
+    )
+
+
+@st.composite
+def c_generic_instance(draw):
+    seed = draw(st.integers(0, 10_000))
+    world_set = random_world_set(seed)
+    query = random_query(seed * 13 + 3, depth=3, allow_constants=True)
+    constants = query_constants(query)
+    domain = sorted(world_set.active_domain(), key=str)
+    movable = [value for value in domain if value not in constants]
+    targets = draw(st.permutations([f"v{i}" for i in range(len(movable))]))
+    theta = dict(zip(movable, targets))
+    theta.update({value: value for value in constants})
+    return world_set, query, theta
+
+
+@given(c_generic_instance())
+@settings(max_examples=60, deadline=None)
+def test_queries_with_constants_commute_with_constant_fixing_bijections(case):
+    world_set, query, theta = case
+    assert check_generic(
+        lambda ws: evaluate(query, ws, name="Q"), world_set, theta
+    )
+
+
+def test_constants_break_plain_genericity():
+    """A witness for why Definition 4.4 sets constants aside."""
+    from repro.core import rel, select
+    from repro.relational import Const, eq
+    from repro.relational import Relation
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet.single(World.of({"R": Relation(("A", "B"), [(1, 1), (2, 2)])}))
+    query = select(eq("A", Const(1)), rel("R"))
+    theta = {1: 2, 2: 1}
+    assert not check_generic(lambda w: evaluate(query, w, name="Q"), ws, theta)
+
+
+@given(st.integers(0, 5_000))
+@settings(max_examples=40, deadline=None)
+def test_repair_by_key_is_generic_too(seed):
+    """The Section 4.1 extension also preserves genericity."""
+    world_set = random_world_set(seed, max_worlds=2, max_rows=4)
+    query = random_query(
+        seed * 13 + 1, depth=2, allow_repair=True, allow_constants=False
+    )
+    domain = sorted(world_set.active_domain(), key=str)
+    theta = {value: f"t{i}" for i, value in enumerate(domain)}
+    assert check_generic(
+        lambda ws: evaluate(query, ws, name="Q", max_worlds=20_000),
+        world_set,
+        theta,
+    )

@@ -1,0 +1,88 @@
+"""World-set isomorphism (Definition 4.3) and the search for θ."""
+
+import pytest
+
+from repro.relational import Relation
+from repro.worlds import (
+    World,
+    WorldSet,
+    apply_bijection,
+    are_isomorphic,
+    find_isomorphism,
+)
+
+
+def ws(*row_sets, attrs=("A",)):
+    return WorldSet(
+        [World.of({"R": Relation(attrs, rows)}) for rows in row_sets]
+    )
+
+
+class TestApplyBijection:
+    def test_maps_values(self):
+        mapped = apply_bijection(ws([(1,), (2,)]), {1: "x", 2: "y"})
+        assert next(iter(mapped.worlds))["R"].rows == {("x",), ("y",)}
+
+    def test_missing_values_kept(self):
+        mapped = apply_bijection(ws([(1,), (2,)]), {1: 9})
+        assert next(iter(mapped.worlds))["R"].rows == {(9,), (2,)}
+
+
+class TestFindIsomorphism:
+    def test_identity(self):
+        a = ws([(1,)], [(2,)])
+        theta = find_isomorphism(a, a)
+        assert theta is not None
+        assert apply_bijection(a, theta) == a
+
+    def test_value_renaming_found(self):
+        a = ws([(1,), (2,)], [(3,)])
+        b = apply_bijection(a, {1: 10, 2: 20, 3: 30})
+        theta = find_isomorphism(a, b)
+        assert theta is not None
+        assert apply_bijection(a, theta) == b
+
+    def test_structure_mismatch_rejected(self):
+        assert find_isomorphism(ws([(1,)], [(2,)]), ws([(1,), (2,)])) is None
+
+    def test_different_world_counts_rejected(self):
+        assert not are_isomorphic(ws([(1,)]), ws([(1,)], [(2,)]))
+
+    def test_schema_mismatch_rejected(self):
+        assert not are_isomorphic(ws([(1,)]), ws([(1, 2)], attrs=("A", "B")))
+
+    def test_shared_values_across_worlds_constrain_search(self):
+        # Worlds {1},{1,2} vs {3},{3,4}: 1 must map to 3.
+        a = ws([(1,)], [(1,), (2,)])
+        b = ws([(3,)], [(3,), (4,)])
+        theta = find_isomorphism(a, b)
+        assert theta == {1: 3, 2: 4}
+
+    def test_non_isomorphic_same_cardinalities(self):
+        # {1},{2} (disjoint) vs {1},{1} collapses — use different shape:
+        a = ws([(1,), (2,)], [(2,), (3,)])  # chain sharing one value
+        b = ws([(1,), (2,)], [(3,), (4,)])  # disjoint worlds
+        assert not are_isomorphic(a, b)
+
+    def test_multi_relation_worlds(self):
+        def make(x, y):
+            return World.of(
+                {
+                    "R": Relation(("A",), [(x,)]),
+                    "S": Relation(("B",), [(y,)]),
+                }
+            )
+
+        a = WorldSet([make(1, 2)])
+        b = WorldSet([make("u", "v")])
+        theta = find_isomorphism(a, b)
+        assert theta == {1: "u", 2: "v"}
+
+
+class TestCheckGeneric:
+    def test_rejects_non_injective_theta(self):
+        from repro.worlds import check_generic
+
+        a = ws([(1,), (2,)])
+        with pytest.raises(ValueError):
+            check_generic(lambda w: w, a, {1: 0, 2: 0})

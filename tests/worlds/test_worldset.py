@@ -1,0 +1,101 @@
+"""Worlds and world-sets: structure, closures, collapse semantics."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Relation
+from repro.worlds import World, WorldSet
+
+
+def world(rows, name="R", attrs=("A",)):
+    return World.of({name: Relation(attrs, rows)})
+
+
+class TestWorld:
+    def test_signature(self):
+        w = world([(1,)])
+        assert w.signature() == (("R", Relation(("A",)).schema),)
+
+    def test_restrict_and_base(self):
+        w = World.of(
+            {"R": Relation(("A",), [(1,)]), "Q": Relation(("B",), [(2,)])}
+        )
+        assert w.base().names == ("R",)
+        assert w.restrict(("Q",)).names == ("Q",)
+
+    def test_answer_is_last_relation(self):
+        w = World.of(
+            {"R": Relation(("A",), [(1,)]), "Q": Relation(("B",), [(2,)])}
+        )
+        assert w.answer().rows == {(2,)}
+
+    def test_extend_rejects_existing_name(self):
+        with pytest.raises(SchemaError):
+            world([(1,)]).extend("R", Relation(("B",)))
+
+    def test_replace_answer(self):
+        w = world([(1,)]).replace_answer(Relation(("A",), [(9,)]))
+        assert w["R"].rows == {(9,)}
+
+    def test_answer_of_empty_world_raises(self):
+        with pytest.raises(SchemaError):
+            World.of({}).answer()
+
+
+class TestWorldSet:
+    def test_schema_consistency_enforced(self):
+        with pytest.raises(SchemaError, match="share one schema"):
+            WorldSet([world([(1,)]), world([(1,)], name="S")])
+
+    def test_set_semantics_collapse(self):
+        ws = WorldSet([world([(1,)]), world([(1,)])])
+        assert len(ws) == 1
+
+    def test_empty_world_set_keeps_declared_schema(self):
+        schema = (("R", Relation(("A",)).schema),)
+        ws = WorldSet.empty(schema)
+        assert len(ws) == 0 and ws.signature == schema
+
+    def test_the_world_requires_singleton(self):
+        ws = WorldSet([world([(1,)]), world([(2,)])])
+        with pytest.raises(SchemaError):
+            ws.the_world()
+        assert WorldSet.single(world([(1,)])).the_world()["R"].rows == {(1,)}
+
+    def test_fresh_name_avoids_collisions(self):
+        ws = WorldSet.single(world([(1,)], name="Q"))
+        assert ws.fresh_name("Q") == "Q1"
+        assert ws.fresh_name("Z") == "Z"
+
+    def test_possible_and_certain(self):
+        ws = WorldSet([world([(1,), (2,)]), world([(2,), (3,)])])
+        assert ws.possible("R").rows == {(1,), (2,), (3,)}
+        assert ws.certain("R").rows == {(2,)}
+
+    def test_possible_aligns_column_orders(self):
+        a = World.of({"R": Relation(("A", "B"), [(1, 2)])})
+        ws = WorldSet([a])
+        assert ws.possible("R").rows == {(1, 2)}
+
+    def test_active_domain(self):
+        ws = WorldSet([world([(1,)]), world([(7,)])])
+        assert ws.active_domain() == frozenset({1, 7})
+
+    def test_equality_ignores_attribute_order(self):
+        a = WorldSet([World.of({"R": Relation(("A", "B"), [(1, 2)])})])
+        b = WorldSet([World.of({"R": Relation(("B", "A"), [(2, 1)])})])
+        assert a == b and hash(a) == hash(b)
+
+    def test_extend_each_and_map_worlds(self):
+        ws = WorldSet([world([(1,)]), world([(2,)])])
+        extended = ws.extend_each("Q", lambda w: w["R"])
+        assert extended.relation_names == ("R", "Q")
+        collapsed = extended.map_worlds(
+            lambda w: w.replace_answer(Relation(("A",), [(0,)]))
+        )
+        assert len(collapsed) == 2  # base still differs
+
+    def test_sorted_worlds_deterministic(self):
+        ws = WorldSet([world([(2,)]), world([(1,)])])
+        first, second = ws.sorted_worlds()
+        assert first["R"].rows == {(1,)}
