@@ -1,0 +1,93 @@
+"""Experiment §5 end-to-end: explicit world enumeration vs inline plans.
+
+Replays the datagen scenario suite on both execution backends and
+records wall-clock, world counts, and representation sizes into
+``BENCH_backends.json`` (written by ``conftest.pytest_sessionfinish``).
+
+Shape claims:
+
+* every scenario returns identical answers on both backends (this is
+  re-asserted here, not only in the tier-1 differential suite);
+* on the choice-of-heavy trip scenarios with ≥ 2¹⁰ worlds the inline
+  backend wins by ≥ 5× — evaluation is polynomial in the inlined
+  representation while the explicit engine pays one pass per world.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.backend.testing import run_scenario
+from repro.datagen import Scenario, flights, scenarios
+
+LARGE = {s.name: s for s in scenarios("large")}
+
+#: A 2¹² world variant to expose the asymptotic trend beyond 2¹⁰.
+TRIP_XL = Scenario(
+    name="trip_certain_xl",
+    relations=(("HFlights", flights(4096, 64, 3, seed=1)),),
+    query="select certain Arr from HFlights choice of Dep;",
+    approx_worlds=4096,
+)
+
+SUITE = [
+    LARGE["trip_certain"],
+    TRIP_XL,
+    LARGE["trip_possible_open"],
+    LARGE["acquisition"],
+    LARGE["census_repair"],
+    LARGE["tpch_what_if"],
+]
+
+
+def _representation_size(session) -> int:
+    backend = session.backend
+    if hasattr(backend, "representation"):
+        return backend.representation.size()
+    return sum(
+        len(world[name])
+        for world in backend.world_set.worlds
+        for name in world.names
+    )
+
+
+def _timed_run(scenario: Scenario, backend: str, record, repeats: int = 3):
+    best, kept = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session, result = run_scenario(scenario, backend)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, kept = elapsed, (session, result)
+    session, result = kept
+    record(
+        scenario.name,
+        backend,
+        best,
+        session.world_count(),
+        result.world_count(),
+        scenario.approx_worlds,
+        _representation_size(session),
+        sum(len(answer) for answer in result.answers()),
+    )
+    return best, result
+
+
+@pytest.mark.parametrize("scenario", SUITE, ids=lambda s: s.name)
+def test_backends_agree_and_are_recorded(scenario, backend_recorder):
+    _, explicit_result = _timed_run(scenario, "explicit", backend_recorder)
+    _, inline_result = _timed_run(scenario, "inline", backend_recorder)
+    assert explicit_result.answers() == inline_result.answers()
+
+
+def test_shape_inline_wins_by_5x_beyond_1024_worlds(backend_recorder):
+    """The acceptance bar: ≥ 5× on a scenario with ≥ 2¹⁰ worlds."""
+    ratios = {}
+    for scenario in (LARGE["trip_certain"], TRIP_XL):
+        explicit_time, _ = _timed_run(scenario, "explicit", backend_recorder)
+        inline_time, _ = _timed_run(scenario, "inline", backend_recorder)
+        assert scenario.approx_worlds >= 2**10
+        ratios[scenario.name] = explicit_time / inline_time
+    assert max(ratios.values()) >= 5, ratios

@@ -1,10 +1,116 @@
-"""Shared benchmark fixtures and the scaling workloads."""
+"""Shared benchmark fixtures, scaling workloads, and JSON reporting.
+
+Benchmarks that compare execution backends append rows to
+:data:`BACKEND_BENCH_RESULTS` (via :func:`record_backend_timing`); at
+the end of the benchmark session the rows are written to
+``BENCH_backends.json`` in the repository root, so the explicit-vs-
+inline performance trajectory is machine-readable and tracked across
+PRs.
+"""
 
 from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.datagen import flights, hotels
+
+#: Rows recorded by bench_backends.py during this pytest session.
+BACKEND_BENCH_RESULTS: list[dict] = []
+
+
+def record_backend_timing(
+    scenario: str,
+    backend: str,
+    seconds: float,
+    session_worlds: int,
+    result_worlds: int,
+    scenario_worlds: int,
+    representation_size: int,
+    answer_rows: int,
+) -> None:
+    """Append one (scenario, backend) timing row for BENCH_backends.json.
+
+    *session_worlds* is the state's world count after the script,
+    *result_worlds* the final query result's, and *scenario_worlds* the
+    size of the world space the query evaluation ranges over (a closed
+    query may collapse back to one world at the very end).
+    """
+    BACKEND_BENCH_RESULTS.append(
+        {
+            "scenario": scenario,
+            "backend": backend,
+            "seconds": round(seconds, 6),
+            "session_worlds": session_worlds,
+            "result_worlds": result_worlds,
+            "scenario_worlds": scenario_worlds,
+            "representation_size": representation_size,
+            "answer_rows": answer_rows,
+            # Provenance: ratios are only computed between rows from the
+            # same interpreter on the same platform (best effort — a
+            # hostname would identify machines exactly but does not
+            # belong in a committed file).
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BACKEND_BENCH_RESULTS:
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+    # One row per (scenario, backend): several tests may time the same
+    # pair in one session (keep the best of this run), and a partial run
+    # must not wipe rows of scenarios it did not touch (carry those over
+    # from the previous file). Fresh measurements always replace old
+    # ones — never min across runs, or regressions would be masked.
+    best: dict[tuple[str, str], dict] = {}
+    if path.exists():
+        try:
+            for row in json.loads(path.read_text()).get("entries", []):
+                best[(row["scenario"], row["backend"])] = row
+        except (ValueError, KeyError):
+            pass  # unreadable previous file: rebuild from this run
+    measured: dict[tuple[str, str], dict] = {}
+    for row in BACKEND_BENCH_RESULTS:
+        key = (row["scenario"], row["backend"])
+        if key not in measured or row["seconds"] < measured[key]["seconds"]:
+            measured[key] = row
+    best.update(measured)
+    entries = sorted(best.values(), key=lambda r: (r["scenario"], r["backend"]))
+    # A carried-over row may come from another machine/interpreter; only
+    # pairs with matching provenance yield a meaningful ratio.
+    by_scenario: dict[str, dict[str, dict]] = {}
+    for row in entries:
+        by_scenario.setdefault(row["scenario"], {})[row["backend"]] = row
+    speedups = {}
+    for name, rows in by_scenario.items():
+        explicit, inline = rows.get("explicit"), rows.get("inline")
+        if (
+            explicit
+            and inline
+            and inline["seconds"] > 0
+            and explicit.get("python") == inline.get("python")
+            and explicit.get("platform") == inline.get("platform")
+        ):
+            speedups[name] = round(explicit["seconds"] / inline["seconds"], 2)
+    payload = {
+        "generated_by": "benchmarks/bench_backends.py",
+        "entries": entries,
+        "inline_speedup_over_explicit": speedups,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+@pytest.fixture(scope="session")
+def backend_recorder():
+    """The recording hook handed to bench_backends (same module instance
+    as the session-finish writer, unlike a direct conftest import)."""
+    return record_backend_timing
 
 
 @pytest.fixture(scope="module")

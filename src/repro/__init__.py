@@ -74,6 +74,12 @@ from repro.inline import (
     translate_general,
 )
 from repro.isql import ISQLSession, compile_query, parse_query, parse_script
+from repro.backend import (
+    Backend,
+    ExplicitBackend,
+    InlineBackend,
+    create_backend,
+)
 from repro.optimizer import optimize
 from repro.relational import Database, Relation, Schema
 from repro.worlds import World, WorldSet, are_isomorphic, check_generic
@@ -81,8 +87,11 @@ from repro.worlds import World, WorldSet, are_isomorphic, check_generic
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "Database",
     "EvaluationError",
+    "ExplicitBackend",
+    "InlineBackend",
     "ISQLSession",
     "InlinedRepresentation",
     "ParseError",
@@ -107,6 +116,7 @@ __all__ = [
     "choice_of",
     "compile_query",
     "conservative_ra_query",
+    "create_backend",
     "evaluate",
     "evaluate_on_database",
     "evaluate_optimized",

@@ -1,0 +1,154 @@
+"""The execution-backend abstraction for I-SQL sessions.
+
+The paper gives two equivalent ways to evaluate I-SQL:
+
+* **explicitly**, by materializing the world-set A = {I₁, …, I_n} and
+  running the Figure 3 / Section 3 semantics world by world; and
+* **on the inlined representation** ⟨R₁ᵀ, …, R_kᵀ, W⟩ of Section 5,
+  where evaluation is polynomial in the representation even when the
+  world-set it encodes is exponential.
+
+A :class:`Backend` encapsulates one of these strategies behind a common
+interface: it owns the session's state (a world-set or an inlined
+representation), executes select statements, materializes assignments,
+and applies the possible-worlds DML of Section 3. Sessions are backend
+agnostic — ``ISQLSession(backend="inline")`` flips a whole session from
+world enumeration to flat-table evaluation, and the differential test
+harness (:mod:`repro.backend.testing`) holds the two implementations to
+identical answers on every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.errors import EvaluationError
+from repro.relational.relation import Relation
+from repro.worlds.worldset import WorldSet
+
+if TYPE_CHECKING:  # the isql package imports this module at init time
+    from repro.isql import ast
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Per-statement session configuration handed to a backend."""
+
+    views: Mapping[str, ast.SelectQuery] = field(default_factory=dict)
+    keys: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    max_worlds: int | None = None
+
+
+class BaseQueryResult:
+    """Common interface of a select statement's outcome.
+
+    Both backends expose the same surface: :attr:`relation` for closed
+    queries, :meth:`answers` for open ones, :meth:`world_count`, and a
+    :attr:`world_set` property holding the input world-set extended with
+    the answer (computed lazily — and only on demand — by the inline
+    backend).
+    """
+
+    name: str
+
+    def answers(self) -> frozenset[Relation]:
+        """The distinct answer relations across all worlds."""
+        raise NotImplementedError
+
+    @property
+    def world_set(self) -> WorldSet:
+        """The input world-set extended with the answer under *name*."""
+        raise NotImplementedError
+
+    def world_count(self) -> int:
+        return len(self.world_set)
+
+    def possible(self) -> Relation:
+        """Union of the answer across all worlds (the poss closure)."""
+        return self.world_set.possible(self.name)
+
+    def certain(self) -> Relation:
+        """Intersection of the answer across all worlds (cert)."""
+        return self.world_set.certain(self.name)
+
+    @property
+    def relation(self) -> Relation:
+        answers = self.answers()
+        if len(answers) != 1:
+            raise EvaluationError(
+                f"the answer differs across worlds ({len(answers)} variants); "
+                "use .answers()"
+            )
+        return next(iter(answers))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Backend:
+    """Abstract base class of session execution backends."""
+
+    #: Short name used by ``ISQLSession(backend=...)`` and diagnostics.
+    kind = "abstract"
+
+    # -- catalog ------------------------------------------------------------------
+
+    def register(self, name: str, relation: Relation) -> None:
+        """Add a complete relation to every world of the state."""
+        raise NotImplementedError
+
+    def relation_names(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def world_count(self) -> int:
+        """Number of distinct possible worlds in the current state."""
+        raise NotImplementedError
+
+    def to_world_set(self) -> WorldSet:
+        """The current state as an explicit world-set (decode on demand)."""
+        raise NotImplementedError
+
+    # -- statements ----------------------------------------------------------------
+
+    def run_select(
+        self, query: ast.SelectQuery, context: ExecutionContext, name: str | None = None
+    ) -> BaseQueryResult:
+        """Evaluate a select without changing the session state."""
+        raise NotImplementedError
+
+    def assign(
+        self, name: str, query: ast.SelectQuery, context: ExecutionContext
+    ) -> None:
+        """``name <- query``: materialize the answer into the state."""
+        raise NotImplementedError
+
+    def run_insert(self, statement: ast.Insert, context: ExecutionContext) -> bool:
+        """Insert in every world; False = discarded on key violation."""
+        raise NotImplementedError
+
+    def run_delete(self, statement: ast.Delete, context: ExecutionContext) -> None:
+        raise NotImplementedError
+
+    def run_update(self, statement: ast.Update, context: ExecutionContext) -> bool:
+        """Update every world; False = discarded on key violation."""
+        raise NotImplementedError
+
+
+def create_backend(backend: str | Backend) -> Backend:
+    """Resolve ``ISQLSession``'s *backend* argument to an instance."""
+    if isinstance(backend, Backend):
+        return backend
+    from repro.backend.explicit import ExplicitBackend
+    from repro.backend.inline import InlineBackend
+
+    if backend == "explicit":
+        return ExplicitBackend()
+    if backend == "inline":
+        return InlineBackend()
+    if backend == "inline-translate":
+        return InlineBackend(strategy="translate")
+    raise EvaluationError(
+        f"unknown backend {backend!r}; expected 'explicit', 'inline', "
+        "'inline-translate', or a Backend instance"
+    )

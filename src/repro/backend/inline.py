@@ -1,0 +1,423 @@
+"""The inline backend: I-SQL over the inlined representation (Section 5).
+
+The session state is an :class:`InlinedRepresentation`
+⟨R₁ᵀ, …, R_kᵀ, W⟩ — one flat table per relation, tagged with world-id
+attributes, plus the world table W — and is **never** enumerated into
+explicit worlds during evaluation. A statement runs through the layered
+pipeline of the paper's concluding vision::
+
+    I-SQL ──isql.compile──▶ world-set algebra
+          ──optimizer.rewriter──▶ rewritten plan (Figure 7 equivalences)
+          ──inline.physical / inline.translate──▶ flat-table evaluation
+          ──decode (only on demand)──▶ explicit worlds
+
+Two evaluation strategies implement the last-but-one arrow:
+
+* ``"physical"`` (default) — the dedicated physical operators of
+  :mod:`repro.inline.physical`, seeded with the session's world table;
+  supports everything in the algebra fragment including repair-by-key.
+* ``"translate"`` — the literal Figure 6 translation
+  (:mod:`repro.inline.translate`) composed into one relational algebra
+  DAG and evaluated by :mod:`repro.relational.algebra`; falls back to
+  the physical operators where relational algebra cannot reach
+  (repair-by-key, Proposition 4.2).
+
+Statements outside the Section 4 algebra fragment (SQL aggregation,
+condition subqueries, group-worlds-by over a subquery) fall back to the
+explicit engine on the decoded world-set, and assignments re-inline the
+result — so *any* scenario runs on this backend, with the fragment (the
+paper's core) staying polynomial in the representation.
+
+``possible``/``certain`` closings are answered directly from the flat
+answer table (a projection, resp. a division by W); worlds are decoded
+only when a caller explicitly asks for ``.world_set``.
+"""
+
+from __future__ import annotations
+
+from repro.backend.base import Backend, BaseQueryResult, ExecutionContext
+from repro.backend.explicit import QueryResult
+from repro.errors import (
+    EvaluationError,
+    RewriteError,
+    SchemaError,
+    TranslationError,
+    TypingError,
+    WorldLimitError,
+)
+from repro.inline.physical import (
+    PhysicalState,
+    decode_extension,
+    evaluate_seeded,
+    match_answers_to_session_worlds,
+)
+from repro.inline.representation import InlinedRepresentation
+from repro.inline.translate import translate_general
+from repro.isql import ast
+from repro.isql.compile import FragmentError, compile_query
+from repro.isql.engine import Engine
+from repro.optimizer.rewriter import optimize as rewrite_plan
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.worlds.worldset import WorldSet, fresh_name
+
+
+class InlineQueryResult(BaseQueryResult):
+    """A select outcome held as flat tables; worlds decoded on demand."""
+
+    __slots__ = ("_representation", "_state", "name", "_decoded")
+
+    def __init__(
+        self,
+        representation: InlinedRepresentation,
+        state: PhysicalState,
+        name: str,
+    ) -> None:
+        self._representation = representation
+        self._state = state
+        self.name = name
+        self._decoded: WorldSet | None = None
+
+    def answers(self) -> frozenset[Relation]:
+        return frozenset(self._state.answers_by_world().values())
+
+    def possible(self) -> Relation:
+        """poss closure straight off the flat answer table: π_U(Rᵀ)."""
+        return self._state.answer.project(self._state.value_attributes())
+
+    def certain(self) -> Relation:
+        """cert closure straight off the flat answer table: Rᵀ ÷ W."""
+        return self._state.answer.divide(self._state.world_or_unit())
+
+    @property
+    def world_set(self) -> WorldSet:
+        if self._decoded is None:
+            self._decoded = decode_extension(
+                self._representation, self._state, self.name
+            )
+        return self._decoded
+
+    def world_count(self) -> int:
+        """Distinct result worlds, from fingerprints — no decoding.
+
+        A result world is a (base world, answer) pair; equal pairs
+        collapse like they would in the explicit world-set.
+        """
+        if self._decoded is not None:
+            return len(self._decoded)
+        fingerprints = self._representation.world_fingerprints()
+        by_shared, shared_in_session = match_answers_to_session_worlds(
+            self._representation, self._state
+        )
+        pairs = set()
+        for session_world_id, fingerprint in fingerprints.items():
+            key = tuple(session_world_id[p] for p in shared_in_session)
+            for answer_relation in by_shared.get(key, ()):
+                pairs.add((fingerprint, answer_relation))
+        return len(pairs)
+
+    def __repr__(self) -> str:
+        return (
+            f"InlineQueryResult({self.name!r}, "
+            f"{len(self._state.world_or_unit())} world ids)"
+        )
+
+
+class InlineBackend(Backend):
+    """Session state as an inlined representation; flat-table evaluation."""
+
+    kind = "inline"
+
+    def __init__(
+        self,
+        representation: InlinedRepresentation | None = None,
+        strategy: str = "physical",
+        rewrite: bool = True,
+    ) -> None:
+        if strategy not in ("physical", "translate"):
+            raise EvaluationError(
+                f"unknown inline strategy {strategy!r}; "
+                "expected 'physical' or 'translate'"
+            )
+        self.representation = (
+            representation
+            if representation is not None
+            else InlinedRepresentation.initial()
+        )
+        self.strategy = strategy
+        self.rewrite = rewrite
+        self._counter = 0
+        self._decoded: WorldSet | None = None
+
+    # -- catalog ------------------------------------------------------------------
+
+    def register(self, name: str, relation: Relation) -> None:
+        # A complete relation is the same in every world, so it is
+        # stored without id columns (the lazy interpretation) — no
+        # replication however many worlds the session already has.
+        rep = self.representation
+        self._commit(
+            InlinedRepresentation(
+                tuple(rep.tables.items()) + ((name, relation),),
+                rep.world_table,
+                rep.id_attrs,
+            )
+        )
+
+    def relation_names(self) -> tuple[str, ...]:
+        return self.representation.tables.names
+
+    def world_count(self) -> int:
+        return self.representation.distinct_world_count()
+
+    def to_world_set(self) -> WorldSet:
+        if self._decoded is None:
+            self._decoded = self.representation.rep()
+        return self._decoded
+
+    def _commit(self, representation: InlinedRepresentation) -> None:
+        self.representation = representation
+        self._decoded = None
+
+    def _fresh_name(self, stem: str = "Q") -> str:
+        return fresh_name(self.relation_names(), stem)
+
+    # -- the compile → rewrite → evaluate pipeline ------------------------------------
+
+    def _value_schemas(self) -> dict[str, tuple[str, ...]]:
+        rep = self.representation
+        return {name: rep.value_attributes(name) for name in rep.tables}
+
+    def _compile(self, query: ast.SelectQuery, context: ExecutionContext):
+        """I-SQL → world-set algebra, then the Figure 7 rewriting pass."""
+        schemas = self._value_schemas()
+        compiled = compile_query(query, schemas, dict(context.views))
+        if self.rewrite:
+            env = {name: Schema(attrs) for name, attrs in schemas.items()}
+            kind = "1" if self.representation.world_count() <= 1 else "m"
+            try:
+                compiled, _ = rewrite_plan(compiled, env, input_kind=kind)
+            except (RewriteError, TypingError, SchemaError):
+                pass  # an unoptimized plan is still a correct plan
+        return compiled
+
+    def _evaluate(self, compiled, context: ExecutionContext) -> PhysicalState:
+        if self.strategy == "translate":
+            try:
+                return self._evaluate_translated(compiled, context)
+            except WorldLimitError:
+                raise
+            except TranslationError:
+                pass  # e.g. repair-by-key: beyond relational algebra
+        state, self._counter = evaluate_seeded(
+            compiled,
+            self.representation,
+            max_worlds=context.max_worlds,
+            counter_start=self._counter,
+        )
+        return state
+
+    def _evaluate_translated(
+        self, compiled, context: ExecutionContext
+    ) -> PhysicalState:
+        """Figure 6 route: build one RA DAG, evaluate, keep flat tables.
+
+        The translator wants the strict Definition 5.1 form (every table
+        tagged with every id), so the lazy session state is strictified
+        for the duration of the statement.
+        """
+        translation = translate_general(
+            compiled, self.representation.strict(), counter_start=self._counter
+        )
+        output = translation.apply(name="#answer", max_worlds=context.max_worlds)
+        self._counter = translation.counter
+        return PhysicalState(
+            output.tables["#answer"], output.id_attrs, output.world_table
+        )
+
+    # -- statements ----------------------------------------------------------------
+
+    def run_select(
+        self, query: ast.SelectQuery, context: ExecutionContext, name: str | None = None
+    ) -> BaseQueryResult:
+        result_name = name if name is not None else self._fresh_name()
+        try:
+            compiled = self._compile(query, context)
+        except FragmentError:
+            return self._fallback_select(query, context, name)
+        state = self._evaluate(compiled, context)
+        return InlineQueryResult(self.representation, state, result_name)
+
+    def assign(
+        self, name: str, query: ast.SelectQuery, context: ExecutionContext
+    ) -> None:
+        try:
+            compiled = self._compile(query, context)
+        except FragmentError:
+            engine = Engine(context.views, context.keys, context.max_worlds)
+            extended, _ = engine.run_select(query, self.to_world_set(), name=name)
+            self._reinline(extended)
+            return
+        state = self._evaluate(compiled, context)
+        rep = self.representation
+        tables = tuple(rep.tables.items()) + ((name, state.answer),)
+        fresh = tuple(i for i in state.ids if i not in set(rep.id_attrs))
+        if not fresh:
+            # No new worlds: the answer is world-uniform (stored without
+            # id columns) or varies only with existing ids. Base tables
+            # are untouched either way — that is the point of the lazy
+            # representation.
+            self._commit(
+                InlinedRepresentation(tables, rep.world_table, rep.id_attrs)
+            )
+            return
+        # Fresh world ids were minted (choice-of / repair-by-key): the
+        # session world table extends by joining with the state's world
+        # table — on the shared prefix ids when the split was correlated
+        # with existing worlds, as a product when it was independent.
+        # Base tables still keep only the ids they depend on.
+        world_table = rep.world_table.natural_join(state.world_or_unit())
+        if context.max_worlds is not None and len(world_table) > context.max_worlds:
+            raise WorldLimitError(
+                f"assignment produced {len(world_table)} worlds, over the "
+                f"limit of {context.max_worlds}"
+            )
+        self._commit(
+            InlinedRepresentation(tables, world_table, rep.id_attrs + fresh)
+        )
+
+    def _fallback_select(
+        self, query: ast.SelectQuery, context: ExecutionContext, name: str | None
+    ) -> QueryResult:
+        """Outside the algebra fragment: decode and run the explicit engine."""
+        engine = Engine(context.views, context.keys, context.max_worlds)
+        extended, result_name = engine.run_select(
+            query, self.to_world_set(), name=name
+        )
+        return QueryResult(extended, result_name)
+
+    def _reinline(self, world_set: WorldSet) -> None:
+        """Re-encode an explicit world-set produced by a fallback."""
+        if world_set.is_singleton:
+            self._commit(
+                InlinedRepresentation.of_database(
+                    dict(world_set.the_world().items())
+                )
+            )
+        else:
+            self._commit(InlinedRepresentation.of_world_set(world_set))
+        self._decoded = world_set
+
+    # -- data manipulation: the Section 3 DML rule on flat tables ----------------------
+
+    def _satisfies_keys_flat(
+        self, name: str, relation: Relation, key: tuple[str, ...] | None
+    ) -> bool:
+        """Key holds in *every* world: (V_i ∪ key) determines the row."""
+        if not key:
+            return True
+        table_ids = self.representation.table_id_attrs(name)
+        positions = relation.schema.indices(table_ids + tuple(key))
+        seen: set[tuple] = set()
+        for row in relation.rows:
+            value = tuple(row[p] for p in positions)
+            if value in seen:
+                return False
+            seen.add(value)
+        return True
+
+    def _replace_table(self, name: str, table: Relation) -> None:
+        rep = self.representation
+        tables = tuple(
+            (table_name, table if table_name == name else existing)
+            for table_name, existing in rep.tables.items()
+        )
+        self._commit(InlinedRepresentation(tables, rep.world_table, rep.id_attrs))
+
+    def run_insert(self, statement: ast.Insert, context: ExecutionContext) -> bool:
+        rep = self.representation
+        table = rep.tables[statement.relation]
+        value_attrs = rep.value_attributes(statement.relation)
+        if len(statement.values) != len(value_attrs):
+            raise SchemaError(
+                f"insert arity {len(statement.values)} does not match "
+                f"{statement.relation}{list(value_attrs)}"
+            )
+        assignment = dict(zip(value_attrs, statement.values))
+        table_ids = rep.table_id_attrs(statement.relation)
+        if table_ids:
+            additions = [
+                {**assignment, **dict(zip(table_ids, sub_id))}
+                for sub_id in rep.world_table.distinct_values(table_ids)
+            ]
+        else:
+            additions = [assignment]
+        new_table = Relation(table.schema, list(table.rows) + additions)
+        if not self._satisfies_keys_flat(
+            statement.relation, new_table, context.keys.get(statement.relation)
+        ):
+            return False
+        self._replace_table(statement.relation, new_table)
+        return True
+
+    def run_delete(self, statement: ast.Delete, context: ExecutionContext) -> None:
+        if ast.condition_subqueries(statement.where):
+            self._reinline(
+                Engine(context.views, context.keys, context.max_worlds).run_delete(
+                    statement, self.to_world_set()
+                )
+            )
+            return
+        table = self.representation.tables[statement.relation]
+        if statement.where is None:
+            kept: list[tuple] = []
+        else:
+            matches = Engine(context.views, context.keys).bind_row_condition(
+                statement.where, table.schema.attributes
+            )
+            kept = [row for row in table.rows if not matches(row)]
+        self._replace_table(statement.relation, Relation(table.schema, kept))
+
+    def run_update(self, statement: ast.Update, context: ExecutionContext) -> bool:
+        has_subqueries = bool(ast.condition_subqueries(statement.where)) or any(
+            ast.expression_subqueries(clause.expression)
+            for clause in statement.settings
+        )
+        if has_subqueries:
+            world_set, applied = Engine(
+                context.views, context.keys, context.max_worlds
+            ).run_update(statement, self.to_world_set())
+            if applied:
+                self._reinline(world_set)
+            return applied
+        table = self.representation.tables[statement.relation]
+        engine = Engine(context.views, context.keys)
+        attributes = table.schema.attributes
+        matches = (
+            (lambda row: True)
+            if statement.where is None
+            else engine.bind_row_condition(statement.where, attributes)
+        )
+        settings = [
+            (
+                table.schema.index(clause.attribute),
+                engine.bind_row_expression(clause.expression, attributes),
+            )
+            for clause in statement.settings
+        ]
+        rows: set[tuple] = set()
+        for row in table.rows:
+            if not matches(row):
+                rows.add(row)
+                continue
+            new_row = list(row)
+            for position, value in settings:
+                new_row[position] = value(row)
+            rows.add(tuple(new_row))
+        new_table = Relation(table.schema, rows)
+        if not self._satisfies_keys_flat(
+            statement.relation, new_table, context.keys.get(statement.relation)
+        ):
+            return False
+        self._replace_table(statement.relation, new_table)
+        return True

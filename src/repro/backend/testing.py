@@ -1,0 +1,67 @@
+"""The differential-testing harness holding backends to equal answers.
+
+The correctness story of the backend layer is Theorem 5.7's: evaluation
+on the inlined representation must coincide with the Figure 3 semantics
+on the explicit world-set. :func:`run_scenario` replays a
+:class:`repro.datagen.Scenario` on any backend; :func:`assert_backends_agree`
+replays it on several and compares
+
+* the final query's answer set (the distinct per-world answers),
+* the decoded session world-sets (``rep(T)`` vs the explicit state),
+* the distinct world counts.
+
+Used by ``tests/backend/test_differential.py`` (every scenario, every
+backend) and by ``benchmarks/bench_backends.py`` (which additionally
+times the runs).
+"""
+
+from __future__ import annotations
+
+from repro.datagen.workloads import Scenario
+from repro.isql.session import ISQLSession
+
+
+def run_scenario(
+    scenario: Scenario,
+    backend: str = "explicit",
+    max_worlds: int | None = None,
+) -> tuple[ISQLSession, object]:
+    """Replay *scenario* on a fresh session; returns (session, result)."""
+    session = ISQLSession(max_worlds=max_worlds, backend=backend)
+    for name, relation in scenario.relations:
+        session.register(name, relation)
+    for relation, attributes in scenario.keys:
+        session.declare_key(relation, attributes)
+    if scenario.script:
+        session.execute(scenario.script)
+    return session, session.query(scenario.query)
+
+
+def assert_backends_agree(
+    scenario: Scenario,
+    backends: tuple[str, ...] = ("explicit", "inline"),
+    max_worlds: int | None = None,
+) -> None:
+    """Replay on every backend and assert identical observable behavior."""
+    runs = [
+        (backend, *run_scenario(scenario, backend, max_worlds=max_worlds))
+        for backend in backends
+    ]
+    reference_backend, reference_session, reference_result = runs[0]
+    for backend, session, result in runs[1:]:
+        context = f"scenario {scenario.name!r}: {reference_backend} vs {backend}"
+        assert result.answers() == reference_result.answers(), (
+            f"{context}: final answers differ"
+        )
+        assert result.world_count() == reference_result.world_count(), (
+            f"{context}: result world counts differ"
+        )
+        assert session.world_count() == reference_session.world_count(), (
+            f"{context}: session world counts differ"
+        )
+        assert session.world_set == reference_session.world_set, (
+            f"{context}: session world-sets differ"
+        )
+        assert result.world_set == reference_result.world_set, (
+            f"{context}: result world-sets differ"
+        )

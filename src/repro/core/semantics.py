@@ -295,15 +295,46 @@ def evaluate(
     world_set: WorldSet,
     name: str | None = None,
     max_worlds: int | None = None,
+    backend: str = "explicit",
 ) -> WorldSet:
     """⟦query⟧(world_set): extend every world with the answer relation.
 
     *name* is the name given to the answer relation R_{k+1} (a fresh
     name is generated when omitted). *max_worlds* guards against
     exponential blow-ups from repair-by-key.
+
+    *backend* selects the evaluation strategy: ``"explicit"`` runs the
+    Figure 3 reference semantics world by world; ``"inline"`` encodes
+    the world-set into an inlined representation, evaluates with the
+    Section 5 physical operators over the flat tables, and decodes the
+    result — the two are differentially tested to coincide.
     """
     answer_name = name if name is not None else world_set.fresh_name()
+    if backend == "inline":
+        return _evaluate_inline(query, world_set, answer_name, max_worlds)
+    if backend != "explicit":
+        raise EvaluationError(
+            f"unknown semantics backend {backend!r}; "
+            "expected 'explicit' or 'inline'"
+        )
     return Evaluator(world_set, answer_name, max_worlds).evaluate(query)
+
+
+def _evaluate_inline(
+    query: WSAQuery,
+    world_set: WorldSet,
+    name: str,
+    max_worlds: int | None,
+) -> WorldSet:
+    """The inline route: encode → flat evaluation → decode."""
+    # Imported lazily: repro.core must not depend on repro.inline at
+    # import time (the translation layers build on the core AST).
+    from repro.inline.physical import decode_extension, evaluate_seeded
+    from repro.inline.representation import InlinedRepresentation
+
+    representation = InlinedRepresentation.of_world_set(world_set)
+    state, _ = evaluate_seeded(query, representation, max_worlds=max_worlds)
+    return decode_extension(representation, state, name)
 
 
 def evaluate_on_database(

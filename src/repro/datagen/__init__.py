@@ -8,6 +8,7 @@ from repro.datagen.random_worlds import (
     random_world_set,
 )
 from repro.datagen.workloads import (
+    Scenario,
     census,
     company,
     flights,
@@ -16,11 +17,13 @@ from repro.datagen.workloads import (
     paper_company,
     paper_flights,
     random_graph,
+    scenarios,
 )
 
 __all__ = [
     "DEFAULT_SCHEMAS",
     "RandomQueryBuilder",
+    "Scenario",
     "census",
     "company",
     "flights",
@@ -32,4 +35,5 @@ __all__ = [
     "random_query",
     "random_relation",
     "random_world_set",
+    "scenarios",
 ]

@@ -17,6 +17,7 @@ Section 2 of the paper uses:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.relational.relation import Relation
@@ -172,6 +173,149 @@ def lineitem(
                 )
             )
     return Relation(("Product", "Quantity", "Price", "Year"), rows)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One end-to-end I-SQL workload: data, a script, a final query.
+
+    Scenarios are *backend-agnostic* descriptions — plain relations and
+    I-SQL text — so the same scenario can be replayed on the explicit
+    and the inline backend (``repro.backend.testing.run_scenario``) and
+    the answers compared. ``script`` holds the state-building statements
+    (assignments, views, DML); ``query`` is the final select whose
+    answer the differential harness and the benchmarks compare.
+    """
+
+    name: str
+    relations: tuple[tuple[str, Relation], ...]
+    query: str
+    script: str = ""
+    keys: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: Rough number of worlds the script builds up (documentation aid).
+    approx_worlds: int = 1
+    #: True when some statement leaves the Section 4 algebra fragment,
+    #: i.e. the inline backend exercises its explicit fallback.
+    uses_fallback: bool = False
+
+
+ACQUISITION_SCRIPT = """
+U <- select * from Company_Emp choice of CID;
+V <- select R1.CID, R1.EID
+     from Company_Emp R1, (select * from U choice of EID) R2
+     where R1.CID = R2.CID and R1.EID != R2.EID;
+W <- select certain CID, Skill
+     from V, Emp_Skills
+     where V.EID = Emp_Skills.EID
+     group worlds by CID;
+"""
+
+ACQUISITION_SCRIPT_SUBQUERY_GROUPING = """
+U <- select * from Company_Emp choice of CID;
+V <- select R1.CID, R1.EID
+     from Company_Emp R1, (select * from U choice of EID) R2
+     where R1.CID = R2.CID and R1.EID != R2.EID;
+W <- select certain CID, Skill
+     from V, Emp_Skills
+     where V.EID = Emp_Skills.EID
+     group worlds by (select CID from V);
+"""
+
+TPCH_SCRIPT = """
+create view YearQuantity as
+  select A.Year, sum(A.Price) as Revenue
+  from (select * from Lineitem choice of Year) as A
+  where Quantity not in (select * from Lineitem choice of Quantity)
+  group by A.Year;
+"""
+
+
+def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
+    """The differential-testing / benchmarking workload suite.
+
+    *scale* ∈ {"small", "large"}: "small" keeps every scenario cheap
+    enough for the explicit backend inside the test suite; "large"
+    scales the world counts up for benchmarking (≥ 2¹⁰ worlds on the
+    trip scenarios).
+    """
+    large = scale == "large"
+    n_flights = 1024 if large else 12
+    n_companies = 6 if large else 3
+    n_census = 10 if large else 5
+    trip_flights = flights(n_flights, 64 if large else 8, 3, seed=1)
+    company_emp, emp_skills = company(n_companies, 4, 5, 2, seed=2)
+    dirty = census(n_census, duplicate_rate=0.8, seed=4)
+    items = lineitem(
+        years=(2002, 2003, 2004),
+        n_products=8,
+        n_quantities=3,
+        rows_per_year=30 if large else 10,
+        seed=2,
+    )
+    return (
+        Scenario(
+            name="trip_certain",
+            relations=(("HFlights", trip_flights),),
+            query="select certain Arr from HFlights choice of Dep;",
+            approx_worlds=n_flights,
+        ),
+        Scenario(
+            name="trip_possible_open",
+            relations=(("HFlights", trip_flights),),
+            query="select Dep, Arr from HFlights choice of Dep;",
+            approx_worlds=n_flights,
+        ),
+        Scenario(
+            name="acquisition",
+            relations=(("Company_Emp", company_emp), ("Emp_Skills", emp_skills)),
+            script=ACQUISITION_SCRIPT,
+            query="select possible CID from W where Skill = 'S0';",
+            approx_worlds=n_companies * 4,
+        ),
+        Scenario(
+            name="acquisition_subquery_grouping",
+            relations=(("Company_Emp", company_emp), ("Emp_Skills", emp_skills)),
+            script=ACQUISITION_SCRIPT_SUBQUERY_GROUPING,
+            query="select possible CID from W where Skill = 'S0';",
+            approx_worlds=n_companies * 4,
+            uses_fallback=True,
+        ),
+        Scenario(
+            name="census_repair",
+            relations=(("Census", dirty),),
+            script="Clean <- select * from Census repair by key SSN;",
+            query="select certain SSN, Name from Clean;",
+            approx_worlds=2**n_census,
+        ),
+        Scenario(
+            name="tpch_what_if",
+            relations=(("Lineitem", items),),
+            script=TPCH_SCRIPT,
+            query=(
+                "select possible Year from YearQuantity as Y "
+                "where (select sum(Price) from Lineitem "
+                "       where Lineitem.Year = Y.Year) - Y.Revenue > 1000;"
+            ),
+            approx_worlds=4,
+            uses_fallback=True,
+        ),
+        Scenario(
+            name="dml_key_discard",
+            relations=(
+                ("Bookings", Relation(("Ref", "City"), [(1, "BCN"), (2, "ATL")])),
+            ),
+            keys=(("Bookings", ("Ref",)),),
+            script=(
+                "B <- select * from Bookings choice of City;"
+                "insert into Bookings values (1, 'FRA');"
+                "insert into Bookings values (3, 'FRA');"
+                "update Bookings set City = 'PAR' where Ref = 3;"
+                "delete from Bookings where City = 'ATL';"
+            ),
+            query="select possible Ref, City from Bookings;",
+            approx_worlds=2,
+        ),
+    )
 
 
 def random_graph(

@@ -39,6 +39,17 @@ class TranslationError(ReproError):
     """
 
 
+class WorldLimitError(EvaluationError, TranslationError):
+    """Evaluation exceeded the configured ``max_worlds`` guard.
+
+    Derives from both :class:`EvaluationError` (it is an evaluation
+    limit, whichever backend hits it) and :class:`TranslationError`
+    (historically the inlined evaluators raised the latter), so callers
+    may catch either — and backends can tell "over the limit" apart
+    from "not translatable" without string matching.
+    """
+
+
 class ParseError(ReproError):
     """An I-SQL statement could not be tokenized or parsed."""
 

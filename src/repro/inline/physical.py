@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import TranslationError
+from repro.errors import TranslationError, WorldLimitError
 from repro.core.ast import (
     ActiveDomain,
     Cert,
@@ -49,7 +49,7 @@ from repro.core.ast import (
 from repro.inline.translate import SchemaLike, _schema_env, lower_query
 from repro.relational.database import Database
 from repro.relational.pad import PAD
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, tuple_getter
 from repro.relational.schema import Schema
 
 
@@ -98,18 +98,35 @@ class PhysicalState:
 
 
 class PhysicalEvaluator:
-    """Evaluates world-set algebra directly over an inlined database."""
+    """Evaluates world-set algebra directly over an inlined database.
+
+    By default the database is a *complete* database (a single implicit
+    world). Passing *base_ids* and *base_world* seeds the evaluation
+    with an existing inlined world-set instead: every base table is then
+    expected to already carry the *base_ids* columns, and base-relation
+    states start from the given world table — this is how the
+    :class:`repro.backend.InlineBackend` evaluates statements against a
+    session whose state has already split into worlds. *counter_start*
+    offsets the fresh world-id counter so that ids minted by earlier
+    statements are never reused.
+    """
 
     def __init__(
         self,
         database: Database,
         schemas: SchemaLike | None = None,
         max_worlds: int | None = None,
+        base_ids: Sequence[str] = (),
+        base_world: Relation | None = None,
+        counter_start: int = 0,
     ) -> None:
         self.database = database
         self.env = _schema_env(schemas or database.schemas())
         self.max_worlds = max_worlds
-        self._counter = 0
+        self.base_ids = tuple(base_ids)
+        self.base_world = base_world if self.base_ids else None
+        self._counter = counter_start
+        self._world_projections: dict[tuple[str, ...], Relation] = {}
 
     def _fresh(self) -> int:
         self._counter += 1
@@ -121,7 +138,7 @@ class PhysicalEvaluator:
             and world is not None
             and len(world) > self.max_worlds
         ):
-            raise TranslationError(
+            raise WorldLimitError(
                 f"physical evaluation exceeded {self.max_worlds} worlds"
             )
 
@@ -144,9 +161,29 @@ class PhysicalEvaluator:
 
     # -- the operators, physically -----------------------------------------------------
 
+    def _base_state(self, name: str) -> PhysicalState:
+        """A base table under the lazy interpretation: a table carries
+        only the id attributes it depends on; its world table is the
+        projection of the session world table onto those ids."""
+        table = self.database[name]
+        schema = table.schema.as_set()
+        ids = tuple(a for a in self.base_ids if a in schema)
+        if not ids:
+            return PhysicalState(table, (), None)
+        world = self._world_projections.get(ids)
+        if world is None:
+            assert self.base_world is not None
+            world = (
+                self.base_world
+                if ids == self.base_ids
+                else self.base_world.project(ids)
+            )
+            self._world_projections[ids] = world
+        return PhysicalState(table, ids, world)
+
     def _eval(self, query: WSAQuery) -> PhysicalState:
         if isinstance(query, Rel):
-            return PhysicalState(self.database[query.name], (), None)
+            return self._base_state(query.name)
         if isinstance(query, Select):
             state = self._eval(query.child)
             return PhysicalState(
@@ -172,12 +209,7 @@ class PhysicalEvaluator:
                 state.answer.project(state.value_attributes()), (), None
             )
         if isinstance(query, Cert):
-            state = self._eval(query.child)
-            if not state.ids:
-                return state
-            return PhysicalState(
-                state.answer.divide(state.world_or_unit()), (), None
-            )
+            return self._eval_cert(query)
         if isinstance(query, (PossGroup, CertGroup)):
             return self._eval_group(query)
         if isinstance(query, (Product, Union, Intersect, Difference)):
@@ -187,6 +219,30 @@ class PhysicalEvaluator:
         if isinstance(query, ActiveDomain):
             raise TranslationError("active-domain relations are not supported")
         raise TranslationError(f"no physical operator for {type(query).__name__}")
+
+    def _eval_cert(self, query: Cert) -> PhysicalState:
+        """cert by group counting instead of generic division.
+
+        The answer schema is exactly U ∪ V and rows are a set, so for a
+        fixed U-part every row contributes a distinct world id; since
+        answer ids always lie in the world table (the representation
+        invariant), a U-value is certain iff its group has |W| rows —
+        one counting pass, no per-group id-set materialization.
+        """
+        state = self._eval(query.child)
+        if not state.ids:
+            return state
+        answer = state.answer
+        world = state.world_or_unit()
+        values = state.value_attributes()
+        value_of = tuple_getter(answer.schema.indices(values))
+        need = len(world)
+        counts: dict[tuple, int] = {}
+        for row in answer.rows:
+            key = value_of(row)
+            counts[key] = counts.get(key, 0) + 1
+        rows = (value for value, count in counts.items() if count == need)
+        return PhysicalState(Relation(values, rows), (), None)
 
     def _eval_choice(self, query: ChoiceOf) -> PhysicalState:
         state = self._eval(query.child)
@@ -310,7 +366,7 @@ class PhysicalEvaluator:
                 world_rows.append(world_id + (PAD,))
             total += max(count, 1)
             if self.max_worlds is not None and total > self.max_worlds:
-                raise TranslationError(
+                raise WorldLimitError(
                     f"repair-by-key exceeded {self.max_worlds} worlds"
                 )
         answer = Relation(schema.attributes + (repair_attr,), out_rows)
@@ -323,3 +379,86 @@ def physical_answer(
 ) -> Relation:
     """Evaluate a world-uniform query with the physical operators."""
     return PhysicalEvaluator(database, max_worlds=max_worlds).answer(query)
+
+
+def evaluate_seeded(
+    query: WSAQuery,
+    representation: "InlinedRepresentation",
+    max_worlds: int | None = None,
+    counter_start: int = 0,
+) -> tuple[PhysicalState, int]:
+    """Evaluate *query* over an inlined world-set (not a single world).
+
+    Returns the final state plus the fresh-id counter value, so a
+    session can keep minting collision-free world ids across statements.
+    """
+    from repro.inline.representation import InlinedRepresentation  # noqa: F401
+
+    schemas = {
+        name: representation.value_attributes(name)
+        for name in representation.tables
+    }
+    evaluator = PhysicalEvaluator(
+        representation.tables,
+        schemas,
+        max_worlds=max_worlds,
+        base_ids=representation.id_attrs,
+        base_world=representation.world_table,
+        counter_start=counter_start,
+    )
+    return evaluator.evaluate(query), evaluator._counter
+
+
+def match_answers_to_session_worlds(
+    representation: "InlinedRepresentation", state: PhysicalState
+) -> tuple[dict[tuple, list[Relation]], tuple[int, ...]]:
+    """Group per-world answers by the world-id attributes shared with
+    the session. Returns the grouping plus the positions of the shared
+    attributes within a *session* world id, so callers can pair every
+    session world with the answers agreeing with it."""
+    answers = state.answers_by_world()
+    session_ids = representation.id_attrs
+    state_id_set = set(state.ids)
+    shared = tuple(a for a in session_ids if a in state_id_set)
+    shared_in_state = tuple(state.ids.index(a) for a in shared)
+    shared_in_session = tuple(session_ids.index(a) for a in shared)
+
+    by_shared: dict[tuple, list[Relation]] = {}
+    for world_id, answer_relation in answers.items():
+        key = tuple(world_id[p] for p in shared_in_state)
+        by_shared.setdefault(key, []).append(answer_relation)
+    return by_shared, shared_in_session
+
+
+def decode_extension(
+    representation: "InlinedRepresentation", state: PhysicalState, name: str
+):
+    """Decode ⟦q⟧(A): the base world-set extended with *state*'s answer.
+
+    Mirrors the Figure 3 semantics output: every base world is paired
+    with the per-world answers agreeing with it on the shared world-id
+    attributes (fresh ids minted during the query fan a base world out
+    into several result worlds; equal results collapse by set
+    semantics). Worlds are decoded lazily from the flat tables — this is
+    the only place the inline evaluation route materializes worlds, and
+    it runs only when a caller asks for explicit worlds.
+    """
+    from repro.relational.schema import Schema
+    from repro.worlds.worldset import WorldSet
+
+    by_shared, shared_in_session = match_answers_to_session_worlds(
+        representation, state
+    )
+
+    worlds = []
+    for session_world_id in representation.world_ids():
+        key = tuple(session_world_id[p] for p in shared_in_session)
+        base_world = representation.world(session_world_id)
+        for answer_relation in by_shared.get(key, ()):
+            worlds.append(base_world.extend(name, answer_relation))
+
+    signature = tuple(
+        (table, Schema(representation.value_attributes(table)))
+        for table in representation.tables
+    ) + ((name, Schema(state.value_attributes())),)
+    return WorldSet(worlds, signature)

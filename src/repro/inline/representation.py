@@ -10,6 +10,15 @@ world ids. ``rep(T)`` decodes the represented world-set:
 The world table may contain ids that appear in no table — this encodes
 worlds with empty relations; an empty W encodes the empty world-set,
 and a nullary W = {⟨⟩} encodes a single (complete) world.
+
+Tables may carry a *subset* of the id attributes V (the lazy §5.3
+interpretation): a table without id attributes holds a relation that is
+the same in every world, and a table tagged with V_i ⊆ V varies only
+with those ids — its instance in world w is σ_{V_i = π_{V_i}(w)}. The
+strict Definition 5.1 form (every table carries all of V) is a special
+case; :meth:`strict` converts to it. The lazy form is what keeps an
+inline-backed session succinct: registering a relation or materializing
+a world-uniform answer never replicates rows per world.
 """
 
 from __future__ import annotations
@@ -51,27 +60,46 @@ class InlinedRepresentation:
                 f"world table attributes {list(self.world_table.schema)} "
                 f"differ from declared id attributes {list(self.id_attrs)}"
             )
-        id_set = set(self.id_attrs)
-        world_ids = {
-            tuple(row[p] for p in self.world_table.schema.indices(self.id_attrs))
-            for row in self.world_table.rows
-        }
+        known_by_ids: dict[tuple[str, ...], set[tuple]] = {}
         for name, relation in self.tables.items():
-            missing = id_set - relation.schema.as_set()
-            if missing:
+            stray = [
+                a
+                for a in relation.schema
+                if is_id_attribute(a) and a not in set(self.id_attrs)
+            ]
+            if stray:
                 raise RepresentationError(
-                    f"table {name!r} lacks id attributes {sorted(missing)}"
+                    f"table {name!r} carries undeclared id attributes {stray}"
                 )
-            positions = relation.schema.indices(self.id_attrs)
+            table_ids = self.table_id_attrs(name)
+            if not table_ids:
+                continue
+            known = known_by_ids.get(table_ids)
+            if known is None:
+                known = {
+                    tuple(row[p] for p in self.world_table.schema.indices(table_ids))
+                    for row in self.world_table.rows
+                }
+                known_by_ids[table_ids] = known
+            positions = relation.schema.indices(table_ids)
             for row in relation.rows:
                 world_id = tuple(row[p] for p in positions)
-                if world_id not in world_ids:
+                if world_id not in known:
                     raise RepresentationError(
                         f"table {name!r} references world id {world_id!r} "
                         "that is not in the world table"
                     )
 
     # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def initial() -> "InlinedRepresentation":
+        """The representation of one empty world: no tables, W = {⟨⟩}.
+
+        This is the starting state of an inline-backed session, mirroring
+        ``WorldSet.single(World.of({}))`` on the explicit side.
+        """
+        return InlinedRepresentation({}, Relation.unit(), ())
 
     @staticmethod
     def of_database(database: Database | Mapping[str, Relation]) -> "InlinedRepresentation":
@@ -106,6 +134,11 @@ class InlinedRepresentation:
         ids = set(self.id_attrs)
         return tuple(a for a in self.tables[name].schema if a not in ids)
 
+    def table_id_attrs(self, name: str) -> tuple[str, ...]:
+        """The id attributes table *name* actually carries (V_i ⊆ V)."""
+        schema = self.tables[name].schema.as_set()
+        return tuple(a for a in self.id_attrs if a in schema)
+
     def world_ids(self) -> list[tuple]:
         """The world identifiers, in deterministic order."""
         return self.world_table.distinct_values(self.id_attrs)
@@ -116,8 +149,9 @@ class InlinedRepresentation:
         relations = []
         for name, table in self.tables.items():
             values = self.value_attributes(name)
+            restriction = {a: assignment[a] for a in self.table_id_attrs(name)}
             relations.append(
-                (name, table.select_values(assignment).project(values))
+                (name, table.select_values(restriction).project(values))
             )
         return World.of(relations)
 
@@ -141,6 +175,68 @@ class InlinedRepresentation:
     def world_count(self) -> int:
         """Number of world identifiers (equivalent worlds counted apart)."""
         return len(self.world_table)
+
+    def world_fingerprints(self) -> dict[tuple, tuple]:
+        """Per world id, a hashable fingerprint of the decoded world.
+
+        Two ids get equal fingerprints iff their worlds coincide
+        relation by relation. Computed with one pass per flat table —
+        no world materialization; this is how the inline backend
+        answers world-count questions without decoding.
+        """
+        world_ids = self.world_ids()
+        fingerprints: dict[tuple, list[frozenset]] = {
+            world_id: [] for world_id in world_ids
+        }
+        id_positions = {a: p for p, a in enumerate(self.id_attrs)}
+        for name in self.tables:
+            table = self.tables[name]
+            table_ids = self.table_id_attrs(name)
+            positions = table.schema.indices(table_ids)
+            value_positions = table.schema.indices(self.value_attributes(name))
+            rows_by_sub: dict[tuple, set[tuple]] = {}
+            for row in table.rows:
+                sub_id = tuple(row[p] for p in positions)
+                rows_by_sub.setdefault(sub_id, set()).add(
+                    tuple(row[p] for p in value_positions)
+                )
+            grouped = {sub: frozenset(rows) for sub, rows in rows_by_sub.items()}
+            project = tuple(id_positions[a] for a in table_ids)
+            empty = frozenset()
+            for world_id, rows in fingerprints.items():
+                sub_id = tuple(world_id[p] for p in project)
+                rows.append(grouped.get(sub_id, empty))
+        return {world_id: tuple(rows) for world_id, rows in fingerprints.items()}
+
+    def distinct_world_count(self) -> int:
+        """Number of *distinct* represented worlds (rep(T) cardinality).
+
+        Two ids whose worlds coincide relation-by-relation count once,
+        matching the set semantics of explicit world-sets.
+        """
+        return len(set(self.world_fingerprints().values()))
+
+    def strict(self) -> "InlinedRepresentation":
+        """The strict Definition 5.1 form: every table tagged with all of V.
+
+        Tables carrying only a subset of the id attributes are joined
+        with the world table (``R_i ⋈ W``), replicating their rows per
+        world — exponential in general, which is exactly why sessions
+        keep the lazy form; the Figure 6 translator wants this one.
+        """
+        if not self.id_attrs:
+            return self
+        tables = []
+        for name, table in self.tables.items():
+            if self.table_id_attrs(name) == self.id_attrs:
+                tables.append((name, table))
+            else:
+                tables.append((name, table.natural_join(self.world_table)))
+        return InlinedRepresentation(tables, self.world_table, self.id_attrs)
+
+    def size(self) -> int:
+        """Total stored rows: Σ|R_iᵀ| + |W| (the representation's footprint)."""
+        return sum(len(r) for _, r in self.tables.items()) + len(self.world_table)
 
     def __repr__(self) -> str:
         tables = ", ".join(f"{n}[{len(r)}]" for n, r in self.tables.items())

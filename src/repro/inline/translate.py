@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.errors import TranslationError, TypingError
+from repro.errors import TranslationError, TypingError, WorldLimitError
 from repro.core.ast import (
     ActiveDomain,
     Cert,
@@ -98,7 +98,7 @@ class TranslationState:
 class GeneralTranslation:
     """The result of translating one query: expressions plus metadata."""
 
-    __slots__ = ("query", "state", "answer", "value_attrs", "source")
+    __slots__ = ("query", "state", "answer", "value_attrs", "source", "counter")
 
     def __init__(
         self,
@@ -107,31 +107,44 @@ class GeneralTranslation:
         answer: ra.RAExpr,
         value_attrs: tuple[str, ...],
         source: InlinedRepresentation | None,
+        counter: int = 0,
     ) -> None:
         self.query = query
         self.state = state
         self.answer = answer
         self.value_attrs = value_attrs
         self.source = source
+        self.counter = counter
 
     def apply(
-        self, representation: InlinedRepresentation | None = None, name: str = "Q"
+        self,
+        representation: InlinedRepresentation | None = None,
+        name: str = "Q",
+        max_worlds: int | None = None,
     ) -> InlinedRepresentation:
         """Evaluate all expressions, producing the output representation.
 
         The answer table is added under *name* (R_{k+1} of Section 5.2).
+        The world table is evaluated *first* so that a *max_worlds*
+        guard fires before the (often much larger) per-table and answer
+        expressions are materialized; the shared cache carries its
+        subresults over to them.
         """
         rep = representation if representation is not None else self.source
         if rep is None:
             raise TranslationError("no input representation supplied")
         database = rep.as_database()
         cache: dict[int, Relation] = {}
+        world = self.state.world._cached(database, cache)
+        if max_worlds is not None and len(world) > max_worlds:
+            raise WorldLimitError(
+                f"translated evaluation exceeded {max_worlds} worlds"
+            )
         tables = [
             (table, expression._cached(database, cache))
             for table, expression in self.state.tables.items()
         ]
         tables.append((name, self.answer._cached(database, cache)))
-        world = self.state.world._cached(database, cache)
         return InlinedRepresentation(tables, world, self.state.ids)
 
     def answer_size(self) -> int:
@@ -140,12 +153,22 @@ class GeneralTranslation:
 
 
 class GeneralTranslator:
-    """Implements the translation function ⟦·⟧τ of Figure 6."""
+    """Implements the translation function ⟦·⟧τ of Figure 6.
 
-    def __init__(self, value_schemas: SchemaLike, base_ids: Sequence[str] = ()) -> None:
+    *counter_start* offsets the fresh world-id attribute counter so a
+    session translating one statement after another never reuses an id
+    attribute name already present in its state.
+    """
+
+    def __init__(
+        self,
+        value_schemas: SchemaLike,
+        base_ids: Sequence[str] = (),
+        counter_start: int = 0,
+    ) -> None:
         self.env = _schema_env(value_schemas)
         self.base_ids = tuple(base_ids)
-        self._counter = 0
+        self._counter = counter_start
 
     # -- fresh attribute names ---------------------------------------------------
 
@@ -341,16 +364,22 @@ class GeneralTranslator:
 
 
 def translate_general(
-    query: WSAQuery, representation: InlinedRepresentation
+    query: WSAQuery,
+    representation: InlinedRepresentation,
+    counter_start: int = 0,
 ) -> GeneralTranslation:
     """Translate *query* against the schema of *representation*."""
     value_schemas = {
         name: representation.value_attributes(name) for name in representation.tables
     }
-    translator = GeneralTranslator(value_schemas, representation.id_attrs)
+    translator = GeneralTranslator(
+        value_schemas, representation.id_attrs, counter_start=counter_start
+    )
     state, answer = translator.translate(query)
     value_attrs = query.attributes(translator.env)
-    return GeneralTranslation(query, state, answer, value_attrs, representation)
+    return GeneralTranslation(
+        query, state, answer, value_attrs, representation, translator._counter
+    )
 
 
 def apply_general(

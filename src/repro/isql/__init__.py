@@ -3,7 +3,7 @@
 from repro.isql import ast
 from repro.isql.compile import FragmentError, compile_query
 from repro.isql.engine import Engine
-from repro.isql.explain import Explanation, explain, run_via_translation
+from repro.isql.explain import Explanation, explain, inline_route, run_via_translation
 from repro.isql.lexer import Token, tokenize
 from repro.isql.parser import parse_query, parse_script, parse_statement
 from repro.isql.session import DMLResult, ISQLSession, QueryResult
@@ -19,6 +19,7 @@ __all__ = [
     "ast",
     "compile_query",
     "explain",
+    "inline_route",
     "parse_query",
     "parse_script",
     "parse_statement",

@@ -244,6 +244,21 @@ class Update:
 Statement = Union[SelectQuery, CreateView, Assignment, Insert, Delete, Update]
 
 
+def expression_subqueries(expression: ValueExpr) -> list[SelectQuery]:
+    """All scalar subqueries nested anywhere in a value expression."""
+    found: list[SelectQuery] = []
+
+    def visit(expr: ValueExpr) -> None:
+        if isinstance(expr, ScalarSubquery):
+            found.append(expr.query)
+        elif isinstance(expr, Arithmetic):
+            visit(expr.left)
+            visit(expr.right)
+
+    visit(expression)
+    return found
+
+
 def condition_subqueries(condition: Condition | None) -> list[SelectQuery]:
     """All subqueries appearing anywhere in a condition."""
     if condition is None:
@@ -251,11 +266,7 @@ def condition_subqueries(condition: Condition | None) -> list[SelectQuery]:
     found: list[SelectQuery] = []
 
     def visit_value(expr: ValueExpr) -> None:
-        if isinstance(expr, ScalarSubquery):
-            found.append(expr.query)
-        elif isinstance(expr, Arithmetic):
-            visit_value(expr.left)
-            visit_value(expr.right)
+        found.extend(expression_subqueries(expr))
 
     def visit(cond: Condition) -> None:
         if isinstance(cond, Comparison):

@@ -86,6 +86,36 @@ class Engine:
         self.max_worlds = max_worlds
         self._hidden_counter = 0
 
+    # -- world-free row evaluation (used by the inline backend's DML) --------------
+
+    def bind_row_condition(
+        self, condition: ast.Condition, attributes: tuple[str, ...]
+    ):
+        """A row → bool predicate for a condition without subqueries.
+
+        Evaluation happens outside any world context, so conditions
+        containing subqueries raise :class:`EvaluationError` when (and
+        only when) a row actually reaches one — callers that must
+        support subqueries should evaluate per world instead.
+        """
+        resolver = _Resolver(attributes)
+
+        def check(row: tuple) -> bool:
+            return self._condition(condition, resolver, row, None, {}, {})
+
+        return check
+
+    def bind_row_expression(
+        self, expression: ast.ValueExpr, attributes: tuple[str, ...]
+    ):
+        """A row → value evaluator for a subquery-free value expression."""
+        resolver = _Resolver(attributes)
+
+        def value(row: tuple) -> object:
+            return self._value(expression, resolver, row, None, {}, {})
+
+        return value
+
     # -- select ------------------------------------------------------------------
 
     def run_select(

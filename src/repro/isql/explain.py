@@ -45,12 +45,17 @@ class Explanation:
     complete_to_complete: bool
     relational_general: RAExpr | None
     relational_optimized: RAExpr | None
+    #: How ``ISQLSession(backend="inline")`` would execute the statement:
+    #: "direct" (compiled to a flat-table plan, worlds never enumerated)
+    #: or "fallback" (outside the algebra fragment, explicit engine).
+    inline_route: str = "direct"
 
     def render(self) -> str:
         """A human-readable multi-line report."""
         lines = [
             f"world-set algebra : {self.algebra.to_text()}",
             f"type              : {self.type}",
+            f"inline backend    : {self.inline_route}",
         ]
         if self.complete_to_complete:
             assert self.relational_optimized is not None
@@ -98,6 +103,36 @@ def explain(
         relational_general=general,
         relational_optimized=optimized,
     )
+
+
+def inline_route(
+    text_or_query: str | ast.SelectQuery,
+    schemas: dict[str, tuple[str, ...]],
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> str:
+    """How the inline backend would execute a statement.
+
+    ``"direct"`` — the statement is in the Section 4 algebra fragment
+    and runs as a flat-table plan over the inlined representation;
+    ``"fallback"`` — it needs SQL aggregation or condition subqueries
+    and the inline backend delegates to the explicit engine.
+
+    Unlike :func:`explain` (which reports the whole translation
+    pipeline and hence requires a fragment query), this works on *any*
+    select statement.
+    """
+    from repro.isql.compile import FragmentError
+
+    statement = (
+        parse_query(text_or_query)
+        if isinstance(text_or_query, str)
+        else text_or_query
+    )
+    try:
+        compile_query(statement, schemas, views)
+    except FragmentError:
+        return "fallback"
+    return "direct"
 
 
 def run_via_translation(

@@ -1,7 +1,8 @@
 """I-SQL sessions: catalog, views, key constraints, statement execution.
 
-An :class:`ISQLSession` owns a world-set and executes statements
-against it, in the style of the paper's Section 2 walk-throughs::
+An :class:`ISQLSession` owns a possible-worlds state and executes
+statements against it, in the style of the paper's Section 2
+walk-throughs::
 
     session = ISQLSession()
     session.register("Company_Emp", company_emp)
@@ -18,53 +19,31 @@ later statements can self-join with correlation. Views are lazy macros
 re-expanded on every reference. Key constraints (declared through
 :meth:`declare_key`) implement the DML rule of Section 3: an update
 violating a constraint in *some* world is discarded in *all* worlds.
+
+*How* the state is stored and statements are evaluated is delegated to
+a pluggable :class:`repro.backend.Backend`:
+
+* ``backend="explicit"`` (default) materializes the world-set and runs
+  the Figure 3 semantics world by world;
+* ``backend="inline"`` keeps the state as an inlined representation
+  ⟨R₁ᵀ, …, R_kᵀ, W⟩ and compiles statements down to flat-table plans
+  (Section 5), decoding to explicit worlds only on demand;
+* ``backend="inline-translate"`` is the inline backend routed through
+  the literal Figure 6 relational algebra translation.
+
+Both backends produce identical answers on every statement — the
+differential suite in ``tests/backend`` enforces this.
 """
 
 from __future__ import annotations
 
+from repro.backend.base import Backend, BaseQueryResult, ExecutionContext, create_backend
+from repro.backend.explicit import QueryResult
 from repro.errors import EvaluationError, SchemaError
 from repro.isql import ast
-from repro.isql.engine import Engine
 from repro.isql.parser import parse_script
 from repro.relational.relation import Relation
-from repro.worlds.world import World
 from repro.worlds.worldset import WorldSet
-
-
-class QueryResult:
-    """The outcome of a select statement.
-
-    *world_set* is the input world-set extended with the answer under
-    *name*. :attr:`relation` is the unique answer when it is the same
-    in every world (always true for closed 1↦1 queries); otherwise
-    accessing it raises and :meth:`answers` lists the per-world answers.
-    """
-
-    __slots__ = ("world_set", "name")
-
-    def __init__(self, world_set: WorldSet, name: str) -> None:
-        self.world_set = world_set
-        self.name = name
-
-    @property
-    def relation(self) -> Relation:
-        answers = self.answers()
-        if len(answers) != 1:
-            raise EvaluationError(
-                f"the answer differs across worlds ({len(answers)} variants); "
-                "use .answers()"
-            )
-        return next(iter(answers))
-
-    def answers(self) -> frozenset[Relation]:
-        """The distinct answer relations across all worlds."""
-        return frozenset(self.world_set.instances(self.name))
-
-    def world_count(self) -> int:
-        return len(self.world_set)
-
-    def __repr__(self) -> str:
-        return f"QueryResult({self.name!r}, {len(self.world_set)} worlds)"
 
 
 class DMLResult:
@@ -82,79 +61,98 @@ class DMLResult:
 
 
 class ISQLSession:
-    """An interactive I-SQL session over a world-set."""
+    """An interactive I-SQL session over a possible-worlds state."""
 
-    def __init__(self, max_worlds: int | None = None) -> None:
-        self.world_set = WorldSet.single(World.of({}))
+    def __init__(
+        self,
+        max_worlds: int | None = None,
+        backend: str | Backend = "explicit",
+    ) -> None:
+        self.backend = create_backend(backend)
         self.views: dict[str, ast.SelectQuery] = {}
         self.keys: dict[str, tuple[str, ...]] = {}
         self.max_worlds = max_worlds
 
-    def _engine(self) -> Engine:
-        return Engine(self.views, self.keys, self.max_worlds)
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(self.views, self.keys, self.max_worlds)
 
     # -- catalog ------------------------------------------------------------------
+
+    @property
+    def world_set(self) -> WorldSet:
+        """The session state as an explicit world-set.
+
+        On the inline backend this *decodes* the representation — it is
+        a debugging/inspection aid, not part of the evaluation path.
+        """
+        return self.backend.to_world_set()
 
     def register(self, name: str, relation: Relation) -> None:
         """Add a complete relation to every world of the session."""
         if name in self.views:
             raise SchemaError(f"{name!r} already names a view")
-        if name in self.world_set.relation_names:
+        if name in self.backend.relation_names():
             raise SchemaError(f"relation {name!r} already exists")
-        self.world_set = self.world_set.extend_each(name, lambda world: relation)
+        self.backend.register(name, relation)
 
     def declare_key(self, relation: str, attributes: tuple[str, ...] | list[str]) -> None:
         """Declare a key constraint used by the DML discard rule."""
         self.keys[relation] = tuple(attributes)
 
     def relation_names(self) -> tuple[str, ...]:
-        return self.world_set.relation_names
+        return self.backend.relation_names()
 
     def world_count(self) -> int:
-        return len(self.world_set)
+        return self.backend.world_count()
 
     # -- execution -------------------------------------------------------------------
 
-    def execute(self, script: str) -> list[QueryResult | DMLResult | None]:
+    def execute(self, script: str) -> list[BaseQueryResult | DMLResult | None]:
         """Execute a ``;``-separated script; one result entry per statement."""
-        results: list[QueryResult | DMLResult | None] = []
+        results: list[BaseQueryResult | DMLResult | None] = []
         for statement in parse_script(script):
             results.append(self.execute_statement(statement))
         return results
 
     def execute_statement(
         self, statement: ast.Statement
-    ) -> QueryResult | DMLResult | None:
-        engine = self._engine()
+    ) -> BaseQueryResult | DMLResult | None:
+        context = self._context()
         if isinstance(statement, ast.SelectQuery):
-            extended, name = engine.run_select(statement, self.world_set)
-            return QueryResult(extended, name)
+            return self.backend.run_select(statement, context)
         if isinstance(statement, ast.Assignment):
-            if statement.name in self.world_set.relation_names or statement.name in self.views:
+            if (
+                statement.name in self.backend.relation_names()
+                or statement.name in self.views
+            ):
                 raise SchemaError(f"{statement.name!r} already exists")
-            self.world_set, _ = engine.run_select(
-                statement.query, self.world_set, name=statement.name
-            )
+            self.backend.assign(statement.name, statement.query, context)
             return None
         if isinstance(statement, ast.CreateView):
-            if statement.name in self.world_set.relation_names or statement.name in self.views:
+            if (
+                statement.name in self.backend.relation_names()
+                or statement.name in self.views
+            ):
                 raise SchemaError(f"{statement.name!r} already exists")
             self.views[statement.name] = statement.query
             return None
         if isinstance(statement, ast.Insert):
-            self.world_set, applied = engine.run_insert(statement, self.world_set)
+            applied = self.backend.run_insert(statement, context)
             return DMLResult(applied, "insert")
         if isinstance(statement, ast.Delete):
-            self.world_set = engine.run_delete(statement, self.world_set)
+            self.backend.run_delete(statement, context)
             return DMLResult(True, "delete")
         if isinstance(statement, ast.Update):
-            self.world_set, applied = engine.run_update(statement, self.world_set)
+            applied = self.backend.run_update(statement, context)
             return DMLResult(applied, "update")
         raise EvaluationError(f"unsupported statement {type(statement).__name__}")
 
-    def query(self, text: str) -> QueryResult:
+    def query(self, text: str) -> BaseQueryResult:
         """Execute a single select statement and return its result."""
         results = self.execute(text)
-        if len(results) != 1 or not isinstance(results[0], QueryResult):
+        if len(results) != 1 or not isinstance(results[0], BaseQueryResult):
             raise EvaluationError("query() expects exactly one select statement")
         return results[0]
+
+
+__all__ = ["DMLResult", "ISQLSession", "QueryResult"]

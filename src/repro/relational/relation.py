@@ -8,11 +8,26 @@ semijoin, and the padded left outer join ``=⊳⊲`` of Remark 5.5.
 
 Joins on explicit equality conditions and the natural join use hash
 partitioning so that the translation of Figure 6 (which is join-heavy on
-world-id attributes) evaluates in near-linear time per operator.
+world-id attributes) evaluates in near-linear time per operator. Because
+relations are immutable, every relation lazily caches
+
+* per-attribute-set hash indexes (:meth:`Relation._index`), shared by
+  the hash joins, semijoins and the constant-assignment selection that
+  decodes inlined representations world by world — repeated joins on
+  the same world-id columns build the partition once;
+* its canonical hash, so worlds containing large relations can enter
+  world-sets without re-sorting columns on every membership test.
+
+Row tuples are *interned* in a bounded pool: the same value tuple
+loaded twice (or appearing in many decoded worlds) is one object, which
+makes the set algebra's equality checks short-circuit on identity and
+shares memory across the many per-world copies an explicit world-set
+drags around.
 """
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
@@ -22,9 +37,57 @@ from repro.relational.schema import Schema
 
 Row = tuple
 
+#: Bound on the row intern pool; beyond it rows pass through uninterned.
+_INTERN_LIMIT = 1 << 20
+
+_INTERNED: dict[Row, Row] = {}
+
+#: Cell types for which type-identical equality implies interchangeability.
+_SCALAR_TYPES = frozenset((int, float, str, bool, bytes, type(None)))
+
+
+def intern_row(values: Row) -> Row:
+    """Return the canonical object for the row tuple *values*.
+
+    When the pool fills it is cleared wholesale (a generational reset):
+    interning is purely an optimization, so dropping canonical objects
+    only costs sharing, never correctness — and a reset both bounds
+    memory when a large throwaway dataset passed through and keeps
+    interning effective for whatever data comes next.
+    """
+    cached = _INTERNED.get(values)
+    if cached is not None:
+        if cached is values:
+            return values
+        # Python equality crosses types (1 == 1.0 == True), and for
+        # container cells equal types can still hide differently typed
+        # contents ((1,) vs (1.0,)). Substituting the canonical row is
+        # transparent only when every cell is the same object or a
+        # scalar of the identical type; otherwise keep the caller's.
+        for canonical, value in zip(cached, values):
+            if canonical is value:
+                continue
+            if type(canonical) is not type(value) or type(value) not in _SCALAR_TYPES:
+                return values
+        return cached
+    if len(_INTERNED) >= _INTERN_LIMIT:
+        _INTERNED.clear()
+    _INTERNED[values] = values
+    return values
+
+
+def tuple_getter(positions: Sequence[int]) -> Callable[[Row], tuple]:
+    """A C-speed extractor mapping a row to the tuple of *positions*."""
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: (row[position],)
+    return itemgetter(*positions)
+
 
 def _coerce_row(schema: Schema, row: object) -> Row:
-    """Normalize a dict / sequence row to a positional tuple."""
+    """Normalize a dict / sequence row to an interned positional tuple."""
     if isinstance(row, dict):
         missing = [a for a in schema if a not in row]
         if missing:
@@ -32,26 +95,50 @@ def _coerce_row(schema: Schema, row: object) -> Row:
         extra = [key for key in row if key not in schema]
         if extra:
             raise SchemaError(f"row {row!r} has unknown attributes {extra}")
-        return tuple(row[a] for a in schema)
+        return intern_row(tuple(row[a] for a in schema))
     values = tuple(row)  # type: ignore[arg-type]
     if len(values) != len(schema):
         raise SchemaError(
             f"row {values!r} has {len(values)} values; schema {list(schema)} "
             f"expects {len(schema)}"
         )
-    return values
+    return intern_row(values)
 
 
 class Relation:
     """An immutable relation: a schema and a frozen set of rows."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_indexes", "_hash")
 
     def __init__(self, schema: Schema | Sequence[str], rows: Iterable[object] = ()) -> None:
         if not isinstance(schema, Schema):
             schema = Schema(schema)
         self.schema = schema
         self.rows: frozenset[Row] = frozenset(_coerce_row(schema, row) for row in rows)
+        self._indexes: dict[tuple[int, ...], dict[tuple, tuple[Row, ...]]] = {}
+        self._hash: int | None = None
+
+    @classmethod
+    def _raw(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
+        """Internal fast constructor: *rows* must already be aligned tuples."""
+        relation = object.__new__(cls)
+        relation.schema = schema
+        relation.rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._indexes = {}
+        relation._hash = None
+        return relation
+
+    def _index(self, positions: tuple[int, ...]) -> dict[tuple, tuple[Row, ...]]:
+        """Hash partition of the rows by the attribute *positions* (cached)."""
+        cached = self._indexes.get(positions)
+        if cached is None:
+            key_of = tuple_getter(positions)
+            groups: dict[tuple, list[Row]] = {}
+            for row in self.rows:
+                groups.setdefault(key_of(row), []).append(row)
+            cached = {key: tuple(rows) for key, rows in groups.items()}
+            self._indexes[positions] = cached
+        return cached
 
     # -- constructors --------------------------------------------------------
 
@@ -104,9 +191,11 @@ class Relation:
         return self.rows == aligned.rows
 
     def __hash__(self) -> int:
-        canonical_attrs = tuple(sorted(self.schema.attributes))
-        canonical = self._reordered(canonical_attrs) if canonical_attrs != self.schema.attributes else self
-        return hash((canonical_attrs, canonical.rows))
+        if self._hash is None:
+            canonical_attrs = tuple(sorted(self.schema.attributes))
+            canonical = self._reordered(canonical_attrs) if canonical_attrs != self.schema.attributes else self
+            self._hash = hash((canonical_attrs, canonical.rows))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Relation({list(self.schema)!r}, {len(self.rows)} rows)"
@@ -123,6 +212,8 @@ class Relation:
     def _reordered(self, attributes: Sequence[str]) -> "Relation":
         """The same relation with columns in the given order."""
         positions = self.schema.indices(attributes)
+        if positions == tuple(range(len(self.schema))):
+            return self
         return Relation(attributes, (tuple(row[p] for p in positions) for row in self.rows))
 
     # -- unary operators -------------------------------------------------------
@@ -130,25 +221,32 @@ class Relation:
     def select(self, predicate: Predicate) -> "Relation":
         """Selection σ_φ: keep rows satisfying *predicate*."""
         check = predicate.bind(self.schema)
-        return Relation(self.schema, (row for row in self.rows if check(row)))
+        return Relation._raw(self.schema, (row for row in self.rows if check(row)))
 
     def select_values(self, assignment: Mapping[str, object]) -> "Relation":
-        """Selection σ_{A=v,...} for a constant assignment (fast path)."""
-        positions = [(self.schema.index(a), v) for a, v in assignment.items()]
-        return Relation(
-            self.schema,
-            (row for row in self.rows if all(row[p] == v for p, v in positions)),
-        )
+        """Selection σ_{A=v,...} for a constant assignment.
+
+        Served from the cached hash index on the assignment's attributes,
+        so decoding an inlined representation world by world costs one
+        partition pass rather than one scan per world.
+        """
+        positions = self.schema.indices(assignment)
+        key = tuple(assignment.values())
+        return Relation._raw(self.schema, self._index(positions).get(key, ()))
 
     def project(self, attributes: Sequence[str]) -> "Relation":
         """Projection π_U with set-semantics deduplication."""
         schema = self.schema.project(attributes)
         positions = self.schema.indices(attributes)
-        return Relation(schema, (tuple(row[p] for p in positions) for row in self.rows))
+        if positions == tuple(range(len(self.schema))):
+            return Relation._raw(schema, self.rows)
+        return Relation._raw(
+            schema, (tuple(row[p] for p in positions) for row in self.rows)
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Renaming δ_{old→new}; value tuples are unchanged."""
-        return Relation(self.schema.rename(mapping), self.rows)
+        return Relation._raw(self.schema.rename(mapping), self.rows)
 
     def extend(self, attribute: str, function: Callable[[dict[str, object]], object]) -> "Relation":
         """Append a computed attribute (used by I-SQL expressions).
@@ -173,7 +271,7 @@ class Relation:
             raise SchemaError(f"attribute {target!r} already exists")
         position = self.schema.index(source)
         schema = Schema(self.schema.attributes + (target,))
-        return Relation(schema, (row + (row[position],) for row in self.rows))
+        return Relation._raw(schema, (row + (row[position],) for row in self.rows))
 
     # -- binary operators --------------------------------------------------------
 
@@ -188,23 +286,23 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union ∪ (named perspective: equal attribute sets)."""
         other = self._require_union_compatible(other, "union")
-        return Relation(self.schema, self.rows | other.rows)
+        return Relation._raw(self.schema, self.rows | other.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference −."""
         other = self._require_union_compatible(other, "difference")
-        return Relation(self.schema, self.rows - other.rows)
+        return Relation._raw(self.schema, self.rows - other.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection ∩."""
         other = self._require_union_compatible(other, "intersection")
-        return Relation(self.schema, self.rows & other.rows)
+        return Relation._raw(self.schema, self.rows & other.rows)
 
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product ×; attribute sets must be disjoint."""
         schema = self.schema.concat(other.schema)
         rows = (left + right for left in self.rows for right in other.rows)
-        return Relation(schema, rows)
+        return Relation._raw(schema, rows)
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural join ⋈ on all shared attribute names (hash-based)."""
@@ -216,17 +314,17 @@ class Relation:
         right_rest = [i for i, a in enumerate(other.schema) if a not in common]
         schema = Schema(self.schema.attributes + tuple(other.schema[i] for i in right_rest))
 
-        buckets: dict[tuple, list[Row]] = {}
-        for row in other.rows:
-            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        buckets = other._index(right_key)
+        key_of = tuple_getter(left_key)
+        rest_of = tuple_getter(tuple(right_rest))
 
         def generate() -> Iterator[Row]:
+            empty: tuple[Row, ...] = ()
             for left in self.rows:
-                key = tuple(left[i] for i in left_key)
-                for right in buckets.get(key, ()):  # pragma: no branch
-                    yield left + tuple(right[i] for i in right_rest)
+                for right in buckets.get(key_of(left), empty):  # pragma: no branch
+                    yield left + rest_of(right)
 
-        return Relation(schema, generate())
+        return Relation._raw(schema, generate())
 
     def equi_join(self, other: "Relation", pairs: Sequence[tuple[str, str]]) -> "Relation":
         """θ-join on a conjunction of cross-schema equalities (hash-based).
@@ -241,9 +339,7 @@ class Relation:
         left_key = self.schema.indices(a for a, _ in pairs)
         right_key = other.schema.indices(b for _, b in pairs)
 
-        buckets: dict[tuple, list[Row]] = {}
-        for row in other.rows:
-            buckets.setdefault(tuple(row[i] for i in right_key), []).append(row)
+        buckets = other._index(right_key)
 
         def generate() -> Iterator[Row]:
             for left in self.rows:
@@ -251,7 +347,7 @@ class Relation:
                 for right in buckets.get(key, ()):  # pragma: no branch
                     yield left + right
 
-        return Relation(schema, generate())
+        return Relation._raw(schema, generate())
 
     def theta_join(self, other: "Relation", predicate: Predicate) -> "Relation":
         """θ-join with an arbitrary predicate over the concatenated schema."""
@@ -276,11 +372,10 @@ class Relation:
         common = self.schema.common(other.schema)
         if not common:
             return self if other.rows else Relation(self.schema)
-        left_key = self.schema.indices(common)
-        right_keys = {tuple(row[i] for i in other.schema.indices(common)) for row in other.rows}
-        return Relation(
-            self.schema,
-            (row for row in self.rows if tuple(row[i] for i in left_key) in right_keys),
+        key_of = tuple_getter(self.schema.indices(common))
+        right_keys = other._index(other.schema.indices(common)).keys()
+        return Relation._raw(
+            self.schema, (row for row in self.rows if key_of(row) in right_keys)
         )
 
     def antijoin(self, other: "Relation") -> "Relation":
@@ -288,11 +383,10 @@ class Relation:
         common = self.schema.common(other.schema)
         if not common:
             return Relation(self.schema) if other.rows else self
-        left_key = self.schema.indices(common)
-        right_keys = {tuple(row[i] for i in other.schema.indices(common)) for row in other.rows}
-        return Relation(
-            self.schema,
-            (row for row in self.rows if tuple(row[i] for i in left_key) not in right_keys),
+        key_of = tuple_getter(self.schema.indices(common))
+        right_keys = other._index(other.schema.indices(common)).keys()
+        return Relation._raw(
+            self.schema, (row for row in self.rows if key_of(row) not in right_keys)
         )
 
     def divide(self, other: "Relation") -> "Relation":
@@ -311,15 +405,18 @@ class Relation:
                 f"⊆ dividend attributes {list(self.schema)}"
             )
         keep = tuple(a for a in self.schema if a not in divisor_attrs)
-        quotient_positions = self.schema.indices(keep)
-        divisor_positions = self.schema.indices(other.schema.attributes)
+        quotient_of = tuple_getter(self.schema.indices(keep))
+        divisor_of = tuple_getter(self.schema.indices(other.schema.attributes))
         required = frozenset(other.rows)
+        need = len(required)
 
         seen: dict[tuple, set[tuple]] = {}
         for row in self.rows:
-            d = tuple(row[p] for p in quotient_positions)
-            seen.setdefault(d, set()).add(tuple(row[p] for p in divisor_positions))
-        return Relation(keep, (d for d, vs in seen.items() if required <= vs))
+            seen.setdefault(quotient_of(row), set()).add(divisor_of(row))
+        return Relation._raw(
+            Schema(keep),
+            (d for d, vs in seen.items() if len(vs) >= need and required <= vs),
+        )
 
     def left_outer_join_padded(self, other: "Relation") -> "Relation":
         """The modified left outer join ``=⊳⊲`` of Remark 5.5.

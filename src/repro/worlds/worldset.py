@@ -17,6 +17,22 @@ from repro.relational.schema import Schema
 from repro.worlds.world import World
 
 
+def fresh_name(taken: Iterable[str], stem: str = "Q") -> str:
+    """A name based on *stem* avoiding *taken* (for query answers).
+
+    Shared by every state holder that mints default answer names
+    (world-sets and the inline backend), so all backends agree on the
+    names they generate.
+    """
+    taken = set(taken)
+    if stem not in taken:
+        return stem
+    counter = 1
+    while f"{stem}{counter}" in taken:
+        counter += 1
+    return f"{stem}{counter}"
+
+
 class WorldSet:
     """An immutable set of worlds sharing one schema.
 
@@ -122,13 +138,7 @@ class WorldSet:
 
     def fresh_name(self, stem: str = "Q") -> str:
         """A relation name not used by the schema (for query answers)."""
-        taken = set(self.relation_names)
-        if stem not in taken:
-            return stem
-        counter = 1
-        while f"{stem}{counter}" in taken:
-            counter += 1
-        return f"{stem}{counter}"
+        return fresh_name(self.relation_names, stem)
 
     # -- transformation helpers used by the semantics --------------------------------
 

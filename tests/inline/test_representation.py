@@ -41,10 +41,20 @@ class TestFigure4:
 
 
 class TestValidation:
-    def test_tables_must_carry_id_attributes(self):
-        with pytest.raises(RepresentationError, match="lacks id"):
+    def test_tables_may_carry_a_subset_of_id_attributes(self):
+        """The lazy §5.3 form: an id-free table lives in every world."""
+        representation = InlinedRepresentation(
+            {"R": Relation(("A",), [(1,)])},
+            Relation(("$V",), [(1,), (2,)]),
+            ("$V",),
+        )
+        for world in representation.rep().worlds:
+            assert world["R"].rows == {(1,)}
+
+    def test_undeclared_id_attributes_rejected(self):
+        with pytest.raises(RepresentationError, match="undeclared id"):
             InlinedRepresentation(
-                {"R": Relation(("A",), [(1,)])},
+                {"R": Relation(("A", "$other"), [(1, 0)])},
                 Relation(("$V",), [(1,)]),
                 ("$V",),
             )

@@ -1,0 +1,138 @@
+"""InlinedRepresentation edge cases (Definition 5.1 boundary forms).
+
+Three degenerate shapes the definition explicitly permits:
+
+* an empty world table W = ∅ — the empty world-set;
+* a nullary W = {⟨⟩} — a single complete world (V = ∅);
+* world ids present in W but absent from every table — worlds whose
+  relations are all empty.
+
+Each is round-tripped through ``rep()`` and through an
+``InlineBackend``-backed session seeded with the representation.
+"""
+
+import pytest
+
+from repro.backend import InlineBackend
+from repro.errors import RepresentationError
+from repro.inline import InlinedRepresentation
+from repro.isql import ISQLSession
+from repro.relational import Relation, Schema
+from repro.worlds import World, WorldSet
+
+
+def backend_session(representation: InlinedRepresentation) -> ISQLSession:
+    return ISQLSession(backend=InlineBackend(representation))
+
+
+class TestEmptyWorldTable:
+    def rep(self):
+        return InlinedRepresentation(
+            {"R": Relation(("A", "$w"), ())},
+            Relation(("$w",), ()),
+            ("$w",),
+        )
+
+    def test_rep_is_the_empty_world_set(self):
+        decoded = self.rep().rep()
+        assert len(decoded) == 0
+        assert decoded.signature == (("R", Schema(("A",))),)
+
+    def test_backend_reports_zero_worlds(self):
+        session = backend_session(self.rep())
+        assert session.world_count() == 0
+        assert len(session.world_set) == 0
+
+    def test_queries_decode_to_no_worlds(self):
+        session = backend_session(self.rep())
+        result = session.query("select possible A from R;")
+        assert result.world_count() == 0
+        assert result.possible().rows == set()
+
+
+class TestNullaryWorldTable:
+    def rep(self):
+        return InlinedRepresentation(
+            {"R": Relation(("A",), [(1,), (2,)])}, Relation.unit(), ()
+        )
+
+    def test_rep_is_a_single_complete_world(self):
+        decoded = self.rep().rep()
+        assert decoded == WorldSet.single(
+            World.of({"R": Relation(("A",), [(1,), (2,)])})
+        )
+
+    def test_backend_round_trip(self):
+        session = backend_session(self.rep())
+        assert session.world_count() == 1
+        assert session.query("select certain A from R;").relation.rows == {
+            (1,),
+            (2,),
+        }
+
+    def test_initial_state_is_the_nullary_form(self):
+        initial = InlinedRepresentation.initial()
+        assert initial.world_table == Relation.unit()
+        assert initial.rep() == WorldSet.single(World.of({}))
+
+
+class TestDanglingWorldIds:
+    """Ids in W with no rows in any table: worlds with empty relations."""
+
+    def rep(self):
+        return InlinedRepresentation(
+            {"R": Relation(("A", "$w"), [(1, 0)])},
+            Relation(("$w",), [(0,), (1,)]),
+            ("$w",),
+        )
+
+    def test_rep_keeps_the_empty_world(self):
+        decoded = self.rep().rep()
+        assert decoded == WorldSet(
+            [
+                World.of({"R": Relation(("A",), [(1,)])}),
+                World.of({"R": Relation(("A",), ())}),
+            ]
+        )
+
+    def test_backend_counts_both_worlds(self):
+        session = backend_session(self.rep())
+        assert session.world_count() == 2
+
+    def test_certain_respects_the_empty_world(self):
+        session = backend_session(self.rep())
+        result = session.query("select certain A from R;")
+        assert result.relation.rows == set()
+        possible = session.query("select possible A from R;")
+        assert possible.relation.rows == {(1,)}
+
+    def test_duplicate_ids_collapse_in_rep_but_not_in_world_count(self):
+        representation = InlinedRepresentation(
+            {"R": Relation(("A", "$w"), ())},
+            Relation(("$w",), [(0,), (1,)]),
+            ("$w",),
+        )
+        assert representation.world_count() == 2  # ids counted apart
+        assert representation.distinct_world_count() == 1  # worlds collapse
+        assert len(representation.rep()) == 1
+
+
+class TestValidation:
+    def test_table_referencing_unknown_world_id_rejected(self):
+        with pytest.raises(RepresentationError, match="not in the world table"):
+            InlinedRepresentation(
+                {"R": Relation(("A", "$w"), [(1, 99)])},
+                Relation(("$w",), [(0,)]),
+                ("$w",),
+            )
+
+    def test_subset_tables_round_trip_through_strict(self):
+        lazy = InlinedRepresentation(
+            {"R": Relation(("A",), [(1,)])},
+            Relation(("$w",), [(0,), (1,)]),
+            ("$w",),
+        )
+        strict = lazy.strict()
+        assert strict.table_id_attrs("R") == ("$w",)
+        assert len(strict.tables["R"]) == 2  # replicated per world
+        assert strict.rep() == lazy.rep()

@@ -1,7 +1,16 @@
-"""Proposition 6.3: poss and cert are inter-expressible (Eq. 25/26)."""
+"""Proposition 6.3: poss and cert are inter-expressible (Eq. 25/26).
+
+Each property draws one seed and derives the world-set and subquery
+from it with composed strategies, so a single ``@given`` covers both —
+importing the ``subquery`` helper at module scope keeps hypothesis's
+``nested_given`` health check quiet (applying ``@given`` while another
+``@given`` test is running is what it flags).
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from tests.optimizer.test_equivalences import subquery
 
 from repro.core import cert, evaluate, poss
 from repro.datagen import random_world_set
@@ -11,41 +20,46 @@ from repro.relational import Schema
 seeds = st.integers(0, 20_000)
 ENV = {"R": Schema(("A", "B")), "S": Schema(("C", "D"))}
 
+#: (world-set, subquery) pairs for the full-domain equations.
+cases = st.builds(
+    lambda seed: (random_world_set(seed), subquery(seed + 1)), seeds
+)
 
-def inner(seed):
-    from tests.optimizer.test_equivalences import subquery
+#: Pairs over the small bounded domain used by the D^arity equations.
+bounded_cases = st.builds(
+    lambda seed: (
+        random_world_set(seed, max_worlds=3, max_rows=4, domain=(0, 1, 2)),
+        subquery(seed + 2),
+    ),
+    seeds,
+)
 
-    return subquery(seed)
 
-
-@given(seeds)
+@given(cases)
 @settings(max_examples=60, deadline=None)
-def test_eq25_cert_via_poss(seed):
+def test_eq25_cert_via_poss(case):
     """cert(Q) = Q − poss(poss(Q) − Q)."""
-    ws = random_world_set(seed)
-    q = inner(seed + 1)
+    ws, q = case
     direct = evaluate(cert(q), ws, name="Q")
     encoded = evaluate(cert_via_poss(q, ENV), ws, name="Q")
     assert direct == encoded
 
 
-@given(seeds)
+@given(bounded_cases)
 @settings(max_examples=40, deadline=None)
-def test_eq25_cert_via_domain(seed):
+def test_eq25_cert_via_domain(case):
     """cert(Q) = Q − poss(D^arity(Q) − Q)."""
-    ws = random_world_set(seed, max_worlds=3, max_rows=4, domain=(0, 1, 2))
-    q = inner(seed + 2)
+    ws, q = case
     direct = evaluate(cert(q), ws, name="Q")
     encoded = evaluate(cert_via_domain(q, ENV), ws, name="Q")
     assert direct == encoded
 
 
-@given(seeds)
+@given(bounded_cases)
 @settings(max_examples=40, deadline=None)
-def test_eq26_poss_via_cert(seed):
+def test_eq26_poss_via_cert(case):
     """poss(Q) = D^arity(Q) − cert(D^arity(Q) − Q)."""
-    ws = random_world_set(seed, max_worlds=3, max_rows=4, domain=(0, 1, 2))
-    q = inner(seed + 3)
+    ws, q = case
     direct = evaluate(poss(q), ws, name="Q")
     encoded = evaluate(poss_via_cert(q, ENV), ws, name="Q")
     assert direct == encoded

@@ -21,6 +21,18 @@ class TestConstruction:
         relation = Relation(("A",), [(1,), (1,), (2,)])
         assert len(relation) == 2
 
+    def test_interning_shares_equal_rows_across_relations(self):
+        a = Relation(("A", "B"), [("x", 1)])
+        b = Relation(("C", "D"), [("x", 1)])
+        assert next(iter(a.rows)) is next(iter(b.rows))
+
+    def test_interning_never_substitutes_across_types(self):
+        """1 == 1.0 == True in Python; stored values must keep their type."""
+        Relation(("A",), [(1,)])
+        float_relation = Relation(("A",), [(1.0,)])
+        (value,) = next(iter(float_relation.rows))
+        assert type(value) is float
+
     def test_dict_rows(self):
         relation = Relation(("A", "B"), [{"B": 2, "A": 1}])
         assert (1, 2) in relation
