@@ -1,0 +1,159 @@
+"""Fail CI when inline benchmark timings regress past a threshold.
+
+Compares a freshly generated ``BENCH_backends.json`` against the
+committed baseline (the file as of the base commit) and exits non-zero
+if any scenario's **inline** time grew by more than ``--threshold``
+(default 2×).
+
+The committed baseline is usually recorded on different hardware than
+the CI runner, so raw seconds are only compared when the two rows share
+provenance (interpreter + platform). Otherwise the gate compares
+*hardware-normalized* metrics: the inline seconds divided by a
+same-file reference row of the same scenario — the explicit backend
+when it was measured, else the ``inline-tuple`` kernel row. A slower
+runner slows the reference by the same factor, so the ratio isolates
+real inline regressions from machine variance.
+
+Rules:
+
+* only ``backend == "inline"`` rows gate (the explicit engine is the
+  reference implementation, not the product of perf work);
+* same-provenance rows measured at under ``--min-seconds`` (default
+  2 ms) are skipped — at that scale timer noise dominates;
+* infeasible rows (``seconds`` null) and scenarios missing from either
+  file are skipped, as are cross-provenance scenarios without a common
+  reference row;
+* a scenario that *became* infeasible while the baseline measured it is
+  reported as a regression (losing the ability to run is the worst
+  regression of all).
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json \
+        [--threshold 2.0] [--min-seconds 0.002]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_BACKEND = "inline"
+
+#: Same-file rows used to normalize away hardware differences, in
+#: preference order.
+REFERENCE_BACKENDS = ("explicit", "inline-tuple")
+
+
+def _rows(payload: dict, backend: str) -> dict[str, dict]:
+    return {
+        row["scenario"]: row
+        for row in payload.get("entries", [])
+        if row.get("backend") == backend
+    }
+
+
+def _provenance(row: dict) -> tuple:
+    return (row.get("python"), row.get("platform"))
+
+
+def _normalized(payload: dict, scenario: str, inline_row: dict) -> tuple[float, str] | None:
+    """inline seconds over a same-file reference row's seconds.
+
+    The reference must share the inline row's provenance — a merged
+    file can carry rows from several machines, and dividing machine-B
+    inline seconds by a machine-A reference would manufacture (or mask)
+    a regression.
+    """
+    for backend in REFERENCE_BACKENDS:
+        reference = _rows(payload, backend).get(scenario)
+        if (
+            reference
+            and reference.get("seconds")
+            and _provenance(reference) == _provenance(inline_row)
+        ):
+            return inline_row["seconds"] / reference["seconds"], backend
+    return None
+
+
+def check(
+    baseline: dict, current: dict, threshold: float, min_seconds: float
+) -> list[str]:
+    """The list of regression messages (empty = pass)."""
+    problems: list[str] = []
+    baseline_rows = _rows(baseline, GATED_BACKEND)
+    current_rows = _rows(current, GATED_BACKEND)
+    for scenario, old in sorted(baseline_rows.items()):
+        old_seconds = old.get("seconds")
+        if old_seconds is None:
+            continue
+        new = current_rows.get(scenario)
+        if new is None:
+            continue  # not re-measured in this run
+        new_seconds = new.get("seconds")
+        if new_seconds is None:
+            problems.append(
+                f"{scenario}: inline was {old_seconds:.4f}s at baseline "
+                "but is now recorded as infeasible"
+            )
+            continue
+        if _provenance(old) == _provenance(new):
+            if old_seconds < min_seconds:
+                continue
+            if new_seconds > old_seconds * threshold:
+                problems.append(
+                    f"{scenario}: inline {old_seconds:.4f}s → {new_seconds:.4f}s "
+                    f"({new_seconds / old_seconds:.2f}× > {threshold:.1f}× threshold)"
+                )
+            continue
+        # Different machines: compare normalized against a same-file
+        # reference row instead of raw seconds. The noise floor applies
+        # here too — a ratio of two ~1 ms timings is all jitter.
+        if old_seconds < min_seconds or new_seconds < min_seconds:
+            continue
+        old_norm = _normalized(baseline, scenario, old)
+        new_norm = _normalized(current, scenario, new)
+        if old_norm is None or new_norm is None:
+            continue
+        old_ratio, old_ref = old_norm
+        new_ratio, new_ref = new_norm
+        if new_ratio > old_ratio * threshold:
+            problems.append(
+                f"{scenario}: inline/{new_ref} ratio {old_ratio:.3f} → "
+                f"{new_ratio:.3f} ({new_ratio / old_ratio:.2f}× > "
+                f"{threshold:.1f}× threshold; cross-machine, normalized "
+                f"by {old_ref}/{new_ref})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=2.0)
+    parser.add_argument("--min-seconds", type=float, default=0.002)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    problems = check(baseline, current, args.threshold, args.min_seconds)
+    if problems:
+        print("inline benchmark regressions:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    compared = sorted(
+        set(_rows(baseline, GATED_BACKEND)) & set(_rows(current, GATED_BACKEND))
+    )
+    print(
+        f"no inline regression past {args.threshold:.1f}× "
+        f"across {len(compared)} scenarios: {', '.join(compared)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,12 +25,18 @@ BACKEND_BENCH_RESULTS: list[dict] = []
 def record_backend_timing(
     scenario: str,
     backend: str,
-    seconds: float,
-    session_worlds: int,
-    result_worlds: int,
+    seconds: float | None,
+    session_worlds: int | None,
+    result_worlds: int | None,
     scenario_worlds: int,
-    representation_size: int,
-    answer_rows: int,
+    representation_size: int | None,
+    answer_rows: int | None,
+    phases: dict[str, float] | None = None,
+    route: str | None = None,
+    fallback_reason: str | None = None,
+    kernel: str | None = None,
+    repeats: int | None = None,
+    infeasible: bool = False,
 ) -> None:
     """Append one (scenario, backend) timing row for BENCH_backends.json.
 
@@ -38,25 +44,78 @@ def record_backend_timing(
     *result_worlds* the final query result's, and *scenario_worlds* the
     size of the world space the query evaluation ranges over (a closed
     query may collapse back to one world at the very end).
+
+    *seconds* is the median of *repeats* runs; *phases* breaks it down
+    (compile / rewrite / execute / decode) for the median run. *route*
+    and *fallback_reason* label how the inline backend executed the
+    scenario's statements (``isql.explain.inline_route`` semantics), so
+    near-1× explicit-vs-inline rows are explainable. *infeasible* rows
+    (``seconds`` null) record that a backend cannot run the scenario at
+    all — distinct from an unmeasured 0.
     """
-    BACKEND_BENCH_RESULTS.append(
-        {
-            "scenario": scenario,
-            "backend": backend,
-            "seconds": round(seconds, 6),
-            "session_worlds": session_worlds,
-            "result_worlds": result_worlds,
-            "scenario_worlds": scenario_worlds,
-            "representation_size": representation_size,
-            "answer_rows": answer_rows,
-            # Provenance: ratios are only computed between rows from the
-            # same interpreter on the same platform (best effort — a
-            # hostname would identify machines exactly but does not
-            # belong in a committed file).
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        }
+    row: dict = {
+        "scenario": scenario,
+        "backend": backend,
+        "seconds": round(seconds, 6) if seconds is not None else None,
+        "session_worlds": session_worlds,
+        "result_worlds": result_worlds,
+        "scenario_worlds": scenario_worlds,
+        "representation_size": representation_size,
+        "answer_rows": answer_rows,
+        # Provenance: ratios are only computed between rows from the
+        # same interpreter on the same platform (best effort — a
+        # hostname would identify machines exactly but does not
+        # belong in a committed file).
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if infeasible:
+        row["infeasible"] = True
+    if phases is not None:
+        row["phases"] = {name: round(value, 6) for name, value in sorted(phases.items())}
+    if repeats is not None:
+        row["repeats"] = repeats
+    if route is not None:
+        row["route"] = route
+        row["fallback_reason"] = fallback_reason
+    if kernel is not None:
+        row["kernel"] = kernel
+    BACKEND_BENCH_RESULTS.append(row)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repeats",
+        action="store",
+        type=int,
+        default=3,
+        help="timing repetitions per (scenario, backend); the median is recorded",
     )
+
+
+@pytest.fixture(scope="session")
+def bench_repeats(request) -> int:
+    """The ``--repeats`` knob: N timed runs, median-of-N recorded."""
+    return max(int(request.config.getoption("--repeats")), 1)
+
+
+def _ratio(numerator: dict | None, denominator: dict | None) -> float | None:
+    """Seconds ratio of two rows when both are measured and comparable.
+
+    Infeasible rows (``seconds`` null) never produce a ratio, and rows
+    from different interpreters/platforms are not compared (a
+    carried-over row may come from another machine).
+    """
+    if not numerator or not denominator:
+        return None
+    if numerator.get("seconds") is None or not denominator.get("seconds"):
+        return None
+    if (
+        numerator.get("python") != denominator.get("python")
+        or numerator.get("platform") != denominator.get("platform")
+    ):
+        return None
+    return round(numerator["seconds"] / denominator["seconds"], 2)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -78,30 +137,35 @@ def pytest_sessionfinish(session, exitstatus):
     measured: dict[tuple[str, str], dict] = {}
     for row in BACKEND_BENCH_RESULTS:
         key = (row["scenario"], row["backend"])
-        if key not in measured or row["seconds"] < measured[key]["seconds"]:
+        previous = measured.get(key)
+        # Among this run's rows: a measurement beats an infeasible
+        # marker, and the fastest measurement wins; among infeasible
+        # markers the latest wins.
+        if (
+            previous is None
+            or previous["seconds"] is None
+            or (row["seconds"] is not None and row["seconds"] < previous["seconds"])
+        ):
             measured[key] = row
     best.update(measured)
     entries = sorted(best.values(), key=lambda r: (r["scenario"], r["backend"]))
-    # A carried-over row may come from another machine/interpreter; only
-    # pairs with matching provenance yield a meaningful ratio.
     by_scenario: dict[str, dict[str, dict]] = {}
     for row in entries:
         by_scenario.setdefault(row["scenario"], {})[row["backend"]] = row
     speedups = {}
+    kernel_speedups = {}
     for name, rows in by_scenario.items():
-        explicit, inline = rows.get("explicit"), rows.get("inline")
-        if (
-            explicit
-            and inline
-            and inline["seconds"] > 0
-            and explicit.get("python") == inline.get("python")
-            and explicit.get("platform") == inline.get("platform")
-        ):
-            speedups[name] = round(explicit["seconds"] / inline["seconds"], 2)
+        explicit_over_inline = _ratio(rows.get("explicit"), rows.get("inline"))
+        if explicit_over_inline is not None:
+            speedups[name] = explicit_over_inline
+        tuple_over_columnar = _ratio(rows.get("inline-tuple"), rows.get("inline"))
+        if tuple_over_columnar is not None:
+            kernel_speedups[name] = tuple_over_columnar
     payload = {
         "generated_by": "benchmarks/bench_backends.py",
         "entries": entries,
         "inline_speedup_over_explicit": speedups,
+        "columnar_speedup_over_tuple_kernel": kernel_speedups,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
 

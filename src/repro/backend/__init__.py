@@ -15,6 +15,7 @@ from repro.backend.base import (
 )
 from repro.backend.explicit import ExplicitBackend, QueryResult
 from repro.backend.inline import InlineBackend, InlineQueryResult
+from repro.backend.instrument import collect_phases, phase
 
 __all__ = [
     "Backend",
@@ -24,5 +25,7 @@ __all__ = [
     "InlineBackend",
     "InlineQueryResult",
     "QueryResult",
+    "collect_phases",
     "create_backend",
+    "phase",
 ]

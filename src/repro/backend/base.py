@@ -109,6 +109,15 @@ class Backend:
         """The current state as an explicit world-set (decode on demand)."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release caches derived from the session state.
+
+        The state itself (world-set or inlined representation) stays
+        valid and the backend remains usable — caches rebuild on
+        demand. Long-lived processes cycling many sessions call this
+        via ``ISQLSession.close()``; the default is a no-op.
+        """
+
     # -- statements ----------------------------------------------------------------
 
     def run_select(

@@ -13,6 +13,7 @@ algebra fragment.
 from __future__ import annotations
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext
+from repro.backend.instrument import phase
 from repro.isql import ast
 from repro.isql.engine import Engine
 from repro.relational.relation import Relation
@@ -73,22 +74,30 @@ class ExplicitBackend(Backend):
     def to_world_set(self) -> WorldSet:
         return self.world_set
 
+    def close(self) -> None:
+        """Release per-relation caches of every materialized world."""
+        for world in self.world_set.worlds:
+            for name in world.names:
+                world[name].clear_caches()
+
     # -- statements ----------------------------------------------------------------
 
     def run_select(
         self, query: ast.SelectQuery, context: ExecutionContext, name: str | None = None
     ) -> QueryResult:
-        extended, result_name = self._engine(context).run_select(
-            query, self.world_set, name=name
-        )
+        with phase("execute"):
+            extended, result_name = self._engine(context).run_select(
+                query, self.world_set, name=name
+            )
         return QueryResult(extended, result_name)
 
     def assign(
         self, name: str, query: ast.SelectQuery, context: ExecutionContext
     ) -> None:
-        self.world_set, _ = self._engine(context).run_select(
-            query, self.world_set, name=name
-        )
+        with phase("execute"):
+            self.world_set, _ = self._engine(context).run_select(
+                query, self.world_set, name=name
+            )
 
     def run_insert(self, statement: ast.Insert, context: ExecutionContext) -> bool:
         self.world_set, applied = self._engine(context).run_insert(

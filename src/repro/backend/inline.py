@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext
 from repro.backend.explicit import QueryResult
+from repro.backend.instrument import phase
 from repro.errors import (
     EvaluationError,
     RewriteError,
@@ -57,6 +58,7 @@ from repro.isql import ast
 from repro.isql.compile import FragmentError, compile_query
 from repro.isql.engine import Engine
 from repro.optimizer.rewriter import optimize as rewrite_plan
+from repro.relational.columnar import as_tuple, resolve_kernel
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.worlds.worldset import WorldSet, fresh_name
@@ -83,18 +85,21 @@ class InlineQueryResult(BaseQueryResult):
 
     def possible(self) -> Relation:
         """poss closure straight off the flat answer table: π_U(Rᵀ)."""
-        return self._state.answer.project(self._state.value_attributes())
+        state = self._state
+        return as_tuple(state._answer.project(state.value_attributes()))
 
     def certain(self) -> Relation:
         """cert closure straight off the flat answer table: Rᵀ ÷ W."""
-        return self._state.answer.divide(self._state.world_or_unit())
+        state = self._state
+        return as_tuple(state._answer.divide(state._world_or_unit_any()))
 
     @property
     def world_set(self) -> WorldSet:
         if self._decoded is None:
-            self._decoded = decode_extension(
-                self._representation, self._state, self.name
-            )
+            with phase("decode"):
+                self._decoded = decode_extension(
+                    self._representation, self._state, self.name
+                )
         return self._decoded
 
     def world_count(self) -> int:
@@ -119,7 +124,7 @@ class InlineQueryResult(BaseQueryResult):
     def __repr__(self) -> str:
         return (
             f"InlineQueryResult({self.name!r}, "
-            f"{len(self._state.world_or_unit())} world ids)"
+            f"{len(self._state._world_or_unit_any())} world ids)"
         )
 
 
@@ -133,12 +138,15 @@ class InlineBackend(Backend):
         representation: InlinedRepresentation | None = None,
         strategy: str = "physical",
         rewrite: bool = True,
+        kernel: str | None = None,
     ) -> None:
         if strategy not in ("physical", "translate"):
             raise EvaluationError(
                 f"unknown inline strategy {strategy!r}; "
                 "expected 'physical' or 'translate'"
             )
+        if kernel is not None:
+            resolve_kernel(kernel)  # validate eagerly
         self.representation = (
             representation
             if representation is not None
@@ -146,8 +154,17 @@ class InlineBackend(Backend):
         )
         self.strategy = strategy
         self.rewrite = rewrite
+        #: Pinned kernel, or None to follow ``REPRO_KERNEL`` per statement.
+        self.kernel = kernel
+        #: Fallback-route events of this session: (statement kind, reason).
+        self.fallback_events: list[tuple[str, str]] = []
         self._counter = 0
         self._decoded: WorldSet | None = None
+
+    @property
+    def resolved_kernel(self) -> str:
+        """The kernel the next statement will evaluate with."""
+        return resolve_kernel(self.kernel)
 
     # -- catalog ------------------------------------------------------------------
 
@@ -172,8 +189,24 @@ class InlineBackend(Backend):
 
     def to_world_set(self) -> WorldSet:
         if self._decoded is None:
-            self._decoded = self.representation.rep()
+            with phase("decode"):
+                self._decoded = self.representation.rep()
         return self._decoded
+
+    def close(self) -> None:
+        """Drop decoded worlds and per-relation cached state.
+
+        The inlined representation itself is kept — it *is* the session
+        state — but hash indexes, cached hashes, and columnar twins of
+        its tables (and of the world table) rebuild on demand. The
+        fallback-event log is dropped too; it exists for diagnostics of
+        statements already executed.
+        """
+        self._decoded = None
+        self.fallback_events.clear()
+        for _, relation in self.representation.tables.items():
+            relation.clear_caches()
+        self.representation.world_table.clear_caches()
 
     def _commit(self, representation: InlinedRepresentation) -> None:
         self.representation = representation
@@ -191,31 +224,35 @@ class InlineBackend(Backend):
     def _compile(self, query: ast.SelectQuery, context: ExecutionContext):
         """I-SQL → world-set algebra, then the Figure 7 rewriting pass."""
         schemas = self._value_schemas()
-        compiled = compile_query(query, schemas, dict(context.views))
+        with phase("compile"):
+            compiled = compile_query(query, schemas, dict(context.views))
         if self.rewrite:
-            env = {name: Schema(attrs) for name, attrs in schemas.items()}
-            kind = "1" if self.representation.world_count() <= 1 else "m"
-            try:
-                compiled, _ = rewrite_plan(compiled, env, input_kind=kind)
-            except (RewriteError, TypingError, SchemaError):
-                pass  # an unoptimized plan is still a correct plan
+            with phase("rewrite"):
+                env = {name: Schema(attrs) for name, attrs in schemas.items()}
+                kind = "1" if self.representation.world_count() <= 1 else "m"
+                try:
+                    compiled, _ = rewrite_plan(compiled, env, input_kind=kind)
+                except (RewriteError, TypingError, SchemaError):
+                    pass  # an unoptimized plan is still a correct plan
         return compiled
 
     def _evaluate(self, compiled, context: ExecutionContext) -> PhysicalState:
-        if self.strategy == "translate":
-            try:
-                return self._evaluate_translated(compiled, context)
-            except WorldLimitError:
-                raise
-            except TranslationError:
-                pass  # e.g. repair-by-key: beyond relational algebra
-        state, self._counter = evaluate_seeded(
-            compiled,
-            self.representation,
-            max_worlds=context.max_worlds,
-            counter_start=self._counter,
-        )
-        return state
+        with phase("execute"):
+            if self.strategy == "translate":
+                try:
+                    return self._evaluate_translated(compiled, context)
+                except WorldLimitError:
+                    raise
+                except TranslationError:
+                    pass  # e.g. repair-by-key: beyond relational algebra
+            state, self._counter = evaluate_seeded(
+                compiled,
+                self.representation,
+                max_worlds=context.max_worlds,
+                counter_start=self._counter,
+                kernel=self.kernel,
+            )
+            return state
 
     def _evaluate_translated(
         self, compiled, context: ExecutionContext
@@ -229,7 +266,9 @@ class InlineBackend(Backend):
         translation = translate_general(
             compiled, self.representation.strict(), counter_start=self._counter
         )
-        output = translation.apply(name="#answer", max_worlds=context.max_worlds)
+        output = translation.apply(
+            name="#answer", max_worlds=context.max_worlds, kernel=self.kernel
+        )
         self._counter = translation.counter
         return PhysicalState(
             output.tables["#answer"], output.id_attrs, output.world_table
@@ -243,7 +282,8 @@ class InlineBackend(Backend):
         result_name = name if name is not None else self._fresh_name()
         try:
             compiled = self._compile(query, context)
-        except FragmentError:
+        except FragmentError as reason:
+            self.fallback_events.append(("select", str(reason)))
             return self._fallback_select(query, context, name)
         state = self._evaluate(compiled, context)
         return InlineQueryResult(self.representation, state, result_name)
@@ -253,9 +293,12 @@ class InlineBackend(Backend):
     ) -> None:
         try:
             compiled = self._compile(query, context)
-        except FragmentError:
+        except FragmentError as reason:
+            self.fallback_events.append(("assign", str(reason)))
             engine = Engine(context.views, context.keys, context.max_worlds)
-            extended, _ = engine.run_select(query, self.to_world_set(), name=name)
+            world_set = self.to_world_set()
+            with phase("execute"):
+                extended, _ = engine.run_select(query, world_set, name=name)
             self._reinline(extended)
             return
         state = self._evaluate(compiled, context)
@@ -291,9 +334,9 @@ class InlineBackend(Backend):
     ) -> QueryResult:
         """Outside the algebra fragment: decode and run the explicit engine."""
         engine = Engine(context.views, context.keys, context.max_worlds)
-        extended, result_name = engine.run_select(
-            query, self.to_world_set(), name=name
-        )
+        world_set = self.to_world_set()
+        with phase("execute"):
+            extended, result_name = engine.run_select(query, world_set, name=name)
         return QueryResult(extended, result_name)
 
     def _reinline(self, world_set: WorldSet) -> None:
@@ -362,6 +405,7 @@ class InlineBackend(Backend):
 
     def run_delete(self, statement: ast.Delete, context: ExecutionContext) -> None:
         if ast.condition_subqueries(statement.where):
+            self.fallback_events.append(("delete", "condition subqueries"))
             self._reinline(
                 Engine(context.views, context.keys, context.max_worlds).run_delete(
                     statement, self.to_world_set()
@@ -384,6 +428,7 @@ class InlineBackend(Backend):
             for clause in statement.settings
         )
         if has_subqueries:
+            self.fallback_events.append(("update", "condition or expression subqueries"))
             world_set, applied = Engine(
                 context.views, context.keys, context.max_worlds
             ).run_update(statement, self.to_world_set())

@@ -1,0 +1,56 @@
+"""Per-phase wall-clock accounting for statement execution.
+
+The benchmark suite wants to know *where* a backend spends its time —
+compile (parse + I-SQL → world-set algebra), rewrite (the Figure 7
+pass), execute (flat-table or per-world evaluation), decode (explicit
+world materialization) — so that performance PRs can target the right
+layer instead of re-measuring end-to-end numbers.
+
+The mechanism is deliberately tiny: a caller installs a collector dict
+with :func:`collect_phases`, and instrumented code brackets work in
+``with phase("execute"):``. When no collector is installed the bracket
+is a no-op, so sessions outside a benchmark pay one ``is None`` check
+per statement, nothing more. Phases must not nest (the accounting adds
+sibling durations; instrumentation sites are chosen to be disjoint).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_collector: dict[str, float] | None = None
+
+
+@contextmanager
+def collect_phases(target: dict[str, float] | None = None) -> Iterator[dict[str, float]]:
+    """Install *target* (or a fresh dict) as the phase collector.
+
+    Durations accumulate under their phase name for the duration of the
+    ``with`` block; collectors restore on exit, so nested collections
+    (a benchmark inside a benchmark) see only their own phases.
+    """
+    global _collector
+    previous = _collector
+    _collector = target if target is not None else {}
+    try:
+        yield _collector
+    finally:
+        _collector = previous
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Bracket one phase of work; a no-op without an active collector."""
+    if _collector is None:
+        yield
+        return
+    collector = _collector
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector[name] = (
+            collector.get(name, 0.0) + time.perf_counter() - start
+        )

@@ -17,17 +17,28 @@ times the runs).
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.backend.base import Backend
 from repro.datagen.workloads import Scenario
 from repro.isql.session import ISQLSession
 
 
 def run_scenario(
     scenario: Scenario,
-    backend: str = "explicit",
+    backend: "str | Backend | Callable[[], Backend]" = "explicit",
     max_worlds: int | None = None,
 ) -> tuple[ISQLSession, object]:
-    """Replay *scenario* on a fresh session; returns (session, result)."""
-    session = ISQLSession(max_worlds=max_worlds, backend=backend)
+    """Replay *scenario* on a fresh session; returns (session, result).
+
+    *backend* is a backend name, a :class:`Backend` instance, or a
+    zero-argument factory — the latter lets differential suites replay
+    one scenario on configured backends (e.g. ``lambda:
+    InlineBackend(kernel="tuple")``) while every run still gets a fresh
+    state.
+    """
+    resolved = backend() if callable(backend) else backend
+    session = ISQLSession(max_worlds=max_worlds, backend=resolved)
     for name, relation in scenario.relations:
         session.register(name, relation)
     for relation, attributes in scenario.keys:
@@ -39,13 +50,22 @@ def run_scenario(
 
 def assert_backends_agree(
     scenario: Scenario,
-    backends: tuple[str, ...] = ("explicit", "inline"),
+    backends: tuple = ("explicit", "inline"),
     max_worlds: int | None = None,
 ) -> None:
-    """Replay on every backend and assert identical observable behavior."""
-    runs = [
-        (backend, *run_scenario(scenario, backend, max_worlds=max_worlds))
+    """Replay on every backend and assert identical observable behavior.
+
+    Each entry of *backends* is a backend name, a factory, or a
+    ``(label, backend_or_factory)`` pair (labels keep assertion messages
+    readable when comparing configured backends such as kernels).
+    """
+    labelled = [
+        backend if isinstance(backend, tuple) else (str(backend), backend)
         for backend in backends
+    ]
+    runs = [
+        (label, *run_scenario(scenario, backend, max_worlds=max_worlds))
+        for label, backend in labelled
     ]
     reference_backend, reference_session, reference_result = runs[0]
     for backend, session, result in runs[1:]:

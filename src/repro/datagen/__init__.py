@@ -18,6 +18,7 @@ from repro.datagen.workloads import (
     paper_flights,
     random_graph,
     scenarios,
+    xl_scenarios,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "random_relation",
     "random_world_set",
     "scenarios",
+    "xl_scenarios",
 ]

@@ -123,12 +123,16 @@ def census(
     n_people: int,
     duplicate_rate: float = 0.3,
     seed: int = 0,
+    duplicates: int | None = None,
 ) -> Relation:
     """A dirty ``Census(SSN, Name, POB, POW)`` violating SSN → rest.
 
     A *duplicate_rate* fraction of people get a second, conflicting
     record under the same SSN (a mistyped city), so repair-by-key on
-    SSN produces 2^(duplicates) worlds.
+    SSN produces 2^(duplicates) worlds. Passing *duplicates* instead
+    pins the number of conflicting records exactly (the first
+    *duplicates* people each get one), which benchmarks use to hit a
+    target world count deterministically.
     """
     rng = random.Random(seed + 3)
     cities = [f"City{i}" for i in range(max(n_people // 2, 4))]
@@ -138,7 +142,12 @@ def census(
         name = f"Person{person}"
         pob, pow_ = rng.choice(cities), rng.choice(cities)
         rows.append((ssn, name, pob, pow_))
-        if rng.random() < duplicate_rate:
+        conflicted = (
+            person < duplicates
+            if duplicates is not None
+            else rng.random() < duplicate_rate
+        )
+        if conflicted:
             # The conflicting record must differ, or set semantics would
             # collapse it and the key violation would vanish.
             conflicting = rng.choice([c for c in cities if c != pob])
@@ -197,6 +206,10 @@ class Scenario:
     #: True when some statement leaves the Section 4 algebra fragment,
     #: i.e. the inline backend exercises its explicit fallback.
     uses_fallback: bool = False
+    #: True when the world count puts the scenario beyond the explicit
+    #: backend's reach: benchmarks run it inline-only and record the
+    #: explicit side as infeasible rather than timing (or zeroing) it.
+    explicit_infeasible: bool = False
 
 
 ACQUISITION_SCRIPT = """
@@ -314,6 +327,51 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
             ),
             query="select possible Ref, City from Bookings;",
             approx_worlds=2,
+        ),
+    )
+
+
+def xl_scenarios() -> tuple[Scenario, ...]:
+    """Benchmark scenarios beyond the explicit backend's reach.
+
+    These push the inline representation to the scales the paper's §8
+    experiments argue for: world counts (2¹⁶) where one-pass-per-world
+    evaluation cannot run at all, and representation sizes (≥10⁵ rows)
+    where tuple-at-a-time constant factors dominate. They are
+    *inline-only*: the benchmark records the explicit side as
+    infeasible, and the kernel differential suite replays them columnar
+    vs tuple instead of inline vs explicit.
+    """
+    trip = flights(2**16, 64, 3, seed=1)  # ~196k rows, 2¹⁶ choices of Dep
+    # 13 key violations → 2¹³ repairs of a 24-person table: the repaired
+    # relation inlines to 2¹³ × 24 ≈ 197k rows.
+    dirty = census(24, seed=4, duplicates=13)
+    # 2¹¹ companies × 8 employees: choice of CID × choice of EID builds
+    # 2¹⁴ worlds, and the correlated self-join V holds ≈114k rows.
+    company_emp, emp_skills = company(2048, 8, 12, 2, seed=2)
+    return (
+        Scenario(
+            name="trip_certain_2p16",
+            relations=(("HFlights", trip),),
+            query="select certain Arr from HFlights choice of Dep;",
+            approx_worlds=2**16,
+            explicit_infeasible=True,
+        ),
+        Scenario(
+            name="census_repair_xl",
+            relations=(("Census", dirty),),
+            script="Clean <- select * from Census repair by key SSN;",
+            query="select certain SSN, Name from Clean;",
+            approx_worlds=2**13,
+            explicit_infeasible=True,
+        ),
+        Scenario(
+            name="acquisition_xl",
+            relations=(("Company_Emp", company_emp), ("Emp_Skills", emp_skills)),
+            script=ACQUISITION_SCRIPT,
+            query="select possible CID from W where Skill = 'S0';",
+            approx_worlds=2048 * 8,
+            explicit_infeasible=True,
         ),
     )
 

@@ -13,17 +13,33 @@ algorithms:
 * group-worlds-by hashes worlds by their projection fingerprint —
   O(worlds × rows) instead of the O(worlds²) pairwise equivalence
   construction of Figure 6;
-* cert divides with one hash pass;
+* cert divides with one hash-counting pass;
+* σ_{eq}(R × S) plans (the shape ``FROM R1, R2 WHERE R1.A = R2.A``
+  compiles to) are fused into one hash join — the product is never
+  materialized;
 * repair-by-key is supported natively (one fresh id attribute whose
   values number the repairs per world) — an operator the relational
   translation cannot express at all (Proposition 4.2).
 
+The evaluator runs on a pluggable relation *kernel*
+(:mod:`repro.relational.columnar`): with ``kernel="columnar"`` (the
+``REPRO_KERNEL`` default) base tables are converted to
+:class:`ColumnarRelation` once per session and every operator runs its
+vectorized column-slice implementation; ``kernel="tuple"`` keeps the
+original frozenset-of-rows engine alive for differential testing.
+Conversion happens only at the :class:`Relation` API boundary — the
+:class:`PhysicalState` a caller sees always exposes tuple-engine
+relations, lazily converted on first access.
+
 The evaluator is validated against the Figure 3 reference semantics by
-the same differential test suites as the two translators.
+the same differential test suites as the two translators, and the two
+kernels are held to identical answers by ``tests/backend`` and
+``tests/relational/test_columnar_differential.py``.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Sequence
 
 from repro.errors import TranslationError, WorldLimitError
@@ -47,10 +63,29 @@ from repro.core.ast import (
     repairs_of_rows,
 )
 from repro.inline.translate import SchemaLike, _schema_env, lower_query
+from repro.relational.columnar import (
+    ColumnarRelation,
+    as_columnar,
+    as_tuple,
+    kernel_unit,
+    resolve_kernel,
+    tuples_of,
+)
 from repro.relational.database import Database
 from repro.relational.pad import PAD
-from repro.relational.relation import Relation, tuple_getter
+from repro.relational.predicates import And, Predicate, conjunction
+from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+
+#: Either kernel's relation type (they share the operator surface).
+KernelRelation = "Relation | ColumnarRelation"
+
+
+def _split_conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten a conjunction into its top-level conjuncts."""
+    if isinstance(predicate, And):
+        return _split_conjuncts(predicate.left) + _split_conjuncts(predicate.right)
+    return [predicate]
 
 
 class PhysicalState:
@@ -59,41 +94,71 @@ class PhysicalState:
     Mirrors :class:`repro.inline.optimized.OptimizedState`, but holds
     materialized relations rather than expressions. ``world`` is None
     when no worlds were created (the single implicit world).
+
+    Internally the relations live in whichever kernel evaluated them;
+    the public :attr:`answer`/:attr:`world` accessors convert to the
+    tuple engine lazily (cached), so consumers outside the evaluator
+    always see plain :class:`Relation` objects.
     """
 
-    __slots__ = ("answer", "ids", "world")
+    __slots__ = ("_answer", "ids", "_world")
 
     def __init__(
-        self, answer: Relation, ids: tuple[str, ...], world: Relation | None
+        self,
+        answer: "Relation | ColumnarRelation",
+        ids: tuple[str, ...],
+        world: "Relation | ColumnarRelation | None",
     ) -> None:
-        self.answer = answer
+        self._answer = answer
         self.ids = ids
-        self.world = world
+        self._world = world
+
+    @property
+    def answer(self) -> Relation:
+        answer = self._answer
+        if not isinstance(answer, Relation):
+            answer = self._answer = as_tuple(answer)
+        return answer
+
+    @property
+    def world(self) -> Relation | None:
+        world = self._world
+        if world is not None and not isinstance(world, Relation):
+            world = self._world = as_tuple(world)
+        return world
 
     def value_attributes(self) -> tuple[str, ...]:
         ids = set(self.ids)
-        return tuple(a for a in self.answer.schema if a not in ids)
+        return tuple(a for a in self._answer.schema if a not in ids)
 
     def world_or_unit(self) -> Relation:
-        return self.world if self.world is not None else Relation.unit()
+        return self.world if self._world is not None else Relation.unit()
+
+    def _world_or_unit_any(self) -> "Relation | ColumnarRelation":
+        """The world table without forcing a kernel conversion."""
+        return self._world if self._world is not None else Relation.unit()
 
     def answers_by_world(self) -> dict[tuple, Relation]:
         """Decode: the answer relation per world id (empty worlds kept)."""
         values = self.value_attributes()
+        answer = self._answer
         if not self.ids:
-            return {(): self.answer.project(values)}
+            return {(): as_tuple(answer.project(values))}
         grouped: dict[tuple, set[tuple]] = {
-            row: set() for row in self.world_or_unit()._reordered(self.ids).rows
+            row: set() for row in tuples_of(self._world_or_unit_any(), self.ids)
         }
-        positions = self.answer.schema.indices(self.ids)
-        value_positions = self.answer.schema.indices(values)
-        for row in self.answer.rows:
-            world_id = tuple(row[p] for p in positions)
-            grouped.setdefault(world_id, set()).add(
-                tuple(row[p] for p in value_positions)
-            )
+        for world_id, value in zip(
+            tuples_of(answer, self.ids), tuples_of(answer, values)
+        ):
+            bucket = grouped.get(world_id)
+            if bucket is None:
+                grouped[world_id] = {value}
+            else:
+                bucket.add(value)
+        schema = Schema(values)
         return {
-            world_id: Relation(values, rows) for world_id, rows in grouped.items()
+            world_id: Relation._raw(schema, frozenset(rows))
+            for world_id, rows in grouped.items()
         }
 
 
@@ -108,7 +173,8 @@ class PhysicalEvaluator:
     :class:`repro.backend.InlineBackend` evaluates statements against a
     session whose state has already split into worlds. *counter_start*
     offsets the fresh world-id counter so that ids minted by earlier
-    statements are never reused.
+    statements are never reused. *kernel* selects the relation engine
+    (``"columnar"`` or ``"tuple"``; None reads ``REPRO_KERNEL``).
     """
 
     def __init__(
@@ -119,20 +185,23 @@ class PhysicalEvaluator:
         base_ids: Sequence[str] = (),
         base_world: Relation | None = None,
         counter_start: int = 0,
+        kernel: str | None = None,
     ) -> None:
         self.database = database
         self.env = _schema_env(schemas or database.schemas())
         self.max_worlds = max_worlds
         self.base_ids = tuple(base_ids)
         self.base_world = base_world if self.base_ids else None
+        self.kernel = resolve_kernel(kernel)
+        self._convert = as_columnar if self.kernel == "columnar" else as_tuple
         self._counter = counter_start
-        self._world_projections: dict[tuple[str, ...], Relation] = {}
+        self._world_projections: dict[tuple[str, ...], KernelRelation] = {}
 
     def _fresh(self) -> int:
         self._counter += 1
         return self._counter
 
-    def _guard(self, world: Relation | None) -> None:
+    def _guard(self, world: "Relation | ColumnarRelation | None") -> None:
         if (
             self.max_worlds is not None
             and world is not None
@@ -141,6 +210,16 @@ class PhysicalEvaluator:
             raise WorldLimitError(
                 f"physical evaluation exceeded {self.max_worlds} worlds"
             )
+
+    def _relation(self, attributes: Sequence[str], rows) -> "Relation | ColumnarRelation":
+        """Build a kernel relation from *distinct* aligned row tuples."""
+        schema = Schema(tuple(attributes))
+        if self.kernel == "columnar":
+            return ColumnarRelation._from_rows(schema, list(rows))
+        return Relation._raw(schema, rows)
+
+    def _unit(self) -> "Relation | ColumnarRelation":
+        return kernel_unit(self.kernel)
 
     # -- entry points ------------------------------------------------------------
 
@@ -165,7 +244,7 @@ class PhysicalEvaluator:
         """A base table under the lazy interpretation: a table carries
         only the id attributes it depends on; its world table is the
         projection of the session world table onto those ids."""
-        table = self.database[name]
+        table = self._convert(self.database[name])
         schema = table.schema.as_set()
         ids = tuple(a for a in self.base_ids if a in schema)
         if not ids:
@@ -173,11 +252,8 @@ class PhysicalEvaluator:
         world = self._world_projections.get(ids)
         if world is None:
             assert self.base_world is not None
-            world = (
-                self.base_world
-                if ids == self.base_ids
-                else self.base_world.project(ids)
-            )
+            base = self._convert(self.base_world)
+            world = base if ids == self.base_ids else base.project(ids)
             self._world_projections[ids] = world
         return PhysicalState(table, ids, world)
 
@@ -185,28 +261,30 @@ class PhysicalEvaluator:
         if isinstance(query, Rel):
             return self._base_state(query.name)
         if isinstance(query, Select):
+            if isinstance(query.child, Product):
+                return self._eval_filtered_product(query)
             state = self._eval(query.child)
             return PhysicalState(
-                state.answer.select(query.predicate), state.ids, state.world
+                state._answer.select(query.predicate), state.ids, state._world
             )
         if isinstance(query, Project):
             state = self._eval(query.child)
             return PhysicalState(
-                state.answer.project(query.attrs + state.ids),
+                state._answer.project(query.attrs + state.ids),
                 state.ids,
-                state.world,
+                state._world,
             )
         if isinstance(query, Rename):
             state = self._eval(query.child)
             return PhysicalState(
-                state.answer.rename(query.mapping), state.ids, state.world
+                state._answer.rename(query.mapping), state.ids, state._world
             )
         if isinstance(query, ChoiceOf):
             return self._eval_choice(query)
         if isinstance(query, Poss):
             state = self._eval(query.child)
             return PhysicalState(
-                state.answer.project(state.value_attributes()), (), None
+                state._answer.project(state.value_attributes()), (), None
             )
         if isinstance(query, Cert):
             return self._eval_cert(query)
@@ -227,32 +305,34 @@ class PhysicalEvaluator:
         fixed U-part every row contributes a distinct world id; since
         answer ids always lie in the world table (the representation
         invariant), a U-value is certain iff its group has |W| rows —
-        one counting pass, no per-group id-set materialization.
+        one C-speed counting pass over the value column slice, no
+        per-group id-set materialization.
         """
         state = self._eval(query.child)
         if not state.ids:
             return state
-        answer = state.answer
-        world = state.world_or_unit()
         values = state.value_attributes()
-        value_of = tuple_getter(answer.schema.indices(values))
-        need = len(world)
-        counts: dict[tuple, int] = {}
-        for row in answer.rows:
-            key = value_of(row)
-            counts[key] = counts.get(key, 0) + 1
-        rows = (value for value, count in counts.items() if count == need)
-        return PhysicalState(Relation(values, rows), (), None)
+        need = len(state._world) if state._world is not None else 1
+        answer = state._answer
+        if len(values) == 1 and isinstance(answer, ColumnarRelation):
+            # Count the bare column — no 1-tuple per row.
+            counts = Counter(answer.column_values(values[0]))
+            rows = [(value,) for value, count in counts.items() if count == need]
+        else:
+            counts = Counter(tuples_of(answer, values))
+            rows = [value for value, count in counts.items() if count == need]
+        return PhysicalState(self._relation(values, rows), (), None)
 
     def _eval_choice(self, query: ChoiceOf) -> PhysicalState:
         state = self._eval(query.child)
         n = self._fresh()
         mapping = {a: f"${a}#{n}" for a in query.attrs}
-        extended = state.answer
+        extended = state._answer
         for attr in query.attrs:
             extended = extended.copy_attribute(attr, mapping[attr])
-        choices = state.answer.project(state.ids + query.attrs).rename(mapping)
-        world = state.world_or_unit().left_outer_join_padded(choices)
+        choices = state._answer.project(state.ids + query.attrs).rename(mapping)
+        world = state._world if state._world is not None else self._unit()
+        world = world.left_outer_join_padded(choices)
         self._guard(world)
         return PhysicalState(
             extended, state.ids + tuple(mapping[a] for a in query.attrs), world
@@ -262,24 +342,25 @@ class PhysicalEvaluator:
         state = self._eval(query.child)
         if not state.ids:
             return PhysicalState(
-                state.answer.project(query.proj_attrs), (), None
+                state._answer.project(query.proj_attrs), (), None
             )
-        schema = state.answer.schema
-        id_positions = schema.indices(state.ids)
-        group_positions = schema.indices(query.group_attrs)
-        proj_positions = schema.indices(query.proj_attrs)
+        answer = state._answer
 
         # One pass: per world, its group fingerprint and projected rows.
         per_world_groups: dict[tuple, set[tuple]] = {}
         per_world_rows: dict[tuple, set[tuple]] = {}
-        for row in state.answer.rows:
-            world_id = tuple(row[p] for p in id_positions)
-            per_world_groups.setdefault(world_id, set()).add(
-                tuple(row[p] for p in group_positions)
-            )
-            per_world_rows.setdefault(world_id, set()).add(
-                tuple(row[p] for p in proj_positions)
-            )
+        for world_id, group_row, proj_row in zip(
+            tuples_of(answer, state.ids),
+            tuples_of(answer, query.group_attrs),
+            tuples_of(answer, query.proj_attrs),
+        ):
+            groups = per_world_groups.get(world_id)
+            if groups is None:
+                per_world_groups[world_id] = {group_row}
+                per_world_rows[world_id] = {proj_row}
+            else:
+                groups.add(group_row)
+                per_world_rows[world_id].add(proj_row)
 
         # Hash worlds by fingerprint, fold their projections per group.
         certain = isinstance(query, CertGroup)
@@ -300,36 +381,81 @@ class PhysicalEvaluator:
         for world_id, fingerprint in members.items():
             for value in folded[fingerprint] or ():
                 out_rows.append(value + world_id)
-        answer = Relation(query.proj_attrs + state.ids, out_rows)
-        return PhysicalState(answer, state.ids, state.world)
+        answer = self._relation(query.proj_attrs + state.ids, out_rows)
+        return PhysicalState(answer, state.ids, state._world)
+
+    def _combine(
+        self, left: PhysicalState, right: PhysicalState
+    ) -> tuple[tuple[str, ...], "Relation | ColumnarRelation | None"]:
+        """The combined id attributes and world table of a binary node."""
+        ids = left.ids + tuple(v for v in right.ids if v not in set(left.ids))
+        if left._world is None:
+            world = right._world
+        elif right._world is None:
+            world = left._world
+        else:
+            world = left._world.natural_join(right._world)
+        self._guard(world)
+        return ids, world
+
+    def _eval_filtered_product(self, query: Select) -> PhysicalState:
+        """σ_φ(R × S) fused into one hash join (never the product).
+
+        The cross-schema equality conjuncts of φ become hash-join keys
+        next to the shared world-id attributes; the remaining conjuncts
+        filter the (much smaller) join output. This is what keeps
+        self-join-with-correlation scripts (the paper's business
+        acquisition scenario) polynomial in practice — the product of
+        two world-id-heavy tables is quadratic in the representation.
+        """
+        product = query.child
+        left = self._eval(product.children()[0])
+        right = self._eval(product.children()[1])
+        ids, world = self._combine(left, right)
+        left_schema = left._answer.schema
+        right_schema = right._answer.schema
+        left_only = left_schema.as_set() - right_schema.as_set()
+        right_only = right_schema.as_set() - left_schema.as_set()
+        pairs: list[tuple[str, str]] = []
+        residual: list[Predicate] = []
+        for conjunct in _split_conjuncts(query.predicate):
+            equalities = conjunct.equality_pairs()
+            if equalities is not None and len(equalities) == 1:
+                a, b = equalities[0]
+                if a in left_only and b in right_only:
+                    pairs.append((a, b))
+                    continue
+                if b in left_only and a in right_only:
+                    pairs.append((b, a))
+                    continue
+            residual.append(conjunct)
+        shared = left_schema.common(right_schema)
+        join_pairs = [(a, a) for a in shared] + pairs
+        answer = left._answer.join_on(right._answer, join_pairs)
+        if residual:
+            answer = answer.select(conjunction(residual))
+        return PhysicalState(answer, ids, world)
 
     def _eval_binary(self, query: WSAQuery) -> PhysicalState:
         left = self._eval(query.children()[0])
         right = self._eval(query.children()[1])
-        ids = left.ids + tuple(v for v in right.ids if v not in set(left.ids))
-        if left.world is None:
-            world = right.world
-        elif right.world is None:
-            world = left.world
-        else:
-            world = left.world.natural_join(right.world)
-        self._guard(world)
+        ids, world = self._combine(left, right)
         if isinstance(query, Product):
             return PhysicalState(
-                left.answer.natural_join(right.answer), ids, world
+                left._answer.natural_join(right._answer), ids, world
             )
-        left_answer = left.answer
-        right_answer = right.answer
+        left_answer = left._answer
+        right_answer = right._answer
         left_extra = tuple(v for v in right.ids if v not in set(left.ids))
         right_extra = tuple(v for v in left.ids if v not in set(right.ids))
-        if left_extra and right.world is not None:
-            left_answer = left_answer.natural_join(right.world)
-        if right_extra and left.world is not None:
-            right_answer = right_answer.natural_join(left.world)
+        if left_extra and right._world is not None:
+            left_answer = left_answer.natural_join(right._world)
+        if right_extra and left._world is not None:
+            right_answer = right_answer.natural_join(left._world)
         operations = {
-            Union: Relation.union,
-            Intersect: Relation.intersection,
-            Difference: Relation.difference,
+            Union: lambda a, b: a.union(b),
+            Intersect: lambda a, b: a.intersection(b),
+            Difference: lambda a, b: a.difference(b),
         }
         operation = operations[type(query)]
         return PhysicalState(operation(left_answer, right_answer), ids, world)
@@ -343,15 +469,18 @@ class PhysicalEvaluator:
         """
         state = self._eval(query.child)
         repair_attr = f"$repair#{self._fresh()}"
-        schema = state.answer.schema
-        id_positions = schema.indices(state.ids)
-        key_positions = schema.indices(query.attrs)
+        answer = state._answer
+        key_positions = answer.schema.indices(query.attrs)
 
         per_world: dict[tuple, list[tuple]] = {
-            tuple(row): [] for row in state.world_or_unit()._reordered(state.ids).rows
+            row: [] for row in tuples_of(state._world_or_unit_any(), state.ids)
         }
-        for row in state.answer.rows:
-            per_world.setdefault(tuple(row[p] for p in id_positions), []).append(row)
+        for world_id, row in zip(tuples_of(answer, state.ids), iter(answer)):
+            bucket = per_world.get(world_id)
+            if bucket is None:
+                per_world[world_id] = [row]
+            else:
+                bucket.append(row)
 
         out_rows: list[tuple] = []
         world_rows: list[tuple] = []
@@ -369,16 +498,23 @@ class PhysicalEvaluator:
                 raise WorldLimitError(
                     f"repair-by-key exceeded {self.max_worlds} worlds"
                 )
-        answer = Relation(schema.attributes + (repair_attr,), out_rows)
-        world = Relation(state.ids + (repair_attr,), world_rows)
-        return PhysicalState(answer, state.ids + (repair_attr,), world)
+        new_answer = self._relation(
+            answer.schema.attributes + (repair_attr,), out_rows
+        )
+        world = self._relation(state.ids + (repair_attr,), world_rows)
+        return PhysicalState(new_answer, state.ids + (repair_attr,), world)
 
 
 def physical_answer(
-    query: WSAQuery, database: Database, max_worlds: int | None = None
+    query: WSAQuery,
+    database: Database,
+    max_worlds: int | None = None,
+    kernel: str | None = None,
 ) -> Relation:
     """Evaluate a world-uniform query with the physical operators."""
-    return PhysicalEvaluator(database, max_worlds=max_worlds).answer(query)
+    return PhysicalEvaluator(database, max_worlds=max_worlds, kernel=kernel).answer(
+        query
+    )
 
 
 def evaluate_seeded(
@@ -386,6 +522,7 @@ def evaluate_seeded(
     representation: "InlinedRepresentation",
     max_worlds: int | None = None,
     counter_start: int = 0,
+    kernel: str | None = None,
 ) -> tuple[PhysicalState, int]:
     """Evaluate *query* over an inlined world-set (not a single world).
 
@@ -405,6 +542,7 @@ def evaluate_seeded(
         base_ids=representation.id_attrs,
         base_world=representation.world_table,
         counter_start=counter_start,
+        kernel=kernel,
     )
     return evaluator.evaluate(query), evaluator._counter
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import RepresentationError
+from repro.relational.columnar import active_kernel, as_columnar, as_tuple, tuples_of
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, is_id_attribute
@@ -60,6 +61,9 @@ class InlinedRepresentation:
                 f"world table attributes {list(self.world_table.schema)} "
                 f"differ from declared id attributes {list(self.id_attrs)}"
             )
+        # Vectorized: each check is one C-speed pass over id column
+        # slices (tuples_of), not a Python loop over row tuples —
+        # representations are re-validated on every session commit.
         known_by_ids: dict[tuple[str, ...], set[tuple]] = {}
         for name, relation in self.tables.items():
             stray = [
@@ -76,19 +80,15 @@ class InlinedRepresentation:
                 continue
             known = known_by_ids.get(table_ids)
             if known is None:
-                known = {
-                    tuple(row[p] for p in self.world_table.schema.indices(table_ids))
-                    for row in self.world_table.rows
-                }
+                known = set(tuples_of(self.world_table, table_ids))
                 known_by_ids[table_ids] = known
-            positions = relation.schema.indices(table_ids)
-            for row in relation.rows:
-                world_id = tuple(row[p] for p in positions)
-                if world_id not in known:
-                    raise RepresentationError(
-                        f"table {name!r} references world id {world_id!r} "
-                        "that is not in the world table"
-                    )
+            referenced = set(tuples_of(relation, table_ids))
+            if not referenced <= known:
+                world_id = next(iter(sorted(referenced - known, key=repr)))
+                raise RepresentationError(
+                    f"table {name!r} references world id {world_id!r} "
+                    "that is not in the world table"
+                )
 
     # -- constructors ------------------------------------------------------------
 
@@ -118,13 +118,17 @@ class InlinedRepresentation:
         names = world_set.relation_names
         tables: dict[str, Relation] = {}
         for name, schema in world_set.signature:
-            attrs = schema.attributes + (id_attr,)
+            attrs = Schema(schema.attributes + (id_attr,))
             rows: list[tuple] = []
             for index, world in enumerate(worlds):
                 aligned = world[name]._reordered(schema.attributes)
                 rows.extend(row + (index,) for row in aligned.rows)
-            tables[name] = Relation(attrs, rows)
-        world_table = Relation((id_attr,), ((i,) for i in range(len(worlds))))
+            # Rows are distinct by construction (each carries its world
+            # index), so the encode skips per-row coercion/interning.
+            tables[name] = Relation._raw(attrs, rows)
+        world_table = Relation._raw(
+            Schema((id_attr,)), [(i,) for i in range(len(worlds))]
+        )
         return InlinedRepresentation(tables, world_table, (id_attr,))
 
     # -- decoding ------------------------------------------------------------------
@@ -192,14 +196,16 @@ class InlinedRepresentation:
         for name in self.tables:
             table = self.tables[name]
             table_ids = self.table_id_attrs(name)
-            positions = table.schema.indices(table_ids)
-            value_positions = table.schema.indices(self.value_attributes(name))
             rows_by_sub: dict[tuple, set[tuple]] = {}
-            for row in table.rows:
-                sub_id = tuple(row[p] for p in positions)
-                rows_by_sub.setdefault(sub_id, set()).add(
-                    tuple(row[p] for p in value_positions)
-                )
+            for sub_id, value in zip(
+                tuples_of(table, table_ids),
+                tuples_of(table, self.value_attributes(name)),
+            ):
+                bucket = rows_by_sub.get(sub_id)
+                if bucket is None:
+                    rows_by_sub[sub_id] = {value}
+                else:
+                    bucket.add(value)
             grouped = {sub: frozenset(rows) for sub, rows in rows_by_sub.items()}
             project = tuple(id_positions[a] for a in table_ids)
             empty = frozenset()
@@ -226,10 +232,16 @@ class InlinedRepresentation:
         """
         if not self.id_attrs:
             return self
+        columnar = active_kernel() == "columnar"
+        world = as_columnar(self.world_table) if columnar else self.world_table
         tables = []
         for name, table in self.tables.items():
             if self.table_id_attrs(name) == self.id_attrs:
                 tables.append((name, table))
+            elif columnar:
+                # The replicating join runs in the columnar kernel; the
+                # result converts back at the Relation API boundary.
+                tables.append((name, as_tuple(as_columnar(table).natural_join(world))))
             else:
                 tables.append((name, table.natural_join(self.world_table)))
         return InlinedRepresentation(tables, self.world_table, self.id_attrs)

@@ -51,6 +51,8 @@ from repro.core.ast import (
 from repro.core.typing import is_complete_to_complete
 from repro.inline.representation import WORLD_TABLE, InlinedRepresentation
 from repro.relational import algebra as ra
+from repro.relational.columnar import as_columnar, as_tuple, resolve_kernel
+from repro.relational.database import Database
 from repro.relational.predicates import conjunction, eq
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -121,6 +123,7 @@ class GeneralTranslation:
         representation: InlinedRepresentation | None = None,
         name: str = "Q",
         max_worlds: int | None = None,
+        kernel: str | None = None,
     ) -> InlinedRepresentation:
         """Evaluate all expressions, producing the output representation.
 
@@ -129,11 +132,22 @@ class GeneralTranslation:
         guard fires before the (often much larger) per-table and answer
         expressions are materialized; the shared cache carries its
         subresults over to them.
+
+        With the columnar *kernel* (the ``REPRO_KERNEL`` default) the
+        base tables enter the relational algebra DAG as
+        :class:`ColumnarRelation` views and every operator runs its
+        vectorized implementation; the output converts back to tuple
+        relations at this method's boundary, so the returned
+        representation is kernel-agnostic.
         """
         rep = representation if representation is not None else self.source
         if rep is None:
             raise TranslationError("no input representation supplied")
         database = rep.as_database()
+        if resolve_kernel(kernel) == "columnar":
+            database = Database(
+                (table, as_columnar(relation)) for table, relation in database.items()
+            )
         cache: dict[int, Relation] = {}
         world = self.state.world._cached(database, cache)
         if max_worlds is not None and len(world) > max_worlds:
@@ -141,11 +155,11 @@ class GeneralTranslation:
                 f"translated evaluation exceeded {max_worlds} worlds"
             )
         tables = [
-            (table, expression._cached(database, cache))
+            (table, as_tuple(expression._cached(database, cache)))
             for table, expression in self.state.tables.items()
         ]
-        tables.append((name, self.answer._cached(database, cache)))
-        return InlinedRepresentation(tables, world, self.state.ids)
+        tables.append((name, as_tuple(self.answer._cached(database, cache))))
+        return InlinedRepresentation(tables, as_tuple(world), self.state.ids)
 
     def answer_size(self) -> int:
         """Operator count of the answer expression (polynomial in |q|)."""

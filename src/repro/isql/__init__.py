@@ -3,7 +3,13 @@
 from repro.isql import ast
 from repro.isql.compile import FragmentError, compile_query
 from repro.isql.engine import Engine
-from repro.isql.explain import Explanation, explain, inline_route, run_via_translation
+from repro.isql.explain import (
+    Explanation,
+    explain,
+    inline_route,
+    inline_route_report,
+    run_via_translation,
+)
 from repro.isql.lexer import Token, tokenize
 from repro.isql.parser import parse_query, parse_script, parse_statement
 from repro.isql.session import DMLResult, ISQLSession, QueryResult
@@ -20,6 +26,7 @@ __all__ = [
     "compile_query",
     "explain",
     "inline_route",
+    "inline_route_report",
     "parse_query",
     "parse_script",
     "parse_statement",

@@ -121,6 +121,23 @@ def inline_route(
     pipeline and hence requires a fragment query), this works on *any*
     select statement.
     """
+    return inline_route_report(text_or_query, schemas, views)[0]
+
+
+def inline_route_report(
+    text_or_query: str | ast.SelectQuery,
+    schemas: dict[str, tuple[str, ...]],
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> tuple[str, str | None]:
+    """:func:`inline_route` plus *why* a statement leaves the fragment.
+
+    Returns ``("direct", None)`` for fragment statements and
+    ``("fallback", reason)`` otherwise, where *reason* is the compiler's
+    fragment diagnostic (e.g. "aggregation is outside the algebra
+    fragment"). Benchmarks record this next to each timing so near-1×
+    explicit-vs-inline rows are explainable: a fallback statement runs
+    the same explicit engine on both backends.
+    """
     from repro.isql.compile import FragmentError
 
     statement = (
@@ -130,9 +147,9 @@ def inline_route(
     )
     try:
         compile_query(statement, schemas, views)
-    except FragmentError:
-        return "fallback"
-    return "direct"
+    except FragmentError as reason:
+        return "fallback", str(reason)
+    return "direct", None
 
 
 def run_via_translation(

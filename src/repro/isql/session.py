@@ -39,10 +39,11 @@ from __future__ import annotations
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext, create_backend
 from repro.backend.explicit import QueryResult
+from repro.backend.instrument import phase
 from repro.errors import EvaluationError, SchemaError
 from repro.isql import ast
 from repro.isql.parser import parse_script
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, clear_intern_pool
 from repro.worlds.worldset import WorldSet
 
 
@@ -109,8 +110,10 @@ class ISQLSession:
 
     def execute(self, script: str) -> list[BaseQueryResult | DMLResult | None]:
         """Execute a ``;``-separated script; one result entry per statement."""
+        with phase("compile"):
+            statements = parse_script(script)
         results: list[BaseQueryResult | DMLResult | None] = []
-        for statement in parse_script(script):
+        for statement in statements:
             results.append(self.execute_statement(statement))
         return results
 
@@ -153,6 +156,34 @@ class ISQLSession:
         if len(results) != 1 or not isinstance(results[0], BaseQueryResult):
             raise EvaluationError("query() expects exactly one select statement")
         return results[0]
+
+    # -- resource hygiene ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release cached derived state held by this session.
+
+        Clears the backend's per-relation hash indexes, cached hashes,
+        columnar twins and decoded world-sets, plus the process-global
+        row intern pool, so long-lived multi-session processes do not
+        accumulate state from sessions they are done with. The session
+        stays usable afterwards — every cache rebuilds on demand; the
+        registered relations and the possible-worlds state are kept.
+
+        Note the intern pool is process-wide (there is exactly one, by
+        design — interning only works across sessions if shared):
+        clearing it also resets row sharing for *other* live sessions.
+        That is always correctness-neutral and the pool re-interns
+        lazily, but a process juggling concurrent hot sessions may
+        prefer closing only at quiet points.
+        """
+        self.backend.close()
+        clear_intern_pool()
+
+    def __enter__(self) -> "ISQLSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 __all__ = ["DMLResult", "ISQLSession", "QueryResult"]

@@ -149,19 +149,39 @@ def _choice_below_product(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
 RULE_8 = RewriteRule("χ moves below ×", "Eq. (8)", _choice_below_product)
 
 
-def _select_below_group(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
-    """Eq. (9)/(10): σ_φ(γ^Y_X(q)) → γ^Y_X(σ_φ(q)) if Attrs(φ) ⊆ X ∩ Y."""
-    if isinstance(query, Select) and isinstance(query.child, (PossGroup, CertGroup)):
-        group = query.child
-        allowed = set(group.group_attrs) & set(group.proj_attrs)
-        if query.predicate.attributes() <= allowed:
-            return type(group)(
-                group.group_attrs, group.proj_attrs, Select(query.predicate, group.child)
-            )
-    return None
+def _make_rule_9_10(input_kind: str) -> RewriteRule:
+    def matcher(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
+        """Eq. (9)/(10): σ_φ(γ^Y_X(q)) → γ^Y_X(σ_φ(q)) if Attrs(φ) ⊆ X ∩ Y.
+
+        Guarded like Eq. (20)/(21): the push is only sound when the
+        grouped subquery is world-uniform (kind 1), i.e. grouping is
+        degenerate — one fingerprint, one group. When answers vary
+        across worlds, filtering *before* grouping can merge worlds
+        whose unfiltered fingerprints differed (σ_{B≠3} collapses
+        {0,3} and {0} to the same π_B fingerprint), and the per-group
+        union/intersection then ranges over different worlds than on
+        the left-hand side.
+        """
+        if isinstance(query, Select) and isinstance(query.child, (PossGroup, CertGroup)):
+            from repro.core.typing import ONE, kind_after
+
+            group = query.child
+            allowed = set(group.group_attrs) & set(group.proj_attrs)
+            if (
+                query.predicate.attributes() <= allowed
+                and kind_after(group.child, input_kind) == ONE
+            ):
+                return type(group)(
+                    group.group_attrs,
+                    group.proj_attrs,
+                    Select(query.predicate, group.child),
+                )
+        return None
+
+    return RewriteRule("σ moves below pγ/cγ", "Eq. (9)(10)", matcher)
 
 
-RULE_9_10 = RewriteRule("σ moves below pγ/cγ", "Eq. (9)(10)", _select_below_group)
+RULE_9_10 = _make_rule_9_10("1")
 
 
 # -- Reduce rules (Eq. 11–23) --------------------------------------------------------
@@ -471,7 +491,11 @@ def default_rules(input_kind: str = "1") -> tuple[RewriteRule, ...]:
     evaluated from a complete database; ``"m"`` makes the guards strict
     enough for arbitrary world-set inputs.
     """
-    replacements = {id(RULE_20): _make_rule_20(input_kind), id(RULE_21): _make_rule_21(input_kind)}
+    replacements = {
+        id(RULE_20): _make_rule_20(input_kind),
+        id(RULE_21): _make_rule_21(input_kind),
+        id(RULE_9_10): _make_rule_9_10(input_kind),
+    }
     return tuple(replacements.get(id(rule), rule) for rule in DEFAULT_RULES)
 
 

@@ -1,0 +1,627 @@
+"""Columnar vectorized execution kernel for the inline hot path.
+
+The tuple engine (:class:`repro.relational.relation.Relation`) stores a
+relation as a frozenset of row tuples and pays, on *every* operator, a
+per-row Python loop plus a fresh frozenset build — exactly the
+tuple-at-a-time evaluation shape the paper's §8 performance discussion
+warns turns polynomial plans into slow ones in practice. This module is
+the alternative: a :class:`ColumnarRelation` stores the table as one
+sequence per attribute and implements the same operator set with
+vectorized passes —
+
+* selection filters one cached row view (no set rebuild: selections of a
+  distinct relation stay distinct);
+* projection and renaming are column slices; the column-copy projection
+  of the choice-of translation (§5.2) is a single column alias, O(1)
+  regardless of row count;
+* joins, semijoins and antijoins hash column slices and probe with
+  C-speed ``zip`` iteration; :meth:`ColumnarRelation.join_on`
+  additionally fuses σ(R × S) plans into one hash join pass;
+* the ``cert``/``÷ W`` closing is a single ``Counter`` pass over a
+  column slice (see :func:`repro.inline.physical`).
+
+Distinctness is an invariant, not a per-operator pass: every public
+``ColumnarRelation`` holds distinct rows, and operators that provably
+preserve distinctness (selection, renaming, column copies, hash joins
+of distinct operands, set differences) skip deduplication entirely.
+Only projection onto a proper attribute subset and union pay one
+``dict.fromkeys`` pass.
+
+Which engine runs is a process-wide switch: ``REPRO_KERNEL=columnar``
+(the default) or ``REPRO_KERNEL=tuple`` keeps the original tuple-at-a-
+time path alive for differential testing; evaluators also accept an
+explicit ``kernel=`` argument overriding the environment. Conversions
+(:func:`as_columnar` / :func:`as_tuple`) are cached on the source
+object, so routing a session's base tables through the kernel costs one
+transposition per table, not one per statement.
+"""
+
+from __future__ import annotations
+
+import os
+from itertools import repeat
+from operator import itemgetter
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.pad import PAD, row_sort_key
+from repro.relational.predicates import Predicate
+from repro.relational.relation import (
+    Relation,
+    Row,
+    _coerce_row,
+    check_join_pairs_cover_shared,
+    oriented_equality_pairs,
+    tuple_getter,
+)
+from repro.relational.schema import Schema
+
+#: Environment variable selecting the execution kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognized kernel names.
+KERNELS = ("columnar", "tuple")
+
+
+def active_kernel() -> str:
+    """The kernel selected by ``REPRO_KERNEL`` (default ``columnar``)."""
+    kernel = os.environ.get(KERNEL_ENV, "columnar").strip().lower()
+    if kernel not in KERNELS:
+        raise EvaluationError(
+            f"unknown kernel {kernel!r} in ${KERNEL_ENV}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """An explicit kernel choice, falling back to :func:`active_kernel`."""
+    if kernel is None:
+        return active_kernel()
+    if kernel not in KERNELS:
+        raise EvaluationError(
+            f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    return kernel
+
+
+def _transpose(rows: Sequence[Row], width: int) -> tuple[tuple, ...]:
+    """Rows → columns. ``zip(*rows)`` runs at C speed."""
+    if width == 0:
+        return ()
+    if not rows:
+        return ((),) * width
+    return tuple(zip(*rows))
+
+
+class ColumnarRelation:
+    """An immutable relation stored column-wise; rows are distinct.
+
+    Mirrors the public operator surface of :class:`Relation` (the two
+    are interchangeable inside the inline evaluator), caching both the
+    column view and the row view — whichever an operator needs — plus
+    hash indexes keyed by attribute positions, like the tuple engine.
+    """
+
+    __slots__ = (
+        "schema",
+        "_nrows",
+        "_columns",
+        "_row_list",
+        "_rowset",
+        "_indexes",
+        "_twin",
+        "_hash",
+    )
+
+    def __init__(self, schema: Schema | Sequence[str], rows: Iterable[object] = ()) -> None:
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        coerced = dict.fromkeys(_coerce_row(schema, row) for row in rows)
+        self.schema = schema
+        self._row_list: list[Row] | None = list(coerced)
+        self._nrows = len(self._row_list)
+        self._columns: tuple[tuple, ...] | None = None
+        self._rowset: frozenset[Row] | None = None
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[int]]] = {}
+        self._twin: Relation | None = None
+        self._hash: int | None = None
+
+    # -- trusted constructors ------------------------------------------------
+
+    @classmethod
+    def _blank(cls, schema: Schema, nrows: int) -> "ColumnarRelation":
+        relation = object.__new__(cls)
+        relation.schema = schema
+        relation._nrows = nrows
+        relation._columns = None
+        relation._row_list = None
+        relation._rowset = None
+        relation._indexes = {}
+        relation._twin = None
+        relation._hash = None
+        return relation
+
+    @classmethod
+    def _from_rows(cls, schema: Schema, rows: Sequence[Row]) -> "ColumnarRelation":
+        """Internal constructor: *rows* must be distinct aligned tuples."""
+        rows = rows if isinstance(rows, list) else list(rows)
+        relation = cls._blank(schema, len(rows))
+        relation._row_list = rows
+        return relation
+
+    @classmethod
+    def _from_columns(
+        cls, schema: Schema, columns: Sequence[Sequence], nrows: int
+    ) -> "ColumnarRelation":
+        """Internal constructor: *columns* must hold distinct rows."""
+        relation = cls._blank(schema, nrows)
+        relation._columns = tuple(columns)
+        return relation
+
+    @classmethod
+    def _deduped(cls, schema: Schema, rows: Iterable[Row]) -> "ColumnarRelation":
+        """Internal constructor deduplicating aligned row tuples."""
+        return cls._from_rows(schema, list(dict.fromkeys(rows)))
+
+    @staticmethod
+    def unit() -> "ColumnarRelation":
+        """The nullary relation {⟨⟩} (a single complete world's W)."""
+        return ColumnarRelation._from_rows(Schema(()), [()])
+
+    @staticmethod
+    def empty(attributes: Sequence[str]) -> "ColumnarRelation":
+        return ColumnarRelation._from_rows(Schema(attributes), [])
+
+    @staticmethod
+    def from_relation(relation: Relation) -> "ColumnarRelation":
+        columnar = ColumnarRelation._from_rows(relation.schema, list(relation.rows))
+        columnar._rowset = relation.rows
+        columnar._twin = relation
+        return columnar
+
+    def to_relation(self) -> Relation:
+        if self._twin is None:
+            twin = Relation._raw(self.schema, self.rows)
+            twin._columnar = self
+            self._twin = twin
+        return self._twin
+
+    # -- the two cached views -------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[tuple, ...]:
+        if self._columns is None:
+            self._columns = _transpose(self._row_list, len(self.schema))
+        return self._columns
+
+    def row_list(self) -> list[Row]:
+        if self._row_list is None:
+            if len(self.schema) == 0:
+                self._row_list = [()] * self._nrows
+            else:
+                self._row_list = list(zip(*self._columns))
+        return self._row_list
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        if self._rowset is None:
+            self._rowset = frozenset(self.row_list())
+        return self._rowset
+
+    def tuples(self, attributes: Sequence[str]) -> Iterator[tuple]:
+        """C-speed iterator over the sub-tuples of *attributes*.
+
+        The workhorse of the vectorized passes: world-id extraction,
+        join keys, group fingerprints and cert counting all reduce to
+        zipping a handful of column slices.
+        """
+        if not attributes:
+            return repeat((), self._nrows)
+        schema = self.schema
+        if self._columns is not None:
+            return zip(*(self._columns[schema.index(a)] for a in attributes))
+        # Row-list representation: extract at C speed without a full
+        # transpose. itemgetter over several positions yields tuples
+        # directly; for one position, zip() over the scalar stream
+        # wraps each value into a 1-tuple, still at C speed.
+        positions = schema.indices(attributes)
+        if len(positions) == 1:
+            return zip(map(itemgetter(positions[0]), self._row_list))
+        return map(itemgetter(*positions), self._row_list)
+
+    def column_values(self, attribute: str):
+        """One column's value stream (C-speed; never transposes)."""
+        position = self.schema.index(attribute)
+        if self._columns is not None:
+            return self._columns[position]
+        return map(itemgetter(position), self._row_list)
+
+    def _index(self, positions: tuple[int, ...]) -> dict[tuple, list[int]]:
+        """Hash partition: key sub-tuple → row indices (cached)."""
+        cached = self._indexes.get(positions)
+        if cached is None:
+            attributes = tuple(self.schema[p] for p in positions)
+            cached = {}
+            for where, key in enumerate(self.tuples(attributes)):
+                bucket = cached.get(key)
+                if bucket is None:
+                    cached[key] = [where]
+                else:
+                    bucket.append(where)
+            self._indexes[positions] = cached
+        return cached
+
+    def _gather(self, indices: Sequence[int]) -> "ColumnarRelation":
+        rows = self.row_list()
+        return ColumnarRelation._from_rows(self.schema, [rows[i] for i in indices])
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.row_list())
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __bool__(self) -> bool:
+        return self._nrows > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnarRelation) or isinstance(other, Relation):
+            if self.schema == other.schema:
+                return self.rows == other.rows
+            if not self.schema.same_attributes(other.schema):
+                return False
+            aligned = frozenset(
+                as_columnar(other).tuples(self.schema.attributes)
+            )
+            return self.rows == aligned
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Matches Relation.__hash__ for equal content, so mixed-kernel
+        # relations can coexist in one set or dict.
+        if self._hash is None:
+            canonical_attrs = tuple(sorted(self.schema.attributes))
+            if canonical_attrs == self.schema.attributes:
+                canonical_rows = self.rows
+            else:
+                canonical_rows = frozenset(self.tuples(canonical_attrs))
+            self._hash = hash((canonical_attrs, canonical_rows))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"ColumnarRelation({list(self.schema)!r}, {self._nrows} rows)"
+
+    def sorted_rows(self) -> list[Row]:
+        return sorted(self.row_list(), key=row_sort_key)
+
+    def named_rows(self) -> list[dict[str, object]]:
+        attrs = self.schema.attributes
+        return [dict(zip(attrs, row)) for row in self.sorted_rows()]
+
+    def _reordered(self, attributes: Sequence[str]) -> "ColumnarRelation":
+        positions = self.schema.indices(attributes)
+        if positions == tuple(range(len(self.schema))):
+            return self
+        columns = self.columns
+        return ColumnarRelation._from_columns(
+            Schema(attributes), tuple(columns[p] for p in positions), self._nrows
+        )
+
+    # -- unary operators -------------------------------------------------------
+
+    def select(self, predicate: Predicate) -> "ColumnarRelation":
+        check = predicate.bind(self.schema)
+        return ColumnarRelation._from_rows(
+            self.schema, [row for row in self.row_list() if check(row)]
+        )
+
+    def select_values(self, assignment: Mapping[str, object]) -> "ColumnarRelation":
+        positions = self.schema.indices(assignment)
+        key = tuple(assignment.values())
+        return self._gather(self._index(positions).get(key, ()))
+
+    def project(self, attributes: Sequence[str]) -> "ColumnarRelation":
+        schema = self.schema.project(attributes)
+        positions = self.schema.indices(attributes)
+        if positions == tuple(range(len(self.schema))):
+            return ColumnarRelation._share(self, schema)
+        if len(positions) == len(self.schema):
+            # A permutation of all attributes: distinctness is preserved.
+            return self._reordered(attributes)
+        if not positions:
+            return ColumnarRelation._from_rows(
+                schema, [()] if self._nrows else []
+            )
+        columns = self._columns
+        if columns is not None:
+            kept = set(positions)
+            kept_objects = {id(columns[p]) for p in positions}
+            if all(
+                id(columns[q]) in kept_objects
+                for q in range(len(columns))
+                if q not in kept
+            ):
+                # Every dropped column is the *same object* as a kept
+                # one (a copy_attribute alias, e.g. dropping Dep while
+                # keeping the world id $Dep): rows stay pairwise
+                # distinct, so this is a zero-copy column selection.
+                return ColumnarRelation._from_columns(
+                    schema, tuple(columns[p] for p in positions), self._nrows
+                )
+        return ColumnarRelation._deduped(schema, self.tuples(attributes))
+
+    @classmethod
+    def _share(cls, source: "ColumnarRelation", schema: Schema) -> "ColumnarRelation":
+        """The same rows under a renamed/reordered-free schema (zero copy)."""
+        relation = cls._blank(schema, source._nrows)
+        relation._columns = source._columns
+        relation._row_list = source._row_list
+        relation._rowset = source._rowset
+        relation._indexes = source._indexes
+        return relation
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnarRelation":
+        return ColumnarRelation._share(self, self.schema.rename(mapping))
+
+    def extend(
+        self, attribute: str, function: Callable[[dict[str, object]], object]
+    ) -> "ColumnarRelation":
+        if attribute in self.schema:
+            raise SchemaError(f"attribute {attribute!r} already exists")
+        attrs = self.schema.attributes
+        schema = Schema(attrs + (attribute,))
+        rows = [
+            row + (function(dict(zip(attrs, row))),) for row in self.row_list()
+        ]
+        return ColumnarRelation._from_rows(schema, rows)
+
+    def copy_attribute(self, source: str, target: str) -> "ColumnarRelation":
+        """π_{*, source as target}: O(1) — the column object is aliased."""
+        if target in self.schema:
+            raise SchemaError(f"attribute {target!r} already exists")
+        position = self.schema.index(source)
+        columns = self.columns
+        return ColumnarRelation._from_columns(
+            Schema(self.schema.attributes + (target,)),
+            columns + (columns[position],),
+            self._nrows,
+        )
+
+    # -- binary operators --------------------------------------------------------
+
+    def _aligned_tuples(self, other: "ColumnarRelation | Relation", op: str) -> Iterator[tuple]:
+        if not self.schema.same_attributes(other.schema):
+            raise SchemaError(
+                f"{op} operands must have equal attribute sets; "
+                f"got {list(self.schema)} vs {list(other.schema)}"
+            )
+        return as_columnar(other).tuples(self.schema.attributes)
+
+    def union(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        aligned = self._aligned_tuples(other, "union")
+        combined = dict.fromkeys(self.row_list())
+        combined.update(dict.fromkeys(aligned))
+        return ColumnarRelation._from_rows(self.schema, list(combined))
+
+    def difference(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        drop = frozenset(self._aligned_tuples(other, "difference"))
+        return ColumnarRelation._from_rows(
+            self.schema, [row for row in self.row_list() if row not in drop]
+        )
+
+    def intersection(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        keep = frozenset(self._aligned_tuples(other, "intersection"))
+        return ColumnarRelation._from_rows(
+            self.schema, [row for row in self.row_list() if row in keep]
+        )
+
+    def product(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        schema = self.schema.concat(other.schema)
+        if not self.schema:
+            # {⟨⟩} × R = R (the unit world table is a frequent operand).
+            if self._nrows == 0:
+                return ColumnarRelation._from_rows(schema, [])
+            return ColumnarRelation._share(other, schema)
+        if not other.schema:
+            if len(other) == 0:
+                return ColumnarRelation._from_rows(schema, [])
+            return ColumnarRelation._share(self, schema)
+        right = other.row_list()
+        rows = [left + r for left in self.row_list() for r in right]
+        return ColumnarRelation._from_rows(schema, rows)
+
+    def natural_join(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        common = self.schema.common(other.schema)
+        return self.join_on(other, [(a, a) for a in common])
+
+    def equi_join(
+        self, other: "ColumnarRelation | Relation", pairs: Sequence[tuple[str, str]]
+    ) -> "ColumnarRelation":
+        other = as_columnar(other)
+        self.schema.concat(other.schema)  # equi-join requires disjoint schemas
+        return self.join_on(other, pairs)
+
+    def join_on(
+        self, other: "ColumnarRelation | Relation", pairs: Sequence[tuple[str, str]]
+    ) -> "ColumnarRelation":
+        """Hash join on explicit ``(left_attr, right_attr)`` key pairs.
+
+        The one build/probe loop behind :meth:`natural_join` (all shared
+        names as ``(a, a)`` pairs) and :meth:`equi_join` (disjoint
+        schemas): shared attribute names join positionally when listed
+        as ``(a, a)``, and cross-named equalities keep both columns. The
+        output schema is the left schema followed by the right
+        attributes not named on the left. This is also the fused
+        evaluation of σ_{eq}(R × S) plans — the product is never
+        materialized.
+        """
+        other = as_columnar(other)
+        if not pairs:
+            return self.product(other)
+        left_set = self.schema.as_set()
+        check_join_pairs_cover_shared(left_set, other.schema, pairs)
+        right_key = other.schema.indices(b for _, b in pairs)
+        buckets = other._index(right_key)
+        right_rest = tuple(
+            i for i, a in enumerate(other.schema) if a not in left_set
+        )
+        schema = Schema(
+            self.schema.attributes + tuple(other.schema[i] for i in right_rest)
+        )
+        left_keys = self.tuples(tuple(a for a, _ in pairs))
+        if not right_rest:
+            # Right side is pure key: the join degenerates to a semijoin
+            # (the answer ⋈ world-projection pattern of the lazy §5.3 form).
+            return ColumnarRelation._from_rows(
+                schema,
+                [
+                    row
+                    for row, key in zip(self.row_list(), left_keys)
+                    if key in buckets
+                ],
+            )
+        rest_of = tuple_getter(right_rest)
+        right_rows = other.row_list()
+        rows: list[Row] = []
+        append = rows.append
+        for left, key in zip(self.row_list(), left_keys):
+            bucket = buckets.get(key)
+            if bucket is not None:
+                for i in bucket:
+                    append(left + rest_of(right_rows[i]))
+        return ColumnarRelation._from_rows(schema, rows)
+
+    def theta_join(
+        self, other: "ColumnarRelation | Relation", predicate: Predicate
+    ) -> "ColumnarRelation":
+        other = as_columnar(other)
+        pairs = predicate.equality_pairs()
+        if pairs is not None:
+            oriented = oriented_equality_pairs(self.schema.as_set(), pairs)
+            if oriented is not None:
+                return self.equi_join(other, oriented)
+        return self.product(other).select(predicate)
+
+    def semijoin(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        common = self.schema.common(other.schema)
+        if not common:
+            return self if len(other) else ColumnarRelation._from_rows(self.schema, [])
+        keys = other._index(other.schema.indices(common))
+        return ColumnarRelation._from_rows(
+            self.schema,
+            [
+                row
+                for row, key in zip(self.row_list(), self.tuples(common))
+                if key in keys
+            ],
+        )
+
+    def antijoin(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        common = self.schema.common(other.schema)
+        if not common:
+            return ColumnarRelation._from_rows(self.schema, []) if len(other) else self
+        keys = other._index(other.schema.indices(common))
+        return ColumnarRelation._from_rows(
+            self.schema,
+            [
+                row
+                for row, key in zip(self.row_list(), self.tuples(common))
+                if key not in keys
+            ],
+        )
+
+    def divide(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        divisor_attrs = other.schema.as_set()
+        if not divisor_attrs <= self.schema.as_set():
+            raise SchemaError(
+                f"division requires divisor attributes {sorted(divisor_attrs)} "
+                f"⊆ dividend attributes {list(self.schema)}"
+            )
+        keep = tuple(a for a in self.schema if a not in divisor_attrs)
+        required = other.rows
+        need = len(required)
+        seen: dict[tuple, set[tuple]] = {}
+        for quotient, divisor in zip(
+            self.tuples(keep), self.tuples(other.schema.attributes)
+        ):
+            group = seen.get(quotient)
+            if group is None:
+                seen[quotient] = {divisor}
+            else:
+                group.add(divisor)
+        return ColumnarRelation._from_rows(
+            Schema(keep),
+            [d for d, vs in seen.items() if len(vs) >= need and required <= vs],
+        )
+
+    def left_outer_join_padded(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        other = as_columnar(other)
+        joined = self.natural_join(other)
+        dangling = self.antijoin(other)
+        pad_attrs = tuple(a for a in other.schema if a not in self.schema.as_set())
+        pad_row = (PAD,) * len(pad_attrs)
+        padded = [row + pad_row for row in dangling.row_list()]
+        # Joined rows carry real choice values, padded rows carry PAD on
+        # the pad attributes — the two row sets are disjoint unless the
+        # data itself contains PAD, so union's dedup pass is the safety
+        # net, not the common case.
+        return joined.union(
+            ColumnarRelation._from_rows(joined.schema, padded)
+        )
+
+    # -- helpers used by the world-set machinery ---------------------------------
+
+    def distinct_values(self, attributes: Sequence[str]) -> list[tuple]:
+        return self.project(attributes).sorted_rows()
+
+    def active_domain(self) -> frozenset[object]:
+        return frozenset(
+            value for column in self.columns for value in column
+        )
+
+
+# -- kernel conversion boundary -----------------------------------------------------
+
+
+def as_columnar(relation: "Relation | ColumnarRelation") -> ColumnarRelation:
+    """The columnar view of *relation*, cached on the source object."""
+    if isinstance(relation, ColumnarRelation):
+        return relation
+    cached = relation._columnar
+    if cached is None:
+        cached = ColumnarRelation.from_relation(relation)
+        relation._columnar = cached
+    return cached
+
+
+def as_tuple(relation: "Relation | ColumnarRelation") -> Relation:
+    """The tuple-engine view of *relation*, cached on the source object."""
+    if isinstance(relation, Relation):
+        return relation
+    return relation.to_relation()
+
+
+def kernel_unit(kernel: str) -> "Relation | ColumnarRelation":
+    """The nullary one-row relation {⟨⟩} in the *kernel*'s representation."""
+    return ColumnarRelation.unit() if kernel == "columnar" else Relation.unit()
+
+
+def tuples_of(
+    relation: "Relation | ColumnarRelation", attributes: Sequence[str]
+) -> Iterator[tuple]:
+    """C-speed iterator over sub-tuples of *attributes*, either kernel."""
+    if isinstance(relation, ColumnarRelation):
+        return relation.tuples(attributes)
+    if not attributes:
+        return repeat((), len(relation.rows))
+    return map(tuple_getter(relation.schema.indices(attributes)), relation.rows)

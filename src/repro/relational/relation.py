@@ -46,6 +46,17 @@ _INTERNED: dict[Row, Row] = {}
 _SCALAR_TYPES = frozenset((int, float, str, bool, bytes, type(None)))
 
 
+def clear_intern_pool() -> None:
+    """Empty the process-global row intern pool.
+
+    Interning is a pure optimization (see :func:`intern_row`), so
+    clearing never affects correctness — it releases the canonical row
+    objects a long-lived process has accumulated across sessions.
+    ``ISQLSession.close()`` calls this.
+    """
+    _INTERNED.clear()
+
+
 def intern_row(values: Row) -> Row:
     """Return the canonical object for the row tuple *values*.
 
@@ -74,6 +85,41 @@ def intern_row(values: Row) -> Row:
         _INTERNED.clear()
     _INTERNED[values] = values
     return values
+
+
+def oriented_equality_pairs(
+    left_attrs: frozenset[str], pairs: Sequence[tuple[str, str]]
+) -> list[tuple[str, str]] | None:
+    """Orient attr=attr equality pairs as (left, right), or None.
+
+    Shared by both kernels' θ-joins: each pair must have exactly one
+    side among *left_attrs*; otherwise the predicate cannot drive a
+    hash equi-join and the caller falls back to σ(×).
+    """
+    oriented: list[tuple[str, str]] = []
+    for a, b in pairs:
+        if a in left_attrs and b not in left_attrs:
+            oriented.append((a, b))
+        elif b in left_attrs and a not in left_attrs:
+            oriented.append((b, a))
+        else:
+            return None
+    return oriented
+
+
+def check_join_pairs_cover_shared(
+    left_attrs: frozenset[str], right_schema: Schema, pairs: Sequence[tuple[str, str]]
+) -> None:
+    """``join_on`` precondition, shared by both kernels: every attribute
+    name on both sides must be joined positionally via an ``(a, a)``
+    pair — otherwise the output would carry a duplicate column name."""
+    listed = set(tuple(pairs))
+    for attr in right_schema:
+        if attr in left_attrs and (attr, attr) not in listed:
+            raise SchemaError(
+                f"join_on operands share attribute {attr!r} without an "
+                "explicit (a, a) key pair"
+            )
 
 
 def tuple_getter(positions: Sequence[int]) -> Callable[[Row], tuple]:
@@ -108,7 +154,7 @@ def _coerce_row(schema: Schema, row: object) -> Row:
 class Relation:
     """An immutable relation: a schema and a frozen set of rows."""
 
-    __slots__ = ("schema", "rows", "_indexes", "_hash")
+    __slots__ = ("schema", "rows", "_indexes", "_hash", "_columnar")
 
     def __init__(self, schema: Schema | Sequence[str], rows: Iterable[object] = ()) -> None:
         if not isinstance(schema, Schema):
@@ -117,6 +163,7 @@ class Relation:
         self.rows: frozenset[Row] = frozenset(_coerce_row(schema, row) for row in rows)
         self._indexes: dict[tuple[int, ...], dict[tuple, tuple[Row, ...]]] = {}
         self._hash: int | None = None
+        self._columnar = None
 
     @classmethod
     def _raw(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
@@ -126,7 +173,29 @@ class Relation:
         relation.rows = rows if isinstance(rows, frozenset) else frozenset(rows)
         relation._indexes = {}
         relation._hash = None
+        relation._columnar = None
         return relation
+
+    def clear_caches(self) -> None:
+        """Drop the lazily built hash indexes, hash, and columnar twin.
+
+        All three are rebuilt on demand; a long-lived session calls this
+        through ``ISQLSession.close()`` to release derived state held by
+        relations that stay reachable (registered base tables).
+        """
+        self._indexes = {}
+        self._hash = None
+        self._columnar = None
+
+    @staticmethod
+    def _coerce_operand(other: "Relation") -> "Relation":
+        """Accept a ColumnarRelation operand by converting it (cached).
+
+        Mixed-kernel operand pairs arise at the kernel boundary (e.g. a
+        literal world table inside a translated plan whose base tables
+        run columnar); each side of the boundary coerces toward itself.
+        """
+        return other if isinstance(other, Relation) else other.to_relation()
 
     def _index(self, positions: tuple[int, ...]) -> dict[tuple, tuple[Row, ...]]:
         """Hash partition of the rows by the attribute *positions* (cached)."""
@@ -214,7 +283,8 @@ class Relation:
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
             return self
-        return Relation(attributes, (tuple(row[p] for p in positions) for row in self.rows))
+        getter = tuple_getter(positions)
+        return Relation._raw(Schema(attributes), map(getter, self.rows))
 
     # -- unary operators -------------------------------------------------------
 
@@ -240,9 +310,8 @@ class Relation:
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
             return Relation._raw(schema, self.rows)
-        return Relation._raw(
-            schema, (tuple(row[p] for p in positions) for row in self.rows)
-        )
+        getter = tuple_getter(positions)
+        return Relation._raw(schema, map(getter, self.rows))
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """Renaming δ_{old→new}; value tuples are unchanged."""
@@ -276,6 +345,7 @@ class Relation:
     # -- binary operators --------------------------------------------------------
 
     def _require_union_compatible(self, other: "Relation", op: str) -> "Relation":
+        other = Relation._coerce_operand(other)
         if not self.schema.same_attributes(other.schema):
             raise SchemaError(
                 f"{op} operands must have equal attribute sets; "
@@ -300,23 +370,62 @@ class Relation:
 
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product ×; attribute sets must be disjoint."""
+        other = Relation._coerce_operand(other)
         schema = self.schema.concat(other.schema)
         rows = (left + right for left in self.rows for right in other.rows)
         return Relation._raw(schema, rows)
 
     def natural_join(self, other: "Relation") -> "Relation":
         """Natural join ⋈ on all shared attribute names (hash-based)."""
+        other = Relation._coerce_operand(other)
         common = self.schema.common(other.schema)
-        if not common:
-            return self.product(other)
-        left_key = self.schema.indices(common)
-        right_key = other.schema.indices(common)
-        right_rest = [i for i, a in enumerate(other.schema) if a not in common]
-        schema = Schema(self.schema.attributes + tuple(other.schema[i] for i in right_rest))
+        return self.join_on(other, [(a, a) for a in common])
 
+    def equi_join(self, other: "Relation", pairs: Sequence[tuple[str, str]]) -> "Relation":
+        """θ-join on a conjunction of cross-schema equalities (hash-based).
+
+        *pairs* lists ``(left_attr, right_attr)`` equalities. Attribute
+        sets must be disjoint (rename first, as the paper does with its
+        positional qualifiers like ``1.CID``).
+        """
+        other = Relation._coerce_operand(other)
+        self.schema.concat(other.schema)  # equi-join requires disjoint schemas
+        return self.join_on(other, pairs)
+
+    def join_on(self, other: "Relation", pairs: Sequence[tuple[str, str]]) -> "Relation":
+        """Hash join on explicit ``(left_attr, right_attr)`` key pairs.
+
+        The one build/probe loop behind :meth:`natural_join` (all shared
+        names as ``(a, a)`` pairs) and :meth:`equi_join` (disjoint
+        schemas); the tuple-kernel counterpart of
+        ``ColumnarRelation.join_on``. Shared attribute names must be
+        listed as ``(a, a)`` pairs and join positionally; cross-named
+        equalities keep both columns. The output schema is the left
+        schema followed by the right attributes not named on the left.
+        This also fuses σ_{eq}(R × S) plans into one hash join — the
+        product is never materialized.
+        """
+        other = Relation._coerce_operand(other)
+        if not pairs:
+            return self.product(other)
+        left_set = self.schema.as_set()
+        check_join_pairs_cover_shared(left_set, other.schema, pairs)
+        left_key = self.schema.indices(a for a, _ in pairs)
+        right_key = other.schema.indices(b for _, b in pairs)
+        right_rest = tuple(
+            i for i, a in enumerate(other.schema) if a not in left_set
+        )
+        schema = Schema(
+            self.schema.attributes + tuple(other.schema[i] for i in right_rest)
+        )
         buckets = other._index(right_key)
         key_of = tuple_getter(left_key)
-        rest_of = tuple_getter(tuple(right_rest))
+        if not right_rest:
+            # Right side is pure key: the join degenerates to a semijoin.
+            return Relation._raw(
+                schema, (row for row in self.rows if key_of(row) in buckets)
+            )
+        rest_of = tuple_getter(right_rest)
 
         def generate() -> Iterator[Row]:
             empty: tuple[Row, ...] = ()
@@ -326,49 +435,19 @@ class Relation:
 
         return Relation._raw(schema, generate())
 
-    def equi_join(self, other: "Relation", pairs: Sequence[tuple[str, str]]) -> "Relation":
-        """θ-join on a conjunction of cross-schema equalities (hash-based).
-
-        *pairs* lists ``(left_attr, right_attr)`` equalities. Attribute
-        sets must be disjoint (rename first, as the paper does with its
-        positional qualifiers like ``1.CID``).
-        """
-        schema = self.schema.concat(other.schema)
-        if not pairs:
-            return self.product(other)
-        left_key = self.schema.indices(a for a, _ in pairs)
-        right_key = other.schema.indices(b for _, b in pairs)
-
-        buckets = other._index(right_key)
-
-        def generate() -> Iterator[Row]:
-            for left in self.rows:
-                key = tuple(left[i] for i in left_key)
-                for right in buckets.get(key, ()):  # pragma: no branch
-                    yield left + right
-
-        return Relation._raw(schema, generate())
-
     def theta_join(self, other: "Relation", predicate: Predicate) -> "Relation":
         """θ-join with an arbitrary predicate over the concatenated schema."""
+        other = Relation._coerce_operand(other)
         pairs = predicate.equality_pairs()
         if pairs is not None:
-            left_attrs = self.schema.as_set()
-            oriented: list[tuple[str, str]] = []
-            for a, b in pairs:
-                if a in left_attrs and b not in left_attrs:
-                    oriented.append((a, b))
-                elif b in left_attrs and a not in left_attrs:
-                    oriented.append((b, a))
-                else:
-                    oriented = []
-                    break
-            if oriented or not pairs:
+            oriented = oriented_equality_pairs(self.schema.as_set(), pairs)
+            if oriented is not None:
                 return self.equi_join(other, oriented)
         return self.product(other).select(predicate)
 
     def semijoin(self, other: "Relation") -> "Relation":
         """Left semijoin ⋉ on shared attributes: rows with a join partner."""
+        other = Relation._coerce_operand(other)
         common = self.schema.common(other.schema)
         if not common:
             return self if other.rows else Relation(self.schema)
@@ -380,6 +459,7 @@ class Relation:
 
     def antijoin(self, other: "Relation") -> "Relation":
         """Left antijoin: rows of self with no join partner in other."""
+        other = Relation._coerce_operand(other)
         common = self.schema.common(other.schema)
         if not common:
             return Relation(self.schema) if other.rows else self
@@ -398,6 +478,7 @@ class Relation:
         vacuously true), matching the classical definition
         π_D(R) − π_D((π_D(R) × S) − R).
         """
+        other = Relation._coerce_operand(other)
         divisor_attrs = other.schema.as_set()
         if not divisor_attrs <= self.schema.as_set():
             raise SchemaError(
@@ -425,6 +506,7 @@ class Relation:
         R-rows are padded with the special constant :data:`PAD` on S's
         non-shared attributes.
         """
+        other = Relation._coerce_operand(other)
         joined = self.natural_join(other)
         dangling = self.difference(self.semijoin(other))
         pad_attrs = tuple(a for a in other.schema if a not in self.schema.as_set())

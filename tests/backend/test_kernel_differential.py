@@ -1,0 +1,107 @@
+"""Kernel equivalence: the columnar and tuple engines on every workload.
+
+`REPRO_KERNEL=columnar|tuple` (or `InlineBackend(kernel=...)`) selects
+how the inline backend's flat-table plans execute; it must never change
+what they compute. This suite replays every datagen scenario and a
+randomized world-set-algebra differential on both kernels (with the
+explicit backend as the reference semantics), covers the translate
+strategy's columnar route, and pins the dangling-world-id decode edge
+(world ids with no rows encode empty worlds on either kernel).
+"""
+
+import pytest
+
+from repro.backend import InlineBackend
+from repro.backend.testing import assert_backends_agree
+from repro.core import evaluate, rel
+from repro.datagen import random_query, random_world_set, scenarios
+from repro.inline.representation import InlinedRepresentation
+from repro.relational import Relation
+
+SMALL = {s.name: s for s in scenarios("small")}
+
+KERNELS = (
+    ("inline[columnar]", lambda: InlineBackend(kernel="columnar")),
+    ("inline[tuple]", lambda: InlineBackend(kernel="tuple")),
+)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_kernels_agree_with_explicit_on_every_scenario(name):
+    assert_backends_agree(SMALL[name], ("explicit",) + KERNELS)
+
+
+@pytest.mark.parametrize(
+    "name", sorted(n for n, s in SMALL.items() if not s.uses_fallback)
+)
+def test_translate_strategy_agrees_on_both_kernels(name):
+    """The Figure 6 RA DAG route also runs columnar (Literal world
+    tables mix tuple relations into a columnar plan — the coercion
+    boundary must hold there too)."""
+    assert_backends_agree(
+        SMALL[name],
+        (
+            "explicit",
+            (
+                "inline-translate[columnar]",
+                lambda: InlineBackend(strategy="translate", kernel="columnar"),
+            ),
+            (
+                "inline-translate[tuple]",
+                lambda: InlineBackend(strategy="translate", kernel="tuple"),
+            ),
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_random_wsa_agrees_across_kernels(seed, monkeypatch):
+    """Randomized WSA differential, kernel selected via REPRO_KERNEL."""
+    world_set = random_world_set(seed)
+    query = random_query(seed + 3, depth=3)
+    monkeypatch.setenv("REPRO_KERNEL", "tuple")
+    tuple_result = evaluate(query, world_set, name="Q", backend="inline")
+    monkeypatch.setenv("REPRO_KERNEL", "columnar")
+    columnar_result = evaluate(query, world_set, name="Q", backend="inline")
+    assert tuple_result == columnar_result
+    assert columnar_result == evaluate(
+        query, world_set, name="Q", backend="explicit"
+    )
+
+
+@pytest.mark.parametrize("kernel", ["columnar", "tuple"])
+def test_dangling_world_ids_decode_to_empty_worlds(kernel):
+    """World ids carried by no row are worlds with empty relations —
+    the decode must keep them on either kernel."""
+    representation = InlinedRepresentation(
+        {"R": Relation(("A", "$w"), [(1, 0)])},
+        Relation(("$w",), [(0,), (1,), (2,)]),
+        ("$w",),
+    )
+    backend = InlineBackend(representation, kernel=kernel)
+    world_set = backend.to_world_set()
+    # World 0 holds {1}; worlds 1 and 2 are empty and collapse to one.
+    assert backend.world_count() == 2
+    instances = {world["R"] for world in world_set.worlds}
+    assert instances == {
+        Relation(("A",), [(1,)]),
+        Relation(("A",), []),
+    }
+
+
+def test_unknown_kernel_rejected():
+    from repro.errors import EvaluationError
+
+    with pytest.raises(EvaluationError, match="unknown kernel"):
+        InlineBackend(kernel="vectorized")
+
+
+def test_env_kernel_validation(monkeypatch):
+    from repro.errors import EvaluationError
+    from repro.relational import active_kernel
+
+    monkeypatch.setenv("REPRO_KERNEL", "Tuple ")
+    assert active_kernel() == "tuple"
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    with pytest.raises(EvaluationError, match="unknown kernel"):
+        active_kernel()

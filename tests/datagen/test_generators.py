@@ -100,3 +100,38 @@ class TestRandomInstances:
 
         relation = random_relation(("A", "B"), random.Random(0), max_rows=4)
         assert len(relation) <= 4
+
+
+class TestXLScenarios:
+    def test_census_pinned_duplicates(self):
+        from repro.datagen import census
+
+        dirty = census(20, seed=4, duplicates=6)
+        assert len(dirty) == 26
+        violating = {
+            ssn
+            for ssn in {row[0] for row in dirty}
+            if sum(1 for row in dirty if row[0] == ssn) > 1
+        }
+        assert len(violating) == 6
+        assert census(20, seed=4, duplicates=6) == dirty  # deterministic
+
+    def test_xl_scenarios_shape(self):
+        """Structure only — the XL workloads run in benchmarks, not here."""
+        from repro.datagen import xl_scenarios
+
+        suite = {s.name: s for s in xl_scenarios()}
+        assert set(suite) == {
+            "trip_certain_2p16",
+            "census_repair_xl",
+            "acquisition_xl",
+        }
+        assert all(s.explicit_infeasible for s in suite.values())
+        assert suite["trip_certain_2p16"].approx_worlds == 2**16
+        assert all(s.approx_worlds >= 2**12 for s in suite.values())
+        # ≥10⁵ inlined rows once the script replays: the generators alone
+        # must already carry the base bulk for trip planning.
+        trip_rows = sum(
+            len(rel) for _, rel in suite["trip_certain_2p16"].relations
+        )
+        assert trip_rows >= 10**5

@@ -1,0 +1,246 @@
+"""ColumnarRelation ≡ Relation on every operator, property-based.
+
+The columnar kernel is only allowed to change *how* operators run,
+never what they return: for every relational algebra operator and any
+input, evaluating columnar must equal evaluating tuple-at-a-time. This
+suite drives randomized inputs through both engines and compares —
+including the empty relation, the nullary schema (the unit world table
+{⟨⟩}), PAD-carrying rows, and mixed value types.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational import ColumnarRelation, Relation, as_columnar, as_tuple
+from repro.relational.pad import PAD
+from repro.relational.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Not,
+    Or,
+    eq,
+    ge,
+    lt,
+    neq,
+)
+from repro.relational.schema import Schema
+
+VALUES = st.one_of(
+    st.integers(min_value=-2, max_value=3),
+    st.sampled_from(["x", "y", "z"]),
+    st.booleans(),
+    st.none(),
+    st.just(PAD),
+)
+
+
+def relations(attributes: tuple[str, ...], max_rows: int = 7):
+    """A strategy of (Relation, ColumnarRelation) twins over *attributes*."""
+    row = st.tuples(*(VALUES for _ in attributes))
+    return st.lists(row, max_size=max_rows).map(
+        lambda rows: Relation(attributes, rows)
+    )
+
+
+def assert_same(columnar_result, tuple_result, context: str = "") -> None:
+    assert isinstance(columnar_result, ColumnarRelation), context
+    assert (
+        tuple(columnar_result.schema) == tuple(tuple_result.schema)
+    ), f"{context}: schemas diverge"
+    assert as_tuple(columnar_result) == tuple_result, f"{context}: rows diverge"
+    # The cross-kernel comparison itself must agree, both directions.
+    assert columnar_result == tuple_result, context
+    assert hash(columnar_result) == hash(tuple_result), context
+
+
+PREDICATES = [
+    TRUE,
+    FALSE,
+    eq("A", Const(1)),
+    neq("A", "B"),
+    lt("A", Const("y")),
+    And(neq("A", Const(None)), ge("B", Const(0))),
+    Or(eq("A", "B"), eq("B", Const("x"))),
+    Not(eq("A", Const(True))),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=relations(("A", "B")), index=st.integers(0, len(PREDICATES) - 1))
+def test_select_matches(relation, index):
+    predicate = PREDICATES[index]
+    assert_same(
+        as_columnar(relation).select(predicate),
+        relation.select(predicate),
+        repr(predicate),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=relations(("A", "B", "C")), value=VALUES)
+def test_select_values_and_distinct_values_match(relation, value):
+    columnar = as_columnar(relation)
+    assert_same(
+        columnar.select_values({"B": value}), relation.select_values({"B": value})
+    )
+    assert columnar.distinct_values(("C", "A")) == relation.distinct_values(
+        ("C", "A")
+    )
+    assert columnar.active_domain() == relation.active_domain()
+    assert columnar.sorted_rows() == relation.sorted_rows()
+    assert columnar.named_rows() == relation.named_rows()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=relations(("A", "B", "C")),
+    keep=st.lists(st.sampled_from(["A", "B", "C"]), unique=True),
+)
+def test_project_rename_copy_match(relation, keep):
+    columnar = as_columnar(relation)
+    assert_same(columnar.project(keep), relation.project(keep), f"π{keep}")
+    mapping = {"A": "Z"}
+    assert_same(columnar.rename(mapping), relation.rename(mapping))
+    assert_same(
+        columnar.copy_attribute("B", "B2"), relation.copy_attribute("B", "B2")
+    )
+    # The alias-projection fast path: copy then drop the source.
+    assert_same(
+        columnar.copy_attribute("B", "B2").project(("A", "B2", "C")),
+        relation.copy_attribute("B", "B2").project(("A", "B2", "C")),
+        "alias projection",
+    )
+    assert_same(
+        columnar.extend("D", lambda row: (row["A"], 1)),
+        relation.extend("D", lambda row: (row["A"], 1)),
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=relations(("A", "B")), right=relations(("B", "A")))
+def test_set_operators_match(left, right):
+    columnar_left = as_columnar(left)
+    for op in ("union", "difference", "intersection", "semijoin", "antijoin"):
+        assert_same(
+            getattr(columnar_left, op)(as_columnar(right)),
+            getattr(left, op)(right),
+            op,
+        )
+        # Mixed operands: columnar-left with a tuple right operand.
+        assert_same(
+            getattr(columnar_left, op)(right), getattr(left, op)(right), op
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=relations(("A", "B")), right=relations(("B", "C")))
+def test_join_operators_match(left, right):
+    columnar_left = as_columnar(left)
+    columnar_right = as_columnar(right)
+    assert_same(
+        columnar_left.natural_join(columnar_right),
+        left.natural_join(right),
+        "⋈",
+    )
+    assert_same(
+        columnar_left.semijoin(columnar_right), left.semijoin(right), "⋉"
+    )
+    assert_same(
+        columnar_left.antijoin(columnar_right), left.antijoin(right), "▷"
+    )
+    assert_same(
+        columnar_left.left_outer_join_padded(columnar_right),
+        left.left_outer_join_padded(right),
+        "=⊳⊲",
+    )
+    assert_same(
+        columnar_left.join_on(columnar_right, [("B", "B"), ("A", "C")]),
+        left.join_on(right, [("B", "B"), ("A", "C")]),
+        "join_on",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=relations(("A", "B")), right=relations(("C", "D")))
+def test_product_theta_equi_match(left, right):
+    columnar_left = as_columnar(left)
+    columnar_right = as_columnar(right)
+    assert_same(columnar_left.product(columnar_right), left.product(right), "×")
+    predicate = And(eq("A", "C"), neq("B", "D"))
+    assert_same(
+        columnar_left.theta_join(columnar_right, predicate),
+        left.theta_join(right, predicate),
+        "θ",
+    )
+    assert_same(
+        columnar_left.equi_join(columnar_right, [("B", "D")]),
+        left.equi_join(right, [("B", "D")]),
+        "equi",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(dividend=relations(("A", "B"), max_rows=9), divisor=relations(("B",)))
+def test_divide_matches(dividend, divisor):
+    assert_same(
+        as_columnar(dividend).divide(as_columnar(divisor)),
+        dividend.divide(divisor),
+        "÷",
+    )
+
+
+# -- deterministic edge cases -------------------------------------------------------
+
+
+def test_nullary_schema_unit_and_empty():
+    unit = ColumnarRelation.unit()
+    assert as_tuple(unit) == Relation.unit()
+    assert len(unit) == 1 and list(unit) == [()]
+    empty_nullary = ColumnarRelation((), [])
+    assert as_tuple(empty_nullary) == Relation((), [])
+    # {⟨⟩} × R and ∅₀ × R.
+    r = Relation(("A",), [(1,), (2,)])
+    assert as_tuple(unit.product(as_columnar(r))) == Relation.unit().product(r)
+    assert as_tuple(empty_nullary.product(as_columnar(r))) == Relation((), []).product(r)
+    # Projection of a populated relation onto zero attributes is {⟨⟩}.
+    assert as_tuple(as_columnar(r).project(())) == r.project(())
+    assert as_tuple(as_columnar(Relation(("A",), [])).project(())) == Relation(
+        ("A",), []
+    ).project(())
+    # Dividing by the nullary unit keeps every row.
+    assert as_tuple(as_columnar(r).divide(unit)) == r.divide(Relation.unit())
+
+
+def test_empty_relation_operators():
+    empty = as_columnar(Relation.empty(("A", "B")))
+    other = as_columnar(Relation(("B", "C"), [(1, 2)]))
+    assert len(empty.select(TRUE)) == 0
+    assert len(empty.natural_join(other)) == 0
+    assert len(other.natural_join(empty)) == 0
+    assert as_tuple(empty.union(empty)) == Relation.empty(("A", "B"))
+    assert empty.rows == frozenset()
+    assert not empty
+
+
+def test_duplicate_rows_are_deduplicated_like_the_tuple_engine():
+    rows = [(1, "x"), (1, "x"), (2, "y")]
+    assert as_tuple(ColumnarRelation(("A", "B"), rows)) == Relation(("A", "B"), rows)
+
+
+def test_union_incompatible_schemas_raise_like_the_tuple_engine():
+    import pytest
+
+    left = as_columnar(Relation(("A",), [(1,)]))
+    right = as_columnar(Relation(("B",), [(1,)]))
+    with pytest.raises(SchemaError):
+        left.union(right)
+    with pytest.raises(SchemaError):
+        left.product(as_columnar(Relation(("A",), [(2,)])))
+
+
+def test_schema_instance_accepted():
+    relation = ColumnarRelation(Schema(("A",)), [(1,)])
+    assert as_tuple(relation) == Relation(Schema(("A",)), [(1,)])

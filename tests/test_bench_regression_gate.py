@@ -1,0 +1,170 @@
+"""The CI benchmark-regression gate (benchmarks/check_regression.py).
+
+CI compares the freshly generated BENCH_backends.json against the
+committed baseline and fails on a >2× inline slowdown. The comparison
+rules live in ``check()``; this pins them: infeasible handling, the
+noise floor, missing scenarios, and the became-infeasible case.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _payload(*rows):
+    return {"entries": [dict(row) for row in rows]}
+
+
+def _row(scenario, backend="inline", seconds=0.1, **extra):
+    return {"scenario": scenario, "backend": backend, "seconds": seconds, **extra}
+
+
+def test_within_threshold_passes():
+    baseline = _payload(_row("trip", seconds=0.100))
+    current = _payload(_row("trip", seconds=0.150))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_regression_past_threshold_fails():
+    baseline = _payload(_row("trip", seconds=0.100))
+    current = _payload(_row("trip", seconds=0.250))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "trip" in problems[0]
+
+
+def test_noise_floor_skips_tiny_timings():
+    baseline = _payload(_row("trip", seconds=0.0005))
+    current = _payload(_row("trip", seconds=0.0100))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_only_inline_rows_gate():
+    baseline = _payload(_row("trip", backend="explicit", seconds=0.1))
+    current = _payload(_row("trip", backend="explicit", seconds=1.0))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_missing_and_new_scenarios_are_skipped():
+    baseline = _payload(_row("old_only", seconds=0.1))
+    current = _payload(_row("new_only", seconds=9.9))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_becoming_infeasible_is_a_regression():
+    baseline = _payload(_row("trip", seconds=0.1))
+    current = _payload(_row("trip", seconds=None, infeasible=True))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "infeasible" in problems[0]
+
+
+def test_baseline_infeasible_rows_do_not_gate():
+    baseline = _payload(_row("xl", seconds=None, infeasible=True))
+    current = _payload(_row("xl", seconds=4.0))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_cross_machine_rows_compare_normalized_not_raw():
+    """A uniformly slower runner must not fail the gate: the inline /
+    explicit ratio is unchanged even though raw seconds tripled."""
+    baseline = _payload(
+        _row("trip", seconds=0.100, python="3.11", platform="dev"),
+        _row("trip", backend="explicit", seconds=1.000, python="3.11", platform="dev"),
+    )
+    current = _payload(
+        _row("trip", seconds=0.300, python="3.12", platform="ci"),
+        _row("trip", backend="explicit", seconds=3.000, python="3.12", platform="ci"),
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_cross_machine_normalized_regression_fails():
+    """Same machines as above, but inline got 4× slower relative to the
+    explicit reference — a real regression, flagged despite the
+    provenance mismatch."""
+    baseline = _payload(
+        _row("trip", seconds=0.100, python="3.11", platform="dev"),
+        _row("trip", backend="explicit", seconds=1.000, python="3.11", platform="dev"),
+    )
+    current = _payload(
+        _row("trip", seconds=1.200, python="3.12", platform="ci"),
+        _row("trip", backend="explicit", seconds=3.000, python="3.12", platform="ci"),
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "normalized" in problems[0]
+
+
+def test_cross_machine_falls_back_to_tuple_kernel_reference():
+    """XL scenarios have no explicit timing; the inline-tuple row is
+    the normalizer there."""
+    baseline = _payload(
+        _row("xl", seconds=0.2, python="3.11", platform="dev"),
+        _row("xl", backend="explicit", seconds=None, infeasible=True,
+             python="3.11", platform="dev"),
+        _row("xl", backend="inline-tuple", seconds=0.4, python="3.11", platform="dev"),
+    )
+    current_ok = _payload(
+        _row("xl", seconds=0.6, python="3.12", platform="ci"),
+        _row("xl", backend="inline-tuple", seconds=1.2, python="3.12", platform="ci"),
+    )
+    assert check_regression.check(baseline, current_ok, 2.0, 0.002) == []
+    current_bad = _payload(
+        _row("xl", seconds=2.4, python="3.12", platform="ci"),
+        _row("xl", backend="inline-tuple", seconds=1.2, python="3.12", platform="ci"),
+    )
+    problems = check_regression.check(baseline, current_bad, 2.0, 0.002)
+    assert len(problems) == 1 and "inline-tuple" in problems[0]
+
+
+def test_cross_machine_without_reference_is_skipped():
+    baseline = _payload(_row("lonely", seconds=0.1, python="3.11", platform="dev"))
+    current = _payload(_row("lonely", seconds=9.0, python="3.12", platform="ci"))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_cross_machine_noise_floor_applies_to_normalized_path():
+    """Sub-floor timings are all jitter; the normalized branch must not
+    gate on them either."""
+    baseline = _payload(
+        _row("tiny", seconds=0.0009, python="3.11", platform="dev"),
+        _row("tiny", backend="explicit", seconds=0.030, python="3.11", platform="dev"),
+    )
+    current = _payload(
+        _row("tiny", seconds=0.0019, python="3.12", platform="ci"),
+        _row("tiny", backend="explicit", seconds=0.030, python="3.12", platform="ci"),
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_reference_from_another_machine_is_not_used():
+    """A merged file can carry a reference row from a different machine
+    (e.g. a carried-over explicit timing): normalizing against it would
+    manufacture a regression, so the pair is skipped instead."""
+    baseline = _payload(
+        _row("trip", seconds=0.100, python="3.11", platform="dev"),
+        _row("trip", backend="explicit", seconds=1.000, python="3.11", platform="dev"),
+    )
+    current = _payload(
+        _row("trip", seconds=0.300, python="3.12", platform="ci"),
+        # Carried-over explicit row from the dev machine.
+        _row("trip", backend="explicit", seconds=1.000, python="3.11", platform="dev"),
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_main_exit_codes(tmp_path):
+    import json
+
+    good = tmp_path / "good.json"
+    bad = tmp_path / "bad.json"
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(_payload(_row("trip", seconds=0.1))))
+    good.write_text(json.dumps(_payload(_row("trip", seconds=0.1))))
+    bad.write_text(json.dumps(_payload(_row("trip", seconds=0.9))))
+    assert check_regression.main([str(base), str(good)]) == 0
+    assert check_regression.main([str(base), str(bad)]) == 1
