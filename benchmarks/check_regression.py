@@ -25,7 +25,15 @@ Rules:
   reference row;
 * a scenario that *became* infeasible while the baseline measured it is
   reported as a regression (losing the ability to run is the worst
-  regression of all).
+  regression of all);
+* the recorded inline **route** gates too: a scenario whose baseline
+  row says ``route=direct`` must not come back as ``route=fallback`` —
+  silently re-routing through the explicit engine is an architectural
+  regression even when the seconds happen to pass. Newly-direct
+  scenarios (baseline ``route=fallback``, current ``route=direct``)
+  are gated on seconds like every other row from this run onward; the
+  next committed baseline then pins both the faster seconds and the
+  direct route.
 
 Usage::
 
@@ -99,6 +107,11 @@ def check(
                 "but is now recorded as infeasible"
             )
             continue
+        if old.get("route") == "direct" and new.get("route") == "fallback":
+            problems.append(
+                f"{scenario}: inline route regressed direct → fallback "
+                f"({new.get('fallback_reason') or 'no reason recorded'})"
+            )
         if _provenance(old) == _provenance(new):
             if old_seconds < min_seconds:
                 continue

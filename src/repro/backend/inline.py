@@ -22,11 +22,21 @@ Two evaluation strategies implement the last-but-one arrow:
   the physical operators where relational algebra cannot reach
   (repair-by-key, Proposition 4.2).
 
-Statements outside the Section 4 algebra fragment (SQL aggregation,
-condition subqueries, group-worlds-by over a subquery) fall back to the
-explicit engine on the decoded world-set, and assignments re-inline the
-result — so *any* scenario runs on this backend, with the fragment (the
-paper's core) staying polynomial in the representation.
+The compiled fragment covers the whole Figure 1 select surface — SQL
+aggregation (a world-grouped flat aggregation), ``[not] in`` /
+``[not] exists`` condition subqueries (decorrelated into semijoins and
+antijoins), comparisons against scalar aggregate subqueries, and
+``group worlds by ⟨subquery⟩`` (subquery-keyed world grouping) — so
+those statements never enumerate worlds either. Only the genuinely
+row-at-a-time residue falls back to the explicit engine on the decoded
+world-set (assignments re-inline the result): condition subqueries
+under ``or``, non-column ``in`` needles, non-aggregate scalar
+subqueries, correlated subqueries that are themselves complex, select
+columns outside the GROUP BY key, and DML whose conditions or set
+expressions contain subqueries. ``fallback_events`` records those
+statements (kind, reason, clause, source span), bounded to the most
+recent :data:`FALLBACK_EVENT_LIMIT` so a long-lived session's
+diagnostics cannot grow without bound.
 
 ``possible``/``certain`` closings are answered directly from the flat
 answer table (a projection, resp. a division by W); worlds are decoded
@@ -34,6 +44,9 @@ only when a caller explicitly asks for ``.world_set``.
 """
 
 from __future__ import annotations
+
+from collections import deque
+from typing import NamedTuple
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext
 from repro.backend.explicit import QueryResult
@@ -62,6 +75,24 @@ from repro.relational.columnar import as_tuple, resolve_kernel
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.worlds.worldset import WorldSet, fresh_name
+
+#: Most recent fallback events a session retains (diagnostics only —
+#: an unbounded list would grow forever in a long residue-heavy session).
+FALLBACK_EVENT_LIMIT = 64
+
+
+class FallbackEvent(NamedTuple):
+    """One fallback-route diagnostic.
+
+    ``event[0]``/``event[1]`` still read the historical (kind, reason)
+    positions, but this is a 4-tuple — code that unpacked the old pair
+    must index or use the field names.
+    """
+
+    kind: str
+    reason: str
+    clause: str | None = None
+    span: tuple[int, int] | None = None
 
 
 class InlineQueryResult(BaseQueryResult):
@@ -156,8 +187,12 @@ class InlineBackend(Backend):
         self.rewrite = rewrite
         #: Pinned kernel, or None to follow ``REPRO_KERNEL`` per statement.
         self.kernel = kernel
-        #: Fallback-route events of this session: (statement kind, reason).
-        self.fallback_events: list[tuple[str, str]] = []
+        #: Recent fallback-route events: (kind, reason, clause, span).
+        #: Bounded — a long session keeps only the newest
+        #: FALLBACK_EVENT_LIMIT diagnostics; ``close()`` clears them.
+        self.fallback_events: deque[FallbackEvent] = deque(
+            maxlen=FALLBACK_EVENT_LIMIT
+        )
         self._counter = 0
         self._decoded: WorldSet | None = None
 
@@ -283,7 +318,9 @@ class InlineBackend(Backend):
         try:
             compiled = self._compile(query, context)
         except FragmentError as reason:
-            self.fallback_events.append(("select", str(reason)))
+            self.fallback_events.append(
+                FallbackEvent("select", str(reason), reason.clause, reason.span)
+            )
             return self._fallback_select(query, context, name)
         state = self._evaluate(compiled, context)
         return InlineQueryResult(self.representation, state, result_name)
@@ -294,7 +331,9 @@ class InlineBackend(Backend):
         try:
             compiled = self._compile(query, context)
         except FragmentError as reason:
-            self.fallback_events.append(("assign", str(reason)))
+            self.fallback_events.append(
+                FallbackEvent("assign", str(reason), reason.clause, reason.span)
+            )
             engine = Engine(context.views, context.keys, context.max_worlds)
             world_set = self.to_world_set()
             with phase("execute"):
@@ -405,7 +444,9 @@ class InlineBackend(Backend):
 
     def run_delete(self, statement: ast.Delete, context: ExecutionContext) -> None:
         if ast.condition_subqueries(statement.where):
-            self.fallback_events.append(("delete", "condition subqueries"))
+            self.fallback_events.append(
+                FallbackEvent("delete", "condition subqueries", "where")
+            )
             self._reinline(
                 Engine(context.views, context.keys, context.max_worlds).run_delete(
                     statement, self.to_world_set()
@@ -423,12 +464,19 @@ class InlineBackend(Backend):
         self._replace_table(statement.relation, Relation(table.schema, kept))
 
     def run_update(self, statement: ast.Update, context: ExecutionContext) -> bool:
-        has_subqueries = bool(ast.condition_subqueries(statement.where)) or any(
+        in_where = bool(ast.condition_subqueries(statement.where))
+        in_set = any(
             ast.expression_subqueries(clause.expression)
             for clause in statement.settings
         )
-        if has_subqueries:
-            self.fallback_events.append(("update", "condition or expression subqueries"))
+        if in_where or in_set:
+            self.fallback_events.append(
+                FallbackEvent(
+                    "update",
+                    "condition or expression subqueries",
+                    "where" if in_where else "set",
+                )
+            )
             world_set, applied = Engine(
                 context.views, context.keys, context.max_worlds
             ).run_update(statement, self.to_world_set())

@@ -16,6 +16,21 @@ the world-aware operators:
 * ``D^arity`` (:class:`ActiveDomain`) — the domain relation used by
   Proposition 6.3 to inter-express poss and cert.
 
+Three further I-SQL-driven extensions let the compiler keep the whole
+Figure 1 surface inside the algebra (so the inline backend never
+enumerates worlds for them):
+
+* ``γ^{aggs}_U`` (:class:`Aggregate`) — per-world SQL grouping and
+  aggregation, the construct Section 4 explicitly leaves out of the
+  fragment; added as a first-class node with the engine's semantics;
+* ``q₁ ⋉_φ q₂`` / ``q₁ ▷_φ q₂`` (:class:`SemiJoin` / :class:`AntiJoin`)
+  — the decorrelated forms of ``[not] in`` / ``[not] exists`` condition
+  subqueries: per paired world, the left rows with (without) a
+  φ-partner in the right answer;
+* ``pγ^V_K`` / ``cγ^V_K`` (:class:`PossGroupKey` / :class:`CertGroupKey`)
+  — ``group worlds by ⟨subquery⟩``: worlds are grouped by the *key*
+  query's per-world answer instead of a projection of the child's.
+
 Queries are immutable and hashable so the optimizer can compare plans
 structurally. Derived operators (θ-join, natural join, division) carry
 :meth:`WSAQuery.desugar` definitions in terms of the base operators,
@@ -28,6 +43,7 @@ import itertools
 from typing import Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.aggregates import AggSpec
 from repro.relational.predicates import Predicate, conjunction, eq
 from repro.relational.schema import Schema
 
@@ -511,6 +527,225 @@ class CertGroup(_GroupWorldsBy):
     prefix = "c"
 
 
+class _GroupWorldsByKey(WSAQuery):
+    """Shared plumbing for pγ^V_K and cγ^V_K (subquery-keyed grouping).
+
+    Worlds are grouped by the per-world *answer of the key query* —
+    worlds whose key answers coincide as sets form one group — and the
+    answer is the union (pγ) / intersection (cγ) of π_V of the child's
+    answer within each group. This is exactly I-SQL's
+    ``group worlds by ⟨subquery⟩``; the attribute-list form of
+    :class:`PossGroup`/:class:`CertGroup` is the special case where the
+    key query is a projection of the child itself (evaluated without
+    re-splitting worlds, which is why it stays a separate node).
+    """
+
+    __slots__ = ("proj_attrs", "child", "key")
+    prefix = "?"
+
+    def __init__(
+        self,
+        proj_attrs: Sequence[str] | str,
+        child: WSAQuery,
+        key: WSAQuery,
+    ) -> None:
+        self.proj_attrs = _attr_tuple(proj_attrs)
+        self.child = child
+        self.key = key
+
+    def children(self) -> tuple[WSAQuery, ...]:
+        return (self.child, self.key)
+
+    def _with_children(self, children: tuple[WSAQuery, ...]) -> "_GroupWorldsByKey":
+        return type(self)(self.proj_attrs, children[0], children[1])
+
+    def attributes(self, env: SchemaEnv) -> tuple[str, ...]:
+        available = set(self.child.attributes(env))
+        for attr in self.proj_attrs:
+            if attr not in available:
+                raise SchemaError(
+                    f"group-worlds-by references unknown attribute {attr!r}"
+                )
+        self.key.attributes(env)  # validate the key query too
+        return self.proj_attrs
+
+    def to_text(self) -> str:
+        projs = ",".join(self.proj_attrs) if self.proj_attrs else "∅"
+        return (
+            f"{self.prefix}γ[{projs}; by ⟨{self.key.to_text()}⟩]"
+            f"({self.child.to_text()})"
+        )
+
+    def _key(self) -> tuple:
+        return (self.proj_attrs, self.child, self.key)
+
+
+class PossGroupKey(_GroupWorldsByKey):
+    """pγ^V_K(q): group worlds by K's answer, union π_V within groups."""
+
+    __slots__ = ()
+    prefix = "p"
+
+
+class CertGroupKey(_GroupWorldsByKey):
+    """cγ^V_K(q): group worlds by K's answer, intersect π_V within groups."""
+
+    __slots__ = ()
+    prefix = "c"
+
+
+class Aggregate(WSAQuery):
+    """γ^{specs}_U(q): per-world SQL grouping and aggregation.
+
+    Within every world, the answer relation is grouped by the attributes
+    U and each :class:`~repro.relational.aggregates.AggSpec` folds its
+    argument within the group, producing ⟨U-values, aggregates⟩ rows.
+    With U = ∅ this is a global aggregate: exactly one output row per
+    world, defaulting over the empty answer (count/sum 0, min/max
+    undefined) — SQL's single empty group, matching the I-SQL engine.
+
+    This is deliberately *outside* the Section 4 fragment ("the algebra
+    of the fragment of I-SQL without SQL grouping and aggregation");
+    carrying it as a first-class node is what lets the inline
+    representation evaluate aggregation flat, with the world-id
+    attributes simply joining the grouping key.
+    """
+
+    __slots__ = ("group_attrs", "specs", "child")
+
+    def __init__(
+        self,
+        group_attrs: Sequence[str] | str,
+        specs: Sequence[AggSpec],
+        child: WSAQuery,
+    ) -> None:
+        self.group_attrs = _attr_tuple(group_attrs)
+        self.specs = tuple(specs)
+        self.child = child
+
+    def children(self) -> tuple[WSAQuery, ...]:
+        return (self.child,)
+
+    def _with_children(self, children: tuple[WSAQuery, ...]) -> "Aggregate":
+        return Aggregate(self.group_attrs, self.specs, children[0])
+
+    def attributes(self, env: SchemaEnv) -> tuple[str, ...]:
+        available = set(self.child.attributes(env))
+        for attr in self.group_attrs:
+            if attr not in available:
+                raise SchemaError(f"aggregation groups unknown attribute {attr!r}")
+        for spec in self.specs:
+            if spec.argument is not None and spec.argument not in available:
+                raise SchemaError(
+                    f"aggregate argument {spec.argument!r} is unknown"
+                )
+        outputs = tuple(spec.output for spec in self.specs)
+        result = self.group_attrs + outputs
+        if len(set(result)) != len(result):
+            raise SchemaError(
+                f"duplicate output attributes in aggregation {result}"
+            )
+        return result
+
+    def to_text(self) -> str:
+        aggs = ",".join(spec.render() for spec in self.specs)
+        groups = ",".join(self.group_attrs) if self.group_attrs else "∅"
+        return f"γ[{aggs}; by {groups}]({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.group_attrs, self.specs, self.child)
+
+
+class _PredicateJoin(WSAQuery):
+    """Shared plumbing for the φ-semijoin and φ-antijoin."""
+
+    __slots__ = ("predicate", "left", "right")
+    symbol = "?"
+
+    def __init__(self, predicate: Predicate, left: WSAQuery, right: WSAQuery) -> None:
+        self.predicate = predicate
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[WSAQuery, ...]:
+        return (self.left, self.right)
+
+    def _with_children(self, children: tuple[WSAQuery, ...]) -> "_PredicateJoin":
+        return type(self)(self.predicate, children[0], children[1])
+
+    def attributes(self, env: SchemaEnv) -> tuple[str, ...]:
+        left = self.left.attributes(env)
+        right = self.right.attributes(env)
+        shared = set(left) & set(right)
+        if shared:
+            raise SchemaError(
+                f"semijoin operands share attributes {sorted(shared)}; "
+                "rename the right operand first"
+            )
+        available = set(left) | set(right)
+        for attr in self.predicate.attributes():
+            if attr not in available:
+                raise SchemaError(
+                    f"semijoin predicate references unknown attribute {attr!r}"
+                )
+        return left
+
+    def to_text(self) -> str:
+        return (
+            f"({self.left.to_text()} {self.symbol}[{self.predicate!r}] "
+            f"{self.right.to_text()})"
+        )
+
+    def _key(self) -> tuple:
+        return (self.predicate, self.left, self.right)
+
+
+class SemiJoin(_PredicateJoin):
+    """q₁ ⋉_φ q₂: left rows with a φ-partner in q₂, per paired world.
+
+    The decorrelated form of ``expr in ⟨subquery⟩`` / ``exists
+    ⟨subquery⟩``: equivalent to π_{Attrs(q₁)}(σ_φ(q₁ × q₂)) but
+    evaluated as one hash pass on the inlined representation — the
+    product is never materialized.
+    """
+
+    __slots__ = ()
+    symbol = "⋉"
+
+
+class AntiJoin(_PredicateJoin):
+    """q₁ ▷_φ q₂: left rows with *no* φ-partner in q₂, per paired world.
+
+    The decorrelated form of ``expr not in ⟨subquery⟩`` / ``not exists
+    ⟨subquery⟩``: equivalent to q₁ − π_{Attrs(q₁)}(σ_φ(q₁ × q₂)).
+    """
+
+    __slots__ = ()
+    symbol = "▷"
+
+
+class PadJoin(_BinaryQuery):
+    """q₁ =⊳⊲ q₂: the padded left outer join of Remark 5.5, per world.
+
+    Tuples join on the shared attribute names; left tuples without a
+    partner are kept, padded with the PAD constant on q₂'s non-shared
+    attributes. The decorrelated scalar-aggregate comparison uses this
+    to give outer rows without a correlation partner their SQL
+    empty-group default (via the ``PadDefault`` predicate term) —
+    crucially referencing the outer subquery *once*, so a
+    world-splitting outer plan is never evaluated twice against itself.
+    """
+
+    __slots__ = ()
+    symbol = "=⊳⊲"
+
+    def attributes(self, env: SchemaEnv) -> tuple[str, ...]:
+        left = self.left.attributes(env)
+        right = self.right.attributes(env)
+        shared = set(left) & set(right)
+        return left + tuple(a for a in right if a not in shared)
+
+
 class _Closing(WSAQuery):
     """Shared plumbing for poss and cert."""
 
@@ -699,6 +934,44 @@ def cert_group(
 ) -> CertGroup:
     """cγ^V_U(q) with U = group_attrs, V = proj_attrs."""
     return CertGroup(group_attrs, proj_attrs, child)
+
+
+def poss_group_key(
+    proj_attrs: Sequence[str] | str, child: WSAQuery, key: WSAQuery
+) -> PossGroupKey:
+    """pγ^V_K(q) grouping worlds by the key query's answer."""
+    return PossGroupKey(proj_attrs, child, key)
+
+
+def cert_group_key(
+    proj_attrs: Sequence[str] | str, child: WSAQuery, key: WSAQuery
+) -> CertGroupKey:
+    """cγ^V_K(q) grouping worlds by the key query's answer."""
+    return CertGroupKey(proj_attrs, child, key)
+
+
+def aggregate(
+    group_attrs: Sequence[str] | str,
+    specs: Sequence[AggSpec],
+    child: WSAQuery,
+) -> Aggregate:
+    """γ^{specs}_U(q): per-world SQL grouping/aggregation."""
+    return Aggregate(group_attrs, specs, child)
+
+
+def semijoin(predicate: Predicate, left: WSAQuery, right: WSAQuery) -> SemiJoin:
+    """q₁ ⋉_φ q₂."""
+    return SemiJoin(predicate, left, right)
+
+
+def pad_join(left: WSAQuery, right: WSAQuery) -> PadJoin:
+    """q₁ =⊳⊲ q₂ (padded left outer join on shared attributes)."""
+    return PadJoin(left, right)
+
+
+def antijoin(predicate: Predicate, left: WSAQuery, right: WSAQuery) -> AntiJoin:
+    """q₁ ▷_φ q₂."""
+    return AntiJoin(predicate, left, right)
 
 
 def poss(child: WSAQuery) -> Poss:

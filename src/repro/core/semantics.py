@@ -29,21 +29,27 @@ import itertools
 from repro.errors import EvaluationError
 from repro.core.ast import (
     ActiveDomain,
+    Aggregate,
+    AntiJoin,
     Cert,
     CertGroup,
+    CertGroupKey,
     ChoiceOf,
     Difference,
     Divide,
     Intersect,
     NaturalJoin,
+    PadJoin,
     Poss,
     PossGroup,
+    PossGroupKey,
     Product,
     Project,
     Rel,
     Rename,
     RepairByKey,
     Select,
+    SemiJoin,
     ThetaJoin,
     Union,
     WSAQuery,
@@ -124,6 +130,10 @@ class Evaluator:
             )
         if isinstance(query, (NaturalJoin, _NaturalJoinExpansion)):
             return self._eval_binary(query, lambda a, b: a.natural_join(b))
+        if isinstance(query, PadJoin):
+            return self._eval_binary(
+                query, lambda a, b: a.left_outer_join_padded(b)
+            )
         if isinstance(query, Divide):
             return self._eval_binary(query, lambda a, b: a.divide(b))
         if isinstance(query, ChoiceOf):
@@ -136,6 +146,16 @@ class Evaluator:
             return self._eval_group(query, certain=False)
         if isinstance(query, CertGroup):
             return self._eval_group(query, certain=True)
+        if isinstance(query, Aggregate):
+            return self._eval_unary(
+                query, lambda r: r.aggregate_by(query.group_attrs, query.specs)
+            )
+        if isinstance(query, (SemiJoin, AntiJoin)):
+            return self._eval_semijoin(query)
+        if isinstance(query, (PossGroupKey, CertGroupKey)):
+            return self._eval_group_keyed(
+                query, certain=isinstance(query, CertGroupKey)
+            )
         if isinstance(query, RepairByKey):
             return self._eval_repair(query)
         raise EvaluationError(f"no semantics for query node {type(query).__name__}")
@@ -184,6 +204,69 @@ class Evaluator:
                     )
 
         return self._result(query, generate())
+
+    def _eval_semijoin(self, query: SemiJoin | AntiJoin) -> WorldSet:
+        """⋉_φ / ▷_φ per world pair: membership/existence decorrelated.
+
+        The reference implementation is the literal definition — the
+        left rows with(out) a φ-partner: π_L(σ_φ(q₁ × q₂)), resp. the
+        left answer minus it — evaluated per pair of worlds agreeing on
+        the base relations, like every binary operator of Figure 3.
+        """
+        anti = isinstance(query, AntiJoin)
+
+        def operation(left: Relation, right: Relation) -> Relation:
+            matched = (
+                left.theta_join(right, query.predicate)
+                .project(left.schema.attributes)
+            )
+            return left.difference(matched) if anti else matched
+
+        return self._eval_binary(query, operation)
+
+    def _eval_group_keyed(
+        self, query: PossGroupKey | CertGroupKey, certain: bool
+    ) -> WorldSet:
+        """pγ^V_K / cγ^V_K: worlds grouped by the key query's answer.
+
+        Child and key are evaluated like binary operands (worlds paired
+        on the base relations); each paired world's group fingerprint is
+        the key answer's row set, and π_V of the child answer is
+        unioned/intersected within groups — including worlds whose child
+        answer is empty, which an attribute-keyed grouping could never
+        put in a non-empty group.
+        """
+        child_ws = self._eval(query.child)
+        key_ws = self._eval(query.key)
+        key_by_base: dict[World, list[Relation]] = {}
+        for world in key_ws.worlds:
+            key_by_base.setdefault(world.base(), []).append(world.answer())
+
+        schema = Schema(query.proj_attrs)
+        pairs: list[tuple[World, frozenset]] = []
+        folded: dict[frozenset, set[tuple]] = {}
+        for world in child_ws.worlds:
+            base = world.base()
+            projected = frozenset(
+                world.answer().project(query.proj_attrs)._reordered(
+                    schema.attributes
+                ).rows
+            )
+            for key_answer in key_by_base.get(base, ()):  # pragma: no branch
+                fingerprint = frozenset(key_answer.rows)
+                pairs.append((base, fingerprint))
+                if fingerprint not in folded:
+                    folded[fingerprint] = set(projected)
+                elif certain:
+                    folded[fingerprint] &= projected
+                else:
+                    folded[fingerprint] |= projected
+
+        worlds = (
+            base.extend(self.answer_name, Relation(schema, folded[fingerprint]))
+            for base, fingerprint in pairs
+        )
+        return self._result(query, worlds)
 
     def _eval_choice(self, query: ChoiceOf) -> WorldSet:
         inner = self._eval(query.child)

@@ -5,6 +5,11 @@ world-sets, with kinds ``1`` (singleton) and ``m`` (many), and type
 overloading:
 
 * relational algebra operators and group-worlds-by: 1↦1 and m↦m;
+* SQL aggregation (the I-SQL extension node) is applied per world, so
+  it types like the relational operators: 1↦1 and m↦m;
+* the φ-semijoin/antijoin (decorrelated condition subqueries) and the
+  subquery-keyed group-worlds-by combine two operand world-sets like
+  the binary operators: the output kind is MANY iff either operand's is;
 * choice-of and repair-by-key: 1↦m and m↦m;
 * poss and cert: m↦1 (overloaded 1↦1).
 
@@ -21,6 +26,7 @@ from __future__ import annotations
 from repro.errors import TypingError
 from repro.core.ast import (
     ActiveDomain,
+    Aggregate,
     Cert,
     CertGroup,
     ChoiceOf,
@@ -51,6 +57,9 @@ def kind_after(query: WSAQuery, input_kind: str) -> str:
         # The splitting operators: 1↦m and m↦m.
         kind_after(query.children()[0], input_kind)
         return MANY
+    if isinstance(query, Aggregate):
+        # SQL aggregation is applied per world: 1↦1 and m↦m.
+        return kind_after(query.child, input_kind)
     children = query.children()
     if not children:
         raise TypingError(f"cannot type leaf {type(query).__name__}")

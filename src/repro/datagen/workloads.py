@@ -203,8 +203,11 @@ class Scenario:
     keys: tuple[tuple[str, tuple[str, ...]], ...] = ()
     #: Rough number of worlds the script builds up (documentation aid).
     approx_worlds: int = 1
-    #: True when some statement leaves the Section 4 algebra fragment,
-    #: i.e. the inline backend exercises its explicit fallback.
+    #: True when some statement uses residue constructs outside the
+    #: evaluatable fragment, i.e. the inline backend exercises its
+    #: explicit fallback. Since the fragment widened to aggregation,
+    #: condition subqueries and subquery-keyed world grouping, no
+    #: benchmark scenario sets this — tests assert that stays true.
     uses_fallback: bool = False
     #: True when the world count puts the scenario beyond the explicit
     #: backend's reach: benchmarks run it inline-only and record the
@@ -258,11 +261,15 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
     trip_flights = flights(n_flights, 64 if large else 8, 3, seed=1)
     company_emp, emp_skills = company(n_companies, 4, 5, 2, seed=2)
     dirty = census(n_census, duplicate_rate=0.8, seed=4)
+    # "large" scales the what-if world space to 2⁷ (16 years × 8
+    # quantities) so the asymptotic gap shows: the explicit engine pays
+    # one aggregation pass per world while the inline backend aggregates
+    # all worlds in one flat pass.
     items = lineitem(
-        years=(2002, 2003, 2004),
+        years=tuple(range(2002, 2018)) if large else (2002, 2003, 2004),
         n_products=8,
-        n_quantities=3,
-        rows_per_year=30 if large else 10,
+        n_quantities=8 if large else 3,
+        rows_per_year=24 if large else 10,
         seed=2,
     )
     return (
@@ -291,7 +298,6 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
             script=ACQUISITION_SCRIPT_SUBQUERY_GROUPING,
             query="select possible CID from W where Skill = 'S0';",
             approx_worlds=n_companies * 4,
-            uses_fallback=True,
         ),
         Scenario(
             name="census_repair",
@@ -309,8 +315,7 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
                 "where (select sum(Price) from Lineitem "
                 "       where Lineitem.Year = Y.Year) - Y.Revenue > 1000;"
             ),
-            approx_worlds=4,
-            uses_fallback=True,
+            approx_worlds=2**7 if large else 9,
         ),
         Scenario(
             name="dml_key_discard",
@@ -349,6 +354,18 @@ def xl_scenarios() -> tuple[Scenario, ...]:
     # 2¹¹ companies × 8 employees: choice of CID × choice of EID builds
     # 2¹⁴ worlds, and the correlated self-join V holds ≈114k rows.
     company_emp, emp_skills = company(2048, 8, 12, 2, seed=2)
+    # 2⁹ years × 2⁴ quantities: the Q17-like what-if view splits 2¹³
+    # worlds; the aggregation-heavy statement set (choice-of inside a
+    # from-subquery, NOT IN over a world-splitting subquery, GROUP BY
+    # with sum, a correlated scalar aggregate subquery) runs entirely on
+    # the inlined representation — one world per pass is out of reach.
+    items_xl = lineitem(
+        years=tuple(range(1500, 1500 + 2**9)),
+        n_products=32,
+        n_quantities=2**4,
+        rows_per_year=8,
+        seed=2,
+    )
     return (
         Scenario(
             name="trip_certain_2p16",
@@ -371,6 +388,18 @@ def xl_scenarios() -> tuple[Scenario, ...]:
             script=ACQUISITION_SCRIPT,
             query="select possible CID from W where Skill = 'S0';",
             approx_worlds=2048 * 8,
+            explicit_infeasible=True,
+        ),
+        Scenario(
+            name="tpch_what_if_xl",
+            relations=(("Lineitem", items_xl),),
+            script=TPCH_SCRIPT,
+            query=(
+                "select possible Year from YearQuantity as Y "
+                "where (select sum(Price) from Lineitem "
+                "       where Lineitem.Year = Y.Year) - Y.Revenue > 1000;"
+            ),
+            approx_worlds=2**13,
             explicit_infeasible=True,
         ),
     )

@@ -45,23 +45,30 @@ from typing import Sequence
 from repro.errors import TranslationError, WorldLimitError
 from repro.core.ast import (
     ActiveDomain,
+    Aggregate,
+    AntiJoin,
     Cert,
     CertGroup,
+    CertGroupKey,
     ChoiceOf,
     Difference,
     Intersect,
+    PadJoin,
     Poss,
     PossGroup,
+    PossGroupKey,
     Product,
     Project,
     Rel,
     Rename,
     RepairByKey,
     Select,
+    SemiJoin,
     Union,
     WSAQuery,
     repairs_of_rows,
 )
+from repro.relational.aggregates import missing_group_rows
 from repro.inline.translate import SchemaLike, _schema_env, lower_query
 from repro.relational.columnar import (
     ColumnarRelation,
@@ -290,6 +297,14 @@ class PhysicalEvaluator:
             return self._eval_cert(query)
         if isinstance(query, (PossGroup, CertGroup)):
             return self._eval_group(query)
+        if isinstance(query, (PossGroupKey, CertGroupKey)):
+            return self._eval_group_keyed(query)
+        if isinstance(query, Aggregate):
+            return self._eval_aggregate(query)
+        if isinstance(query, (SemiJoin, AntiJoin)):
+            return self._eval_semijoin(query)
+        if isinstance(query, PadJoin):
+            return self._eval_pad_join(query)
         if isinstance(query, (Product, Union, Intersect, Difference)):
             return self._eval_binary(query)
         if isinstance(query, RepairByKey):
@@ -384,6 +399,145 @@ class PhysicalEvaluator:
         answer = self._relation(query.proj_attrs + state.ids, out_rows)
         return PhysicalState(answer, state.ids, state._world)
 
+    def _eval_aggregate(self, query: Aggregate) -> PhysicalState:
+        """Per-world SQL aggregation, flat: group on world ids + U.
+
+        The world-id attributes simply join the user's grouping key, so
+        all worlds aggregate in one vectorized kernel pass over the flat
+        answer table — never one pass per world. A *global* aggregate
+        (U = ∅) must produce one row in every world, including worlds
+        whose answer is empty: those are padded with the empty-group
+        defaults from the world table.
+        """
+        state = self._eval(query.child)
+        keys = query.group_attrs + state.ids
+        answer = state._answer.aggregate_by(keys, query.specs)
+        if not query.group_attrs and state.ids:
+            missing = missing_group_rows(
+                answer, state.ids, query.specs, state._world_or_unit_any()
+            )
+            if missing:
+                answer = answer.union(
+                    self._relation(answer.schema.attributes, missing)
+                )
+        return PhysicalState(answer, state.ids, state._world)
+
+    def _eval_semijoin(self, query: SemiJoin | AntiJoin) -> PhysicalState:
+        """⋉_φ / ▷_φ as hash passes — decorrelated condition subqueries.
+
+        The equality conjuncts of φ become hash-join keys next to the
+        shared world-id attributes; the matched pairs project back onto
+        the left schema (plus the right operand's extra world ids, on
+        which the verdict depends). The antijoin complements against
+        the left answer replicated over the right-only world ids — the
+        honest output size of ``not in`` over a world-splitting
+        subquery, still polynomial in the representation.
+        """
+        left = self._eval(query.left)
+        right = self._eval(query.right)
+        ids, world = self._combine(left, right)
+        joined = self._fused_hash_join(query.predicate, left._answer, right._answer)
+        right_extra = tuple(v for v in right.ids if v not in set(left.ids))
+        keep = left._answer.schema.attributes + right_extra
+        matched = joined.project(keep)
+        if isinstance(query, SemiJoin):
+            return PhysicalState(matched, ids, world)
+        if right_extra:
+            assert world is not None
+            base = left._answer.natural_join(world.project(left.ids + right_extra))
+        else:
+            base = left._answer
+        return PhysicalState(base.difference(matched), ids, world)
+
+    def _eval_pad_join(self, query: PadJoin) -> PhysicalState:
+        """=⊳⊲ on the flat tables: one outer-join pass, worlds included.
+
+        The shared world-id attributes join next to the shared value
+        attributes, so left rows pad per world exactly when that world's
+        right answer misses them. Right-only world ids (a splitting
+        right operand) replicate the left answer over the combined world
+        table first, keeping the padding per combined world.
+        """
+        left = self._eval(query.left)
+        right = self._eval(query.right)
+        ids, world = self._combine(left, right)
+        left_answer = left._answer
+        right_extra = tuple(v for v in right.ids if v not in set(left.ids))
+        if right_extra:
+            assert world is not None
+            left_answer = left_answer.natural_join(world)
+        answer = left_answer.left_outer_join_padded(right._answer)
+        return PhysicalState(answer, ids, world)
+
+    def _eval_group_keyed(self, query: PossGroupKey | CertGroupKey) -> PhysicalState:
+        """pγ^V_K / cγ^V_K: fingerprints come from the key query's answer.
+
+        One pass over each flat answer builds per-world row sets; the
+        combined world table then pairs every child world with its key
+        answer, so worlds whose child answer is empty still join the
+        group their key rows name (an attribute-keyed grouping never
+        needs this — its empty worlds fingerprint to ∅ on their own).
+        """
+        child = self._eval(query.child)
+        key = self._eval(query.key)
+        ids, world = self._combine(child, key)
+        if not ids:
+            return PhysicalState(
+                child._answer.project(query.proj_attrs), (), None
+            )
+
+        child_rows: dict[tuple, set[tuple]] = {}
+        for world_id, row in zip(
+            tuples_of(child._answer, child.ids),
+            tuples_of(child._answer, query.proj_attrs),
+        ):
+            bucket = child_rows.get(world_id)
+            if bucket is None:
+                child_rows[world_id] = {row}
+            else:
+                bucket.add(row)
+        key_value_attrs = tuple(
+            a for a in key._answer.schema if a not in set(key.ids)
+        )
+        key_rows: dict[tuple, set[tuple]] = {}
+        for world_id, row in zip(
+            tuples_of(key._answer, key.ids),
+            tuples_of(key._answer, key_value_attrs),
+        ):
+            bucket = key_rows.get(world_id)
+            if bucket is None:
+                key_rows[world_id] = {row}
+            else:
+                bucket.add(row)
+
+        world_table = world if world is not None else self._unit()
+        child_positions = tuple(ids.index(a) for a in child.ids)
+        key_positions = tuple(ids.index(a) for a in key.ids)
+        certain = isinstance(query, CertGroupKey)
+        empty: frozenset = frozenset()
+        members: list[tuple[tuple, frozenset]] = []
+        folded: dict[frozenset, set[tuple]] = {}
+        for combined_id in tuples_of(world_table, ids):
+            child_id = tuple(combined_id[p] for p in child_positions)
+            key_id = tuple(combined_id[p] for p in key_positions)
+            fingerprint = frozenset(key_rows.get(key_id, empty))
+            rows = child_rows.get(child_id, empty)
+            members.append((combined_id, fingerprint))
+            if fingerprint not in folded:
+                folded[fingerprint] = set(rows)
+            elif certain:
+                folded[fingerprint] &= rows
+            else:
+                folded[fingerprint] |= rows
+
+        out_rows = [
+            value + combined_id
+            for combined_id, fingerprint in members
+            for value in folded[fingerprint]
+        ]
+        answer = self._relation(query.proj_attrs + ids, out_rows)
+        return PhysicalState(answer, ids, world)
+
     def _combine(
         self, left: PhysicalState, right: PhysicalState
     ) -> tuple[tuple[str, ...], "Relation | ColumnarRelation | None"]:
@@ -398,27 +552,26 @@ class PhysicalEvaluator:
         self._guard(world)
         return ids, world
 
-    def _eval_filtered_product(self, query: Select) -> PhysicalState:
-        """σ_φ(R × S) fused into one hash join (never the product).
+    @staticmethod
+    def _fused_hash_join(
+        predicate: Predicate,
+        left_answer: "Relation | ColumnarRelation",
+        right_answer: "Relation | ColumnarRelation",
+    ) -> "Relation | ColumnarRelation":
+        """σ_φ over a world-paired operand pair as one hash join.
 
         The cross-schema equality conjuncts of φ become hash-join keys
-        next to the shared world-id attributes; the remaining conjuncts
-        filter the (much smaller) join output. This is what keeps
-        self-join-with-correlation scripts (the paper's business
-        acquisition scenario) polynomial in practice — the product of
-        two world-id-heavy tables is quadratic in the representation.
+        next to the shared attributes (the world ids); the remaining
+        conjuncts filter the (much smaller) join output. Shared by the
+        σ_{eq}(R × S) fusion and the semijoin/antijoin operators.
         """
-        product = query.child
-        left = self._eval(product.children()[0])
-        right = self._eval(product.children()[1])
-        ids, world = self._combine(left, right)
-        left_schema = left._answer.schema
-        right_schema = right._answer.schema
+        left_schema = left_answer.schema
+        right_schema = right_answer.schema
         left_only = left_schema.as_set() - right_schema.as_set()
         right_only = right_schema.as_set() - left_schema.as_set()
         pairs: list[tuple[str, str]] = []
         residual: list[Predicate] = []
-        for conjunct in _split_conjuncts(query.predicate):
+        for conjunct in _split_conjuncts(predicate):
             equalities = conjunct.equality_pairs()
             if equalities is not None and len(equalities) == 1:
                 a, b = equalities[0]
@@ -430,10 +583,24 @@ class PhysicalEvaluator:
                     continue
             residual.append(conjunct)
         shared = left_schema.common(right_schema)
-        join_pairs = [(a, a) for a in shared] + pairs
-        answer = left._answer.join_on(right._answer, join_pairs)
+        joined = left_answer.join_on(right_answer, [(a, a) for a in shared] + pairs)
         if residual:
-            answer = answer.select(conjunction(residual))
+            joined = joined.select(conjunction(residual))
+        return joined
+
+    def _eval_filtered_product(self, query: Select) -> PhysicalState:
+        """σ_φ(R × S) fused into one hash join (never the product).
+
+        This is what keeps self-join-with-correlation scripts (the
+        paper's business acquisition scenario) polynomial in practice —
+        the product of two world-id-heavy tables is quadratic in the
+        representation.
+        """
+        product = query.child
+        left = self._eval(product.children()[0])
+        right = self._eval(product.children()[1])
+        ids, world = self._combine(left, right)
+        answer = self._fused_hash_join(query.predicate, left._answer, right._answer)
         return PhysicalState(answer, ids, world)
 
     def _eval_binary(self, query: WSAQuery) -> PhysicalState:

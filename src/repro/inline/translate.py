@@ -28,21 +28,27 @@ from typing import Mapping, Sequence
 from repro.errors import TranslationError, TypingError, WorldLimitError
 from repro.core.ast import (
     ActiveDomain,
+    Aggregate,
+    AntiJoin,
     Cert,
     CertGroup,
+    CertGroupKey,
     ChoiceOf,
     Difference,
     Divide,
     Intersect,
     NaturalJoin,
+    PadJoin,
     Poss,
     PossGroup,
+    PossGroupKey,
     Product,
     Project,
     Rel,
     Rename,
     RepairByKey,
     Select,
+    SemiJoin,
     ThetaJoin,
     Union,
     WSAQuery,
@@ -242,6 +248,14 @@ class GeneralTranslator:
             return state, ra.Product(ra.Divide(answer, state.world), state.world)
         if isinstance(query, (PossGroup, CertGroup)):
             return self._translate_group(query, state)
+        if isinstance(query, (PossGroupKey, CertGroupKey)):
+            return self._translate_group_keyed(query, state)
+        if isinstance(query, Aggregate):
+            return self._translate_aggregate(query, state)
+        if isinstance(query, (SemiJoin, AntiJoin)):
+            return self._translate_semijoin(query, state)
+        if isinstance(query, PadJoin):
+            return self._translate_pad_join(query, state)
         if isinstance(query, (Product, Union, Intersect, Difference)):
             return self._translate_binary(query, state)
         if isinstance(query, RepairByKey):
@@ -349,20 +363,159 @@ class GeneralTranslator:
         not_certain = ra.Rename(inverse, ra.Project(projection + group_ids, missing))
         return state, ra.Difference(candidates, not_certain)
 
-    def _translate_binary(
-        self, query: WSAQuery, state: TranslationState
-    ) -> tuple[TranslationState, ra.RAExpr]:
-        left_state, left = self._translate(query.children()[0], state)
-        right_state, right = self._translate(query.children()[1], state)
-        world = ra.NaturalJoin(left_state.world, right_state.world)
-        new_left = tuple(v for v in left_state.ids if v not in set(state.ids))
-        new_right = tuple(v for v in right_state.ids if v not in set(state.ids))
+    def _combined_state(
+        self, state: TranslationState, left: TranslationState, right: TranslationState
+    ) -> TranslationState:
+        """The state after a binary node: joined worlds, unioned ids.
+
+        Shared by every binary translation (products, set operators,
+        semijoins, the pad join, keyed grouping): the world tables join,
+        the fresh ids of both operands follow the inherited ones, and
+        every base table rejoins the new world table.
+        """
+        world = ra.NaturalJoin(left.world, right.world)
+        new_left = tuple(v for v in left.ids if v not in set(state.ids))
+        new_right = tuple(v for v in right.ids if v not in set(state.ids))
         ids = state.ids + new_left + new_right
         tables = {
             name: ra.NaturalJoin(expression, world)
             for name, expression in state.tables.items()
         }
-        new_state = TranslationState(tables, world, ids)
+        return TranslationState(tables, world, ids)
+
+    def _translate_aggregate(
+        self, query: Aggregate, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        """SQL aggregation on the inlined tables: ids join the group key.
+
+        ``R' = γ_{U ∪ V; specs}(R)`` — grouping on the user attributes
+        plus the world ids aggregates every world in one pass. A global
+        aggregate (U = ∅) pads worlds without answer rows from W, so
+        each world still answers with the empty-group defaults.
+        """
+        state, answer = self._translate(query.child, state)
+        keys = query.group_attrs + state.ids
+        pad = state.world if (not query.group_attrs and state.ids) else None
+        return state, ra.GroupAggregate(keys, query.specs, answer, pad)
+
+    def _translate_semijoin(
+        self, query: SemiJoin | AntiJoin, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        """⋉_φ / ▷_φ: σ_φ over the id-joined operands, projected back.
+
+        The natural join pairs tuples of compatible worlds (the shared
+        id attributes); φ keeps the partnered pairs and the projection
+        drops the right operand's value attributes, keeping its extra
+        world ids — the antijoin complements against the left answer
+        replicated over those ids (R ⋈ W').
+        """
+        left_state, left = self._translate(query.left, state)
+        right_state, right = self._translate(query.right, state)
+        new_state = self._combined_state(state, left_state, right_state)
+        ids = new_state.ids
+        env = self._ra_env(new_state)
+        left_attrs = left.schema(env).attributes
+        keep = left_attrs + tuple(a for a in ids if a not in set(left_attrs))
+        matched = ra.Project(keep, ra.Select(query.predicate, ra.NaturalJoin(left, right)))
+        if isinstance(query, SemiJoin):
+            return new_state, matched
+        base = ra.Project(keep, ra.NaturalJoin(left, new_state.world))
+        return new_state, ra.Difference(base, matched)
+
+    def _translate_pad_join(
+        self, query: PadJoin, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        """=⊳⊲ through the RA extension operator of Remark 5.5.
+
+        The left answer joins the combined world table first (so a
+        splitting right operand pads per combined world), then the
+        ``OuterJoinPad`` node does the padded join — shared world ids
+        are join attributes like the shared value attributes.
+        """
+        left_state, left = self._translate(query.left, state)
+        right_state, right = self._translate(query.right, state)
+        new_state = self._combined_state(state, left_state, right_state)
+        extended = ra.NaturalJoin(left, new_state.world) if new_state.ids else left
+        return new_state, ra.OuterJoinPad(extended, right)
+
+    def _translate_group_keyed(
+        self, query: PossGroupKey | CertGroupKey, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        """The Figure 6 grouping construction keyed by a companion query.
+
+        Identical to :meth:`_translate_group` except that (a) the
+        equivalence relation S' compares the *key* query's answer rows
+        (extended to the combined ids via K ⋈ W) instead of a projection
+        of the child's, and (b) world ids range over π_V(W) rather than
+        π_V(R) — a world with an empty child answer still belongs to the
+        group its key rows name, and within cγ it correctly empties it.
+        """
+        child_state, answer = self._translate(query.child, state)
+        key_state, key_answer = self._translate(query.key, state)
+        new_state = self._combined_state(state, child_state, key_state)
+        world, ids = new_state.world, new_state.ids
+        if not ids:
+            return new_state, ra.Project(query.proj_attrs, answer)
+        env = self._ra_env(new_state)
+        key_attrs = tuple(
+            a for a in key_answer.schema(env) if a not in set(ids)
+        )
+        projection = query.proj_attrs
+        group_map = self._group_ids(ids)
+        group_ids = tuple(group_map[v] for v in ids)
+
+        # Extend both answers to the combined ids.
+        extended = ra.NaturalJoin(answer, world)
+        keyed = ra.NaturalJoin(key_answer, world)
+
+        by_group = ra.Project(key_attrs + ids, keyed)
+        ids_only = ra.Project(ids, world)  # every world, even empty-answer ones
+        partners = ra.Rename(group_map, ids_only)
+        all_pairs = ra.Product(ids_only, partners)
+        primed = self._primed(key_attrs)
+        partner_values = ra.Rename(
+            {**primed, **group_map}, ra.Project(key_attrs + ids, keyed)
+        )
+        agree_condition = conjunction([eq(a, primed[a]) for a in key_attrs])
+        agree = ra.Project(
+            key_attrs + ids + group_ids,
+            ra.ThetaJoin(agree_condition, by_group, partner_values)
+            if key_attrs
+            else ra.Product(by_group, partner_values),
+        )
+        missing_left = ra.Project(
+            ids + group_ids, ra.Difference(ra.Product(by_group, partners), agree)
+        )
+        swap = {**group_map, **{g: v for v, g in group_map.items()}}
+        missing_right = ra.Rename(swap, missing_left)
+        equivalence = ra.Difference(
+            ra.Difference(all_pairs, missing_left), missing_right
+        )
+        grouped = ra.Project(
+            projection + ids + group_ids, ra.NaturalJoin(extended, equivalence)
+        )
+
+        inverse = {g: v for v, g in group_map.items()}
+        candidates = ra.Rename(inverse, ra.Project(projection + group_ids, grouped))
+        if isinstance(query, PossGroupKey):
+            return new_state, candidates
+        candidate_pairs = ra.NaturalJoin(
+            ra.Project(projection + group_ids, grouped), equivalence
+        )
+        missing = ra.Difference(
+            ra.Project(projection + ids + group_ids, candidate_pairs),
+            ra.Project(projection + ids + group_ids, grouped),
+        )
+        not_certain = ra.Rename(inverse, ra.Project(projection + group_ids, missing))
+        return new_state, ra.Difference(candidates, not_certain)
+
+    def _translate_binary(
+        self, query: WSAQuery, state: TranslationState
+    ) -> tuple[TranslationState, ra.RAExpr]:
+        left_state, left = self._translate(query.children()[0], state)
+        right_state, right = self._translate(query.children()[1], state)
+        new_state = self._combined_state(state, left_state, right_state)
+        world = new_state.world
         if isinstance(query, Product):
             # R' ⋈_{V=V} R'': tuples of the same original world combine;
             # the join also pairs the worlds created by the two operands.

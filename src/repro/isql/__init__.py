@@ -5,6 +5,7 @@ from repro.isql.compile import FragmentError, compile_query
 from repro.isql.engine import Engine
 from repro.isql.explain import (
     Explanation,
+    RouteReport,
     explain,
     inline_route,
     inline_route_report,
@@ -21,6 +22,7 @@ __all__ = [
     "FragmentError",
     "ISQLSession",
     "QueryResult",
+    "RouteReport",
     "Token",
     "ast",
     "compile_query",

@@ -73,6 +73,8 @@ class ScalarSubquery:
     """A parenthesized subquery used as a value (must yield one value)."""
 
     query: "SelectQuery"
+    #: Source span of the parenthesized subquery (parser-set).
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 ValueExpr = Union[Column, Literal, Arithmetic, Aggregate, ScalarSubquery]
@@ -97,6 +99,8 @@ class InSubquery:
     needle: ValueExpr
     query: "SelectQuery"
     negated: bool
+    #: Source span of the whole membership condition (parser-set).
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -105,6 +109,8 @@ class ExistsSubquery:
 
     query: "SelectQuery"
     negated: bool
+    #: Source span of the whole existence condition (parser-set).
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -131,10 +137,16 @@ Condition = Union[Comparison, InSubquery, ExistsSubquery, BoolOp, NotOp]
 
 @dataclass(frozen=True)
 class SelectItem:
-    """One select-list entry: an expression plus an optional alias."""
+    """One select-list entry: an expression plus an optional alias.
+
+    *span* is the item's source character range ``(start, end)`` when
+    the item came from the parser (None for programmatic ASTs); it is
+    excluded from equality/hashing so spans never affect semantics.
+    """
 
     expression: ValueExpr
     alias: str | None = None
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -167,6 +179,8 @@ class GroupWorldsBy:
 
     attributes: tuple[str, ...] | None = None
     query: "SelectQuery | None" = None
+    #: Source span of the whole ``group worlds by …`` clause (parser-set).
+    span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -181,6 +195,9 @@ class SelectQuery:
     repair_by_key: tuple[str, ...] = ()
     group_worlds_by: GroupWorldsBy | None = None
     closing: str | None = None  # "possible" | "certain" | None
+    #: Source span of the ``group by`` clause, when parsed (parser-set;
+    #: excluded from equality so spans never affect semantics).
+    group_by_span: tuple[int, int] | None = field(default=None, compare=False)
 
 
 # -- statements ------------------------------------------------------------------------
@@ -242,6 +259,24 @@ class Update:
 
 
 Statement = Union[SelectQuery, CreateView, Assignment, Insert, Delete, Update]
+
+
+def select_item_output_name(item: SelectItem, index: int) -> str:
+    """The output attribute name of one select item.
+
+    The single definition shared by the engine's projection and the
+    compiler's aggregation tail — their answer schemas must match bit
+    for bit for the backend differential to hold.
+    """
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, Column):
+        return item.expression.name
+    if isinstance(item.expression, Aggregate):
+        argument = item.expression.argument
+        inner = argument.name if argument else "*"
+        return f"{item.expression.function}({inner})"
+    return f"expr{index}"
 
 
 def expression_subqueries(expression: ValueExpr) -> list[SelectQuery]:

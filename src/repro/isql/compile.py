@@ -1,12 +1,40 @@
-"""Compilation of the I-SQL algebra fragment to world-set algebra.
+"""Compilation of I-SQL to world-set algebra.
 
 Section 4 defines world-set algebra as the algebra of the I-SQL
 fragment without SQL grouping and aggregation. This module implements
-that correspondence: :func:`compile_query` maps a parsed
-:class:`~repro.isql.ast.SelectQuery` of the fragment to a
+that correspondence — :func:`compile_query` maps a parsed
+:class:`~repro.isql.ast.SelectQuery` to a
 :class:`~repro.core.ast.WSAQuery` following the paper's order of
-evaluation — from-product, where, choice-of, repair-by-key,
-group-worlds-by, projection, possible/certain.
+evaluation (from-product, where, choice-of, repair-by-key,
+group-worlds-by, projection, possible/certain) — and then *widens* the
+compiled surface with the paper's own extension operators so the whole
+Figure 1 statement form stays on the algebra:
+
+* SQL ``GROUP BY``/aggregation compiles to the per-world
+  :class:`~repro.core.ast.Aggregate` node (the flat evaluation groups
+  on world ids plus the user's columns — no world enumeration);
+* ``[not] in`` / ``[not] exists`` condition subqueries decorrelate into
+  :class:`~repro.core.ast.SemiJoin` / :class:`~repro.core.ast.AntiJoin`
+  — world-splitting subqueries (``… choice of Q``) are compiled as
+  independent operands whose fresh world ids the join carries, exactly
+  the engine's hoisting;
+* a comparison against a correlated scalar *aggregate* subquery becomes
+  an aggregation grouped on the correlation key, joined back to the
+  outer rows (with the SQL empty-group default applied to outer rows
+  without a partner);
+* ``group worlds by ⟨subquery⟩`` compiles to the subquery-keyed
+  grouping nodes :class:`~repro.core.ast.PossGroupKey` /
+  :class:`~repro.core.ast.CertGroupKey`.
+
+What still raises :class:`FragmentError` — and therefore routes the
+inline backend through the explicit engine — is the genuinely
+row-at-a-time residue: condition subqueries under ``or``, non-column
+``in`` needles, non-aggregate scalar subqueries, correlated subqueries
+that are themselves complex (aggregation/grouping/nesting inside), and
+``select`` columns that are not functionally grouped (the engine's
+representative-row semantics). :class:`FragmentError` carries the
+offending *clause* and its *source span* so diagnostics can point at
+the construct.
 
 The compiled query is used two ways: the test suite cross-validates the
 I-SQL engine against the Figure 3 semantics on paper scenarios, and a
@@ -19,19 +47,48 @@ from __future__ import annotations
 from repro.errors import EvaluationError
 from repro.core import ast as wsa
 from repro.isql import ast
-from repro.relational.predicates import Comparison as RAComparison
-from repro.relational.predicates import Const, Predicate, conjunction
+from repro.relational.aggregates import AggSpec, default_value
+from repro.relational.predicates import (
+    TRUE,
+    Arith,
+    Comparison as RAComparison,
+    Const,
+    PadDefault,
+    Predicate,
+    conjunction,
+    eq,
+)
 from repro.relational.schema import Schema
 
 SchemaLike = dict[str, tuple[str, ...]]
 
 
 class FragmentError(EvaluationError):
-    """The query uses constructs outside the world-set algebra fragment."""
+    """The query uses constructs outside the evaluatable fragment.
+
+    *clause* names the offending construct (e.g. ``"where"``,
+    ``"select list"``) and *span* is its source character range when the
+    statement came from the parser — ``isql.explain.inline_route_report``
+    surfaces both.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        clause: str | None = None,
+        span: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.clause = clause
+        self.span = span
 
 
 def _qualified(alias: str, attr: str) -> str:
     return f"{alias}.{attr.rsplit('.', 1)[-1]}"
+
+
+def _unqualified(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
 
 
 class _Compiler:
@@ -40,6 +97,16 @@ class _Compiler:
     def __init__(self, schemas: SchemaLike, views: dict[str, ast.SelectQuery]) -> None:
         self.schemas = dict(schemas)
         self.views = dict(views or {})
+        self._counter = 0
+
+    def _fresh_attr(self, stem: str) -> str:
+        """A fresh internal attribute name (never visible in outputs).
+
+        Uses the ``#`` prefix of the engine's hidden relations, *not*
+        the ``$`` world-id prefix — these are value attributes.
+        """
+        self._counter += 1
+        return f"#{stem}{self._counter}"
 
     # -- attribute resolution ------------------------------------------------------
 
@@ -57,15 +124,55 @@ class _Compiler:
             raise FragmentError(f"unknown attribute {name!r}")
         raise FragmentError(f"ambiguous attribute {name!r}")
 
+    @staticmethod
+    def _resolve_correlated(
+        name: str, inner_attrs: tuple[str, ...], outer_attrs: tuple[str, ...]
+    ) -> str:
+        """Resolve inner-scope first, then the outer rows — the engine's
+        correlated-subquery rule.
+
+        Inner attributes carry a fresh ``#s⟨n⟩.`` prefix (so an inner
+        alias may repeat an outer one); a qualified reference matches an
+        inner attribute by suffix, an outer attribute exactly.
+        """
+        qualifier, _, base = name.rpartition(".")
+        if qualifier:
+            inner = [
+                a for a in inner_attrs if a == name or a.endswith("." + name)
+            ]
+            if len(inner) == 1:
+                return inner[0]
+            if len(inner) > 1:
+                raise FragmentError(f"ambiguous attribute {name!r}")
+            if name in outer_attrs:
+                return name
+            raise FragmentError(f"unknown attribute {name!r}")
+        inner = [a for a in inner_attrs if _unqualified(a) == base]
+        if len(inner) == 1:
+            return inner[0]
+        if len(inner) > 1:
+            raise FragmentError(f"ambiguous attribute {name!r}")
+        outer = [a for a in outer_attrs if _unqualified(a) == base]
+        if len(outer) == 1:
+            return outer[0]
+        if not outer:
+            raise FragmentError(f"unknown attribute {name!r}")
+        raise FragmentError(f"ambiguous attribute {name!r}")
+
     def _value_term(self, expr: ast.ValueExpr, attrs: tuple[str, ...]):
         if isinstance(expr, ast.Column):
-            name = expr.display()
-            return self._resolve(name, attrs)
+            return self._resolve(expr.display(), attrs)
         if isinstance(expr, ast.Literal):
             return Const(expr.value)
+        if isinstance(expr, ast.Arithmetic):
+            return Arith(
+                expr.op,
+                self._value_term(expr.left, attrs),
+                self._value_term(expr.right, attrs),
+            )
         raise FragmentError(
-            "only column references and literals are allowed in the "
-            "algebra fragment's conditions"
+            "only columns, literals and arithmetic are allowed here",
+            clause="where",
         )
 
     def _condition(self, cond: ast.Condition, attrs: tuple[str, ...]) -> Predicate:
@@ -82,20 +189,98 @@ class _Compiler:
         if isinstance(cond, ast.NotOp):
             return ~self._condition(cond.operand, attrs)
         raise FragmentError(
-            f"{type(cond).__name__} conditions are outside the algebra fragment"
+            f"{type(cond).__name__} conditions are outside the algebra fragment",
+            clause="where",
+            span=getattr(cond, "span", None),
+        )
+
+    def _condition_correlated(
+        self,
+        cond: ast.Condition,
+        inner_attrs: tuple[str, ...],
+        outer_attrs: tuple[str, ...],
+        span: tuple[int, int] | None,
+    ) -> Predicate:
+        """A subquery's condition over the joined (inner, outer) scope."""
+        if isinstance(cond, ast.Comparison):
+            return RAComparison(
+                self._value_term_correlated(cond.left, inner_attrs, outer_attrs, span),
+                cond.op,
+                self._value_term_correlated(cond.right, inner_attrs, outer_attrs, span),
+            )
+        if isinstance(cond, ast.BoolOp):
+            left = self._condition_correlated(cond.left, inner_attrs, outer_attrs, span)
+            right = self._condition_correlated(cond.right, inner_attrs, outer_attrs, span)
+            return (left & right) if cond.op == "and" else (left | right)
+        if isinstance(cond, ast.NotOp):
+            return ~self._condition_correlated(
+                cond.operand, inner_attrs, outer_attrs, span
+            )
+        raise FragmentError(
+            "nested condition subqueries inside a correlated subquery are "
+            "outside the evaluatable fragment",
+            clause="condition subquery",
+            span=span,
+        )
+
+    def _value_term_correlated(
+        self,
+        expr: ast.ValueExpr,
+        inner_attrs: tuple[str, ...],
+        outer_attrs: tuple[str, ...],
+        span: tuple[int, int] | None,
+    ):
+        if isinstance(expr, ast.Column):
+            return self._resolve_correlated(expr.display(), inner_attrs, outer_attrs)
+        if isinstance(expr, ast.Literal):
+            return Const(expr.value)
+        if isinstance(expr, ast.Arithmetic):
+            return Arith(
+                expr.op,
+                self._value_term_correlated(expr.left, inner_attrs, outer_attrs, span),
+                self._value_term_correlated(expr.right, inner_attrs, outer_attrs, span),
+            )
+        raise FragmentError(
+            "a correlated subquery's condition may only use columns, "
+            "literals and arithmetic",
+            clause="condition subquery",
+            span=span,
         )
 
     # -- compilation -----------------------------------------------------------------
 
     def compile(self, query: ast.SelectQuery) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
         """Compile to a WSA query plus its (unqualified) output attributes."""
-        if query.group_by or self._has_aggregates(query):
-            raise FragmentError(
-                "SQL grouping/aggregation is outside world-set algebra "
-                "(Section 4); use the engine instead"
+        compiled, attrs = self._compile_from_items(query)
+
+        # Step 2: the where condition — plain conjuncts as one selection,
+        # subquery conjuncts decorrelated into semijoins/antijoins.
+        if query.where is not None:
+            compiled = self._compile_where(query.where, compiled, attrs)
+
+        # Step 3: choice-of, repair-by-key.
+        if query.choice_of:
+            compiled = wsa.choice_of(
+                tuple(self._resolve(a, attrs) for a in query.choice_of), compiled
+            )
+        if query.repair_by_key:
+            compiled = wsa.repair_by_key(
+                tuple(self._resolve(a, attrs) for a in query.repair_by_key), compiled
             )
 
-        # Step 1: the from-product, with alias-qualified attributes.
+        # Step 4: aggregation / projection, group-worlds-by, closing.
+        aggregated = not isinstance(query.select_list, ast.Star) and (
+            bool(query.group_by) or self._has_aggregates(query)
+        )
+        if aggregated:
+            return self._compile_aggregated_tail(query, compiled, attrs)
+        projection = self._projection(query, attrs)
+        return self._finish(query, compiled, attrs, projection)
+
+    def _compile_from_items(
+        self, query: ast.SelectQuery
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """Step 1: the from-product, with alias-qualified attributes."""
         compiled: wsa.WSAQuery | None = None
         attrs: tuple[str, ...] = ()
         for item in query.from_items:
@@ -118,41 +303,547 @@ class _Compiler:
                 attrs = attrs + item_attrs
 
         assert compiled is not None
+        return compiled, attrs
 
-        # Step 2: the where condition.
-        if query.where is not None:
-            compiled = wsa.select(self._condition(query.where, attrs), compiled)
+    # -- the where clause and its condition subqueries ---------------------------------
 
-        # Step 3: choice-of, repair-by-key, group-worlds-by.
-        if query.choice_of:
-            compiled = wsa.choice_of(
-                tuple(self._resolve(a, attrs) for a in query.choice_of), compiled
+    @classmethod
+    def _conjuncts(cls, condition: ast.Condition) -> list[ast.Condition]:
+        if isinstance(condition, ast.BoolOp) and condition.op == "and":
+            return cls._conjuncts(condition.left) + cls._conjuncts(condition.right)
+        return [condition]
+
+    def _compile_where(
+        self, condition: ast.Condition, compiled: wsa.WSAQuery, attrs: tuple[str, ...]
+    ) -> wsa.WSAQuery:
+        plain: list[Predicate] = []
+        deferred: list[ast.Condition] = []
+        for conjunct in self._conjuncts(condition):
+            if ast.condition_subqueries(conjunct):
+                deferred.append(conjunct)
+            else:
+                plain.append(self._condition(conjunct, attrs))
+        if plain:
+            compiled = wsa.select(conjunction(plain), compiled)
+        for conjunct in deferred:
+            compiled = self._compile_subquery_conjunct(conjunct, compiled, attrs)
+        return compiled
+
+    def _compile_subquery_conjunct(
+        self, conjunct: ast.Condition, compiled: wsa.WSAQuery, attrs: tuple[str, ...]
+    ) -> wsa.WSAQuery:
+        negate = False
+        while isinstance(conjunct, ast.NotOp):
+            negate = not negate
+            conjunct = conjunct.operand
+        if isinstance(conjunct, ast.InSubquery):
+            return self._compile_membership(
+                conjunct, conjunct.negated != negate, compiled, attrs
             )
-        if query.repair_by_key:
-            compiled = wsa.repair_by_key(
-                tuple(self._resolve(a, attrs) for a in query.repair_by_key), compiled
+        if isinstance(conjunct, ast.ExistsSubquery):
+            return self._compile_exists(
+                conjunct, conjunct.negated != negate, compiled, attrs
+            )
+        if isinstance(conjunct, ast.Comparison) and not negate:
+            return self._compile_scalar_comparison(conjunct, compiled, attrs)
+        raise FragmentError(
+            "condition subqueries under 'or' or a negated comparison are "
+            "outside the evaluatable fragment",
+            clause="where",
+            span=self._condition_span(conjunct),
+        )
+
+    @classmethod
+    def _condition_span(cls, cond: ast.Condition) -> tuple[int, int] | None:
+        """The widest source span covered by *cond*'s parsed pieces."""
+        spans: list[tuple[int, int]] = []
+
+        def visit(node: ast.Condition) -> None:
+            span = getattr(node, "span", None)
+            if span is not None:
+                spans.append(span)
+            if isinstance(node, ast.BoolOp):
+                visit(node.left)
+                visit(node.right)
+            elif isinstance(node, ast.NotOp):
+                visit(node.operand)
+
+        visit(cond)
+        if not spans:
+            return None
+        return (min(s for s, _ in spans), max(e for _, e in spans))
+
+    def _subquery_mode(
+        self, sub: ast.SelectQuery, span: tuple[int, int] | None
+    ) -> str:
+        """How a condition subquery evaluates: hoisted or correlated.
+
+        ``"independent"`` — the subquery is compiled on its own (the
+        engine's hoisting of world-splitting subqueries, and the
+        world-local-but-complex case where correlation would anyway
+        fail attribute resolution); ``"correlated"`` — a plain
+        from+where subquery decorrelated against the outer rows.
+        """
+        if ast.is_world_splitting(sub, self.views):
+            return "independent"
+        if not ast.is_world_local(sub, self.views):
+            raise FragmentError(
+                "a condition subquery closing worlds (possible/certain/"
+                "group worlds by) cannot be evaluated per world",
+                clause="condition subquery",
+                span=span,
+            )
+        if (
+            sub.group_by
+            or self._has_aggregates(sub)
+            or ast.condition_subqueries(sub.where)
+        ):
+            return "independent"
+        return "correlated"
+
+    def _isolated_from_items(
+        self, sub: ast.SelectQuery
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """The subquery's from-product, isolated under a fresh prefix.
+
+        Renaming every inner attribute to ``#s⟨n⟩.alias.attr`` keeps the
+        decorrelated operand's schema disjoint from the outer rows even
+        when the subquery reuses an outer alias (``… Dep in (select Dep
+        from Flights)`` inside a query over ``Flights``).
+        """
+        inner, inner_attrs = self._compile_from_items(sub)
+        prefix = self._fresh_attr("s")
+        mapping = {a: f"{prefix}.{a}" for a in inner_attrs}
+        return wsa.rename(mapping, inner), tuple(mapping[a] for a in inner_attrs)
+
+    def _compile_membership(
+        self,
+        cond: ast.InSubquery,
+        negated: bool,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+    ) -> wsa.WSAQuery:
+        span = cond.span
+        if not isinstance(cond.needle, ast.Column):
+            raise FragmentError(
+                "the [not] in needle must be a column reference",
+                clause="where",
+                span=span,
+            )
+        needle = self._resolve(cond.needle.display(), attrs)
+        sub = cond.query
+        if self._subquery_mode(sub, span) == "independent":
+            inner, inner_attrs = self.compile(sub)
+            member = self._membership_attr(cond.needle, inner_attrs, span)
+            fresh = self._fresh_attr("in")
+            right: wsa.WSAQuery = wsa.rename(
+                {member: fresh}, wsa.project((member,), inner)
+            )
+            predicate: Predicate = eq(needle, fresh)
+        else:
+            right, inner_attrs = self._isolated_from_items(sub)
+            member = self._membership_attr_correlated(
+                sub, inner_attrs, cond.needle, span
+            )
+            predicate = eq(needle, member)
+            if sub.where is not None:
+                predicate = predicate & self._condition_correlated(
+                    sub.where, inner_attrs, attrs, span
+                )
+        node = wsa.antijoin if negated else wsa.semijoin
+        return node(predicate, compiled, right)
+
+    def _membership_attr(
+        self,
+        needle: ast.Column,
+        output_attrs: tuple[str, ...],
+        span: tuple[int, int] | None,
+    ) -> str:
+        """The compared column of an independently compiled IN subquery."""
+        if len(output_attrs) == 1:
+            return output_attrs[0]
+        matches = [a for a in output_attrs if _unqualified(a) == needle.name]
+        if len(matches) == 1:
+            return matches[0]
+        raise FragmentError(
+            "an IN subquery must produce one column (or share the needle's name)",
+            clause="where",
+            span=span,
+        )
+
+    def _membership_attr_correlated(
+        self,
+        sub: ast.SelectQuery,
+        inner_attrs: tuple[str, ...],
+        needle: ast.Column,
+        span: tuple[int, int] | None,
+    ) -> str:
+        """The compared column of a decorrelated IN subquery (pre-projection)."""
+        items = sub.select_list
+        if isinstance(items, ast.Star):
+            pairs = [(_unqualified(a), a) for a in inner_attrs]
+        else:
+            pairs = []
+            for item in items:
+                if not isinstance(item.expression, ast.Column):
+                    raise FragmentError(
+                        "an IN subquery's select list may only contain columns",
+                        clause="where",
+                        span=span,
+                    )
+                source = self._resolve_correlated(
+                    item.expression.display(), inner_attrs, ()
+                )
+                pairs.append((item.alias or item.expression.name, source))
+        if len(pairs) == 1:
+            return pairs[0][1]
+        matches = [src for out, src in pairs if _unqualified(out) == needle.name]
+        if len(matches) == 1:
+            return matches[0]
+        raise FragmentError(
+            "an IN subquery must produce one column (or share the needle's name)",
+            clause="where",
+            span=span,
+        )
+
+    def _compile_exists(
+        self,
+        cond: ast.ExistsSubquery,
+        negated: bool,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+    ) -> wsa.WSAQuery:
+        span = cond.span
+        sub = cond.query
+        if self._subquery_mode(sub, span) == "independent":
+            inner, _ = self.compile(sub)
+            right: wsa.WSAQuery = wsa.project((), inner)
+            predicate: Predicate = TRUE
+        else:
+            right, inner_attrs = self._isolated_from_items(sub)
+            # The select list does not affect existence, but the engine
+            # resolves it when rows reach the projection — reject
+            # unresolvable lists statically so both routes refuse the
+            # same statements (the fallback then reproduces the
+            # engine's exact behavior).
+            self._validate_correlated_select(sub, inner_attrs, attrs, span)
+            predicate = (
+                TRUE
+                if sub.where is None
+                else self._condition_correlated(sub.where, inner_attrs, attrs, span)
+            )
+        node = wsa.antijoin if negated else wsa.semijoin
+        return node(predicate, compiled, right)
+
+    def _validate_correlated_select(
+        self,
+        sub: ast.SelectQuery,
+        inner_attrs: tuple[str, ...],
+        outer_attrs: tuple[str, ...],
+        span: tuple[int, int] | None,
+    ) -> None:
+        """Every column of a correlated subquery's select list must resolve."""
+        if isinstance(sub.select_list, ast.Star):
+            return
+
+        def visit(expr: ast.ValueExpr) -> None:
+            if isinstance(expr, ast.Column):
+                self._resolve_correlated(expr.display(), inner_attrs, outer_attrs)
+            elif isinstance(expr, ast.Arithmetic):
+                visit(expr.left)
+                visit(expr.right)
+            elif not isinstance(expr, ast.Literal):
+                raise FragmentError(
+                    "a correlated subquery's select list may only contain "
+                    "columns, literals and arithmetic",
+                    clause="condition subquery",
+                    span=span,
+                )
+
+        for item in sub.select_list:
+            visit(item.expression)
+
+    # -- comparisons against scalar aggregate subqueries ---------------------------------
+
+    def _compile_scalar_comparison(
+        self,
+        cond: ast.Comparison,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+    ) -> wsa.WSAQuery:
+        subqueries = [
+            expr
+            for side in (cond.left, cond.right)
+            for expr in self._scalar_subqueries(side)
+        ]
+        if len(subqueries) != 1:
+            raise FragmentError(
+                "exactly one scalar subquery per comparison is supported",
+                clause="where",
+                span=subqueries[0].span if subqueries else None,
+            )
+        scalar = subqueries[0]
+        span = scalar.span
+        sub = scalar.query
+
+        items = sub.select_list
+        shape_ok = (
+            not isinstance(items, ast.Star)
+            and len(items) == 1
+            and isinstance(items[0].expression, ast.Aggregate)
+            and not sub.group_by
+            and sub.closing is None
+            and sub.group_worlds_by is None
+            and not ast.condition_subqueries(sub.where)
+        )
+        if not shape_ok:
+            raise FragmentError(
+                "only scalar subqueries of the form (select ⟨aggregate⟩ "
+                "from … [where …]) are evaluated on the algebra",
+                clause="scalar subquery",
+                span=span,
+            )
+        agg_call = items[0].expression
+        agg_attr = self._fresh_attr("agg")
+
+        if ast.is_world_splitting(sub, self.views):
+            # The engine hoists world-splitting scalar subqueries
+            # (uncorrelated by construction); a global aggregate yields
+            # exactly one row per world, so a plain join suffices.
+            inner_full, outputs = self.compile(sub)
+            scalar_query: wsa.WSAQuery = wsa.rename({outputs[0]: agg_attr}, inner_full)
+            predicate = self._comparison_predicate(cond, attrs, agg_attr, span)
+            return wsa.project(
+                attrs, wsa.select(predicate, wsa.product(compiled, scalar_query))
             )
 
-        # Step 4: projection and the closing constructs.
-        projection = self._projection(query, attrs)
+        inner, inner_attrs = self._isolated_from_items(sub)
+        inner_predicates: list[Predicate] = []
+        pairs: list[tuple[str, str]] = []  # (outer attr, inner attr)
+        for conjunct in self._conjuncts(sub.where) if sub.where is not None else []:
+            split = self._classify_scalar_conjunct(conjunct, inner_attrs, attrs, span)
+            if isinstance(split, tuple):
+                pairs.append(split)
+            else:
+                inner_predicates.append(split)
+        if inner_predicates:
+            inner = wsa.select(conjunction(inner_predicates), inner)
+        argument = (
+            self._resolve_correlated(agg_call.argument.display(), inner_attrs, ())
+            if agg_call.argument is not None
+            else None
+        )
+        spec = AggSpec(agg_attr, agg_call.function, argument)
+
+        if not pairs:
+            scalar_query = wsa.aggregate((), (spec,), inner)
+            predicate = self._comparison_predicate(cond, attrs, agg_attr, span)
+            return wsa.project(
+                attrs, wsa.select(predicate, wsa.product(compiled, scalar_query))
+            )
+
+        # Correlated: aggregate per correlation key, rename the keys to
+        # their outer partners, and pad-join back onto the outer rows —
+        # a single reference to the outer plan, so even a world-splitting
+        # outer subtree is evaluated exactly once. Outer rows without a
+        # partner carry PAD on the aggregate column; the PadDefault term
+        # turns it into the SQL empty-group default (count/sum/avg 0,
+        # min/max undefined — exactly the engine's per-row scalar value).
+        keys = tuple(dict.fromkeys(inner_attr for _, inner_attr in pairs))
+        outers = tuple(dict.fromkeys(outer_attr for outer_attr, _ in pairs))
+        if len(keys) != len(pairs) or len(outers) != len(pairs):
+            raise FragmentError(
+                "correlation equalities must pair distinct inner and "
+                "outer attributes",
+                clause="scalar subquery",
+                span=span,
+            )
+        scalar_query = wsa.aggregate(keys, (spec,), inner)
+        key_map = {inner_attr: outer_attr for outer_attr, inner_attr in pairs}
+        padded = wsa.pad_join(compiled, wsa.rename(key_map, scalar_query))
+        substitution = PadDefault(agg_attr, default_value(spec))
+        predicate = self._comparison_predicate(cond, attrs, substitution, span)
+        return wsa.project(attrs, wsa.select(predicate, padded))
+
+    @staticmethod
+    def _scalar_subqueries(expr: ast.ValueExpr) -> list[ast.ScalarSubquery]:
+        found: list[ast.ScalarSubquery] = []
+
+        def visit(node: ast.ValueExpr) -> None:
+            if isinstance(node, ast.ScalarSubquery):
+                found.append(node)
+            elif isinstance(node, ast.Arithmetic):
+                visit(node.left)
+                visit(node.right)
+
+        visit(expr)
+        return found
+
+    def _classify_scalar_conjunct(
+        self,
+        conjunct: ast.Condition,
+        inner_attrs: tuple[str, ...],
+        outer_attrs: tuple[str, ...],
+        span: tuple[int, int] | None,
+    ):
+        """An inner-only predicate, or an (outer, inner) equality pair."""
+        try:
+            return self._condition_correlated(conjunct, inner_attrs, (), span)
+        except FragmentError:
+            pass
+        if (
+            isinstance(conjunct, ast.Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.Column)
+            and isinstance(conjunct.right, ast.Column)
+        ):
+            for first, second in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                try:
+                    outer = self._resolve(first.display(), outer_attrs)
+                    inner = self._resolve_correlated(
+                        second.display(), inner_attrs, ()
+                    )
+                    return (outer, inner)
+                except FragmentError:
+                    continue
+        raise FragmentError(
+            "a correlated scalar subquery may filter on inner attributes "
+            "and equate inner with outer attributes, nothing else",
+            clause="scalar subquery",
+            span=span,
+        )
+
+    def _comparison_predicate(
+        self,
+        cond: ast.Comparison,
+        outer_attrs: tuple[str, ...],
+        substitution,
+        span: tuple[int, int] | None,
+    ) -> Predicate:
+        """The comparison with its scalar subquery replaced by a term."""
+
+        def term(expr: ast.ValueExpr):
+            if isinstance(expr, ast.ScalarSubquery):
+                return substitution
+            if isinstance(expr, ast.Column):
+                return self._resolve(expr.display(), outer_attrs)
+            if isinstance(expr, ast.Literal):
+                return Const(expr.value)
+            if isinstance(expr, ast.Arithmetic):
+                return Arith(expr.op, term(expr.left), term(expr.right))
+            raise FragmentError(
+                "unsupported expression in a scalar-subquery comparison",
+                clause="where",
+                span=span,
+            )
+
+        return RAComparison(term(cond.left), cond.op, term(cond.right))
+
+    # -- step 4: aggregation, projection, grouping, closing ---------------------------------
+
+    def _compile_aggregated_tail(
+        self,
+        query: ast.SelectQuery,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """SQL GROUP BY / aggregates as the per-world Aggregate node."""
+        items = query.select_list
+        assert not isinstance(items, ast.Star)
+        group_sources = tuple(self._resolve(a, attrs) for a in query.group_by)
+        projection: list[tuple[str, str]] = []
+        specs: list[AggSpec] = []
+        for index, item in enumerate(items):
+            name = self._output_name(item, index)
+            expr = item.expression
+            if isinstance(expr, ast.Column):
+                source = self._resolve(expr.display(), attrs)
+                if source not in group_sources:
+                    raise FragmentError(
+                        f"select column {expr.display()!r} is not in the "
+                        "GROUP BY key (the engine's representative-row "
+                        "semantics are outside the evaluatable fragment)",
+                        clause="select list",
+                        span=item.span,
+                    )
+                projection.append((name, source))
+            elif isinstance(expr, ast.Aggregate):
+                argument = (
+                    self._resolve(expr.argument.display(), attrs)
+                    if expr.argument is not None
+                    else None
+                )
+                internal = self._fresh_attr("agg")
+                specs.append(AggSpec(internal, expr.function, argument))
+                projection.append((name, internal))
+            else:
+                raise FragmentError(
+                    "an aggregated select list may only contain grouped "
+                    "columns and aggregate calls",
+                    clause="select list",
+                    span=item.span,
+                )
+        if specs:
+            compiled = wsa.aggregate(group_sources, tuple(specs), compiled)
+            return self._finish(
+                query, compiled, attrs, projection, agg_group_sources=group_sources
+            )
+        # Pure GROUP BY (no aggregates): the distinct projection π is
+        # exactly the engine's one-representative-per-group rows.
+        return self._finish(query, compiled, attrs, projection)
+
+    def _finish(
+        self,
+        query: ast.SelectQuery,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+        projection: list[tuple[str, str]],
+        agg_group_sources: tuple[str, ...] | None = None,
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """Group-worlds-by, projection, closing, and the output renaming.
+
+        *compiled* is the (possibly aggregated) child; *attrs* the
+        pre-projection attributes against which ``group worlds by``
+        attribute lists resolve. On the aggregated path
+        (*agg_group_sources* set) attribute grouping must stay within
+        the GROUP BY key — there π over the aggregate equals π over the
+        pre-aggregation rows, so the fingerprints coincide with the
+        engine's.
+        """
         output = tuple(out for out, _ in projection)
         sources = tuple(src for _, src in projection)
 
-        if query.group_worlds_by is not None:
-            if query.group_worlds_by.attributes is None:
-                raise FragmentError(
-                    "group worlds by ⟨subquery⟩ is outside the algebra "
-                    "fragment; group on an attribute list instead"
-                )
+        clause = query.group_worlds_by
+        if clause is not None:
             if query.closing is None:
                 raise FragmentError("group worlds by requires possible/certain")
-            group = tuple(
-                self._resolve(a, attrs) for a in query.group_worlds_by.attributes
-            )
-            constructor = (
-                wsa.poss_group if query.closing == "possible" else wsa.cert_group
-            )
-            compiled = constructor(group, sources, compiled)
+            if clause.attributes is not None:
+                group = tuple(self._resolve(a, attrs) for a in clause.attributes)
+                if agg_group_sources is not None and not set(group) <= set(
+                    agg_group_sources
+                ):
+                    raise FragmentError(
+                        "group worlds by on attributes outside the GROUP BY "
+                        "key of an aggregated query",
+                        clause="group worlds by",
+                        span=clause.span,
+                    )
+                constructor = (
+                    wsa.poss_group if query.closing == "possible" else wsa.cert_group
+                )
+                compiled = constructor(group, sources, compiled)
+            else:
+                assert clause.query is not None
+                key = self._compile_world_group_key(clause)
+                keyed = (
+                    wsa.poss_group_key
+                    if query.closing == "possible"
+                    else wsa.cert_group_key
+                )
+                compiled = keyed(sources, compiled, key)
         else:
             compiled = wsa.project(sources, compiled)
             if query.closing == "possible":
@@ -160,11 +851,32 @@ class _Compiler:
             elif query.closing == "certain":
                 compiled = wsa.cert(compiled)
 
-        # Rename the qualified projection attributes to the output names.
         mapping = {src: out for out, src in projection if src != out}
         if mapping:
             compiled = wsa.rename(mapping, compiled)
         return compiled, output
+
+    def _compile_world_group_key(self, clause: ast.GroupWorldsBy) -> wsa.WSAQuery:
+        """The companion query of ``group worlds by ⟨subquery⟩``."""
+        sub = clause.query
+        assert sub is not None
+        if not ast.is_world_local(sub, self.views):
+            raise FragmentError(
+                "the group-worlds-by subquery must be evaluable inside one world",
+                clause="group worlds by",
+                span=clause.span,
+            )
+        try:
+            key, _ = self.compile(sub)
+        except FragmentError as err:
+            if err.clause is not None:
+                raise
+            raise FragmentError(
+                f"group worlds by ⟨subquery⟩: {err}",
+                clause="group worlds by",
+                span=clause.span,
+            ) from err
+        return key
 
     def _projection(
         self, query: ast.SelectQuery, attrs: tuple[str, ...]
@@ -184,12 +896,18 @@ class _Compiler:
         for item in query.select_list:
             if not isinstance(item.expression, ast.Column):
                 raise FragmentError(
-                    "the algebra fragment's select list may only contain columns"
+                    "a non-aggregated select list may only contain columns",
+                    clause="select list",
+                    span=item.span,
                 )
             source = self._resolve(item.expression.display(), attrs)
             output = item.alias or item.expression.name
             pairs.append((output, source))
         return pairs
+
+    #: The engine's output naming — one shared definition, so compiled
+    #: answer schemas can never drift from the engine's.
+    _output_name = staticmethod(ast.select_item_output_name)
 
     @staticmethod
     def _has_aggregates(query: ast.SelectQuery) -> bool:
@@ -207,7 +925,7 @@ def compile_query(
     schemas: SchemaLike | dict[str, Schema],
     views: dict[str, ast.SelectQuery] | None = None,
 ) -> wsa.WSAQuery:
-    """Compile an algebra-fragment I-SQL query to world-set algebra."""
+    """Compile an I-SQL query of the evaluatable fragment to world-set algebra."""
     plain: SchemaLike = {
         name: (schema.attributes if isinstance(schema, Schema) else tuple(schema))
         for name, schema in schemas.items()

@@ -349,15 +349,7 @@ class Engine:
     # -- step 4: projection, aggregation, closing -----------------------------------------------------
 
     def _output_name(self, item: ast.SelectItem, index: int) -> str:
-        if item.alias:
-            return item.alias
-        if isinstance(item.expression, ast.Column):
-            return item.expression.name
-        if isinstance(item.expression, ast.Aggregate):
-            argument = item.expression.argument
-            inner = argument.name if argument else "*"
-            return f"{item.expression.function}({inner})"
-        return f"expr{index}"
+        return ast.select_item_output_name(item, index)
 
     def _project(self, query: ast.SelectQuery, relation: Relation) -> Relation:
         if isinstance(query.select_list, ast.Star):

@@ -16,8 +16,9 @@ The test suite keeps this route in agreement with the I-SQL engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
-from repro.errors import TypingError
+from repro.errors import TranslationError, TypingError
 from repro.core.ast import WSAQuery
 from repro.core.typing import is_complete_to_complete, query_type
 from repro.inline.optimized import optimized_ra_query
@@ -57,20 +58,24 @@ class Explanation:
             f"type              : {self.type}",
             f"inline backend    : {self.inline_route}",
         ]
-        if self.complete_to_complete:
-            assert self.relational_optimized is not None
-            assert self.relational_general is not None
+        if self.relational_optimized is not None:
             lines.append(
                 f"relational (§5.3) : {self.relational_optimized.to_text()}"
             )
+        if self.relational_general is not None:
             lines.append(
                 "relational (Fig.6): DAG of "
                 f"{self.relational_general.dag_size()} operators"
             )
-        else:
+        if not self.complete_to_complete:
             lines.append(
                 "relational        : not 1↦1 — evaluate over an inlined "
                 "representation or the world-set semantics"
+            )
+        elif self.relational_optimized is None and self.relational_general is None:
+            lines.append(
+                "relational        : beyond the Section 5 translations — "
+                "evaluate over an inlined representation"
             )
         return "\n".join(lines)
 
@@ -89,12 +94,23 @@ def explain(
     )
     algebra = compile_query(statement, schemas, views)
     c2c = is_complete_to_complete(algebra)
-    general = conservative_ra_query(algebra, schemas) if c2c else None
-    optimized = (
-        optimized_ra_query(algebra, schemas, assume_nonempty=assume_nonempty)
-        if c2c
-        else None
-    )
+    general = optimized = None
+    if c2c:
+        # The widened fragment (aggregation, semijoins) compiles to
+        # nodes the Figure 6 translator carries via its documented
+        # operator extensions; the §5.3 optimized translator covers the
+        # pure Section 4 algebra only — report whichever translation
+        # exists rather than failing the whole pipeline.
+        try:
+            general = conservative_ra_query(algebra, schemas)
+        except TranslationError:
+            general = None
+        try:
+            optimized = optimized_ra_query(
+                algebra, schemas, assume_nonempty=assume_nonempty
+            )
+        except TranslationError:
+            optimized = None
     return Explanation(
         statement=statement,
         algebra=algebra,
@@ -105,6 +121,31 @@ def explain(
     )
 
 
+class RouteReport(NamedTuple):
+    """How the inline backend executes one statement, with diagnostics.
+
+    ``report[0]``/``report[1]`` still read the historical
+    (route, reason) positions — but this is a 4-tuple, so code that
+    unpacked the old pair must index or use the field names. *clause*
+    names the construct that left the evaluatable fragment (e.g.
+    ``"where"``, ``"select list"``) and *span* is its source character
+    range ``(start, end)`` within the statement text, when known. For a
+    direct statement all three diagnostics are None.
+    """
+
+    route: str
+    reason: str | None
+    clause: str | None = None
+    span: tuple[int, int] | None = None
+
+    def snippet(self, source: str) -> str | None:
+        """The offending source text, when the span is known."""
+        if self.span is None:
+            return None
+        start, end = self.span
+        return source[start:end]
+
+
 def inline_route(
     text_or_query: str | ast.SelectQuery,
     schemas: dict[str, tuple[str, ...]],
@@ -112,10 +153,12 @@ def inline_route(
 ) -> str:
     """How the inline backend would execute a statement.
 
-    ``"direct"`` — the statement is in the Section 4 algebra fragment
-    and runs as a flat-table plan over the inlined representation;
-    ``"fallback"`` — it needs SQL aggregation or condition subqueries
-    and the inline backend delegates to the explicit engine.
+    ``"direct"`` — the statement compiles to the world-set algebra
+    (including its aggregation/semijoin extension nodes) and runs as a
+    flat-table plan over the inlined representation; ``"fallback"`` —
+    it uses residue constructs (condition subqueries under ``or``,
+    non-aggregate scalar subqueries, ungrouped select columns, …) and
+    the inline backend delegates to the explicit engine.
 
     Unlike :func:`explain` (which reports the whole translation
     pipeline and hence requires a fragment query), this works on *any*
@@ -128,15 +171,16 @@ def inline_route_report(
     text_or_query: str | ast.SelectQuery,
     schemas: dict[str, tuple[str, ...]],
     views: dict[str, ast.SelectQuery] | None = None,
-) -> tuple[str, str | None]:
+) -> RouteReport:
     """:func:`inline_route` plus *why* a statement leaves the fragment.
 
-    Returns ``("direct", None)`` for fragment statements and
-    ``("fallback", reason)`` otherwise, where *reason* is the compiler's
-    fragment diagnostic (e.g. "aggregation is outside the algebra
-    fragment"). Benchmarks record this next to each timing so near-1×
-    explicit-vs-inline rows are explainable: a fallback statement runs
-    the same explicit engine on both backends.
+    Returns ``RouteReport("direct", None)`` for fragment statements and
+    ``RouteReport("fallback", reason, clause, span)`` otherwise, where
+    *reason* is the compiler's diagnostic, *clause* names the offending
+    construct and *span* points into the statement source (when it was
+    parsed from text). Benchmarks record the route next to each timing
+    so near-1× explicit-vs-inline rows are explainable: a fallback
+    statement runs the same explicit engine on both backends.
     """
     from repro.isql.compile import FragmentError
 
@@ -148,8 +192,8 @@ def inline_route_report(
     try:
         compile_query(statement, schemas, views)
     except FragmentError as reason:
-        return "fallback", str(reason)
-    return "direct", None
+        return RouteReport("fallback", str(reason), reason.clause, reason.span)
+    return RouteReport("direct", None)
 
 
 def run_via_translation(

@@ -58,6 +58,22 @@ class Parser:
         self._alias_counter += 1
         return f"_t{self._alias_counter}"
 
+    # -- source spans -------------------------------------------------------------
+
+    def _mark(self) -> int:
+        """The source offset where the next construct starts."""
+        return self.peek().position
+
+    def _span(self, start: int) -> tuple[int, int]:
+        """The span from *start* to the end of the last consumed token.
+
+        Spans let diagnostics (``isql.explain.inline_route_report``)
+        point at the clause that leaves the evaluatable fragment rather
+        than just naming it.
+        """
+        token = self.tokens[max(self.index - 1, 0)]
+        return (start, token.position + len(token.text))
+
     # -- statements ---------------------------------------------------------------------
 
     def parse_statement(self) -> ast.Statement:
@@ -144,14 +160,17 @@ class Parser:
         where = self._parse_condition() if self.accept("keyword", "where") else None
 
         group_by: tuple[str, ...] = ()
+        group_by_span: tuple[int, int] | None = None
         choice_of: tuple[str, ...] = ()
         repair: tuple[str, ...] = ()
         group_worlds: ast.GroupWorldsBy | None = None
         while True:
             if self.check("keyword", "group") and self.peek(1).text == "by":
+                start = self._mark()
                 self.advance()
                 self.advance()
                 group_by = self._parse_attr_list()
+                group_by_span = self._span(start)
             elif self.check("keyword", "choice"):
                 self.advance()
                 self.expect("keyword", "of")
@@ -162,10 +181,14 @@ class Parser:
                 self.expect("keyword", "key")
                 repair = self._parse_attr_list()
             elif self.check("keyword", "group") and self.peek(1).text == "worlds":
+                start = self._mark()
                 self.advance()
                 self.advance()
                 self.expect("keyword", "by")
-                group_worlds = self._parse_group_worlds_by()
+                clause = self._parse_group_worlds_by()
+                group_worlds = ast.GroupWorldsBy(
+                    clause.attributes, clause.query, self._span(start)
+                )
             else:
                 break
         return ast.SelectQuery(
@@ -177,6 +200,7 @@ class Parser:
             repair_by_key=repair,
             group_worlds_by=group_worlds,
             closing=closing,
+            group_by_span=group_by_span,
         )
 
     def _parse_group_worlds_by(self) -> ast.GroupWorldsBy:
@@ -213,13 +237,14 @@ class Parser:
         return tuple(items)
 
     def _parse_select_item(self) -> ast.SelectItem:
+        start = self._mark()
         expression = self._parse_value()
         alias = None
         if self.accept("keyword", "as"):
             alias = self.expect("ident").text
         elif self.check("ident") and not self.check("keyword"):
             alias = self.advance().text
-        return ast.SelectItem(expression, alias)
+        return ast.SelectItem(expression, alias, self._span(start))
 
     def _parse_from_item(self) -> ast.FromItem:
         if self.accept("symbol", "("):
@@ -253,12 +278,15 @@ class Parser:
         return left
 
     def _parse_not(self) -> ast.Condition:
+        start = self._mark()
         if self.accept("keyword", "not"):
             if self.accept("keyword", "exists"):
-                return ast.ExistsSubquery(self._parse_parenthesized_query(), True)
+                query = self._parse_parenthesized_query()
+                return ast.ExistsSubquery(query, True, self._span(start))
             return ast.NotOp(self._parse_not())
         if self.accept("keyword", "exists"):
-            return ast.ExistsSubquery(self._parse_parenthesized_query(), False)
+            query = self._parse_parenthesized_query()
+            return ast.ExistsSubquery(query, False, self._span(start))
         return self._parse_comparison()
 
     def _parse_parenthesized_query(self) -> ast.SelectQuery:
@@ -284,12 +312,15 @@ class Parser:
             condition = self._parse_condition()
             self.expect("symbol", ")")
             return condition
+        start = self._mark()
         left = self._parse_value()
         if self.accept("keyword", "not"):
             self.expect("keyword", "in")
-            return ast.InSubquery(left, self._parse_in_operand(), True)
+            operand = self._parse_in_operand()
+            return ast.InSubquery(left, operand, True, self._span(start))
         if self.accept("keyword", "in"):
-            return ast.InSubquery(left, self._parse_in_operand(), False)
+            operand = self._parse_in_operand()
+            return ast.InSubquery(left, operand, False, self._span(start))
         for op in sorted(_COMPARATORS, key=len, reverse=True):
             if self.accept("symbol", op):
                 return ast.Comparison(op, left, self._parse_value())
@@ -359,7 +390,9 @@ class Parser:
             return ast.Aggregate(function, argument)
         if self.check("symbol", "("):
             if self.peek(1).kind == "keyword" and self.peek(1).text == "select":
-                return ast.ScalarSubquery(self._parse_parenthesized_query())
+                start = self._mark()
+                query = self._parse_parenthesized_query()
+                return ast.ScalarSubquery(query, self._span(start))
             self.advance()
             value = self._parse_value()
             self.expect("symbol", ")")

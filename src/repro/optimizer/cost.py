@@ -17,21 +17,27 @@ from typing import Mapping, Sequence
 
 from repro.core.ast import (
     ActiveDomain,
+    Aggregate,
+    AntiJoin,
     Cert,
     CertGroup,
+    CertGroupKey,
     ChoiceOf,
     Difference,
     Divide,
     Intersect,
     NaturalJoin,
+    PadJoin,
     Poss,
     PossGroup,
+    PossGroupKey,
     Product,
     Project,
     Rel,
     Rename,
     RepairByKey,
     Select,
+    SemiJoin,
     ThetaJoin,
     Union,
     WSAQuery,
@@ -96,11 +102,34 @@ def estimate(
         if isinstance(node, (Poss, Cert)):
             (child,) = children
             return CostEstimate(child.rows, child.worlds, child.work + _touch(child))
+        if isinstance(node, Aggregate):
+            (child,) = children
+            # One hashing pass; output one row per group (half the rows
+            # as a crude default, one row for a global aggregate).
+            rows = child.rows / 2.0 if node.group_attrs else 1.0
+            return CostEstimate(rows, child.worlds, child.work + _touch(child))
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            left, right = children
+            worlds = max(left.worlds, right.worlds)
+            rows = left.rows * SELECTIVITY
+            work = left.work + right.work + (left.rows + right.rows) * worlds
+            return CostEstimate(rows, worlds, work)
+        if isinstance(node, (PossGroupKey, CertGroupKey)):
+            left, right = children
+            worlds = max(left.worlds, right.worlds)
+            # Grouping compares every pair of worlds (key answers).
+            work = left.work + right.work + worlds * worlds + _touch(left)
+            return CostEstimate(left.rows, worlds, work)
         if isinstance(node, (PossGroup, CertGroup)):
             (child,) = children
             # Grouping compares every pair of worlds.
             work = child.work + child.worlds * child.worlds + _touch(child)
             return CostEstimate(child.rows, child.worlds, work)
+        if isinstance(node, PadJoin):
+            left, right = children
+            worlds = max(left.worlds, right.worlds)
+            work = left.work + right.work + (left.rows + right.rows) * worlds
+            return CostEstimate(left.rows, worlds, work)
         if isinstance(node, (Product, ThetaJoin, NaturalJoin, _NaturalJoinExpansion)):
             left, right = children
             worlds = max(left.worlds, right.worlds)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 from repro.core.ast import (
+    Aggregate,
     Cert,
     CertGroup,
     ChoiceOf,
@@ -373,6 +374,53 @@ RULE_20 = _make_rule_20("1")
 RULE_21 = _make_rule_21("1")
 
 
+def _select_below_aggregate(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
+    """σ_φ(γ^{aggs}_U(q)) → γ^{aggs}_U(σ_φ(q)) when Attrs(φ) ⊆ U.
+
+    The per-world pushdown of a filter on grouped columns below the
+    aggregation — sound in every world separately (a group survives the
+    left-hand filter iff its key does), so no world-uniformity guard is
+    needed. Filters on aggregate *outputs* (HAVING shapes) never match.
+    """
+    if isinstance(query, Select) and isinstance(query.child, Aggregate):
+        group = query.child
+        if query.predicate.attributes() <= set(group.group_attrs):
+            return Aggregate(
+                group.group_attrs,
+                group.specs,
+                Select(query.predicate, group.child),
+            )
+    return None
+
+
+RULE_AGG_SELECT = RewriteRule(
+    "σ moves below γ-aggregate", "aggregation", _select_below_aggregate
+)
+
+
+def _make_rule_agg_closing(input_kind: str) -> RewriteRule:
+    def matcher(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
+        """poss/cert(γ^{aggs}_U(q)) → γ^{aggs}_U(q) for world-uniform q.
+
+        Guarded like Eq. (20)/(21): when the aggregated subquery is of
+        kind 1 under the declared *input_kind*, every world carries the
+        identical aggregate answer, so both closings are the identity.
+        With world-varying answers the closing genuinely folds across
+        worlds and must stay.
+        """
+        if isinstance(query, (Poss, Cert)) and isinstance(query.child, Aggregate):
+            from repro.core.typing import ONE, kind_after
+
+            if kind_after(query.child.child, input_kind) == ONE:
+                return query.child
+        return None
+
+    return RewriteRule("poss/cert absorb uniform γ-aggregate", "aggregation", matcher)
+
+
+RULE_AGG_CLOSING = _make_rule_agg_closing("1")
+
+
 def _idempotent_closings(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
     """Eq. (22)/(23): compositions of poss/cert collapse to the inner one."""
     if isinstance(query, (Poss, Cert)) and isinstance(query.child, (Poss, Cert)):
@@ -455,6 +503,8 @@ DEFAULT_RULES: tuple[RewriteRule, ...] = (
     RULE_15,
     RULE_16,
     RULE_24,
+    RULE_AGG_CLOSING,
+    RULE_AGG_SELECT,
     RULE_12,
     RULE_13,
     RULE_14,
@@ -495,6 +545,7 @@ def default_rules(input_kind: str = "1") -> tuple[RewriteRule, ...]:
         id(RULE_20): _make_rule_20(input_kind),
         id(RULE_21): _make_rule_21(input_kind),
         id(RULE_9_10): _make_rule_9_10(input_kind),
+        id(RULE_AGG_CLOSING): _make_rule_agg_closing(input_kind),
     }
     return tuple(replacements.get(id(rule), rule) for rule in DEFAULT_RULES)
 

@@ -1,0 +1,146 @@
+"""Shared SQL aggregation semantics for both execution kernels.
+
+I-SQL extends the world-set algebra fragment with SQL grouping and
+aggregation (Figure 1); the engine evaluates it per world inside
+``Engine._project_grouped``. This module is the single source of truth
+for the *value* semantics of those aggregates — ``count`` is a distinct
+count, ``count(*)`` a row count, ``sum``/``avg`` fold every (distinct)
+row, ``min``/``max`` of an empty group are undefined (None) — so the
+tuple kernel, the columnar kernel, the physical world-grouped operator
+and the relational-algebra translation all agree with the engine to the
+bit.
+
+An :class:`AggSpec` names one aggregate column: the output attribute,
+the function, and the argument attribute (None encodes ``count(*)``).
+:func:`aggregate_rows` is the grouping fold both kernels call with
+C-speed key/argument iterators; :func:`default_value` is the value an
+aggregate takes over an *empty* group (the single global group of an
+aggregate query over an empty relation, or a world whose answer is
+empty on the inline route).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import EvaluationError
+
+#: The aggregate functions of Figure 1.
+AGG_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate column: ``output := function(argument)``.
+
+    ``argument is None`` encodes ``count(*)`` (the only function defined
+    without an argument, matching the engine).
+    """
+
+    output: str
+    function: str
+    argument: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.function not in AGG_FUNCTIONS:
+            raise EvaluationError(f"unknown aggregate {self.function!r}")
+        if self.argument is None and self.function != "count":
+            raise EvaluationError(f"{self.function}(*) is not defined")
+
+    def render(self) -> str:
+        inner = self.argument if self.argument is not None else "*"
+        return f"{self.output}:={self.function}({inner})"
+
+
+def default_value(spec: AggSpec) -> object:
+    """The aggregate's value over an empty group (engine semantics)."""
+    if spec.function in ("count", "sum", "avg"):
+        return 0
+    return None  # min/max of nothing are undefined
+
+
+def _accumulator(spec: AggSpec):
+    """(init, step, finish) closures folding one group's argument values."""
+    function = spec.function
+    if function == "count" and spec.argument is None:
+        return (lambda v: 1), (lambda s, v: s + 1), (lambda s: s)
+    if function == "count":  # count(A) counts *distinct* values
+        def init_set(v):
+            return {v}
+
+        def add(s, v):
+            s.add(v)
+            return s
+
+        return init_set, add, len
+    if function == "sum":
+        return (lambda v: v), (lambda s, v: s + v), (lambda s: s)
+    if function == "avg":
+        return (
+            (lambda v: (v, 1)),
+            (lambda s, v: (s[0] + v, s[1] + 1)),
+            (lambda s: s[0] / s[1]),
+        )
+    if function == "min":
+        return (lambda v: v), (lambda s, v: v if v < s else s), (lambda s: s)
+    if function == "max":
+        return (lambda v: v), (lambda s, v: v if v > s else s), (lambda s: s)
+    raise EvaluationError(f"unknown aggregate {function!r}")
+
+
+def aggregate_rows(
+    keys: Iterable[tuple],
+    args: Iterable[tuple],
+    specs: Sequence[AggSpec],
+) -> list[tuple]:
+    """Fold *args* rows into one output row per distinct key.
+
+    *keys* yields the grouping sub-tuple of each input row, *args* the
+    per-spec argument values of the same row (position i feeds specs[i];
+    ``count(*)`` positions carry a placeholder). Returns aligned output
+    rows ``key + aggregates`` — distinct by construction, so kernels can
+    use their trusted row constructors. With no specs this degenerates
+    to the distinct key list (pure GROUP BY).
+    """
+    accumulators = [_accumulator(spec) for spec in specs]
+    groups: dict[tuple, list] = {}
+    for key, row in zip(keys, args):
+        states = groups.get(key)
+        if states is None:
+            groups[key] = [
+                init(value) for (init, _, _), value in zip(accumulators, row)
+            ]
+        else:
+            for index, value in enumerate(row):
+                states[index] = accumulators[index][1](states[index], value)
+    return [
+        key + tuple(finish(state) for (_, _, finish), state in zip(accumulators, states))
+        for key, states in groups.items()
+    ]
+
+
+def default_row(specs: Sequence[AggSpec]) -> tuple:
+    """The output row of an empty group: one default per spec."""
+    return tuple(default_value(spec) for spec in specs)
+
+
+def missing_group_rows(result, keys: Sequence[str], specs, pad) -> list[tuple]:
+    """Default rows for *pad* keys absent from an aggregation *result*.
+
+    The single definition of global-aggregate padding: a world (or any
+    mandated key tuple) without input rows still answers with the
+    empty-group defaults. Used by both the physical world-grouped
+    operator and the relational-algebra ``GroupAggregate`` extension so
+    their padding semantics cannot drift.
+    """
+    from repro.relational.columnar import tuples_of
+
+    keys = tuple(keys)
+    present = set(tuples_of(result, keys))
+    defaults = default_row(specs)
+    return [
+        key + defaults
+        for key in dict.fromkeys(tuples_of(pad, keys))
+        if key not in present
+    ]

@@ -448,6 +448,81 @@ class Divide(_Binary):
         return self.left._cached(db, cache).divide(self.right._cached(db, cache))
 
 
+class GroupAggregate(RAExpr):
+    """Grouped SQL aggregation γ_{keys; specs}(q) — the I-SQL extension.
+
+    Not part of pure relational algebra (Section 4 defines the algebra
+    as the aggregation-free fragment); the Figure 6 translation uses it
+    the way it already uses ``=⊳⊲`` and the column copy: as a documented
+    operator extension, so the RA-DAG route can carry I-SQL aggregation
+    on the inlined representation. *keys* are the grouping attributes
+    (world ids + the user's GROUP BY columns on the inline route);
+    *specs* the aggregate columns. The optional *pad* expression
+    supplies key tuples that must appear in the output even when the
+    child has no matching rows — each padded with the empty-group
+    default values (a world whose answer is empty still answers a
+    global aggregate: count 0, sum 0).
+    """
+
+    __slots__ = ("keys", "specs", "child", "pad")
+
+    def __init__(
+        self,
+        keys: Sequence[str],
+        specs: Sequence,
+        child: RAExpr,
+        pad: RAExpr | None = None,
+    ) -> None:
+        self.keys = tuple(keys)
+        self.specs = tuple(specs)
+        self.child = child
+        self.pad = pad
+
+    def children(self) -> tuple[RAExpr, ...]:
+        if self.pad is None:
+            return (self.child,)
+        return (self.child, self.pad)
+
+    def schema(self, env: SchemaEnv) -> Schema:
+        child = self.child.schema(env)
+        for key in self.keys:
+            child.index(key)
+        for spec in self.specs:
+            if spec.argument is not None:
+                child.index(spec.argument)
+        out = Schema(self.keys + tuple(spec.output for spec in self.specs))
+        if self.pad is not None:
+            pad = self.pad.schema(env)
+            if pad.as_set() != set(self.keys):
+                raise SchemaError(
+                    f"aggregation pad attributes {list(pad)} must equal "
+                    f"the grouping keys {list(self.keys)}"
+                )
+        return out
+
+    def _evaluate(self, db: Database, cache: dict[int, Relation]) -> Relation:
+        from repro.relational.aggregates import missing_group_rows
+
+        out = self.child._cached(db, cache).aggregate_by(self.keys, self.specs)
+        if self.pad is not None:
+            missing = missing_group_rows(
+                out, self.keys, self.specs, self.pad._cached(db, cache)
+            )
+            if missing:
+                schema = Schema(self.keys + tuple(s.output for s in self.specs))
+                out = out.union(Relation._raw(schema, missing))
+        return out
+
+    def to_text(self) -> str:
+        aggs = ",".join(spec.render() for spec in self.specs)
+        keys = ",".join(self.keys) or "∅"
+        padded = " (padded)" if self.pad is not None else ""
+        return f"γ[{aggs}; by {keys}]{padded}({self.child.to_text()})"
+
+    def _key(self) -> tuple:
+        return (self.keys, self.specs, self.child, self.pad)
+
+
 class OuterJoinPad(_Binary):
     """The padded left outer join q₁ =⊳⊲ q₂ of Remark 5.5."""
 

@@ -564,6 +564,35 @@ class ColumnarRelation:
             [d for d, vs in seen.items() if len(vs) >= need and required <= vs],
         )
 
+    def aggregate_by(
+        self, keys: Sequence[str], specs: Sequence["AggSpec"]
+    ) -> "ColumnarRelation":
+        """Grouped SQL aggregation, vectorized: one fold pass.
+
+        The group keys stream through :meth:`tuples` and each aggregate
+        argument through :meth:`column_values` — C-speed zips feeding
+        the shared fold of :mod:`repro.relational.aggregates` — so the
+        world-grouped aggregation of the inline hot path (keys = world
+        ids + the user's GROUP BY columns) costs one dictionary pass
+        over the flat answer table, never a per-world loop. Output rows
+        are distinct by construction (one per key).
+        """
+        from repro.relational.aggregates import aggregate_rows, default_row
+
+        keys = tuple(keys)
+        schema = Schema(keys + tuple(spec.output for spec in specs))
+        columns = [
+            self.column_values(spec.argument)
+            if spec.argument is not None
+            else repeat(None, self._nrows)
+            for spec in specs
+        ]
+        args = zip(*columns) if columns else repeat((), self._nrows)
+        out = aggregate_rows(self.tuples(keys), args, specs)
+        if not out and not keys:
+            out = [default_row(specs)]
+        return ColumnarRelation._from_rows(schema, out)
+
     def left_outer_join_padded(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
         joined = self.natural_join(other)

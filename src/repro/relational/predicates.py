@@ -7,7 +7,9 @@ query trees structurally), and compile to fast row-level closures via
 
 Supported comparisons mirror what the paper's examples need:
 ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=`` between two attributes or an
-attribute and a constant, plus ``and`` / ``or`` / ``not`` and the
+attribute and a constant — or arithmetic (:class:`Arith`) over those,
+which the I-SQL compiler uses for conditions like
+``sum - Revenue > 1000`` — plus ``and`` / ``or`` / ``not`` and the
 constants ``TRUE`` / ``FALSE``.
 """
 
@@ -16,7 +18,7 @@ from __future__ import annotations
 import operator
 from typing import Callable, Mapping
 
-from repro.errors import SchemaError
+from repro.errors import EvaluationError, SchemaError
 from repro.relational.schema import Schema
 
 _OPS: dict[str, Callable[[object, object], bool]] = {
@@ -26,6 +28,13 @@ _OPS: dict[str, Callable[[object, object], bool]] = {
     "<=": operator.le,
     ">": operator.gt,
     ">=": operator.ge,
+}
+
+_ARITH_OPS: dict[str, Callable[[object, object], object]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
 }
 
 _NEGATED: dict[str, str] = {
@@ -112,6 +121,115 @@ class Const(Term):
 
     def __hash__(self) -> int:
         return hash(("Const", type(self.value).__name__, self.value))
+
+
+class Arith(Term):
+    """Binary arithmetic over two terms: ``left op right``.
+
+    Mirrors the I-SQL engine's value arithmetic: an undefined operand
+    (None — e.g. ``min`` over an empty group) or a type mismatch raises
+    :class:`EvaluationError`, which deliberately escapes the
+    best-effort ``TypeError → False`` net of :meth:`Comparison.bind` so
+    both evaluation routes fail the same statements.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: object, right: object) -> None:
+        if op not in _ARITH_OPS:
+            raise SchemaError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = _as_term(left)
+        self.right = _as_term(right)
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Arith":
+        return Arith(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        combine = _ARITH_OPS[self.op]
+
+        def value(row: tuple) -> object:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                raise EvaluationError(
+                    "arithmetic over an undefined (empty) aggregate"
+                )
+            try:
+                return combine(a, b)
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"arithmetic {self.op!r} over incompatible values"
+                ) from exc
+
+        return value
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}{self.op}{self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Arith)
+            and other.op == self.op
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Arith", self.op, self.left, self.right))
+
+
+class PadDefault(Term):
+    """An attribute read that maps the PAD sentinel to a default value.
+
+    Used by the decorrelated scalar-aggregate comparison: the pad join
+    ``outer =⊳⊲ S`` marks outer rows without a correlation partner with
+    :data:`~repro.relational.pad.PAD` on the aggregate column, and this
+    term turns that marker into the SQL empty-group default (0 for
+    count/sum/avg, None for min/max) during predicate evaluation.
+    """
+
+    __slots__ = ("name", "default")
+
+    def __init__(self, name: str, default: object) -> None:
+        self.name = name
+        self.default = default
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def rename(self, mapping: Mapping[str, str]) -> "PadDefault":
+        return PadDefault(mapping.get(self.name, self.name), self.default)
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        from repro.relational.pad import PAD
+
+        position = schema.index(self.name)
+        default = self.default
+
+        def value(row: tuple) -> object:
+            raw = row[position]
+            return default if raw is PAD else raw
+
+        return value
+
+    def __repr__(self) -> str:
+        return f"{self.name}⟨pad→{self.default!r}⟩"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PadDefault)
+            and other.name == self.name
+            and other.default == self.default
+        )
+
+    def __hash__(self) -> int:
+        return hash(("PadDefault", self.name, self.default))
 
 
 def _as_term(operand: object) -> Term:

@@ -499,6 +499,38 @@ class Relation:
             (d for d, vs in seen.items() if len(vs) >= need and required <= vs),
         )
 
+    def aggregate_by(self, keys: Sequence[str], specs: Sequence["AggSpec"]) -> "Relation":
+        """Grouped SQL aggregation: one row per distinct *keys* value.
+
+        The I-SQL extension beyond pure relational algebra (like
+        repair-by-key): rows are grouped by *keys* and each
+        :class:`~repro.relational.aggregates.AggSpec` folds its argument
+        column within the group, with the engine's set-based value
+        semantics (``count`` distinct, ``sum``/``avg`` over the distinct
+        rows). A *global* aggregate (``keys = ()``) over an empty
+        relation yields the single default row — SQL's one empty group.
+        """
+        from repro.relational.aggregates import aggregate_rows, default_row
+
+        keys = tuple(keys)
+        schema = Schema(keys + tuple(spec.output for spec in specs))
+        rows = list(self.rows)
+        key_of = (
+            tuple_getter(self.schema.indices(keys)) if keys else (lambda row: ())
+        )
+        positions = [
+            self.schema.index(spec.argument) if spec.argument is not None else None
+            for spec in specs
+        ]
+        args = (
+            tuple(row[p] if p is not None else None for p in positions)
+            for row in rows
+        )
+        out = aggregate_rows(map(key_of, rows), args, specs)
+        if not out and not keys:
+            out = [default_row(specs)]
+        return Relation._raw(schema, out)
+
     def left_outer_join_padded(self, other: "Relation") -> "Relation":
         """The modified left outer join ``=⊳⊲`` of Remark 5.5.
 

@@ -97,22 +97,66 @@ class TestInlineSpecifics:
         assert result.world_count() == 3
         assert len(result.answers()) == 3
 
+    def test_aggregation_runs_direct_on_flat_tables(self, flights):
+        """Aggregation stays on the inlined representation (no fallback)."""
+        s = ISQLSession(backend="inline")
+        s.register("Flights", flights)
+        result = s.query("select count(Arr) as N from Flights choice of Dep;")
+        assert not s.backend.fallback_events
+        assert result.possible().rows == {(2,), (1,)}
+        assert result.certain().rows == set()
+
     def test_possible_certain_available_after_fallback(self, flights):
         """A fallback result must expose the same surface as a direct one."""
         s = ISQLSession(backend="inline")
         s.register("Flights", flights)
-        result = s.query("select count(Arr) as N from Flights choice of Dep;")
-        assert result.possible().rows == {(2,), (1,)}
-        assert result.certain().rows == set()
+        # A condition subquery under OR is part of the documented
+        # residue: it still routes through the explicit engine.
+        result = s.query(
+            "select Arr from Flights where Arr = 'BCN' or "
+            "Dep in (select Dep from Flights where Arr = 'PHL');"
+        )
+        assert s.backend.fallback_events
+        assert result.possible().rows == {("BCN",)}
+        assert result.certain().rows == {("BCN",)}
 
     def test_inline_route_classification(self, flights):
         schemas = {"Flights": ("Dep", "Arr")}
         assert inline_route(
             "select certain Arr from Flights choice of Dep;", schemas
         ) == "direct"
+        # Aggregation and condition subqueries are now in the fragment …
         assert inline_route(
             "select count(Arr) from Flights;", schemas
+        ) == "direct"
+        assert inline_route(
+            "select * from Flights where Dep in (select Dep from Flights);",
+            schemas,
+        ) == "direct"
+        # … while the residue still falls back.
+        assert inline_route(
+            "select * from Flights where Arr = 'X' or "
+            "Dep in (select Dep from Flights);",
+            schemas,
         ) == "fallback"
+
+    def test_fallback_events_are_bounded_and_cleared_on_close(self, flights):
+        """Diagnostics must not grow without bound in long sessions."""
+        from repro.backend.inline import FALLBACK_EVENT_LIMIT
+
+        s = ISQLSession(backend="inline")
+        s.register("Flights", flights)
+        residue = (
+            "select Arr from Flights where Arr = 'BCN' or "
+            "Dep in (select Dep from Flights);"
+        )
+        for _ in range(FALLBACK_EVENT_LIMIT + 10):
+            s.query(residue)
+        assert len(s.backend.fallback_events) == FALLBACK_EVENT_LIMIT
+        event = s.backend.fallback_events[-1]
+        assert event.kind == "select" and event.clause == "where"
+        s.close()
+        assert not s.backend.fallback_events
 
     def test_fresh_ids_never_collide_across_statements(self, flights):
         s = ISQLSession(backend="inline")

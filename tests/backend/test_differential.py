@@ -3,9 +3,11 @@
 This is the PR's acceptance property: ``InlineBackend`` (both the
 physical-operator and the Figure 6 translation strategies) returns the
 same answer world-sets as ``ExplicitBackend`` on every scenario of
-:func:`repro.datagen.scenarios` — including the scenarios that force
-the inline backend through its explicit fallback (aggregation,
-condition subqueries, group-worlds-by over a subquery).
+:func:`repro.datagen.scenarios` — and, since the compiler widened to
+SQL aggregation, condition subqueries and subquery-keyed world
+grouping, every scenario statement runs ``route=direct`` on the
+inlined representation (no scenario exercises the explicit fallback
+anymore; the residue is covered by dedicated unit tests).
 """
 
 import pytest
@@ -21,12 +23,26 @@ def test_inline_agrees_with_explicit(name):
     assert_backends_agree(SMALL[name], ("explicit", "inline"))
 
 
-@pytest.mark.parametrize(
-    "name", sorted(n for n, s in SMALL.items() if not s.uses_fallback)
-)
+@pytest.mark.parametrize("name", sorted(SMALL))
 def test_translate_strategy_agrees_with_explicit(name):
-    """The literal Figure 6 route, where the fragment permits it."""
+    """The literal Figure 6 route, now over the whole scenario suite."""
     assert_backends_agree(SMALL[name], ("explicit", "inline-translate"))
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_no_scenario_statement_falls_back(name):
+    """ISSUE 3 acceptance: no benchmark scenario statement falls back.
+
+    The aggregation-heavy ``tpch_what_if`` and the ``group worlds by
+    ⟨subquery⟩`` acquisition variant were the last fallback scenarios;
+    both (and everything else) must now evaluate flat. The XL
+    benchmark variants reuse these exact statement shapes, and
+    ``benchmarks/bench_backends.py`` asserts their routes at bench
+    time.
+    """
+    assert not SMALL[name].uses_fallback
+    session, _ = run_scenario(SMALL[name], "inline")
+    assert not list(session.backend.fallback_events)
 
 
 @pytest.mark.parametrize("name", sorted(SMALL))

@@ -125,6 +125,7 @@ class TestXLScenarios:
             "trip_certain_2p16",
             "census_repair_xl",
             "acquisition_xl",
+            "tpch_what_if_xl",
         }
         assert all(s.explicit_infeasible for s in suite.values())
         assert suite["trip_certain_2p16"].approx_worlds == 2**16

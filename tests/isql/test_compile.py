@@ -77,37 +77,110 @@ class TestCorrespondence:
         assert expr.evaluate(db).rows == {("ATL",)}
 
 
+class TestWidenedFragment:
+    """Constructs the seed compiler rejected now compile to the algebra."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "select count(Arr) as N from Flights;",
+            "select min(Arr) as Lo, max(Arr) as Hi from Flights;",
+            "select Dep, count(Arr) as N from Flights group by Dep;",
+            "select Dep from Flights group by Dep;",
+            "select * from Flights where Dep in (select Dep from Flights);",
+            "select * from Flights where Dep not in "
+            "(select Dep from Flights where Arr = 'ATL');",
+            "select * from Flights F1 where exists "
+            "(select * from Flights F2 where F2.Arr = F1.Arr and F2.Dep != F1.Dep);",
+            "select certain Arr from Flights choice of Dep "
+            "group worlds by (select Dep from Flights);",
+            "select certain count(Arr) as N from Flights choice of Dep;",
+        ],
+    )
+    def test_engine_matches_algebra_on_widened_constructs(self, text, flights):
+        engine_answers, algebra_answers = engine_vs_algebra(
+            text, {"Flights": flights}
+        )
+        assert engine_answers == algebra_answers
+
+    def test_aggregation_compiles_to_aggregate_node(self):
+        from repro.core.ast import Aggregate
+
+        query = compile_query(
+            parse_query("select Dep, sum(Arr) as S from Flights group by Dep;"),
+            SCHEMAS,
+        )
+        assert any(isinstance(n, Aggregate) for n in query.walk())
+
+    def test_membership_compiles_to_semijoin(self):
+        from repro.core.ast import AntiJoin, SemiJoin
+
+        query = compile_query(
+            parse_query(
+                "select * from Flights where Dep in (select Dep from Flights);"
+            ),
+            SCHEMAS,
+        )
+        assert any(isinstance(n, SemiJoin) for n in query.walk())
+        negated = compile_query(
+            parse_query(
+                "select * from Flights where Dep not in (select Dep from Flights);"
+            ),
+            SCHEMAS,
+        )
+        assert any(isinstance(n, AntiJoin) for n in negated.walk())
+
+    def test_group_worlds_by_subquery_compiles_keyed(self):
+        from repro.core.ast import CertGroupKey
+
+        query = compile_query(
+            parse_query(
+                "select certain Arr from Flights choice of Dep "
+                "group worlds by (select Dep from Flights);"
+            ),
+            SCHEMAS,
+        )
+        assert any(isinstance(n, CertGroupKey) for n in query.walk())
+
+
 class TestFragmentBoundaries:
-    def test_aggregates_rejected(self):
-        with pytest.raises(FragmentError, match="aggregation"):
-            compile_query(
-                parse_query("select sum(Arr) from Flights;"), SCHEMAS
-            )
+    """The remaining residue still routes through the explicit engine."""
 
-    def test_group_by_rejected(self):
-        with pytest.raises(FragmentError):
-            compile_query(
-                parse_query("select Dep from Flights group by Dep;"), SCHEMAS
-            )
-
-    def test_subquery_conditions_rejected(self):
-        with pytest.raises(FragmentError):
+    def test_subquery_under_or_rejected(self):
+        with pytest.raises(FragmentError, match="or"):
             compile_query(
                 parse_query(
-                    "select * from Flights where Dep in (select Dep from Flights);"
+                    "select * from Flights where Arr = 'ATL' or "
+                    "Dep in (select Dep from Flights);"
                 ),
                 SCHEMAS,
             )
 
-    def test_group_worlds_by_subquery_rejected(self):
-        with pytest.raises(FragmentError, match="attribute list"):
+    def test_ungrouped_select_column_rejected(self):
+        with pytest.raises(FragmentError, match="GROUP BY"):
+            compile_query(
+                parse_query("select Arr, count(Dep) from Flights group by Dep;"),
+                SCHEMAS,
+            )
+
+    def test_non_aggregate_scalar_subquery_rejected(self):
+        with pytest.raises(FragmentError, match="scalar"):
             compile_query(
                 parse_query(
-                    "select certain Arr from Flights "
-                    "group worlds by (select Dep from Flights);"
+                    "select * from Flights where Dep = "
+                    "(select Dep from Flights where Arr = 'PHL');"
                 ),
                 SCHEMAS,
             )
+
+    def test_fragment_error_carries_clause_and_span(self):
+        text = (
+            "select * from Flights where Arr = 'ATL' or "
+            "Dep in (select Dep from Flights);"
+        )
+        with pytest.raises(FragmentError) as excinfo:
+            compile_query(parse_query(text), SCHEMAS)
+        assert excinfo.value.clause == "where"
 
     def test_unknown_relation(self):
         with pytest.raises(FragmentError, match="unknown relation"):

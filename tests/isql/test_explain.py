@@ -46,6 +46,70 @@ class TestExplain:
         assert report.complete_to_complete
 
 
+class TestInlineRouteReport:
+    """Fallback diagnostics carry the offending clause and source span."""
+
+    def test_direct_statement_has_no_diagnostics(self):
+        from repro.isql import inline_route_report
+
+        report = inline_route_report(TRIP, SCHEMAS)
+        assert report.route == "direct"
+        assert report.reason is None
+        assert report.clause is None and report.span is None
+
+    def test_widened_constructs_route_direct(self):
+        from repro.isql import inline_route_report
+
+        for text in (
+            "select count(Arr) as N from Flights;",
+            "select Dep, count(*) as N from Flights group by Dep;",
+            "select * from Flights where Dep in (select Dep from Flights);",
+            "select certain Arr from Flights choice of Dep "
+            "group worlds by (select Dep from Flights);",
+        ):
+            assert inline_route_report(text, SCHEMAS).route == "direct", text
+
+    def test_fallback_report_names_clause_and_span(self):
+        from repro.isql import inline_route_report
+
+        text = (
+            "select * from Flights where Arr = 'ATL' or "
+            "Dep in (select Dep from Flights);"
+        )
+        report = inline_route_report(text, SCHEMAS)
+        assert report.route == "fallback"
+        assert report.clause == "where"
+        assert report.span is not None
+        snippet = report.snippet(text)
+        assert snippet is not None and "select Dep from Flights" in snippet
+
+    def test_select_list_span_points_at_the_item(self):
+        from repro.isql import inline_route_report
+
+        text = "select Arr, count(Dep) as N from Flights group by Dep;"
+        report = inline_route_report(text, SCHEMAS)
+        assert report.route == "fallback"
+        assert report.clause == "select list"
+        assert report.snippet(text) == "Arr"
+
+    def test_report_unpacks_as_the_historical_pair(self):
+        from repro.isql import inline_route_report
+
+        route, reason, clause, span = inline_route_report(TRIP, SCHEMAS)
+        assert route == "direct" and reason is None
+        assert inline_route_report(TRIP, SCHEMAS)[0] == "direct"
+
+
+class TestExplainWidenedFragment:
+    def test_aggregate_query_explains_without_crashing(self):
+        """1↦1 aggregation: the Fig.6 route carries it, §5.3 does not."""
+        report = explain("select count(Arr) as N from Flights;", SCHEMAS)
+        assert report.complete_to_complete
+        assert report.relational_general is not None
+        assert report.relational_optimized is None
+        assert "Fig.6" in report.render()
+
+
 class TestRunViaTranslation:
     def test_matches_the_engine(self, flights):
         db = Database({"Flights": flights})

@@ -63,6 +63,41 @@ def test_becoming_infeasible_is_a_regression():
     assert len(problems) == 1 and "infeasible" in problems[0]
 
 
+def test_route_regression_direct_to_fallback_fails():
+    """Re-routing a direct scenario through the explicit fallback is an
+    architectural regression even when the seconds pass the threshold."""
+    baseline = _payload(_row("tpch", seconds=0.100, route="direct"))
+    current = _payload(
+        _row(
+            "tpch",
+            seconds=0.110,
+            route="fallback",
+            fallback_reason="aggregation left the fragment",
+        )
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "direct → fallback" in problems[0]
+    assert "aggregation" in problems[0]
+
+
+def test_newly_direct_route_gates_on_seconds_like_the_rest():
+    """A scenario that flipped fallback→direct is faster and passes; a
+    genuine slowdown on it still fails like any other row."""
+    baseline = _payload(_row("tpch", seconds=0.400, route="fallback"))
+    improved = _payload(_row("tpch", seconds=0.050, route="direct"))
+    assert check_regression.check(baseline, improved, 2.0, 0.002) == []
+    slower = _payload(_row("tpch", seconds=1.000, route="direct"))
+    problems = check_regression.check(baseline, slower, 2.0, 0.002)
+    assert len(problems) == 1 and "tpch" in problems[0]
+
+
+def test_rows_without_route_do_not_route_gate():
+    """Old baselines predate route recording: absent routes never gate."""
+    baseline = _payload(_row("trip", seconds=0.100))
+    current = _payload(_row("trip", seconds=0.110, route="fallback"))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
 def test_baseline_infeasible_rows_do_not_gate():
     baseline = _payload(_row("xl", seconds=None, infeasible=True))
     current = _payload(_row("xl", seconds=4.0))
