@@ -26,7 +26,14 @@ Shape claims:
   ``route=direct``: the widened compiler carries SQL aggregation,
   condition subqueries and subquery-keyed world grouping on the
   inlined representation, which is what makes the inline-only
-  ``tpch_what_if_xl`` scenario (2¹³ worlds) possible at all.
+  ``tpch_what_if_xl`` scenario (2¹³ worlds) possible at all;
+* DML with subqueries runs flat too (ISSUE 4): the small
+  ``dml_subquery_cleanup`` scenario exercises subquery-bearing
+  update/delete plus an OR-subquery condition on every backend, and
+  the inline-only ``census_cleanup_dml_xl`` scenario replays that
+  statement shape at 2¹³ worlds — decoding those worlds per DML
+  statement (the old ``_reinline`` fallback) is exactly what the
+  explicit side's *infeasible* row records.
 """
 
 from __future__ import annotations
@@ -57,6 +64,7 @@ SUITE = [
     LARGE["acquisition_subquery_grouping"],
     LARGE["census_repair"],
     LARGE["tpch_what_if"],
+    LARGE["dml_subquery_cleanup"],
 ]
 
 XL_SUITE = list(xl_scenarios())

@@ -11,6 +11,7 @@ Run:  python examples/census_repair.py
 from repro import ISQLSession
 from repro.core import count_repairs
 from repro.datagen import census
+from repro.isql import session_route
 from repro.render import render_relation
 
 
@@ -21,15 +22,21 @@ def main() -> None:
 
     session = ISQLSession()
     session.register("Census", dirty)
-    session.execute("Clean <- select * from Census repair by key SSN;")
+    statement = "Clean <- select * from Census repair by key SSN;"
+    print(f"[inline route: {session_route(session, statement)}]")
+    session.execute(statement)
     print(f"Worlds after repair-by-key: {session.world_count()}")
 
-    certain = session.query("select certain SSN, Name from Clean;")
-    print("\nCertain (SSN, Name) facts — true in every repair:")
+    query = "select certain SSN, Name from Clean;"
+    certain = session.query(query)
+    print(f"\nCertain (SSN, Name) facts — true in every repair "
+          f"[route: {session_route(session, query)}]:")
     print(render_relation(certain.relation))
 
-    possible = session.query("select possible SSN, POB from Clean;")
-    print("\nPossible (SSN, POB) pairs — true in some repair:")
+    query = "select possible SSN, POB from Clean;"
+    possible = session.query(query)
+    print(f"\nPossible (SSN, POB) pairs — true in some repair "
+          f"[route: {session_route(session, query)}]:")
     print(render_relation(possible.relation))
 
     # Deduplication check: every repair world satisfies the key.

@@ -12,6 +12,7 @@ Run:  python examples/company_acquisition.py
 
 from repro import ISQLSession
 from repro.datagen import paper_company
+from repro.isql import session_route
 from repro.render import render_relation, render_world_set
 
 
@@ -52,7 +53,9 @@ def main() -> None:
         print(f"  W: {list(answer)}")
 
     print("\n--- 'Targets that guarantee the skill Web:' ---")
-    result = session.query("select possible CID from W where Skill = 'Web';")
+    query = "select possible CID from W where Skill = 'Web';"
+    print(f"[inline route: {session_route(session, query)}]")
+    result = session.query(query)
     print(render_relation(result.relation, title="Result"))
 
 

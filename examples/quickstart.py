@@ -5,6 +5,12 @@ departure city, want a common destination reachable by a direct flight.
 "Suppose the departure is any one of the cities" (choice-of), "which
 arrivals are then guaranteed?" (certain).
 
+Every I-SQL statement also prints the *route* the inline backend takes:
+``direct`` means it compiles to a flat plan over the inlined
+representation (worlds never enumerated), ``fallback`` means it would
+delegate to the explicit per-world engine — see
+docs/isql-reference.md for the construct-by-construct table.
+
 Run:  python examples/quickstart.py
 """
 
@@ -19,9 +25,19 @@ from repro import (
     rel,
 )
 from repro.datagen import paper_flights
+from repro.isql import inline_route
 from repro.relational import Database
 from repro.render import render_relation
 from repro.worlds import World, WorldSet
+
+SCHEMAS = {"Flights": ("Dep", "Arr")}
+
+STATEMENTS = (
+    "select certain Arr from Flights choice of Dep;",
+    "delete from Flights where Dep in "
+    "(select Dep from Flights where Arr = 'BCN');",
+    "select possible Dep from Flights;",
+)
 
 
 def main() -> None:
@@ -36,8 +52,16 @@ def main() -> None:
     for backend in ("explicit", "inline"):
         session = ISQLSession(backend=backend)
         session.register("Flights", flights)
-        result = session.query("select certain Arr from Flights choice of Dep;")
-        print(f"I-SQL ({backend:8s}):", result.relation.sorted_rows())
+        for statement in STATEMENTS:
+            route = inline_route(statement, SCHEMAS)
+            result = session.execute(statement)[0]
+            shown = (
+                result.relation.sorted_rows()
+                if hasattr(result, "relation")
+                else result
+            )
+            print(f"I-SQL ({backend:8s}) [route={route:8s}]:", shown)
+        print()
 
     # 2. World-set algebra: the formal core (Figure 3 semantics).
     query = cert(project("Arr", choice_of("Dep", rel("Flights"))))

@@ -13,6 +13,7 @@ import sys
 
 from repro import ISQLSession
 from repro.datagen import lineitem
+from repro.isql import session_route
 from repro.render import render_relation
 
 
@@ -37,17 +38,21 @@ def main(threshold: int = 50_000) -> None:
            group by A.Year;"""
     )
 
-    probe = session.query("select possible Year, Revenue from YearQuantity;")
-    print("Hypothetical (year, revenue-without-one-quantity) pairs:")
+    probe_text = "select possible Year, Revenue from YearQuantity;"
+    probe = session.query(probe_text)
+    print("Hypothetical (year, revenue-without-one-quantity) pairs "
+          f"[inline route: {session_route(session, probe_text)}]:")
     print(render_relation(probe.relation))
 
-    result = session.query(
+    result_text = (
         f"""select possible Year from YearQuantity as Y
             where (select sum(Price) from Lineitem
                    where Lineitem.Year = Y.Year)
                   - Y.Revenue > {threshold};"""
     )
-    print(f"\nYears with a possible revenue loss over {threshold}:")
+    result = session.query(result_text)
+    print(f"\nYears with a possible revenue loss over {threshold} "
+          f"[inline route: {session_route(session, result_text)}]:")
     print(render_relation(result.relation))
 
 

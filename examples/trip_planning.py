@@ -16,6 +16,7 @@ from repro.inline import (
     apply_general,
     optimized_ra_query,
 )
+from repro.isql import session_route
 from repro.relational import Database
 from repro.render import render_relation, render_representation, render_world_set
 
@@ -28,17 +29,23 @@ def main() -> None:
     session.register("Flights", flights)
 
     print("\n(b) Creating worlds using choice-of on Dep")
-    session.execute("F <- select * from Flights choice of Dep;")
+    statement = "F <- select * from Flights choice of Dep;"
+    print(f"  [inline route: {session_route(session, statement)}]")
+    session.execute(statement)
     for index, world in enumerate(session.world_set.sorted_worlds(), start=1):
         print(f"  world {index}: F = {world['F'].sorted_rows()}")
 
     print("\n(d) select certain Arr from F;  (Example 3.1)")
-    result = session.query("select certain Arr from F;")
+    query = "select certain Arr from F;"
+    print(f"  [inline route: {session_route(session, query)}]")
+    result = session.query(query)
     print(f"  every world gains F' = {result.relation.sorted_rows()}"
           f" — still {result.world_count()} worlds")
 
     print("\n(c) delete from F where Arr = 'ATL';  (Example 3.2)")
-    session.execute("delete from F where Arr = 'ATL';")
+    statement = "delete from F where Arr = 'ATL';"
+    print(f"  [inline route: {session_route(session, statement)}]")
+    session.execute(statement)
     for index, world in enumerate(session.world_set.sorted_worlds(), start=1):
         print(f"  world {index}: F = {world['F'].sorted_rows()}")
 

@@ -99,6 +99,18 @@ class Backend:
         raise NotImplementedError
 
     def relation_names(self) -> tuple[str, ...]:
+        """Names of the base relations in the current state."""
+        raise NotImplementedError
+
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        """Value-attribute schemas of the current catalog.
+
+        The shape ``{relation: (attr, …)}`` that
+        :func:`repro.isql.compile.compile_query` and
+        :func:`repro.isql.explain.inline_route_report` take, so callers
+        can ask routing/compilation questions against a live session
+        without decoding its state.
+        """
         raise NotImplementedError
 
     def world_count(self) -> int:

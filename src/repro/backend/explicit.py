@@ -68,6 +68,11 @@ class ExplicitBackend(Backend):
     def relation_names(self) -> tuple[str, ...]:
         return self.world_set.relation_names
 
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        return {
+            name: schema.attributes for name, schema in self.world_set.signature
+        }
+
     def world_count(self) -> int:
         return len(self.world_set)
 

@@ -25,18 +25,25 @@ Two evaluation strategies implement the last-but-one arrow:
 The compiled fragment covers the whole Figure 1 select surface — SQL
 aggregation (a world-grouped flat aggregation), ``[not] in`` /
 ``[not] exists`` condition subqueries (decorrelated into semijoins and
-antijoins), comparisons against scalar aggregate subqueries, and
-``group worlds by ⟨subquery⟩`` (subquery-keyed world grouping) — so
-those statements never enumerate worlds either. Only the genuinely
-row-at-a-time residue falls back to the explicit engine on the decoded
-world-set (assignments re-inline the result): condition subqueries
-under ``or``, non-column ``in`` needles, non-aggregate scalar
-subqueries, correlated subqueries that are themselves complex, select
-columns outside the GROUP BY key, and DML whose conditions or set
-expressions contain subqueries. ``fallback_events`` records those
-statements (kind, reason, clause, source span), bounded to the most
-recent :data:`FALLBACK_EVENT_LIMIT` so a long-lived session's
-diagnostics cannot grow without bound.
+antijoins, including under ``or`` as a union of per-disjunct chains),
+comparisons against scalar subqueries (aggregate or bare-column, the
+latter through the ``single`` pseudo-aggregate with a runtime
+cardinality guard), and ``group worlds by ⟨subquery⟩`` (subquery-keyed
+world grouping) — so those statements never enumerate worlds either.
+DML runs flat too: ``delete``/``update`` conditions and ``update`` set
+expressions with (world-local) subqueries compile to a match plan whose
+per-world-id answer masks or rewrites the flat table directly — no
+``_reinline`` round-trip. Only the genuinely row-at-a-time residue
+falls back to the explicit engine on the decoded world-set (assignments
+re-inline the result): non-column ``in`` needles, scalar subqueries of
+other shapes (or under ``or``, where the cardinality guard cannot stay
+as lazy as the engine's short-circuit), correlated subqueries that are
+themselves complex, disjunctions over an already-world-splitting outer
+plan, DML subqueries that are not world-local, and select columns
+outside the GROUP BY key.
+``fallback_events`` records those statements (kind, reason, clause,
+source span), bounded to the most recent :data:`FALLBACK_EVENT_LIMIT`
+so a long-lived session's diagnostics cannot grow without bound.
 
 ``possible``/``certain`` closings are answered directly from the flat
 answer table (a projection, resp. a division by W); worlds are decoded
@@ -68,7 +75,12 @@ from repro.inline.physical import (
 from repro.inline.representation import InlinedRepresentation
 from repro.inline.translate import translate_general
 from repro.isql import ast
-from repro.isql.compile import FragmentError, compile_query
+from repro.isql.compile import (
+    FragmentError,
+    compile_delete,
+    compile_query,
+    compile_update,
+)
 from repro.isql.engine import Engine
 from repro.optimizer.rewriter import optimize as rewrite_plan
 from repro.relational.columnar import as_tuple, resolve_kernel
@@ -219,6 +231,9 @@ class InlineBackend(Backend):
     def relation_names(self) -> tuple[str, ...]:
         return self.representation.tables.names
 
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        return self._value_schemas()
+
     def world_count(self) -> int:
         return self.representation.distinct_world_count()
 
@@ -258,17 +273,22 @@ class InlineBackend(Backend):
 
     def _compile(self, query: ast.SelectQuery, context: ExecutionContext):
         """I-SQL → world-set algebra, then the Figure 7 rewriting pass."""
-        schemas = self._value_schemas()
         with phase("compile"):
-            compiled = compile_query(query, schemas, dict(context.views))
-        if self.rewrite:
-            with phase("rewrite"):
-                env = {name: Schema(attrs) for name, attrs in schemas.items()}
-                kind = "1" if self.representation.world_count() <= 1 else "m"
-                try:
-                    compiled, _ = rewrite_plan(compiled, env, input_kind=kind)
-                except (RewriteError, TypingError, SchemaError):
-                    pass  # an unoptimized plan is still a correct plan
+            compiled = compile_query(query, self._value_schemas(), dict(context.views))
+        return self._rewritten(compiled)
+
+    def _rewritten(self, compiled):
+        """The Figure 7 rewriting pass (best effort — plans stay correct)."""
+        if not self.rewrite:
+            return compiled
+        schemas = self._value_schemas()
+        with phase("rewrite"):
+            env = {name: Schema(attrs) for name, attrs in schemas.items()}
+            kind = "1" if self.representation.world_count() <= 1 else "m"
+            try:
+                compiled, _ = rewrite_plan(compiled, env, input_kind=kind)
+            except (RewriteError, TypingError, SchemaError):
+                pass  # an unoptimized plan is still a correct plan
         return compiled
 
     def _evaluate(self, compiled, context: ExecutionContext) -> PhysicalState:
@@ -392,21 +412,57 @@ class InlineBackend(Backend):
 
     # -- data manipulation: the Section 3 DML rule on flat tables ----------------------
 
-    def _satisfies_keys_flat(
-        self, name: str, relation: Relation, key: tuple[str, ...] | None
-    ) -> bool:
-        """Key holds in *every* world: (V_i ∪ key) determines the row."""
-        if not key:
-            return True
-        table_ids = self.representation.table_id_attrs(name)
+    @staticmethod
+    def _key_tuples(
+        relation: Relation, key: tuple[str, ...], table_ids: tuple[str, ...]
+    ) -> set[tuple] | None:
+        """The (V_i ∪ key) projection of every row, or None on a duplicate.
+
+        A duplicate means two rows of one world share the key — the flat
+        form of a per-world key violation. The returned set doubles as a
+        probe index for :meth:`run_insert`.
+        """
         positions = relation.schema.indices(table_ids + tuple(key))
         seen: set[tuple] = set()
         for row in relation.rows:
             value = tuple(row[p] for p in positions)
             if value in seen:
-                return False
+                return None
             seen.add(value)
-        return True
+        return seen
+
+    @classmethod
+    def _satisfies_keys_flat(
+        cls,
+        relation: Relation,
+        key: tuple[str, ...] | None,
+        table_ids: tuple[str, ...],
+    ) -> bool:
+        """Key holds in *every* world: (V_i ∪ key) determines the row."""
+        if not key:
+            return True
+        return cls._key_tuples(relation, key, table_ids) is not None
+
+    def _expanded_table(self, name: str, ids: tuple[str, ...]) -> Relation:
+        """The flat table of *name* carrying exactly the id columns *ids*.
+
+        A lazily stored table (fewer id columns than the predicate
+        relation depends on) is replicated over the missing ids by
+        joining the world table's projection — the only place DML pays
+        for per-world variance, and only for the ids actually involved.
+        """
+        rep = self.representation
+        table = rep.tables[name]
+        if not set(ids) - table.schema.as_set():
+            return table
+        return table.natural_join(rep.world_table.project(ids))
+
+    def _dml_state(self, plan, context: ExecutionContext):
+        """Evaluate a DML match plan against the session representation."""
+        state = self._evaluate(self._rewritten(plan), context)
+        stray = [i for i in state.ids if i not in set(self.representation.id_attrs)]
+        assert not stray, f"DML plan minted world ids {stray}"
+        return state
 
     def _replace_table(self, name: str, table: Relation) -> None:
         rep = self.representation
@@ -417,6 +473,16 @@ class InlineBackend(Backend):
         self._commit(InlinedRepresentation(tables, rep.world_table, rep.id_attrs))
 
     def run_insert(self, statement: ast.Insert, context: ExecutionContext) -> bool:
+        """Insert into every world; on a key violation, insert nowhere.
+
+        The key check runs *before* any new table is materialized: all
+        additions share one value part and differ only on world ids, so
+        a violation exists iff some existing row already claims the new
+        key in a world the insert reaches (or the table itself violates
+        the key, which the engine's whole-table check also rejects). A
+        violating insert on a 2¹⁶-world table therefore costs one
+        indexed scan — no O(worlds) garbage rows.
+        """
         rep = self.representation
         table = rep.tables[statement.relation]
         value_attrs = rep.value_attributes(statement.relation)
@@ -427,31 +493,57 @@ class InlineBackend(Backend):
             )
         assignment = dict(zip(value_attrs, statement.values))
         table_ids = rep.table_id_attrs(statement.relation)
-        if table_ids:
-            additions = [
-                {**assignment, **dict(zip(table_ids, sub_id))}
-                for sub_id in rep.world_table.distinct_values(table_ids)
-            ]
-        else:
-            additions = [assignment]
-        new_table = Relation(table.schema, list(table.rows) + additions)
-        if not self._satisfies_keys_flat(
-            statement.relation, new_table, context.keys.get(statement.relation)
-        ):
-            return False
+        sub_ids = (
+            rep.world_table.distinct_values(table_ids) if table_ids else [()]
+        )
+        key = context.keys.get(statement.relation)
+        if key:
+            seen = self._key_tuples(table, tuple(key), table_ids)
+            if seen is None:
+                return False  # a pre-existing violation rejects too
+            new_key = tuple(assignment[a] for a in key)
+            if any(tuple(sub_id) + new_key in seen for sub_id in sub_ids):
+                return False
+        schema = table.schema
+        additions = (
+            tuple(
+                {**assignment, **dict(zip(table_ids, sub_id))}[a]
+                for a in schema.attributes
+            )
+            for sub_id in sub_ids
+        )
+        new_table = Relation(schema, list(table.rows) + list(additions))
         self._replace_table(statement.relation, new_table)
         return True
 
     def run_delete(self, statement: ast.Delete, context: ExecutionContext) -> None:
+        """Delete matching rows in every world — flat, even with subqueries.
+
+        Subquery-free conditions filter the flat table in one pass. A
+        condition with (world-local) subqueries compiles to its match
+        plan (``select * from R where φ``), whose flat answer is
+        subtracted from the id-expanded table per world id — the
+        Section 3 rule without decoding a single world. Only conditions
+        the compiler rejects (e.g. world-splitting subqueries, which the
+        engine rejects too when a row reaches them) fall back.
+        """
         if ast.condition_subqueries(statement.where):
-            self.fallback_events.append(
-                FallbackEvent("delete", "condition subqueries", "where")
-            )
-            self._reinline(
-                Engine(context.views, context.keys, context.max_worlds).run_delete(
-                    statement, self.to_world_set()
+            try:
+                plan, attrs = compile_delete(
+                    statement, self._value_schemas(), dict(context.views)
                 )
-            )
+            except FragmentError as reason:
+                self.fallback_events.append(
+                    FallbackEvent("delete", str(reason), reason.clause, reason.span)
+                )
+                self._reinline(
+                    Engine(
+                        context.views, context.keys, context.max_worlds
+                    ).run_delete(statement, self.to_world_set())
+                )
+                return
+            state = self._dml_state(plan, context)
+            self._apply_delete(statement.relation, attrs, state)
             return
         table = self.representation.tables[statement.relation]
         if statement.where is None:
@@ -463,26 +555,65 @@ class InlineBackend(Backend):
             kept = [row for row in table.rows if not matches(row)]
         self._replace_table(statement.relation, Relation(table.schema, kept))
 
+    def _apply_delete(self, name: str, attrs: tuple[str, ...], state) -> None:
+        """Subtract the match plan's flat answer from the flat table."""
+        answer = state.answer
+        if not answer:
+            # Nothing matched in any world: keep the (possibly lazily
+            # stored) table untouched rather than committing an
+            # id-expanded copy — a no-op delete must not replicate the
+            # table over the match plan's foreign world ids.
+            return
+        expanded = self._expanded_table(name, state.ids)
+        key_attrs = state.ids + attrs
+        answer_positions = answer.schema.indices(key_attrs)
+        matched = {
+            tuple(row[p] for p in answer_positions) for row in answer.rows
+        }
+        table_positions = expanded.schema.indices(key_attrs)
+        kept = [
+            row
+            for row in expanded.rows
+            if tuple(row[p] for p in table_positions) not in matched
+        ]
+        self._replace_table(name, Relation._raw(expanded.schema, kept))
+
     def run_update(self, statement: ast.Update, context: ExecutionContext) -> bool:
+        """Update matching rows in every world — flat, even with subqueries.
+
+        Subquery-free statements rewrite the flat table row by row. With
+        subqueries in the condition or the set expressions, the compiled
+        match plan (extended with one value column per scalar-subquery
+        set clause) is evaluated once; its flat answer names every
+        matched (world id, row) pair and carries the inputs of the new
+        values, so the table is rewritten per world id without decoding
+        worlds. The Section 3 discard rule then applies: a key violation
+        in *any* world rejects the update in all of them.
+        """
         in_where = bool(ast.condition_subqueries(statement.where))
         in_set = any(
             ast.expression_subqueries(clause.expression)
             for clause in statement.settings
         )
         if in_where or in_set:
-            self.fallback_events.append(
-                FallbackEvent(
-                    "update",
-                    "condition or expression subqueries",
-                    "where" if in_where else "set",
+            try:
+                plan, attrs, set_terms = compile_update(
+                    statement, self._value_schemas(), dict(context.views)
                 )
-            )
-            world_set, applied = Engine(
-                context.views, context.keys, context.max_worlds
-            ).run_update(statement, self.to_world_set())
-            if applied:
-                self._reinline(world_set)
-            return applied
+            except FragmentError as reason:
+                self.fallback_events.append(
+                    FallbackEvent(
+                        "update", str(reason), reason.clause, reason.span
+                    )
+                )
+                world_set, applied = Engine(
+                    context.views, context.keys, context.max_worlds
+                ).run_update(statement, self.to_world_set())
+                if applied:
+                    self._reinline(world_set)
+                return applied
+            state = self._dml_state(plan, context)
+            return self._apply_update(statement, attrs, set_terms, state, context)
         table = self.representation.tables[statement.relation]
         engine = Engine(context.views, context.keys)
         attributes = table.schema.attributes
@@ -509,8 +640,57 @@ class InlineBackend(Backend):
             rows.add(tuple(new_row))
         new_table = Relation(table.schema, rows)
         if not self._satisfies_keys_flat(
-            statement.relation, new_table, context.keys.get(statement.relation)
+            new_table,
+            context.keys.get(statement.relation),
+            self.representation.table_id_attrs(statement.relation),
         ):
             return False
         self._replace_table(statement.relation, new_table)
+        return True
+
+    def _apply_update(
+        self,
+        statement: ast.Update,
+        attrs: tuple[str, ...],
+        set_terms: tuple[tuple[str, object], ...],
+        state,
+        context: ExecutionContext,
+    ) -> bool:
+        """Rewrite the flat table from the evaluated update plan."""
+        name = statement.relation
+        answer = state.answer
+        if not answer:
+            # No row matched in any world: the table stays as stored
+            # (no id expansion), but the engine still key-checks the
+            # unchanged relation — a pre-existing violation rejects.
+            table = self.representation.tables[name]
+            return self._satisfies_keys_flat(
+                table,
+                context.keys.get(name),
+                self.representation.table_id_attrs(name),
+            )
+        ids = state.ids
+        order = attrs + ids
+        expanded = self._expanded_table(name, ids)._reordered(order)
+        answer_positions = answer.schema.indices(order)
+        matched = {
+            tuple(row[p] for p in answer_positions) for row in answer.rows
+        }
+        rows: set[tuple] = {row for row in expanded.rows if row not in matched}
+        set_index = {attr: i for i, attr in enumerate(attrs)}
+        binders = [
+            (set_index[attr], term.bind(answer.schema))
+            for attr, term in set_terms
+        ]
+        for row in answer.rows:
+            new_row = list(row[p] for p in answer_positions)
+            for position, value in binders:
+                new_row[position] = value(row)
+            rows.add(tuple(new_row))
+        new_table = Relation(order, rows)
+        if not self._satisfies_keys_flat(
+            new_table, context.keys.get(name), ids
+        ):
+            return False
+        self._replace_table(name, new_table)
         return True

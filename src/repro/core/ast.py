@@ -994,6 +994,22 @@ def active_domain(attrs: Sequence[str] | str) -> ActiveDomain:
     return ActiveDomain(attrs)
 
 
+def contains_world_splitter(query: WSAQuery) -> bool:
+    """True iff evaluating *query* can mint fresh world ids.
+
+    Choice-of and repair-by-key split worlds; every other operator is
+    deterministic per world. Duplicating a split-free subtree across the
+    branches of a union (the compiler's union-of-semijoins form of
+    ``or`` over condition subqueries) is therefore semantics-preserving,
+    while duplicating a splitting subtree would pair *independent*
+    splits — each occurrence would mint its own ids — which is why both
+    the compiler and the σ∪σ rewrite rule consult this before sharing.
+    """
+    return any(
+        isinstance(node, (ChoiceOf, RepairByKey)) for node in query.walk()
+    )
+
+
 def repairs_of_rows(
     rows: Sequence[tuple],
     key_positions: Sequence[int],

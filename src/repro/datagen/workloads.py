@@ -194,6 +194,13 @@ class Scenario:
     the answers compared. ``script`` holds the state-building statements
     (assignments, views, DML); ``query`` is the final select whose
     answer the differential harness and the benchmarks compare.
+
+    The registry lives in two generators: :func:`scenarios` (the
+    differential/benchmark suite, replayable on every backend at
+    ``"small"`` scale) and :func:`xl_scenarios` (inline-only workloads
+    beyond the explicit engine's reach, ``explicit_infeasible=True``).
+    Benchmarks assert every registered scenario statement records
+    ``route=direct`` unless ``uses_fallback`` opts it out.
     """
 
     name: str
@@ -318,6 +325,44 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
             approx_worlds=2**7 if large else 9,
         ),
         Scenario(
+            name="dml_subquery_cleanup",
+            relations=(
+                (
+                    "Bookings",
+                    Relation(
+                        ("Ref", "City", "Price"),
+                        [
+                            (1, "BCN", 80),
+                            (2, "BCN", 15),
+                            (3, "ATL", 55),
+                            (4, "ATL", 95),
+                            (5, "FRA", 40),
+                        ],
+                    ),
+                ),
+                (
+                    "Fees",
+                    Relation(
+                        ("Town", "Fee"), [("BCN", 25), ("ATL", 35), ("FRA", 10)]
+                    ),
+                ),
+            ),
+            keys=(("B", ("Ref",)),),
+            # DML over the *split* relation B with subqueries in the
+            # condition, the set expression, and under OR — the ISSUE 4
+            # residue, evaluated per world id on the flat table.
+            script=(
+                "B <- select * from Bookings choice of City;"
+                "update B set Price = (select min(Fee) from Fees "
+                "    where Town = City) + 100 "
+                "  where City in (select Town from Fees) and Price < 50;"
+                "delete from B where exists (select * from Fees "
+                "    where Town = City and Fee > 30) or Price > 90;"
+            ),
+            query="select possible Ref, City, Price from B;",
+            approx_worlds=3,
+        ),
+        Scenario(
             name="dml_key_discard",
             relations=(
                 ("Bookings", Relation(("Ref", "City"), [(1, "BCN"), (2, "ATL")])),
@@ -366,7 +411,37 @@ def xl_scenarios() -> tuple[Scenario, ...]:
         rows_per_year=8,
         seed=2,
     )
+    # A DML-heavy what-if at 2¹³ worlds: repair a dirty census, then
+    # region-normalize and scrub it with subquery-bearing update/delete
+    # statements that run per world id on the flat tables — exactly the
+    # statements that decoded 2¹³ explicit worlds before ISSUE 4.
+    dml_dirty = census(24, seed=7, duplicates=13)
+    dml_cities = max(24 // 2, 4)
+    regions = Relation(
+        ("City", "Region"),
+        [(f"City{i}", f"Reg{i % 4}") for i in range(dml_cities)],
+    )
+    blocked = Relation(("Town",), [("City1",), ("City3",), ("City5",)])
     return (
+        Scenario(
+            name="census_cleanup_dml_xl",
+            relations=(
+                ("Census", dml_dirty),
+                ("Regions", regions),
+                ("Blocked", blocked),
+            ),
+            script=(
+                "Clean <- select * from Census repair by key SSN;"
+                "update Clean set POW = (select min(Region) from Regions "
+                "    where City = POW) "
+                "  where POW in (select City from Regions);"
+                "delete from Clean where exists (select * from Blocked "
+                "    where Town = POB) or SSN > 1020;"
+            ),
+            query="select certain SSN, POW from Clean;",
+            approx_worlds=2**13,
+            explicit_infeasible=True,
+        ),
         Scenario(
             name="trip_certain_2p16",
             relations=(("HFlights", trip),),

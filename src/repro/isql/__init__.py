@@ -9,6 +9,7 @@ from repro.isql.explain import (
     explain,
     inline_route,
     inline_route_report,
+    session_route,
     run_via_translation,
 )
 from repro.isql.lexer import Token, tokenize
@@ -29,6 +30,7 @@ __all__ = [
     "explain",
     "inline_route",
     "inline_route_report",
+    "session_route",
     "parse_query",
     "parse_script",
     "parse_statement",

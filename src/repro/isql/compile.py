@@ -22,17 +22,38 @@ Figure 1 statement form stays on the algebra:
   an aggregation grouped on the correlation key, joined back to the
   outer rows (with the SQL empty-group default applied to outer rows
   without a partner);
+* a *non-aggregate* scalar subquery compiles the same way through the
+  internal ``single`` pseudo-aggregate — the lone distinct value per
+  world/correlation group — with a runtime cardinality guard
+  (:class:`~repro.relational.predicates.ScalarGuard`) that reproduces
+  the engine's "more than one row" error exactly when an outer row
+  reads an ambiguous value;
+* condition subqueries under ``or`` decorrelate as a *union of
+  semijoin chains*: the condition is normalized (negations pushed onto
+  the subquery atoms) and each disjunct filters the same split-free
+  outer plan, so ``σ_{A∨B}(R) = chainA(R) ∪ chainB(R)`` — per-disjunct
+  world-splitting subqueries stay independent operands with fresh ids;
 * ``group worlds by ⟨subquery⟩`` compiles to the subquery-keyed
   grouping nodes :class:`~repro.core.ast.PossGroupKey` /
-  :class:`~repro.core.ast.CertGroupKey`.
+  :class:`~repro.core.ast.CertGroupKey`;
+* ``delete`` and ``update`` conditions (and ``update`` set
+  expressions) with subqueries compile through
+  :func:`compile_delete` / :func:`compile_update` to a world-grouped
+  *match plan* — ``select * from R where φ`` over the relation itself —
+  whose flat answer masks/rewrites the inlined table per world id
+  (the Section 3 DML rule without ever decoding worlds).
 
 What still raises :class:`FragmentError` — and therefore routes the
 inline backend through the explicit engine — is the genuinely
-row-at-a-time residue: condition subqueries under ``or``, non-column
-``in`` needles, non-aggregate scalar subqueries, correlated subqueries
-that are themselves complex (aggregation/grouping/nesting inside), and
-``select`` columns that are not functionally grouped (the engine's
-representative-row semantics). :class:`FragmentError` carries the
+row-at-a-time residue: non-column ``in`` needles, scalar subqueries of
+other shapes (``select *``, expressions over several subqueries in one
+comparison), correlated subqueries that are themselves complex
+(aggregation/grouping/nesting inside), disjunctions over an outer plan
+that already splits worlds, scalar-subquery comparisons under ``or``
+(a union branch evaluates over *all* outer rows, so its cardinality
+guard cannot be as lazy as the engine's short-circuit), DML subqueries
+that are not world-local, and ``select`` columns that are not
+functionally grouped (the engine's representative-row semantics). :class:`FragmentError` carries the
 offending *clause* and its *source span* so diagnostics can point at
 the construct.
 
@@ -46,6 +67,7 @@ from __future__ import annotations
 
 from repro.errors import EvaluationError
 from repro.core import ast as wsa
+from repro.core.ast import contains_world_splitter
 from repro.isql import ast
 from repro.relational.aggregates import AggSpec, default_value
 from repro.relational.predicates import (
@@ -55,10 +77,19 @@ from repro.relational.predicates import (
     Const,
     PadDefault,
     Predicate,
+    ScalarGuard,
+    as_term,
     conjunction,
     eq,
 )
 from repro.relational.schema import Schema
+
+#: The internal alias DML match plans qualify the target relation with.
+#: The ``#`` prefix keeps it out of the user's alias namespace and makes
+#: qualified references inside DML conditions unresolvable — exactly the
+#: engine's behavior, which resolves DML conditions against the bare
+#: relation schema.
+DML_ALIAS = "#dml"
 
 SchemaLike = dict[str, tuple[str, ...]]
 
@@ -316,22 +347,140 @@ class _Compiler:
     def _compile_where(
         self, condition: ast.Condition, compiled: wsa.WSAQuery, attrs: tuple[str, ...]
     ) -> wsa.WSAQuery:
-        plain: list[Predicate] = []
-        deferred: list[ast.Condition] = []
-        for conjunct in self._conjuncts(condition):
-            if ast.condition_subqueries(conjunct):
-                deferred.append(conjunct)
-            else:
-                plain.append(self._condition(conjunct, attrs))
-        if plain:
-            compiled = wsa.select(conjunction(plain), compiled)
-        for conjunct in deferred:
-            compiled = self._compile_subquery_conjunct(conjunct, compiled, attrs)
-        return compiled
+        """Conjuncts compile **in syntactic order** — error parity.
 
-    def _compile_subquery_conjunct(
+        The engine evaluates a conjunction left to right per row, with
+        short-circuiting: a scalar-cardinality (or undefined-arithmetic)
+        error in conjunct k fires iff some row survives conjuncts 1…k−1
+        and reaches it. Chaining σ/semijoin operators in the same order
+        reproduces that exactly — a guard in conjunct k only ever sees
+        rows the preceding operators kept. Consecutive *plain* conjuncts
+        still batch into one σ (``And.bind`` short-circuits left to
+        right, so batching preserves the engine's order within the
+        group), keeping the σ(×) hash-join fusion for the common
+        join-predicates-first shape.
+        """
+        pending: list[Predicate] = []
+
+        def flushed(plan: wsa.WSAQuery) -> wsa.WSAQuery:
+            if pending:
+                plan = wsa.select(conjunction(pending), plan)
+                pending.clear()
+            return plan
+
+        for conjunct in self._conjuncts(condition):
+            if not ast.condition_subqueries(conjunct):
+                pending.append(self._condition(conjunct, attrs))
+            else:
+                compiled = self._compile_condition_plan(
+                    conjunct, flushed(compiled), attrs
+                )
+        return flushed(compiled)
+
+    @classmethod
+    def _nnf(cls, cond: ast.Condition, negate: bool = False) -> ast.Condition:
+        """Negation normal form: push ``not`` onto the atoms.
+
+        De Morgan over ``and``/``or``; ``[not] in`` / ``[not] exists``
+        absorb the negation into their ``negated`` flag; a negated
+        comparison keeps its ``not`` (the plain-predicate path handles
+        it, and a negated scalar-subquery comparison stays residue).
+        """
+        if isinstance(cond, ast.NotOp):
+            return cls._nnf(cond.operand, not negate)
+        if isinstance(cond, ast.BoolOp):
+            op = cond.op
+            if negate:
+                op = "or" if op == "and" else "and"
+            return ast.BoolOp(op, cls._nnf(cond.left, negate), cls._nnf(cond.right, negate))
+        if not negate:
+            return cond
+        if isinstance(cond, ast.InSubquery):
+            return ast.InSubquery(cond.needle, cond.query, not cond.negated, cond.span)
+        if isinstance(cond, ast.ExistsSubquery):
+            return ast.ExistsSubquery(cond.query, not cond.negated, cond.span)
+        return ast.NotOp(cond)
+
+    @classmethod
+    def _contains_scalar_comparison(cls, cond: ast.Condition) -> bool:
+        """True iff a comparison under *cond* holds a scalar subquery."""
+        if isinstance(cond, ast.Comparison):
+            return any(
+                cls._scalar_subqueries(side) for side in (cond.left, cond.right)
+            )
+        if isinstance(cond, ast.BoolOp):
+            return cls._contains_scalar_comparison(
+                cond.left
+            ) or cls._contains_scalar_comparison(cond.right)
+        if isinstance(cond, ast.NotOp):
+            return cls._contains_scalar_comparison(cond.operand)
+        return False
+
+    @classmethod
+    def _disjuncts(cls, condition: ast.Condition) -> list[ast.Condition]:
+        if isinstance(condition, ast.BoolOp) and condition.op == "or":
+            return cls._disjuncts(condition.left) + cls._disjuncts(condition.right)
+        return [condition]
+
+    def _compile_condition_plan(
+        self, cond: ast.Condition, compiled: wsa.WSAQuery, attrs: tuple[str, ...]
+    ) -> wsa.WSAQuery:
+        """Filter *compiled* by an arbitrary and/or/not condition tree.
+
+        Conjunctions chain (σ for the plain part, one semijoin/antijoin
+        or scalar join per subquery atom); disjunctions compile as a
+        *union of chains* over the same outer plan —
+        ``σ_{A∨B}(R) = chainA(R) ∪ chainB(R)`` holds per world because
+        answers are sets. The union references the outer plan once per
+        disjunct, so the plan must be split-free: duplicating a
+        world-splitting subtree would pair independent choice ids (see
+        :func:`~repro.core.ast.contains_world_splitter`). Negations were
+        already pushed onto the atoms by :meth:`_nnf`.
+        """
+        cond = self._nnf(cond)
+        if isinstance(cond, ast.BoolOp) and cond.op == "and":
+            return self._compile_where(cond, compiled, attrs)
+        if isinstance(cond, ast.BoolOp):  # an ``or`` node
+            if not ast.condition_subqueries(cond):
+                return wsa.select(self._condition(cond, attrs), compiled)
+            if contains_world_splitter(compiled):
+                raise FragmentError(
+                    "condition subqueries under 'or' cannot be decorrelated "
+                    "when the outer plan already splits worlds (choice-of / "
+                    "repair-by-key in the from list or an earlier subquery)",
+                    clause="where",
+                    span=self._condition_span(cond),
+                )
+            if self._contains_scalar_comparison(cond):
+                # Every union branch evaluates over *all* outer rows, so
+                # a ScalarGuard in one disjunct would fire for rows the
+                # engine's short-circuit 'or' never evaluates it on.
+                # Membership/existence atoms are total — only scalar
+                # comparisons carry error semantics — so they stay.
+                raise FragmentError(
+                    "scalar subqueries under 'or' are outside the "
+                    "evaluatable fragment (their cardinality error "
+                    "cannot be made as lazy as the engine's "
+                    "short-circuit)",
+                    clause="where",
+                    span=self._condition_span(cond),
+                )
+            branches = [
+                self._compile_condition_plan(disjunct, compiled, attrs)
+                for disjunct in self._disjuncts(cond)
+            ]
+            result = branches[0]
+            for branch in branches[1:]:
+                result = wsa.union(result, branch)
+            return result
+        if not ast.condition_subqueries(cond):
+            return wsa.select(self._condition(cond, attrs), compiled)
+        return self._compile_subquery_atom(cond, compiled, attrs)
+
+    def _compile_subquery_atom(
         self, conjunct: ast.Condition, compiled: wsa.WSAQuery, attrs: tuple[str, ...]
     ) -> wsa.WSAQuery:
+        """One subquery-bearing atom applied as a filter on *compiled*."""
         negate = False
         while isinstance(conjunct, ast.NotOp):
             negate = not negate
@@ -346,8 +495,10 @@ class _Compiler:
             )
         if isinstance(conjunct, ast.Comparison) and not negate:
             return self._compile_scalar_comparison(conjunct, compiled, attrs)
+        if isinstance(conjunct, ast.BoolOp):
+            return self._compile_condition_plan(conjunct, compiled, attrs)
         raise FragmentError(
-            "condition subqueries under 'or' or a negated comparison are "
+            "condition subqueries under a negated comparison are "
             "outside the evaluatable fragment",
             clause="where",
             span=self._condition_span(conjunct),
@@ -583,6 +734,29 @@ class _Compiler:
                 span=subqueries[0].span if subqueries else None,
             )
         scalar = subqueries[0]
+        plan, substitution = self._scalar_operand(scalar, compiled, attrs)
+        predicate = self._comparison_predicate(cond, attrs, substitution, scalar.span)
+        return wsa.project(attrs, wsa.select(predicate, plan))
+
+    def _scalar_operand(
+        self,
+        scalar: ast.ScalarSubquery,
+        compiled: wsa.WSAQuery,
+        attrs: tuple[str, ...],
+    ) -> tuple[wsa.WSAQuery, object]:
+        """*compiled* extended with the scalar subquery's per-row value.
+
+        Returns ``(plan, term)``: *plan* evaluates to the outer rows
+        joined with one value column per world/correlation group, and
+        *term* reads that value during predicate or set-expression
+        evaluation. Aggregate subqueries carry their SQL fold; a bare
+        column compiles through the internal ``single`` pseudo-aggregate
+        whose read-side :class:`ScalarGuard` reproduces the engine's
+        "more than one row" error lazily. Used by the comparison path
+        and by :func:`compile_update` for ``set`` expressions — the
+        outer plan is referenced exactly once either way, so even a
+        world-splitting outer subtree is never evaluated twice.
+        """
         span = scalar.span
         sub = scalar.query
 
@@ -590,7 +764,7 @@ class _Compiler:
         shape_ok = (
             not isinstance(items, ast.Star)
             and len(items) == 1
-            and isinstance(items[0].expression, ast.Aggregate)
+            and isinstance(items[0].expression, (ast.Aggregate, ast.Column))
             and not sub.group_by
             and sub.closing is None
             and sub.group_worlds_by is None
@@ -598,24 +772,40 @@ class _Compiler:
         )
         if not shape_ok:
             raise FragmentError(
-                "only scalar subqueries of the form (select ⟨aggregate⟩ "
-                "from … [where …]) are evaluated on the algebra",
+                "only scalar subqueries of the form (select ⟨aggregate or "
+                "column⟩ from … [where …]) are evaluated on the algebra",
                 clause="scalar subquery",
                 span=span,
             )
-        agg_call = items[0].expression
+        expr = items[0].expression
+        if isinstance(expr, ast.Aggregate):
+            function, arg_column = expr.function, expr.argument
+        else:
+            function, arg_column = "single", expr
         agg_attr = self._fresh_attr("agg")
+
+        def guarded(term: object) -> object:
+            return ScalarGuard(term) if function == "single" else term
 
         if ast.is_world_splitting(sub, self.views):
             # The engine hoists world-splitting scalar subqueries
             # (uncorrelated by construction); a global aggregate yields
-            # exactly one row per world, so a plain join suffices.
+            # exactly one row per world, and a bare-column subquery
+            # folds through ``single`` so each world's row count is
+            # guarded at read time, exactly like the hoisted relation.
             inner_full, outputs = self.compile(sub)
-            scalar_query: wsa.WSAQuery = wsa.rename({outputs[0]: agg_attr}, inner_full)
-            predicate = self._comparison_predicate(cond, attrs, agg_attr, span)
-            return wsa.project(
-                attrs, wsa.select(predicate, wsa.product(compiled, scalar_query))
-            )
+            if len(outputs) != 1:
+                raise FragmentError(
+                    "a scalar subquery must produce one column",
+                    clause="scalar subquery",
+                    span=span,
+                )
+            if function == "single":
+                spec = AggSpec(agg_attr, "single", outputs[0])
+                scalar_query: wsa.WSAQuery = wsa.aggregate((), (spec,), inner_full)
+            else:
+                scalar_query = wsa.rename({outputs[0]: agg_attr}, inner_full)
+            return wsa.product(compiled, scalar_query), guarded(agg_attr)
 
         inner, inner_attrs = self._isolated_from_items(sub)
         inner_predicates: list[Predicate] = []
@@ -629,18 +819,15 @@ class _Compiler:
         if inner_predicates:
             inner = wsa.select(conjunction(inner_predicates), inner)
         argument = (
-            self._resolve_correlated(agg_call.argument.display(), inner_attrs, ())
-            if agg_call.argument is not None
+            self._resolve_correlated(arg_column.display(), inner_attrs, ())
+            if arg_column is not None
             else None
         )
-        spec = AggSpec(agg_attr, agg_call.function, argument)
+        spec = AggSpec(agg_attr, function, argument)
 
         if not pairs:
             scalar_query = wsa.aggregate((), (spec,), inner)
-            predicate = self._comparison_predicate(cond, attrs, agg_attr, span)
-            return wsa.project(
-                attrs, wsa.select(predicate, wsa.product(compiled, scalar_query))
-            )
+            return wsa.product(compiled, scalar_query), guarded(agg_attr)
 
         # Correlated: aggregate per correlation key, rename the keys to
         # their outer partners, and pad-join back onto the outer rows —
@@ -648,7 +835,8 @@ class _Compiler:
         # outer subtree is evaluated exactly once. Outer rows without a
         # partner carry PAD on the aggregate column; the PadDefault term
         # turns it into the SQL empty-group default (count/sum/avg 0,
-        # min/max undefined — exactly the engine's per-row scalar value).
+        # min/max undefined, 0 for a bare-column subquery — exactly the
+        # engine's per-row scalar value).
         keys = tuple(dict.fromkeys(inner_attr for _, inner_attr in pairs))
         outers = tuple(dict.fromkeys(outer_attr for outer_attr, _ in pairs))
         if len(keys) != len(pairs) or len(outers) != len(pairs):
@@ -661,9 +849,8 @@ class _Compiler:
         scalar_query = wsa.aggregate(keys, (spec,), inner)
         key_map = {inner_attr: outer_attr for outer_attr, inner_attr in pairs}
         padded = wsa.pad_join(compiled, wsa.rename(key_map, scalar_query))
-        substitution = PadDefault(agg_attr, default_value(spec))
-        predicate = self._comparison_predicate(cond, attrs, substitution, span)
-        return wsa.project(attrs, wsa.select(predicate, padded))
+        substitution = guarded(PadDefault(agg_attr, default_value(spec)))
+        return padded, substitution
 
     @staticmethod
     def _scalar_subqueries(expr: ast.ValueExpr) -> list[ast.ScalarSubquery]:
@@ -716,6 +903,38 @@ class _Compiler:
             span=span,
         )
 
+    def _substituted_term(
+        self,
+        expr: ast.ValueExpr,
+        outer_attrs: tuple[str, ...],
+        substitution,
+        span: tuple[int, int] | None,
+        clause: str = "where",
+    ):
+        """A value expression as a predicate term, with its scalar
+        subquery (there is at most one) replaced by *substitution*."""
+        if isinstance(expr, ast.ScalarSubquery):
+            return substitution
+        if isinstance(expr, ast.Column):
+            return self._resolve(expr.display(), outer_attrs)
+        if isinstance(expr, ast.Literal):
+            return Const(expr.value)
+        if isinstance(expr, ast.Arithmetic):
+            return Arith(
+                expr.op,
+                self._substituted_term(
+                    expr.left, outer_attrs, substitution, span, clause
+                ),
+                self._substituted_term(
+                    expr.right, outer_attrs, substitution, span, clause
+                ),
+            )
+        raise FragmentError(
+            "unsupported expression around a scalar subquery",
+            clause=clause,
+            span=span,
+        )
+
     def _comparison_predicate(
         self,
         cond: ast.Comparison,
@@ -724,23 +943,103 @@ class _Compiler:
         span: tuple[int, int] | None,
     ) -> Predicate:
         """The comparison with its scalar subquery replaced by a term."""
+        return RAComparison(
+            self._substituted_term(cond.left, outer_attrs, substitution, span),
+            cond.op,
+            self._substituted_term(cond.right, outer_attrs, substitution, span),
+        )
 
-        def term(expr: ast.ValueExpr):
-            if isinstance(expr, ast.ScalarSubquery):
-                return substitution
-            if isinstance(expr, ast.Column):
-                return self._resolve(expr.display(), outer_attrs)
-            if isinstance(expr, ast.Literal):
-                return Const(expr.value)
-            if isinstance(expr, ast.Arithmetic):
-                return Arith(expr.op, term(expr.left), term(expr.right))
+    # -- DML: the Section 3 rule as flat match plans -----------------------------------
+
+    def _require_world_local_subqueries(
+        self, subqueries: list[ast.SelectQuery], clause: str
+    ) -> None:
+        """DML subqueries must run inside one world — the engine's rule.
+
+        A world-splitting or world-closing subquery in a DML condition
+        raises in the engine too (when a row reaches it), so rejecting
+        it here routes the statement through the fallback, which then
+        reproduces the engine's behavior exactly.
+        """
+        for sub in subqueries:
+            if not ast.is_world_local(sub, self.views):
+                raise FragmentError(
+                    "a DML subquery must be evaluable inside one world "
+                    "(no choice-of, repair-by-key, possible/certain, or "
+                    "group worlds by)",
+                    clause=clause,
+                )
+
+    def compile_dml_match(
+        self, relation: str, where: ast.Condition | None
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+        """The *match plan* of a DML statement: ``select * from R where φ``.
+
+        Evaluated on the inlined representation it yields, per world id,
+        exactly the rows the Section 3 rule deletes (or updates) in that
+        world — the "world-grouped predicate relation" the backend
+        subtracts from (or rewrites within) the flat table. The target
+        relation is aliased :data:`DML_ALIAS` so qualified references
+        inside the condition fail to resolve, like they do against the
+        engine's bare-schema resolver.
+        """
+        if relation not in self.schemas:
+            raise FragmentError(f"unknown relation {relation!r}")
+        self._require_world_local_subqueries(
+            ast.condition_subqueries(where), "where"
+        )
+        query = ast.SelectQuery(
+            select_list=ast.Star(),
+            from_items=(ast.TableRef(relation, DML_ALIAS),),
+            where=where,
+        )
+        return self.compile(query)
+
+    def compile_update_plan(
+        self, statement: ast.Update
+    ) -> tuple[wsa.WSAQuery, tuple[str, ...], tuple[tuple[str, object], ...]]:
+        """An update's match plan plus one value term per set clause.
+
+        The match plan is extended (product / pad-join, via
+        :meth:`_scalar_operand`) with one value column per set
+        expression containing a scalar subquery; the returned terms
+        evaluate each clause's new value against a row of the final
+        plan's answer — original columns first, so every clause reads
+        the *pre-update* row like the engine does.
+        """
+        plan, attrs = self.compile_dml_match(statement.relation, statement.where)
+        available = set(self.schemas[statement.relation])
+        set_terms: list[tuple[str, object]] = []
+        for clause in statement.settings:
+            if clause.attribute not in available:
+                raise FragmentError(
+                    f"unknown attribute {clause.attribute!r} in set clause",
+                    clause="set",
+                )
+            plan, term = self._compile_set_expression(clause.expression, plan, attrs)
+            set_terms.append((clause.attribute, term))
+        return plan, attrs, tuple(set_terms)
+
+    def _compile_set_expression(
+        self, expression: ast.ValueExpr, plan: wsa.WSAQuery, attrs: tuple[str, ...]
+    ) -> tuple[wsa.WSAQuery, object]:
+        """One ``set attr = expr`` right-hand side as (plan, value term)."""
+        scalars = self._scalar_subqueries(expression)
+        if not scalars:
+            return plan, as_term(self._value_term(expression, attrs))
+        if len(scalars) > 1:
             raise FragmentError(
-                "unsupported expression in a scalar-subquery comparison",
-                clause="where",
-                span=span,
+                "at most one scalar subquery per set expression is "
+                "evaluated on the algebra",
+                clause="set",
+                span=scalars[0].span,
             )
-
-        return RAComparison(term(cond.left), cond.op, term(cond.right))
+        self._require_world_local_subqueries([scalars[0].query], "set")
+        plan, substitution = self._scalar_operand(scalars[0], plan, attrs)
+        term = self._substituted_term(
+            expression, attrs, substitution, scalars[0].span, clause="set"
+        )
+        return plan, as_term(term)
 
     # -- step 4: aggregation, projection, grouping, closing ---------------------------------
 
@@ -920,15 +1219,54 @@ class _Compiler:
         )
 
 
+def _plain_schemas(schemas: SchemaLike | dict[str, Schema]) -> SchemaLike:
+    return {
+        name: (schema.attributes if isinstance(schema, Schema) else tuple(schema))
+        for name, schema in schemas.items()
+    }
+
+
 def compile_query(
     query: ast.SelectQuery,
     schemas: SchemaLike | dict[str, Schema],
     views: dict[str, ast.SelectQuery] | None = None,
 ) -> wsa.WSAQuery:
     """Compile an I-SQL query of the evaluatable fragment to world-set algebra."""
-    plain: SchemaLike = {
-        name: (schema.attributes if isinstance(schema, Schema) else tuple(schema))
-        for name, schema in schemas.items()
-    }
-    compiled, _ = _Compiler(plain, views or {}).compile(query)
+    compiled, _ = _Compiler(_plain_schemas(schemas), views or {}).compile(query)
     return compiled
+
+
+def compile_delete(
+    statement: ast.Delete,
+    schemas: SchemaLike | dict[str, Schema],
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> tuple[wsa.WSAQuery, tuple[str, ...]]:
+    """Compile a delete's condition to its world-grouped match plan.
+
+    Returns ``(plan, attrs)``: evaluated on the inlined representation,
+    *plan*'s flat answer holds — per world id — exactly the rows the
+    Section 3 rule removes from the relation in that world; *attrs* is
+    the relation's value-attribute order the answer uses. The backend
+    subtracts the answer from the (id-expanded) flat table, so deletes
+    with condition subqueries never decode worlds.
+    """
+    return _Compiler(_plain_schemas(schemas), views or {}).compile_dml_match(
+        statement.relation, statement.where
+    )
+
+
+def compile_update(
+    statement: ast.Update,
+    schemas: SchemaLike | dict[str, Schema],
+    views: dict[str, ast.SelectQuery] | None = None,
+) -> tuple[wsa.WSAQuery, tuple[str, ...], tuple[tuple[str, object], ...]]:
+    """Compile an update to its match plan plus per-set-clause value terms.
+
+    Returns ``(plan, attrs, set_terms)`` — see
+    :meth:`_Compiler.compile_update_plan`. The backend evaluates *plan*
+    once, computes every clause's new value per matched (world id, row)
+    pair via the terms, and rewrites the flat table in place.
+    """
+    return _Compiler(_plain_schemas(schemas), views or {}).compile_update_plan(
+        statement
+    )

@@ -128,9 +128,13 @@ class RouteReport(NamedTuple):
     (route, reason) positions — but this is a 4-tuple, so code that
     unpacked the old pair must index or use the field names. *clause*
     names the construct that left the evaluatable fragment (e.g.
-    ``"where"``, ``"select list"``) and *span* is its source character
-    range ``(start, end)`` within the statement text, when known. For a
-    direct statement all three diagnostics are None.
+    ``"where"``, ``"select list"``, ``"set"``) and *span* is its source
+    character range ``(start, end)`` within the statement text, when
+    known. For a direct statement all three diagnostics are None.
+    Covers every statement form — selects, assignments, views, and DML
+    (whose match plans compile through the same fragment compiler); the
+    construct-by-construct routing table in ``docs/isql-reference.md``
+    is cross-checked against these reports by a test.
     """
 
     route: str
@@ -147,28 +151,29 @@ class RouteReport(NamedTuple):
 
 
 def inline_route(
-    text_or_query: str | ast.SelectQuery,
+    text_or_query: str | ast.Statement,
     schemas: dict[str, tuple[str, ...]],
     views: dict[str, ast.SelectQuery] | None = None,
 ) -> str:
     """How the inline backend would execute a statement.
 
     ``"direct"`` — the statement compiles to the world-set algebra
-    (including its aggregation/semijoin extension nodes) and runs as a
-    flat-table plan over the inlined representation; ``"fallback"`` —
-    it uses residue constructs (condition subqueries under ``or``,
-    non-aggregate scalar subqueries, ungrouped select columns, …) and
+    (including its aggregation/semijoin extension nodes) or, for DML, to
+    a flat match plan, and runs over the inlined representation without
+    enumerating worlds; ``"fallback"`` — it uses residue constructs
+    (non-column ``in`` needles, ungrouped select columns, disjunctions
+    over a world-splitting plan, non-world-local DML subqueries, …) and
     the inline backend delegates to the explicit engine.
 
     Unlike :func:`explain` (which reports the whole translation
     pipeline and hence requires a fragment query), this works on *any*
-    select statement.
+    statement — selects, assignments, view definitions and DML.
     """
     return inline_route_report(text_or_query, schemas, views)[0]
 
 
 def inline_route_report(
-    text_or_query: str | ast.SelectQuery,
+    text_or_query: str | ast.Statement,
     schemas: dict[str, tuple[str, ...]],
     views: dict[str, ast.SelectQuery] | None = None,
 ) -> RouteReport:
@@ -178,22 +183,55 @@ def inline_route_report(
     ``RouteReport("fallback", reason, clause, span)`` otherwise, where
     *reason* is the compiler's diagnostic, *clause* names the offending
     construct and *span* points into the statement source (when it was
-    parsed from text). Benchmarks record the route next to each timing
-    so near-1× explicit-vs-inline rows are explainable: a fallback
-    statement runs the same explicit engine on both backends.
+    parsed from text). Selects and assignments go through
+    :func:`~repro.isql.compile.compile_query`, deletes and updates
+    through their DML match-plan compilers; inserts and view
+    definitions are always direct (values are literals, views are lazy
+    macros routed when referenced). Benchmarks record the route next to
+    each timing so near-1× explicit-vs-inline rows are explainable: a
+    fallback statement runs the same explicit engine on both backends.
     """
-    from repro.isql.compile import FragmentError
+    from repro.isql.compile import (
+        FragmentError,
+        compile_delete,
+        compile_query,
+        compile_update,
+    )
+    from repro.isql.parser import parse_statement
 
     statement = (
-        parse_query(text_or_query)
+        parse_statement(text_or_query)
         if isinstance(text_or_query, str)
         else text_or_query
     )
+    if isinstance(statement, ast.Assignment):
+        statement = statement.query
     try:
-        compile_query(statement, schemas, views)
+        if isinstance(statement, ast.SelectQuery):
+            compile_query(statement, schemas, views)
+        elif isinstance(statement, ast.Delete):
+            compile_delete(statement, schemas, views)
+        elif isinstance(statement, ast.Update):
+            compile_update(statement, schemas, views)
+        elif not isinstance(statement, (ast.Insert, ast.CreateView)):
+            raise TypeError(
+                f"cannot route statement {type(statement).__name__}"
+            )
     except FragmentError as reason:
         return RouteReport("fallback", str(reason), reason.clause, reason.span)
     return RouteReport("direct", None)
+
+
+def session_route(session, text_or_query: "str | ast.Statement") -> str:
+    """The inline route a statement takes against a live session.
+
+    Convenience over :func:`inline_route`: the schemas come from the
+    session's current catalog (``session.backend.schemas()`` — cheap on
+    both backends, no world decoding) and its registered views are
+    honored. The *session* itself may run any backend — the answer says
+    how ``backend="inline"`` would (or does) execute the statement.
+    """
+    return inline_route(text_or_query, session.backend.schemas(), session.views)
 
 
 def run_via_translation(

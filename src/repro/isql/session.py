@@ -27,12 +27,17 @@ a pluggable :class:`repro.backend.Backend`:
   the Figure 3 semantics world by world;
 * ``backend="inline"`` keeps the state as an inlined representation
   ⟨R₁ᵀ, …, R_kᵀ, W⟩ and compiles statements down to flat-table plans
-  (Section 5), decoding to explicit worlds only on demand;
+  (Section 5), decoding to explicit worlds only on demand — selects
+  *and* DML, whose subquery-bearing conditions and set expressions
+  mask/rewrite the flat tables per world id;
 * ``backend="inline-translate"`` is the inline backend routed through
   the literal Figure 6 relational algebra translation.
 
 Both backends produce identical answers on every statement — the
 differential suite in ``tests/backend`` enforces this.
+``repro.isql.session_route(session, text)`` reports which route the
+inline backend takes for a statement against the live catalog;
+``docs/isql-reference.md`` tabulates the routes construct by construct.
 """
 
 from __future__ import annotations
@@ -62,7 +67,15 @@ class DMLResult:
 
 
 class ISQLSession:
-    """An interactive I-SQL session over a possible-worlds state."""
+    """An interactive I-SQL session over a possible-worlds state.
+
+    *backend* selects the evaluation strategy (``"explicit"``,
+    ``"inline"``, ``"inline-translate"``, or a
+    :class:`~repro.backend.Backend` instance); *max_worlds* aborts any
+    statement whose evaluation would exceed that many worlds. Sessions
+    are context managers — ``with ISQLSession(...) as s:`` releases
+    cached derived state on exit (see :meth:`close`).
+    """
 
     def __init__(
         self,

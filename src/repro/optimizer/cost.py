@@ -48,6 +48,26 @@ from repro.core.ast import (
 SELECTIVITY = 0.5
 
 
+def _selectivity(predicate) -> float:
+    """Predicate-shape-aware selectivity estimate.
+
+    A disjunction keeps the union of its branches' rows — the compiler's
+    union-of-semijoins form of ``or`` competes against a single
+    disjunctive σ, so the model must not price the σ like a conjunctive
+    filter. Conjunctions compound instead.
+    """
+    from repro.relational.predicates import And, Not, Or
+
+    if isinstance(predicate, Or):
+        combined = _selectivity(predicate.left) + _selectivity(predicate.right)
+        return min(combined, 1.0)
+    if isinstance(predicate, And):
+        return _selectivity(predicate.left) * _selectivity(predicate.right)
+    if isinstance(predicate, Not):
+        return 1.0 - _selectivity(predicate.operand)
+    return SELECTIVITY
+
+
 class CostEstimate:
     """Estimated rows per world, world count, and accumulated work."""
 
@@ -85,7 +105,7 @@ def estimate(
         children = [visit(child) for child in node.children()]
         if isinstance(node, Select):
             (child,) = children
-            rows = child.rows * SELECTIVITY
+            rows = child.rows * _selectivity(node.predicate)
             return CostEstimate(rows, child.worlds, child.work + _touch(child))
         if isinstance(node, (Project, Rename)):
             (child,) = children

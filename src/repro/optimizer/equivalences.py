@@ -443,6 +443,62 @@ def _cert_difference(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
 RULE_24 = RewriteRule("cert over difference", "Eq. (24)", _cert_difference)
 
 
+# -- Union reductions (the compiler's union-of-semijoins form of OR) ---------------------
+
+
+def _split_free(query: WSAQuery) -> bool:
+    """No choice-of / repair-by-key below: safe to merge duplicate
+    references — per world the subtree is deterministic, so two
+    occurrences denote the same answer. A splitting subtree mints fresh
+    world ids per occurrence (independent choices), and merging would
+    collapse the off-diagonal worlds the reference semantics produces.
+    """
+    from repro.core.ast import contains_world_splitter
+
+    return not contains_world_splitter(query)
+
+
+def _union_select_merge(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
+    """σ_φ(q) ∪ σ_ψ(q) → σ_{φ∨ψ}(q), for split-free q.
+
+    Un-does the compiler's union-of-chains when a disjunct turned out to
+    be plain after all (e.g. its subquery atom rewrote away): one σ pass
+    instead of two child evaluations plus a union.
+    """
+    if not isinstance(query, Union):
+        return None
+    left, right = query.left, query.right
+    if (
+        isinstance(left, Select)
+        and isinstance(right, Select)
+        and left.child == right.child
+        and _split_free(left.child)
+    ):
+        return Select(left.predicate | right.predicate, left.child)
+    return None
+
+
+RULE_UNION_SELECT = RewriteRule(
+    "σ∪σ over one child merges", "union reduce", _union_select_merge
+)
+
+
+def _union_idempotent(query: WSAQuery, env: SchemaEnv) -> WSAQuery | None:
+    """q ∪ q → q, for split-free q (e.g. duplicate OR disjuncts)."""
+    if (
+        isinstance(query, Union)
+        and query.left == query.right
+        and _split_free(query.left)
+    ):
+        return query.left
+    return None
+
+
+RULE_UNION_IDEMPOTENT = RewriteRule(
+    "idempotent union", "union reduce", _union_idempotent
+)
+
+
 # -- Cosmetic rules (used by the paper's example derivations) ----------------------------
 
 
@@ -503,6 +559,8 @@ DEFAULT_RULES: tuple[RewriteRule, ...] = (
     RULE_15,
     RULE_16,
     RULE_24,
+    RULE_UNION_IDEMPOTENT,
+    RULE_UNION_SELECT,
     RULE_AGG_CLOSING,
     RULE_AGG_SELECT,
     RULE_12,

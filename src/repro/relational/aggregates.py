@@ -29,6 +29,28 @@ from repro.errors import EvaluationError
 #: The aggregate functions of Figure 1.
 AGG_FUNCTIONS = ("count", "sum", "min", "max", "avg")
 
+#: Internal pseudo-aggregates the compiler may emit; never user-visible.
+#: ``single`` extracts the lone distinct value of its group — the flat
+#: form of a *non-aggregate* scalar subquery, whose SQL contract is
+#: "exactly one row". A group with several distinct values folds to the
+#: :data:`AMBIGUOUS` sentinel instead of raising, because the engine
+#: only errors when an outer row actually *reads* the ambiguous value;
+#: the read-side guard is ``repro.relational.predicates.ScalarGuard``.
+INTERNAL_AGG_FUNCTIONS = ("single",)
+
+
+class _AmbiguousScalar:
+    """Sentinel: a ``single`` group held more than one distinct value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ambiguous scalar>"
+
+
+#: The value a ``single`` aggregate takes over a many-valued group.
+AMBIGUOUS = _AmbiguousScalar()
+
 
 @dataclass(frozen=True)
 class AggSpec:
@@ -43,7 +65,7 @@ class AggSpec:
     argument: str | None = None
 
     def __post_init__(self) -> None:
-        if self.function not in AGG_FUNCTIONS:
+        if self.function not in AGG_FUNCTIONS + INTERNAL_AGG_FUNCTIONS:
             raise EvaluationError(f"unknown aggregate {self.function!r}")
         if self.argument is None and self.function != "count":
             raise EvaluationError(f"{self.function}(*) is not defined")
@@ -57,6 +79,8 @@ def default_value(spec: AggSpec) -> object:
     """The aggregate's value over an empty group (engine semantics)."""
     if spec.function in ("count", "sum", "avg"):
         return 0
+    if spec.function == "single":
+        return 0  # the engine's empty scalar subquery evaluates to 0
     return None  # min/max of nothing are undefined
 
 
@@ -86,6 +110,22 @@ def _accumulator(spec: AggSpec):
         return (lambda v: v), (lambda s, v: v if v < s else s), (lambda s: s)
     if function == "max":
         return (lambda v: v), (lambda s, v: v if v > s else s), (lambda s: s)
+    if function == "single":
+        # The group's distinct values; reading an AMBIGUOUS result is an
+        # error, but only when a row actually does (ScalarGuard).
+        def init_single(v):
+            return {v}
+
+        def add_single(s, v):
+            s.add(v)
+            return s
+
+        def finish_single(s):
+            if len(s) == 1:
+                return next(iter(s))
+            return AMBIGUOUS
+
+        return init_single, add_single, finish_single
     raise EvaluationError(f"unknown aggregate {function!r}")
 
 

@@ -232,6 +232,55 @@ class PadDefault(Term):
         return hash(("PadDefault", self.name, self.default))
 
 
+class ScalarGuard(Term):
+    """The runtime cardinality guard of a non-aggregate scalar subquery.
+
+    Wraps the term reading the subquery's value (the ``single``
+    pseudo-aggregate column, usually through :class:`PadDefault`) and
+    raises the engine's "more than one row" error when the value is the
+    :data:`~repro.relational.aggregates.AMBIGUOUS` sentinel — i.e. the
+    subquery held several distinct values in that row's world/correlation
+    group. Raising at *read* time keeps the flat route exactly as lazy
+    as the engine: a many-valued group that no surviving outer row ever
+    consults is not an error.
+    """
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: object) -> None:
+        self.term = _as_term(term)
+
+    def attributes(self) -> frozenset[str]:
+        return self.term.attributes()
+
+    def rename(self, mapping: Mapping[str, str]) -> "ScalarGuard":
+        return ScalarGuard(self.term.rename(mapping))
+
+    def bind(self, schema: Schema) -> Callable[[tuple], object]:
+        from repro.relational.aggregates import AMBIGUOUS
+
+        inner = self.term.bind(schema)
+
+        def value(row: tuple) -> object:
+            raw = inner(row)
+            if raw is AMBIGUOUS:
+                raise EvaluationError(
+                    "a scalar subquery produced more than one row"
+                )
+            return raw
+
+        return value
+
+    def __repr__(self) -> str:
+        return f"1row({self.term!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ScalarGuard) and other.term == self.term
+
+    def __hash__(self) -> int:
+        return hash(("ScalarGuard", self.term))
+
+
 def _as_term(operand: object) -> Term:
     """Coerce a raw operand to a Term (strings name attributes)."""
     if isinstance(operand, Term):
@@ -239,6 +288,11 @@ def _as_term(operand: object) -> Term:
     if isinstance(operand, str):
         return Attr(operand)
     return Const(operand)
+
+
+#: Public coercion alias — the I-SQL compiler hands the inline backend
+#: set-clause value terms through this, so they always bind uniformly.
+as_term = _as_term
 
 
 class Predicate:

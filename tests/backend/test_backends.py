@@ -106,15 +106,26 @@ class TestInlineSpecifics:
         assert result.possible().rows == {(2,), (1,)}
         assert result.certain().rows == set()
 
+    def test_or_subqueries_run_direct(self, flights):
+        """Condition subqueries under OR stay on the flat tables."""
+        s = ISQLSession(backend="inline")
+        s.register("Flights", flights)
+        result = s.query(
+            "select Arr from Flights where Arr = 'BCN' or "
+            "Dep in (select Dep from Flights where Dep = 'PHL');"
+        )
+        assert not s.backend.fallback_events
+        assert result.possible().rows == {("BCN",), ("ATL",)}
+
     def test_possible_certain_available_after_fallback(self, flights):
         """A fallback result must expose the same surface as a direct one."""
         s = ISQLSession(backend="inline")
         s.register("Flights", flights)
-        # A condition subquery under OR is part of the documented
-        # residue: it still routes through the explicit engine.
+        # A non-column IN needle is part of the documented residue: it
+        # still routes through the explicit engine.
         result = s.query(
-            "select Arr from Flights where Arr = 'BCN' or "
-            "Dep in (select Dep from Flights where Arr = 'PHL');"
+            "select Arr from Flights where Arr = 'BCN' and "
+            "'ATL' in (select Arr from Flights);"
         )
         assert s.backend.fallback_events
         assert result.possible().rows == {("BCN",)}
@@ -133,10 +144,21 @@ class TestInlineSpecifics:
             "select * from Flights where Dep in (select Dep from Flights);",
             schemas,
         ) == "direct"
-        # … while the residue still falls back.
+        # Disjunctions over subqueries and non-aggregate scalar
+        # subqueries joined the fragment with ISSUE 4 …
         assert inline_route(
             "select * from Flights where Arr = 'X' or "
             "Dep in (select Dep from Flights);",
+            schemas,
+        ) == "direct"
+        assert inline_route(
+            "select * from Flights where "
+            "Arr = (select Arr from Flights where Dep = 'PHL');",
+            schemas,
+        ) == "direct"
+        # … while the residue still falls back (non-column IN needle).
+        assert inline_route(
+            "select * from Flights where 'X' in (select Arr from Flights);",
             schemas,
         ) == "fallback"
 
@@ -147,8 +169,8 @@ class TestInlineSpecifics:
         s = ISQLSession(backend="inline")
         s.register("Flights", flights)
         residue = (
-            "select Arr from Flights where Arr = 'BCN' or "
-            "Dep in (select Dep from Flights);"
+            "select Arr from Flights where Arr = 'BCN' and "
+            "'ATL' in (select Arr from Flights);"
         )
         for _ in range(FALLBACK_EVENT_LIMIT + 10):
             s.query(residue)
@@ -204,7 +226,7 @@ class TestDMLParity:
 
     @pytest.mark.parametrize("backend", ["explicit", "inline"])
     def test_update_with_nested_subquery_expression(self, backend):
-        """A subquery inside arithmetic must route through the fallback."""
+        """A scalar subquery inside set-clause arithmetic, both routes."""
         s = ISQLSession(backend=backend)
         s.register("T", Relation(("A", "B"), [(1, 5)]))
         s.register("S", Relation(("C",), [(10,)]))

@@ -122,12 +122,20 @@ class TestXLScenarios:
 
         suite = {s.name: s for s in xl_scenarios()}
         assert set(suite) == {
+            "census_cleanup_dml_xl",
             "trip_certain_2p16",
             "census_repair_xl",
             "acquisition_xl",
             "tpch_what_if_xl",
         }
         assert all(s.explicit_infeasible for s in suite.values())
+        # The DML-heavy what-if: subqueries in update/delete conditions
+        # and set expressions, at a world count the explicit engine
+        # cannot decode (ISSUE 4).
+        dml = suite["census_cleanup_dml_xl"]
+        assert dml.approx_worlds >= 2**12
+        assert "update" in dml.script and "delete" in dml.script
+        assert "(select" in dml.script
         assert suite["trip_certain_2p16"].approx_worlds == 2**16
         assert all(s.approx_worlds >= 2**12 for s in suite.values())
         # ≥10⁵ inlined rows once the script replays: the generators alone

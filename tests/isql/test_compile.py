@@ -143,18 +143,57 @@ class TestWidenedFragment:
         assert any(isinstance(n, CertGroupKey) for n in query.walk())
 
 
+class TestDrainedResidue:
+    """ISSUE 4 constructs now compile instead of raising FragmentError."""
+
+    def test_subquery_under_or_compiles_to_union_of_chains(self):
+        from repro.core.ast import SemiJoin, Union
+
+        query = compile_query(
+            parse_query(
+                "select * from Flights where Arr = 'ATL' or "
+                "Dep in (select Dep from Flights);"
+            ),
+            SCHEMAS,
+        )
+        assert any(isinstance(n, Union) for n in query.walk())
+        assert any(isinstance(n, SemiJoin) for n in query.walk())
+
+    def test_non_aggregate_scalar_subquery_compiles_single(self):
+        from repro.core.ast import Aggregate
+
+        query = compile_query(
+            parse_query(
+                "select * from Flights where Dep = "
+                "(select Dep from Flights where Arr = 'PHL');"
+            ),
+            SCHEMAS,
+        )
+        singles = [
+            node
+            for node in query.walk()
+            if isinstance(node, Aggregate)
+            and any(spec.function == "single" for spec in node.specs)
+        ]
+        assert singles
+
+    def test_negation_pushes_onto_subquery_atoms(self):
+        from repro.core.ast import AntiJoin, Union
+
+        query = compile_query(
+            parse_query(
+                "select * from Flights where not (Arr = 'ATL' and "
+                "Dep in (select Dep from Flights));"
+            ),
+            SCHEMAS,
+        )
+        # ¬(A ∧ B) = ¬A ∨ ¬B: a union whose subquery branch is an antijoin.
+        assert any(isinstance(n, Union) for n in query.walk())
+        assert any(isinstance(n, AntiJoin) for n in query.walk())
+
+
 class TestFragmentBoundaries:
     """The remaining residue still routes through the explicit engine."""
-
-    def test_subquery_under_or_rejected(self):
-        with pytest.raises(FragmentError, match="or"):
-            compile_query(
-                parse_query(
-                    "select * from Flights where Arr = 'ATL' or "
-                    "Dep in (select Dep from Flights);"
-                ),
-                SCHEMAS,
-            )
 
     def test_ungrouped_select_column_rejected(self):
         with pytest.raises(FragmentError, match="GROUP BY"):
@@ -163,20 +202,32 @@ class TestFragmentBoundaries:
                 SCHEMAS,
             )
 
-    def test_non_aggregate_scalar_subquery_rejected(self):
+    def test_or_over_world_splitting_plan_rejected(self):
+        # The union-of-chains form duplicates the outer plan per
+        # disjunct; a plan that splits worlds cannot be duplicated.
+        with pytest.raises(FragmentError, match="splits worlds"):
+            compile_query(
+                parse_query(
+                    "select * from (select * from Flights choice of Dep) F "
+                    "where Arr = 'ATL' or Dep in (select Dep from Flights);"
+                ),
+                SCHEMAS,
+            )
+
+    def test_star_scalar_subquery_rejected(self):
         with pytest.raises(FragmentError, match="scalar"):
             compile_query(
                 parse_query(
                     "select * from Flights where Dep = "
-                    "(select Dep from Flights where Arr = 'PHL');"
+                    "(select * from Flights where Arr = 'PHL');"
                 ),
                 SCHEMAS,
             )
 
     def test_fragment_error_carries_clause_and_span(self):
         text = (
-            "select * from Flights where Arr = 'ATL' or "
-            "Dep in (select Dep from Flights);"
+            "select * from Flights where Arr = 'ATL' and "
+            "'X' in (select Dep from Flights);"
         )
         with pytest.raises(FragmentError) as excinfo:
             compile_query(parse_query(text), SCHEMAS)

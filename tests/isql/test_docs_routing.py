@@ -1,0 +1,67 @@
+"""The docs/isql-reference.md routing table cannot drift from the compiler.
+
+Every row of the reference's routing table carries a representative
+statement; this test parses the markdown and cross-checks each row's
+claimed route against ``repro.isql.inline_route_report`` over the same
+schemas the document assumes. A compiler change that re-routes a
+construct fails here until the table is updated — the documentation is
+kept honest mechanically.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.isql import inline_route_report
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "isql-reference.md"
+
+#: The schemas the document's representative statements assume.
+SCHEMAS = {
+    "Flights": ("Dep", "Arr"),
+    "Hotels": ("Name", "City", "Price"),
+}
+
+ROW = re.compile(
+    r"^\|\s*(?P<construct>[^|]+?)\s*\|\s*(?P<route>direct|fallback)\s*\|"
+    r"[^|]*\|\s*`(?P<statement>[^`]+)`\s*\|\s*$"
+)
+
+
+def routing_rows() -> list[tuple[str, str, str]]:
+    rows = []
+    for line in DOC.read_text().splitlines():
+        match = ROW.match(line)
+        if match:
+            rows.append(
+                (
+                    match.group("construct"),
+                    match.group("route"),
+                    match.group("statement"),
+                )
+            )
+    return rows
+
+
+def test_table_was_parsed():
+    rows = routing_rows()
+    assert len(rows) >= 20, rows
+    routes = {route for _, route, _ in rows}
+    assert routes == {"direct", "fallback"}
+
+
+@pytest.mark.parametrize(
+    "construct,route,statement",
+    routing_rows(),
+    ids=[construct for construct, _, _ in routing_rows()],
+)
+def test_routing_table_matches_compiler(construct, route, statement):
+    report = inline_route_report(statement, SCHEMAS)
+    assert report.route == route, (
+        f"docs/isql-reference.md row {construct!r} claims {route!r} but the "
+        f"compiler routes it {report.route!r}"
+        + (f" ({report.reason})" if report.reason else "")
+    )

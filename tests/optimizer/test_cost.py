@@ -67,3 +67,32 @@ class TestCompare:
         before = poss(choice_of("A", rel("R")))
         after = poss(rel("R"))
         assert compare(before, after, {"R": 200}) > 1
+
+
+class TestDisjunctiveSelectivity:
+    """ISSUE 4: the model prices OR/AND/NOT predicate shapes apart."""
+
+    def test_or_keeps_more_rows_than_and(self):
+        phi = eq("A", Const(1))
+        psi = eq("B", Const(2))
+        disjunctive = estimate(select(phi | psi, rel("R")), {"R": 100})
+        conjunctive = estimate(select(phi & psi, rel("R")), {"R": 100})
+        assert disjunctive.rows == 100  # 0.5 + 0.5, capped at 1.0
+        assert conjunctive.rows == 25
+
+    def test_negation_complements(self):
+        from repro.relational.predicates import Not
+
+        phi = eq("A", Const(1))
+        psi = eq("B", Const(2))
+        est = estimate(select(Not(phi & psi), rel("R")), {"R": 100})
+        assert est.rows == 75
+
+    def test_union_of_chains_costs_both_child_evaluations(self):
+        """The union-of-semijoins OR shape pays the child twice — which
+        is what makes the σ∪σ merge rule a win when it applies."""
+        phi = eq("A", Const(1))
+        psi = eq("B", Const(2))
+        chains = union(select(phi, rel("R")), select(psi, rel("R")))
+        merged = select(phi | psi, rel("R"))
+        assert estimate(chains, {"R": 100}).work > estimate(merged, {"R": 100}).work

@@ -349,3 +349,86 @@ def test_eq24_cert_over_difference(seed):
     lhs = cert(difference(q1, q2))
     rhs = cert(difference(cert(q1), q2))
     assert equal_semantics(lhs, rhs, ws)
+
+
+# -- Union reductions (ISSUE 4: the union-of-semijoins form of OR) ----------
+
+
+def split_free_subquery(seed):
+    """A random subquery without choice-of/repair (merge-safe)."""
+    import random
+
+    rng = random.Random(seed)
+    q = rel("R")
+    for _ in range(rng.randrange(3)):
+        roll = rng.random()
+        if roll < 0.5:
+            q = select(eq("A", Const(rng.randrange(4))), q)
+        else:
+            q = poss(q) if rng.random() < 0.5 else cert(q)
+    return q
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_union_select_merge_on_split_free_child(seed):
+    """σ_φ(q) ∪ σ_ψ(q) = σ_{φ∨ψ}(q) when q mints no world ids."""
+    ws = random_world_set(seed)
+    q = split_free_subquery(seed + 31)
+    phi = eq("A", Const(seed % 3))
+    psi = eq("B", Const(seed % 4))
+    lhs = union(select(phi, q), select(psi, q))
+    rhs = select(phi | psi, q)
+    assert equal_semantics(lhs, rhs, ws)
+
+
+@given(seeds)
+@settings(max_examples=50, deadline=None)
+def test_union_idempotent_on_split_free_child(seed):
+    """q ∪ q = q when q mints no world ids."""
+    ws = random_world_set(seed)
+    q = split_free_subquery(seed + 37)
+    assert equal_semantics(union(q, q), q, ws)
+
+
+def test_union_merge_guard_splitting_counterexample():
+    """With a splitting child the merge is UNSOUND: two references pair
+    independent choices (off-diagonal worlds), one reference does not —
+    which is exactly why the shipped rules carry the split-free guard."""
+    from repro.core import evaluate
+    from repro.datagen import paper_flights
+    from repro.worlds import World, WorldSet
+
+    ws = WorldSet.single(World.of({"R": paper_flights().rename(
+        {"Dep": "A", "Arr": "B"})}))
+    q = choice_of("A", rel("R"))
+    phi = eq("B", Const("BCN"))
+    psi = eq("B", Const("ATL"))
+    lhs = union(select(phi, q), select(psi, q))
+    rhs = select(phi | psi, q)
+    assert evaluate(lhs, ws, name="Q") != evaluate(rhs, ws, name="Q")
+
+
+def test_union_rules_fire_in_rewriter():
+    from repro.optimizer import optimize
+
+    phi = eq("A", Const(1))
+    psi = eq("A", Const(2))
+    merged, trace = optimize(
+        union(select(phi, rel("R")), select(psi, rel("R"))), SCHEMAS
+    )
+    assert any("union" in step.rule.equation for step in trace)
+    idem, trace = optimize(
+        union(select(phi, rel("R")), select(phi, rel("R"))), SCHEMAS
+    )
+    assert idem == select(phi, rel("R"))
+
+    # Guard: a splitting child must NOT merge.
+    splitting = union(
+        select(phi, choice_of("A", rel("R"))),
+        select(psi, choice_of("A", rel("R"))),
+    )
+    kept, _ = optimize(splitting, SCHEMAS)
+    from repro.core.ast import Union as UnionNode
+
+    assert any(isinstance(node, UnionNode) for node in kept.walk())
