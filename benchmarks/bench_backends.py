@@ -33,11 +33,21 @@ Shape claims:
   the inline-only ``census_cleanup_dml_xl`` scenario replays that
   statement shape at 2¹³ worlds — decoding those worlds per DML
   statement (the old ``_reinline`` fallback) is exactly what the
-  explicit side's *infeasible* row records.
+  explicit side's *infeasible* row records;
+* DML is columnar-native and batched (ISSUE 5): scripts replay through
+  ``ISQLSession.run_script``, every DML scenario's inline rows carry a
+  ``dml_apply`` phase (the mask/scatter/append application — asserted
+  below, and gated by ``check_regression.py``), value-determined
+  subquery DML evaluates on distinct value rows instead of the
+  id-expanded table (``census_cleanup_dml_xl`` dropped ≥3× against the
+  PR 4 baseline), and the 2¹⁶-world ``census_cleanup_dml_xxl``
+  scenario pushes a five-statement subquery-free cleanup through the
+  batch pipeline as one backend pass.
 """
 
 from __future__ import annotations
 
+import gc
 import time
 
 import pytest
@@ -72,6 +82,16 @@ XL_SUITE = list(xl_scenarios())
 #: Scenarios whose world count makes the kernel comparison meaningful
 #: (≥ 2¹² worlds): these get an extra ``inline-tuple`` timing row.
 KERNEL_COMPARED = {TRIP_XL.name} | {s.name for s in XL_SUITE}
+
+# The suites above pin ~10⁶ long-lived objects (the XL/XXL relations'
+# row tuples) for the whole benchmark session. Freeze them into the
+# GC's permanent generation so a timed region never pays a full-heap
+# gen-2 scan whose cost scales with *other* scenarios' data — without
+# this, adding a new XL scenario inflates every scenario measured
+# after it. Collect first: freezing pending garbage would pin it
+# forever.
+gc.collect()
+gc.freeze()
 
 
 def _representation_size(session) -> int:
@@ -114,8 +134,13 @@ def _timed_run(
     for _ in range(repeats):
         # Keep only the latest session/result — run_scenario is
         # deterministic, and pinning one copy per repeat would triple
-        # peak memory on the ≥10⁵-row XL representations.
+        # peak memory on the ≥10⁵-row XL representations. The previous
+        # repeat's garbage (kernel twins are reference cycles, so it
+        # lingers until a gen-2 pass) is collected *outside* the timed
+        # region: each repeat measures the scenario, not its
+        # predecessor's cleanup.
         session = result = None
+        gc.collect()
         with collect_phases() as phases:
             start = time.perf_counter()
             session, result = run_scenario(scenario, backend)
@@ -132,6 +157,12 @@ def _timed_run(
     # sessions have no route.
     if route is not None and not scenario.uses_fallback:
         assert route == "direct", (scenario.name, fallback_reason)
+    # ISSUE 5 acceptance: DML scenarios surface their apply cost as a
+    # dedicated per-phase row — a refactor that silently drops the
+    # instrumentation (and with it the regression gate's input) fails
+    # here, not in a dashboard weeks later.
+    if route is not None and "dml" in scenario.name:
+        assert "dml_apply" in phases, (scenario.name, phases)
     record(
         scenario.name,
         label if label is not None else backend,

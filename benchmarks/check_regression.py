@@ -33,7 +33,22 @@ Rules:
   scenarios (baseline ``route=fallback``, current ``route=direct``)
   are gated on seconds like every other row from this run onward; the
   next committed baseline then pins both the faster seconds and the
-  direct route.
+  direct route;
+* the ``dml_apply`` **per-phase time** gates like the end-to-end
+  seconds (same-provenance rows only — phases are too small for the
+  cross-machine normalization to be meaningful): DML work hides inside
+  a scenario's total, and the dedicated phase is what keeps a
+  mask/scatter regression from drowning in plan-evaluation noise. A
+  baseline row that recorded the phase whose current row lost it is a
+  regression too — dropped instrumentation would silently disarm this
+  very gate;
+* **DML scenarios** (name contains ``dml``) are held to stricter
+  presence rules: one that vanishes from the current file entirely, or
+  whose ``inline-tuple`` kernel-vs-kernel row disappears, fails the
+  gate — the DML hot path must stay measured on both kernels, not just
+  fast last time it happened to run. (The benchmark writer carries
+  unmeasured rows over from the committed file, so partial CI runs
+  still satisfy this.)
 
 Usage::
 
@@ -53,6 +68,15 @@ GATED_BACKEND = "inline"
 #: Same-file rows used to normalize away hardware differences, in
 #: preference order.
 REFERENCE_BACKENDS = ("explicit", "inline-tuple")
+
+#: The per-phase timings gated like end-to-end seconds (same-provenance
+#: rows only).
+GATED_PHASES = ("dml_apply",)
+
+
+def _is_dml(scenario: str) -> bool:
+    """DML scenarios get the stricter presence rules."""
+    return "dml" in scenario
 
 
 def _rows(payload: dict, backend: str) -> dict[str, dict]:
@@ -86,6 +110,33 @@ def _normalized(payload: dict, scenario: str, inline_row: dict) -> tuple[float, 
     return None
 
 
+def _phase_problems(
+    scenario: str, old: dict, new: dict, threshold: float, min_seconds: float
+) -> list[str]:
+    """Per-phase regressions between two same-provenance inline rows."""
+    problems: list[str] = []
+    old_phases = old.get("phases") or {}
+    new_phases = new.get("phases") or {}
+    for name in GATED_PHASES:
+        old_value = old_phases.get(name)
+        if old_value is None or old_value < min_seconds:
+            continue
+        new_value = new_phases.get(name)
+        if new_value is None:
+            problems.append(
+                f"{scenario}: the {name} phase was {old_value:.4f}s at "
+                "baseline but is missing from the current row — dropped "
+                "instrumentation disarms this gate"
+            )
+        elif new_value > old_value * threshold:
+            problems.append(
+                f"{scenario}: {name} phase {old_value:.4f}s → "
+                f"{new_value:.4f}s ({new_value / old_value:.2f}× > "
+                f"{threshold:.1f}× threshold)"
+            )
+    return problems
+
+
 def check(
     baseline: dict, current: dict, threshold: float, min_seconds: float
 ) -> list[str]:
@@ -99,6 +150,12 @@ def check(
             continue
         new = current_rows.get(scenario)
         if new is None:
+            if _is_dml(scenario):
+                problems.append(
+                    f"{scenario}: DML scenario dropped from the current "
+                    "file — its inline row must stay measured (or carried "
+                    "over by the benchmark writer)"
+                )
             continue  # not re-measured in this run
         new_seconds = new.get("seconds")
         if new_seconds is None:
@@ -113,6 +170,9 @@ def check(
                 f"({new.get('fallback_reason') or 'no reason recorded'})"
             )
         if _provenance(old) == _provenance(new):
+            problems.extend(
+                _phase_problems(scenario, old, new, threshold, min_seconds)
+            )
             if old_seconds < min_seconds:
                 continue
             if new_seconds > old_seconds * threshold:
@@ -138,6 +198,17 @@ def check(
                 f"{new_ratio:.3f} ({new_ratio / old_ratio:.2f}× > "
                 f"{threshold:.1f}× threshold; cross-machine, normalized "
                 f"by {old_ref}/{new_ref})"
+            )
+    # DML scenarios must keep their kernel-vs-kernel comparison: losing
+    # the inline-tuple row means the columnar speedup on the DML hot
+    # path is no longer tracked at all.
+    current_kernel_rows = _rows(current, "inline-tuple")
+    for scenario in sorted(_rows(baseline, "inline-tuple")):
+        if _is_dml(scenario) and scenario not in current_kernel_rows:
+            problems.append(
+                f"{scenario}: the inline-tuple kernel-vs-kernel row "
+                "disappeared — the DML hot path must stay measured on "
+                "both kernels"
             )
     return problems
 

@@ -155,6 +155,38 @@ class Backend:
         """Update every world; False = discarded on key violation."""
         raise NotImplementedError
 
+    def run_dml_batch(
+        self, statements: tuple, context: ExecutionContext
+    ) -> list[bool]:
+        """Apply consecutive DML statements; one applied flag per statement.
+
+        ``ISQLSession.run_script`` routes maximal runs of consecutive
+        *subquery-free* DML statements against one relation here. The
+        contract is strict statement-at-a-time equivalence — same final
+        state, same applied/discarded flags, same errors in the same
+        order — and this default simply is statement-at-a-time
+        execution. Backends override it to pipeline the batch (the
+        inline backend applies the whole run in one pass over the flat
+        table and commits once).
+        """
+        from repro.isql import ast as isql_ast
+
+        applied: list[bool] = []
+        for statement in statements:
+            if isinstance(statement, isql_ast.Insert):
+                applied.append(self.run_insert(statement, context))
+            elif isinstance(statement, isql_ast.Delete):
+                self.run_delete(statement, context)
+                applied.append(True)
+            elif isinstance(statement, isql_ast.Update):
+                applied.append(self.run_update(statement, context))
+            else:
+                raise EvaluationError(
+                    "run_dml_batch accepts insert/delete/update statements, "
+                    f"not {type(statement).__name__}"
+                )
+        return applied
+
 
 def create_backend(backend: str | Backend) -> Backend:
     """Resolve ``ISQLSession``'s *backend* argument to an instance."""

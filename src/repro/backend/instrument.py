@@ -2,7 +2,9 @@
 
 The benchmark suite wants to know *where* a backend spends its time —
 compile (parse + I-SQL → world-set algebra), rewrite (the Figure 7
-pass), execute (flat-table or per-world evaluation), decode (explicit
+pass), execute (flat-table or per-world evaluation), dml_apply (the
+mask/scatter/append application of DML answers to the flat tables,
+including the batched pipeline's single-pass commit), decode (explicit
 world materialization) — so that performance PRs can target the right
 layer instead of re-measuring end-to-end numbers.
 

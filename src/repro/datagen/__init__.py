@@ -10,6 +10,7 @@ from repro.datagen.random_worlds import (
 from repro.datagen.workloads import (
     Scenario,
     census,
+    census_blocks,
     company,
     flights,
     hotels,
@@ -26,6 +27,7 @@ __all__ = [
     "RandomQueryBuilder",
     "Scenario",
     "census",
+    "census_blocks",
     "company",
     "flights",
     "hotels",

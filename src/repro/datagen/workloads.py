@@ -155,6 +155,34 @@ def census(
     return Relation(("SSN", "Name", "POB", "POW"), rows)
 
 
+def census_blocks(
+    n_blocks: int, people_per_block: int = 3, n_cities: int = 12
+) -> Relation:
+    """A block-partitioned ``Census(Block, SSN, Name, POB, POW)``.
+
+    Deterministic bulk data for the XXL DML-pipeline scenario: SSNs
+    enumerate people, cities cycle with different strides so value
+    predicates select stable fractions, and ``choice of Block`` splits
+    one world per block — 2¹⁶ blocks at the default three people per
+    block yield a ~2·10⁵-row flat table under 2¹⁶ worlds.
+    """
+    rows = []
+    ssn = 0
+    for block in range(n_blocks):
+        for _ in range(people_per_block):
+            rows.append(
+                (
+                    block,
+                    ssn,
+                    f"P{ssn}",
+                    f"City{ssn % n_cities}",
+                    f"City{(ssn // 7) % n_cities}",
+                )
+            )
+            ssn += 1
+    return Relation(("Block", "SSN", "Name", "POB", "POW"), rows)
+
+
 def lineitem(
     years: Sequence[int] = (2002, 2003, 2004, 2005),
     n_products: int = 20,
@@ -423,6 +451,30 @@ def xl_scenarios() -> tuple[Scenario, ...]:
     )
     blocked = Relation(("Town",), [("City1",), ("City3",), ("City5",)])
     return (
+        Scenario(
+            # The DML batch pipeline's headline: one world per census
+            # block (2¹⁶ worlds over a ~2·10⁵-row flat table), then a
+            # five-statement subquery-free cleanup script against the
+            # split relation — ``run_script`` coalesces the whole run
+            # into a single backend pass (updates, deletes and an
+            # insert that lands one sentinel row in every world), so
+            # the scenario measures per-statement pipeline throughput,
+            # not per-statement recommit cost. The closing ``certain``
+            # finds exactly the world-uniform sentinel.
+            name="census_cleanup_dml_xxl",
+            relations=(("Census", census_blocks(2**16)),),
+            script=(
+                "Clean <- select * from Census choice of Block;"
+                "update Clean set POW = 'City0' where POW = 'City1';"
+                "update Clean set Name = 'REDACTED' where SSN >= 150000;"
+                "delete from Clean where POB = 'City2' or POB = 'City3';"
+                "delete from Clean where SSN < 9000;"
+                "insert into Clean values (-1, -1, 'AUDIT', 'City0', 'City0');"
+            ),
+            query="select certain SSN, Name from Clean;",
+            approx_worlds=2**16,
+            explicit_infeasible=True,
+        ),
         Scenario(
             name="census_cleanup_dml_xl",
             relations=(

@@ -26,7 +26,13 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import RepresentationError
-from repro.relational.columnar import active_kernel, as_columnar, as_tuple, tuples_of
+from repro.relational.columnar import (
+    active_kernel,
+    as_columnar,
+    as_tuple,
+    resolve_kernel,
+    tuples_of,
+)
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, is_id_attribute
@@ -40,7 +46,7 @@ WORLD_TABLE = "#W"
 class InlinedRepresentation:
     """A world-set inlined into flat relations plus a world table."""
 
-    __slots__ = ("tables", "world_table", "id_attrs")
+    __slots__ = ("tables", "world_table", "id_attrs", "_known_ids", "_expanded")
 
     def __init__(
         self,
@@ -53,7 +59,52 @@ class InlinedRepresentation:
         if id_attrs is None:
             id_attrs = world_table.schema.attributes
         self.id_attrs = tuple(id_attrs)
+        #: Per-(V_i) sets of known world ids, shared with derived
+        #: representations over the same world table (validation cache).
+        self._known_ids: dict[tuple[str, ...], set[tuple]] = {}
+        #: Cached id-expanded table views, keyed (name, sorted ids) —
+        #: see :meth:`expanded`. Instances are immutable, so entries
+        #: never go stale; :meth:`replacing` carries untouched ones over.
+        self._expanded: dict[tuple[str, tuple[str, ...]], object] = {}
         self._validate()
+
+    def _known(self, table_ids: tuple[str, ...]) -> set[tuple]:
+        """The world table's id sub-tuples for *table_ids* (cached)."""
+        known = self._known_ids.get(table_ids)
+        if known is None:
+            known = set(tuples_of(self.world_table, table_ids))
+            self._known_ids[table_ids] = known
+        return known
+
+    def _validate_table(self, name: str, relation: Relation) -> None:
+        """One table's invariants: ids declared, referenced ids known.
+
+        Vectorized: each check is one C-speed pass over id column
+        slices (tuples_of), not a Python loop over row tuples —
+        representations are re-validated on every session commit.
+        """
+        stray = [
+            a
+            for a in relation.schema
+            if is_id_attribute(a) and a not in set(self.id_attrs)
+        ]
+        if stray:
+            raise RepresentationError(
+                f"table {name!r} carries undeclared id attributes {stray}"
+            )
+        table_ids = tuple(
+            a for a in self.id_attrs if a in relation.schema.as_set()
+        )
+        if not table_ids:
+            return
+        referenced = set(tuples_of(relation, table_ids))
+        known = self._known(table_ids)
+        if not referenced <= known:
+            world_id = next(iter(sorted(referenced - known, key=repr)))
+            raise RepresentationError(
+                f"table {name!r} references world id {world_id!r} "
+                "that is not in the world table"
+            )
 
     def _validate(self) -> None:
         if set(self.world_table.schema.attributes) != set(self.id_attrs):
@@ -61,34 +112,8 @@ class InlinedRepresentation:
                 f"world table attributes {list(self.world_table.schema)} "
                 f"differ from declared id attributes {list(self.id_attrs)}"
             )
-        # Vectorized: each check is one C-speed pass over id column
-        # slices (tuples_of), not a Python loop over row tuples —
-        # representations are re-validated on every session commit.
-        known_by_ids: dict[tuple[str, ...], set[tuple]] = {}
         for name, relation in self.tables.items():
-            stray = [
-                a
-                for a in relation.schema
-                if is_id_attribute(a) and a not in set(self.id_attrs)
-            ]
-            if stray:
-                raise RepresentationError(
-                    f"table {name!r} carries undeclared id attributes {stray}"
-                )
-            table_ids = self.table_id_attrs(name)
-            if not table_ids:
-                continue
-            known = known_by_ids.get(table_ids)
-            if known is None:
-                known = set(tuples_of(self.world_table, table_ids))
-                known_by_ids[table_ids] = known
-            referenced = set(tuples_of(relation, table_ids))
-            if not referenced <= known:
-                world_id = next(iter(sorted(referenced - known, key=repr)))
-                raise RepresentationError(
-                    f"table {name!r} references world id {world_id!r} "
-                    "that is not in the world table"
-                )
+            self._validate_table(name, relation)
 
     # -- constructors ------------------------------------------------------------
 
@@ -142,6 +167,70 @@ class InlinedRepresentation:
         """The id attributes table *name* actually carries (V_i ⊆ V)."""
         schema = self.tables[name].schema.as_set()
         return tuple(a for a in self.id_attrs if a in schema)
+
+    def replacing(
+        self, name: str, table: Relation, validate: bool = True
+    ) -> "InlinedRepresentation":
+        """The representation with *name*'s table swapped for *table*.
+
+        The DML commit path: the world table and every other table are
+        unchanged — and were validated when this instance was built —
+        so only the replacement is re-checked (id attributes declared,
+        referenced world ids known). The known-world-id sets are shared
+        and cached :meth:`expanded` views of *other* tables carry over,
+        which is what makes a multi-statement DML script pay for each
+        id expansion once instead of once per statement.
+
+        *validate=False* skips even the replacement's check: callers
+        whose rows are derived from this representation's own tables —
+        a DML mask keeps a subset, a scatter rewrites only value
+        columns, an append draws its id columns from the world table —
+        cannot introduce unknown world ids, and at 10⁵-row scale the
+        id-column pass is measurable on every statement.
+        """
+        self.tables[name]  # unknown names raise the catalog's SchemaError
+        replacement = object.__new__(InlinedRepresentation)
+        replacement.tables = Database(
+            (table_name, table if table_name == name else existing)
+            for table_name, existing in self.tables.items()
+        )
+        replacement.world_table = self.world_table
+        replacement.id_attrs = self.id_attrs
+        replacement._known_ids = self._known_ids
+        replacement._expanded = {
+            key: view for key, view in self._expanded.items() if key[0] != name
+        }
+        if validate:
+            replacement._validate_table(name, table)
+        return replacement
+
+    def expanded(self, name: str, ids: Iterable[str], kernel: str | None = None):
+        """The flat table of *name* carrying at least the id columns *ids*.
+
+        A lazily stored table (fewer id columns than a DML match plan
+        depends on) is replicated over the missing ids by joining the
+        world table's projection — the only place DML pays for
+        per-world variance, and only for the ids actually involved.
+        The join runs in *kernel* (``None`` reads ``REPRO_KERNEL``) and
+        the result — a :class:`Relation` or ``ColumnarRelation`` — is
+        cached on this instance, so the delete/update statements of one
+        batch expand once, not once per statement.
+        """
+        table = self.tables[name]
+        ids = tuple(ids)
+        if not set(ids) - table.schema.as_set():
+            return table
+        key = (name, tuple(sorted(ids)))
+        cached = self._expanded.get(key)
+        if cached is None:
+            if resolve_kernel(kernel) == "columnar":
+                cached = as_columnar(table).natural_join(
+                    as_columnar(self.world_table).project(ids)
+                )
+            else:
+                cached = table.natural_join(self.world_table.project(ids))
+            self._expanded[key] = cached
+        return cached
 
     def world_ids(self) -> list[tuple]:
         """The world identifiers, in deterministic order."""

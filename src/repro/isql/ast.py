@@ -322,6 +322,46 @@ def condition_subqueries(condition: Condition | None) -> list[SelectQuery]:
     return found
 
 
+def referenced_relations(
+    query: SelectQuery, views: dict[str, SelectQuery]
+) -> set[str]:
+    """All base relation names *query* reads, recursively.
+
+    Follows from-subqueries, view references (expanded through
+    *views*), condition subqueries, scalar subqueries in the select
+    list, and the ``group worlds by`` companion query. Names that are
+    neither views nor known relations are returned as-is (resolution
+    errors stay the evaluator's job). The inline backend uses this to
+    decide whether a DML subquery's answer can depend on the world id:
+    a world-local subquery reading only world-uniform relations is the
+    same in every world.
+    """
+    found: set[str] = set()
+    expanded_views: set[str] = set()
+
+    def visit(q: SelectQuery) -> None:
+        for item in q.from_items:
+            if isinstance(item, SubqueryRef):
+                visit(item.query)
+            elif item.name in views:
+                if item.name not in expanded_views:
+                    expanded_views.add(item.name)
+                    visit(views[item.name])
+            else:
+                found.add(item.name)
+        for sub in condition_subqueries(q.where):
+            visit(sub)
+        if not isinstance(q.select_list, Star):
+            for select_item in q.select_list:
+                for sub in expression_subqueries(select_item.expression):
+                    visit(sub)
+        if q.group_worlds_by is not None and q.group_worlds_by.query is not None:
+            visit(q.group_worlds_by.query)
+
+    visit(query)
+    return found
+
+
 def is_world_splitting(query: SelectQuery, views: dict[str, SelectQuery]) -> bool:
     """True iff evaluating *query* can change the set of worlds.
 

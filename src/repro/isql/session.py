@@ -38,6 +38,12 @@ differential suite in ``tests/backend`` enforces this.
 ``repro.isql.session_route(session, text)`` reports which route the
 inline backend takes for a statement against the live catalog;
 ``docs/isql-reference.md`` tabulates the routes construct by construct.
+
+Scripts run either statement at a time (:meth:`ISQLSession.execute`)
+or through the DML batch pipeline (:meth:`ISQLSession.run_script`),
+which coalesces consecutive subquery-free DML statements against one
+relation into a single backend pass — same results, one commit per
+batch.
 """
 
 from __future__ import annotations
@@ -64,6 +70,10 @@ class DMLResult:
     def __repr__(self) -> str:
         status = "applied" if self.applied else "discarded (constraint violation)"
         return f"DMLResult({self.kind}: {status})"
+
+
+#: DMLResult kind labels per statement node (the batch pipeline's map).
+_DML_KINDS = {ast.Insert: "insert", ast.Delete: "delete", ast.Update: "update"}
 
 
 class ISQLSession:
@@ -129,6 +139,70 @@ class ISQLSession:
         for statement in statements:
             results.append(self.execute_statement(statement))
         return results
+
+    def run_script(self, script: str) -> list[BaseQueryResult | DMLResult | None]:
+        """:meth:`execute` with the DML batch pipeline.
+
+        Maximal runs of **consecutive subquery-free DML statements
+        against the same relation** coalesce into one
+        ``backend.run_dml_batch`` call: the inline backend applies the
+        whole run in a single pass over the flat table — one id
+        expansion, one commit, one representation validation per batch
+        instead of per statement — while every other backend inherits
+        the statement-at-a-time default. Results are row-for-row (and
+        flag-for-flag) identical to :meth:`execute`; only the cost
+        changes. A statement with condition/set subqueries, or a
+        non-DML statement, closes the current batch.
+        """
+        with phase("compile"):
+            statements = parse_script(script)
+        results: list[BaseQueryResult | DMLResult | None] = []
+        index = 0
+        while index < len(statements):
+            batch = self._dml_batch_at(statements, index)
+            if len(batch) >= 2:
+                applied = self.backend.run_dml_batch(tuple(batch), self._context())
+                results.extend(
+                    DMLResult(flag, _DML_KINDS[type(statement)])
+                    for statement, flag in zip(batch, applied)
+                )
+                index += len(batch)
+            else:
+                results.append(self.execute_statement(statements[index]))
+                index += 1
+        return results
+
+    @staticmethod
+    def _batchable(statement: ast.Statement) -> bool:
+        """Subquery-free DML: evaluable in one flat pass, no match plan."""
+        if isinstance(statement, ast.Insert):
+            return True
+        if isinstance(statement, ast.Delete):
+            return not ast.condition_subqueries(statement.where)
+        if isinstance(statement, ast.Update):
+            return not ast.condition_subqueries(statement.where) and not any(
+                ast.expression_subqueries(clause.expression)
+                for clause in statement.settings
+            )
+        return False
+
+    @classmethod
+    def _dml_batch_at(
+        cls, statements: list[ast.Statement], index: int
+    ) -> list[ast.Statement]:
+        """The maximal batchable run starting at *index* (may be one)."""
+        first = statements[index]
+        if not cls._batchable(first):
+            return [first]
+        batch = [first]
+        for statement in statements[index + 1 :]:
+            if (
+                not cls._batchable(statement)
+                or statement.relation != first.relation
+            ):
+                break
+            batch.append(statement)
+        return batch
 
     def execute_statement(
         self, statement: ast.Statement

@@ -564,6 +564,94 @@ class ColumnarRelation:
             [d for d, vs in seen.items() if len(vs) >= need and required <= vs],
         )
 
+    # -- DML kernel ops: mask / scatter / append ----------------------------------
+
+    def mask(
+        self,
+        matched: "ColumnarRelation | Relation",
+        attributes: Sequence[str] | None = None,
+    ) -> "ColumnarRelation":
+        """Boolean-keep by hashed key lookup (see :meth:`Relation.mask`).
+
+        One build pass over *matched*'s key columns and one C-speed
+        zip-and-probe over this relation's row view — the columnar hot
+        path of ``delete``: no tuple materialization beyond the key
+        sub-tuples, and the kept rows are shared, not copied.
+        """
+        matched = as_columnar(matched)
+        attrs = (
+            tuple(attributes) if attributes is not None else self.schema.attributes
+        )
+        self.schema.indices(attrs)  # validate eagerly, like the tuple twin
+        drop = set(matched.tuples(attrs))
+        if not drop:
+            return self
+        return ColumnarRelation._from_rows(
+            self.schema,
+            [
+                row
+                for row, key in zip(self.row_list(), self.tuples(attrs))
+                if key not in drop
+            ],
+        )
+
+    def scatter_update(
+        self,
+        matches: "ColumnarRelation | Relation",
+        setters: Sequence[tuple[str, Callable[[Row], object]]],
+    ) -> "ColumnarRelation":
+        """Rewrite the rows *matches* selects (see :meth:`Relation.scatter_update`).
+
+        The matched targets stream through :meth:`tuples` as column
+        slices; kept rows are probed against the target set at C speed.
+        Only the rewritten rows are materialized anew.
+        """
+        matches = as_columnar(matches)
+        positions = [self.schema.index(attribute) for attribute, _ in setters]
+        functions = [function for _, function in setters]
+        drop: set[Row] = set()
+        rewritten: list[Row] = []
+        append = rewritten.append
+        pairs = zip(matches.row_list(), matches.tuples(self.schema.attributes))
+        if len(functions) == 1:
+            # The common one-set-clause statement: rewrite by tuple
+            # slicing instead of a per-row list round-trip.
+            position, function = positions[0], functions[0]
+            tail = position + 1
+            for match, target in pairs:
+                drop.add(target)
+                append(target[:position] + (function(match),) + target[tail:])
+        else:
+            for match, target in pairs:
+                drop.add(target)
+                new_row = list(target)
+                for position, function in zip(positions, functions):
+                    new_row[position] = function(match)
+                append(tuple(new_row))
+        kept = [row for row in self.row_list() if row not in drop]
+        return ColumnarRelation._deduped(self.schema, rewritten + kept)
+
+    def append(self, rows: Iterable[Row]) -> "ColumnarRelation":
+        """The relation with the aligned tuples *rows* added.
+
+        O(additions) probe work against the cached row set plus one
+        pointer-copy of the existing row view — no per-row re-coercion
+        like the constructor (see :meth:`Relation.append`).
+        """
+        additions = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        width = len(self.schema)
+        for row in additions:
+            if len(row) != width:
+                raise SchemaError(
+                    f"appended row {row!r} has {len(row)} values; schema "
+                    f"{list(self.schema)} expects {width}"
+                )
+        present = self.rows
+        fresh = list(dict.fromkeys(row for row in additions if row not in present))
+        if not fresh:
+            return self
+        return ColumnarRelation._from_rows(self.schema, self.row_list() + fresh)
+
     def aggregate_by(
         self, keys: Sequence[str], specs: Sequence["AggSpec"]
     ) -> "ColumnarRelation":
@@ -595,18 +683,45 @@ class ColumnarRelation:
 
     def left_outer_join_padded(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
-        joined = self.natural_join(other)
-        dangling = self.antijoin(other)
-        pad_attrs = tuple(a for a in other.schema if a not in self.schema.as_set())
-        pad_row = (PAD,) * len(pad_attrs)
-        padded = [row + pad_row for row in dangling.row_list()]
-        # Joined rows carry real choice values, padded rows carry PAD on
-        # the pad attributes — the two row sets are disjoint unless the
-        # data itself contains PAD, so union's dedup pass is the safety
-        # net, not the common case.
-        return joined.union(
-            ColumnarRelation._from_rows(joined.schema, padded)
+        common = self.schema.common(other.schema)
+        if not common:
+            joined = self.natural_join(other)
+            pad_attrs = other.schema.attributes
+            pad_row = (PAD,) * len(pad_attrs)
+            padded = [row + pad_row for row in ([] if other else self.row_list())]
+            return joined.union(
+                ColumnarRelation._from_rows(joined.schema, padded)
+            )
+        # One fused build/probe pass: each left row emits its join
+        # partners, or one PAD-padded row when dangling — instead of
+        # separate ⋈, antijoin and ∪ passes over the whole relation
+        # (this sits on the scalar-subquery hot path of DML match
+        # plans). Joined rows carry real choice values, padded rows
+        # carry PAD on the pad attributes — the two row sets are
+        # disjoint unless the data itself contains PAD, so the final
+        # dedup pass is the safety net, not the common case.
+        left_set = self.schema.as_set()
+        buckets = other._index(other.schema.indices(common))
+        rest_positions = tuple(
+            i for i, a in enumerate(other.schema) if a not in left_set
         )
+        schema = Schema(
+            self.schema.attributes
+            + tuple(other.schema[i] for i in rest_positions)
+        )
+        rest_of = tuple_getter(rest_positions)
+        right_rows = other.row_list()
+        pad_row = (PAD,) * len(rest_positions)
+        rows: list[Row] = []
+        append = rows.append
+        for left, key in zip(self.row_list(), self.tuples(common)):
+            bucket = buckets.get(key)
+            if bucket is None:
+                append(left + pad_row)
+            else:
+                for i in bucket:
+                    append(left + rest_of(right_rows[i]))
+        return ColumnarRelation._deduped(schema, rows)
 
     # -- helpers used by the world-set machinery ---------------------------------
 

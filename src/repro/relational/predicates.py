@@ -62,6 +62,20 @@ class Term:
         """Compile to a function from a row tuple to the operand's value."""
         raise NotImplementedError
 
+    def column(self, relation) -> "object | None":
+        """Vectorized evaluation: the term's value column over *relation*.
+
+        *relation* is a columnar relation (duck-typed to avoid a module
+        cycle: anything with ``column_values``/``__len__``). Returns a
+        value sequence aligned with the relation's rows — equal,
+        element for element, to calling ``bind(relation.schema)`` on
+        each row — or None when this term kind only evaluates row at a
+        time (then callers fall back to the bound function). The DML
+        ``scatter_update`` hot path uses this to rewrite a set clause
+        as one column slice instead of 10⁵ closure calls.
+        """
+        return None
+
 
 class Attr(Term):
     """Reference to an attribute by name."""
@@ -80,6 +94,9 @@ class Attr(Term):
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         position = schema.index(self.name)
         return lambda row: row[position]
+
+    def column(self, relation):
+        return relation.column_values(self.name)
 
     def __repr__(self) -> str:
         return self.name
@@ -108,6 +125,9 @@ class Const(Term):
     def bind(self, schema: Schema) -> Callable[[tuple], object]:
         value = self.value
         return lambda row: value
+
+    def column(self, relation):
+        return [self.value] * len(relation)
 
     def __repr__(self) -> str:
         return repr(self.value)
@@ -169,6 +189,26 @@ class Arith(Term):
 
         return value
 
+    def column(self, relation):
+        left = self.left.column(relation)
+        right = self.right.column(relation)
+        if left is None or right is None:
+            return None
+        combine = _ARITH_OPS[self.op]
+        out = []
+        for a, b in zip(left, right):
+            if a is None or b is None:
+                raise EvaluationError(
+                    "arithmetic over an undefined (empty) aggregate"
+                )
+            try:
+                out.append(combine(a, b))
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"arithmetic {self.op!r} over incompatible values"
+                ) from exc
+        return out
+
     def __repr__(self) -> str:
         return f"({self.left!r}{self.op}{self.right!r})"
 
@@ -217,6 +257,15 @@ class PadDefault(Term):
             return default if raw is PAD else raw
 
         return value
+
+    def column(self, relation):
+        from repro.relational.pad import PAD
+
+        default = self.default
+        return [
+            default if value is PAD else value
+            for value in relation.column_values(self.name)
+        ]
 
     def __repr__(self) -> str:
         return f"{self.name}⟨pad→{self.default!r}⟩"

@@ -499,6 +499,90 @@ class Relation:
             (d for d, vs in seen.items() if len(vs) >= need and required <= vs),
         )
 
+    # -- DML kernel ops: mask / scatter / append ----------------------------------
+
+    def mask(
+        self, matched: "Relation", attributes: Sequence[str] | None = None
+    ) -> "Relation":
+        """Boolean-keep by hashed key lookup: drop the rows *matched* names.
+
+        Keeps exactly the rows whose *attributes* sub-tuple does **not**
+        occur in π_attributes(*matched*); *attributes* defaults to the
+        whole schema (full-row identity). This is the flat-table form of
+        the Section 3 delete rule: the match plan's answer, keyed by
+        world ids plus the row values, masks the id-expanded table in
+        one hashed pass — the antijoin specialized to an explicit key so
+        the two operands may share value columns under different roles.
+        """
+        matched = Relation._coerce_operand(matched)
+        attrs = (
+            tuple(attributes) if attributes is not None else self.schema.attributes
+        )
+        key_of = tuple_getter(self.schema.indices(attrs))
+        drop = frozenset(
+            map(tuple_getter(matched.schema.indices(attrs)), matched.rows)
+        )
+        if not drop:
+            return self
+        return Relation._raw(
+            self.schema, (row for row in self.rows if key_of(row) not in drop)
+        )
+
+    def scatter_update(
+        self,
+        matches: "Relation",
+        setters: Sequence[tuple[str, Callable[[Row], object]]],
+    ) -> "Relation":
+        """Rewrite the rows *matches* selects from a computed-value relation.
+
+        *matches*' schema must contain every attribute of this relation;
+        each match row ``m`` names the target row π_self(m) — which is
+        removed — and contributes its rewrite: the target with every
+        ``(attribute, function)`` of *setters* overridden by
+        ``function(m)`` (``m`` as a positional tuple aligned with
+        *matches*' schema, so value terms bound against the match plan's
+        answer schema read the *pre-update* row). This is the flat-table
+        form of the Section 3 update rule; the result is deduplicated
+        (a rewrite may collide with a kept row).
+        """
+        matches = Relation._coerce_operand(matches)
+        target_of = tuple_getter(matches.schema.indices(self.schema.attributes))
+        positions = [self.schema.index(attribute) for attribute, _ in setters]
+        functions = [function for _, function in setters]
+        drop: set[Row] = set()
+        rewritten: list[Row] = []
+        for match in matches.rows:
+            target = target_of(match)
+            drop.add(target)
+            new_row = list(target)
+            for position, function in zip(positions, functions):
+                new_row[position] = function(match)
+            rewritten.append(tuple(new_row))
+        kept = [row for row in self.rows if row not in drop]
+        return Relation._raw(self.schema, frozenset(rewritten).union(kept))
+
+    def append(self, rows: Iterable[Row]) -> "Relation":
+        """The relation with the aligned tuples *rows* added.
+
+        The incremental twin of rebuilding through the constructor: the
+        existing rows are reused as-is (one C-speed set copy, no per-row
+        re-coercion or interning), only the additions are checked for
+        arity and deduplicated. Rows already present are no-ops (set
+        semantics) — an insert hitting an existing row changes nothing.
+        """
+        additions = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        width = len(self.schema)
+        for row in additions:
+            if len(row) != width:
+                raise SchemaError(
+                    f"appended row {row!r} has {len(row)} values; schema "
+                    f"{list(self.schema)} expects {width}"
+                )
+        fresh = frozenset(additions) - self.rows
+        if not fresh:
+            return self
+        return Relation._raw(self.schema, self.rows | fresh)
+
     def aggregate_by(self, keys: Sequence[str], specs: Sequence["AggSpec"]) -> "Relation":
         """Grouped SQL aggregation: one row per distinct *keys* value.
 

@@ -64,6 +64,13 @@ CONDITIONS = (
     "V in (select X from H) or W > 30",
     "exists (select * from H where X = V) or K in (select X from H)",
     "not (V in (select X from H) and W > 20)",
+    # Subqueries over the *split* relation: their answers vary per
+    # world, so these route through the general id-expanded
+    # mask/scatter path rather than the value-determined one — both
+    # flat DML routes stay under randomized differential coverage.
+    "K in (select K from Split where W > 10)",
+    "W >= (select max(W) from Split)",
+    "exists (select * from Split where W > 20) or V in (select X from H)",
 )
 
 SET_CLAUSES = (
@@ -72,6 +79,8 @@ SET_CLAUSES = (
     "W = (select Y from H where X = V) + K",
     "V = (select min(X) from H)",
     "W = (select sum(Y) from H) - W",
+    # Split-keyed set input: the general path's per-world-id scatter.
+    "W = (select count(K) from Split) * 10",
 )
 
 

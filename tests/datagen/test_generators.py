@@ -122,6 +122,7 @@ class TestXLScenarios:
 
         suite = {s.name: s for s in xl_scenarios()}
         assert set(suite) == {
+            "census_cleanup_dml_xxl",
             "census_cleanup_dml_xl",
             "trip_certain_2p16",
             "census_repair_xl",
@@ -136,6 +137,17 @@ class TestXLScenarios:
         assert dml.approx_worlds >= 2**12
         assert "update" in dml.script and "delete" in dml.script
         assert "(select" in dml.script
+        # The batched DML pipeline scenario (ISSUE 5): a 2¹⁶-world
+        # split, then a multi-statement *subquery-free* cleanup run on
+        # one relation — exactly the shape run_script coalesces into a
+        # single backend pass — closed by an insert visible as the one
+        # certain row.
+        xxl = suite["census_cleanup_dml_xxl"]
+        assert xxl.approx_worlds == 2**16
+        assert "(select" not in xxl.script.split(";", 1)[1]
+        assert xxl.script.count("update") + xxl.script.count("delete") >= 4
+        assert "insert" in xxl.script
+        assert sum(len(rel) for _, rel in xxl.relations) >= 10**5
         assert suite["trip_certain_2p16"].approx_worlds == 2**16
         assert all(s.approx_worlds >= 2**12 for s in suite.values())
         # ≥10⁵ inlined rows once the script replays: the generators alone

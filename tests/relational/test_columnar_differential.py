@@ -244,3 +244,99 @@ def test_union_incompatible_schemas_raise_like_the_tuple_engine():
 def test_schema_instance_accepted():
     relation = ColumnarRelation(Schema(("A",)), [(1,)])
     assert as_tuple(relation) == Relation(Schema(("A",)), [(1,)])
+
+
+# -- the DML kernel ops: mask / scatter_update / append ------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=relations(("A", "B")), matched=relations(("B", "C")))
+def test_mask_matches_on_explicit_attributes(relation, matched):
+    assert_same(
+        as_columnar(relation).mask(matched, ("B",)),
+        relation.mask(matched, ("B",)),
+        "mask[B]",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=relations(("A", "B")), matched=relations(("A", "B", "C")))
+def test_mask_defaults_to_full_row_identity(relation, matched):
+    assert_same(
+        as_columnar(relation).mask(as_columnar(matched)),
+        relation.mask(matched),
+        "mask[*]",
+    )
+
+
+SETTERS = [
+    ("A", lambda match: match[2]),
+    ("B", lambda match: (match[0], match[1])),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=relations(("A", "B")),
+    matches=relations(("A", "B", "C")),
+    count=st.integers(0, len(SETTERS)),
+)
+def test_scatter_update_matches(relation, matches, count):
+    setters = SETTERS[:count]
+    assert_same(
+        as_columnar(relation).scatter_update(matches, setters),
+        relation.scatter_update(matches, setters),
+        f"scatter_update[{count} setters]",
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=relations(("A", "B")),
+    additions=st.lists(st.tuples(VALUES, VALUES), max_size=6),
+)
+def test_append_matches(relation, additions):
+    columnar = as_columnar(relation).append(additions)
+    assert_same(columnar, relation.append(additions), "append")
+    # Set semantics: appending is rebuilding through the constructor.
+    assert as_tuple(columnar) == Relation(
+        relation.schema, list(relation.rows) + additions
+    )
+
+
+def test_mask_scatter_append_edges():
+    import pytest
+
+    relation = Relation(("A", "B"), [(1, "x"), (2, "y")])
+    empty_match = Relation(("A", "B"), [])
+    # Masking with an empty match set keeps every row (and both kernels
+    # may return the operand itself).
+    assert relation.mask(empty_match) == relation
+    assert as_tuple(as_columnar(relation).mask(empty_match)) == relation
+    # Appending nothing (or only already-present rows) is a no-op.
+    assert relation.append([]) is relation
+    assert relation.append([(1, "x")]) is relation
+    assert as_columnar(relation).append([(1, "x")]) is as_columnar(relation)
+    # A rewrite colliding with a kept row deduplicates (set semantics).
+    matches = Relation(("A", "B"), [(2, "y")])
+    collided = relation.scatter_update(matches, [("A", lambda m: 1), ("B", lambda m: "x")])
+    assert collided == Relation(("A", "B"), [(1, "x")])
+    assert as_tuple(
+        as_columnar(relation).scatter_update(matches, [("A", lambda m: 1), ("B", lambda m: "x")])
+    ) == collided
+    # Arity and unknown-attribute errors raise alike on both kernels.
+    for engine in (relation, as_columnar(relation)):
+        with pytest.raises(SchemaError):
+            engine.append([(1, "x", "extra")])
+        with pytest.raises(SchemaError):
+            engine.mask(empty_match, ("Nope",))
+        with pytest.raises(SchemaError):
+            engine.scatter_update(matches, [("Nope", lambda m: 0)])
+
+
+def test_mask_accepts_cross_kernel_operands():
+    relation = Relation(("A", "B"), [(1, "x"), (2, "y"), (3, "z")])
+    matched = Relation(("B",), [("y",)])
+    expected = Relation(("A", "B"), [(1, "x"), (3, "z")])
+    assert relation.mask(as_columnar(matched), ("B",)) == expected
+    assert as_tuple(as_columnar(relation).mask(matched, ("B",))) == expected

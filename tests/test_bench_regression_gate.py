@@ -203,3 +203,95 @@ def test_main_exit_codes(tmp_path):
     bad.write_text(json.dumps(_payload(_row("trip", seconds=0.9))))
     assert check_regression.main([str(base), str(good)]) == 0
     assert check_regression.main([str(base), str(bad)]) == 1
+
+
+# -- the ISSUE 5 extensions: dml_apply phase + DML presence rules -------------------
+
+
+def test_dml_apply_phase_regression_fails():
+    baseline = _payload(_row("dml_xl", seconds=0.5, phases={"dml_apply": 0.100}))
+    current = _payload(
+        # End-to-end seconds within threshold, but the apply phase
+        # tripled: the dedicated gate catches what the total hides.
+        _row("dml_xl", seconds=0.8, phases={"dml_apply": 0.300})
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "dml_apply" in problems[0]
+
+
+def test_dml_apply_phase_within_threshold_passes():
+    baseline = _payload(_row("dml_xl", seconds=0.5, phases={"dml_apply": 0.100}))
+    current = _payload(_row("dml_xl", seconds=0.6, phases={"dml_apply": 0.150}))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_dml_apply_phase_disappearing_fails():
+    """Dropped instrumentation would silently disarm the phase gate."""
+    baseline = _payload(_row("dml_xl", seconds=0.5, phases={"dml_apply": 0.100}))
+    current = _payload(_row("dml_xl", seconds=0.5, phases={"execute": 0.4}))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "missing" in problems[0]
+
+
+def test_dml_apply_phase_noise_floor():
+    baseline = _payload(_row("dml_small", seconds=0.5, phases={"dml_apply": 0.0005}))
+    current = _payload(_row("dml_small", seconds=0.5, phases={"execute": 0.4}))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_dml_apply_phase_not_gated_cross_machine():
+    """Phases are too small for cross-machine normalization; provenance
+    mismatches skip the phase gate rather than compare raw seconds."""
+    baseline = _payload(
+        _row("dml_xl", seconds=0.5, phases={"dml_apply": 0.1},
+             python="3.11", platform="dev")
+    )
+    current = _payload(
+        _row("dml_xl", seconds=0.5, phases={"dml_apply": 0.4},
+             python="3.12", platform="ci")
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_dml_scenario_dropped_entirely_fails():
+    baseline = _payload(_row("census_cleanup_dml_xl", seconds=0.5))
+    current = _payload(_row("other", seconds=0.1))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "dropped" in problems[0]
+
+
+def test_non_dml_scenario_dropped_is_still_skipped():
+    baseline = _payload(_row("trip_xl", seconds=0.5))
+    current = _payload(_row("other", seconds=0.1))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_dml_kernel_row_disappearing_fails():
+    baseline = _payload(
+        _row("census_cleanup_dml_xl", seconds=0.5),
+        _row("census_cleanup_dml_xl", backend="inline-tuple", seconds=0.7),
+    )
+    current = _payload(_row("census_cleanup_dml_xl", seconds=0.5))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "inline-tuple" in problems[0]
+
+
+def test_dml_kernel_row_present_passes():
+    baseline = _payload(
+        _row("census_cleanup_dml_xl", seconds=0.5),
+        _row("census_cleanup_dml_xl", backend="inline-tuple", seconds=0.7),
+    )
+    current = _payload(
+        _row("census_cleanup_dml_xl", seconds=0.5),
+        _row("census_cleanup_dml_xl", backend="inline-tuple", seconds=0.9),
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_non_dml_kernel_row_disappearing_is_skipped():
+    baseline = _payload(
+        _row("trip_xl", seconds=0.5),
+        _row("trip_xl", backend="inline-tuple", seconds=0.7),
+    )
+    current = _payload(_row("trip_xl", seconds=0.5))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
