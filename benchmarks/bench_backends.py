@@ -42,7 +42,15 @@ Shape claims:
   id-expanded table (``census_cleanup_dml_xl`` dropped ≥3× against the
   PR 4 baseline), and the 2¹⁶-world ``census_cleanup_dml_xxl``
   scenario pushes a five-statement subquery-free cleanup through the
-  batch pipeline as one backend pass.
+  batch pipeline as one backend pass;
+* the array kernel is the XL workhorse (ISSUE 6): every inline-only
+  scenario gets an ``inline-array`` row, the headline pair
+  (``trip_certain_2p16``, ``census_cleanup_dml_xxl``) must beat the
+  columnar kernel live by ≥ 2× (the committed
+  ``array_speedup_over_columnar_kernel`` ratios show ≥ 5×, gated by
+  ``check_regression.py``), and the nightly-only 2²⁰-world
+  ``trip_certain_2p20`` completes on the array kernel with its
+  per-phase breakdown recorded.
 """
 
 from __future__ import annotations
@@ -54,7 +62,8 @@ import pytest
 
 from repro.backend import InlineBackend, collect_phases
 from repro.backend.testing import run_scenario
-from repro.datagen import Scenario, flights, scenarios, xl_scenarios
+from repro.datagen import Scenario, flights, nightly_scenarios, scenarios, xl_scenarios
+from repro.relational.array_kernel import have_numpy
 
 LARGE = {s.name: s for s in scenarios("large")}
 
@@ -82,6 +91,12 @@ XL_SUITE = list(xl_scenarios())
 #: Scenarios whose world count makes the kernel comparison meaningful
 #: (≥ 2¹² worlds): these get an extra ``inline-tuple`` timing row.
 KERNEL_COMPARED = {TRIP_XL.name} | {s.name for s in XL_SUITE}
+
+#: The array kernel's headline scenarios (ISSUE 6): committed
+#: BENCH_backends.json must show ≥ 5× over columnar via the
+#: ``array_speedup_over_columnar_kernel`` map; the live bound asserted
+#: here is 2× to keep shared-runner noise from flaking.
+ARRAY_HEADLINE = {"trip_certain_2p16", "census_cleanup_dml_xxl"}
 
 # The suites above pin ~10⁶ long-lived objects (the XL/XXL relations'
 # row tuples) for the whole benchmark session. Freeze them into the
@@ -240,6 +255,21 @@ def test_xl_scenarios_inline_only(scenario, backend_recorder, bench_repeats):
         label="inline-tuple",
     )
     assert tuple_result.answers() == columnar_result.answers()
+    if have_numpy():
+        array_seconds, array_result = _timed_run(
+            scenario,
+            lambda: InlineBackend(kernel="array"),
+            backend_recorder,
+            bench_repeats,
+            label="inline-array",
+        )
+        assert array_result.answers() == columnar_result.answers()
+        if scenario.name in ARRAY_HEADLINE:
+            assert array_seconds * 2 < columnar_seconds, (
+                scenario.name,
+                columnar_seconds,
+                array_seconds,
+            )
     if scenario.name == "tpch_what_if_xl":
         # The former fallback workload, at 2¹³ worlds: the whole
         # aggregation/subquery statement set must stay flat and fast.
@@ -288,3 +318,35 @@ def test_shape_columnar_kernel_wins_beyond_4096_worlds(backend_recorder, bench_r
         label="inline",
     )
     assert columnar_time * 2 < tuple_time, (tuple_time, columnar_time)
+
+
+@pytest.mark.skipif(not have_numpy(), reason="array kernel needs numpy")
+def test_nightly_trip_2p20_array_kernel(backend_recorder, bench_repeats):
+    """The first 2²⁰-world scenario: array-kernel-only, nightly-only.
+
+    16× the XL trip's world count over a ~3·10⁶-row flat table — the
+    per-row kernels are not worth timing here, so only the array kernel
+    is measured (with its per-phase breakdown); explicit stays
+    infeasible. Excluded from the PR-time benchmark job by the
+    ``not nightly`` keyword filter: generating the instance alone costs
+    seconds, and the run is minutes on a cold cache.
+    """
+    (scenario,) = nightly_scenarios()
+    assert scenario.explicit_infeasible
+    # The 2²⁰ instance is built here, not at module import, so PR-time
+    # benchmark runs never pay for it. Freeze its ~3·10⁶ row tuples for
+    # the same reason the module freezes the XL suites.
+    gc.collect()
+    gc.freeze()
+    _record_explicit_infeasible(scenario, backend_recorder)
+    seconds, result = _timed_run(
+        scenario,
+        lambda: InlineBackend(kernel="array"),
+        backend_recorder,
+        bench_repeats,
+        label="inline-array",
+    )
+    assert result.world_count() == 1  # certain answers are world-uniform
+    (answer,) = result.answers()
+    assert ("A0",) in answer.rows  # the guaranteed common arrival
+    assert seconds < 60.0, f"{scenario.name}: {seconds:.2f}s ≥ 60s nightly budget"

@@ -49,6 +49,15 @@ Rules:
   fast last time it happened to run. (The benchmark writer carries
   unmeasured rows over from the committed file, so partial CI runs
   still satisfy this.)
+* the ``array_speedup_over_columnar_kernel`` map gates on presence and
+  threshold: a scenario whose baseline file records an array-vs-
+  columnar speedup must still record one (the ``inline-array`` row and
+  the ratio must not silently disappear), and the current speedup must
+  not fall below the baseline's divided by ``--threshold`` — the array
+  kernel losing its edge is exactly the regression ISSUE 6's ≥ 5×
+  acceptance bar exists to catch. Ratios are computed between
+  same-provenance rows by the writer, so they compare cleanly across
+  machines.
 
 Usage::
 
@@ -209,6 +218,25 @@ def check(
                 f"{scenario}: the inline-tuple kernel-vs-kernel row "
                 "disappeared — the DML hot path must stay measured on "
                 "both kernels"
+            )
+    # Array-vs-columnar speedups gate on presence and threshold: the
+    # ratio map is recomputed by the writer from the merged rows, so a
+    # missing entry means the inline-array measurement itself was lost.
+    old_array = baseline.get("array_speedup_over_columnar_kernel") or {}
+    new_array = current.get("array_speedup_over_columnar_kernel") or {}
+    for scenario, old_speedup in sorted(old_array.items()):
+        new_speedup = new_array.get(scenario)
+        if new_speedup is None:
+            problems.append(
+                f"{scenario}: the array-vs-columnar speedup disappeared "
+                f"(was {old_speedup:.2f}×) — the inline-array row must "
+                "stay measured (or carried over by the benchmark writer)"
+            )
+        elif new_speedup < old_speedup / threshold:
+            problems.append(
+                f"{scenario}: array-vs-columnar speedup {old_speedup:.2f}× "
+                f"→ {new_speedup:.2f}× (fell past the "
+                f"{threshold:.1f}× threshold)"
             )
     return problems
 

@@ -78,8 +78,10 @@ def record_backend_timing(
     if route is not None:
         row["route"] = route
         row["fallback_reason"] = fallback_reason
-    if kernel is not None:
-        row["kernel"] = kernel
+    # Every row states its kernel — explicitly null for backends that
+    # have none (the explicit engine), so a missing key can only mean
+    # a pre-registry row, not an unstated default.
+    row["kernel"] = kernel
     BACKEND_BENCH_RESULTS.append(row)
 
 
@@ -154,6 +156,7 @@ def pytest_sessionfinish(session, exitstatus):
         by_scenario.setdefault(row["scenario"], {})[row["backend"]] = row
     speedups = {}
     kernel_speedups = {}
+    array_speedups = {}
     for name, rows in by_scenario.items():
         explicit_over_inline = _ratio(rows.get("explicit"), rows.get("inline"))
         if explicit_over_inline is not None:
@@ -161,11 +164,15 @@ def pytest_sessionfinish(session, exitstatus):
         tuple_over_columnar = _ratio(rows.get("inline-tuple"), rows.get("inline"))
         if tuple_over_columnar is not None:
             kernel_speedups[name] = tuple_over_columnar
+        columnar_over_array = _ratio(rows.get("inline"), rows.get("inline-array"))
+        if columnar_over_array is not None:
+            array_speedups[name] = columnar_over_array
     payload = {
         "generated_by": "benchmarks/bench_backends.py",
         "entries": entries,
         "inline_speedup_over_explicit": speedups,
         "columnar_speedup_over_tuple_kernel": kernel_speedups,
+        "array_speedup_over_columnar_kernel": array_speedups,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -81,12 +81,20 @@ from repro.isql.compile import (
     compile_query,
     compile_update,
 )
-from repro.isql.engine import Engine
+from repro.isql.engine import Engine, _Resolver
 from repro.optimizer.rewriter import optimize as rewrite_plan
+from repro.relational import predicates
+from repro.relational.array_kernel import (
+    ArrayRelation,
+    _distinct_count,
+    _first_rows,
+    as_array,
+)
 from repro.relational.columnar import (
     ColumnarRelation,
     as_columnar,
     as_tuple,
+    kernel_ops,
     resolve_kernel,
     tuples_of,
 )
@@ -195,7 +203,7 @@ class InlineBackend(Backend):
                 "expected 'physical' or 'translate'"
             )
         if kernel is not None:
-            resolve_kernel(kernel)  # validate eagerly
+            kernel_ops(kernel)  # validate (and load) eagerly
         self.representation = (
             representation
             if representation is not None
@@ -428,17 +436,11 @@ class InlineBackend(Backend):
 
     def _in_kernel(self, relation):
         """*relation* in the active kernel's representation (cached)."""
-        if self.resolved_kernel == "columnar":
-            return as_columnar(relation)
-        return as_tuple(relation)
+        return kernel_ops(self.kernel).convert(relation)
 
     def _distinct_rows_relation(self, schema, rows):
         """A kernel-native relation from already-distinct aligned rows."""
-        if self.resolved_kernel == "columnar":
-            return ColumnarRelation._from_rows(
-                schema, rows if isinstance(rows, list) else list(rows)
-            )
-        return Relation._raw(schema, rows)
+        return kernel_ops(self.kernel).from_distinct_rows(schema, rows)
 
     @staticmethod
     def _key_tuples(relation, key, table_ids) -> set[tuple] | None:
@@ -809,7 +811,7 @@ class InlineBackend(Backend):
                     for new_values in hits:
                         append(new_values + id_part)
             new_table = (
-                ColumnarRelation._deduped(kernel_table.schema, rows)
+                type(kernel_table)._deduped(kernel_table.schema, rows)
                 if isinstance(kernel_table, ColumnarRelation)
                 else Relation._raw(kernel_table.schema, frozenset(rows))
             )
@@ -883,7 +885,7 @@ class InlineBackend(Backend):
                 ]
                 rewritten = list(zip(*columns))
                 kept = expanded.mask(answer_columnar, order)
-                return ColumnarRelation._deduped(
+                return type(expanded)._deduped(
                     Schema(order), rewritten + kept.row_list()
                 )
         binders = [(attr, term.bind(answer.schema)) for attr, term in set_terms]
@@ -927,6 +929,19 @@ class InlineBackend(Backend):
         engine = Engine(context.views, context.keys)
         with phase("dml_apply"):
             kernel_table = self._in_kernel(table)
+            if isinstance(kernel_table, ArrayRelation):
+                plans = _vector_plans(statements, attributes, schema)
+                if plans is not None:
+                    return self._run_dml_batch_array(
+                        statements,
+                        plans,
+                        kernel_table,
+                        name,
+                        schema,
+                        table_ids,
+                        value_attrs,
+                        key,
+                    )
             rows: list[tuple] = (
                 list(kernel_table.row_list())
                 if isinstance(kernel_table, ColumnarRelation)
@@ -1088,3 +1103,326 @@ class InlineBackend(Backend):
                     raise
             commit()
         return applied
+
+    def _run_dml_batch_array(
+        self,
+        statements: tuple,
+        plans: list[tuple],
+        state: ArrayRelation,
+        name: str,
+        schema: Schema,
+        table_ids: tuple[str, ...],
+        value_attrs: tuple[str, ...],
+        key: tuple[str, ...] | None,
+    ) -> list[bool]:
+        """The batch pipeline on array columns: masks, assigns, concats.
+
+        Each condition evaluates as one boolean-array pass over the
+        working :class:`ArrayRelation` (falling back to a bound-row
+        scan only for object-dtype columns), updates rewrite whole
+        column slices through :meth:`ArrayRelation.masked_assign`, and
+        key checks count distinct ``(V_i ∪ key)`` row codes instead of
+        building tuple sets. Statement semantics — the Section 3
+        discard rule, error ordering, commit-before-raise — mirror the
+        row pipeline decision for decision; the property suite asserts
+        row-for-row equivalence between the two.
+        """
+        import numpy as np
+
+        rep = self.representation
+        applied: list[bool] = []
+        changed = False
+        sub_ids_cache: list | None = None
+
+        def sub_ids() -> list:
+            # Lazy and vectorized: one np.unique over the world table's
+            # id codes instead of a sorted full-row distinct pass, and
+            # only batches that actually insert pay it.
+            nonlocal sub_ids_cache
+            if sub_ids_cache is None:
+                if not table_ids:
+                    sub_ids_cache = [()]
+                else:
+                    world = as_array(rep.world_table)
+                    positions = world.schema.indices(table_ids)
+                    codes, domain = world._row_codes(positions)
+                    first = _first_rows(codes, domain)
+                    cols = world.arrays()
+                    sub_ids_cache = list(
+                        zip(*(cols[p].values[first].tolist() for p in positions))
+                    )
+            return sub_ids_cache
+
+        def predicate_mask(predicate):
+            mask = state._predicate_mask(predicate)
+            if mask is None:
+                check = predicate.bind(schema)
+                mask = np.fromiter(
+                    map(check, state.row_list()),
+                    dtype=np.bool_,
+                    count=len(state),
+                )
+            return mask
+
+        def key_distinct(relation) -> bool:
+            # Combined-code uniqueness equals tuple-set uniqueness: the
+            # factorization assigns equal codes exactly to values equal
+            # under Python semantics.
+            if len(relation) == 0:
+                return True
+            codes, domain = relation._row_codes(
+                schema.indices(table_ids + tuple(key))
+            )
+            return _distinct_count(codes, domain) == len(relation)
+
+        def commit() -> None:
+            if changed:
+                self._replace_table(name, state)
+
+        for statement, plan in zip(statements, plans):
+            try:
+                if plan[0] == "delete":
+                    predicate = plan[1]
+                    if predicate is None:
+                        if len(state):
+                            state = type(state)._from_rows(schema, [])
+                            changed = True
+                    else:
+                        mask = predicate_mask(predicate)
+                        if mask.any():
+                            state = state._take(~mask)
+                            changed = True
+                    applied.append(True)
+                elif plan[0] == "update":
+                    _, predicate, settings = plan
+                    mask = (
+                        np.ones(len(state), dtype=np.bool_)
+                        if predicate is None
+                        else predicate_mask(predicate)
+                    )
+                    if not mask.any():
+                        # Unchanged table, but the Section 3 check still
+                        # runs: a pre-existing violation rejects.
+                        applied.append(key is None or key_distinct(state))
+                        continue
+                    candidate = state.masked_assign(mask, settings)
+                    if key is not None and not key_distinct(candidate):
+                        applied.append(False)  # discarded in all worlds
+                        continue
+                    state = candidate
+                    changed = True
+                    applied.append(True)
+                else:  # insert
+                    if len(statement.values) != len(value_attrs):
+                        raise SchemaError(
+                            f"insert arity {len(statement.values)} does "
+                            f"not match {name}{list(value_attrs)}"
+                        )
+                    assignment = dict(zip(value_attrs, statement.values))
+                    if key is not None:
+                        if not key_distinct(state):
+                            applied.append(False)
+                            continue
+                        new_key = tuple(assignment[a] for a in key)
+                        if _array_key_claimed(
+                            state, schema, table_ids, key, new_key, sub_ids()
+                        ):
+                            applied.append(False)
+                            continue
+                    # All additions share one value row: dedup against
+                    # the stored rows is a constant-equality mask over
+                    # the value columns plus an id-set difference.
+                    value_mask = _array_eq_mask(
+                        state,
+                        [(schema.index(a), assignment[a]) for a in value_attrs],
+                    )
+                    if not table_ids:
+                        fresh_ids = [] if value_mask.any() else [()]
+                    elif value_mask.any():
+                        hits = np.flatnonzero(value_mask)
+                        acols = state.arrays()
+                        claimed = set(
+                            zip(
+                                *(
+                                    acols[p].values[hits].tolist()
+                                    for p in schema.indices(table_ids)
+                                )
+                            )
+                        )
+                        fresh_ids = [
+                            s for s in sub_ids() if tuple(s) not in claimed
+                        ]
+                    else:
+                        fresh_ids = list(sub_ids())
+                    if fresh_ids:
+                        template = [
+                            assignment.get(a) for a in schema.attributes
+                        ]
+                        state = state.append_broadcast(
+                            template, schema.indices(table_ids), fresh_ids
+                        )
+                        changed = True
+                    applied.append(True)
+            except Exception:
+                # Parity with statement-at-a-time execution: the
+                # statements already applied commit before the failing
+                # one propagates.
+                commit()
+                raise
+        commit()
+        return applied
+
+
+# -- DML batch vectorization ---------------------------------------------------------
+
+
+def _vector_term(expression, resolver: _Resolver, attributes: tuple[str, ...]):
+    """A condition operand as a predicate term, or None to bail."""
+    if isinstance(expression, ast.Literal):
+        return predicates.Const(expression.value)
+    if isinstance(expression, ast.Column):
+        try:
+            position = resolver.position(expression)
+        except EvaluationError:
+            return None
+        if position is None:
+            return None
+        return predicates.Attr(attributes[position])
+    return None
+
+
+def _vector_condition(condition, resolver: _Resolver, attributes: tuple[str, ...]):
+    """An AST condition as a relational predicate, or None to bail.
+
+    Only shapes with exact engine-row parity translate: comparisons
+    over direct column reads and literals (TypeError → False on both
+    paths) combined with and/or/not. Arithmetic, subqueries, and
+    unresolved or ambiguous columns leave the whole batch on the row
+    pipeline, which reports them exactly like statement-at-a-time
+    execution.
+    """
+    if isinstance(condition, ast.Comparison):
+        left = _vector_term(condition.left, resolver, attributes)
+        right = _vector_term(condition.right, resolver, attributes)
+        if left is None or right is None or condition.op not in predicates._OPS:
+            return None
+        return predicates.Comparison(left, condition.op, right)
+    if isinstance(condition, ast.BoolOp):
+        left = _vector_condition(condition.left, resolver, attributes)
+        right = _vector_condition(condition.right, resolver, attributes)
+        if left is None or right is None:
+            return None
+        if condition.op == "and":
+            return predicates.And(left, right)
+        if condition.op == "or":
+            return predicates.Or(left, right)
+        return None
+    if isinstance(condition, ast.NotOp):
+        inner = _vector_condition(condition.operand, resolver, attributes)
+        return None if inner is None else predicates.Not(inner)
+    return None
+
+
+def _vector_plans(
+    statements: tuple, attributes: tuple[str, ...], schema: Schema
+) -> list[tuple] | None:
+    """Vector programs for a whole batch, or None if any statement bails."""
+    resolver = _Resolver(attributes)
+    plans: list[tuple] = []
+    for statement in statements:
+        if isinstance(statement, ast.Delete):
+            predicate = None
+            if statement.where is not None:
+                predicate = _vector_condition(
+                    statement.where, resolver, attributes
+                )
+                if predicate is None:
+                    return None
+            plans.append(("delete", predicate))
+        elif isinstance(statement, ast.Update):
+            predicate = None
+            if statement.where is not None:
+                predicate = _vector_condition(
+                    statement.where, resolver, attributes
+                )
+                if predicate is None:
+                    return None
+            settings: list[tuple] = []
+            for clause in statement.settings:
+                try:
+                    position = schema.index(clause.attribute)
+                except Exception:
+                    return None
+                expression = clause.expression
+                if isinstance(expression, ast.Literal):
+                    settings.append((position, "const", expression.value))
+                elif isinstance(expression, ast.Column):
+                    try:
+                        source = resolver.position(expression)
+                    except EvaluationError:
+                        return None
+                    if source is None:
+                        return None
+                    settings.append((position, "col", source))
+                else:
+                    return None
+            plans.append(("update", predicate, tuple(settings)))
+        elif isinstance(statement, ast.Insert):
+            plans.append(("insert",))
+        else:
+            return None
+    return plans
+
+
+def _array_eq_mask(state: ArrayRelation, pairs) -> "object":
+    """Mask of rows whose columns equal the given (position, value) pairs.
+
+    Parity with a tuple-set probe: per-column numpy equality where the
+    dtype allows, plain Python ``==`` otherwise.
+    """
+    import numpy as np
+
+    mask = np.ones(len(state), dtype=np.bool_)
+    acols = state.arrays()
+    for position, value in pairs:
+        column = acols[position]
+        hit = state._column_mask(column, value, "=")
+        if hit is None:
+            hit = np.fromiter(
+                (entry == value for entry in column.tolist()),
+                dtype=np.bool_,
+                count=len(state),
+            )
+        mask &= hit
+        if not mask.any():
+            break
+    return mask
+
+
+def _array_key_claimed(
+    state: ArrayRelation,
+    schema: Schema,
+    table_ids: tuple[str, ...],
+    key: tuple[str, ...],
+    new_key: tuple,
+    sub_ids,
+) -> bool:
+    """Whether an existing row claims *new_key* in a world the insert reaches."""
+    import numpy as np
+
+    if len(state) == 0:
+        return False
+    mask = _array_eq_mask(
+        state, zip(schema.indices(tuple(key)), new_key)
+    )
+    if not mask.any():
+        return False
+    if not table_ids:
+        return True  # sub_ids is [()] and the key part matched
+    hits = np.flatnonzero(mask)
+    id_positions = schema.indices(table_ids)
+    acols = state.arrays()
+    claimed = set(
+        zip(*(acols[p].values[hits].tolist() for p in id_positions))
+    )
+    return not claimed.isdisjoint(map(tuple, sub_ids))

@@ -15,6 +15,7 @@ from repro.datagen.workloads import (
     flights,
     hotels,
     lineitem,
+    nightly_scenarios,
     paper_company,
     paper_flights,
     random_graph,
@@ -32,6 +33,7 @@ __all__ = [
     "flights",
     "hotels",
     "lineitem",
+    "nightly_scenarios",
     "paper_company",
     "paper_flights",
     "random_graph",

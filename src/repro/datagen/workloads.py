@@ -532,6 +532,27 @@ def xl_scenarios() -> tuple[Scenario, ...]:
     )
 
 
+def nightly_scenarios() -> tuple[Scenario, ...]:
+    """Scale scenarios for the nightly benchmark job only.
+
+    These sit beyond the PR-time benchmark budget: ``trip_certain_2p20``
+    splits 2²⁰ worlds over a ~3·10⁶-row flat table — array-kernel
+    territory, where per-row Python passes (the tuple and columnar
+    kernels) stop being worth measuring at all. Kept out of
+    :func:`xl_scenarios` so the PR-time XL budget asserts (and the
+    3-way kernel replays) do not pay the 2²⁰ generation cost.
+    """
+    return (
+        Scenario(
+            name="trip_certain_2p20",
+            relations=(("HFlights", flights(2**20, 64, 3, seed=1)),),
+            query="select certain Arr from HFlights choice of Dep;",
+            approx_worlds=2**20,
+            explicit_infeasible=True,
+        ),
+    )
+
+
 def random_graph(
     n_vertices: int, edge_probability: float, seed: int = 0
 ) -> tuple[list[str], list[tuple[str, str]]]:

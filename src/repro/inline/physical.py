@@ -70,12 +70,12 @@ from repro.core.ast import (
 )
 from repro.relational.aggregates import missing_group_rows
 from repro.inline.translate import SchemaLike, _schema_env, lower_query
+from repro.relational.array_kernel import ArrayRelation
 from repro.relational.columnar import (
     ColumnarRelation,
-    as_columnar,
     as_tuple,
+    kernel_ops,
     kernel_unit,
-    resolve_kernel,
     tuples_of,
 )
 from repro.relational.database import Database
@@ -199,8 +199,10 @@ class PhysicalEvaluator:
         self.max_worlds = max_worlds
         self.base_ids = tuple(base_ids)
         self.base_world = base_world if self.base_ids else None
-        self.kernel = resolve_kernel(kernel)
-        self._convert = as_columnar if self.kernel == "columnar" else as_tuple
+        ops = kernel_ops(kernel)
+        self.kernel = ops.name
+        self._convert = ops.convert
+        self._from_distinct_rows = ops.from_distinct_rows
         self._counter = counter_start
         self._world_projections: dict[tuple[str, ...], KernelRelation] = {}
 
@@ -220,10 +222,7 @@ class PhysicalEvaluator:
 
     def _relation(self, attributes: Sequence[str], rows) -> "Relation | ColumnarRelation":
         """Build a kernel relation from *distinct* aligned row tuples."""
-        schema = Schema(tuple(attributes))
-        if self.kernel == "columnar":
-            return ColumnarRelation._from_rows(schema, list(rows))
-        return Relation._raw(schema, rows)
+        return self._from_distinct_rows(Schema(tuple(attributes)), rows)
 
     def _unit(self) -> "Relation | ColumnarRelation":
         return kernel_unit(self.kernel)
@@ -329,7 +328,10 @@ class PhysicalEvaluator:
         values = state.value_attributes()
         need = len(state._world) if state._world is not None else 1
         answer = state._answer
-        if len(values) == 1 and isinstance(answer, ColumnarRelation):
+        if isinstance(answer, ArrayRelation):
+            # One bincount / np.unique pass over the factorized codes.
+            rows = answer.certain_rows(values, need)
+        elif len(values) == 1 and isinstance(answer, ColumnarRelation):
             # Count the bare column — no 1-tuple per row.
             counts = Counter(answer.column_values(values[0]))
             rows = [(value,) for value, count in counts.items() if count == need]

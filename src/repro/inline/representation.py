@@ -27,10 +27,8 @@ from typing import Iterable, Mapping
 
 from repro.errors import RepresentationError
 from repro.relational.columnar import (
-    active_kernel,
-    as_columnar,
     as_tuple,
-    resolve_kernel,
+    kernel_ops,
     tuples_of,
 )
 from repro.relational.database import Database
@@ -96,6 +94,25 @@ class InlinedRepresentation:
             a for a in self.id_attrs if a in relation.schema.as_set()
         )
         if not table_ids:
+            return
+        twin = getattr(relation, "_array", None)
+        if twin is not None:
+            # Array-kernel sessions: one np.isin pass over factorized id
+            # codes instead of materializing Python tuple sets per commit.
+            from repro.relational.array_kernel import as_array, missing_world_ids
+
+            world = as_array(self.world_table)
+            missing = missing_world_ids(
+                twin,
+                twin.schema.indices(table_ids),
+                world,
+                world.schema.indices(table_ids),
+            )
+            if missing is not None:
+                raise RepresentationError(
+                    f"table {name!r} references world id {missing[0]!r} "
+                    "that is not in the world table"
+                )
             return
         referenced = set(tuples_of(relation, table_ids))
         known = self._known(table_ids)
@@ -223,12 +240,10 @@ class InlinedRepresentation:
         key = (name, tuple(sorted(ids)))
         cached = self._expanded.get(key)
         if cached is None:
-            if resolve_kernel(kernel) == "columnar":
-                cached = as_columnar(table).natural_join(
-                    as_columnar(self.world_table).project(ids)
-                )
-            else:
-                cached = table.natural_join(self.world_table.project(ids))
+            ops = kernel_ops(kernel)
+            cached = ops.convert(table).natural_join(
+                ops.convert(self.world_table).project(ids)
+            )
             self._expanded[key] = cached
         return cached
 
@@ -321,18 +336,16 @@ class InlinedRepresentation:
         """
         if not self.id_attrs:
             return self
-        columnar = active_kernel() == "columnar"
-        world = as_columnar(self.world_table) if columnar else self.world_table
+        convert = kernel_ops(None).convert
+        world = convert(self.world_table)
         tables = []
         for name, table in self.tables.items():
             if self.table_id_attrs(name) == self.id_attrs:
                 tables.append((name, table))
-            elif columnar:
-                # The replicating join runs in the columnar kernel; the
-                # result converts back at the Relation API boundary.
-                tables.append((name, as_tuple(as_columnar(table).natural_join(world))))
             else:
-                tables.append((name, table.natural_join(self.world_table)))
+                # The replicating join runs in the active kernel; the
+                # result converts back at the Relation API boundary.
+                tables.append((name, as_tuple(convert(table).natural_join(world))))
         return InlinedRepresentation(tables, self.world_table, self.id_attrs)
 
     def size(self) -> int:

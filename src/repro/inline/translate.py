@@ -57,7 +57,7 @@ from repro.core.ast import (
 from repro.core.typing import is_complete_to_complete
 from repro.inline.representation import WORLD_TABLE, InlinedRepresentation
 from repro.relational import algebra as ra
-from repro.relational.columnar import as_columnar, as_tuple, resolve_kernel
+from repro.relational.columnar import as_tuple, kernel_ops
 from repro.relational.database import Database
 from repro.relational.predicates import conjunction, eq
 from repro.relational.relation import Relation
@@ -139,9 +139,9 @@ class GeneralTranslation:
         expressions are materialized; the shared cache carries its
         subresults over to them.
 
-        With the columnar *kernel* (the ``REPRO_KERNEL`` default) the
-        base tables enter the relational algebra DAG as
-        :class:`ColumnarRelation` views and every operator runs its
+        With a vectorized *kernel* (``columnar``, the ``REPRO_KERNEL``
+        default, or ``array``) the base tables enter the relational
+        algebra DAG as that kernel's views and every operator runs its
         vectorized implementation; the output converts back to tuple
         relations at this method's boundary, so the returned
         representation is kernel-agnostic.
@@ -150,10 +150,10 @@ class GeneralTranslation:
         if rep is None:
             raise TranslationError("no input representation supplied")
         database = rep.as_database()
-        if resolve_kernel(kernel) == "columnar":
-            database = Database(
-                (table, as_columnar(relation)) for table, relation in database.items()
-            )
+        convert = kernel_ops(kernel).convert
+        database = Database(
+            (table, convert(relation)) for table, relation in database.items()
+        )
         cache: dict[int, Relation] = {}
         world = self.state.world._cached(database, cache)
         if max_worlds is not None and len(world) > max_worlds:

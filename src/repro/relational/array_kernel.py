@@ -1,0 +1,1180 @@
+"""Array kernel: numpy column storage for the inline hot path.
+
+``REPRO_KERNEL=array`` selects this third execution kernel: an
+:class:`ArrayRelation` subclasses :class:`ColumnarRelation` but stores
+each attribute as a numpy array wrapped in a :class:`_Column`, so the
+operators the inline evaluator leans on become whole-array passes —
+
+* selection compiles the predicate tree to one boolean mask
+  (comparisons are elementwise array ops with the same best-effort
+  ``TypeError → False`` semantics as the row closures);
+* ``mask``/``difference``/semijoins reduce to integer *row codes* —
+  per-column factorizations combined into one int64 key per row — and a
+  single ``np.isin`` membership pass;
+* deduplication (projection, union) is ``np.unique`` over row codes
+  instead of a per-row ``dict.fromkeys`` pass;
+* ``cert`` counting is ``np.bincount`` over one column's codes;
+* column aliasing (``copy_attribute``, alias-dropping projections)
+  stays O(1): a :class:`_Column` object is shared, never copied.
+
+Dtype tightening is deliberately strict: a column becomes ``int64``,
+``float64``, ``bool_`` or ``U<k>`` only when *every* value has exactly
+that Python type (and no trailing-NUL string, no NaN, no out-of-range
+int would round-trip wrongly); anything else — PAD sentinels, ``None``,
+mixed types — stays a Python ``object`` array holding the original
+values. Rows materialize through ``ndarray.tolist()``, so the kernel
+never leaks numpy scalars into row tuples.
+
+numpy is an optional dependency: the kernel registers unconditionally
+(``array`` is always a valid name) but raises a clear
+:class:`EvaluationError` at selection time when numpy is missing.
+Cross-kernel conversion (:func:`as_array`) is cached on the source
+:class:`Relation` via its ``_array`` slot, mirroring ``as_columnar``.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Iterable, Iterator, Sequence
+
+try:  # pragma: no cover - exercised via the numpy-absent tests
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.columnar import (
+    ColumnarRelation,
+    KernelOps,
+    _transpose,
+    as_columnar,
+)
+from repro.relational.predicates import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    Not,
+    Or,
+    Predicate,
+    _Boolean,
+)
+from repro.relational.relation import Relation, Row, check_join_pairs_cover_shared
+from repro.relational.schema import Schema
+
+#: Largest per-row key the multiply-add code combiner may reach before
+#: it compresses through np.unique (headroom below int64 overflow).
+_CODE_LIMIT = 1 << 62
+
+
+def have_numpy() -> bool:
+    """Whether numpy is importable (the array kernel's one dependency)."""
+    return np is not None
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise EvaluationError(
+            "the array kernel requires numpy, which is not installed; "
+            "install numpy or select REPRO_KERNEL=columnar|tuple"
+        )
+
+
+# -- typed column storage -----------------------------------------------------------
+
+
+class _Column:
+    """One attribute's values as a numpy array, plus cached factorization.
+
+    ``codes()`` assigns each distinct value an integer in ``[0, nuniq)``
+    (dict-based for object arrays — Python equality, so ``1``/``1.0``/
+    ``True`` collapse exactly like they do in a row-tuple set — and
+    ``np.unique`` for typed arrays). Codes and the decode table survive
+    gathers (:meth:`take`), so a session's base columns factorize once.
+    """
+
+    __slots__ = ("values", "_codes", "_nuniq", "_uniques")
+
+    def __init__(self, values) -> None:
+        self.values = values
+        self._codes = None
+        self._nuniq = 0
+        self._uniques = None
+
+    @classmethod
+    def from_values(cls, column: list) -> "_Column":
+        """Type-tighten a Python value list into the narrowest safe array."""
+        kinds = set(map(type, column))
+        if kinds == {int}:
+            try:
+                return cls(np.array(column, dtype=np.int64))
+            except OverflowError:
+                pass
+        elif kinds == {float}:
+            values = np.array(column, dtype=np.float64)
+            if not np.isnan(values).any():
+                # NaN stays object: two NaN objects are distinct row
+                # values under Python's identity-then-equality model,
+                # which float64 uniqueness would collapse.
+                return cls(values)
+        elif kinds == {str}:
+            # Factorize first: one dict pass plus a gather from the
+            # (small) unique table beats numpy's per-element U
+            # conversion by an order of magnitude on multi-million-row
+            # columns, and the codes come out pre-cached for free.
+            mapping: dict = {}
+            fresh_code = mapping.setdefault
+            codes = np.array(
+                [fresh_code(value, len(mapping)) for value in column],
+                dtype=np.int64,
+            )
+            uniques = list(mapping)
+            if not any(value[-1:] == "\x00" for value in uniques):
+                # Trailing NULs would silently truncate in a U array
+                # (checked over the uniques only — cheap).
+                uarr = np.array(uniques, dtype=np.str_)
+                fresh = cls(uarr[codes] if len(uniques) else uarr)
+                fresh._codes = codes
+                fresh._nuniq = len(uniques)
+                fresh._uniques = uarr
+                return fresh
+        elif kinds == {bool}:
+            return cls(np.array(column, dtype=np.bool_))
+        values = np.empty(len(column), dtype=object)
+        values[:] = column
+        return cls(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def codes(self):
+        """The int64 factorization codes (cached)."""
+        if self._codes is None:
+            values = self.values
+            if values.dtype == object:
+                mapping: dict = {}
+                fresh_code = mapping.setdefault
+                self._codes = np.array(
+                    [
+                        fresh_code(value, len(mapping))
+                        for value in values.tolist()
+                    ],
+                    dtype=np.int64,
+                )
+                self._nuniq = len(mapping)
+                self._uniques = list(mapping)
+            elif (
+                values.dtype == np.int64
+                and len(values)
+                and (span := _dense_span(values)) is not None
+            ):
+                # Dense ints (world ids above all): shift-coding is O(n)
+                # where np.unique pays an argsort. Codes stay in
+                # [0, nuniq) but need not be contiguous — every consumer
+                # treats nuniq as a domain bound, not a distinct count.
+                vmin, width = span
+                self._codes = values - vmin
+                self._nuniq = width
+                self._uniques = np.arange(vmin, vmin + width, dtype=np.int64)
+            else:
+                uniques, inverse = np.unique(values, return_inverse=True)
+                self._codes = inverse.astype(np.int64, copy=False)
+                self._nuniq = len(uniques)
+                self._uniques = uniques
+        return self._codes
+
+    @property
+    def nuniq(self) -> int:
+        self.codes()
+        return self._nuniq
+
+    def decode(self, codes) -> list:
+        """Python values for an array of this column's codes."""
+        uniques = self._uniques
+        if isinstance(uniques, list):
+            return [uniques[code] for code in codes.tolist()]
+        return uniques[codes].tolist()
+
+    def take(self, selector) -> "_Column":
+        """The column gathered by a boolean mask or index array."""
+        column = _Column(self.values[selector])
+        if self._codes is not None:
+            column._codes = self._codes[selector]
+            column._nuniq = self._nuniq
+            column._uniques = self._uniques
+        return column
+
+    def tolist(self) -> list:
+        return self.values.tolist()
+
+
+def _concat_columns(left: _Column, right: _Column) -> _Column:
+    """Stack two columns, falling back to object on any kind mismatch."""
+    lv, rv = left.values, right.values
+    if lv.dtype != object and rv.dtype != object and lv.dtype.kind == rv.dtype.kind:
+        return _Column(np.concatenate([lv, rv]))
+    merged = np.empty(len(lv) + len(rv), dtype=object)
+    merged[: len(lv)] = lv.tolist()
+    merged[len(lv) :] = rv.tolist()
+    return _Column(merged)
+
+
+def _const_fits(dtype, value) -> bool:
+    """Whether writing *value* into an array of *dtype* is lossless."""
+    kind = dtype.kind
+    cls = type(value)
+    if kind == "i":
+        return cls is int and -(1 << 63) <= value < (1 << 63)
+    if kind == "f":
+        return cls is float and value == value  # NaN stays object
+    if kind == "b":
+        return cls is bool
+    if kind == "U":
+        return (
+            cls is str
+            and len(value) * 4 <= dtype.itemsize
+            and not value.endswith("\x00")
+        )
+    return False
+
+
+def _assign_const(column: _Column, mask, value) -> _Column:
+    """*column* with *value* written at the masked positions.
+
+    Keeps the dtype when the value fits (widening U strings rather
+    than dropping to object), and seeds the fresh column's
+    factorization from the source's cached codes — a rewritten column
+    then deduplicates without another full :func:`np.unique` pass.
+    """
+    values = column.values
+    kind = values.dtype.kind
+    if values.dtype != object and _const_fits(values.dtype, value):
+        fresh_values = values.copy()
+        fresh_values[mask] = value
+    elif (
+        kind == "U"
+        and type(value) is str
+        and not value.endswith("\x00")
+    ):
+        wide = np.dtype(f"<U{max(len(value), values.dtype.itemsize // 4)}")
+        fresh_values = values.astype(wide)
+        fresh_values[mask] = value
+    else:
+        fresh_values = np.empty(len(values), dtype=object)
+        fresh_values[:] = values.tolist()
+        fresh_values[mask] = value
+    fresh = _Column(fresh_values)
+    if column._codes is not None:
+        uniques = column._uniques
+        code = -1
+        if isinstance(uniques, list):
+            try:
+                code = uniques.index(value)
+            except ValueError:
+                uniques = uniques + [value]
+                code = len(uniques) - 1
+        else:
+            try:
+                hits = np.flatnonzero(uniques == value)
+            except (TypeError, OverflowError):  # pragma: no cover - np quirk
+                hits = ()
+            if len(hits):
+                code = int(hits[0])
+            else:
+                try:
+                    uniques = np.concatenate(
+                        [uniques, np.array([value])]
+                    )
+                    code = len(uniques) - 1
+                except (TypeError, ValueError, OverflowError):
+                    code = -1  # incompatible uniques dtype: factorize fresh
+        if code >= 0:
+            codes = column._codes.copy()
+            codes[mask] = code
+            fresh._codes = codes
+            fresh._nuniq = max(column._nuniq, code + 1)
+            fresh._uniques = uniques
+    return fresh
+
+
+def _assign_column(target: _Column, mask, source: _Column) -> _Column:
+    """*target* with *source*'s values copied at the masked positions."""
+    tv, sv = target.values, source.values
+    if tv.dtype == sv.dtype != object and tv.dtype.kind != "U":
+        fresh = tv.copy()
+        fresh[mask] = sv[mask]
+        return _Column(fresh)
+    if tv.dtype.kind == "U" and sv.dtype.kind == "U":
+        fresh = tv.astype(np.result_type(tv.dtype, sv.dtype))
+        fresh[mask] = sv[mask]
+        return _Column(fresh)
+    fresh = np.empty(len(tv), dtype=object)
+    fresh[:] = tv.tolist()
+    fresh[mask] = sv[mask].astype(object)
+    return _Column(fresh)
+
+
+def _dense_span(values, extra: int = 0):
+    """``(vmin, width)`` when an int64 array's value range is narrow
+    enough for O(n) shift-coding; ``None`` sends the caller to the
+    ``np.unique`` argsort path. *extra* widens the size budget (for the
+    two-array joint case)."""
+    vmin = int(values.min())
+    width = int(values.max()) - vmin + 1
+    if width <= 4 * (len(values) + extra) + 1024:
+        return vmin, width
+    return None
+
+
+def _pair_codes(left: _Column, right: _Column):
+    """Jointly factorize two columns: ``(left_codes, right_codes, nuniq)``.
+
+    Values equal under Python semantics get equal codes even across
+    arrays (mixed kinds route through a dict pass, so ``1 == 1.0 ==
+    True`` holds exactly as it does for row tuples).
+    """
+    lv, rv = left.values, right.values
+    n = len(lv)
+    if lv.dtype == np.int64 and rv.dtype == np.int64 and n and len(rv):
+        vmin = min(int(lv.min()), int(rv.min()))
+        width = max(int(lv.max()), int(rv.max())) - vmin + 1
+        if width <= 4 * (n + len(rv)) + 1024:
+            return lv - vmin, rv - vmin, width
+    if (
+        left._codes is not None
+        and right._codes is not None
+        and left._nuniq + right._nuniq <= n + len(rv)
+    ):
+        # Both sides already factorized: merge the two (small) unique
+        # tables with a dict pass (Python equality, same semantics as
+        # the all-values fallback below) and remap the cached codes
+        # through lookup arrays — O(nuniq) instead of re-uniquing
+        # millions of values.
+        mapping = {}
+        luts = []
+        for uniques in (left._uniques, right._uniques):
+            table = uniques if isinstance(uniques, list) else uniques.tolist()
+            lut = np.empty(len(table), dtype=np.int64)
+            for where, value in enumerate(table):
+                code = mapping.get(value, -1)
+                if code < 0:
+                    code = len(mapping)
+                    mapping[value] = code
+                lut[where] = code
+            luts.append(lut)
+        return luts[0][left._codes], luts[1][right._codes], len(mapping)
+    if lv.dtype != object and rv.dtype != object and lv.dtype.kind == rv.dtype.kind:
+        merged = np.concatenate([lv, rv])
+        uniques, inverse = np.unique(merged, return_inverse=True)
+        inverse = inverse.astype(np.int64, copy=False)
+        return inverse[:n], inverse[n:], len(uniques)
+    mapping: dict = {}
+    fresh_code = mapping.setdefault
+    out = np.array(
+        [
+            fresh_code(value, len(mapping))
+            for value in lv.tolist() + rv.tolist()
+        ],
+        dtype=np.int64,
+    )
+    return out[:n], out[n:], len(mapping)
+
+
+def _combine_codes(first, pairs):
+    """Fold per-column code pairs into one int64 row key per side.
+
+    ``first`` is the initial ``(left, right, nuniq)`` triple; *pairs*
+    the remaining ones. Compresses through ``np.unique`` whenever the
+    multiply-add key would overflow 62 bits. Returns
+    ``(left_keys, right_keys, domain)`` — *domain* bounds the key
+    values, letting consumers pick O(n) scatter passes over argsorts.
+    """
+    code_l, code_r, size = first
+    for cl, cr, k in pairs:
+        k = max(k, 1)
+        if size > _CODE_LIMIT // k:
+            merged = np.concatenate([code_l, code_r])
+            uniques, inverse = np.unique(merged, return_inverse=True)
+            inverse = inverse.astype(np.int64, copy=False)
+            code_l, code_r = inverse[: len(code_l)], inverse[len(code_l) :]
+            size = len(uniques)
+            if size > _CODE_LIMIT // k:  # pragma: no cover - 2^62 distinct rows
+                raise EvaluationError("row key domain exceeds the array kernel")
+        code_l = code_l * k + cl
+        code_r = code_r * k + cr
+        size *= k
+    return code_l, code_r, size
+
+
+def _first_rows(code, domain):
+    """Row-ordered first-occurrence indices of each distinct key.
+
+    With a narrow *domain* this is one reverse scatter (last write per
+    slot = first occurrence) instead of ``np.unique``'s argsort.
+    """
+    n = len(code)
+    if domain <= 4 * n + 1024:
+        first = np.full(domain, -1, dtype=np.int64)
+        first[code[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+        first = first[first >= 0]
+    else:
+        _, first = np.unique(code, return_index=True)
+    first.sort()
+    return first
+
+
+def _member_mask(code, pool, domain):
+    """Which entries of *code* appear in *pool* (both key arrays)."""
+    if domain <= 4 * (len(code) + len(pool)) + 1024:
+        seen = np.zeros(domain, dtype=bool)
+        seen[pool] = True
+        return seen[code]
+    return np.isin(code, pool)
+
+
+def _distinct_count(code, domain) -> int:
+    """The number of distinct keys in *code*."""
+    if domain <= 4 * len(code) + 1024:
+        seen = np.zeros(domain, dtype=bool)
+        seen[code] = True
+        return int(seen.sum())
+    return len(np.unique(code))
+
+
+class ArrayRelation(ColumnarRelation):
+    """A distinct relation stored as numpy columns.
+
+    Inherits the full operator surface of :class:`ColumnarRelation`
+    (any operator without an array override runs the row path and still
+    returns an ``ArrayRelation`` via the ``type(self)``-based trusted
+    constructors); the overrides below replace the hot loops with
+    whole-array passes. At least one of ``_row_list``/``_columns``/
+    ``_acols`` is always populated; the others build lazily.
+    """
+
+    __slots__ = ("_acols",)
+
+    # -- constructors and views ----------------------------------------------
+
+    @classmethod
+    def _blank(cls, schema: Schema, nrows: int) -> "ArrayRelation":
+        relation = super()._blank(schema, nrows)
+        relation._acols = None
+        return relation
+
+    @classmethod
+    def _share(cls, source: ColumnarRelation, schema: Schema) -> "ArrayRelation":
+        relation = super()._share(source, schema)
+        acols = getattr(source, "_acols", None)
+        if acols is None and isinstance(source, ArrayRelation):
+            # Build on the *source* so a cached conversion twin keeps the
+            # typed columns — a rename of a lazy twin would otherwise
+            # materialize onto the throwaway copy on every evaluation.
+            acols = source.arrays()
+        relation._acols = acols
+        return relation
+
+    @classmethod
+    def _from_acols(
+        cls, schema: Schema, acols: Sequence[_Column], nrows: int
+    ) -> "ArrayRelation":
+        """Trusted constructor: *acols* must hold distinct aligned rows."""
+        relation = cls._blank(schema, nrows)
+        relation._acols = tuple(acols)
+        return relation
+
+    def arrays(self) -> tuple[_Column, ...]:
+        """The typed column storage (built lazily from rows)."""
+        if self._acols is None:
+            width = len(self.schema)
+            if width == 0:
+                self._acols = ()
+            elif self._columns is not None:
+                self._acols = tuple(
+                    _Column.from_values(list(c)) for c in self._columns
+                )
+            elif self._row_list:
+                self._acols = tuple(
+                    _Column.from_values(list(c)) for c in zip(*self._row_list)
+                )
+            else:
+                self._acols = tuple(
+                    _Column.from_values([]) for _ in range(width)
+                )
+        return self._acols
+
+    def row_list(self) -> list[Row]:
+        if self._row_list is None and self._columns is None:
+            if len(self.schema) == 0:
+                self._row_list = [()] * self._nrows
+            else:
+                self._row_list = list(
+                    zip(*(c.tolist() for c in self._acols))
+                )
+        return super().row_list()
+
+    @property
+    def columns(self) -> tuple[tuple, ...]:
+        if self._columns is None:
+            if self._row_list is not None:
+                self._columns = _transpose(self._row_list, len(self.schema))
+            else:
+                self._columns = tuple(
+                    tuple(c.tolist()) for c in (self._acols or ())
+                )
+        return self._columns
+
+    def column_values(self, attribute: str):
+        if self._columns is None and self._row_list is None:
+            return self._acols[self.schema.index(attribute)].tolist()
+        return super().column_values(attribute)
+
+    def tuples(self, attributes: Sequence[str]) -> Iterator[tuple]:
+        if self._columns is None and self._row_list is None:
+            if not attributes:
+                return repeat((), self._nrows)
+            schema = self.schema
+            return zip(
+                *(self._acols[schema.index(a)].tolist() for a in attributes)
+            )
+        return super().tuples(attributes)
+
+    def to_relation(self) -> Relation:
+        if self._twin is None:
+            if self._rowset is not None:
+                twin = Relation._raw(self.schema, self._rowset)
+            else:
+                twin = Relation._from_kernel(self.schema)
+            twin._array = self
+            self._twin = twin
+        return self._twin
+
+    def __repr__(self) -> str:
+        return f"ArrayRelation({list(self.schema)!r}, {self._nrows} rows)"
+
+    # -- row codes ------------------------------------------------------------
+
+    def _take(self, selector) -> "ArrayRelation":
+        """Gather by boolean mask or index array (codes survive)."""
+        acols = self.arrays()
+        if not acols:
+            if selector.dtype == np.bool_:
+                n = int(selector.sum())
+            else:
+                n = len(selector)
+            return type(self)._from_rows(self.schema, [()] if n else [])
+        taken = tuple(c.take(selector) for c in acols)
+        return type(self)._from_acols(self.schema, taken, len(taken[0]))
+
+    def _row_codes(self, positions: Sequence[int]):
+        """``(keys, domain)``: one int64 key per row over *positions*."""
+        acols = self.arrays()
+        code = None
+        size = 1
+        for p in positions:
+            col = acols[p]
+            c = col.codes()
+            k = max(col._nuniq, 1)
+            if code is None:
+                code, size = c, k
+                continue
+            if size > _CODE_LIMIT // k:
+                uniques, inverse = np.unique(code, return_inverse=True)
+                code = inverse.astype(np.int64, copy=False)
+                size = len(uniques)
+            code = code * k + c
+            size *= k
+        if code is None:
+            code = np.zeros(self._nrows, dtype=np.int64)
+        return code, size
+
+    def _stacked_row_codes(
+        self,
+        other: "ArrayRelation",
+        positions: Sequence[int] | None = None,
+        other_positions: Sequence[int] | None = None,
+    ):
+        """``(self_keys, other_keys, domain)`` — jointly factorized row
+        keys for self vs *other* (aligned attrs)."""
+        if positions is None:
+            positions = range(len(self.schema))
+            other_positions = range(len(other.schema))
+        acols, ocols = self.arrays(), other.arrays()
+        pairs = [
+            _pair_codes(acols[p], ocols[q])
+            for p, q in zip(positions, other_positions)
+        ]
+        if not pairs:
+            return (
+                np.zeros(self._nrows, dtype=np.int64),
+                np.zeros(len(other), dtype=np.int64),
+                1,
+            )
+        return _combine_codes(pairs[0], pairs[1:])
+
+    def _aligned_array(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        """*other* as an ArrayRelation in this relation's attribute order."""
+        if isinstance(other, ArrayRelation):
+            aligned = other
+        elif isinstance(other, ColumnarRelation):
+            aligned = ArrayRelation._from_rows(other.schema, other.row_list())
+        else:
+            aligned = as_array(other)
+        return aligned._reordered(self.schema.attributes)
+
+    def _operand_columns(
+        self, other: "ColumnarRelation | Relation", attributes: Sequence[str]
+    ) -> list[_Column]:
+        """*other*'s columns for *attributes*, as typed arrays."""
+        if isinstance(other, ArrayRelation):
+            ocols = other.arrays()
+            return [ocols[other.schema.index(a)] for a in attributes]
+        source = as_columnar(other)
+        return [
+            _Column.from_values(list(source.column_values(a)))
+            for a in attributes
+        ]
+
+    # -- vectorized operators --------------------------------------------------
+
+    def _reordered(self, attributes: Sequence[str]) -> "ArrayRelation":
+        positions = self.schema.indices(attributes)
+        if positions == tuple(range(len(self.schema))):
+            return self
+        if self._acols is None and self._columns is not None:
+            return super()._reordered(attributes)
+        acols = self.arrays()
+        return type(self)._from_acols(
+            Schema(attributes), tuple(acols[p] for p in positions), self._nrows
+        )
+
+    def project(self, attributes: Sequence[str]) -> "ArrayRelation":
+        schema = self.schema.project(attributes)
+        positions = self.schema.indices(attributes)
+        if positions == tuple(range(len(self.schema))):
+            return type(self)._share(self, schema)
+        if len(positions) == len(self.schema):
+            return self._reordered(attributes)
+        if not positions:
+            return type(self)._from_rows(schema, [()] if self._nrows else [])
+        storage = self._acols if self._acols is not None else self._columns
+        if storage is not None:
+            kept = set(positions)
+            kept_objects = {id(storage[p]) for p in positions}
+            if all(
+                id(storage[q]) in kept_objects
+                for q in range(len(storage))
+                if q not in kept
+            ):
+                # Every dropped column aliases a kept one: rows stay
+                # distinct, so this is a zero-copy column selection.
+                if self._acols is not None:
+                    return type(self)._from_acols(
+                        schema,
+                        tuple(self._acols[p] for p in positions),
+                        self._nrows,
+                    )
+                return type(self)._from_columns(
+                    schema,
+                    tuple(self._columns[p] for p in positions),
+                    self._nrows,
+                )
+        code, domain = self._row_codes(positions)
+        first = _first_rows(code, domain)
+        acols = self.arrays()
+        if len(first) == self._nrows:
+            return type(self)._from_acols(
+                schema, tuple(acols[p] for p in positions), self._nrows
+            )
+        return type(self)._from_acols(
+            schema, tuple(acols[p].take(first) for p in positions), len(first)
+        )
+
+    def copy_attribute(self, source: str, target: str) -> "ArrayRelation":
+        if target in self.schema:
+            raise SchemaError(f"attribute {target!r} already exists")
+        position = self.schema.index(source)
+        acols = self.arrays()
+        return type(self)._from_acols(
+            Schema(self.schema.attributes + (target,)),
+            acols + (acols[position],),
+            self._nrows,
+        )
+
+    def _check_aligned(self, other: "ColumnarRelation | Relation", op: str) -> None:
+        if not self.schema.same_attributes(other.schema):
+            raise SchemaError(
+                f"{op} operands must have equal attribute sets; "
+                f"got {list(self.schema)} vs {list(other.schema)}"
+            )
+
+    def union(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        self._check_aligned(other, "union")
+        if len(other) == 0:
+            return self
+        aligned = self._aligned_array(other)
+        if self._nrows == 0:
+            return aligned
+        acols, ocols = self.arrays(), aligned.arrays()
+        merged = tuple(
+            _concat_columns(a, b) for a, b in zip(acols, ocols)
+        )
+        combined = type(self)._from_acols(
+            self.schema, merged, self._nrows + len(aligned)
+        )
+        code, domain = combined._row_codes(range(len(self.schema)))
+        first = _first_rows(code, domain)
+        if len(first) == len(combined):
+            return combined
+        return combined._take(first)
+
+    def difference(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        self._check_aligned(other, "difference")
+        if len(other) == 0 or self._nrows == 0:
+            return self
+        aligned = self._aligned_array(other)
+        codes_s, codes_o, domain = self._stacked_row_codes(aligned)
+        keep = ~_member_mask(codes_s, codes_o, domain)
+        if keep.all():
+            return self
+        return self._take(keep)
+
+    def intersection(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        self._check_aligned(other, "intersection")
+        if len(other) == 0 or self._nrows == 0:
+            return type(self)._from_rows(self.schema, [])
+        aligned = self._aligned_array(other)
+        codes_s, codes_o, domain = self._stacked_row_codes(aligned)
+        keep = _member_mask(codes_s, codes_o, domain)
+        if keep.all():
+            return self
+        return self._take(keep)
+
+    def join_on(
+        self, other: "ColumnarRelation | Relation", pairs: Sequence[tuple[str, str]]
+    ) -> "ArrayRelation":
+        if not pairs:
+            return self.product(other)
+        left_set = self.schema.as_set()
+        check_join_pairs_cover_shared(left_set, other.schema, pairs)
+        right_rest = tuple(
+            i for i, a in enumerate(other.schema) if a not in left_set
+        )
+        if right_rest:
+            # General join: the row-path build/probe (still returns an
+            # ArrayRelation through the type(self) constructors).
+            return super().join_on(other, pairs)
+        # Right side is pure key: the join degenerates to a semijoin
+        # (the answer ⋈ world-projection pattern of the lazy §5.3 form)
+        # — one joint factorization and one np.isin pass.
+        return self._semijoin_on(
+            other,
+            tuple(a for a, _ in pairs),
+            tuple(b for _, b in pairs),
+            keep_matching=True,
+        )
+
+    def _semijoin_on(
+        self,
+        other: "ColumnarRelation | Relation",
+        left_attrs: Sequence[str],
+        right_attrs: Sequence[str],
+        keep_matching: bool,
+    ) -> "ArrayRelation":
+        positions = self.schema.indices(left_attrs)
+        acols = self.arrays()
+        ocols = self._operand_columns(other, right_attrs)
+        col_pairs = [
+            _pair_codes(acols[p], ocol) for p, ocol in zip(positions, ocols)
+        ]
+        if not col_pairs:
+            codes_s = np.zeros(self._nrows, dtype=np.int64)
+            codes_o = np.zeros(len(other), dtype=np.int64)
+            domain = 1
+        else:
+            codes_s, codes_o, domain = _combine_codes(col_pairs[0], col_pairs[1:])
+        keep = _member_mask(codes_s, codes_o, domain)
+        if not keep_matching:
+            keep = ~keep
+        if keep.all():
+            return self
+        return self._take(keep)
+
+    def semijoin(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        common = self.schema.common(other.schema)
+        if not common:
+            return self if len(other) else type(self)._from_rows(self.schema, [])
+        return self._semijoin_on(other, common, common, keep_matching=True)
+
+    def antijoin(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
+        common = self.schema.common(other.schema)
+        if not common:
+            return type(self)._from_rows(self.schema, []) if len(other) else self
+        return self._semijoin_on(other, common, common, keep_matching=False)
+
+    def mask(
+        self,
+        matched: "ColumnarRelation | Relation",
+        attributes: Sequence[str] | None = None,
+    ) -> "ArrayRelation":
+        attrs = (
+            tuple(attributes) if attributes is not None else self.schema.attributes
+        )
+        self.schema.indices(attrs)  # validate eagerly, like the twins
+        if len(matched) == 0 or self._nrows == 0:
+            return self
+        return self._semijoin_on(matched, attrs, attrs, keep_matching=False)
+
+    # -- vectorized selection ---------------------------------------------------
+
+    def select(self, predicate: Predicate) -> "ArrayRelation":
+        selector = self._predicate_mask(predicate)
+        if selector is None:
+            return super().select(predicate)
+        if selector.all():
+            return self
+        return self._take(selector)
+
+    def _predicate_mask(self, predicate: Predicate):
+        """Predicate → boolean mask, or None when only the row path fits.
+
+        Covers comparisons over attributes and constants plus
+        and/or/not and TRUE/FALSE — the closure semantics are matched
+        exactly (mixed-type comparisons are elementwise False, ``!=``
+        elementwise True; no translatable predicate can raise, so
+        short-circuit evaluation is unobservable). Arithmetic terms,
+        PAD-defaulting reads and scalar guards (which may raise) and
+        object-dtype columns fall back by returning None.
+        """
+        if isinstance(predicate, Comparison):
+            return self._compare_mask(predicate)
+        if isinstance(predicate, And):
+            left = self._predicate_mask(predicate.left)
+            if left is None:
+                return None
+            right = self._predicate_mask(predicate.right)
+            if right is None:
+                return None
+            return left & right
+        if isinstance(predicate, Or):
+            left = self._predicate_mask(predicate.left)
+            if left is None:
+                return None
+            right = self._predicate_mask(predicate.right)
+            if right is None:
+                return None
+            return left | right
+        if isinstance(predicate, Not):
+            inner = self._predicate_mask(predicate.operand)
+            return None if inner is None else ~inner
+        if isinstance(predicate, _Boolean):
+            return self._const_mask(predicate.value)
+        return None
+
+    def _const_mask(self, value: bool):
+        if value:
+            return np.ones(self._nrows, dtype=np.bool_)
+        return np.zeros(self._nrows, dtype=np.bool_)
+
+    def _term_vector(self, term):
+        """Term → ("col", _Column) | ("const", value) | None."""
+        if isinstance(term, Attr):
+            return ("col", self.arrays()[self.schema.index(term.name)])
+        if isinstance(term, Const):
+            return ("const", term.value)
+        return None
+
+    def _compare_mask(self, comparison: Comparison):
+        left = self._term_vector(comparison.left)
+        if left is None:
+            return None
+        right = self._term_vector(comparison.right)
+        if right is None:
+            return None
+        op = comparison.op
+        if left[0] == "const" and right[0] == "const":
+            try:
+                outcome = bool(_NP_OPS[op](left[1], right[1]))
+            except TypeError:
+                outcome = False
+            return self._const_mask(outcome)
+        if left[0] == "const":
+            return self._column_mask(right[1], left[1], _FLIPPED[op])
+        if right[0] == "const":
+            return self._column_mask(left[1], right[1], op)
+        return self._column_pair_mask(left[1], right[1], op)
+
+    def _column_mask(self, column: _Column, constant, op: str):
+        """col ⟨op⟩ const as one elementwise pass (op already oriented)."""
+        values = column.values
+        kind = values.dtype.kind
+        if kind == "O":
+            return None
+        if kind in "ifb":
+            compatible = isinstance(constant, (bool, int, float))
+        else:  # U
+            compatible = isinstance(constant, str)
+        if not compatible:
+            # The closure's TypeError → False net: mixed-type equality
+            # is elementwise False, inequality elementwise True,
+            # orderings False.
+            return self._const_mask(op == "!=")
+        try:
+            return np.asarray(_NP_OPS[op](values, constant), dtype=np.bool_)
+        except (TypeError, OverflowError):
+            # e.g. an int beyond int64 — let the row path decide.
+            return None
+
+    def _column_pair_mask(self, left: _Column, right: _Column, op: str):
+        lk, rk = left.values.dtype.kind, right.values.dtype.kind
+        if lk == "O" or rk == "O":
+            return None
+        if (lk in "ifb") != (rk in "ifb"):
+            return self._const_mask(op == "!=")
+        try:
+            return np.asarray(
+                _NP_OPS[op](left.values, right.values), dtype=np.bool_
+            )
+        except TypeError:
+            return None
+
+    # -- DML kernel ops ---------------------------------------------------------
+
+    def masked_assign(self, mask, settings) -> "ArrayRelation":
+        """Rewrite columns under a boolean *mask* and dedup — the update kernel.
+
+        *settings* is a sequence of ``(position, kind, payload)``
+        triples: kind ``"const"`` writes a literal (*payload* is the
+        value), kind ``"col"`` copies another column (*payload* is the
+        source position). Untouched columns pass through by reference so
+        their cached factorizations survive; a rewritten column keeps
+        its dtype when the incoming values fit and widens to object
+        otherwise. Rows that collide after the rewrite collapse to the
+        first occurrence, exactly like the row pipeline's
+        ``dict.fromkeys`` dedup.
+        """
+        acols = self.arrays()
+        new_cols = list(acols)
+        for position, kind, payload in settings:
+            if kind == "const":
+                new_cols[position] = _assign_const(acols[position], mask, payload)
+            else:
+                new_cols[position] = _assign_column(
+                    acols[position], mask, acols[payload]
+                )
+        candidate = type(self)._from_acols(
+            self.schema, tuple(new_cols), self._nrows
+        )
+        if not new_cols:
+            return candidate
+        codes, domain = candidate._row_codes(range(len(self.schema)))
+        first = _first_rows(codes, domain)
+        if len(first) == candidate._nrows:
+            return candidate
+        return candidate._take(first)
+
+    def scatter_update(self, matches, setters) -> "ArrayRelation":
+        matches = as_columnar(matches)
+        if len(matches) == 0:
+            # An empty *relation* is NOT a shortcut: a match row names a
+            # target that need not be present, and its rewrite is still
+            # produced (the tuple engine's Section 3 semantics).
+            return self
+        positions = [self.schema.index(attribute) for attribute, _ in setters]
+        functions = [function for _, function in setters]
+        targets: list[Row] = []
+        rewritten: list[Row] = []
+        append = rewritten.append
+        pairs = zip(matches.row_list(), matches.tuples(self.schema.attributes))
+        if len(functions) == 1:
+            position, function = positions[0], functions[0]
+            tail = position + 1
+            for match, target in pairs:
+                targets.append(target)
+                append(target[:position] + (function(match),) + target[tail:])
+        else:
+            for match, target in pairs:
+                targets.append(target)
+                new_row = list(target)
+                for position, function in zip(positions, functions):
+                    new_row[position] = function(match)
+                append(tuple(new_row))
+        kept = self.mask(
+            type(self)._from_rows(self.schema, list(dict.fromkeys(targets)))
+        )
+        fresh = type(self)._from_rows(
+            self.schema, list(dict.fromkeys(rewritten))
+        )
+        return fresh.union(kept)
+
+    def append_broadcast(
+        self,
+        template: Sequence,
+        id_positions: Sequence[int],
+        id_rows: Sequence[tuple],
+    ) -> "ArrayRelation":
+        """Append *template* once per *id_rows* entry, ids patched in.
+
+        The insert kernel for one value row replicated over world ids:
+        value columns extend by a repeated constant, id columns by the
+        id lists — no per-row tuples. The caller guarantees the
+        additions are distinct from each other and from existing rows
+        (``id_rows`` must already exclude claimed ids).
+        """
+        k = len(id_rows)
+        if k == 0:
+            return self
+        width = len(self.schema)
+        if width == 0:
+            return type(self)._from_rows(self.schema, [()])
+        by_id = {p: j for j, p in enumerate(id_positions)}
+        columns = []
+        for position in range(width):
+            j = by_id.get(position)
+            if j is None:
+                values = [template[position]] * k
+            else:
+                values = [row[j] for row in id_rows]
+            columns.append(_Column.from_values(values))
+        merged = tuple(
+            _concat_columns(a, b) for a, b in zip(self.arrays(), columns)
+        )
+        return type(self)._from_acols(self.schema, merged, self._nrows + k)
+
+    def append(self, rows: Iterable[Row]) -> "ArrayRelation":
+        additions = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        width = len(self.schema)
+        for row in additions:
+            if len(row) != width:
+                raise SchemaError(
+                    f"appended row {row!r} has {len(row)} values; schema "
+                    f"{list(self.schema)} expects {width}"
+                )
+        if not additions:
+            return self
+        if width == 0 or self._nrows == 0 or self._rowset is not None:
+            return super().append(additions)
+        additions = list(dict.fromkeys(additions))
+        incoming = ArrayRelation._from_rows(self.schema, additions)
+        codes_s, codes_a, domain = self._stacked_row_codes(incoming)
+        fresh_mask = ~_member_mask(codes_a, codes_s, domain)
+        if not fresh_mask.any():
+            return self
+        fresh = incoming._take(fresh_mask)
+        merged = tuple(
+            _concat_columns(a, b) for a, b in zip(self.arrays(), fresh.arrays())
+        )
+        return type(self)._from_acols(
+            self.schema, merged, self._nrows + len(fresh)
+        )
+
+    # -- cert counting -----------------------------------------------------------
+
+    def certain_rows(self, attributes: Sequence[str], need: int) -> list[Row]:
+        """π_attributes rows occurring in exactly *need* distinct rows.
+
+        The ``cert``/``÷ W`` closing of the inline plan: with this
+        relation holding distinct (world ids, value) rows, a value is
+        certain iff its occurrence count equals the world count — one
+        ``np.bincount`` over a single column's codes, or one
+        ``np.unique`` with counts over the combined row codes.
+        """
+        positions = self.schema.indices(attributes)
+        if len(positions) == 1:
+            col = self.arrays()[positions[0]]
+            codes = col.codes()
+            counts = np.bincount(codes, minlength=col._nuniq)
+            hits = np.flatnonzero(counts == need)
+            if not len(hits):
+                return []
+            return [(value,) for value in col.decode(hits)]
+        code, domain = self._row_codes(positions)
+        if domain <= 4 * len(code) + 1024:
+            counts = np.bincount(code, minlength=domain)
+            first = np.full(domain, -1, dtype=np.int64)
+            first[code[::-1]] = np.arange(len(code) - 1, -1, -1, dtype=np.int64)
+            chosen = first[counts == need]
+        else:
+            _, first, counts = np.unique(
+                code, return_index=True, return_counts=True
+            )
+            chosen = first[counts == need]
+        if not len(chosen):
+            return []
+        acols = self.arrays()
+        columns = [acols[p].values[chosen].tolist() for p in positions]
+        return list(zip(*columns))
+
+
+def missing_world_ids(
+    table: ArrayRelation,
+    table_positions: Sequence[int],
+    world: ArrayRelation,
+    world_positions: Sequence[int],
+) -> list[tuple] | None:
+    """Id tuples in *table* absent from *world*; ``None`` when all known.
+
+    One joint factorization + ``np.isin`` pass — the vectorized form of
+    ``set(tuples_of(table, ids)) <= set(tuples_of(world, ids))`` that
+    representation validation runs on every commit.
+    """
+    codes_t, codes_w, domain = table._stacked_row_codes(
+        world, table_positions, world_positions
+    )
+    missing = ~_member_mask(codes_t, codes_w, domain)
+    if not missing.any():
+        return None
+    where = np.flatnonzero(missing)
+    acols = table.arrays()
+    columns = [acols[p].values[where].tolist() for p in table_positions]
+    return sorted(set(zip(*columns)), key=repr)
+
+
+# -- kernel conversion boundary ------------------------------------------------------
+
+
+def as_array(relation: "Relation | ColumnarRelation") -> ArrayRelation:
+    """The array-kernel view of *relation*, cached on the source object."""
+    _require_numpy()
+    if isinstance(relation, ArrayRelation):
+        return relation
+    if isinstance(relation, ColumnarRelation):
+        relation = relation.to_relation()
+    cached = relation._array
+    if cached is None:
+        cached = ArrayRelation._from_rows(relation.schema, list(relation.rows))
+        cached._rowset = relation.rows
+        cached._twin = relation
+        relation._array = cached
+    return cached
+
+
+def _array_from_distinct_rows(schema, rows) -> ArrayRelation:
+    return ArrayRelation._from_rows(
+        schema, rows if isinstance(rows, list) else list(rows)
+    )
+
+
+def _array_unit() -> ArrayRelation:
+    return ArrayRelation._from_rows(Schema(()), [()])
+
+
+def array_kernel_ops() -> KernelOps:
+    """The array kernel's :class:`KernelOps` (raises without numpy)."""
+    _require_numpy()
+    return KernelOps("array", as_array, _array_from_distinct_rows, _array_unit)
+
+
+if np is not None:
+    import operator as _operator
+
+    _NP_OPS = {
+        "=": _operator.eq,
+        "!=": _operator.ne,
+        "<": _operator.lt,
+        "<=": _operator.le,
+        ">": _operator.gt,
+        ">=": _operator.ge,
+    }
+    #: const ⟨op⟩ col rewritten as col ⟨flipped op⟩ const.
+    _FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}

@@ -41,7 +41,7 @@ from __future__ import annotations
 import os
 from itertools import repeat
 from operator import itemgetter
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.errors import EvaluationError, SchemaError
 from repro.relational.pad import PAD, row_sort_key
@@ -59,16 +59,52 @@ from repro.relational.schema import Schema
 #: Environment variable selecting the execution kernel.
 KERNEL_ENV = "REPRO_KERNEL"
 
-#: Recognized kernel names.
-KERNELS = ("columnar", "tuple")
+
+class KernelOps(NamedTuple):
+    """The per-kernel operation table the evaluators dispatch through.
+
+    Every kernel switch site (the physical evaluator, the translate
+    route, the representation's expansion cache, the DML paths) asks
+    the registry for these three functions instead of branching on the
+    kernel name, so adding a kernel is one :func:`register_kernel`
+    call, not an edit at every site.
+    """
+
+    name: str
+    #: Relation | ColumnarRelation → this kernel's representation (cached
+    #: on the source object at the conversion boundary).
+    convert: Callable[["Relation | ColumnarRelation"], "Relation | ColumnarRelation"]
+    #: (schema, distinct aligned row tuples) → kernel relation.
+    from_distinct_rows: Callable[..., "Relation | ColumnarRelation"]
+    #: The nullary one-row relation {⟨⟩} (a single complete world's W).
+    unit: Callable[[], "Relation | ColumnarRelation"]
+
+
+#: name → lazy :class:`KernelOps` loader. Loaders run on first *use*, so
+#: a kernel with an optional dependency (``array`` needs numpy) is
+#: always a *valid name*; the dependency error surfaces only when that
+#: kernel is actually selected.
+_KERNEL_LOADERS: dict[str, Callable[[], KernelOps]] = {}
+_KERNEL_OPS: dict[str, KernelOps] = {}
+
+
+def register_kernel(name: str, loader: Callable[[], KernelOps]) -> None:
+    """Register an execution kernel under *name* (one line per kernel)."""
+    _KERNEL_LOADERS[name] = loader
+
+
+def kernel_names() -> tuple[str, ...]:
+    """The registered kernel names, in registration order."""
+    return tuple(_KERNEL_LOADERS)
 
 
 def active_kernel() -> str:
     """The kernel selected by ``REPRO_KERNEL`` (default ``columnar``)."""
     kernel = os.environ.get(KERNEL_ENV, "columnar").strip().lower()
-    if kernel not in KERNELS:
+    if kernel not in _KERNEL_LOADERS:
         raise EvaluationError(
-            f"unknown kernel {kernel!r} in ${KERNEL_ENV}; expected one of {KERNELS}"
+            f"unknown kernel {kernel!r} in ${KERNEL_ENV}; "
+            f"expected one of {kernel_names()}"
         )
     return kernel
 
@@ -77,11 +113,26 @@ def resolve_kernel(kernel: str | None) -> str:
     """An explicit kernel choice, falling back to :func:`active_kernel`."""
     if kernel is None:
         return active_kernel()
-    if kernel not in KERNELS:
+    if kernel not in _KERNEL_LOADERS:
         raise EvaluationError(
-            f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            f"unknown kernel {kernel!r}; expected one of {kernel_names()}"
         )
     return kernel
+
+
+def kernel_ops(kernel: str | None = None) -> KernelOps:
+    """The :class:`KernelOps` of *kernel* (or the active kernel).
+
+    Loads the kernel lazily on first use and caches the table; a kernel
+    whose loader fails (e.g. ``array`` without numpy installed) raises
+    its loader's :class:`EvaluationError` here, at selection time.
+    """
+    name = resolve_kernel(kernel)
+    ops = _KERNEL_OPS.get(name)
+    if ops is None:
+        ops = _KERNEL_LOADERS[name]()
+        _KERNEL_OPS[name] = ops
+    return ops
 
 
 def _transpose(rows: Sequence[Row], width: int) -> tuple[tuple, ...]:
@@ -181,7 +232,12 @@ class ColumnarRelation:
 
     def to_relation(self) -> Relation:
         if self._twin is None:
-            twin = Relation._raw(self.schema, self.rows)
+            if self._rowset is not None:
+                twin = Relation._raw(self.schema, self._rowset)
+            else:
+                # Defer the tuple materialization: the twin reads rows
+                # through this relation only if something needs them.
+                twin = Relation._from_kernel(self.schema)
             twin._columnar = self
             self._twin = twin
         return self._twin
@@ -253,7 +309,7 @@ class ColumnarRelation:
 
     def _gather(self, indices: Sequence[int]) -> "ColumnarRelation":
         rows = self.row_list()
-        return ColumnarRelation._from_rows(self.schema, [rows[i] for i in indices])
+        return type(self)._from_rows(self.schema, [rows[i] for i in indices])
 
     # -- container protocol ---------------------------------------------------
 
@@ -308,7 +364,7 @@ class ColumnarRelation:
         if positions == tuple(range(len(self.schema))):
             return self
         columns = self.columns
-        return ColumnarRelation._from_columns(
+        return type(self)._from_columns(
             Schema(attributes), tuple(columns[p] for p in positions), self._nrows
         )
 
@@ -316,7 +372,7 @@ class ColumnarRelation:
 
     def select(self, predicate: Predicate) -> "ColumnarRelation":
         check = predicate.bind(self.schema)
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if check(row)]
         )
 
@@ -329,12 +385,12 @@ class ColumnarRelation:
         schema = self.schema.project(attributes)
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
-            return ColumnarRelation._share(self, schema)
+            return type(self)._share(self, schema)
         if len(positions) == len(self.schema):
             # A permutation of all attributes: distinctness is preserved.
             return self._reordered(attributes)
         if not positions:
-            return ColumnarRelation._from_rows(
+            return type(self)._from_rows(
                 schema, [()] if self._nrows else []
             )
         columns = self._columns
@@ -350,10 +406,10 @@ class ColumnarRelation:
                 # one (a copy_attribute alias, e.g. dropping Dep while
                 # keeping the world id $Dep): rows stay pairwise
                 # distinct, so this is a zero-copy column selection.
-                return ColumnarRelation._from_columns(
+                return type(self)._from_columns(
                     schema, tuple(columns[p] for p in positions), self._nrows
                 )
-        return ColumnarRelation._deduped(schema, self.tuples(attributes))
+        return type(self)._deduped(schema, self.tuples(attributes))
 
     @classmethod
     def _share(cls, source: "ColumnarRelation", schema: Schema) -> "ColumnarRelation":
@@ -366,7 +422,7 @@ class ColumnarRelation:
         return relation
 
     def rename(self, mapping: Mapping[str, str]) -> "ColumnarRelation":
-        return ColumnarRelation._share(self, self.schema.rename(mapping))
+        return type(self)._share(self, self.schema.rename(mapping))
 
     def extend(
         self, attribute: str, function: Callable[[dict[str, object]], object]
@@ -378,7 +434,7 @@ class ColumnarRelation:
         rows = [
             row + (function(dict(zip(attrs, row))),) for row in self.row_list()
         ]
-        return ColumnarRelation._from_rows(schema, rows)
+        return type(self)._from_rows(schema, rows)
 
     def copy_attribute(self, source: str, target: str) -> "ColumnarRelation":
         """π_{*, source as target}: O(1) — the column object is aliased."""
@@ -386,7 +442,7 @@ class ColumnarRelation:
             raise SchemaError(f"attribute {target!r} already exists")
         position = self.schema.index(source)
         columns = self.columns
-        return ColumnarRelation._from_columns(
+        return type(self)._from_columns(
             Schema(self.schema.attributes + (target,)),
             columns + (columns[position],),
             self._nrows,
@@ -406,17 +462,17 @@ class ColumnarRelation:
         aligned = self._aligned_tuples(other, "union")
         combined = dict.fromkeys(self.row_list())
         combined.update(dict.fromkeys(aligned))
-        return ColumnarRelation._from_rows(self.schema, list(combined))
+        return type(self)._from_rows(self.schema, list(combined))
 
     def difference(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         drop = frozenset(self._aligned_tuples(other, "difference"))
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if row not in drop]
         )
 
     def intersection(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         keep = frozenset(self._aligned_tuples(other, "intersection"))
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if row in keep]
         )
 
@@ -426,15 +482,15 @@ class ColumnarRelation:
         if not self.schema:
             # {⟨⟩} × R = R (the unit world table is a frequent operand).
             if self._nrows == 0:
-                return ColumnarRelation._from_rows(schema, [])
-            return ColumnarRelation._share(other, schema)
+                return type(self)._from_rows(schema, [])
+            return type(other)._share(other, schema)
         if not other.schema:
             if len(other) == 0:
-                return ColumnarRelation._from_rows(schema, [])
-            return ColumnarRelation._share(self, schema)
+                return type(self)._from_rows(schema, [])
+            return type(self)._share(self, schema)
         right = other.row_list()
         rows = [left + r for left in self.row_list() for r in right]
-        return ColumnarRelation._from_rows(schema, rows)
+        return type(self)._from_rows(schema, rows)
 
     def natural_join(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
@@ -479,7 +535,7 @@ class ColumnarRelation:
         if not right_rest:
             # Right side is pure key: the join degenerates to a semijoin
             # (the answer ⋈ world-projection pattern of the lazy §5.3 form).
-            return ColumnarRelation._from_rows(
+            return type(self)._from_rows(
                 schema,
                 [
                     row
@@ -496,7 +552,7 @@ class ColumnarRelation:
             if bucket is not None:
                 for i in bucket:
                     append(left + rest_of(right_rows[i]))
-        return ColumnarRelation._from_rows(schema, rows)
+        return type(self)._from_rows(schema, rows)
 
     def theta_join(
         self, other: "ColumnarRelation | Relation", predicate: Predicate
@@ -513,9 +569,9 @@ class ColumnarRelation:
         other = as_columnar(other)
         common = self.schema.common(other.schema)
         if not common:
-            return self if len(other) else ColumnarRelation._from_rows(self.schema, [])
+            return self if len(other) else type(self)._from_rows(self.schema, [])
         keys = other._index(other.schema.indices(common))
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema,
             [
                 row
@@ -528,9 +584,9 @@ class ColumnarRelation:
         other = as_columnar(other)
         common = self.schema.common(other.schema)
         if not common:
-            return ColumnarRelation._from_rows(self.schema, []) if len(other) else self
+            return type(self)._from_rows(self.schema, []) if len(other) else self
         keys = other._index(other.schema.indices(common))
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema,
             [
                 row
@@ -559,7 +615,7 @@ class ColumnarRelation:
                 seen[quotient] = {divisor}
             else:
                 group.add(divisor)
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             Schema(keep),
             [d for d, vs in seen.items() if len(vs) >= need and required <= vs],
         )
@@ -586,7 +642,7 @@ class ColumnarRelation:
         drop = set(matched.tuples(attrs))
         if not drop:
             return self
-        return ColumnarRelation._from_rows(
+        return type(self)._from_rows(
             self.schema,
             [
                 row
@@ -629,7 +685,7 @@ class ColumnarRelation:
                     new_row[position] = function(match)
                 append(tuple(new_row))
         kept = [row for row in self.row_list() if row not in drop]
-        return ColumnarRelation._deduped(self.schema, rewritten + kept)
+        return type(self)._deduped(self.schema, rewritten + kept)
 
     def append(self, rows: Iterable[Row]) -> "ColumnarRelation":
         """The relation with the aligned tuples *rows* added.
@@ -650,7 +706,7 @@ class ColumnarRelation:
         fresh = list(dict.fromkeys(row for row in additions if row not in present))
         if not fresh:
             return self
-        return ColumnarRelation._from_rows(self.schema, self.row_list() + fresh)
+        return type(self)._from_rows(self.schema, self.row_list() + fresh)
 
     def aggregate_by(
         self, keys: Sequence[str], specs: Sequence["AggSpec"]
@@ -679,7 +735,7 @@ class ColumnarRelation:
         out = aggregate_rows(self.tuples(keys), args, specs)
         if not out and not keys:
             out = [default_row(specs)]
-        return ColumnarRelation._from_rows(schema, out)
+        return type(self)._from_rows(schema, out)
 
     def left_outer_join_padded(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
@@ -690,7 +746,7 @@ class ColumnarRelation:
             pad_row = (PAD,) * len(pad_attrs)
             padded = [row + pad_row for row in ([] if other else self.row_list())]
             return joined.union(
-                ColumnarRelation._from_rows(joined.schema, padded)
+                type(self)._from_rows(joined.schema, padded)
             )
         # One fused build/probe pass: each left row emits its join
         # partners, or one PAD-padded row when dangling — instead of
@@ -721,7 +777,7 @@ class ColumnarRelation:
             else:
                 for i in bucket:
                     append(left + rest_of(right_rows[i]))
-        return ColumnarRelation._deduped(schema, rows)
+        return type(self)._deduped(schema, rows)
 
     # -- helpers used by the world-set machinery ---------------------------------
 
@@ -755,9 +811,9 @@ def as_tuple(relation: "Relation | ColumnarRelation") -> Relation:
     return relation.to_relation()
 
 
-def kernel_unit(kernel: str) -> "Relation | ColumnarRelation":
+def kernel_unit(kernel: str | None) -> "Relation | ColumnarRelation":
     """The nullary one-row relation {⟨⟩} in the *kernel*'s representation."""
-    return ColumnarRelation.unit() if kernel == "columnar" else Relation.unit()
+    return kernel_ops(kernel).unit()
 
 
 def tuples_of(
@@ -769,3 +825,26 @@ def tuples_of(
     if not attributes:
         return repeat((), len(relation.rows))
     return map(tuple_getter(relation.schema.indices(attributes)), relation.rows)
+
+
+# -- kernel registry ----------------------------------------------------------------
+
+
+def _load_array_kernel() -> KernelOps:
+    # Deferred import: the array kernel needs numpy, which is optional;
+    # array_kernel_ops raises a clear EvaluationError when it is absent.
+    from repro.relational.array_kernel import array_kernel_ops
+
+    return array_kernel_ops()
+
+
+register_kernel(
+    "columnar",
+    lambda: KernelOps(
+        "columnar", as_columnar, ColumnarRelation._from_rows, ColumnarRelation.unit
+    ),
+)
+register_kernel(
+    "tuple", lambda: KernelOps("tuple", as_tuple, Relation._raw, Relation.unit)
+)
+register_kernel("array", _load_array_kernel)

@@ -154,38 +154,80 @@ def _coerce_row(schema: Schema, row: object) -> Row:
 class Relation:
     """An immutable relation: a schema and a frozen set of rows."""
 
-    __slots__ = ("schema", "rows", "_indexes", "_hash", "_columnar")
+    __slots__ = ("schema", "_rows", "_indexes", "_hash", "_columnar", "_array")
 
     def __init__(self, schema: Schema | Sequence[str], rows: Iterable[object] = ()) -> None:
         if not isinstance(schema, Schema):
             schema = Schema(schema)
         self.schema = schema
-        self.rows: frozenset[Row] = frozenset(_coerce_row(schema, row) for row in rows)
+        self._rows: frozenset[Row] | None = frozenset(
+            _coerce_row(schema, row) for row in rows
+        )
         self._indexes: dict[tuple[int, ...], dict[tuple, tuple[Row, ...]]] = {}
         self._hash: int | None = None
         self._columnar = None
+        self._array = None
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The row set; materialized lazily from a kernel twin.
+
+        A relation committed from a columnar/array kernel result
+        (:meth:`ColumnarRelation.to_relation`) starts with its rows
+        unmaterialized — the kernel twin holds the data as column
+        storage, and the tuple set is built only when something actually
+        reads it (world decoding, the tuple kernel, equality). Queries
+        that stay in one kernel never pay the conversion.
+        """
+        rows = self._rows
+        if rows is None:
+            twin = self._array if self._array is not None else self._columnar
+            rows = self._rows = twin.rows
+        return rows
 
     @classmethod
     def _raw(cls, schema: Schema, rows: Iterable[Row]) -> "Relation":
         """Internal fast constructor: *rows* must already be aligned tuples."""
         relation = object.__new__(cls)
         relation.schema = schema
-        relation.rows = rows if isinstance(rows, frozenset) else frozenset(rows)
+        relation._rows = rows if isinstance(rows, frozenset) else frozenset(rows)
         relation._indexes = {}
         relation._hash = None
         relation._columnar = None
+        relation._array = None
+        return relation
+
+    @classmethod
+    def _from_kernel(cls, schema: Schema) -> "Relation":
+        """A relation whose rows materialize lazily from a kernel twin.
+
+        The caller must attach the twin (``_columnar`` or ``_array``)
+        before the relation is used — :meth:`rows` reads through it.
+        """
+        relation = object.__new__(cls)
+        relation.schema = schema
+        relation._rows = None
+        relation._indexes = {}
+        relation._hash = None
+        relation._columnar = None
+        relation._array = None
         return relation
 
     def clear_caches(self) -> None:
-        """Drop the lazily built hash indexes, hash, and columnar twin.
+        """Drop the lazily built hash indexes, hash, and kernel twins.
 
         All three are rebuilt on demand; a long-lived session calls this
         through ``ISQLSession.close()`` to release derived state held by
-        relations that stay reachable (registered base tables).
+        relations that stay reachable (registered base tables). A
+        lazily committed row set materializes first — the twins being
+        dropped are what it would have read through.
         """
+        if self._rows is None:
+            _ = self.rows
         self._indexes = {}
         self._hash = None
         self._columnar = None
+        self._array = None
 
     @staticmethod
     def _coerce_operand(other: "Relation") -> "Relation":

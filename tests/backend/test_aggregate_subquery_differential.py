@@ -22,12 +22,17 @@ from repro.backend import InlineBackend
 from repro.backend.testing import assert_backends_agree, run_scenario
 from repro.datagen import Scenario
 from repro.relational import Relation
+from repro.relational.array_kernel import have_numpy
 
 BACKENDS = (
     "explicit",
     "inline",
     "inline-translate",
     ("inline-tuple", lambda: InlineBackend(kernel="tuple")),
+) + (
+    (("inline-array", lambda: InlineBackend(kernel="array")),)
+    if have_numpy()
+    else ()
 )
 
 

@@ -32,6 +32,7 @@ from repro.errors import SchemaError
 from repro.isql import ISQLSession
 from repro.isql.session import DMLResult
 from repro.relational import Relation
+from repro.relational.array_kernel import have_numpy
 
 BACKENDS = (
     ("explicit", "explicit"),
@@ -45,6 +46,16 @@ BACKENDS = (
         "translate[tuple]",
         lambda: InlineBackend(strategy="translate", kernel="tuple"),
     ),
+) + (
+    (
+        ("inline[array]", lambda: InlineBackend(kernel="array")),
+        (
+            "translate[array]",
+            lambda: InlineBackend(strategy="translate", kernel="array"),
+        ),
+    )
+    if have_numpy()
+    else ()
 )
 
 CONDITIONS = (

@@ -28,12 +28,17 @@ from repro.datagen import Scenario
 from repro.errors import EvaluationError
 from repro.isql import ISQLSession
 from repro.relational import Relation
+from repro.relational.array_kernel import have_numpy
 
 BACKENDS = (
     "explicit",
     "inline",
     "inline-translate",
     ("inline-tuple", lambda: InlineBackend(kernel="tuple")),
+) + (
+    (("inline-array", lambda: InlineBackend(kernel="array")),)
+    if have_numpy()
+    else ()
 )
 
 FALLBACK_FREE = BACKENDS[1:]

@@ -1,12 +1,14 @@
-"""Kernel equivalence: the columnar and tuple engines on every workload.
+"""Kernel equivalence: the array, columnar and tuple engines everywhere.
 
-`REPRO_KERNEL=columnar|tuple` (or `InlineBackend(kernel=...)`) selects
-how the inline backend's flat-table plans execute; it must never change
-what they compute. This suite replays every datagen scenario and a
-randomized world-set-algebra differential on both kernels (with the
-explicit backend as the reference semantics), covers the translate
-strategy's columnar route, and pins the dangling-world-id decode edge
-(world ids with no rows encode empty worlds on either kernel).
+`REPRO_KERNEL=array|columnar|tuple` (or `InlineBackend(kernel=...)`)
+selects how the inline backend's flat-table plans execute; it must
+never change what they compute. This suite replays every datagen
+scenario and a randomized world-set-algebra differential on all
+kernels (with the explicit backend as the reference semantics), covers
+the translate strategy's kernel routes, and pins the dangling-world-id
+decode edge (world ids with no rows encode empty worlds on any
+kernel). Without numpy the array entries drop out cleanly — the
+remaining 2-way differential still runs.
 """
 
 import pytest
@@ -17,12 +19,16 @@ from repro.core import evaluate, rel
 from repro.datagen import random_query, random_world_set, scenarios
 from repro.inline.representation import InlinedRepresentation
 from repro.relational import Relation
+from repro.relational.array_kernel import have_numpy
 
 SMALL = {s.name: s for s in scenarios("small")}
 
-KERNELS = (
-    ("inline[columnar]", lambda: InlineBackend(kernel="columnar")),
-    ("inline[tuple]", lambda: InlineBackend(kernel="tuple")),
+#: Every registered kernel; "array" joins when numpy is importable.
+KERNEL_NAMES = ("columnar", "tuple") + (("array",) if have_numpy() else ())
+
+KERNELS = tuple(
+    (f"inline[{name}]", lambda name=name: InlineBackend(kernel=name))
+    for name in KERNEL_NAMES
 )
 
 
@@ -34,22 +40,21 @@ def test_kernels_agree_with_explicit_on_every_scenario(name):
 @pytest.mark.parametrize(
     "name", sorted(n for n, s in SMALL.items() if not s.uses_fallback)
 )
-def test_translate_strategy_agrees_on_both_kernels(name):
-    """The Figure 6 RA DAG route also runs columnar (Literal world
-    tables mix tuple relations into a columnar plan — the coercion
+def test_translate_strategy_agrees_on_every_kernel(name):
+    """The Figure 6 RA DAG route also runs in-kernel (Literal world
+    tables mix tuple relations into a kernel plan — the coercion
     boundary must hold there too)."""
     assert_backends_agree(
         SMALL[name],
-        (
-            "explicit",
+        ("explicit",)
+        + tuple(
             (
-                "inline-translate[columnar]",
-                lambda: InlineBackend(strategy="translate", kernel="columnar"),
-            ),
-            (
-                "inline-translate[tuple]",
-                lambda: InlineBackend(strategy="translate", kernel="tuple"),
-            ),
+                f"inline-translate[{kernel}]",
+                lambda kernel=kernel: InlineBackend(
+                    strategy="translate", kernel=kernel
+                ),
+            )
+            for kernel in KERNEL_NAMES
         ),
     )
 
@@ -64,15 +69,20 @@ def test_random_wsa_agrees_across_kernels(seed, monkeypatch):
     monkeypatch.setenv("REPRO_KERNEL", "columnar")
     columnar_result = evaluate(query, world_set, name="Q", backend="inline")
     assert tuple_result == columnar_result
+    if have_numpy():
+        monkeypatch.setenv("REPRO_KERNEL", "array")
+        assert tuple_result == evaluate(
+            query, world_set, name="Q", backend="inline"
+        )
     assert columnar_result == evaluate(
         query, world_set, name="Q", backend="explicit"
     )
 
 
-@pytest.mark.parametrize("kernel", ["columnar", "tuple"])
+@pytest.mark.parametrize("kernel", list(KERNEL_NAMES))
 def test_dangling_world_ids_decode_to_empty_worlds(kernel):
     """World ids carried by no row are worlds with empty relations —
-    the decode must keep them on either kernel."""
+    the decode must keep them on any kernel."""
     representation = InlinedRepresentation(
         {"R": Relation(("A", "$w"), [(1, 0)])},
         Relation(("$w",), [(0,), (1,), (2,)]),
@@ -105,3 +115,34 @@ def test_env_kernel_validation(monkeypatch):
     monkeypatch.setenv("REPRO_KERNEL", "numpy")
     with pytest.raises(EvaluationError, match="unknown kernel"):
         active_kernel()
+
+
+# -- the array kernel without numpy --------------------------------------------------
+
+
+def test_array_kernel_without_numpy_raises_cleanly(monkeypatch):
+    """`REPRO_KERNEL=array` in a numpy-less environment must fail with
+    an actionable error at kernel *selection* time, not deep inside a
+    plan — and must not break the other kernels."""
+    from repro.errors import EvaluationError
+    from repro.relational import array_kernel, columnar, kernel_ops
+
+    monkeypatch.setattr(array_kernel, "np", None)
+    # Evict the memoized ops so selection re-runs the loader, as it
+    # would in a fresh numpy-less interpreter.
+    monkeypatch.delitem(columnar._KERNEL_OPS, "array", raising=False)
+    with pytest.raises(EvaluationError, match="numpy"):
+        kernel_ops("array")
+    with pytest.raises(EvaluationError, match="numpy"):
+        InlineBackend(kernel="array")
+    # The registry still lists array (it is installed, just unloadable),
+    # and the other kernels stay selectable.
+    InlineBackend(kernel="columnar")
+    InlineBackend(kernel="tuple")
+
+
+def test_kernel_registry_lists_all_kernels():
+    from repro.relational import kernel_names
+
+    names = kernel_names()
+    assert "columnar" in names and "tuple" in names and "array" in names

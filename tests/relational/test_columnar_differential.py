@@ -1,18 +1,22 @@
-"""ColumnarRelation ≡ Relation on every operator, property-based.
+"""ColumnarRelation/ArrayRelation ≡ Relation on every operator.
 
-The columnar kernel is only allowed to change *how* operators run,
-never what they return: for every relational algebra operator and any
-input, evaluating columnar must equal evaluating tuple-at-a-time. This
-suite drives randomized inputs through both engines and compares —
-including the empty relation, the nullary schema (the unit world table
-{⟨⟩}), PAD-carrying rows, and mixed value types.
+A kernel is only allowed to change *how* operators run, never what
+they return: for every relational algebra operator and any input,
+evaluating columnar (and, with numpy, array) must equal evaluating
+tuple-at-a-time. This suite drives randomized inputs through the
+kernels and compares against the tuple engine — including the empty
+relation, the nullary schema (the unit world table {⟨⟩}), PAD-carrying
+rows, and mixed value types. Every test is parametrized over the
+non-tuple kernels, so the same property holds 3-way.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SchemaError
 from repro.relational import ColumnarRelation, Relation, as_columnar, as_tuple
+from repro.relational.array_kernel import ArrayRelation, as_array, have_numpy
 from repro.relational.pad import PAD
 from repro.relational.predicates import (
     FALSE,
@@ -28,6 +32,22 @@ from repro.relational.predicates import (
 )
 from repro.relational.schema import Schema
 
+#: The kernels under differential test, against the tuple reference.
+#: Direct parametrization (not fixtures) so @given tests compose with
+#: it — hypothesis rejects function-scoped fixtures.
+KERNEL_PARAMS = [pytest.param(as_columnar, ColumnarRelation, id="columnar")]
+if have_numpy():
+    KERNEL_PARAMS.append(pytest.param(as_array, ArrayRelation, id="array"))
+
+for_each_kernel = pytest.mark.parametrize(
+    "convert", [pytest.param(p.values[0], id=p.id) for p in KERNEL_PARAMS]
+)
+for_each_kernel_cls = pytest.mark.parametrize(
+    "kernel_cls", [pytest.param(p.values[1], id=p.id) for p in KERNEL_PARAMS]
+)
+for_each_kernel_pair = pytest.mark.parametrize("convert,kernel_cls", KERNEL_PARAMS)
+
+
 VALUES = st.one_of(
     st.integers(min_value=-2, max_value=3),
     st.sampled_from(["x", "y", "z"]),
@@ -38,22 +58,22 @@ VALUES = st.one_of(
 
 
 def relations(attributes: tuple[str, ...], max_rows: int = 7):
-    """A strategy of (Relation, ColumnarRelation) twins over *attributes*."""
+    """A strategy of tuple-engine relations over *attributes*."""
     row = st.tuples(*(VALUES for _ in attributes))
     return st.lists(row, max_size=max_rows).map(
         lambda rows: Relation(attributes, rows)
     )
 
 
-def assert_same(columnar_result, tuple_result, context: str = "") -> None:
-    assert isinstance(columnar_result, ColumnarRelation), context
+def assert_same(kernel_result, tuple_result, context: str = "") -> None:
+    assert isinstance(kernel_result, ColumnarRelation), context
     assert (
-        tuple(columnar_result.schema) == tuple(tuple_result.schema)
+        tuple(kernel_result.schema) == tuple(tuple_result.schema)
     ), f"{context}: schemas diverge"
-    assert as_tuple(columnar_result) == tuple_result, f"{context}: rows diverge"
+    assert as_tuple(kernel_result) == tuple_result, f"{context}: rows diverge"
     # The cross-kernel comparison itself must agree, both directions.
-    assert columnar_result == tuple_result, context
-    assert hash(columnar_result) == hash(tuple_result), context
+    assert kernel_result == tuple_result, context
+    assert hash(kernel_result) == hash(tuple_result), context
 
 
 PREDICATES = [
@@ -68,155 +88,189 @@ PREDICATES = [
 ]
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(relation=relations(("A", "B")), index=st.integers(0, len(PREDICATES) - 1))
-def test_select_matches(relation, index):
+def test_select_matches(convert, relation, index):
     predicate = PREDICATES[index]
     assert_same(
-        as_columnar(relation).select(predicate),
+        convert(relation).select(predicate),
         relation.select(predicate),
         repr(predicate),
     )
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(relation=relations(("A", "B", "C")), value=VALUES)
-def test_select_values_and_distinct_values_match(relation, value):
-    columnar = as_columnar(relation)
+def test_select_values_and_distinct_values_match(convert, relation, value):
+    in_kernel = convert(relation)
     assert_same(
-        columnar.select_values({"B": value}), relation.select_values({"B": value})
+        in_kernel.select_values({"B": value}), relation.select_values({"B": value})
     )
-    assert columnar.distinct_values(("C", "A")) == relation.distinct_values(
+    assert in_kernel.distinct_values(("C", "A")) == relation.distinct_values(
         ("C", "A")
     )
-    assert columnar.active_domain() == relation.active_domain()
-    assert columnar.sorted_rows() == relation.sorted_rows()
-    assert columnar.named_rows() == relation.named_rows()
+    assert in_kernel.active_domain() == relation.active_domain()
+    assert in_kernel.sorted_rows() == relation.sorted_rows()
+    assert in_kernel.named_rows() == relation.named_rows()
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(
     relation=relations(("A", "B", "C")),
     keep=st.lists(st.sampled_from(["A", "B", "C"]), unique=True),
 )
-def test_project_rename_copy_match(relation, keep):
-    columnar = as_columnar(relation)
-    assert_same(columnar.project(keep), relation.project(keep), f"π{keep}")
+def test_project_rename_copy_match(convert, relation, keep):
+    in_kernel = convert(relation)
+    assert_same(in_kernel.project(keep), relation.project(keep), f"π{keep}")
     mapping = {"A": "Z"}
-    assert_same(columnar.rename(mapping), relation.rename(mapping))
+    assert_same(in_kernel.rename(mapping), relation.rename(mapping))
     assert_same(
-        columnar.copy_attribute("B", "B2"), relation.copy_attribute("B", "B2")
+        in_kernel.copy_attribute("B", "B2"), relation.copy_attribute("B", "B2")
     )
     # The alias-projection fast path: copy then drop the source.
     assert_same(
-        columnar.copy_attribute("B", "B2").project(("A", "B2", "C")),
+        in_kernel.copy_attribute("B", "B2").project(("A", "B2", "C")),
         relation.copy_attribute("B", "B2").project(("A", "B2", "C")),
         "alias projection",
     )
     assert_same(
-        columnar.extend("D", lambda row: (row["A"], 1)),
+        in_kernel.extend("D", lambda row: (row["A"], 1)),
         relation.extend("D", lambda row: (row["A"], 1)),
     )
 
 
+@for_each_kernel
 @settings(max_examples=80, deadline=None)
 @given(left=relations(("A", "B")), right=relations(("B", "A")))
-def test_set_operators_match(left, right):
-    columnar_left = as_columnar(left)
+def test_set_operators_match(convert, left, right):
+    kernel_left = convert(left)
     for op in ("union", "difference", "intersection", "semijoin", "antijoin"):
         assert_same(
-            getattr(columnar_left, op)(as_columnar(right)),
+            getattr(kernel_left, op)(convert(right)),
             getattr(left, op)(right),
             op,
         )
-        # Mixed operands: columnar-left with a tuple right operand.
+        # Mixed operands: kernel-left with a tuple right operand.
         assert_same(
-            getattr(columnar_left, op)(right), getattr(left, op)(right), op
+            getattr(kernel_left, op)(right), getattr(left, op)(right), op
         )
 
 
+@for_each_kernel
 @settings(max_examples=80, deadline=None)
 @given(left=relations(("A", "B")), right=relations(("B", "C")))
-def test_join_operators_match(left, right):
-    columnar_left = as_columnar(left)
-    columnar_right = as_columnar(right)
+def test_join_operators_match(convert, left, right):
+    kernel_left = convert(left)
+    kernel_right = convert(right)
     assert_same(
-        columnar_left.natural_join(columnar_right),
+        kernel_left.natural_join(kernel_right),
         left.natural_join(right),
         "⋈",
     )
     assert_same(
-        columnar_left.semijoin(columnar_right), left.semijoin(right), "⋉"
+        kernel_left.semijoin(kernel_right), left.semijoin(right), "⋉"
     )
     assert_same(
-        columnar_left.antijoin(columnar_right), left.antijoin(right), "▷"
+        kernel_left.antijoin(kernel_right), left.antijoin(right), "▷"
     )
     assert_same(
-        columnar_left.left_outer_join_padded(columnar_right),
+        kernel_left.left_outer_join_padded(kernel_right),
         left.left_outer_join_padded(right),
         "=⊳⊲",
     )
     assert_same(
-        columnar_left.join_on(columnar_right, [("B", "B"), ("A", "C")]),
+        kernel_left.join_on(kernel_right, [("B", "B"), ("A", "C")]),
         left.join_on(right, [("B", "B"), ("A", "C")]),
         "join_on",
     )
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(left=relations(("A", "B")), right=relations(("C", "D")))
-def test_product_theta_equi_match(left, right):
-    columnar_left = as_columnar(left)
-    columnar_right = as_columnar(right)
-    assert_same(columnar_left.product(columnar_right), left.product(right), "×")
+def test_product_theta_equi_match(convert, left, right):
+    kernel_left = convert(left)
+    kernel_right = convert(right)
+    assert_same(kernel_left.product(kernel_right), left.product(right), "×")
     predicate = And(eq("A", "C"), neq("B", "D"))
     assert_same(
-        columnar_left.theta_join(columnar_right, predicate),
+        kernel_left.theta_join(kernel_right, predicate),
         left.theta_join(right, predicate),
         "θ",
     )
     assert_same(
-        columnar_left.equi_join(columnar_right, [("B", "D")]),
+        kernel_left.equi_join(kernel_right, [("B", "D")]),
         left.equi_join(right, [("B", "D")]),
         "equi",
     )
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(dividend=relations(("A", "B"), max_rows=9), divisor=relations(("B",)))
-def test_divide_matches(dividend, divisor):
+def test_divide_matches(convert, dividend, divisor):
     assert_same(
-        as_columnar(dividend).divide(as_columnar(divisor)),
+        convert(dividend).divide(convert(divisor)),
         dividend.divide(divisor),
         "÷",
+    )
+
+
+@for_each_kernel
+@settings(max_examples=40, deadline=None)
+@given(relation=relations(("A", "B", "C"), max_rows=9))
+def test_aggregate_by_matches(convert, relation):
+    """aggregate_by: grouped count(*)/count(C), 3-way vs the tuple engine."""
+    from repro.relational.aggregates import AggSpec
+
+    specs = (
+        AggSpec("N", "count", None),
+        AggSpec("K", "count", "C"),
+    )
+    assert_same(
+        convert(relation).aggregate_by(("A",), specs),
+        relation.aggregate_by(("A",), specs),
+        "aggregate_by",
+    )
+    # Global (empty-key) aggregation agrees too — including SQL's one
+    # empty group over the empty relation.
+    assert_same(
+        convert(relation).aggregate_by((), specs),
+        relation.aggregate_by((), specs),
+        "aggregate_by[]",
     )
 
 
 # -- deterministic edge cases -------------------------------------------------------
 
 
-def test_nullary_schema_unit_and_empty():
-    unit = ColumnarRelation.unit()
+@for_each_kernel_pair
+def test_nullary_schema_unit_and_empty(convert, kernel_cls):
+    unit = kernel_cls.unit()
     assert as_tuple(unit) == Relation.unit()
     assert len(unit) == 1 and list(unit) == [()]
-    empty_nullary = ColumnarRelation((), [])
+    empty_nullary = kernel_cls((), [])
     assert as_tuple(empty_nullary) == Relation((), [])
     # {⟨⟩} × R and ∅₀ × R.
     r = Relation(("A",), [(1,), (2,)])
-    assert as_tuple(unit.product(as_columnar(r))) == Relation.unit().product(r)
-    assert as_tuple(empty_nullary.product(as_columnar(r))) == Relation((), []).product(r)
+    assert as_tuple(unit.product(convert(r))) == Relation.unit().product(r)
+    assert as_tuple(empty_nullary.product(convert(r))) == Relation((), []).product(r)
     # Projection of a populated relation onto zero attributes is {⟨⟩}.
-    assert as_tuple(as_columnar(r).project(())) == r.project(())
-    assert as_tuple(as_columnar(Relation(("A",), [])).project(())) == Relation(
+    assert as_tuple(convert(r).project(())) == r.project(())
+    assert as_tuple(convert(Relation(("A",), [])).project(())) == Relation(
         ("A",), []
     ).project(())
     # Dividing by the nullary unit keeps every row.
-    assert as_tuple(as_columnar(r).divide(unit)) == r.divide(Relation.unit())
+    assert as_tuple(convert(r).divide(unit)) == r.divide(Relation.unit())
 
 
-def test_empty_relation_operators():
-    empty = as_columnar(Relation.empty(("A", "B")))
-    other = as_columnar(Relation(("B", "C"), [(1, 2)]))
+@for_each_kernel
+def test_empty_relation_operators(convert):
+    empty = convert(Relation.empty(("A", "B")))
+    other = convert(Relation(("B", "C"), [(1, 2)]))
     assert len(empty.select(TRUE)) == 0
     assert len(empty.natural_join(other)) == 0
     assert len(other.natural_join(empty)) == 0
@@ -225,45 +279,65 @@ def test_empty_relation_operators():
     assert not empty
 
 
-def test_duplicate_rows_are_deduplicated_like_the_tuple_engine():
+@for_each_kernel_cls
+def test_duplicate_rows_are_deduplicated_like_the_tuple_engine(kernel_cls):
     rows = [(1, "x"), (1, "x"), (2, "y")]
-    assert as_tuple(ColumnarRelation(("A", "B"), rows)) == Relation(("A", "B"), rows)
+    assert as_tuple(kernel_cls(("A", "B"), rows)) == Relation(("A", "B"), rows)
 
 
-def test_union_incompatible_schemas_raise_like_the_tuple_engine():
-    import pytest
-
-    left = as_columnar(Relation(("A",), [(1,)]))
-    right = as_columnar(Relation(("B",), [(1,)]))
+@for_each_kernel
+def test_union_incompatible_schemas_raise_like_the_tuple_engine(convert):
+    left = convert(Relation(("A",), [(1,)]))
+    right = convert(Relation(("B",), [(1,)]))
     with pytest.raises(SchemaError):
         left.union(right)
     with pytest.raises(SchemaError):
-        left.product(as_columnar(Relation(("A",), [(2,)])))
+        left.product(convert(Relation(("A",), [(2,)])))
 
 
-def test_schema_instance_accepted():
-    relation = ColumnarRelation(Schema(("A",)), [(1,)])
+@for_each_kernel_cls
+def test_schema_instance_accepted(kernel_cls):
+    relation = kernel_cls(Schema(("A",)), [(1,)])
     assert as_tuple(relation) == Relation(Schema(("A",)), [(1,)])
+
+
+@for_each_kernel_pair
+def test_kernel_results_stay_in_kernel(convert, kernel_cls):
+    """Operators must not silently fall out of the requested kernel."""
+    left = convert(Relation(("A", "B"), [(1, "x"), (2, "y")]))
+    right = convert(Relation(("B", "C"), [("x", 3)]))
+    for result in (
+        left.select(TRUE),
+        left.project(("A",)),
+        left.rename({"A": "Z"}),
+        left.natural_join(right),
+        left.union(left),
+        left.difference(left),
+        left.copy_attribute("A", "A2"),
+    ):
+        assert isinstance(result, kernel_cls), type(result)
 
 
 # -- the DML kernel ops: mask / scatter_update / append ------------------------------
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(relation=relations(("A", "B")), matched=relations(("B", "C")))
-def test_mask_matches_on_explicit_attributes(relation, matched):
+def test_mask_matches_on_explicit_attributes(convert, relation, matched):
     assert_same(
-        as_columnar(relation).mask(matched, ("B",)),
+        convert(relation).mask(matched, ("B",)),
         relation.mask(matched, ("B",)),
         "mask[B]",
     )
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(relation=relations(("A", "B")), matched=relations(("A", "B", "C")))
-def test_mask_defaults_to_full_row_identity(relation, matched):
+def test_mask_defaults_to_full_row_identity(convert, relation, matched):
     assert_same(
-        as_columnar(relation).mask(as_columnar(matched)),
+        convert(relation).mask(convert(matched)),
         relation.mask(matched),
         "mask[*]",
     )
@@ -275,57 +349,58 @@ SETTERS = [
 ]
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(
     relation=relations(("A", "B")),
     matches=relations(("A", "B", "C")),
     count=st.integers(0, len(SETTERS)),
 )
-def test_scatter_update_matches(relation, matches, count):
+def test_scatter_update_matches(convert, relation, matches, count):
     setters = SETTERS[:count]
     assert_same(
-        as_columnar(relation).scatter_update(matches, setters),
+        convert(relation).scatter_update(matches, setters),
         relation.scatter_update(matches, setters),
         f"scatter_update[{count} setters]",
     )
 
 
+@for_each_kernel
 @settings(max_examples=60, deadline=None)
 @given(
     relation=relations(("A", "B")),
     additions=st.lists(st.tuples(VALUES, VALUES), max_size=6),
 )
-def test_append_matches(relation, additions):
-    columnar = as_columnar(relation).append(additions)
-    assert_same(columnar, relation.append(additions), "append")
+def test_append_matches(convert, relation, additions):
+    in_kernel = convert(relation).append(additions)
+    assert_same(in_kernel, relation.append(additions), "append")
     # Set semantics: appending is rebuilding through the constructor.
-    assert as_tuple(columnar) == Relation(
+    assert as_tuple(in_kernel) == Relation(
         relation.schema, list(relation.rows) + additions
     )
 
 
-def test_mask_scatter_append_edges():
-    import pytest
-
+@for_each_kernel
+def test_mask_scatter_append_edges(convert):
     relation = Relation(("A", "B"), [(1, "x"), (2, "y")])
     empty_match = Relation(("A", "B"), [])
     # Masking with an empty match set keeps every row (and both kernels
     # may return the operand itself).
     assert relation.mask(empty_match) == relation
-    assert as_tuple(as_columnar(relation).mask(empty_match)) == relation
+    assert as_tuple(convert(relation).mask(empty_match)) == relation
     # Appending nothing (or only already-present rows) is a no-op.
     assert relation.append([]) is relation
     assert relation.append([(1, "x")]) is relation
-    assert as_columnar(relation).append([(1, "x")]) is as_columnar(relation)
+    assert convert(relation).append([(1, "x")]) is convert(relation)
     # A rewrite colliding with a kept row deduplicates (set semantics).
     matches = Relation(("A", "B"), [(2, "y")])
     collided = relation.scatter_update(matches, [("A", lambda m: 1), ("B", lambda m: "x")])
     assert collided == Relation(("A", "B"), [(1, "x")])
     assert as_tuple(
-        as_columnar(relation).scatter_update(matches, [("A", lambda m: 1), ("B", lambda m: "x")])
+        convert(relation).scatter_update(matches, [("A", lambda m: 1), ("B", lambda m: "x")])
     ) == collided
-    # Arity and unknown-attribute errors raise alike on both kernels.
-    for engine in (relation, as_columnar(relation)):
+    # Arity and unknown-attribute errors raise alike on every kernel.
+    for engine in (relation, convert(relation)):
         with pytest.raises(SchemaError):
             engine.append([(1, "x", "extra")])
         with pytest.raises(SchemaError):
@@ -334,9 +409,10 @@ def test_mask_scatter_append_edges():
             engine.scatter_update(matches, [("Nope", lambda m: 0)])
 
 
-def test_mask_accepts_cross_kernel_operands():
+@for_each_kernel
+def test_mask_accepts_cross_kernel_operands(convert):
     relation = Relation(("A", "B"), [(1, "x"), (2, "y"), (3, "z")])
     matched = Relation(("B",), [("y",)])
     expected = Relation(("A", "B"), [(1, "x"), (3, "z")])
-    assert relation.mask(as_columnar(matched), ("B",)) == expected
-    assert as_tuple(as_columnar(relation).mask(matched, ("B",))) == expected
+    assert relation.mask(convert(matched), ("B",)) == expected
+    assert as_tuple(convert(relation).mask(matched, ("B",))) == expected

@@ -295,3 +295,55 @@ def test_non_dml_kernel_row_disappearing_is_skipped():
     )
     current = _payload(_row("trip_xl", seconds=0.5))
     assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+# -- the ISSUE 6 extensions: array-vs-columnar speedup presence + threshold ---------
+
+
+def _array_payload(*rows, array_speedups=None):
+    payload = _payload(*rows)
+    if array_speedups is not None:
+        payload["array_speedup_over_columnar_kernel"] = dict(array_speedups)
+    return payload
+
+
+def test_array_speedup_within_threshold_passes():
+    baseline = _array_payload(array_speedups={"trip_certain_2p16": 6.0})
+    current = _array_payload(array_speedups={"trip_certain_2p16": 4.0})
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_array_speedup_collapse_fails():
+    """The speedup falling past baseline/threshold is a kernel regression
+    even when every inline row individually passes."""
+    baseline = _array_payload(array_speedups={"census_cleanup_dml_xxl": 6.0})
+    current = _array_payload(array_speedups={"census_cleanup_dml_xxl": 2.0})
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "array-vs-columnar" in problems[0]
+    assert "census_cleanup_dml_xxl" in problems[0]
+
+
+def test_array_speedup_disappearing_fails():
+    """Losing the inline-array measurement (and with it the ratio) must
+    not pass silently — presence is half the gate."""
+    baseline = _array_payload(array_speedups={"trip_certain_2p16": 6.0})
+    current = _array_payload(array_speedups={})
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "disappeared" in problems[0]
+
+
+def test_array_speedup_map_absent_from_old_baseline_is_skipped():
+    """Baselines that predate the array kernel have no map at all: new
+    speedups never gate against nothing."""
+    baseline = _payload(_row("trip", seconds=0.1))
+    current = _array_payload(
+        _row("trip", seconds=0.1),
+        array_speedups={"trip_certain_2p16": 6.0},
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_array_speedup_improvement_passes():
+    baseline = _array_payload(array_speedups={"trip_certain_2p16": 5.0})
+    current = _array_payload(array_speedups={"trip_certain_2p16": 13.0})
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
