@@ -142,6 +142,9 @@ def _timed_run(
     record,
     repeats: int = 3,
     label: str | None = None,
+    max_rows: int | None = None,
+    max_seconds: float | None = None,
+    guard_overhead: float | None = None,
 ):
     """Median-of-*repeats* timing of one (scenario, backend) pair."""
     timings = []
@@ -158,7 +161,9 @@ def _timed_run(
         gc.collect()
         with collect_phases() as phases:
             start = time.perf_counter()
-            session, result = run_scenario(scenario, backend)
+            session, result = run_scenario(
+                scenario, backend, max_rows=max_rows, max_seconds=max_seconds
+            )
             elapsed = time.perf_counter() - start
         timings.append((elapsed, dict(phases)))
     timings.sort(key=lambda timing: timing[0])
@@ -192,6 +197,7 @@ def _timed_run(
         fallback_reason=fallback_reason,
         kernel=getattr(session.backend, "resolved_kernel", None),
         repeats=repeats,
+        guard_overhead=guard_overhead,
     )
     return elapsed, result
 
@@ -280,6 +286,42 @@ def test_xl_scenarios_inline_only(scenario, backend_recorder, bench_repeats):
         assert columnar_seconds < 5.0, (
             f"{scenario.name}: {columnar_seconds:.2f}s ≥ 5s inline budget"
         )
+
+
+def test_guard_overhead_is_negligible(backend_recorder, bench_repeats):
+    """Armed-but-idle resource budgets must cost (nearly) nothing.
+
+    Replays the 2¹²-world trip on the inline backend twice in the same
+    process — unguarded, then with huge never-firing ``max_rows`` /
+    ``max_seconds`` budgets — and records the guarded run as an
+    ``inline-guarded`` row whose ``guard_overhead`` field carries the
+    paired ratio. ``check_regression.py`` gates that committed ratio at
+    ≤ 1.1× (the ISSUE 7 bar); the live assertion here is looser to keep
+    shared-runner noise from flaking the benchmark job itself.
+    """
+    repeats = max(bench_repeats, 3)
+    plain_seconds, plain_result = _timed_run(
+        TRIP_XL, "inline", backend_recorder, repeats
+    )
+    pending: dict = {}
+
+    def deferred(*args, **kwargs):
+        pending["args"], pending["kwargs"] = args, kwargs
+
+    guarded_seconds, guarded_result = _timed_run(
+        TRIP_XL,
+        "inline",
+        deferred,
+        repeats,
+        label="inline-guarded",
+        max_rows=2**62,
+        max_seconds=1e9,
+    )
+    overhead = guarded_seconds / plain_seconds
+    pending["kwargs"]["guard_overhead"] = overhead
+    backend_recorder(*pending["args"], **pending["kwargs"])
+    assert guarded_result.answers() == plain_result.answers()
+    assert overhead < 1.5, (plain_seconds, guarded_seconds)
 
 
 def test_shape_inline_wins_by_5x_beyond_1024_worlds(backend_recorder, bench_repeats):

@@ -49,6 +49,13 @@ Rules:
   fast last time it happened to run. (The benchmark writer carries
   unmeasured rows over from the committed file, so partial CI runs
   still satisfy this.)
+* the armed **resource-guard overhead** gates absolutely: the
+  ``inline-guarded`` row's ``guard_overhead`` (a paired same-process
+  guarded/unguarded ratio recorded by the benchmark) must stay ≤
+  ``--guard-threshold`` (default 1.1×) whenever the guarded run is
+  slow enough to measure, and a baseline file's guarded row must not
+  silently disappear — armed checkpoints becoming expensive is a
+  kernel-hot-path regression the end-to-end seconds would dilute;
 * the ``array_speedup_over_columnar_kernel`` map gates on presence and
   threshold: a scenario whose baseline file records an array-vs-
   columnar speedup must still record one (the ``inline-array`` row and
@@ -81,6 +88,14 @@ REFERENCE_BACKENDS = ("explicit", "inline-tuple")
 #: The per-phase timings gated like end-to-end seconds (same-provenance
 #: rows only).
 GATED_PHASES = ("dml_apply",)
+
+#: Below this, a guarded-vs-unguarded ratio is timer jitter, not a
+#: measurement — guard rows on faster-than-this scenarios do not gate.
+GUARD_MIN_SECONDS = 0.05
+
+#: The armed resource-guard overhead bar: guarded/unguarded wall-clock
+#: on the paired same-process runs must stay within this factor.
+GUARD_THRESHOLD = 1.1
 
 
 def _is_dml(scenario: str) -> bool:
@@ -147,7 +162,11 @@ def _phase_problems(
 
 
 def check(
-    baseline: dict, current: dict, threshold: float, min_seconds: float
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    min_seconds: float,
+    guard_threshold: float = GUARD_THRESHOLD,
 ) -> list[str]:
     """The list of regression messages (empty = pass)."""
     problems: list[str] = []
@@ -222,6 +241,30 @@ def check(
     # Array-vs-columnar speedups gate on presence and threshold: the
     # ratio map is recomputed by the writer from the merged rows, so a
     # missing entry means the inline-array measurement itself was lost.
+    # Armed resource guards must stay near-free. The ``inline-guarded``
+    # row's ``guard_overhead`` is a paired same-process ratio recorded
+    # by the benchmark itself, so it gates *absolutely* — no baseline
+    # comparison, no cross-machine normalization needed. Losing the row
+    # (while its scenario stays measured) disarms the gate and fails it.
+    current_guarded = _rows(current, "inline-guarded")
+    for scenario, guarded in sorted(current_guarded.items()):
+        overhead = guarded.get("guard_overhead")
+        seconds = guarded.get("seconds")
+        if overhead is None or seconds is None or seconds < GUARD_MIN_SECONDS:
+            continue
+        if overhead > guard_threshold:
+            problems.append(
+                f"{scenario}: armed resource-guard overhead {overhead:.3f}× "
+                f"> {guard_threshold:.2f}× budget — checkpoints are no "
+                "longer near-free on the kernel hot path"
+            )
+    for scenario in sorted(_rows(baseline, "inline-guarded")):
+        if scenario not in current_guarded:
+            problems.append(
+                f"{scenario}: the inline-guarded overhead row disappeared "
+                "— the armed-guard cost must stay measured (or carried "
+                "over by the benchmark writer)"
+            )
     old_array = baseline.get("array_speedup_over_columnar_kernel") or {}
     new_array = current.get("array_speedup_over_columnar_kernel") or {}
     for scenario, old_speedup in sorted(old_array.items()):
@@ -247,11 +290,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("current", type=Path)
     parser.add_argument("--threshold", type=float, default=2.0)
     parser.add_argument("--min-seconds", type=float, default=0.002)
+    parser.add_argument("--guard-threshold", type=float, default=GUARD_THRESHOLD)
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
-    problems = check(baseline, current, args.threshold, args.min_seconds)
+    problems = check(
+        baseline,
+        current,
+        args.threshold,
+        args.min_seconds,
+        guard_threshold=args.guard_threshold,
+    )
     if problems:
         print("inline benchmark regressions:")
         for problem in problems:

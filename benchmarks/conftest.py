@@ -37,6 +37,7 @@ def record_backend_timing(
     kernel: str | None = None,
     repeats: int | None = None,
     infeasible: bool = False,
+    guard_overhead: float | None = None,
 ) -> None:
     """Append one (scenario, backend) timing row for BENCH_backends.json.
 
@@ -52,6 +53,12 @@ def record_backend_timing(
     near-1× explicit-vs-inline rows are explainable. *infeasible* rows
     (``seconds`` null) record that a backend cannot run the scenario at
     all — distinct from an unmeasured 0.
+
+    *guard_overhead* (on ``inline-guarded`` rows) is the armed-budget
+    wall-clock ratio against the paired unguarded run from the *same*
+    process — measured back to back by the benchmark, so the committed
+    ratio is machine-independent and ``check_regression.py`` can gate
+    it absolutely (≤ 1.1×).
     """
     row: dict = {
         "scenario": scenario,
@@ -78,6 +85,8 @@ def record_backend_timing(
     if route is not None:
         row["route"] = route
         row["fallback_reason"] = fallback_reason
+    if guard_overhead is not None:
+        row["guard_overhead"] = round(guard_overhead, 3)
     # Every row states its kernel — explicitly null for backends that
     # have none (the explicit engine), so a missing key can only mean
     # a pre-registry row, not an unstated default.

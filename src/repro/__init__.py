@@ -60,6 +60,7 @@ from repro.errors import (
     ParseError,
     RepresentationError,
     ReproError,
+    ResourceLimitError,
     RewriteError,
     SchemaError,
     TranslationError,
@@ -98,6 +99,7 @@ __all__ = [
     "Relation",
     "RepresentationError",
     "ReproError",
+    "ResourceLimitError",
     "RewriteError",
     "Schema",
     "SchemaError",

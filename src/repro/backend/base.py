@@ -130,6 +130,30 @@ class Backend:
         via ``ISQLSession.close()``; the default is a no-op.
         """
 
+    # -- state snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> object:
+        """An opaque token capturing the current session state.
+
+        O(#tables): state objects (world-sets, inlined representations
+        and their tables) are immutable, and every statement commits by
+        swapping references, so a snapshot is a handful of reference
+        captures, never a copy. Tokens stay valid for the backend's
+        lifetime — the transactional layer in
+        :class:`repro.isql.session.ISQLSession` stacks them to back
+        ``atomic`` scripts and savepoints.
+        """
+        raise NotImplementedError
+
+    def restore(self, token: object) -> None:
+        """Reset the session state to a :meth:`snapshot` token.
+
+        Like :meth:`snapshot`, O(#tables) reference swaps. Restoring
+        discards nothing shared: state committed after the snapshot
+        simply becomes unreferenced.
+        """
+        raise NotImplementedError
+
     # -- statements ----------------------------------------------------------------
 
     def run_select(

@@ -85,6 +85,13 @@ class ExplicitBackend(Backend):
             for name in world.names:
                 world[name].clear_caches()
 
+    def snapshot(self) -> object:
+        """One reference: world-sets are immutable, statements reassign."""
+        return self.world_set
+
+    def restore(self, token: object) -> None:
+        self.world_set = token
+
     # -- statements ----------------------------------------------------------------
 
     def run_select(

@@ -84,6 +84,7 @@ from repro.isql.compile import (
 from repro.isql.engine import Engine, _Resolver
 from repro.optimizer.rewriter import optimize as rewrite_plan
 from repro.relational import predicates
+from repro.relational.guards import checkpoint
 from repro.relational.array_kernel import (
     ArrayRelation,
     _distinct_count,
@@ -275,6 +276,20 @@ class InlineBackend(Backend):
     def _commit(self, representation: InlinedRepresentation) -> None:
         self.representation = representation
         self._decoded = None
+
+    def snapshot(self) -> object:
+        """Capture (representation, decoded world-set): two references.
+
+        The representation and its tables are immutable and commits are
+        reference swaps (:meth:`_commit`), so this is O(#tables) — the
+        cheap-snapshot property the transactional session layer builds
+        on. The decoded world-set rides along so a rollback does not
+        throw away a decode the snapshot point had already paid for.
+        """
+        return (self.representation, self._decoded)
+
+    def restore(self, token: object) -> None:
+        self.representation, self._decoded = token
 
     def _fresh_name(self, stem: str = "Q") -> str:
         return fresh_name(self.relation_names(), stem)
@@ -641,7 +656,11 @@ class InlineBackend(Backend):
             statement.where, schema.attributes
         )
         with phase("dml_apply"):
-            kept = [row for row in self._in_kernel(table) if not matches(row)]
+            kernel_table = self._in_kernel(table)
+            # The flat row scan is not a kernel op, but it is the same
+            # O(rows) work — checkpoint it like one.
+            checkpoint("dml_scan", len(kernel_table))
+            kept = [row for row in kernel_table if not matches(row)]
             self._replace_table(
                 statement.relation, self._distinct_rows_relation(schema, kept)
             )
@@ -736,8 +755,10 @@ class InlineBackend(Backend):
             for clause in statement.settings
         ]
         with phase("dml_apply"):
+            kernel_table = self._in_kernel(table)
+            checkpoint("dml_scan", len(kernel_table))
             rows: dict[tuple, None] = {}
-            for row in self._in_kernel(table):
+            for row in kernel_table:
                 if not matches(row):
                     rows[row] = None
                     continue

@@ -5,8 +5,10 @@ compile (parse + I-SQL → world-set algebra), rewrite (the Figure 7
 pass), execute (flat-table or per-world evaluation), dml_apply (the
 mask/scatter/append application of DML answers to the flat tables,
 including the batched pipeline's single-pass commit), decode (explicit
-world materialization) — so that performance PRs can target the right
-layer instead of re-measuring end-to-end numbers.
+world materialization), rollback (transactional state restores:
+``atomic`` scripts, ``transaction()`` exits and ``rollback_to`` in
+:mod:`repro.isql.session`) — so that performance PRs can target the
+right layer instead of re-measuring end-to-end numbers.
 
 The mechanism is deliberately tiny: a caller installs a collector dict
 with :func:`collect_phases`, and instrumented code brackets work in

@@ -28,6 +28,8 @@ def run_scenario(
     scenario: Scenario,
     backend: "str | Backend | Callable[[], Backend]" = "explicit",
     max_worlds: int | None = None,
+    max_rows: int | None = None,
+    max_seconds: float | None = None,
 ) -> tuple[ISQLSession, object]:
     """Replay *scenario* on a fresh session; returns (session, result).
 
@@ -35,10 +37,17 @@ def run_scenario(
     zero-argument factory — the latter lets differential suites replay
     one scenario on configured backends (e.g. ``lambda:
     InlineBackend(kernel="tuple")``) while every run still gets a fresh
-    state.
+    state. *max_rows* / *max_seconds* arm the session's per-statement
+    resource budget — the benchmark suite replays scenarios with huge,
+    never-firing budgets to measure the armed checkpoint overhead.
     """
     resolved = backend() if callable(backend) else backend
-    session = ISQLSession(max_worlds=max_worlds, backend=resolved)
+    session = ISQLSession(
+        max_worlds=max_worlds,
+        backend=resolved,
+        max_rows=max_rows,
+        max_seconds=max_seconds,
+    )
     for name, relation in scenario.relations:
         session.register(name, relation)
     for relation, attributes in scenario.keys:

@@ -50,14 +50,70 @@ class WorldLimitError(EvaluationError, TranslationError):
     """
 
 
-class ParseError(ReproError):
-    """An I-SQL statement could not be tokenized or parsed."""
+class ResourceLimitError(EvaluationError):
+    """A statement exceeded its configured resource budget.
 
-    def __init__(self, message: str, position: int | None = None) -> None:
-        if position is not None:
-            message = f"{message} (at offset {position})"
-        super().__init__(message)
+    Raised cooperatively at kernel-op boundaries when a session's
+    ``max_rows`` or ``max_seconds`` budget runs out (see
+    :mod:`repro.relational.guards`). Like :class:`WorldLimitError` it
+    is a guard, not a crash: the check fires *before* any state commit,
+    so catching it leaves the session usable with its state equal to
+    the last commit.
+    """
+
+
+class ParseError(ReproError):
+    """An I-SQL statement could not be tokenized or parsed.
+
+    When both *position* (a character offset) and *source* (the script
+    text) are known, the message carries a line/column location and a
+    caret-annotated snippet of the offending line, and the ``line`` /
+    ``column`` attributes are set (1-based). With only a position the
+    message falls back to the bare offset. Parser internals raise with
+    the offset alone; the entry points in :mod:`repro.isql.parser`
+    re-raise with the source attached (:meth:`with_source`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        source: str | None = None,
+    ) -> None:
+        self.message = message
         self.position = position
+        self.source = source
+        self.line: int | None = None
+        self.column: int | None = None
+        decorated = message
+        if position is not None and source is not None:
+            clamped = min(max(position, 0), len(source))
+            prefix = source[:clamped]
+            self.line = prefix.count("\n") + 1
+            line_start = prefix.rfind("\n") + 1
+            self.column = clamped - line_start + 1
+            line_end = source.find("\n", clamped)
+            if line_end == -1:
+                line_end = len(source)
+            snippet = source[line_start:line_end]
+            caret = " " * (self.column - 1) + "^"
+            decorated = (
+                f"{message} (line {self.line}, column {self.column})"
+                f"\n  {snippet}\n  {caret}"
+            )
+        elif position is not None:
+            decorated = f"{message} (at offset {position})"
+        super().__init__(decorated)
+
+    def with_source(self, source: str) -> "ParseError":
+        """This error re-located against *source* (the full script text).
+
+        Returns ``self`` unchanged when there is no position to locate
+        or a source is already attached.
+        """
+        if self.position is None or self.source is not None:
+            return self
+        return ParseError(self.message, self.position, source)
 
 
 class RewriteError(ReproError):

@@ -362,6 +362,12 @@ class InlinedRepresentation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, InlinedRepresentation):
             return NotImplemented
+        if other is self:
+            # The common post-rollback comparison: a restored snapshot
+            # is the *same object* (commits swap references, they never
+            # mutate), so state checks after a transactional restore
+            # short-circuit without touching any table.
+            return True
         return (
             dict(self.tables.items()) == dict(other.tables.items())
             and self.world_table == other.world_table

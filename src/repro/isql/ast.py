@@ -227,10 +227,17 @@ class Assignment:
 
 @dataclass(frozen=True)
 class Insert:
-    """``insert into relname values (v, …)``."""
+    """``insert into relname values (v, …)``.
+
+    *span* is the statement's source extent (start/end character
+    offsets), recorded by the parser and carried on all three DML nodes
+    so session errors can point at the offending statement text; it
+    never participates in equality or hashing.
+    """
 
     relation: str
     values: tuple[object, ...]
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -239,6 +246,7 @@ class Delete:
 
     relation: str
     where: Condition | None = None
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -256,6 +264,7 @@ class Update:
     relation: str
     settings: tuple[SetClause, ...]
     where: Condition | None = None
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
 
 Statement = Union[SelectQuery, CreateView, Assignment, Insert, Delete, Update]

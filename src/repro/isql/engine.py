@@ -27,6 +27,7 @@ from typing import Mapping
 from repro.errors import EvaluationError, SchemaError
 from repro.core.ast import repairs_of_rows
 from repro.isql import ast
+from repro.relational.guards import checkpoint
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.worlds.world import World
@@ -294,6 +295,10 @@ class Engine:
                 yield world
                 return
             for values in choices:
+                # One checkpoint per produced world: choice-of is the
+                # explicit engine's world-multiplying step, so budgets
+                # must be able to interrupt the expansion itself.
+                checkpoint("choice_split", len(relation.rows))
                 assignment = dict(zip(names, values))
                 yield world.replace_answer(relation.select_values(assignment))
 
@@ -312,6 +317,10 @@ class Engine:
             produced = False
             for rows in repairs_of_rows(list(relation.rows), positions):
                 produced = True
+                # Per produced repair, like choice-of: a single world
+                # can repair into exponentially many, and budgets must
+                # fire inside that enumeration, not after it.
+                checkpoint("repair_split", len(rows))
                 yield world.replace_answer(Relation(relation.schema, rows))
             if not produced:
                 yield world
@@ -675,6 +684,9 @@ class Engine:
         updated = []
         for world in world_set.worlds:
             relation = world[statement.relation]
+            # Per-world DML is the explicit engine's O(worlds × rows)
+            # loop; budgets checkpoint once per world touched.
+            checkpoint("dml_world", len(relation.rows))
             if len(statement.values) != len(relation.schema):
                 raise SchemaError(
                     f"insert arity {len(statement.values)} does not match "
@@ -693,6 +705,7 @@ class Engine:
 
         def transform(world: World) -> World:
             relation = world[statement.relation]
+            checkpoint("dml_world", len(relation.rows))
             if statement.where is None:
                 kept: list[tuple] = []
             else:
@@ -714,6 +727,7 @@ class Engine:
         updated_worlds = []
         for world in world_set.worlds:
             relation = world[statement.relation]
+            checkpoint("dml_world", len(relation.rows))
             resolver = _Resolver(relation.schema.attributes)
             positions = {
                 clause.attribute: relation.schema.index(clause.attribute)

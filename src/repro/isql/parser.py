@@ -102,6 +102,7 @@ class Parser:
         return ast.CreateView(name, self.parse_select())
 
     def _parse_insert(self) -> ast.Insert:
+        start = self._mark()
         self.expect("keyword", "insert")
         self.expect("keyword", "into")
         name = self.expect("ident").text
@@ -111,7 +112,7 @@ class Parser:
         while self.accept("symbol", ","):
             values.append(self._parse_literal_value())
         self.expect("symbol", ")")
-        return ast.Insert(name, tuple(values))
+        return ast.Insert(name, tuple(values), span=self._span(start))
 
     def _parse_literal_value(self) -> object:
         if self.check("string"):
@@ -122,13 +123,15 @@ class Parser:
         return -value if negative else value
 
     def _parse_delete(self) -> ast.Delete:
+        start = self._mark()
         self.expect("keyword", "delete")
         self.expect("keyword", "from")
         name = self.expect("ident").text
         where = self._parse_condition() if self.accept("keyword", "where") else None
-        return ast.Delete(name, where)
+        return ast.Delete(name, where, span=self._span(start))
 
     def _parse_update(self) -> ast.Update:
+        start = self._mark()
         self.expect("keyword", "update")
         name = self.expect("ident").text
         self.expect("keyword", "set")
@@ -136,7 +139,7 @@ class Parser:
         while self.accept("symbol", ","):
             settings.append(self._parse_set_clause())
         where = self._parse_condition() if self.accept("keyword", "where") else None
-        return ast.Update(name, tuple(settings), where)
+        return ast.Update(name, tuple(settings), where, span=self._span(start))
 
     def _parse_set_clause(self) -> ast.SetClause:
         attribute = self.expect("ident").text
@@ -418,11 +421,19 @@ class Parser:
 
 
 def parse_statement(source: str) -> ast.Statement:
-    """Parse exactly one statement (a trailing ``;`` is allowed)."""
-    parser = Parser(tokenize(source))
-    statement = parser.parse_statement()
-    parser.accept("symbol", ";")
-    parser.expect("eof")
+    """Parse exactly one statement (a trailing ``;`` is allowed).
+
+    Entry points re-raise :class:`ParseError` with the source attached,
+    upgrading bare-offset messages to line/column + a caret-annotated
+    snippet of the offending line.
+    """
+    try:
+        parser = Parser(tokenize(source))
+        statement = parser.parse_statement()
+        parser.accept("symbol", ";")
+        parser.expect("eof")
+    except ParseError as error:
+        raise error.with_source(source) from None
     return statement
 
 
@@ -435,12 +446,19 @@ def parse_query(source: str) -> ast.SelectQuery:
 
 
 def parse_script(source: str) -> list[ast.Statement]:
-    """Parse a ``;``-separated sequence of statements."""
-    parser = Parser(tokenize(source))
-    statements: list[ast.Statement] = []
-    while not parser.check("eof"):
-        statements.append(parser.parse_statement())
-        if not parser.accept("symbol", ";"):
-            break
-    parser.expect("eof")
+    """Parse a ``;``-separated sequence of statements.
+
+    Like :func:`parse_statement`, parse errors come back located
+    against *source* (line/column + caret snippet).
+    """
+    try:
+        parser = Parser(tokenize(source))
+        statements: list[ast.Statement] = []
+        while not parser.check("eof"):
+            statements.append(parser.parse_statement())
+            if not parser.accept("symbol", ";"):
+                break
+        parser.expect("eof")
+    except ParseError as error:
+        raise error.with_source(source) from None
     return statements

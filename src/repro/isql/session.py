@@ -44,16 +44,36 @@ or through the DML batch pipeline (:meth:`ISQLSession.run_script`),
 which coalesces consecutive subquery-free DML statements against one
 relation into a single backend pass — same results, one commit per
 batch.
+
+Sessions are transactional. Statement execution is all-or-nothing at
+statement granularity: backends commit by swapping immutable state
+references, so an error inside a statement (including one injected into
+a kernel op) leaves the state at the last commit. On top of that,
+``run_script(..., atomic=True)`` / ``execute(..., atomic=True)`` back a
+whole script with an O(#tables) snapshot and roll back wholesale on any
+error; :meth:`ISQLSession.transaction` does the same for arbitrary
+Python blocks; and :meth:`savepoint` / :meth:`rollback_to` maintain a
+snapshot stack for partial retries. Per-statement resource budgets
+(``max_rows`` / ``max_seconds``) are enforced cooperatively at
+kernel-op boundaries (:mod:`repro.relational.guards`) and raise the
+recoverable :class:`~repro.errors.ResourceLimitError`. Any non-library
+exception escaping a statement — a bug or an injected fault — surfaces
+as :class:`~repro.errors.EvaluationError` with the original as its
+``__cause__``, so callers only ever see ``ReproError`` subclasses.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext, create_backend
 from repro.backend.explicit import QueryResult
 from repro.backend.instrument import phase
-from repro.errors import EvaluationError, SchemaError
+from repro.errors import EvaluationError, ReproError, SchemaError
 from repro.isql import ast
 from repro.isql.parser import parse_script
+from repro.relational.guards import guarded
 from repro.relational.relation import Relation, clear_intern_pool
 from repro.worlds.worldset import WorldSet
 
@@ -76,26 +96,79 @@ class DMLResult:
 _DML_KINDS = {ast.Insert: "insert", ast.Delete: "delete", ast.Update: "update"}
 
 
+class _SessionState:
+    """One snapshot of everything a statement can mutate.
+
+    The backend token is O(#tables) reference captures (state objects
+    are immutable; commits swap references); the views and keys dicts —
+    the only mutable session-level state — are shallow-copied (their
+    values are immutable AST nodes and tuples).
+    """
+
+    __slots__ = ("backend_state", "views", "keys")
+
+    def __init__(
+        self,
+        backend_state: object,
+        views: dict[str, ast.SelectQuery],
+        keys: dict[str, tuple[str, ...]],
+    ) -> None:
+        self.backend_state = backend_state
+        self.views = views
+        self.keys = keys
+
+
+class Savepoint:
+    """A named point on the session's snapshot stack.
+
+    Returned by :meth:`ISQLSession.savepoint`; pass it back to
+    :meth:`ISQLSession.rollback_to` (which keeps it, so it can be
+    rolled back to again) or :meth:`ISQLSession.release` (which drops
+    it without restoring). Tokens compare by identity.
+    """
+
+    __slots__ = ("name", "_state")
+
+    def __init__(self, name: str | None, state: _SessionState) -> None:
+        self.name = name
+        self._state = state
+
+    def __repr__(self) -> str:
+        return f"Savepoint({self.name!r})" if self.name else "Savepoint()"
+
+
 class ISQLSession:
     """An interactive I-SQL session over a possible-worlds state.
 
     *backend* selects the evaluation strategy (``"explicit"``,
     ``"inline"``, ``"inline-translate"``, or a
     :class:`~repro.backend.Backend` instance); *max_worlds* aborts any
-    statement whose evaluation would exceed that many worlds. Sessions
-    are context managers — ``with ISQLSession(...) as s:`` releases
-    cached derived state on exit (see :meth:`close`).
+    statement whose evaluation would exceed that many worlds.
+    *max_rows* / *max_seconds* are per-statement resource budgets
+    checked cooperatively at every kernel-op boundary: a statement
+    whose cumulative op input rows exceed *max_rows*, or that runs past
+    *max_seconds*, aborts with the recoverable
+    :class:`~repro.errors.ResourceLimitError` — state stays at the last
+    commit and the session remains usable. Both may also be assigned
+    after construction; each statement reads them afresh. Sessions are
+    context managers — ``with ISQLSession(...) as s:`` releases cached
+    derived state on exit (see :meth:`close`).
     """
 
     def __init__(
         self,
         max_worlds: int | None = None,
         backend: str | Backend = "explicit",
+        max_rows: int | None = None,
+        max_seconds: float | None = None,
     ) -> None:
         self.backend = create_backend(backend)
         self.views: dict[str, ast.SelectQuery] = {}
         self.keys: dict[str, tuple[str, ...]] = {}
         self.max_worlds = max_worlds
+        self.max_rows = max_rows
+        self.max_seconds = max_seconds
+        self._savepoints: list[Savepoint] = []
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(self.views, self.keys, self.max_worlds)
@@ -131,16 +204,38 @@ class ISQLSession:
 
     # -- execution -------------------------------------------------------------------
 
-    def execute(self, script: str) -> list[BaseQueryResult | DMLResult | None]:
-        """Execute a ``;``-separated script; one result entry per statement."""
+    def execute(
+        self, script: str, atomic: bool = False
+    ) -> list[BaseQueryResult | DMLResult | None]:
+        """Execute a ``;``-separated script; one result entry per statement.
+
+        With ``atomic=True`` the whole script runs under one snapshot:
+        any error rolls the session back to its state before the first
+        statement (otherwise the statements executed so far stay
+        committed — statement-level atomicity always holds either way).
+        """
         with phase("compile"):
             statements = parse_script(script)
+        if atomic:
+            with self.transaction():
+                return self._execute_statements(statements, script)
+        return self._execute_statements(statements, script)
+
+    def _execute_statements(
+        self, statements: list[ast.Statement], script: str
+    ) -> list[BaseQueryResult | DMLResult | None]:
         results: list[BaseQueryResult | DMLResult | None] = []
         for statement in statements:
-            results.append(self.execute_statement(statement))
+            try:
+                results.append(self.execute_statement(statement))
+            except ReproError as error:
+                _annotate_statement(error, statement, script)
+                raise
         return results
 
-    def run_script(self, script: str) -> list[BaseQueryResult | DMLResult | None]:
+    def run_script(
+        self, script: str, atomic: bool = False
+    ) -> list[BaseQueryResult | DMLResult | None]:
         """:meth:`execute` with the DML batch pipeline.
 
         Maximal runs of **consecutive subquery-free DML statements
@@ -153,22 +248,50 @@ class ISQLSession:
         flag-for-flag) identical to :meth:`execute`; only the cost
         changes. A statement with condition/set subqueries, or a
         non-DML statement, closes the current batch.
+
+        On a mid-script error the default keeps the committed prefix:
+        every statement before the failing one (and, inside a failing
+        batch, every statement the batch had fully applied) stays
+        committed, and the failing statement itself is all-or-nothing.
+        With ``atomic=True`` the script runs under one snapshot and any
+        error rolls back to the pre-script state.
         """
         with phase("compile"):
             statements = parse_script(script)
+        if atomic:
+            with self.transaction():
+                return self._run_batched(statements, script)
+        return self._run_batched(statements, script)
+
+    def _run_batched(
+        self, statements: list[ast.Statement], script: str
+    ) -> list[BaseQueryResult | DMLResult | None]:
         results: list[BaseQueryResult | DMLResult | None] = []
         index = 0
         while index < len(statements):
             batch = self._dml_batch_at(statements, index)
             if len(batch) >= 2:
-                applied = self.backend.run_dml_batch(tuple(batch), self._context())
+                try:
+                    applied = self._protected(
+                        "dml batch",
+                        lambda: self.backend.run_dml_batch(
+                            tuple(batch), self._context()
+                        ),
+                    )
+                except ReproError as error:
+                    _annotate_statement(error, batch[0], script, until=batch[-1])
+                    raise
                 results.extend(
                     DMLResult(flag, _DML_KINDS[type(statement)])
                     for statement, flag in zip(batch, applied)
                 )
                 index += len(batch)
             else:
-                results.append(self.execute_statement(statements[index]))
+                try:
+                    results.append(self.execute_statement(statements[index]))
+                except ReproError as error:
+                    _annotate_statement(error, statements[index], script)
+                    raise
                 index += 1
         return results
 
@@ -205,6 +328,37 @@ class ISQLSession:
         return batch
 
     def execute_statement(
+        self, statement: ast.Statement
+    ) -> BaseQueryResult | DMLResult | None:
+        """Execute one parsed statement, protected and budgeted.
+
+        Runs under the session's resource budget (``max_rows`` /
+        ``max_seconds``) and the exception-hygiene net: any non-library
+        exception — a backend bug, a numpy error inside the array
+        kernel, an injected fault — is re-raised as
+        :class:`~repro.errors.EvaluationError` with the original
+        exception chained as ``__cause__``, so the public API only ever
+        surfaces ``ReproError`` subclasses. Either way the statement is
+        all-or-nothing: backends commit by reference swap, so an error
+        leaves the session state at the last commit.
+        """
+        kind = type(statement).__name__.lower()
+        return self._protected(
+            f"{kind} statement", lambda: self._dispatch(statement)
+        )
+
+    def _protected(self, kind: str, run):
+        with guarded(self.max_rows, self.max_seconds):
+            try:
+                return run()
+            except ReproError:
+                raise
+            except Exception as error:
+                raise EvaluationError(
+                    f"internal error while executing {kind}: {error!r}"
+                ) from error
+
+    def _dispatch(
         self, statement: ast.Statement
     ) -> BaseQueryResult | DMLResult | None:
         context = self._context()
@@ -244,6 +398,86 @@ class ISQLSession:
             raise EvaluationError("query() expects exactly one select statement")
         return results[0]
 
+    # -- transactions ----------------------------------------------------------------
+
+    def _snapshot(self) -> _SessionState:
+        return _SessionState(
+            self.backend.snapshot(), dict(self.views), dict(self.keys)
+        )
+
+    def _restore(self, state: _SessionState) -> None:
+        with phase("rollback"):
+            self.backend.restore(state.backend_state)
+            # Copy on the way back too: a savepoint may be rolled back
+            # to repeatedly, and later statements must not mutate the
+            # dicts its snapshot holds.
+            self.views = dict(state.views)
+            self.keys = dict(state.keys)
+
+    @contextmanager
+    def transaction(self) -> Iterator["ISQLSession"]:
+        """All-or-nothing block: roll back to entry state on any error.
+
+        Snapshots the session on entry (O(#tables) — state objects are
+        immutable and commits swap references) and restores it if the
+        block raises; on normal exit the work stays committed. Covers
+        everything a statement can change: the possible-worlds state,
+        views, and declared keys. Nests naturally — each level holds
+        its own snapshot — and savepoints created inside a rolled-back
+        block are discarded with it.
+        """
+        state = self._snapshot()
+        depth = len(self._savepoints)
+        try:
+            yield self
+        except BaseException:
+            self._restore(state)
+            del self._savepoints[depth:]
+            raise
+
+    def savepoint(self, name: str | None = None) -> Savepoint:
+        """Push the current state onto the snapshot stack.
+
+        Returns a :class:`Savepoint` token for :meth:`rollback_to` /
+        :meth:`release`. Savepoints are cheap (reference captures), so
+        a script runner can drop one before every risky batch.
+        """
+        token = Savepoint(name, self._snapshot())
+        self._savepoints.append(token)
+        return token
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Restore the state captured by *savepoint*.
+
+        The savepoint itself stays on the stack (it can be rolled back
+        to again); savepoints created after it are discarded, like
+        SQL's ``ROLLBACK TO SAVEPOINT``. Raises
+        :class:`~repro.errors.EvaluationError` for a token that was
+        released, rolled past, or belongs to another session.
+        """
+        try:
+            index = self._savepoints.index(savepoint)
+        except ValueError:
+            raise EvaluationError(
+                f"unknown or released savepoint {savepoint!r}"
+            ) from None
+        self._restore(savepoint._state)
+        del self._savepoints[index + 1 :]
+
+    def release(self, savepoint: Savepoint) -> None:
+        """Drop *savepoint* (and any later ones) without restoring.
+
+        The work since the savepoint stays committed; the token just
+        stops being a rollback target.
+        """
+        try:
+            index = self._savepoints.index(savepoint)
+        except ValueError:
+            raise EvaluationError(
+                f"unknown or released savepoint {savepoint!r}"
+            ) from None
+        del self._savepoints[index:]
+
     # -- resource hygiene ----------------------------------------------------------
 
     def close(self) -> None:
@@ -262,7 +496,15 @@ class ISQLSession:
         That is always correctness-neutral and the pool re-interns
         lazily, but a process juggling concurrent hot sessions may
         prefer closing only at quiet points.
+
+        Close is idempotent and safe at any point — double-close, close
+        after a mid-script error, close inside an open
+        :meth:`transaction` block all work. The savepoint stack is
+        dropped (its snapshots pin pre-rollback state that would
+        otherwise stay reachable); outstanding :class:`Savepoint`
+        tokens become invalid.
         """
+        self._savepoints.clear()
         self.backend.close()
         clear_intern_pool()
 
@@ -273,4 +515,32 @@ class ISQLSession:
         self.close()
 
 
-__all__ = ["DMLResult", "ISQLSession", "QueryResult"]
+def _annotate_statement(
+    error: ReproError,
+    statement: ast.Statement,
+    script: str,
+    until: ast.Statement | None = None,
+) -> None:
+    """Attach the failing DML statement's source text to *error*.
+
+    DML nodes carry their source span (the parser records it); schema
+    and evaluation errors raised while applying them gain a note
+    quoting the statement, so a failure inside a long script names its
+    culprit. When *until* is given the note spans the whole coalesced
+    batch (statement through *until*) — the batch pipeline reports one
+    error for the run. Non-DML statements (no span) and errors that
+    already carry a statement note pass through unchanged.
+    """
+    span = getattr(statement, "span", None)
+    if span is None:
+        return
+    notes = getattr(error, "__notes__", ())
+    if any(note.startswith("while executing: ") for note in notes):
+        return
+    start, end = span
+    if until is not None and getattr(until, "span", None) is not None:
+        end = until.span[1]
+    error.add_note(f"while executing: {script[start:end]}")
+
+
+__all__ = ["DMLResult", "ISQLSession", "QueryResult", "Savepoint"]

@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
 from repro.errors import EvaluationError, SchemaError
+from repro.relational.guards import checkpoint
 from repro.relational.columnar import (
     ColumnarRelation,
     KernelOps,
@@ -649,6 +650,7 @@ class ArrayRelation(ColumnarRelation):
         )
 
     def project(self, attributes: Sequence[str]) -> "ArrayRelation":
+        checkpoint("project", self._nrows)
         schema = self.schema.project(attributes)
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
@@ -710,6 +712,7 @@ class ArrayRelation(ColumnarRelation):
 
     def union(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
         self._check_aligned(other, "union")
+        checkpoint("union", self._nrows + len(other))
         if len(other) == 0:
             return self
         aligned = self._aligned_array(other)
@@ -730,6 +733,7 @@ class ArrayRelation(ColumnarRelation):
 
     def difference(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
         self._check_aligned(other, "difference")
+        checkpoint("difference", self._nrows + len(other))
         if len(other) == 0 or self._nrows == 0:
             return self
         aligned = self._aligned_array(other)
@@ -741,6 +745,7 @@ class ArrayRelation(ColumnarRelation):
 
     def intersection(self, other: "ColumnarRelation | Relation") -> "ArrayRelation":
         self._check_aligned(other, "intersection")
+        checkpoint("intersection", self._nrows + len(other))
         if len(other) == 0 or self._nrows == 0:
             return type(self)._from_rows(self.schema, [])
         aligned = self._aligned_array(other)
@@ -781,6 +786,7 @@ class ArrayRelation(ColumnarRelation):
         right_attrs: Sequence[str],
         keep_matching: bool,
     ) -> "ArrayRelation":
+        checkpoint("semijoin", self._nrows + len(other))
         positions = self.schema.indices(left_attrs)
         acols = self.arrays()
         ocols = self._operand_columns(other, right_attrs)
@@ -831,6 +837,7 @@ class ArrayRelation(ColumnarRelation):
         selector = self._predicate_mask(predicate)
         if selector is None:
             return super().select(predicate)
+        checkpoint("select", self._nrows)
         if selector.all():
             return self
         return self._take(selector)
@@ -953,6 +960,7 @@ class ArrayRelation(ColumnarRelation):
         first occurrence, exactly like the row pipeline's
         ``dict.fromkeys`` dedup.
         """
+        checkpoint("masked_assign", self._nrows)
         acols = self.arrays()
         new_cols = list(acols)
         for position, kind, payload in settings:
@@ -980,6 +988,7 @@ class ArrayRelation(ColumnarRelation):
             # target that need not be present, and its rewrite is still
             # produced (the tuple engine's Section 3 semantics).
             return self
+        checkpoint("scatter_update", self._nrows + len(matches))
         positions = [self.schema.index(attribute) for attribute, _ in setters]
         functions = [function for _, function in setters]
         targets: list[Row] = []
@@ -1024,6 +1033,7 @@ class ArrayRelation(ColumnarRelation):
         k = len(id_rows)
         if k == 0:
             return self
+        checkpoint("append", self._nrows + k)
         width = len(self.schema)
         if width == 0:
             return type(self)._from_rows(self.schema, [()])
@@ -1054,6 +1064,7 @@ class ArrayRelation(ColumnarRelation):
             return self
         if width == 0 or self._nrows == 0 or self._rowset is not None:
             return super().append(additions)
+        checkpoint("append", self._nrows + len(additions))
         additions = list(dict.fromkeys(additions))
         incoming = ArrayRelation._from_rows(self.schema, additions)
         codes_s, codes_a, domain = self._stacked_row_codes(incoming)

@@ -44,6 +44,7 @@ from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.errors import EvaluationError, SchemaError
+from repro.relational.guards import checkpoint
 from repro.relational.pad import PAD, row_sort_key
 from repro.relational.predicates import Predicate
 from repro.relational.relation import (
@@ -371,6 +372,7 @@ class ColumnarRelation:
     # -- unary operators -------------------------------------------------------
 
     def select(self, predicate: Predicate) -> "ColumnarRelation":
+        checkpoint("select", self._nrows)
         check = predicate.bind(self.schema)
         return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if check(row)]
@@ -382,6 +384,7 @@ class ColumnarRelation:
         return self._gather(self._index(positions).get(key, ()))
 
     def project(self, attributes: Sequence[str]) -> "ColumnarRelation":
+        checkpoint("project", self._nrows)
         schema = self.schema.project(attributes)
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
@@ -429,6 +432,7 @@ class ColumnarRelation:
     ) -> "ColumnarRelation":
         if attribute in self.schema:
             raise SchemaError(f"attribute {attribute!r} already exists")
+        checkpoint("extend", self._nrows)
         attrs = self.schema.attributes
         schema = Schema(attrs + (attribute,))
         rows = [
@@ -459,18 +463,21 @@ class ColumnarRelation:
         return as_columnar(other).tuples(self.schema.attributes)
 
     def union(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        checkpoint("union", self._nrows + len(other))
         aligned = self._aligned_tuples(other, "union")
         combined = dict.fromkeys(self.row_list())
         combined.update(dict.fromkeys(aligned))
         return type(self)._from_rows(self.schema, list(combined))
 
     def difference(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        checkpoint("difference", self._nrows + len(other))
         drop = frozenset(self._aligned_tuples(other, "difference"))
         return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if row not in drop]
         )
 
     def intersection(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
+        checkpoint("intersection", self._nrows + len(other))
         keep = frozenset(self._aligned_tuples(other, "intersection"))
         return type(self)._from_rows(
             self.schema, [row for row in self.row_list() if row in keep]
@@ -478,6 +485,7 @@ class ColumnarRelation:
 
     def product(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
+        checkpoint("product", self._nrows + len(other))
         schema = self.schema.concat(other.schema)
         if not self.schema:
             # {⟨⟩} × R = R (the unit world table is a frequent operand).
@@ -521,6 +529,7 @@ class ColumnarRelation:
         other = as_columnar(other)
         if not pairs:
             return self.product(other)
+        checkpoint("join_on", self._nrows + len(other))
         left_set = self.schema.as_set()
         check_join_pairs_cover_shared(left_set, other.schema, pairs)
         right_key = other.schema.indices(b for _, b in pairs)
@@ -570,6 +579,7 @@ class ColumnarRelation:
         common = self.schema.common(other.schema)
         if not common:
             return self if len(other) else type(self)._from_rows(self.schema, [])
+        checkpoint("semijoin", self._nrows + len(other))
         keys = other._index(other.schema.indices(common))
         return type(self)._from_rows(
             self.schema,
@@ -585,6 +595,7 @@ class ColumnarRelation:
         common = self.schema.common(other.schema)
         if not common:
             return type(self)._from_rows(self.schema, []) if len(other) else self
+        checkpoint("antijoin", self._nrows + len(other))
         keys = other._index(other.schema.indices(common))
         return type(self)._from_rows(
             self.schema,
@@ -603,6 +614,7 @@ class ColumnarRelation:
                 f"division requires divisor attributes {sorted(divisor_attrs)} "
                 f"⊆ dividend attributes {list(self.schema)}"
             )
+        checkpoint("divide", self._nrows + len(other))
         keep = tuple(a for a in self.schema if a not in divisor_attrs)
         required = other.rows
         need = len(required)
@@ -635,6 +647,7 @@ class ColumnarRelation:
         sub-tuples, and the kept rows are shared, not copied.
         """
         matched = as_columnar(matched)
+        checkpoint("mask", self._nrows + len(matched))
         attrs = (
             tuple(attributes) if attributes is not None else self.schema.attributes
         )
@@ -663,6 +676,7 @@ class ColumnarRelation:
         Only the rewritten rows are materialized anew.
         """
         matches = as_columnar(matches)
+        checkpoint("scatter_update", self._nrows + len(matches))
         positions = [self.schema.index(attribute) for attribute, _ in setters]
         functions = [function for _, function in setters]
         drop: set[Row] = set()
@@ -695,6 +709,7 @@ class ColumnarRelation:
         like the constructor (see :meth:`Relation.append`).
         """
         additions = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        checkpoint("append", self._nrows + len(additions))
         width = len(self.schema)
         for row in additions:
             if len(row) != width:
@@ -723,6 +738,7 @@ class ColumnarRelation:
         """
         from repro.relational.aggregates import aggregate_rows, default_row
 
+        checkpoint("aggregate_by", self._nrows)
         keys = tuple(keys)
         schema = Schema(keys + tuple(spec.output for spec in specs))
         columns = [
@@ -739,6 +755,7 @@ class ColumnarRelation:
 
     def left_outer_join_padded(self, other: "ColumnarRelation | Relation") -> "ColumnarRelation":
         other = as_columnar(other)
+        checkpoint("left_outer_join_padded", self._nrows + len(other))
         common = self.schema.common(other.schema)
         if not common:
             joined = self.natural_join(other)

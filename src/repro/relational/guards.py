@@ -1,0 +1,132 @@
+"""Cooperative checkpoints at kernel-op boundaries.
+
+Every relational kernel op (select/join/mask/scatter/append/… on the
+tuple, columnar and array kernels) calls :func:`checkpoint` exactly
+once, before it starts mutating or allocating in earnest. The
+checkpoint is the single place where two cross-cutting concerns hook
+into the kernels:
+
+* **Resource budgets** — :func:`guarded` installs a per-statement
+  budget of cumulative input rows (``max_rows``) and wall time
+  (``max_seconds``); an exceeded budget raises
+  :class:`~repro.errors.ResourceLimitError`. Because the check fires at
+  op *boundaries* — before the op commits anything into session state —
+  the error is guaranteed recoverable: the session's state still equals
+  its last commit.
+* **Fault injection** — :func:`op_hook` installs an arbitrary callable
+  invoked on every checkpoint; ``repro.testing.faults`` uses it to
+  raise at the Nth op invocation and prove crash-consistency (the
+  differential sweep in ``tests/backend/test_fault_injection.py``).
+
+Like :mod:`repro.backend.instrument`, the disarmed fast path is two
+module-global ``None`` checks per *op* (not per row), so kernels pay
+nothing measurable when no guard or hook is installed — the benchmark
+gate in ``benchmarks/check_regression.py`` holds armed-guard overhead
+under 1.1× as well.
+
+The installation state is process-global and not thread-safe, matching
+the instrumentation collector: sessions are single-threaded by design.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ResourceLimitError
+
+#: The active resource budget, or ``None`` (disarmed).
+_guard: "ResourceGuard | None" = None
+
+#: The active fault/observation hook, or ``None`` (disarmed).
+_hook: Callable[[str, int], None] | None = None
+
+
+class ResourceGuard:
+    """A per-statement budget: cumulative input rows and a deadline."""
+
+    __slots__ = ("max_rows", "max_seconds", "deadline", "rows")
+
+    def __init__(self, max_rows: int | None, max_seconds: float | None) -> None:
+        self.max_rows = max_rows
+        self.max_seconds = max_seconds
+        self.deadline = (
+            None if max_seconds is None else time.perf_counter() + max_seconds
+        )
+        self.rows = 0
+
+
+def checkpoint(op: str, rows: int = 0) -> None:
+    """The kernel-op boundary: feed *rows* to the budget, fire the hook.
+
+    *rows* is the op's input size (sum of operand cardinalities) — an
+    upper-bound proxy for the work the op is about to do. Near-free when
+    nothing is installed.
+    """
+    if _hook is None and _guard is None:
+        return
+    _checkpoint_armed(op, rows)
+
+
+def _checkpoint_armed(op: str, rows: int) -> None:
+    hook = _hook
+    if hook is not None:
+        hook(op, rows)
+    guard = _guard
+    if guard is None:
+        return
+    guard.rows += rows
+    if guard.max_rows is not None and guard.rows > guard.max_rows:
+        raise ResourceLimitError(
+            f"statement exceeded max_rows={guard.max_rows}: "
+            f"{guard.rows} cumulative input rows at kernel op {op!r}"
+        )
+    if guard.deadline is not None and time.perf_counter() > guard.deadline:
+        raise ResourceLimitError(
+            f"statement exceeded max_seconds={guard.max_seconds} "
+            f"at kernel op {op!r}"
+        )
+
+
+@contextmanager
+def guarded(
+    max_rows: int | None = None, max_seconds: float | None = None
+) -> Iterator[ResourceGuard | None]:
+    """Install a fresh resource budget for the duration of the block.
+
+    With both limits ``None`` this is a no-op (the fast path stays
+    disarmed). Budgets do not nest additively: an inner ``guarded``
+    shadows the outer one and restores it on exit, so each statement
+    gets its own fresh budget.
+    """
+    global _guard
+    if max_rows is None and max_seconds is None:
+        yield None
+        return
+    previous = _guard
+    _guard = guard = ResourceGuard(max_rows, max_seconds)
+    try:
+        yield guard
+    finally:
+        _guard = previous
+
+
+@contextmanager
+def op_hook(hook: Callable[[str, int], None]) -> Iterator[None]:
+    """Install *hook* to observe (or sabotage) every checkpoint.
+
+    The hook receives ``(op, rows)`` and may raise — that is exactly
+    how the fault injector simulates a crash inside a kernel op. The
+    previous hook is restored on exit; hooks do not chain.
+    """
+    global _hook
+    previous = _hook
+    _hook = hook
+    try:
+        yield
+    finally:
+        _hook = previous
+
+
+__all__ = ["ResourceGuard", "checkpoint", "guarded", "op_hook"]

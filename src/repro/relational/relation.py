@@ -31,6 +31,7 @@ from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import SchemaError
+from repro.relational.guards import checkpoint
 from repro.relational.pad import PAD, row_sort_key
 from repro.relational.predicates import Predicate
 from repro.relational.schema import Schema
@@ -332,6 +333,7 @@ class Relation:
 
     def select(self, predicate: Predicate) -> "Relation":
         """Selection σ_φ: keep rows satisfying *predicate*."""
+        checkpoint("select", len(self.rows))
         check = predicate.bind(self.schema)
         return Relation._raw(self.schema, (row for row in self.rows if check(row)))
 
@@ -348,6 +350,7 @@ class Relation:
 
     def project(self, attributes: Sequence[str]) -> "Relation":
         """Projection π_U with set-semantics deduplication."""
+        checkpoint("project", len(self.rows))
         schema = self.schema.project(attributes)
         positions = self.schema.indices(attributes)
         if positions == tuple(range(len(self.schema))):
@@ -368,6 +371,7 @@ class Relation:
         """
         if attribute in self.schema:
             raise SchemaError(f"attribute {attribute!r} already exists")
+        checkpoint("extend", len(self.rows))
         attrs = self.schema.attributes
         schema = Schema(attrs + (attribute,))
         rows = (row + (function(dict(zip(attrs, row))),) for row in self.rows)
@@ -398,21 +402,25 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union ∪ (named perspective: equal attribute sets)."""
         other = self._require_union_compatible(other, "union")
+        checkpoint("union", len(self.rows) + len(other.rows))
         return Relation._raw(self.schema, self.rows | other.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference −."""
         other = self._require_union_compatible(other, "difference")
+        checkpoint("difference", len(self.rows) + len(other.rows))
         return Relation._raw(self.schema, self.rows - other.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection ∩."""
         other = self._require_union_compatible(other, "intersection")
+        checkpoint("intersection", len(self.rows) + len(other.rows))
         return Relation._raw(self.schema, self.rows & other.rows)
 
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product ×; attribute sets must be disjoint."""
         other = Relation._coerce_operand(other)
+        checkpoint("product", len(self.rows) + len(other.rows))
         schema = self.schema.concat(other.schema)
         rows = (left + right for left in self.rows for right in other.rows)
         return Relation._raw(schema, rows)
@@ -450,6 +458,7 @@ class Relation:
         other = Relation._coerce_operand(other)
         if not pairs:
             return self.product(other)
+        checkpoint("join_on", len(self.rows) + len(other.rows))
         left_set = self.schema.as_set()
         check_join_pairs_cover_shared(left_set, other.schema, pairs)
         left_key = self.schema.indices(a for a, _ in pairs)
@@ -493,6 +502,7 @@ class Relation:
         common = self.schema.common(other.schema)
         if not common:
             return self if other.rows else Relation(self.schema)
+        checkpoint("semijoin", len(self.rows) + len(other.rows))
         key_of = tuple_getter(self.schema.indices(common))
         right_keys = other._index(other.schema.indices(common)).keys()
         return Relation._raw(
@@ -505,6 +515,7 @@ class Relation:
         common = self.schema.common(other.schema)
         if not common:
             return Relation(self.schema) if other.rows else self
+        checkpoint("antijoin", len(self.rows) + len(other.rows))
         key_of = tuple_getter(self.schema.indices(common))
         right_keys = other._index(other.schema.indices(common)).keys()
         return Relation._raw(
@@ -527,6 +538,7 @@ class Relation:
                 f"division requires divisor attributes {sorted(divisor_attrs)} "
                 f"⊆ dividend attributes {list(self.schema)}"
             )
+        checkpoint("divide", len(self.rows) + len(other.rows))
         keep = tuple(a for a in self.schema if a not in divisor_attrs)
         quotient_of = tuple_getter(self.schema.indices(keep))
         divisor_of = tuple_getter(self.schema.indices(other.schema.attributes))
@@ -557,6 +569,7 @@ class Relation:
         the two operands may share value columns under different roles.
         """
         matched = Relation._coerce_operand(matched)
+        checkpoint("mask", len(self.rows) + len(matched.rows))
         attrs = (
             tuple(attributes) if attributes is not None else self.schema.attributes
         )
@@ -588,6 +601,7 @@ class Relation:
         (a rewrite may collide with a kept row).
         """
         matches = Relation._coerce_operand(matches)
+        checkpoint("scatter_update", len(self.rows) + len(matches.rows))
         target_of = tuple_getter(matches.schema.indices(self.schema.attributes))
         positions = [self.schema.index(attribute) for attribute, _ in setters]
         functions = [function for _, function in setters]
@@ -613,6 +627,7 @@ class Relation:
         semantics) — an insert hitting an existing row changes nothing.
         """
         additions = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        checkpoint("append", len(self.rows) + len(additions))
         width = len(self.schema)
         for row in additions:
             if len(row) != width:
@@ -638,6 +653,7 @@ class Relation:
         """
         from repro.relational.aggregates import aggregate_rows, default_row
 
+        checkpoint("aggregate_by", len(self.rows))
         keys = tuple(keys)
         schema = Schema(keys + tuple(spec.output for spec in specs))
         rows = list(self.rows)
@@ -665,6 +681,7 @@ class Relation:
         non-shared attributes.
         """
         other = Relation._coerce_operand(other)
+        checkpoint("left_outer_join_padded", len(self.rows) + len(other.rows))
         joined = self.natural_join(other)
         dangling = self.difference(self.semijoin(other))
         pad_attrs = tuple(a for a in other.schema if a not in self.schema.as_set())

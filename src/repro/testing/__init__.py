@@ -1,0 +1,19 @@
+"""Adversarial testing utilities: kernel-op fault injection.
+
+Public home of the fault-injection harness
+(:mod:`repro.testing.faults`) that the crash-consistency differential
+suite drives; importable by downstream users who want to subject their
+own workloads to the same treatment. Distinct from
+:mod:`repro.backend.testing`, which holds the backend-agreement
+helpers.
+"""
+
+from repro.testing.faults import (
+    FaultCounter,
+    InjectedFault,
+    count_ops,
+    inject_fault,
+    sweep_points,
+)
+
+__all__ = ["FaultCounter", "InjectedFault", "count_ops", "inject_fault", "sweep_points"]

@@ -66,3 +66,44 @@ def test_clear_intern_pool_is_correctness_neutral():
     relation_module.clear_intern_pool()
     again = relation_module.intern_row((1, "a"))
     assert again == row  # equal content, possibly a fresh object
+
+
+def test_close_after_mid_script_error(flights):
+    """A failed script must not wedge close(): the session closes
+    cleanly from whatever state the error left behind."""
+    for backend in ("explicit", "inline"):
+        session = ISQLSession(backend=backend)
+        session.register("Flights", flights)
+        with pytest.raises(Exception):
+            session.run_script(
+                "insert into Flights values ('LIS', 'FRA');"
+                "delete from Flights where Nope = 1;"
+            )
+        session.close()
+        # Still usable, and the committed prefix survived the close.
+        rows = session.query("select * from Flights;").possible()
+        assert ("LIS", "FRA") in rows.rows
+        session.close()  # and still idempotent
+
+
+def test_close_drops_the_savepoint_stack(flights):
+    session = ISQLSession(backend="inline")
+    session.register("Flights", flights)
+    mark = session.savepoint("pre-close")
+    session.close()
+    assert session._savepoints == []
+    with pytest.raises(Exception, match="unknown or released"):
+        session.rollback_to(mark)
+    # New savepoints work after close.
+    again = session.savepoint()
+    session.rollback_to(again)
+
+
+def test_context_manager_closes_even_on_script_error(flights):
+    with pytest.raises(Exception):
+        with ISQLSession(backend="inline") as session:
+            session.register("Flights", flights)
+            session.savepoint("inside")
+            session.run_script("delete from Flights where Nope = 1;")
+    assert session._savepoints == []
+    assert relation_module._INTERNED == {}

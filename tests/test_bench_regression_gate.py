@@ -347,3 +347,54 @@ def test_array_speedup_improvement_passes():
     baseline = _array_payload(array_speedups={"trip_certain_2p16": 5.0})
     current = _array_payload(array_speedups={"trip_certain_2p16": 13.0})
     assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def _guarded_row(scenario="trip_certain_xl", seconds=0.5, overhead=1.05):
+    return _row(
+        scenario, backend="inline-guarded", seconds=seconds, guard_overhead=overhead
+    )
+
+
+def test_guard_overhead_within_budget_passes():
+    current = _payload(_row("trip_certain_xl", seconds=0.5), _guarded_row())
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_guard_overhead_past_budget_fails():
+    current = _payload(
+        _row("trip_certain_xl", seconds=0.5), _guarded_row(overhead=1.3)
+    )
+    problems = check_regression.check(_payload(), current, 2.0, 0.002)
+    assert len(problems) == 1 and "resource-guard overhead" in problems[0]
+
+
+def test_guard_overhead_gate_is_absolute_not_baseline_relative():
+    """A bad ratio fails even when the baseline's was just as bad."""
+    baseline = _payload(_guarded_row(overhead=1.4))
+    current = _payload(_guarded_row(overhead=1.4))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "1.400" in problems[0]
+
+
+def test_guard_overhead_custom_threshold():
+    current = _payload(_guarded_row(overhead=1.3))
+    assert (
+        check_regression.check(_payload(), current, 2.0, 0.002, guard_threshold=1.5)
+        == []
+    )
+
+
+def test_guard_overhead_noise_floor_skips_fast_rows():
+    current = _payload(_guarded_row(seconds=0.01, overhead=2.0))
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_guarded_row_without_ratio_does_not_gate():
+    current = _payload(_row("trip_certain_xl", backend="inline-guarded", seconds=0.5))
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_guarded_row_disappearing_fails():
+    baseline = _payload(_guarded_row())
+    problems = check_regression.check(baseline, _payload(), 2.0, 0.002)
+    assert len(problems) == 1 and "inline-guarded" in problems[0]
