@@ -56,6 +56,17 @@ Rules:
   slow enough to measure, and a baseline file's guarded row must not
   silently disappear — armed checkpoints becoming expensive is a
   kernel-hot-path regression the end-to-end seconds would dilute;
+* the per-scenario **representation size** gates absolutely across
+  machines (row counts are hardware-independent): an inline-family
+  row (``inline``, ``inline-tuple``, ``inline-array``) whose committed
+  ``representation_size`` grows past ``--size-threshold`` (default
+  1.5×) fails — the factored per-group world-id encoding keeps
+  repaired scenarios *sum*-sized, and a regression back toward the
+  joint *product* encoding (e.g. ``census_repair_xl`` returning from
+  ~10² to ~2·10⁵ rows) is an architectural regression even when the
+  seconds happen to pass. A measured row that *loses* the field while
+  the baseline recorded it fails too — dropped instrumentation would
+  silently disarm this gate;
 * the ``array_speedup_over_columnar_kernel`` map gates on presence and
   threshold: a scenario whose baseline file records an array-vs-
   columnar speedup must still record one (the ``inline-array`` row and
@@ -88,6 +99,15 @@ REFERENCE_BACKENDS = ("explicit", "inline-tuple")
 #: The per-phase timings gated like end-to-end seconds (same-provenance
 #: rows only).
 GATED_PHASES = ("dml_apply",)
+
+#: Inline-family rows whose ``representation_size`` gates absolutely
+#: (sizes are deterministic row counts — no hardware normalization).
+SIZE_GATED_BACKENDS = ("inline", "inline-tuple", "inline-array")
+
+#: The representation-size bar: a committed factored (sum-sized) row
+#: must not regress toward the joint product encoding. Deliberately
+#: tighter than the timing threshold — sizes are noise-free.
+SIZE_THRESHOLD = 1.5
 
 #: Below this, a guarded-vs-unguarded ratio is timer jitter, not a
 #: measurement — guard rows on faster-than-this scenarios do not gate.
@@ -161,12 +181,55 @@ def _phase_problems(
     return problems
 
 
+def _size_problems(
+    baseline: dict, current: dict, size_threshold: float
+) -> list[str]:
+    """Representation-size regressions across the inline-family rows.
+
+    Sizes are deterministic row counts, so they compare absolutely —
+    across machines, with no noise floor. The factored per-group id
+    encoding is what keeps repaired scenarios sum-sized; growing past
+    the threshold means the encoding slid back toward the joint
+    product.
+    """
+    problems: list[str] = []
+    for backend in SIZE_GATED_BACKENDS:
+        current_rows = _rows(current, backend)
+        for scenario, old in sorted(_rows(baseline, backend).items()):
+            old_size = old.get("representation_size")
+            if old_size is None:
+                continue
+            new = current_rows.get(scenario)
+            if new is None:
+                continue  # not re-measured in this run
+            new_size = new.get("representation_size")
+            if new_size is None:
+                if new.get("seconds") is None:
+                    continue  # infeasible row records no size
+                problems.append(
+                    f"{scenario}: {backend} representation_size was "
+                    f"{old_size} at baseline but is missing from the "
+                    "current row — dropped instrumentation disarms this "
+                    "gate"
+                )
+            elif new_size > old_size * size_threshold:
+                problems.append(
+                    f"{scenario}: {backend} representation_size "
+                    f"{old_size} → {new_size} "
+                    f"({new_size / old_size:.2f}× > "
+                    f"{size_threshold:.1f}× size threshold) — the "
+                    "factored encoding regressed toward product size"
+                )
+    return problems
+
+
 def check(
     baseline: dict,
     current: dict,
     threshold: float,
     min_seconds: float,
     guard_threshold: float = GUARD_THRESHOLD,
+    size_threshold: float = SIZE_THRESHOLD,
 ) -> list[str]:
     """The list of regression messages (empty = pass)."""
     problems: list[str] = []
@@ -265,6 +328,7 @@ def check(
                 "— the armed-guard cost must stay measured (or carried "
                 "over by the benchmark writer)"
             )
+    problems.extend(_size_problems(baseline, current, size_threshold))
     old_array = baseline.get("array_speedup_over_columnar_kernel") or {}
     new_array = current.get("array_speedup_over_columnar_kernel") or {}
     for scenario, old_speedup in sorted(old_array.items()):
@@ -291,6 +355,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=2.0)
     parser.add_argument("--min-seconds", type=float, default=0.002)
     parser.add_argument("--guard-threshold", type=float, default=GUARD_THRESHOLD)
+    parser.add_argument("--size-threshold", type=float, default=SIZE_THRESHOLD)
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -301,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
         args.threshold,
         args.min_seconds,
         guard_threshold=args.guard_threshold,
+        size_threshold=args.size_threshold,
     )
     if problems:
         print("inline benchmark regressions:")

@@ -66,10 +66,12 @@ from repro.errors import (
     TypingError,
     WorldLimitError,
 )
+from repro.inline.factors import FactoredWorld
 from repro.inline.physical import (
     PhysicalState,
     decode_extension,
     evaluate_seeded,
+    factored_certain_rows,
     match_answers_to_session_worlds,
 )
 from repro.inline.representation import InlinedRepresentation
@@ -99,6 +101,7 @@ from repro.relational.columnar import (
     resolve_kernel,
     tuples_of,
 )
+from repro.relational.pad import PAD
 from repro.relational.relation import Relation, tuple_getter
 from repro.relational.schema import Schema
 from repro.worlds.worldset import WorldSet, fresh_name
@@ -147,8 +150,21 @@ class InlineQueryResult(BaseQueryResult):
         return as_tuple(state._answer.project(state.value_attributes()))
 
     def certain(self) -> Relation:
-        """cert closure straight off the flat answer table: Rᵀ ÷ W."""
+        """cert closure straight off the flat answer table: Rᵀ ÷ W.
+
+        Over a factored world the division runs factor by factor when
+        the answer has the repair shape (a value is certain iff an
+        all-PAD row holds it or some factor picks it in every choice);
+        otherwise the state expands to joint ids first.
+        """
         state = self._state
+        if isinstance(state._world, FactoredWorld):
+            rows = factored_certain_rows(state)
+            if rows is not None:
+                return Relation._raw(
+                    Schema(state.value_attributes()), list(rows)
+                )
+            state = state.plain()
         return as_tuple(state._answer.divide(state._world_or_unit_any()))
 
     @property
@@ -168,9 +184,15 @@ class InlineQueryResult(BaseQueryResult):
         """
         if self._decoded is not None:
             return len(self._decoded)
+        if not self._state.ids:
+            # A world-uniform answer pairs the same relation with every
+            # base world, so distinct result worlds = distinct session
+            # worlds — which a factored representation counts as a
+            # product of per-factor counts, never enumerating ids.
+            return self._representation.distinct_world_count()
         fingerprints = self._representation.world_fingerprints()
         by_shared, shared_in_session = match_answers_to_session_worlds(
-            self._representation, self._state
+            self._representation, self._state.plain()
         )
         pairs = set()
         for session_world_id, fingerprint in fingerprints.items():
@@ -238,8 +260,10 @@ class InlineBackend(Backend):
         self._commit(
             InlinedRepresentation(
                 tuple(rep.tables.items()) + ((name, relation),),
-                rep.world_table,
+                rep._world_table,
                 rep.id_attrs,
+                factors=rep.factors,
+                wild_attrs=rep.wild_attrs,
             )
         )
 
@@ -269,9 +293,17 @@ class InlineBackend(Backend):
         """
         self._decoded = None
         self.fallback_events.clear()
-        for _, relation in self.representation.tables.items():
+        rep = self.representation
+        for _, relation in rep.tables.items():
             relation.clear_caches()
-        self.representation.world_table.clear_caches()
+        if rep.factors is not None:
+            # Never *materialize* the joint table just to clear it.
+            for factor in rep.factors.factors:
+                factor.clear_caches()
+            if rep._world_table is not None:
+                rep._world_table.clear_caches()
+        else:
+            rep.world_table.clear_caches()
 
     def _commit(self, representation: InlinedRepresentation) -> None:
         self.representation = representation
@@ -399,22 +431,40 @@ class InlineBackend(Backend):
             return
         state = self._evaluate(compiled, context)
         rep = self.representation
-        tables = tuple(rep.tables.items()) + ((name, state.answer),)
         fresh = tuple(i for i in state.ids if i not in set(rep.id_attrs))
         if not fresh:
             # No new worlds: the answer is world-uniform (stored without
             # id columns) or varies only with existing ids. Base tables
             # are untouched either way — that is the point of the lazy
-            # representation.
+            # representation. (Wild PAD columns in the answer are fine:
+            # they are existing session factors, so the registry
+            # already covers them.)
+            assert state.wild <= rep.wild_attrs
+            tables = tuple(rep.tables.items()) + ((name, state.answer),)
             self._commit(
-                InlinedRepresentation(tables, rep.world_table, rep.id_attrs)
+                InlinedRepresentation(
+                    tables,
+                    rep._world_table,
+                    rep.id_attrs,
+                    factors=rep.factors,
+                    wild_attrs=rep.wild_attrs,
+                )
             )
             return
-        # Fresh world ids were minted (choice-of / repair-by-key): the
-        # session world table extends by joining with the state's world
-        # table — on the shared prefix ids when the split was correlated
-        # with existing worlds, as a product when it was independent.
-        # Base tables still keep only the ids they depend on.
+        # Fresh world ids were minted (choice-of / repair-by-key).
+        state_world = state._world
+        if rep.factors is not None or isinstance(state_world, FactoredWorld):
+            if self._assign_factored(name, state, fresh, context):
+                return
+            # Correlated with existing factors in a way the factored
+            # form cannot express: fall back to the joint encoding.
+            state = state.plain()
+            rep = self.representation.materialized()
+        tables = tuple(rep.tables.items()) + ((name, state.answer),)
+        # The session world table extends by joining with the state's
+        # world table — on the shared prefix ids when the split was
+        # correlated with existing worlds, as a product when it was
+        # independent. Base tables still keep only the ids they depend on.
         world_table = rep.world_table.natural_join(state.world_or_unit())
         if context.max_worlds is not None and len(world_table) > context.max_worlds:
             raise WorldLimitError(
@@ -424,6 +474,60 @@ class InlineBackend(Backend):
         self._commit(
             InlinedRepresentation(tables, world_table, rep.id_attrs + fresh)
         )
+
+    def _assign_factored(
+        self,
+        name: str,
+        state: PhysicalState,
+        fresh: tuple[str, ...],
+        context: ExecutionContext,
+    ) -> bool:
+        """Commit a world-splitting assignment in factored form.
+
+        The state's world contributes its factors (a joint legacy world
+        counts as one factor) next to the session's; a factor over
+        existing ids must restate a session factor verbatim — anything
+        else means the split correlated with existing worlds, and the
+        caller falls back to the joint join. Returns True on commit.
+        """
+        rep = self.representation
+        state_world = state._world
+        prior = (
+            rep.factors.factors
+            if rep.factors is not None
+            else ((rep.world_table,) if rep.id_attrs else ())
+        )
+        state_factors = (
+            state_world.factors
+            if isinstance(state_world, FactoredWorld)
+            else (as_tuple(state.world_or_unit()),)
+        )
+        combined = list(prior)
+        taken = {a for factor in prior for a in factor.schema.attributes}
+        for factor in state_factors:
+            attrs = set(factor.schema.attributes)
+            if attrs.isdisjoint(taken):
+                combined.append(factor)
+                taken |= attrs
+            elif not any(factor == existing for existing in prior):
+                return False
+        world = FactoredWorld(tuple(combined))
+        if context.max_worlds is not None and world.count() > context.max_worlds:
+            raise WorldLimitError(
+                f"assignment produced {world.count()} worlds, over the "
+                f"limit of {context.max_worlds}"
+            )
+        tables = tuple(rep.tables.items()) + ((name, state.answer),)
+        self._commit(
+            InlinedRepresentation(
+                tables,
+                None,
+                rep.id_attrs + fresh,
+                factors=world,
+                wild_attrs=rep.wild_attrs | state.wild,
+            )
+        )
+        return True
 
     def _fallback_select(
         self, query: ast.SelectQuery, context: ExecutionContext, name: str | None
@@ -474,15 +578,32 @@ class InlineBackend(Backend):
         return seen
 
     @classmethod
-    def _satisfies_keys_flat(cls, relation, key, table_ids) -> bool:
-        """Key holds in *every* world: (V_i ∪ key) determines the row."""
+    def _satisfies_keys_flat(
+        cls, relation, key, table_ids, wild_attrs=frozenset()
+    ) -> bool:
+        """Key holds in *every* world: (V_i ∪ key) determines the row.
+
+        On a table with wild (PAD-wildcard) id columns the distinctness
+        probe is replaced by a pattern-compatibility check — two rows
+        violate iff some world holds both — see :func:`_wild_key_satisfied`.
+        """
         if not key:
             return True
+        if wild_attrs and not wild_attrs.isdisjoint(table_ids):
+            return _wild_key_satisfied(
+                relation, tuple(key), table_ids, frozenset(wild_attrs)
+            )
         return cls._key_tuples(relation, key, table_ids) is not None
 
     def _dml_state(self, plan, context: ExecutionContext):
-        """Evaluate a DML match plan against the session representation."""
-        state = self._evaluate(self._rewritten(plan), context)
+        """Evaluate a DML match plan against the session representation.
+
+        The apply paths mask/scatter by exact id match, so a wild
+        (PAD-pattern) answer expands to joint ids here — over the
+        touched factors only, mirroring :meth:`InlinedRepresentation.expanded`
+        on the table side.
+        """
+        state = self._evaluate(self._rewritten(plan), context).plain()
         stray = [i for i in state.ids if i not in set(self.representation.id_attrs)]
         assert not stray, f"DML plan minted world ids {stray}"
         return state
@@ -587,17 +708,30 @@ class InlineBackend(Backend):
             )
         assignment = dict(zip(value_attrs, statement.values))
         table_ids = rep.table_id_attrs(statement.relation)
-        sub_ids = (
-            rep.world_table.distinct_values(table_ids) if table_ids else [()]
-        )
+        # Wild columns take PAD (one stored row reaches every world of
+        # those factors), concrete columns enumerate — never the joint
+        # product on a factored world.
+        sub_ids = rep.insert_sub_ids(statement.relation)
         key = context.keys.get(statement.relation)
         if key:
-            seen = self._key_tuples(table, tuple(key), table_ids)
-            if seen is None:
-                return False  # a pre-existing violation rejects too
-            new_key = tuple(assignment[a] for a in key)
-            if any(tuple(sub_id) + new_key in seen for sub_id in sub_ids):
-                return False
+            if rep.table_wild_attrs(statement.relation):
+                if not self._satisfies_keys_flat(
+                    table, tuple(key), table_ids, rep.wild_attrs
+                ):
+                    return False  # a pre-existing violation rejects too
+                # The addition is an every-world row, so it conflicts
+                # with *any* existing row claiming the key — every
+                # stored pattern shares at least one world with it.
+                new_key = tuple(assignment[a] for a in key)
+                if new_key in set(tuples_of(table, tuple(key))):
+                    return False
+            else:
+                seen = self._key_tuples(table, tuple(key), table_ids)
+                if seen is None:
+                    return False  # a pre-existing violation rejects too
+                new_key = tuple(assignment[a] for a in key)
+                if any(tuple(sub_id) + new_key in seen for sub_id in sub_ids):
+                    return False
         with phase("dml_apply"):
             additions = self._insert_rows(
                 table.schema, assignment, table_ids, sub_ids
@@ -771,6 +905,7 @@ class InlineBackend(Backend):
                 new_table,
                 context.keys.get(statement.relation),
                 self.representation.table_id_attrs(statement.relation),
+                self.representation.wild_attrs,
             ):
                 return False
             self._replace_table(statement.relation, new_table)
@@ -802,7 +937,9 @@ class InlineBackend(Backend):
         table_ids = rep.table_id_attrs(name)
         if not answer:
             # No match anywhere: unchanged table, but still key-checked.
-            return self._satisfies_keys_flat(rep.tables[name], key, table_ids)
+            return self._satisfies_keys_flat(
+                rep.tables[name], key, table_ids, rep.wild_attrs
+            )
         with phase("dml_apply"):
             kernel_table = self._in_kernel(rep.tables[name])._reordered(
                 attrs + table_ids
@@ -836,7 +973,9 @@ class InlineBackend(Backend):
                 if isinstance(kernel_table, ColumnarRelation)
                 else Relation._raw(kernel_table.schema, frozenset(rows))
             )
-            if not self._satisfies_keys_flat(new_table, key, table_ids):
+            if not self._satisfies_keys_flat(
+                new_table, key, table_ids, rep.wild_attrs
+            ):
                 return False
             self._replace_table(name, new_table)
         return True
@@ -861,6 +1000,7 @@ class InlineBackend(Backend):
                 table,
                 context.keys.get(name),
                 self.representation.table_id_attrs(name),
+                self.representation.wild_attrs,
             )
         with phase("dml_apply"):
             ids = state.ids
@@ -938,6 +1078,26 @@ class InlineBackend(Backend):
         """
         name = statements[0].relation
         rep = self.representation
+        if rep.table_wild_attrs(name):
+            # Wildcard id columns: the batch's (V_i ∪ key) distinctness
+            # probes and row-membership dedup assume exact ids, which
+            # PAD patterns are not — replay statement-at-a-time through
+            # the wild-aware per-statement paths.
+            applied: list[bool] = []
+            for statement in statements:
+                if isinstance(statement, ast.Delete):
+                    self.run_delete(statement, context)
+                    applied.append(True)
+                elif isinstance(statement, ast.Update):
+                    applied.append(self.run_update(statement, context))
+                elif isinstance(statement, ast.Insert):
+                    applied.append(self.run_insert(statement, context))
+                else:
+                    raise EvaluationError(
+                        "run_dml_batch accepts insert/delete/update "
+                        f"statements, not {type(statement).__name__}"
+                    )
+            return applied
         table = rep.tables[name]
         schema = table.schema
         attributes = schema.attributes
@@ -968,9 +1128,9 @@ class InlineBackend(Backend):
                 if isinstance(kernel_table, ColumnarRelation)
                 else list(kernel_table.rows)
             )
-            sub_ids = (
-                rep.world_table.distinct_values(table_ids) if table_ids else [()]
-            )
+            # insert_sub_ids never builds the joint product: on a
+            # factored world it enumerates the touched factors only.
+            sub_ids = rep.insert_sub_ids(name)
             # Lazily (re)built per-batch indexes over the working rows:
             # the (V_i ∪ key) probe set (None while a violation exists)
             # and the row membership set for insert dedup. The getter
@@ -1163,6 +1323,9 @@ class InlineBackend(Backend):
             if sub_ids_cache is None:
                 if not table_ids:
                     sub_ids_cache = [()]
+                elif rep.factors is not None:
+                    # Touched factors only — never the joint product.
+                    sub_ids_cache = rep.insert_sub_ids(name)
                 else:
                     world = as_array(rep.world_table)
                     positions = world.schema.indices(table_ids)
@@ -1292,6 +1455,36 @@ class InlineBackend(Backend):
                 raise
         commit()
         return applied
+
+
+def _wild_key_satisfied(relation, key, table_ids, wild_attrs) -> bool:
+    """Key holds in every world of a wild (PAD-wildcard) table.
+
+    Two rows violate the key iff they share a key value *and* their id
+    patterns are compatible — equal on concrete columns, with PAD
+    matching anything on a wild one — i.e. some world holds both rows.
+    The pairwise check runs per key group, and key groups stay small by
+    construction: a repaired table has one group per violating input
+    key, each the size of that group's candidate list.
+    """
+    wild_positions = frozenset(
+        i for i, a in enumerate(table_ids) if a in wild_attrs
+    )
+    groups: dict[tuple, list[tuple]] = {}
+    for sub_id, key_value in zip(
+        tuples_of(relation, table_ids), tuples_of(relation, key)
+    ):
+        groups.setdefault(key_value, []).append(sub_id)
+    for patterns in groups.values():
+        for i, first in enumerate(patterns):
+            for second in patterns[i + 1 :]:
+                if all(
+                    a == b
+                    or (j in wild_positions and (a is PAD or b is PAD))
+                    for j, (a, b) in enumerate(zip(first, second))
+                ):
+                    return False
+    return True
 
 
 # -- DML batch vectorization ---------------------------------------------------------

@@ -28,6 +28,31 @@ def key_groups(relation: Relation, key: Sequence[str]) -> dict[tuple, list[tuple
     return groups
 
 
+def factored_repair_groups(
+    rows: Sequence[tuple], key_positions: Sequence[int]
+) -> tuple[list[tuple], list[list[tuple]]]:
+    """Partition *rows* for the factored (sum-size) repair encoding.
+
+    Returns ``(base_rows, violating_groups)``: rows whose key value is
+    unique belong to every repair and need no choice column, while each
+    key group with two or more candidates becomes one independent choice
+    factor. Rows are ordered like :func:`repro.core.ast.repairs_of_rows`
+    (string-sorted), so the index a candidate gets inside its group is
+    deterministic and matches the explicit enumeration order.
+    """
+    groups: dict[tuple, list[tuple]] = {}
+    for row in sorted(rows, key=lambda r: tuple(map(str, r))):
+        groups.setdefault(tuple(row[p] for p in key_positions), []).append(row)
+    base: list[tuple] = []
+    violating: list[list[tuple]] = []
+    for candidates in groups.values():
+        if len(candidates) == 1:
+            base.append(candidates[0])
+        else:
+            violating.append(candidates)
+    return base, violating
+
+
 def count_repairs(relation: Relation, key: Sequence[str]) -> int:
     """The number of repairs (product of key-group sizes; 1 if empty)."""
     count = 1

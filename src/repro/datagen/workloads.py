@@ -296,6 +296,11 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
     trip_flights = flights(n_flights, 64 if large else 8, 3, seed=1)
     company_emp, emp_skills = company(n_companies, 4, 5, 2, seed=2)
     dirty = census(n_census, duplicate_rate=0.8, seed=4)
+    # A repair followed by DML on the repaired (factored, wild-column)
+    # relation: pinned duplicates keep the world count feasible for the
+    # explicit side while the inline side exercises the per-group id
+    # factors through update/delete/insert and the key check.
+    repair_dml_dirty = census(12 if large else 8, seed=6, duplicates=6 if large else 3)
     # "large" scales the what-if world space to 2⁷ (16 years × 8
     # quantities) so the asymptotic gap shows: the explicit engine pays
     # one aggregation pass per world while the inline backend aggregates
@@ -340,6 +345,19 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
             script="Clean <- select * from Census repair by key SSN;",
             query="select certain SSN, Name from Clean;",
             approx_worlds=2**n_census,
+        ),
+        Scenario(
+            name="census_repair_dml",
+            relations=(("Census", repair_dml_dirty),),
+            keys=(("Clean", ("SSN",)),),
+            script=(
+                "Clean <- select * from Census repair by key SSN;"
+                "update Clean set POW = 'City0' where POW = 'City1';"
+                "delete from Clean where POB = 'City2';"
+                "insert into Clean values (-1, 'AUDIT', 'City0', 'City0');"
+            ),
+            query="select certain SSN, POW from Clean;",
+            approx_worlds=2**6 if large else 2**3,
         ),
         Scenario(
             name="tpch_what_if",
@@ -532,25 +550,55 @@ def xl_scenarios() -> tuple[Scenario, ...]:
     )
 
 
-def nightly_scenarios() -> tuple[Scenario, ...]:
+def nightly_scenarios(
+    names: Sequence[str] | None = None,
+) -> tuple[Scenario, ...]:
     """Scale scenarios for the nightly benchmark job only.
 
     These sit beyond the PR-time benchmark budget: ``trip_certain_2p20``
     splits 2²⁰ worlds over a ~3·10⁶-row flat table — array-kernel
     territory, where per-row Python passes (the tuple and columnar
-    kernels) stop being worth measuring at all. Kept out of
-    :func:`xl_scenarios` so the PR-time XL budget asserts (and the
-    3-way kernel replays) do not pay the 2²⁰ generation cost.
+    kernels) stop being worth measuring at all. ``census_repair_2p20``
+    reaches the same 2²⁰-world count the opposite way: 20 key-violating
+    census blocks repaired into 20 independent per-group id factors, so
+    the factored representation stays *sum*-sized (~10³ rows over a
+    ~4·10³-row table) where the joint product encoding would need 2²⁰
+    world-table rows. Both are kept out of :func:`xl_scenarios` so the
+    PR-time XL budget asserts (and the 3-way kernel replays) do not pay
+    the generation cost.
+
+    *names*, when given, restricts which scenarios are *built* — the
+    instances are expensive to generate, and the nightly benchmark
+    selects one scenario per test.
     """
-    return (
-        Scenario(
-            name="trip_certain_2p20",
-            relations=(("HFlights", flights(2**20, 64, 3, seed=1)),),
-            query="select certain Arr from HFlights choice of Dep;",
-            approx_worlds=2**20,
-            explicit_infeasible=True,
-        ),
-    )
+    wanted = None if names is None else set(names)
+
+    def want(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    out = []
+    if want("trip_certain_2p20"):
+        out.append(
+            Scenario(
+                name="trip_certain_2p20",
+                relations=(("HFlights", flights(2**20, 64, 3, seed=1)),),
+                query="select certain Arr from HFlights choice of Dep;",
+                approx_worlds=2**20,
+                explicit_infeasible=True,
+            )
+        )
+    if want("census_repair_2p20"):
+        out.append(
+            Scenario(
+                name="census_repair_2p20",
+                relations=(("Census", census(4096, seed=5, duplicates=20)),),
+                script="Clean <- select * from Census repair by key SSN;",
+                query="select certain SSN, Name from Clean;",
+                approx_worlds=2**20,
+                explicit_infeasible=True,
+            )
+        )
+    return tuple(out)
 
 
 def random_graph(

@@ -1,0 +1,138 @@
+"""A factored world table: the product of independent choice factors.
+
+The paper's Section 3 decomposition treats independent choices as
+independent dimensions of the world set. A :class:`FactoredWorld` keeps
+that structure explicit: it holds one small *factor* relation per
+independent choice dimension (disjoint id-attribute sets), and the
+world table it stands for is the relational product of the factors —
+a world is a point in that product, **never materialized** unless a
+consumer genuinely needs the joint table.
+
+``repair by key`` is the canonical producer: each violating key group
+becomes its own single-attribute factor whose values number the group's
+candidate rows, so a repaired relation with g independent groups of
+c_j choices stores Σ c_j factor rows instead of the ∏ c_j joint world
+ids the one-joint-id encoding pays (see
+:meth:`repro.inline.physical.PhysicalEvaluator._eval_repair`).
+
+Tables over a factored world reference the factor columns directly. A
+column registered as *wild* (the repair-minted ones) uses the padding
+constant :data:`~repro.relational.pad.PAD` as a wildcard: a row with
+PAD in a wild column belongs to **every** world of that factor, and a
+row with a concrete value belongs only to the worlds picking it. That
+is what keeps a repaired table at sum size — each candidate row is
+stored once, tagged only in its own group's column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import RepresentationError
+from repro.relational.columnar import as_tuple, tuples_of
+from repro.relational.relation import Relation
+
+
+class FactoredWorld:
+    """A world table as a product of factor relations (disjoint ids).
+
+    Each factor is a non-empty relation over its own id attributes; the
+    represented world table is the product of the factors. ``count()``
+    is the product of the factor sizes — computed without enumerating a
+    single joint world id — and :meth:`materialize` builds (and caches)
+    the joint table for the consumers that truly need it (decoding,
+    pairing, the strict Definition 5.1 form).
+    """
+
+    __slots__ = ("factors", "ids", "_materialized")
+
+    def __init__(self, factors: Sequence[Relation]) -> None:
+        factors = tuple(as_tuple(f) for f in factors)
+        seen: set[str] = set()
+        for factor in factors:
+            if not factor:
+                raise RepresentationError(
+                    "a world factor must be non-empty (an empty world-set "
+                    "is an empty joint world table, not an empty factor)"
+                )
+            attrs = factor.schema.attributes
+            overlap = seen.intersection(attrs)
+            if overlap:
+                raise RepresentationError(
+                    f"world factors must have disjoint id attributes; "
+                    f"{sorted(overlap)} appear twice"
+                )
+            seen.update(attrs)
+        self.factors = factors
+        self.ids: tuple[str, ...] = tuple(
+            a for factor in factors for a in factor.schema.attributes
+        )
+        self._materialized: Relation | None = None
+
+    def count(self) -> int:
+        """Number of joint world ids: the product of the factor sizes."""
+        count = 1
+        for factor in self.factors:
+            count *= len(factor)
+        return count
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def project(self, ids: Iterable[str]) -> "FactoredWorld":
+        """The factored projection onto *ids* — still never a product.
+
+        Factors fully outside *ids* drop (their dimensions are summed
+        out); partially covered factors project (and deduplicate) on
+        their own.
+        """
+        wanted = set(ids)
+        kept = []
+        for factor in self.factors:
+            attrs = factor.schema.attributes
+            inside = tuple(a for a in attrs if a in wanted)
+            if not inside:
+                continue
+            kept.append(factor if len(inside) == len(attrs) else factor.project(inside))
+        return FactoredWorld(kept)
+
+    def materialize(self) -> Relation:
+        """The joint world table (cached): the product of the factors."""
+        if self._materialized is None:
+            if not self.factors:
+                self._materialized = Relation.unit()
+            else:
+                joint = self.factors[0]
+                for factor in self.factors[1:]:
+                    # Disjoint attributes: the natural join is the product.
+                    joint = joint.natural_join(factor)
+                self._materialized = joint
+        return self._materialized
+
+    def attr_domains(self) -> dict[str, tuple]:
+        """Per single-attribute factor, its value domain (wild expansion)."""
+        domains: dict[str, tuple] = {}
+        for factor in self.factors:
+            attrs = factor.schema.attributes
+            if len(attrs) == 1:
+                domains[attrs[0]] = tuple(
+                    row[0] for row in tuples_of(factor, attrs)
+                )
+        return domains
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{list(f.schema.attributes)}[{len(f)}]" for f in self.factors
+        )
+        return f"FactoredWorld({parts}; count={self.count()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FactoredWorld):
+            return NotImplemented
+        return self.factors == other.factors
+
+    def __hash__(self) -> int:
+        return hash(self.factors)

@@ -54,7 +54,13 @@ def pair_on_inlined(
     for every combination of two input world ids. Every original table
     is copied into all pairs; the paired copy of *relation* carries the
     second id component.
+
+    Pairing genuinely correlates every world with every other, so a
+    factored input drops to the joint form first (wild PAD patterns
+    expanded, the world product materialized) — this is the
+    pairing-on-demand escape hatch out of the sum-size encoding.
     """
+    representation = representation.materialized()
     ids = representation.id_attrs
     second_ids = {v: f"{v}'" for v in ids}
     world = representation.world_table

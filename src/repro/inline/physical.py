@@ -40,7 +40,8 @@ kernels are held to identical answers by ``tests/backend`` and
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from itertools import product as _cartesian
+from typing import Iterable, Sequence
 
 from repro.errors import TranslationError, WorldLimitError
 from repro.core.ast import (
@@ -68,7 +69,9 @@ from repro.core.ast import (
     WSAQuery,
     repairs_of_rows,
 )
+from repro.core.repair import factored_repair_groups
 from repro.relational.aggregates import missing_group_rows
+from repro.inline.factors import FactoredWorld
 from repro.inline.translate import SchemaLike, _schema_env, lower_query
 from repro.relational.array_kernel import ArrayRelation
 from repro.relational.columnar import (
@@ -106,19 +109,30 @@ class PhysicalState:
     the public :attr:`answer`/:attr:`world` accessors convert to the
     tuple engine lazily (cached), so consumers outside the evaluator
     always see plain :class:`Relation` objects.
+
+    ``world`` may also be a :class:`FactoredWorld` — a product of
+    factor relations that is never materialized on the hot paths. The
+    id attributes listed in :attr:`wild` are *wild* factor columns: a
+    ``PAD`` in such a column means the row is in every world of that
+    factor (the repair-by-key sum-size encoding). :meth:`plain`
+    converts to the joint form — PADs expanded, product materialized —
+    for the consumers that genuinely need exact ids.
     """
 
-    __slots__ = ("_answer", "ids", "_world")
+    __slots__ = ("_answer", "ids", "_world", "wild", "_plain_state")
 
     def __init__(
         self,
         answer: "Relation | ColumnarRelation",
         ids: tuple[str, ...],
-        world: "Relation | ColumnarRelation | None",
+        world: "Relation | ColumnarRelation | FactoredWorld | None",
+        wild: frozenset = frozenset(),
     ) -> None:
         self._answer = answer
         self.ids = ids
         self._world = world
+        self.wild = wild
+        self._plain_state: "PhysicalState | None" = None
 
     @property
     def answer(self) -> Relation:
@@ -130,6 +144,10 @@ class PhysicalState:
     @property
     def world(self) -> Relation | None:
         world = self._world
+        if isinstance(world, FactoredWorld):
+            # Product-sized by definition; the factored structure stays
+            # on _world so succinctness-aware consumers keep seeing it.
+            return world.materialize()
         if world is not None and not isinstance(world, Relation):
             world = self._world = as_tuple(world)
         return world
@@ -145,8 +163,49 @@ class PhysicalState:
         """The world table without forcing a kernel conversion."""
         return self._world if self._world is not None else Relation.unit()
 
+    def plain(self) -> "PhysicalState":
+        """The joint-id form of this state (cached).
+
+        Wild PAD patterns expand over their factors' domains and a
+        factored world materializes into the joint product — the
+        explicit escape hatch out of the sum-size encoding, used by
+        decoding and by operators whose semantics need exact ids.
+        """
+        if not self.wild and not isinstance(self._world, FactoredWorld):
+            return self
+        cached = self._plain_state
+        if cached is not None:
+            return cached
+        world = self._world
+        answer = self._answer
+        if self.wild:
+            assert isinstance(world, FactoredWorld)
+            domains = world.attr_domains()
+            attrs = answer.schema.attributes
+            wild_pos = tuple(i for i, a in enumerate(attrs) if a in self.wild)
+            rows: dict[tuple, None] = {}
+            for row in tuples_of(answer, attrs):
+                pads = [i for i in wild_pos if row[i] is PAD]
+                if not pads:
+                    rows[row] = None
+                    continue
+                for combo in _cartesian(*(domains[attrs[i]] for i in pads)):
+                    filled = list(row)
+                    for i, v in zip(pads, combo):
+                        filled[i] = v
+                    rows[tuple(filled)] = None
+            answer = Relation._raw(Schema(attrs), list(rows))
+        if isinstance(world, FactoredWorld):
+            world = world.materialize()
+        cached = PhysicalState(answer, self.ids, world)
+        self._plain_state = cached
+        return cached
+
     def answers_by_world(self) -> dict[tuple, Relation]:
         """Decode: the answer relation per world id (empty worlds kept)."""
+        state = self.plain()
+        if state is not self:
+            return state.answers_by_world()
         values = self.value_attributes()
         answer = self._answer
         if not self.ids:
@@ -190,15 +249,17 @@ class PhysicalEvaluator:
         schemas: SchemaLike | None = None,
         max_worlds: int | None = None,
         base_ids: Sequence[str] = (),
-        base_world: Relation | None = None,
+        base_world: "Relation | FactoredWorld | None" = None,
         counter_start: int = 0,
         kernel: str | None = None,
+        base_wild: Iterable[str] = (),
     ) -> None:
         self.database = database
         self.env = _schema_env(schemas or database.schemas())
         self.max_worlds = max_worlds
         self.base_ids = tuple(base_ids)
         self.base_world = base_world if self.base_ids else None
+        self.base_wild = frozenset(base_wild)
         ops = kernel_ops(kernel)
         self.kernel = ops.name
         self._convert = ops.convert
@@ -209,6 +270,18 @@ class PhysicalEvaluator:
     def _fresh(self) -> int:
         self._counter += 1
         return self._counter
+
+    def _plain(self, state: PhysicalState) -> PhysicalState:
+        """*state* in joint-id form, relations in this evaluator's kernel."""
+        plain = state.plain()
+        if plain is state:
+            return state
+        world = plain._world
+        return PhysicalState(
+            self._convert(plain._answer),
+            plain.ids,
+            self._convert(world) if world is not None else None,
+        )
 
     def _guard(self, world: "Relation | ColumnarRelation | None") -> None:
         if (
@@ -258,10 +331,15 @@ class PhysicalEvaluator:
         world = self._world_projections.get(ids)
         if world is None:
             assert self.base_world is not None
-            base = self._convert(self.base_world)
-            world = base if ids == self.base_ids else base.project(ids)
+            base = self.base_world
+            if isinstance(base, FactoredWorld):
+                world = base if set(ids) == set(base.ids) else base.project(ids)
+            else:
+                base = self._convert(base)
+                world = base if ids == self.base_ids else base.project(ids)
             self._world_projections[ids] = world
-        return PhysicalState(table, ids, world)
+        wild = self.base_wild.intersection(ids)
+        return PhysicalState(table, ids, world, wild)
 
     def _eval(self, query: WSAQuery) -> PhysicalState:
         if isinstance(query, Rel):
@@ -270,8 +348,13 @@ class PhysicalEvaluator:
             if isinstance(query.child, Product):
                 return self._eval_filtered_product(query)
             state = self._eval(query.child)
+            # Predicates only see value attributes, so a wild pattern
+            # row filters as one unit — the verdict is world-uniform.
             return PhysicalState(
-                state._answer.select(query.predicate), state.ids, state._world
+                state._answer.select(query.predicate),
+                state.ids,
+                state._world,
+                state.wild,
             )
         if isinstance(query, Project):
             state = self._eval(query.child)
@@ -279,11 +362,15 @@ class PhysicalEvaluator:
                 state._answer.project(query.attrs + state.ids),
                 state.ids,
                 state._world,
+                state.wild,
             )
         if isinstance(query, Rename):
             state = self._eval(query.child)
             return PhysicalState(
-                state._answer.rename(query.mapping), state.ids, state._world
+                state._answer.rename(query.mapping),
+                state.ids,
+                state._world,
+                state.wild,
             )
         if isinstance(query, ChoiceOf):
             return self._eval_choice(query)
@@ -321,10 +408,22 @@ class PhysicalEvaluator:
         invariant), a U-value is certain iff its group has |W| rows —
         one C-speed counting pass over the value column slice, no
         per-group id-set materialization.
+
+        Over a factored world the division never touches the joint
+        domain: a value is certain iff an all-PAD row covers it or one
+        factor's choice set for it is the whole factor — a product of
+        per-factor checks (see :func:`factored_certain_rows`).
         """
         state = self._eval(query.child)
         if not state.ids:
             return state
+        if _factored_or_wild(state):
+            certain = factored_certain_rows(state)
+            if certain is not None:
+                return PhysicalState(
+                    self._relation(state.value_attributes(), certain), (), None
+                )
+            state = self._plain(state)
         values = state.value_attributes()
         need = len(state._world) if state._world is not None else 1
         answer = state._answer
@@ -341,7 +440,7 @@ class PhysicalEvaluator:
         return PhysicalState(self._relation(values, rows), (), None)
 
     def _eval_choice(self, query: ChoiceOf) -> PhysicalState:
-        state = self._eval(query.child)
+        state = self._plain(self._eval(query.child))
         n = self._fresh()
         mapping = {a: f"${a}#{n}" for a in query.attrs}
         extended = state._answer
@@ -356,7 +455,7 @@ class PhysicalEvaluator:
         )
 
     def _eval_group(self, query: PossGroup | CertGroup) -> PhysicalState:
-        state = self._eval(query.child)
+        state = self._plain(self._eval(query.child))
         if not state.ids:
             return PhysicalState(
                 state._answer.project(query.proj_attrs), (), None
@@ -411,7 +510,7 @@ class PhysicalEvaluator:
         whose answer is empty: those are padded with the empty-group
         defaults from the world table.
         """
-        state = self._eval(query.child)
+        state = self._plain(self._eval(query.child))
         keys = query.group_attrs + state.ids
         answer = state._answer.aggregate_by(keys, query.specs)
         if not query.group_attrs and state.ids:
@@ -437,19 +536,27 @@ class PhysicalEvaluator:
         """
         left = self._eval(query.left)
         right = self._eval(query.right)
+        # Wild pattern rows join/filter per row with a world-uniform
+        # verdict as long as the two operands constrain disjoint
+        # factors; the antijoin's complement additionally replicates
+        # over right-only ids, which patterns cannot express.
+        if _pair_needs_joint(
+            left, right, right_extra_ok=isinstance(query, SemiJoin)
+        ):
+            left, right = self._plain(left), self._plain(right)
         ids, world = self._combine(left, right)
         joined = self._fused_hash_join(query.predicate, left._answer, right._answer)
         right_extra = tuple(v for v in right.ids if v not in set(left.ids))
         keep = left._answer.schema.attributes + right_extra
         matched = joined.project(keep)
         if isinstance(query, SemiJoin):
-            return PhysicalState(matched, ids, world)
+            return PhysicalState(matched, ids, world, left.wild | right.wild)
         if right_extra:
             assert world is not None
             base = left._answer.natural_join(world.project(left.ids + right_extra))
         else:
             base = left._answer
-        return PhysicalState(base.difference(matched), ids, world)
+        return PhysicalState(base.difference(matched), ids, world, left.wild)
 
     def _eval_pad_join(self, query: PadJoin) -> PhysicalState:
         """=⊳⊲ on the flat tables: one outer-join pass, worlds included.
@@ -462,6 +569,10 @@ class PhysicalEvaluator:
         """
         left = self._eval(query.left)
         right = self._eval(query.right)
+        # Padding a wild left row is per-row uniform only when the
+        # right operand is world-uniform (no replication involved).
+        if _pair_needs_joint(left, right, right_extra_ok=False):
+            left, right = self._plain(left), self._plain(right)
         ids, world = self._combine(left, right)
         left_answer = left._answer
         right_extra = tuple(v for v in right.ids if v not in set(left.ids))
@@ -469,7 +580,7 @@ class PhysicalEvaluator:
             assert world is not None
             left_answer = left_answer.natural_join(world)
         answer = left_answer.left_outer_join_padded(right._answer)
-        return PhysicalState(answer, ids, world)
+        return PhysicalState(answer, ids, world, left.wild)
 
     def _eval_group_keyed(self, query: PossGroupKey | CertGroupKey) -> PhysicalState:
         """pγ^V_K / cγ^V_K: fingerprints come from the key query's answer.
@@ -480,8 +591,8 @@ class PhysicalEvaluator:
         group their key rows name (an attribute-keyed grouping never
         needs this — its empty worlds fingerprint to ∅ on their own).
         """
-        child = self._eval(query.child)
-        key = self._eval(query.key)
+        child = self._plain(self._eval(query.child))
+        key = self._plain(self._eval(query.key))
         ids, world = self._combine(child, key)
         if not ids:
             return PhysicalState(
@@ -543,14 +654,37 @@ class PhysicalEvaluator:
     def _combine(
         self, left: PhysicalState, right: PhysicalState
     ) -> tuple[tuple[str, ...], "Relation | ColumnarRelation | None"]:
-        """The combined id attributes and world table of a binary node."""
+        """The combined id attributes and world table of a binary node.
+
+        When either operand is factored (disjoint id sets — callers
+        de-wild overlapping pairs first), the combination stays
+        factored: the other operand's world simply joins the factor
+        list, so the product is still never materialized.
+        """
         ids = left.ids + tuple(v for v in right.ids if v not in set(left.ids))
-        if left._world is None:
-            world = right._world
-        elif right._world is None:
-            world = left._world
+        left_world = left._world
+        right_world = right._world
+        if left_world is None:
+            world = right_world
+        elif right_world is None:
+            world = left_world
+        elif isinstance(left_world, FactoredWorld) or isinstance(
+            right_world, FactoredWorld
+        ):
+            world = FactoredWorld(
+                (
+                    left_world.factors
+                    if isinstance(left_world, FactoredWorld)
+                    else (as_tuple(left_world),)
+                )
+                + (
+                    right_world.factors
+                    if isinstance(right_world, FactoredWorld)
+                    else (as_tuple(right_world),)
+                )
+            )
         else:
-            world = left._world.natural_join(right._world)
+            world = left_world.natural_join(right_world)
         self._guard(world)
         return ids, world
 
@@ -601,18 +735,32 @@ class PhysicalEvaluator:
         product = query.child
         left = self._eval(product.children()[0])
         right = self._eval(product.children()[1])
+        if _pair_needs_joint(left, right, right_extra_ok=True):
+            left, right = self._plain(left), self._plain(right)
         ids, world = self._combine(left, right)
         answer = self._fused_hash_join(query.predicate, left._answer, right._answer)
-        return PhysicalState(answer, ids, world)
+        return PhysicalState(answer, ids, world, left.wild | right.wild)
 
     def _eval_binary(self, query: WSAQuery) -> PhysicalState:
         left = self._eval(query.children()[0])
         right = self._eval(query.children()[1])
-        ids, world = self._combine(left, right)
         if isinstance(query, Product):
+            # Pattern rows pair row-by-row, so a product of operands
+            # over disjoint factors keeps both sides' wildcards.
+            if _pair_needs_joint(left, right, right_extra_ok=True):
+                left, right = self._plain(left), self._plain(right)
+            ids, world = self._combine(left, right)
             return PhysicalState(
-                left._answer.natural_join(right._answer), ids, world
+                left._answer.natural_join(right._answer),
+                ids,
+                world,
+                left.wild | right.wild,
             )
+        # Set operations align whole rows across operands — PAD
+        # wildcards and exact ids must not meet, so both sides go joint.
+        if _factored_or_wild(left) or _factored_or_wild(right):
+            left, right = self._plain(left), self._plain(right)
+        ids, world = self._combine(left, right)
         left_answer = left._answer
         right_answer = right._answer
         left_extra = tuple(v for v in right.ids if v not in set(left.ids))
@@ -632,11 +780,21 @@ class PhysicalEvaluator:
     def _eval_repair(self, query: RepairByKey) -> PhysicalState:
         """Repair-by-key over inlined worlds — beyond the RA translation.
 
-        A fresh id attribute numbers the repairs within each world; the
-        world table pairs every old world id with its repair indices
-        (PAD for worlds whose answer is empty).
+        A world-uniform child takes the factored route: one fresh id
+        column *per violating key group*, PAD-wildcarded elsewhere, so
+        the repaired table is Σ-of-group-sizes rows and the world table
+        is a product of per-group factors (:class:`FactoredWorld`) —
+        never the ∏-sized joint table the one-joint-id encoding mints.
+
+        A world-splitting child falls back to the joint encoding: a
+        single fresh id attribute numbers the repairs within each
+        world; the world table pairs every old world id with its repair
+        indices (PAD for worlds whose answer is empty).
         """
         state = self._eval(query.child)
+        if not state.ids and state._world is None:
+            return self._eval_repair_factored(query, state)
+        state = self._plain(state)
         repair_attr = f"$repair#{self._fresh()}"
         answer = state._answer
         key_positions = answer.schema.indices(query.attrs)
@@ -672,6 +830,133 @@ class PhysicalEvaluator:
         )
         world = self._relation(state.ids + (repair_attr,), world_rows)
         return PhysicalState(new_answer, state.ids + (repair_attr,), world)
+
+    def _eval_repair_factored(
+        self, query: RepairByKey, state: PhysicalState
+    ) -> PhysicalState:
+        """The sum-size repair encoding for a world-uniform child.
+
+        Every violating key group (two or more candidates) gets its own
+        fresh wild id column and a single-attribute factor numbering
+        its candidates; a candidate row carries its choice index in its
+        group's column and PAD (the every-world wildcard) in all other
+        fresh columns, and rows with unique keys stay all-PAD. A child
+        with no violating groups has exactly one repair — itself — and
+        passes through unchanged.
+        """
+        answer = state._answer
+        key_positions = answer.schema.indices(query.attrs)
+        base, violating = factored_repair_groups(list(iter(answer)), key_positions)
+        if not violating:
+            return state
+        fresh_attrs: list[str] = []
+        factor_relations: list[Relation] = []
+        total = 1
+        for group in violating:
+            attr = f"$repair#{self._fresh()}"
+            total *= len(group)
+            if self.max_worlds is not None and total > self.max_worlds:
+                raise WorldLimitError(
+                    f"repair-by-key exceeded {self.max_worlds} worlds"
+                )
+            fresh_attrs.append(attr)
+            factor_relations.append(
+                Relation._raw(
+                    Schema((attr,)), [(i,) for i in range(len(group))]
+                )
+            )
+        pad = [PAD] * len(fresh_attrs)
+        out_rows: list[tuple] = [row + tuple(pad) for row in base]
+        for position, group in enumerate(violating):
+            for index, row in enumerate(group):
+                suffix = list(pad)
+                suffix[position] = index
+                out_rows.append(row + tuple(suffix))
+        new_attrs = tuple(fresh_attrs)
+        new_answer = self._relation(
+            answer.schema.attributes + new_attrs, out_rows
+        )
+        return PhysicalState(
+            new_answer,
+            new_attrs,
+            FactoredWorld(factor_relations),
+            frozenset(new_attrs),
+        )
+
+
+def _factored_or_wild(state: PhysicalState) -> bool:
+    """Does *state* carry the succinct factored/wild encoding?"""
+    return bool(state.wild) or isinstance(state._world, FactoredWorld)
+
+
+def _pair_needs_joint(
+    left: PhysicalState, right: PhysicalState, right_extra_ok: bool
+) -> bool:
+    """Must a two-operand node expand its operands to joint ids?
+
+    Pass-through is sound only when the operands constrain *disjoint*
+    factors (a shared wild column would be compared literally — PAD
+    against a concrete choice — instead of by world overlap), and, for
+    operators that replicate the left answer over right-only ids, only
+    when the right operand brings no ids at all.
+    """
+    if not (_factored_or_wild(left) or _factored_or_wild(right)):
+        return False
+    if set(left.ids) & set(right.ids):
+        return True
+    if not right_extra_ok and right.ids:
+        return True
+    return False
+
+
+def factored_certain_rows(state: PhysicalState) -> set | None:
+    """The certain value rows of a wild factored state, or ``None``.
+
+    The factored division rule: a value row is certain iff an all-PAD
+    row covers it (every world of every factor), or some factor's
+    choice set for it is that factor's whole domain — the complement
+    ∏_j (D_j ∖ S_j) of covering worlds is empty exactly then. Applies
+    when every id attribute is a wild single-attribute factor and every
+    stored row constrains at most one factor (the repair-by-key shape);
+    anything else returns ``None`` and the caller falls back to the
+    joint division.
+    """
+    world = state._world
+    if not isinstance(world, FactoredWorld) or not state.ids:
+        return None
+    factors = world.factors
+    if any(len(f.schema.attributes) != 1 for f in factors):
+        return None
+    attrs = tuple(f.schema.attributes[0] for f in factors)
+    if set(attrs) != set(state.ids) or not set(state.ids) <= state.wild:
+        return None
+    index = {a: j for j, a in enumerate(attrs)}
+    domain_sizes = [len(f) for f in factors]
+    values = state.value_attributes()
+    positions = [index[a] for a in state.ids]
+    certain: set = set()
+    constrained: dict[tuple, dict[int, set]] = {}
+    for value, id_part in zip(
+        tuples_of(state._answer, values), tuples_of(state._answer, state.ids)
+    ):
+        hits = [
+            (positions[i], v) for i, v in enumerate(id_part) if v is not PAD
+        ]
+        if not hits:
+            certain.add(value)
+        elif len(hits) > 1:
+            return None
+        else:
+            j, choice = hits[0]
+            constrained.setdefault(value, {}).setdefault(j, set()).add(choice)
+    for value, per_factor in constrained.items():
+        if value in certain:
+            continue
+        if any(
+            len(chosen) == domain_sizes[j] for j, chosen in per_factor.items()
+        ):
+            certain.add(value)
+    return certain
 
 
 def physical_answer(
@@ -709,9 +994,10 @@ def evaluate_seeded(
         schemas,
         max_worlds=max_worlds,
         base_ids=representation.id_attrs,
-        base_world=representation.world_table,
+        base_world=representation.world_object(),
         counter_start=counter_start,
         kernel=kernel,
+        base_wild=representation.wild_attrs,
     )
     return evaluator.evaluate(query), evaluator._counter
 

@@ -19,19 +19,35 @@ strict Definition 5.1 form (every table carries all of V) is a special
 case; :meth:`strict` converts to it. The lazy form is what keeps an
 inline-backed session succinct: registering a relation or materializing
 a world-uniform answer never replicates rows per world.
+
+The world table itself may be *factored* (:class:`FactoredWorld`):
+instead of one joint relation over all of V, it is a product of small
+factor relations over disjoint id subsets — the Section 3 reading of
+independent choices as independent dimensions. ``repair by key`` mints
+one single-attribute factor per violating key group, and registers that
+attribute as *wild*: in a wild column the padding constant ``PAD`` acts
+as a wildcard (the row is in every world of that factor). That keeps a
+repaired table at Σ-of-group-sizes rows where the joint encoding pays
+the ∏-of-group-sizes product. Consumers that need the joint table
+(decoding, pairing, the strict form) go through :attr:`world_table`,
+which materializes the product lazily; the hot paths (validation,
+counting, DML) operate factor by factor and never build it.
 """
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Iterable, Mapping
 
 from repro.errors import RepresentationError
+from repro.inline.factors import FactoredWorld
 from repro.relational.columnar import (
     as_tuple,
     kernel_ops,
     tuples_of,
 )
 from repro.relational.database import Database
+from repro.relational.pad import PAD, row_sort_key
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema, is_id_attribute
 from repro.worlds.world import World
@@ -40,22 +56,43 @@ from repro.worlds.worldset import WorldSet
 #: Reserved name of the world table inside translation databases.
 WORLD_TABLE = "#W"
 
+#: Cache key marker for the PAD-expanded view of a wild table.
+_DEWILD = ("$dewild",)
+
 
 class InlinedRepresentation:
     """A world-set inlined into flat relations plus a world table."""
 
-    __slots__ = ("tables", "world_table", "id_attrs", "_known_ids", "_expanded")
+    __slots__ = (
+        "tables",
+        "_world_table",
+        "id_attrs",
+        "factors",
+        "wild_attrs",
+        "_known_ids",
+        "_expanded",
+    )
 
     def __init__(
         self,
         tables: Mapping[str, Relation] | Iterable[tuple[str, Relation]],
-        world_table: Relation,
+        world_table: Relation | None,
         id_attrs: Iterable[str] | None = None,
+        *,
+        factors: FactoredWorld | None = None,
+        wild_attrs: Iterable[str] = (),
     ) -> None:
         self.tables = Database(tables)
-        self.world_table = world_table
+        self.factors = factors
+        self.wild_attrs = frozenset(wild_attrs)
+        #: The joint world table; ``None`` for a factored representation
+        #: until someone asks for it (see the :attr:`world_table` property).
+        self._world_table = world_table
         if id_attrs is None:
-            id_attrs = world_table.schema.attributes
+            if factors is not None:
+                id_attrs = factors.ids
+            else:
+                id_attrs = world_table.schema.attributes
         self.id_attrs = tuple(id_attrs)
         #: Per-(V_i) sets of known world ids, shared with derived
         #: representations over the same world table (validation cache).
@@ -65,6 +102,23 @@ class InlinedRepresentation:
         #: never go stale; :meth:`replacing` carries untouched ones over.
         self._expanded: dict[tuple[str, tuple[str, ...]], object] = {}
         self._validate()
+
+    @property
+    def world_table(self) -> Relation:
+        """The joint world table W — materialized from the factors on
+        first access when this representation is factored. Hot paths
+        must prefer :meth:`world_object` / the per-factor methods; this
+        property is the decode/pairing escape hatch and is product-sized.
+        """
+        if self._world_table is None:
+            self._world_table = self.factors.materialize()
+        return self._world_table
+
+    def world_object(self) -> FactoredWorld | Relation:
+        """The world as stored: the factor product, or the joint table."""
+        if self.factors is not None:
+            return self.factors
+        return self.world_table
 
     def _known(self, table_ids: tuple[str, ...]) -> set[tuple]:
         """The world table's id sub-tuples for *table_ids* (cached)."""
@@ -95,6 +149,9 @@ class InlinedRepresentation:
         )
         if not table_ids:
             return
+        if self.factors is not None:
+            self._validate_table_factored(name, relation, table_ids)
+            return
         twin = getattr(relation, "_array", None)
         if twin is not None:
             # Array-kernel sessions: one np.isin pass over factorized id
@@ -111,24 +168,81 @@ class InlinedRepresentation:
             if missing is not None:
                 raise RepresentationError(
                     f"table {name!r} references world id {missing[0]!r} "
-                    "that is not in the world table"
+                    "that is not in the world table "
+                    f"({_factor_column_phrase(table_ids)})"
                 )
             return
         referenced = set(tuples_of(relation, table_ids))
         known = self._known(table_ids)
         if not referenced <= known:
-            world_id = next(iter(sorted(referenced - known, key=repr)))
+            world_id = min(referenced - known, key=row_sort_key)
             raise RepresentationError(
                 f"table {name!r} references world id {world_id!r} "
-                "that is not in the world table"
+                "that is not in the world table "
+                f"({_factor_column_phrase(table_ids)})"
             )
 
-    def _validate(self) -> None:
-        if set(self.world_table.schema.attributes) != set(self.id_attrs):
-            raise RepresentationError(
-                f"world table attributes {list(self.world_table.schema)} "
-                f"differ from declared id attributes {list(self.id_attrs)}"
+    def _validate_table_factored(
+        self, name: str, relation: Relation, table_ids: tuple[str, ...]
+    ) -> None:
+        """Per-factor id check: every referenced sub-id is in its factor.
+
+        A joint id is known iff each factor's sub-tuple is known, so the
+        check never touches the product. In a *wild* column ``PAD`` is
+        the every-world wildcard and is skipped; any other value must be
+        a member of the factor's domain.
+        """
+        table_attr_set = set(table_ids)
+        for factor in self.factors.factors:
+            f_attrs = tuple(
+                a for a in factor.schema.attributes if a in table_attr_set
             )
+            if not f_attrs:
+                continue
+            known = self._known_ids.get(f_attrs)
+            if known is None:
+                known = set(tuples_of(factor, f_attrs))
+                self._known_ids[f_attrs] = known
+            referenced = set(tuples_of(relation, f_attrs))
+            if len(f_attrs) == 1 and f_attrs[0] in self.wild_attrs:
+                referenced = {t for t in referenced if t[0] is not PAD}
+            missing = referenced - known
+            if missing:
+                sub_id = min(missing, key=row_sort_key)
+                raise RepresentationError(
+                    f"table {name!r} references world id {sub_id!r} "
+                    "that is not in the world table "
+                    f"({_factor_column_phrase(f_attrs)})"
+                )
+
+    def _validate(self) -> None:
+        if self.factors is not None:
+            if set(self.factors.ids) != set(self.id_attrs):
+                raise RepresentationError(
+                    f"world factor attributes {list(self.factors.ids)} "
+                    f"differ from declared id attributes {list(self.id_attrs)}"
+                )
+            single = {
+                f.schema.attributes[0]
+                for f in self.factors.factors
+                if len(f.schema.attributes) == 1
+            }
+            loose = self.wild_attrs - single
+            if loose:
+                raise RepresentationError(
+                    f"wild attributes {sorted(loose)} must each be a "
+                    "single-attribute world factor"
+                )
+        else:
+            if self.wild_attrs:
+                raise RepresentationError(
+                    "wild attributes require a factored world table"
+                )
+            if set(self.world_table.schema.attributes) != set(self.id_attrs):
+                raise RepresentationError(
+                    f"world table attributes {list(self.world_table.schema)} "
+                    f"differ from declared id attributes {list(self.id_attrs)}"
+                )
         for name, relation in self.tables.items():
             self._validate_table(name, relation)
 
@@ -185,6 +299,14 @@ class InlinedRepresentation:
         schema = self.tables[name].schema.as_set()
         return tuple(a for a in self.id_attrs if a in schema)
 
+    def table_wild_attrs(self, name: str) -> tuple[str, ...]:
+        """The wild (PAD-wildcard) id attributes table *name* carries."""
+        if not self.wild_attrs:
+            return ()
+        return tuple(
+            a for a in self.table_id_attrs(name) if a in self.wild_attrs
+        )
+
     def replacing(
         self, name: str, table: Relation, validate: bool = True
     ) -> "InlinedRepresentation":
@@ -211,7 +333,9 @@ class InlinedRepresentation:
             (table_name, table if table_name == name else existing)
             for table_name, existing in self.tables.items()
         )
-        replacement.world_table = self.world_table
+        replacement._world_table = self._world_table
+        replacement.factors = self.factors
+        replacement.wild_attrs = self.wild_attrs
         replacement.id_attrs = self.id_attrs
         replacement._known_ids = self._known_ids
         replacement._expanded = {
@@ -221,31 +345,109 @@ class InlinedRepresentation:
             replacement._validate_table(name, table)
         return replacement
 
+    def _dewilded(self, name: str):
+        """Table *name* with PAD wildcards expanded over factor domains.
+
+        A wild-column row stands for one row per world of its factor;
+        this view spells those rows out (tuple engine, cached). It is
+        the bridge from the succinct factored form to consumers that
+        match ids exactly — DML's general route, decoding, pairing.
+        """
+        key = (name, _DEWILD)
+        cached = self._expanded.get(key)
+        if cached is not None:
+            return cached
+        table = self.tables[name]
+        attrs = table.schema.attributes
+        wild = set(self.table_wild_attrs(name))
+        domains = self.factors.attr_domains()
+        wild_pos = tuple(i for i, a in enumerate(attrs) if a in wild)
+        rows: dict[tuple, None] = {}
+        for row in tuples_of(table, attrs):
+            pads = [i for i in wild_pos if row[i] is PAD]
+            if not pads:
+                rows[row] = None
+                continue
+            for combo in product(*(domains[attrs[i]] for i in pads)):
+                filled = list(row)
+                for i, v in zip(pads, combo):
+                    filled[i] = v
+                rows[tuple(filled)] = None
+        cached = Relation._raw(Schema(attrs), list(rows))
+        self._expanded[key] = cached
+        return cached
+
     def expanded(self, name: str, ids: Iterable[str], kernel: str | None = None):
         """The flat table of *name* carrying at least the id columns *ids*.
 
         A lazily stored table (fewer id columns than a DML match plan
         depends on) is replicated over the missing ids by joining the
         world table's projection — the only place DML pays for
-        per-world variance, and only for the ids actually involved.
-        The join runs in *kernel* (``None`` reads ``REPRO_KERNEL``) and
-        the result — a :class:`Relation` or ``ColumnarRelation`` — is
-        cached on this instance, so the delete/update statements of one
-        batch expand once, not once per statement.
+        per-world variance, and only for the ids actually involved: on
+        a factored world the projection is the product of the touched
+        factors alone, never the full W. Wild columns are de-wildcarded
+        first (PAD patterns expanded over their factor domains) so the
+        result matches ids exactly. The join runs in *kernel* (``None``
+        reads ``REPRO_KERNEL``) and the result — a :class:`Relation` or
+        ``ColumnarRelation`` — is cached on this instance, so the
+        delete/update statements of one batch expand once, not once per
+        statement.
         """
         table = self.tables[name]
         ids = tuple(ids)
-        if not set(ids) - table.schema.as_set():
+        wild = self.table_wild_attrs(name)
+        if not wild and not set(ids) - table.schema.as_set():
             return table
         key = (name, tuple(sorted(ids)))
         cached = self._expanded.get(key)
         if cached is None:
             ops = kernel_ops(kernel)
-            cached = ops.convert(table).natural_join(
-                ops.convert(self.world_table).project(ids)
-            )
+            source = ops.convert(self._dewilded(name) if wild else table)
+            if set(ids) - table.schema.as_set():
+                if self.factors is not None:
+                    world = self.factors.project(ids).materialize()
+                else:
+                    world = self.world_table
+                cached = source.natural_join(ops.convert(world).project(ids))
+            else:
+                cached = source
             self._expanded[key] = cached
         return cached
+
+    def insert_sub_ids(self, name: str) -> list[tuple]:
+        """Id sub-tuples an inserted (every-world) row of *name* takes.
+
+        Wild columns take ``PAD`` — one stored row reaches every world
+        of those factors — while concrete id columns still enumerate
+        their combinations (from the touched factors only, or from the
+        joint world table on a non-factored representation).
+        """
+        table_ids = self.table_id_attrs(name)
+        if not table_ids:
+            return [()]
+        wild = set(self.table_wild_attrs(name))
+        if not wild:
+            if self.factors is not None:
+                return (
+                    self.factors.project(table_ids)
+                    .materialize()
+                    .distinct_values(table_ids)
+                )
+            return self.world_table.distinct_values(table_ids)
+        concrete = tuple(a for a in table_ids if a not in wild)
+        if concrete:
+            pool = self.factors.project(concrete).materialize().distinct_values(
+                concrete
+            )
+        else:
+            pool = [()]
+        positions = {a: i for i, a in enumerate(concrete)}
+        return [
+            tuple(
+                sub[positions[a]] if a in positions else PAD for a in table_ids
+            )
+            for sub in pool
+        ]
 
     def world_ids(self) -> list[tuple]:
         """The world identifiers, in deterministic order."""
@@ -257,10 +459,27 @@ class InlinedRepresentation:
         relations = []
         for name, table in self.tables.items():
             values = self.value_attributes(name)
-            restriction = {a: assignment[a] for a in self.table_id_attrs(name)}
-            relations.append(
-                (name, table.select_values(restriction).project(values))
-            )
+            table_ids = self.table_id_attrs(name)
+            wild = set(self.table_wild_attrs(name))
+            if not wild:
+                restriction = {a: assignment[a] for a in table_ids}
+                relations.append(
+                    (name, table.select_values(restriction).project(values))
+                )
+                continue
+            want = tuple(assignment[a] for a in table_ids)
+            wild_pos = {i for i, a in enumerate(table_ids) if a in wild}
+            rows = {
+                value
+                for sub_id, value in zip(
+                    tuples_of(table, table_ids), tuples_of(table, values)
+                )
+                if all(
+                    v == want[i] or (i in wild_pos and v is PAD)
+                    for i, v in enumerate(sub_id)
+                )
+            }
+            relations.append((name, Relation._raw(Schema(values), list(rows))))
         return World.of(relations)
 
     def rep(self) -> WorldSet:
@@ -277,11 +496,37 @@ class InlinedRepresentation:
     # -- views ----------------------------------------------------------------------
 
     def as_database(self) -> Database:
-        """The tables plus the world table, for RA query evaluation."""
+        """The tables plus the world table(s), for RA query evaluation.
+
+        A factored representation exposes one table per factor
+        (``#W0``, ``#W1``, …) instead of the joint ``#W`` — the Figure 6
+        translator builds W as their join, so the product is only ever
+        realized inside a query that genuinely asks for it.
+        """
+        if self.factors is not None:
+            database = self.tables
+            for factor_name, factor in self.factor_tables().items():
+                database = database.with_relation(factor_name, factor)
+            return database
         return self.tables.with_relation(WORLD_TABLE, self.world_table)
 
+    def factor_tables(self) -> dict[str, Relation]:
+        """The factor relations under their reserved names (``#W0``, …)."""
+        if self.factors is None:
+            return {WORLD_TABLE: self.world_table}
+        return {
+            f"{WORLD_TABLE}{index}": factor
+            for index, factor in enumerate(self.factors.factors)
+        }
+
     def world_count(self) -> int:
-        """Number of world identifiers (equivalent worlds counted apart)."""
+        """Number of world identifiers (equivalent worlds counted apart).
+
+        On a factored world this is the product of the factor sizes —
+        O(#factors), no joint table.
+        """
+        if self.factors is not None:
+            return self.factors.count()
         return len(self.world_table)
 
     def world_fingerprints(self) -> dict[tuple, tuple]:
@@ -290,7 +535,10 @@ class InlinedRepresentation:
         Two ids get equal fingerprints iff their worlds coincide
         relation by relation. Computed with one pass per flat table —
         no world materialization; this is how the inline backend
-        answers world-count questions without decoding.
+        answers world-count questions without decoding. (On a factored
+        world the id list itself is the product — callers that only
+        need the distinct count should use :meth:`distinct_world_count`,
+        whose factored fast path never enumerates.)
         """
         world_ids = self.world_ids()
         fingerprints: dict[tuple, list[frozenset]] = {
@@ -300,23 +548,122 @@ class InlinedRepresentation:
         for name in self.tables:
             table = self.tables[name]
             table_ids = self.table_id_attrs(name)
-            rows_by_sub: dict[tuple, set[tuple]] = {}
+            wild = set(self.table_wild_attrs(name))
+            project = tuple(id_positions[a] for a in table_ids)
+            empty = frozenset()
+            if not wild:
+                rows_by_sub: dict[tuple, set[tuple]] = {}
+                for sub_id, value in zip(
+                    tuples_of(table, table_ids),
+                    tuples_of(table, self.value_attributes(name)),
+                ):
+                    bucket = rows_by_sub.get(sub_id)
+                    if bucket is None:
+                        rows_by_sub[sub_id] = {value}
+                    else:
+                        bucket.add(value)
+                grouped = {
+                    sub: frozenset(rows) for sub, rows in rows_by_sub.items()
+                }
+                for world_id, rows in fingerprints.items():
+                    sub_id = tuple(world_id[p] for p in project)
+                    rows.append(grouped.get(sub_id, empty))
+                continue
+            # Wild table: bucket rows by their *pattern* (the non-PAD
+            # constraints), then give each world the union of every
+            # bucket whose constraints its sub-id satisfies.
+            wild_pos = {i for i, a in enumerate(table_ids) if a in wild}
+            buckets: dict[tuple, set[tuple]] = {}
             for sub_id, value in zip(
                 tuples_of(table, table_ids),
                 tuples_of(table, self.value_attributes(name)),
             ):
-                bucket = rows_by_sub.get(sub_id)
-                if bucket is None:
-                    rows_by_sub[sub_id] = {value}
-                else:
-                    bucket.add(value)
-            grouped = {sub: frozenset(rows) for sub, rows in rows_by_sub.items()}
-            project = tuple(id_positions[a] for a in table_ids)
-            empty = frozenset()
+                constraint = tuple(
+                    (i, v)
+                    for i, v in enumerate(sub_id)
+                    if i not in wild_pos or v is not PAD
+                )
+                buckets.setdefault(constraint, set()).add(value)
+            frozen = [
+                (constraint, frozenset(rows))
+                for constraint, rows in buckets.items()
+            ]
             for world_id, rows in fingerprints.items():
                 sub_id = tuple(world_id[p] for p in project)
-                rows.append(grouped.get(sub_id, empty))
+                matched = [
+                    bucket
+                    for constraint, bucket in frozen
+                    if all(sub_id[i] == v for i, v in constraint)
+                ]
+                rows.append(frozenset().union(*matched) if matched else empty)
         return {world_id: tuple(rows) for world_id, rows in fingerprints.items()}
+
+    def _distinct_count_factored(self) -> int | None:
+        """∏ per-factor distinct counts, or ``None`` when the factored
+        shortcut does not apply.
+
+        Valid when every factor is a single wild attribute, every table
+        row constrains at most one factor, and no value row is
+        contributed by two different sources (base vs. a factor, or two
+        different factors) in the same table. Then two worlds decode
+        equal iff they pick fingerprint-equal choices factor by factor,
+        so rep(T)'s cardinality is the product over factors of the
+        number of distinct per-choice contribution profiles — computed
+        in one pass over the stored rows, without touching the 2ᵍ
+        product. This is the repair-by-key shape (and survives the
+        uniform DML route, which rewrites value columns only).
+        """
+        factors = self.factors.factors
+        if any(len(f.schema.attributes) != 1 for f in factors):
+            return None
+        if set(self.id_attrs) - self.wild_attrs:
+            return None
+        attrs = tuple(f.schema.attributes[0] for f in factors)
+        index = {a: j for j, a in enumerate(attrs)}
+        domains = [
+            tuple(r[0] for r in tuples_of(f, f.schema.attributes))
+            for f in factors
+        ]
+        contributions: list[dict[object, set]] = [dict() for _ in factors]
+        factor_rows: list[set] = [set() for _ in factors]
+        base: set = set()
+        for name in self.tables:
+            table = self.tables[name]
+            table_ids = self.table_id_attrs(name)
+            values = self.value_attributes(name)
+            if not table_ids:
+                base.update((name, row) for row in tuples_of(table, values))
+                continue
+            positions = [index[a] for a in table_ids]
+            for id_part, value in zip(
+                tuples_of(table, table_ids), tuples_of(table, values)
+            ):
+                hits = [
+                    (positions[i], v)
+                    for i, v in enumerate(id_part)
+                    if v is not PAD
+                ]
+                if not hits:
+                    base.add((name, value))
+                elif len(hits) > 1:
+                    return None
+                else:
+                    j, choice = hits[0]
+                    contributions[j].setdefault(choice, set()).add((name, value))
+                    factor_rows[j].add((name, value))
+        seen = set(base)
+        for rows in factor_rows:
+            if seen & rows:
+                return None
+            seen |= rows
+        count = 1
+        for j, domain in enumerate(domains):
+            per_choice = contributions[j]
+            profiles = {
+                frozenset(per_choice.get(choice, ())) for choice in domain
+            }
+            count *= len(profiles)
+        return count
 
     def distinct_world_count(self) -> int:
         """Number of *distinct* represented worlds (rep(T) cardinality).
@@ -324,7 +671,30 @@ class InlinedRepresentation:
         Two ids whose worlds coincide relation-by-relation count once,
         matching the set semantics of explicit world-sets.
         """
+        if self.factors is not None:
+            fast = self._distinct_count_factored()
+            if fast is not None:
+                return fast
         return len(set(self.world_fingerprints().values()))
+
+    def materialized(self) -> "InlinedRepresentation":
+        """The joint (non-factored) form of this representation.
+
+        Wild PAD patterns are expanded over their factor domains and
+        the world table is the materialized product — product-sized by
+        construction, which is why only decode-adjacent consumers
+        (:mod:`repro.inline.pairing`, :meth:`strict`, correlated
+        assignments) call this.
+        """
+        if self.factors is None:
+            return self
+        tables = []
+        for name, table in self.tables.items():
+            if self.table_wild_attrs(name):
+                tables.append((name, self._dewilded(name)))
+            else:
+                tables.append((name, table))
+        return InlinedRepresentation(tables, self.world_table, self.id_attrs)
 
     def strict(self) -> "InlinedRepresentation":
         """The strict Definition 5.1 form: every table tagged with all of V.
@@ -332,28 +702,47 @@ class InlinedRepresentation:
         Tables carrying only a subset of the id attributes are joined
         with the world table (``R_i ⋈ W``), replicating their rows per
         world — exponential in general, which is exactly why sessions
-        keep the lazy form; the Figure 6 translator wants this one.
+        keep the lazy form; the Figure 6 translator wants this one. A
+        factored representation keeps its factors (W stays a join of
+        factor tables in the translated plan) but loses its wild
+        columns: strictness means exact ids.
         """
         if not self.id_attrs:
             return self
+        source = self.materialized() if self.wild_attrs else self
         convert = kernel_ops(None).convert
-        world = convert(self.world_table)
+        world = convert(source.world_table)
         tables = []
-        for name, table in self.tables.items():
-            if self.table_id_attrs(name) == self.id_attrs:
+        for name, table in source.tables.items():
+            if source.table_id_attrs(name) == source.id_attrs:
                 tables.append((name, table))
             else:
                 # The replicating join runs in the active kernel; the
                 # result converts back at the Relation API boundary.
                 tables.append((name, as_tuple(convert(table).natural_join(world))))
-        return InlinedRepresentation(tables, self.world_table, self.id_attrs)
+        return InlinedRepresentation(
+            tables, source.world_table, self.id_attrs, factors=self.factors
+        )
 
     def size(self) -> int:
-        """Total stored rows: Σ|R_iᵀ| + |W| (the representation's footprint)."""
-        return sum(len(r) for _, r in self.tables.items()) + len(self.world_table)
+        """Total stored rows: Σ|R_iᵀ| + |W| (the representation's footprint).
+
+        A factored world contributes the *sum* of its factor sizes —
+        the whole point of the encoding: a repaired table's footprint
+        is linear in the input, not in the number of repairs.
+        """
+        stored = sum(len(r) for _, r in self.tables.items())
+        if self.factors is not None:
+            return stored + sum(len(f) for f in self.factors.factors)
+        return stored + len(self.world_table)
 
     def __repr__(self) -> str:
         tables = ", ".join(f"{n}[{len(r)}]" for n, r in self.tables.items())
+        if self.factors is not None:
+            return (
+                f"InlinedRepresentation({tables}; W={self.factors!r}, "
+                f"V={list(self.id_attrs)}, wild={sorted(self.wild_attrs)})"
+            )
         return (
             f"InlinedRepresentation({tables}; |W|={len(self.world_table)}, "
             f"V={list(self.id_attrs)})"
@@ -369,12 +758,30 @@ class InlinedRepresentation:
             # short-circuit without touching any table.
             return True
         return (
-            dict(self.tables.items()) == dict(other.tables.items())
-            and self.world_table == other.world_table
-            and self.id_attrs == other.id_attrs
+            self.id_attrs == other.id_attrs
+            and self.wild_attrs == other.wild_attrs
+            and self.factors == other.factors
+            and (
+                self.factors is not None
+                or self.world_table == other.world_table
+            )
+            and dict(self.tables.items()) == dict(other.tables.items())
         )
 
     def __hash__(self) -> int:
+        world = self.factors if self.factors is not None else self.world_table
         return hash(
-            (frozenset(self.tables.items()), self.world_table, self.id_attrs)
+            (
+                frozenset(self.tables.items()),
+                world,
+                self.id_attrs,
+                self.wild_attrs,
+            )
         )
+
+
+def _factor_column_phrase(attrs: tuple[str, ...]) -> str:
+    """Deterministic "which factor column is dangling" message suffix."""
+    if len(attrs) == 1:
+        return f"factor column {attrs[0]!r}"
+    return f"factor columns {list(attrs)}"

@@ -185,9 +185,16 @@ class GeneralTranslator:
         value_schemas: SchemaLike,
         base_ids: Sequence[str] = (),
         counter_start: int = 0,
+        world_factors: Sequence[tuple[str, Sequence[str]]] = (),
     ) -> None:
         self.env = _schema_env(value_schemas)
         self.base_ids = tuple(base_ids)
+        #: (table name, id attributes) per world factor — a factored
+        #: input representation exposes ``#W0``, ``#W1``, … instead of
+        #: the joint ``#W``, and the translated W is their join.
+        self.world_factors = tuple(
+            (name, tuple(attrs)) for name, attrs in world_factors
+        )
         self._counter = counter_start
 
     # -- fresh attribute names ---------------------------------------------------
@@ -216,10 +223,22 @@ class GeneralTranslator:
         lowered = lower_query(query, self.env)
         initial = TranslationState(
             {name: ra.Table(name) for name in self.env},
-            ra.Table(WORLD_TABLE) if self.base_ids else ra.Literal(Relation.unit()),
+            self._initial_world(),
             self.base_ids,
         )
         return self._translate(lowered, initial)
+
+    def _initial_world(self) -> ra.RAExpr:
+        """W as an expression: the join of the factor tables (disjoint
+        ids, so the join is their product), or the joint ``#W``."""
+        if not self.base_ids:
+            return ra.Literal(Relation.unit())
+        if self.world_factors:
+            world: ra.RAExpr = ra.Table(self.world_factors[0][0])
+            for factor_name, _ in self.world_factors[1:]:
+                world = ra.NaturalJoin(world, ra.Table(factor_name))
+            return world
+        return ra.Table(WORLD_TABLE)
 
     # -- the translation, by case -----------------------------------------------------
 
@@ -278,7 +297,11 @@ class GeneralTranslator:
         env: dict[str, Schema] = {}
         for name, schema in self.env.items():
             env[name] = Schema(schema.attributes + self.base_ids)
-        env[WORLD_TABLE] = Schema(self.base_ids)
+        if self.world_factors:
+            for factor_name, attrs in self.world_factors:
+                env[factor_name] = Schema(attrs)
+        else:
+            env[WORLD_TABLE] = Schema(self.base_ids)
         return env
 
     def _translate_choice(
@@ -539,8 +562,19 @@ def translate_general(
     value_schemas = {
         name: representation.value_attributes(name) for name in representation.tables
     }
+    world_factors = (
+        tuple(
+            (factor_name, factor.schema.attributes)
+            for factor_name, factor in representation.factor_tables().items()
+        )
+        if representation.factors is not None
+        else ()
+    )
     translator = GeneralTranslator(
-        value_schemas, representation.id_attrs, counter_start=counter_start
+        value_schemas,
+        representation.id_attrs,
+        counter_start=counter_start,
+        world_factors=world_factors,
     )
     state, answer = translator.translate(query)
     value_attrs = query.attributes(translator.env)

@@ -65,5 +65,11 @@ def render_representation(
         parts.append(f"### {title} ###")
     for name, table in representation.tables.items():
         parts.append(render_relation(table, title=f"{name}ᵀ"))
-    parts.append(render_relation(representation.world_table, title="W"))
+    if representation.factors is not None:
+        # A factored world renders factor by factor — the joint table
+        # is the (never materialized) product of these.
+        for factor_name, factor in representation.factor_tables().items():
+            parts.append(render_relation(factor, title=f"W ({factor_name})"))
+    else:
+        parts.append(render_relation(representation.world_table, title="W"))
     return "\n\n".join(parts)

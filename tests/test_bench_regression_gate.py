@@ -349,6 +349,108 @@ def test_array_speedup_improvement_passes():
     assert check_regression.check(baseline, current, 2.0, 0.002) == []
 
 
+# -- the ISSUE 8 extensions: representation_size gates the factored encoding -------
+
+
+def test_representation_size_within_threshold_passes():
+    baseline = _payload(_row("census_repair_xl", seconds=0.1, representation_size=100))
+    current = _payload(_row("census_repair_xl", seconds=0.1, representation_size=120))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_representation_size_regression_toward_product_fails():
+    """The factored encoding's whole point: a committed sum-sized row
+    exploding back toward the joint product must fail even when the
+    seconds happen to pass."""
+    baseline = _payload(_row("census_repair_xl", seconds=0.1, representation_size=100))
+    current = _payload(
+        _row("census_repair_xl", seconds=0.15, representation_size=204837)
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "representation_size" in problems[0]
+    assert "product size" in problems[0]
+
+
+def test_representation_size_gates_cross_machine():
+    """Sizes are deterministic row counts: a provenance mismatch that
+    skips the timing comparison must not skip the size one."""
+    baseline = _payload(
+        _row("census_repair_xl", seconds=0.1, representation_size=100,
+             python="3.11", platform="dev")
+    )
+    current = _payload(
+        _row("census_repair_xl", seconds=0.1, representation_size=1000,
+             python="3.12", platform="ci")
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "representation_size" in problems[0]
+
+
+def test_representation_size_gates_array_kernel_rows():
+    """The nightly 2²⁰ repair only records an inline-array row — its
+    size must gate too, not only backend="inline"."""
+    baseline = _payload(
+        _row("census_repair_2p20", backend="inline-array", seconds=0.1,
+             representation_size=8272)
+    )
+    current = _payload(
+        _row("census_repair_2p20", backend="inline-array", seconds=0.1,
+             representation_size=50000)
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "inline-array" in problems[0]
+
+
+def test_representation_size_disappearing_from_measured_row_fails():
+    baseline = _payload(_row("census_repair_xl", seconds=0.1, representation_size=100))
+    current = _payload(_row("census_repair_xl", seconds=0.1))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "missing" in problems[0]
+
+
+def test_representation_size_skips_infeasible_and_unmeasured_rows():
+    """An infeasible row records no size, and a scenario not re-measured
+    this run is carried over — neither size-gates. (inline-array rows:
+    only the size gate looks at them, so the timing rules stay quiet.)"""
+    baseline = _payload(
+        _row("repair_a", backend="inline-array", seconds=0.1,
+             representation_size=100),
+        _row("gone_this_run", backend="inline-array", seconds=0.1,
+             representation_size=50),
+    )
+    current = _payload(
+        _row("repair_a", backend="inline-array", seconds=None, infeasible=True),
+        _row("other", backend="inline-array", seconds=0.1,
+             representation_size=10),
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_representation_size_custom_threshold():
+    baseline = _payload(_row("census_repair_xl", seconds=0.1, representation_size=100))
+    current = _payload(_row("census_repair_xl", seconds=0.1, representation_size=190))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1  # default 1.5× bar
+    assert (
+        check_regression.check(baseline, current, 2.0, 0.002, size_threshold=2.0)
+        == []
+    )
+
+
+def test_representation_size_explicit_rows_do_not_gate():
+    """The explicit backend materializes per-world tables — its size is
+    not the factored encoding's to defend."""
+    baseline = _payload(
+        _row("census_repair", backend="explicit", seconds=0.1,
+             representation_size=30720)
+    )
+    current = _payload(
+        _row("census_repair", backend="explicit", seconds=0.1,
+             representation_size=99999)
+    )
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
 def _guarded_row(scenario="trip_certain_xl", seconds=0.5, overhead=1.05):
     return _row(
         scenario, backend="inline-guarded", seconds=seconds, guard_overhead=overhead
