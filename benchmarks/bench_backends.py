@@ -66,6 +66,7 @@ Shape claims:
 from __future__ import annotations
 
 import gc
+import threading
 import time
 
 import pytest
@@ -73,7 +74,9 @@ import pytest
 from repro.backend import InlineBackend, collect_phases
 from repro.backend.testing import run_scenario
 from repro.datagen import Scenario, flights, nightly_scenarios, scenarios, xl_scenarios
+from repro.isql import ISQLSession
 from repro.relational.array_kernel import have_numpy
+from repro.service import SessionPool
 
 LARGE = {s.name: s for s in scenarios("large")}
 
@@ -333,6 +336,93 @@ def test_guard_overhead_is_negligible(backend_recorder, bench_repeats):
     backend_recorder(*pending["args"], **pending["kwargs"])
     assert guarded_result.answers() == plain_result.answers()
     assert overhead < 1.5, (plain_seconds, guarded_seconds)
+
+
+def test_pool_concurrent_readers(backend_recorder, bench_repeats):
+    """The service layer's read path must stay near-free (ISSUE 9).
+
+    Replays the 2¹²-world trip query 32 times, twice in the same
+    process: serially on one plain session, then as 4 threads × 8 reads
+    each through a warmed :class:`SessionPool` — connection checkout,
+    thread re-pinning, snapshot sync, the DBAPI text path, checkin. The
+    GIL serializes the evaluation work itself, so the pooled/plain
+    wall-clock ratio isolates the per-read service overhead. Recorded
+    as an ``inline-pool`` row for scenario ``pool_concurrent_readers``
+    whose ``snapshot_overhead`` field carries the paired ratio;
+    ``check_regression.py`` gates that committed ratio at ≤ 1.2× (the
+    live assertion is looser for shared-runner noise).
+    """
+    n_readers, reads_per_thread = 4, 8
+    total_reads = n_readers * reads_per_thread
+    repeats = max(bench_repeats, 3)
+
+    def seed() -> ISQLSession:
+        session = ISQLSession(backend=InlineBackend())
+        for name, relation in TRIP_XL.relations:
+            session.register(name, relation)
+        return session
+
+    plain_session = seed()
+    plain_timings = []
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        for _ in range(total_reads):
+            plain_result = plain_session.query(TRIP_XL.query)
+        plain_timings.append(time.perf_counter() - start)
+    plain_seconds = sorted(plain_timings)[(repeats - 1) // 2]
+
+    pool = SessionPool(seed(), size=n_readers)
+    # Warm the pool: spawning the per-connection sessions is a one-time
+    # cost, not part of the steady-state per-read overhead under gate.
+    warm = [pool.acquire() for _ in range(n_readers)]
+    for connection in warm:
+        pool.release(connection)
+    pooled_answers = []
+
+    def reader(barrier: threading.Barrier) -> None:
+        barrier.wait()
+        for _ in range(reads_per_thread):
+            with pool.connection() as connection:
+                cursor = connection.execute(TRIP_XL.query)
+        pooled_answers.append(cursor.result)
+
+    pooled_timings = []
+    for _ in range(repeats):
+        gc.collect()
+        barrier = threading.Barrier(n_readers)
+        threads = [
+            threading.Thread(target=reader, args=(barrier,))
+            for _ in range(n_readers)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pooled_timings.append(time.perf_counter() - start)
+    pooled_seconds = sorted(pooled_timings)[(repeats - 1) // 2]
+
+    for result in pooled_answers:
+        assert result.answers() == plain_result.answers()
+    overhead = pooled_seconds / plain_seconds
+    final, _ = pool.store.spawn_session()
+    backend_recorder(
+        "pool_concurrent_readers",
+        "inline-pool",
+        pooled_seconds,
+        final.world_count(),
+        plain_result.world_count(),
+        TRIP_XL.approx_worlds,
+        _representation_size(final),
+        sum(len(answer) for answer in plain_result.answers()),
+        kernel=getattr(final.backend, "resolved_kernel", None),
+        repeats=repeats,
+        snapshot_overhead=overhead,
+    )
+    pool.close()
+    final.close()
+    assert overhead < 2.0, (plain_seconds, pooled_seconds)
 
 
 def test_shape_inline_wins_by_5x_beyond_1024_worlds(backend_recorder, bench_repeats):

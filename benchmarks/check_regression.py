@@ -56,6 +56,15 @@ Rules:
   slow enough to measure, and a baseline file's guarded row must not
   silently disappear — armed checkpoints becoming expensive is a
   kernel-hot-path regression the end-to-end seconds would dilute;
+* the service layer's pooled **read path** gates the same way: the
+  ``inline-pool`` row's ``snapshot_overhead`` (a paired same-process
+  pooled-concurrent-readers / single-session ratio recorded by the
+  benchmark) must stay ≤ ``--snapshot-threshold`` (default 1.2×)
+  whenever the pooled run is slow enough to measure, and a baseline
+  file's pool row must not silently disappear — connection checkout,
+  snapshot sync and the DBAPI text path becoming expensive is exactly
+  the regression the ``pool_concurrent_readers`` benchmark exists to
+  catch;
 * the per-scenario **representation size** gates absolutely across
   machines (row counts are hardware-independent): an inline-family
   row (``inline``, ``inline-tuple``, ``inline-array``) whose committed
@@ -116,6 +125,15 @@ GUARD_MIN_SECONDS = 0.05
 #: The armed resource-guard overhead bar: guarded/unguarded wall-clock
 #: on the paired same-process runs must stay within this factor.
 GUARD_THRESHOLD = 1.1
+
+#: Below this, a pooled-vs-plain ratio is timer jitter, not a
+#: measurement — pool rows on faster-than-this read batches do not gate.
+SNAPSHOT_MIN_SECONDS = 0.05
+
+#: The service-layer read-path bar: pooled concurrent readers against
+#: the paired same-process single-session replay (checkout, snapshot
+#: sync, the DBAPI text path, checkin) must stay within this factor.
+SNAPSHOT_THRESHOLD = 1.2
 
 
 def _is_dml(scenario: str) -> bool:
@@ -230,6 +248,7 @@ def check(
     min_seconds: float,
     guard_threshold: float = GUARD_THRESHOLD,
     size_threshold: float = SIZE_THRESHOLD,
+    snapshot_threshold: float = SNAPSHOT_THRESHOLD,
 ) -> list[str]:
     """The list of regression messages (empty = pass)."""
     problems: list[str] = []
@@ -328,6 +347,32 @@ def check(
                 "— the armed-guard cost must stay measured (or carried "
                 "over by the benchmark writer)"
             )
+    # The service layer's read path gates the same way: the
+    # ``inline-pool`` row's ``snapshot_overhead`` is a paired
+    # same-process pooled/plain ratio recorded by the benchmark, so it
+    # gates absolutely, and a baseline pool row must not silently
+    # disappear — connection checkout, snapshot sync and the DBAPI text
+    # path becoming expensive is exactly what the pool benchmark exists
+    # to catch.
+    current_pool = _rows(current, "inline-pool")
+    for scenario, pooled in sorted(current_pool.items()):
+        overhead = pooled.get("snapshot_overhead")
+        seconds = pooled.get("seconds")
+        if overhead is None or seconds is None or seconds < SNAPSHOT_MIN_SECONDS:
+            continue
+        if overhead > snapshot_threshold:
+            problems.append(
+                f"{scenario}: pooled-reader snapshot overhead "
+                f"{overhead:.3f}× > {snapshot_threshold:.2f}× budget — "
+                "the service layer's read path is no longer near-free"
+            )
+    for scenario in sorted(_rows(baseline, "inline-pool")):
+        if scenario not in current_pool:
+            problems.append(
+                f"{scenario}: the inline-pool overhead row disappeared — "
+                "the pooled-reader cost must stay measured (or carried "
+                "over by the benchmark writer)"
+            )
     problems.extend(_size_problems(baseline, current, size_threshold))
     old_array = baseline.get("array_speedup_over_columnar_kernel") or {}
     new_array = current.get("array_speedup_over_columnar_kernel") or {}
@@ -356,6 +401,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-seconds", type=float, default=0.002)
     parser.add_argument("--guard-threshold", type=float, default=GUARD_THRESHOLD)
     parser.add_argument("--size-threshold", type=float, default=SIZE_THRESHOLD)
+    parser.add_argument(
+        "--snapshot-threshold", type=float, default=SNAPSHOT_THRESHOLD
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -367,6 +415,7 @@ def main(argv: list[str] | None = None) -> int:
         args.min_seconds,
         guard_threshold=args.guard_threshold,
         size_threshold=args.size_threshold,
+        snapshot_threshold=args.snapshot_threshold,
     )
     if problems:
         print("inline benchmark regressions:")

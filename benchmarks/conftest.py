@@ -38,6 +38,7 @@ def record_backend_timing(
     repeats: int | None = None,
     infeasible: bool = False,
     guard_overhead: float | None = None,
+    snapshot_overhead: float | None = None,
 ) -> None:
     """Append one (scenario, backend) timing row for BENCH_backends.json.
 
@@ -58,7 +59,10 @@ def record_backend_timing(
     wall-clock ratio against the paired unguarded run from the *same*
     process — measured back to back by the benchmark, so the committed
     ratio is machine-independent and ``check_regression.py`` can gate
-    it absolutely (≤ 1.1×).
+    it absolutely (≤ 1.1×). *snapshot_overhead* (on ``inline-pool``
+    rows) is the same idea for the service layer: pooled concurrent
+    readers against the paired single-session replay of the same
+    reads, gated absolutely at ≤ 1.2×.
     """
     row: dict = {
         "scenario": scenario,
@@ -87,6 +91,8 @@ def record_backend_timing(
         row["fallback_reason"] = fallback_reason
     if guard_overhead is not None:
         row["guard_overhead"] = round(guard_overhead, 3)
+    if snapshot_overhead is not None:
+        row["snapshot_overhead"] = round(snapshot_overhead, 3)
     # Every row states its kernel — explicitly null for backends that
     # have none (the explicit engine), so a missing key can only mean
     # a pre-registry row, not an unstated default.

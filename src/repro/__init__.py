@@ -57,6 +57,7 @@ from repro.core import (
 )
 from repro.errors import (
     EvaluationError,
+    OwnershipError,
     ParseError,
     RepresentationError,
     ReproError,
@@ -83,6 +84,7 @@ from repro.backend import (
 )
 from repro.optimizer import optimize
 from repro.relational import Database, Relation, Schema
+from repro.service import SessionPool, SnapshotStore, connect
 from repro.worlds import World, WorldSet, are_isomorphic, check_generic
 
 __version__ = "1.0.0"
@@ -95,6 +97,7 @@ __all__ = [
     "InlineBackend",
     "ISQLSession",
     "InlinedRepresentation",
+    "OwnershipError",
     "ParseError",
     "Relation",
     "RepresentationError",
@@ -103,6 +106,8 @@ __all__ = [
     "RewriteError",
     "Schema",
     "SchemaError",
+    "SessionPool",
+    "SnapshotStore",
     "TranslationError",
     "TypingError",
     "WSAQuery",
@@ -117,6 +122,7 @@ __all__ = [
     "check_generic",
     "choice_of",
     "compile_query",
+    "connect",
     "conservative_ra_query",
     "create_backend",
     "evaluate",

@@ -154,6 +154,19 @@ class Backend:
         """
         raise NotImplementedError
 
+    def spawn(self) -> "Backend":
+        """A fresh backend of the same kind and configuration, empty state.
+
+        The service layer (:mod:`repro.service`) forks one backend per
+        pooled session so every connection owns private mutable state
+        while sharing immutable relation/representation objects via
+        :meth:`snapshot`/:meth:`restore` tokens. The default
+        reconstructs from :attr:`kind`; backends with extra
+        configuration (kernel, strategy, …) override this to carry it
+        across.
+        """
+        return create_backend(self.kind)
+
     # -- statements ----------------------------------------------------------------
 
     def run_select(

@@ -323,6 +323,20 @@ class InlineBackend(Backend):
     def restore(self, token: object) -> None:
         self.representation, self._decoded = token
 
+    def spawn(self) -> "InlineBackend":
+        """A fresh backend sharing no mutable state, same configuration.
+
+        Carries strategy/rewrite/kernel across (the base default would
+        lose them). The new backend starts from the empty initial
+        representation; the service layer immediately :meth:`restore`\\ s
+        a snapshot token into it, which *shares* the immutable tables of
+        the source representation — the copy-on-write handoff that makes
+        pooled sessions O(#tables) to create.
+        """
+        return InlineBackend(
+            strategy=self.strategy, rewrite=self.rewrite, kernel=self.kernel
+        )
+
     def _fresh_name(self, stem: str = "Q") -> str:
         return fresh_name(self.relation_names(), stem)
 

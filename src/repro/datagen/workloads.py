@@ -11,7 +11,11 @@ Section 2 of the paper uses:
 * ``Census(SSN, Name, POB, POW)`` — dirty data for repair-by-key;
 * ``Lineitem(Product, Quantity, Price, Year)`` — the simplified TPC-H
   relation of the Q17-like what-if query;
-* ``Hotels(Name, City, Price)`` — the Example 6.1 extension.
+* ``Hotels(Name, City, Price)`` — the Example 6.1 extension;
+* ``Cand(VID, Color)`` / ``E(U, V)`` — the Proposition 4.2
+  3-colorability reduction, promoted to a replayable workload;
+* ``Alt(Pick, A)`` — the Remark 4.6 ULDB/TriQL genericity example: two
+  different packagings of one world-set.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.np_hard import coloring_candidates, edge_relation
 from repro.relational.relation import Relation
 
 #: The five-row Flights relation of Figure 2 (a).
@@ -281,6 +286,32 @@ create view YearQuantity as
 """
 
 
+#: The Proposition 4.2 reduction as an I-SQL script: guess a total
+#: color assignment per world (``repair by key VID``), materialize the
+#: monochromatic edges, and close over the worlds where none exist.
+THREE_COLORING_SCRIPT = """
+Guess <- select * from Cand repair by key VID;
+Bad <- select U from E, Guess G1, Guess G2
+       where E.U = G1.VID and E.V = G2.VID and G1.Color = G2.Color;
+"""
+
+#: Remark 4.6: the world-set {{1}, {2}, {}} built two different ways —
+#: three alternatives (one filtered out) vs four (two filtered out, in
+#: another order). Generic queries cannot tell the packagings apart.
+ULDB_GENERICITY_SCRIPT = """
+R1 <- select A from (select * from Alt1 choice of Pick) as T1 where A != 0;
+R2 <- select A from (select * from Alt2 choice of Pick) as T2 where A != 0;
+"""
+
+
+def three_coloring_instance(
+    n_vertices: int = 4, edge_probability: float = 0.7, seed: int = 9
+) -> tuple[Relation, Relation]:
+    """``(Cand, E)`` for a seeded random graph (symmetric edge closure)."""
+    vertices, edges = random_graph(n_vertices, edge_probability, seed)
+    return coloring_candidates(vertices), edge_relation(edges)
+
+
 def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
     """The differential-testing / benchmarking workload suite.
 
@@ -294,6 +325,11 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
     n_companies = 6 if large else 3
     n_census = 10 if large else 5
     trip_flights = flights(n_flights, 64 if large else 8, 3, seed=1)
+    coloring_cand, coloring_edges = (
+        three_coloring_instance(6, 0.5, seed=9)
+        if large
+        else three_coloring_instance(4, 0.7, seed=9)
+    )
     company_emp, emp_skills = company(n_companies, 4, 5, 2, seed=2)
     dirty = census(n_census, duplicate_rate=0.8, seed=4)
     # A repair followed by DML on the repaired (factored, wild-column)
@@ -407,6 +443,29 @@ def scenarios(scale: str = "small") -> tuple[Scenario, ...]:
             ),
             query="select possible Ref, City, Price from B;",
             approx_worlds=3,
+        ),
+        Scenario(
+            # NP-hard-shaped: 3^|V| guess worlds, a triangle-join check,
+            # and a closing query whose non-emptiness decides
+            # 3-colorability (possible vertices of violation-free worlds).
+            name="three_coloring",
+            relations=(("Cand", coloring_cand), ("E", coloring_edges)),
+            script=THREE_COLORING_SCRIPT,
+            query=(
+                "select possible VID from Guess "
+                "where not exists (select * from Bad);"
+            ),
+            approx_worlds=3**6 if large else 3**4,
+        ),
+        Scenario(
+            name="uldb_genericity",
+            relations=(
+                ("Alt1", Relation(("Pick", "A"), [(1, 1), (2, 2), (3, 0)])),
+                ("Alt2", Relation(("Pick", "A"), [(1, 2), (2, 0), (3, 1), (4, 0)])),
+            ),
+            script=ULDB_GENERICITY_SCRIPT,
+            query="select possible A from R1 where A in (select A from R2);",
+            approx_worlds=9,
         ),
         Scenario(
             name="dml_key_discard",

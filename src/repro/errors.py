@@ -62,6 +62,17 @@ class ResourceLimitError(EvaluationError):
     """
 
 
+class OwnershipError(EvaluationError):
+    """A session was used from a thread that does not own it.
+
+    Sessions are single-threaded objects; the service layer
+    (:mod:`repro.service`) pins each pooled session to the thread that
+    acquired it via :meth:`~repro.isql.session.ISQLSession.pin_thread`.
+    Any statement, snapshot, or restore attempted from another thread
+    raises this instead of silently corrupting shared state.
+    """
+
+
 class ParseError(ReproError):
     """An I-SQL statement could not be tokenized or parsed.
 

@@ -64,13 +64,14 @@ as :class:`~repro.errors.EvaluationError` with the original as its
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext, create_backend
 from repro.backend.explicit import QueryResult
 from repro.backend.instrument import phase
-from repro.errors import EvaluationError, ReproError, SchemaError
+from repro.errors import EvaluationError, OwnershipError, ReproError, SchemaError
 from repro.isql import ast
 from repro.isql.parser import parse_script
 from repro.relational.guards import guarded
@@ -169,6 +170,33 @@ class ISQLSession:
         self.max_rows = max_rows
         self.max_seconds = max_seconds
         self._savepoints: list[Savepoint] = []
+        #: Thread ident this session is pinned to, or None (unpinned).
+        self._owner_thread: int | None = None
+
+    # -- thread ownership ------------------------------------------------------------
+
+    def pin_thread(self, ident: int | None = None) -> None:
+        """Restrict this session to one thread (default: the caller's).
+
+        After pinning, any statement, snapshot, or restore attempted
+        from a different thread raises
+        :class:`~repro.errors.OwnershipError` instead of racing on the
+        session's mutable references. The service-layer pool pins each
+        session to the thread that acquired it and unpins on release.
+        """
+        self._owner_thread = threading.get_ident() if ident is None else ident
+
+    def unpin_thread(self) -> None:
+        """Lift the thread restriction set by :meth:`pin_thread`."""
+        self._owner_thread = None
+
+    def _check_thread(self) -> None:
+        owner = self._owner_thread
+        if owner is not None and owner != threading.get_ident():
+            raise OwnershipError(
+                f"session is pinned to thread {owner}; "
+                f"it cannot be used from thread {threading.get_ident()}"
+            )
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(self.views, self.keys, self.max_worlds)
@@ -348,6 +376,7 @@ class ISQLSession:
         )
 
     def _protected(self, kind: str, run):
+        self._check_thread()
         with guarded(self.max_rows, self.max_seconds):
             try:
                 return run()
@@ -401,11 +430,13 @@ class ISQLSession:
     # -- transactions ----------------------------------------------------------------
 
     def _snapshot(self) -> _SessionState:
+        self._check_thread()
         return _SessionState(
             self.backend.snapshot(), dict(self.views), dict(self.keys)
         )
 
     def _restore(self, state: _SessionState) -> None:
+        self._check_thread()
         with phase("rollback"):
             self.backend.restore(state.backend_state)
             # Copy on the way back too: a savepoint may be rolled back
@@ -477,6 +508,52 @@ class ISQLSession:
                 f"unknown or released savepoint {savepoint!r}"
             ) from None
         del self._savepoints[index:]
+
+    # -- snapshot export (service layer) ---------------------------------------------
+
+    def export_snapshot(self) -> _SessionState:
+        """The full session state as an opaque O(#tables) token.
+
+        Covers everything a statement can change — possible-worlds
+        state, views, declared keys. The token is immutable and sharable
+        across sessions of the same backend kind: pass it to another
+        session's :meth:`restore_snapshot` (or :meth:`fork` a session
+        from it implicitly) and both sessions see the same state while
+        sharing every underlying table object. This is the copy-on-write
+        handoff :mod:`repro.service.snapshots` publishes to concurrent
+        readers.
+        """
+        return self._snapshot()
+
+    def restore_snapshot(self, state: _SessionState) -> None:
+        """Reset this session to an :meth:`export_snapshot` token.
+
+        O(#tables) reference swaps; the savepoint stack is left alone
+        (tokens keep meaning "the state when they were taken").
+        """
+        self._restore(state)
+
+    def fork(self) -> "ISQLSession":
+        """A new independent session seeing this session's current state.
+
+        The clone gets a fresh backend of the same kind and
+        configuration (:meth:`repro.backend.Backend.spawn`) restored to
+        this session's snapshot, plus copies of the views/keys dicts and
+        the same ``max_worlds``/``max_rows``/``max_seconds`` settings.
+        Because state objects are immutable and commits swap references,
+        the clone shares all current table objects with its parent but
+        diverges freely from the first statement either side runs —
+        copy-on-write session cloning, O(#tables). The clone starts
+        unpinned with an empty savepoint stack.
+        """
+        clone = ISQLSession(
+            max_worlds=self.max_worlds,
+            backend=self.backend.spawn(),
+            max_rows=self.max_rows,
+            max_seconds=self.max_seconds,
+        )
+        clone._restore(self._snapshot())
+        return clone
 
     # -- resource hygiene ----------------------------------------------------------
 

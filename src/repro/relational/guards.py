@@ -18,29 +18,43 @@ into the kernels:
   raise at the Nth op invocation and prove crash-consistency (the
   differential sweep in ``tests/backend/test_fault_injection.py``).
 
-Like :mod:`repro.backend.instrument`, the disarmed fast path is two
-module-global ``None`` checks per *op* (not per row), so kernels pay
+Like :mod:`repro.backend.instrument`, the disarmed fast path is one
+module-global counter check per *op* (not per row), so kernels pay
 nothing measurable when no guard or hook is installed — the benchmark
 gate in ``benchmarks/check_regression.py`` holds armed-guard overhead
 under 1.1× as well.
 
-The installation state is process-global and not thread-safe, matching
-the instrumentation collector: sessions are single-threaded by design.
+Budgets and hooks are **per-thread**: :func:`guarded` and
+:func:`op_hook` install for the calling thread only, so the service
+layer (:mod:`repro.service`) can run N pooled sessions concurrently,
+each under its own connection's ``max_rows``/``max_seconds`` budget,
+without one thread's budget charging (or aborting) another's
+statement. A statement therefore always runs under the budget of the
+thread that executes it — matching the per-session guards contract the
+single-threaded library always had.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
 from repro.errors import ResourceLimitError
 
-#: The active resource budget, or ``None`` (disarmed).
-_guard: "ResourceGuard | None" = None
+#: Per-thread active resource budgets, keyed by thread ident.
+_guards: "dict[int, ResourceGuard]" = {}
 
-#: The active fault/observation hook, or ``None`` (disarmed).
-_hook: Callable[[str, int], None] | None = None
+#: Per-thread fault/observation hooks, keyed by thread ident.
+_hooks: dict[int, Callable[[str, int], None]] = {}
+
+#: Fast-path arm counter: ``len(_guards) + len(_hooks)``, maintained
+#: under ``_install_lock`` so concurrent installs cannot lose an
+#: increment. Zero means every checkpoint is a single falsy check.
+_armed = 0
+
+_install_lock = threading.Lock()
 
 
 class ResourceGuard:
@@ -64,16 +78,17 @@ def checkpoint(op: str, rows: int = 0) -> None:
     upper-bound proxy for the work the op is about to do. Near-free when
     nothing is installed.
     """
-    if _hook is None and _guard is None:
+    if not _armed:
         return
     _checkpoint_armed(op, rows)
 
 
 def _checkpoint_armed(op: str, rows: int) -> None:
-    hook = _hook
+    ident = threading.get_ident()
+    hook = _hooks.get(ident)
     if hook is not None:
         hook(op, rows)
-    guard = _guard
+    guard = _guards.get(ident)
     if guard is None:
         return
     guard.rows += rows
@@ -93,23 +108,31 @@ def _checkpoint_armed(op: str, rows: int) -> None:
 def guarded(
     max_rows: int | None = None, max_seconds: float | None = None
 ) -> Iterator[ResourceGuard | None]:
-    """Install a fresh resource budget for the duration of the block.
+    """Install a fresh resource budget for the calling thread's block.
 
     With both limits ``None`` this is a no-op (the fast path stays
     disarmed). Budgets do not nest additively: an inner ``guarded``
     shadows the outer one and restores it on exit, so each statement
-    gets its own fresh budget.
+    gets its own fresh budget. Other threads' budgets are untouched.
     """
-    global _guard
     if max_rows is None and max_seconds is None:
         yield None
         return
-    previous = _guard
-    _guard = guard = ResourceGuard(max_rows, max_seconds)
+    ident = threading.get_ident()
+    guard = ResourceGuard(max_rows, max_seconds)
+    with _install_lock:
+        previous = _guards.get(ident)
+        _guards[ident] = guard
+        _rearm()
     try:
         yield guard
     finally:
-        _guard = previous
+        with _install_lock:
+            if previous is None:
+                _guards.pop(ident, None)
+            else:
+                _guards[ident] = previous
+            _rearm()
 
 
 @contextmanager
@@ -118,15 +141,29 @@ def op_hook(hook: Callable[[str, int], None]) -> Iterator[None]:
 
     The hook receives ``(op, rows)`` and may raise — that is exactly
     how the fault injector simulates a crash inside a kernel op. The
-    previous hook is restored on exit; hooks do not chain.
+    previous hook (of the calling thread) is restored on exit; hooks
+    do not chain and never observe other threads' ops.
     """
-    global _hook
-    previous = _hook
-    _hook = hook
+    ident = threading.get_ident()
+    with _install_lock:
+        previous = _hooks.get(ident)
+        _hooks[ident] = hook
+        _rearm()
     try:
         yield
     finally:
-        _hook = previous
+        with _install_lock:
+            if previous is None:
+                _hooks.pop(ident, None)
+            else:
+                _hooks[ident] = previous
+            _rearm()
+
+
+def _rearm() -> None:
+    """Recompute the fast-path counter; caller holds ``_install_lock``."""
+    global _armed
+    _armed = len(_guards) + len(_hooks)
 
 
 __all__ = ["ResourceGuard", "checkpoint", "guarded", "op_hook"]

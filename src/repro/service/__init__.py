@@ -1,0 +1,64 @@
+"""The multi-session service surface: connections, cursors, a pool.
+
+Everything before this package is a single-session library; this
+package is the part that faces concurrent clients:
+
+* :mod:`repro.service.dbapi` — the PEP 249 facade:
+  :func:`connect` → :class:`Connection` → :class:`Cursor`, commit/
+  rollback mapped onto the PR 7 transaction layer, the standard
+  exception tree (rooted inside :class:`~repro.errors.ReproError`);
+* :mod:`repro.service.pool` — :class:`SessionPool`, the bounded,
+  thread-safe checkout/checkin object threads actually share;
+* :mod:`repro.service.snapshots` — :class:`SnapshotStore`, the
+  copy-on-write snapshot publication protocol (lock-free readers, one
+  writer) that both of the above stand on.
+
+The concurrency contract in one line: **share the pool, not a
+connection** — readers never block, writers serialize, and N threads
+replaying interleaved scripts through the pool observe exactly the
+states some serialized execution of those scripts produces (enforced
+by ``tests/service/test_concurrency_differential.py``).
+"""
+
+from repro.service.dbapi import (
+    Connection,
+    Cursor,
+    DataError,
+    DatabaseError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    Warning,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from repro.service.pool import SessionPool
+from repro.service.snapshots import Snapshot, SnapshotStore
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "DataError",
+    "DatabaseError",
+    "Error",
+    "IntegrityError",
+    "InterfaceError",
+    "InternalError",
+    "NotSupportedError",
+    "OperationalError",
+    "ProgrammingError",
+    "SessionPool",
+    "Snapshot",
+    "SnapshotStore",
+    "Warning",
+    "apilevel",
+    "connect",
+    "paramstyle",
+    "threadsafety",
+]

@@ -1,0 +1,145 @@
+"""Copy-on-write snapshot publication for concurrent sessions.
+
+The whole service layer rests on one invariant the engine has had since
+PR 5: session state objects — world-sets, inlined representations, and
+every table inside them — are **immutable**, and statements commit by
+swapping references. A full-session snapshot
+(:meth:`~repro.isql.session.ISQLSession.export_snapshot`) is therefore
+O(#tables) reference captures, and two sessions restored to the same
+snapshot *share* every underlying table object while diverging freely
+from their next statement — copy-on-write for free.
+
+:class:`SnapshotStore` turns that invariant into a concurrency
+protocol:
+
+* The store holds the **latest published** :class:`Snapshot` — a
+  ``(version, state)`` pair — in a single attribute. Publication is one
+  attribute assignment, atomic under the GIL, so readers loading
+  ``latest()`` always see a complete, committed state and **never take
+  a lock**.
+* Writers serialize through the store's **writer lock**
+  (:meth:`acquire_write` / :meth:`release_write`): at most one
+  connection runs a write transaction at a time, and it publishes its
+  forked session's state as the next version on commit. Because the
+  lock is held from the first write statement to commit/rollback, the
+  published history is a linear sequence of versions — exactly the
+  serialized reference the differential suite replays.
+* N concurrent readers each run on their own forked session
+  (:meth:`spawn_session`) restored to some published snapshot; a DML
+  batch running concurrently mutates only the writer's private session
+  and becomes visible to readers atomically at publication. Readers
+  re-syncing to ``latest()`` get read-committed; readers that pin their
+  snapshot get full snapshot isolation.
+
+This module is deliberately free of DBAPI vocabulary — lock timeouts
+surface as boolean returns, not exceptions — so the pool and the DBAPI
+facade layer policy on top without an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import EvaluationError
+from repro.isql.session import ISQLSession
+
+
+class Snapshot:
+    """One published version of the shared state: ``(version, state)``.
+
+    *state* is the opaque :meth:`ISQLSession.export_snapshot` token —
+    immutable, sharable across sessions, O(#tables). Snapshots compare
+    by identity; *version* increases by one per publication.
+    """
+
+    __slots__ = ("version", "state")
+
+    def __init__(self, version: int, state: object) -> None:
+        self.version = version
+        self.state = state
+
+    def __repr__(self) -> str:
+        return f"Snapshot(version={self.version})"
+
+
+class SnapshotStore:
+    """The shared side of a service endpoint: latest state + writer lock.
+
+    Built from a seed :class:`ISQLSession` whose current state becomes
+    version 0. The seed becomes the store's *template*: it is never
+    executed on again, only :meth:`~repro.isql.session.ISQLSession.fork`-ed
+    to mint per-connection sessions (same backend kind/kernel/strategy,
+    same ``max_worlds``, private mutable references).
+    """
+
+    def __init__(self, session: ISQLSession) -> None:
+        self._template = session
+        self._write_lock = threading.Lock()
+        self._writer: int | None = None
+        #: The latest published snapshot. Reassigned atomically under
+        #: the GIL by :meth:`publish`; read lock-free by everyone else.
+        self._current = Snapshot(0, session.export_snapshot())
+
+    # -- readers (lock-free) ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Version number of the latest published snapshot."""
+        return self._current.version
+
+    def latest(self) -> Snapshot:
+        """The latest published snapshot; never blocks."""
+        return self._current
+
+    def spawn_session(self) -> tuple[ISQLSession, int]:
+        """A fresh private session at the latest snapshot.
+
+        Returns ``(session, version)``. The session shares all current
+        table objects with every other session of this store
+        (copy-on-write) but owns its mutable references outright.
+        """
+        session = self._template.fork()
+        snapshot = self._current
+        session.restore_snapshot(snapshot.state)
+        return session, snapshot.version
+
+    # -- the single writer -----------------------------------------------------------
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Become the writer; False if *timeout* elapses first.
+
+        ``None`` blocks indefinitely. The caller must pair a ``True``
+        return with :meth:`release_write` (after an optional
+        :meth:`publish`).
+        """
+        acquired = self._write_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        )
+        if acquired:
+            self._writer = threading.get_ident()
+        return acquired
+
+    def release_write(self) -> None:
+        """Release the writer lock taken by :meth:`acquire_write`."""
+        self._writer = None
+        self._write_lock.release()
+
+    def publish(self, state: object) -> Snapshot:
+        """Publish *state* as the next version; writer-lock holders only.
+
+        One attribute assignment — readers see either the old or the
+        new snapshot in full, never a mix.
+        """
+        if self._writer != threading.get_ident():
+            raise EvaluationError(
+                "publish() requires the writer lock; call acquire_write() first"
+            )
+        snapshot = Snapshot(self._current.version + 1, state)
+        self._current = snapshot
+        return snapshot
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(version={self._current.version})"
+
+
+__all__ = ["Snapshot", "SnapshotStore"]

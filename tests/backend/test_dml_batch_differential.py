@@ -26,7 +26,7 @@ import random
 import pytest
 
 from repro.backend import InlineBackend
-from repro.backend.testing import assert_backends_agree
+from repro.backend.testing import assert_backends_agree, fuzz_range
 from repro.datagen import Scenario
 from repro.errors import SchemaError
 from repro.isql import ISQLSession
@@ -141,7 +141,7 @@ def _replay(scenario: Scenario, backend, batched: bool):
     return session, flags
 
 
-@pytest.mark.parametrize("index", range(48))
+@pytest.mark.parametrize("index", fuzz_range(48))
 def test_batched_equals_statement_at_a_time_per_backend(index):
     """run_script vs execute: same flags, same state, every backend."""
     rng = random.Random(5000 + index)
@@ -160,7 +160,7 @@ def test_batched_equals_statement_at_a_time_per_backend(index):
         )
 
 
-@pytest.mark.parametrize("index", range(24))
+@pytest.mark.parametrize("index", fuzz_range(24))
 def test_batched_backends_agree_with_each_other(index):
     """The batched route itself, differentially across all backends
     (run_scenario executes scripts through run_script)."""
@@ -168,7 +168,7 @@ def test_batched_backends_agree_with_each_other(index):
     assert_backends_agree(_batch_case(rng, index), BACKENDS)
 
 
-@pytest.mark.parametrize("index", range(24))
+@pytest.mark.parametrize("index", fuzz_range(24))
 def test_batched_scripts_are_fallback_free(index):
     from repro.backend.testing import run_scenario
 

@@ -23,7 +23,7 @@ import random
 import pytest
 
 from repro.backend import InlineBackend
-from repro.backend.testing import assert_backends_agree
+from repro.backend.testing import assert_backends_agree, fuzz_range
 from repro.datagen import Scenario
 from repro.errors import EvaluationError
 from repro.isql import ISQLSession
@@ -113,14 +113,14 @@ def _dml_case(rng: random.Random, index: int) -> Scenario:
     )
 
 
-@pytest.mark.parametrize("index", range(64))
+@pytest.mark.parametrize("index", fuzz_range(64))
 def test_randomized_dml_scripts_agree(index):
     rng = random.Random(4000 + index)
     scenario = _dml_case(rng, index)
     assert_backends_agree(scenario, BACKENDS)
 
 
-@pytest.mark.parametrize("index", range(16))
+@pytest.mark.parametrize("index", fuzz_range(16))
 def test_randomized_dml_scripts_are_fallback_free(index):
     """Every generated statement must stay on the flat tables."""
     from repro.backend.testing import run_scenario

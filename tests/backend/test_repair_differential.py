@@ -22,7 +22,7 @@ import random
 import pytest
 
 from repro.backend import InlineBackend
-from repro.backend.testing import assert_backends_agree
+from repro.backend.testing import assert_backends_agree, fuzz_range
 from repro.datagen import Scenario
 from repro.errors import EvaluationError
 from repro.isql.parser import parse_script
@@ -56,7 +56,7 @@ BACKENDS = (
 #: crash consistency is covered by the scenario fault suite).
 INLINE_BACKENDS = tuple(b for b in BACKENDS if b[0] != "explicit")
 
-SEEDS = tuple(range(8))
+SEEDS = tuple(fuzz_range(8))
 
 CITIES = tuple(f"C{i}" for i in range(5))
 

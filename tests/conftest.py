@@ -1,12 +1,33 @@
-"""Shared fixtures: the paper's example relations and world-sets."""
+"""Shared fixtures: the paper's example relations and world-sets.
+
+Also hosts the nightly-fuzz artifact hook: when ``REPRO_FUZZ_ARTIFACTS``
+names a directory, every failing test's node id is appended to
+``failing_seeds.txt`` there. The randomized differential suites encode
+their seed in the parametrized id, so the scaled nightly run
+(``REPRO_FUZZ_SCRIPTS=2000``) leaves behind exactly the commands needed
+to reproduce each failure at PR-time scale.
+"""
 
 from __future__ import annotations
+
+import os
+import pathlib
 
 import pytest
 
 from repro.datagen import paper_company, paper_flights
 from repro.relational import Database, Relation
 from repro.worlds import World, WorldSet
+
+
+def pytest_runtest_logreport(report: pytest.TestReport) -> None:
+    artifacts = os.environ.get("REPRO_FUZZ_ARTIFACTS")
+    if not artifacts or not report.failed or report.when != "call":
+        return
+    directory = pathlib.Path(artifacts)
+    directory.mkdir(parents=True, exist_ok=True)
+    with open(directory / "failing_seeds.txt", "a", encoding="utf-8") as out:
+        out.write(report.nodeid + "\n")
 
 
 @pytest.fixture

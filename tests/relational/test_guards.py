@@ -7,6 +7,8 @@ handling, shadowing/restore discipline, hook semantics — and that the
 kernel ops actually cross it.
 """
 
+import threading
+
 import pytest
 
 from repro.errors import EvaluationError, ReproError, ResourceLimitError
@@ -15,20 +17,28 @@ from repro.relational import guards
 from repro.relational.guards import checkpoint, guarded, op_hook
 
 
+def _my_guard():
+    return guards._guards.get(threading.get_ident())
+
+
+def _my_hook():
+    return guards._hooks.get(threading.get_ident())
+
+
 @pytest.fixture
 def flights():
     return Relation(("Dep", "Arr"), [("FRA", "BCN"), ("FRA", "ATL"), ("PAR", "ATL")])
 
 
 def test_disarmed_checkpoint_is_a_noop():
-    assert guards._guard is None and guards._hook is None
+    assert _my_guard() is None and _my_hook() is None
     checkpoint("select", 10**9)  # nothing installed: never raises
 
 
 def test_guarded_with_no_limits_stays_disarmed():
     with guarded(None, None) as guard:
         assert guard is None
-        assert guards._guard is None
+        assert _my_guard() is None
         checkpoint("select", 10**9)
 
 
@@ -53,19 +63,19 @@ def test_guard_restored_after_block_and_after_raise():
     with pytest.raises(ResourceLimitError):
         with guarded(max_rows=0):
             checkpoint("select", 1)
-    assert guards._guard is None
+    assert _my_guard() is None
     checkpoint("select", 10**9)  # disarmed again
 
 
 def test_inner_guard_shadows_outer_and_restores_it():
     with guarded(max_rows=1) as outer:
         with guarded(max_rows=100) as inner:
-            assert guards._guard is inner
+            assert _my_guard() is inner
             checkpoint("select", 50)  # over the *outer* limit: inner rules
-        assert guards._guard is outer
+        assert _my_guard() is outer
         with pytest.raises(ResourceLimitError):
             checkpoint("select", 2)
-    assert guards._guard is None
+    assert _my_guard() is None
 
 
 def test_each_guard_starts_with_a_fresh_budget():
@@ -81,7 +91,41 @@ def test_op_hook_observes_every_checkpoint_and_restores():
         checkpoint("select", 3)
         checkpoint("mask", 7)
     assert seen == [("select", 3), ("mask", 7)]
-    assert guards._hook is None
+    assert _my_hook() is None
+
+
+def test_guard_is_per_thread():
+    # A budget installed in one thread never charges (or aborts) another
+    # thread's ops — the contract the service-layer pool relies on.
+    errors = []
+
+    def other_thread():
+        try:
+            checkpoint("select", 10**9)  # unbudgeted in this thread
+            with guarded(max_rows=0):
+                with pytest.raises(ResourceLimitError):
+                    checkpoint("select", 1)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    with guarded(max_rows=5):
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+        checkpoint("select", 5)  # this thread's budget is untouched
+        with pytest.raises(ResourceLimitError):
+            checkpoint("select", 1)
+    assert not errors
+
+
+def test_hook_is_per_thread():
+    seen = []
+    with op_hook(lambda op, rows: seen.append(op)):
+        worker = threading.Thread(target=lambda: checkpoint("mask", 1))
+        worker.start()
+        worker.join()
+        checkpoint("select", 1)
+    assert seen == ["select"]
 
 
 def test_op_hook_restores_previous_hook():

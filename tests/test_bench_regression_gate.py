@@ -500,3 +500,62 @@ def test_guarded_row_disappearing_fails():
     baseline = _payload(_guarded_row())
     problems = check_regression.check(baseline, _payload(), 2.0, 0.002)
     assert len(problems) == 1 and "inline-guarded" in problems[0]
+
+
+# -- the ISSUE 9 extensions: pooled-reader snapshot overhead ------------------------
+
+
+def _pool_row(scenario="pool_concurrent_readers", seconds=0.12, overhead=1.06):
+    return _row(
+        scenario, backend="inline-pool", seconds=seconds, snapshot_overhead=overhead
+    )
+
+
+def test_snapshot_overhead_within_budget_passes():
+    current = _payload(_pool_row())
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_snapshot_overhead_past_budget_fails():
+    current = _payload(_pool_row(overhead=1.35))
+    problems = check_regression.check(_payload(), current, 2.0, 0.002)
+    assert len(problems) == 1 and "snapshot overhead" in problems[0]
+
+
+def test_snapshot_overhead_gate_is_absolute_not_baseline_relative():
+    """Like the guard gate: a bad ratio fails even when the baseline's
+    was just as bad — the 1.2× budget is the contract, not the trend."""
+    baseline = _payload(_pool_row(overhead=1.5))
+    current = _payload(_pool_row(overhead=1.5))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "1.500" in problems[0]
+
+
+def test_snapshot_overhead_custom_threshold():
+    current = _payload(_pool_row(overhead=1.35))
+    assert (
+        check_regression.check(
+            _payload(), current, 2.0, 0.002, snapshot_threshold=1.5
+        )
+        == []
+    )
+
+
+def test_snapshot_overhead_noise_floor_skips_fast_rows():
+    current = _payload(_pool_row(seconds=0.01, overhead=3.0))
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_pool_row_without_ratio_does_not_gate():
+    current = _payload(
+        _row("pool_concurrent_readers", backend="inline-pool", seconds=0.5)
+    )
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_pool_row_disappearing_fails():
+    """The presence half of the gate: losing the inline-pool row (and
+    with it the paired ratio) must not pass silently."""
+    baseline = _payload(_pool_row())
+    problems = check_regression.check(baseline, _payload(), 2.0, 0.002)
+    assert len(problems) == 1 and "inline-pool" in problems[0]
