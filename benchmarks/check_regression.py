@@ -76,6 +76,16 @@ Rules:
   seconds happen to pass. A measured row that *loses* the field while
   the baseline recorded it fails too — dropped instrumentation would
   silently disarm this gate;
+* the prepared-statement **replay speedup** gates absolutely: the
+  ``inline-replay`` row's ``plan_cache_speedup`` (a paired same-process
+  uncached/cached ratio recorded by the benchmark — the same statement
+  re-executed 100× under interleaved DML) must stay ≥
+  ``--replay-threshold`` (default 3×) whenever the uncached side is
+  slow enough to measure, a baseline replay row must not silently
+  disappear, and a measured replay row must keep its
+  ``plan_cache_speedup`` *and* ``cache_hit_rate`` fields once the
+  baseline recorded them — dropped cache instrumentation would disarm
+  the very gate that guards the statement cache's reason to exist;
 * the ``array_speedup_over_columnar_kernel`` map gates on presence and
   threshold: a scenario whose baseline file records an array-vs-
   columnar speedup must still record one (the ``inline-array`` row and
@@ -134,6 +144,16 @@ SNAPSHOT_MIN_SECONDS = 0.05
 #: the paired same-process single-session replay (checkout, snapshot
 #: sync, the DBAPI text path, checkin) must stay within this factor.
 SNAPSHOT_THRESHOLD = 1.2
+
+#: Below this *uncached* wall-clock (cached seconds × speedup), a
+#: replay ratio is timer jitter, not a measurement.
+REPLAY_MIN_SECONDS = 0.05
+
+#: The prepared-statement replay bar: the paired same-process
+#: uncached/cached ratio on ``inline-replay`` rows must not collapse
+#: below this — the plan cache + result memo losing their edge is the
+#: regression the PR 10 ≥ 3× acceptance bar exists to catch.
+REPLAY_THRESHOLD = 3.0
 
 
 def _is_dml(scenario: str) -> bool:
@@ -249,6 +269,7 @@ def check(
     guard_threshold: float = GUARD_THRESHOLD,
     size_threshold: float = SIZE_THRESHOLD,
     snapshot_threshold: float = SNAPSHOT_THRESHOLD,
+    replay_threshold: float = REPLAY_THRESHOLD,
 ) -> list[str]:
     """The list of regression messages (empty = pass)."""
     problems: list[str] = []
@@ -373,6 +394,47 @@ def check(
                 "the pooled-reader cost must stay measured (or carried "
                 "over by the benchmark writer)"
             )
+    # The prepared-statement replay: the ``inline-replay`` row's
+    # ``plan_cache_speedup`` is a paired same-process uncached/cached
+    # ratio recorded by the benchmark, so it gates absolutely. The
+    # noise floor is on the *uncached* side (cached seconds × speedup):
+    # a cached replay is supposed to be tiny, its paired baseline must
+    # not be. Baseline replay rows must not silently disappear, and a
+    # measured replay row must keep the cache fields the baseline
+    # recorded — dropped instrumentation disarms this gate.
+    current_replay = _rows(current, "inline-replay")
+    for scenario, replay in sorted(current_replay.items()):
+        speedup = replay.get("plan_cache_speedup")
+        seconds = replay.get("seconds")
+        if speedup is None or seconds is None:
+            continue
+        if seconds * speedup < REPLAY_MIN_SECONDS:
+            continue
+        if speedup < replay_threshold:
+            problems.append(
+                f"{scenario}: plan-cache replay speedup {speedup:.2f}× "
+                f"< {replay_threshold:.1f}× budget — the statement cache "
+                "collapsed on the prepared-statement hot path"
+            )
+    baseline_replay = _rows(baseline, "inline-replay")
+    for scenario, old in sorted(baseline_replay.items()):
+        new = current_replay.get(scenario)
+        if new is None:
+            problems.append(
+                f"{scenario}: the inline-replay row disappeared — the "
+                "plan-cache speedup must stay measured (or carried over "
+                "by the benchmark writer)"
+            )
+            continue
+        if new.get("seconds") is None:
+            continue  # infeasible rows record no cache fields
+        for field in ("plan_cache_speedup", "cache_hit_rate"):
+            if old.get(field) is not None and new.get(field) is None:
+                problems.append(
+                    f"{scenario}: the inline-replay row lost its {field} "
+                    "field — dropped cache instrumentation disarms this "
+                    "gate"
+                )
     problems.extend(_size_problems(baseline, current, size_threshold))
     old_array = baseline.get("array_speedup_over_columnar_kernel") or {}
     new_array = current.get("array_speedup_over_columnar_kernel") or {}
@@ -404,6 +466,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--snapshot-threshold", type=float, default=SNAPSHOT_THRESHOLD
     )
+    parser.add_argument(
+        "--replay-threshold", type=float, default=REPLAY_THRESHOLD
+    )
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())
@@ -416,6 +481,7 @@ def main(argv: list[str] | None = None) -> int:
         guard_threshold=args.guard_threshold,
         size_threshold=args.size_threshold,
         snapshot_threshold=args.snapshot_threshold,
+        replay_threshold=args.replay_threshold,
     )
     if problems:
         print("inline benchmark regressions:")

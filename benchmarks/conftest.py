@@ -39,6 +39,8 @@ def record_backend_timing(
     infeasible: bool = False,
     guard_overhead: float | None = None,
     snapshot_overhead: float | None = None,
+    plan_cache_speedup: float | None = None,
+    cache_hit_rate: float | None = None,
 ) -> None:
     """Append one (scenario, backend) timing row for BENCH_backends.json.
 
@@ -63,6 +65,14 @@ def record_backend_timing(
     rows) is the same idea for the service layer: pooled concurrent
     readers against the paired single-session replay of the same
     reads, gated absolutely at ≤ 1.2×.
+
+    *plan_cache_speedup* (on ``inline-replay`` rows) is the paired
+    same-process uncached/cached wall-clock ratio of the prepared-
+    statement replay benchmark (the same statement re-executed under
+    interleaved DML on another table); *cache_hit_rate* is the cached
+    run's hits/(hits+misses). Both gate in ``check_regression.py``:
+    the speedup must not collapse below 3× and a committed hit-rate
+    must not silently disappear.
     """
     row: dict = {
         "scenario": scenario,
@@ -93,6 +103,10 @@ def record_backend_timing(
         row["guard_overhead"] = round(guard_overhead, 3)
     if snapshot_overhead is not None:
         row["snapshot_overhead"] = round(snapshot_overhead, 3)
+    if plan_cache_speedup is not None:
+        row["plan_cache_speedup"] = round(plan_cache_speedup, 3)
+    if cache_hit_rate is not None:
+        row["cache_hit_rate"] = round(cache_hit_rate, 4)
     # Every row states its kernel — explicitly null for backends that
     # have none (the explicit engine), so a missing key can only mean
     # a pre-registry row, not an unstated default.

@@ -75,7 +75,14 @@ from repro.inline import (
     optimized_ra_query,
     translate_general,
 )
-from repro.isql import ISQLSession, compile_query, parse_query, parse_script
+from repro.cache import CacheInfo, StatementCache
+from repro.isql import (
+    ISQLSession,
+    StatementResult,
+    compile_query,
+    parse_query,
+    parse_script,
+)
 from repro.backend import (
     Backend,
     ExplicitBackend,
@@ -91,6 +98,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Backend",
+    "CacheInfo",
     "Database",
     "EvaluationError",
     "ExplicitBackend",
@@ -108,6 +116,8 @@ __all__ = [
     "SchemaError",
     "SessionPool",
     "SnapshotStore",
+    "StatementCache",
+    "StatementResult",
     "TranslationError",
     "TypingError",
     "WSAQuery",

@@ -33,11 +33,19 @@ if TYPE_CHECKING:  # the isql package imports this module at init time
 
 @dataclass(frozen=True)
 class ExecutionContext:
-    """Per-statement session configuration handed to a backend."""
+    """Per-statement session configuration handed to a backend.
+
+    *cache* is the statement's cache gate: ``False`` makes a caching
+    backend bypass its plan cache and result memo for this statement
+    (the ``execute(..., cache=False)`` / ``connect(..., cache=False)``
+    escape hatch of the differential suites). Backends without caches
+    ignore it.
+    """
 
     views: Mapping[str, ast.SelectQuery] = field(default_factory=dict)
     keys: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     max_worlds: int | None = None
+    cache: bool = True
 
 
 class BaseQueryResult:
@@ -91,6 +99,20 @@ class Backend:
 
     #: Short name used by ``ISQLSession(backend=...)`` and diagnostics.
     kind = "abstract"
+
+    #: How the cache treated the most recent statement: ``"hit"`` (plan
+    #: or memo served from cache), ``"miss"`` (compiled fresh, now
+    #: cached), or ``"bypass"`` (no cache consulted — non-caching
+    #: backend, ``cache=False``, or a statement kind that never caches).
+    #: The session resets this to ``"bypass"`` before dispatching each
+    #: statement and copies it into the :class:`StatementResult`.
+    last_cache = "bypass"
+
+    def cache_info(self):
+        """Aggregate cache counters; all-zero for non-caching backends."""
+        from repro.cache import CacheInfo
+
+        return CacheInfo.empty()
 
     # -- catalog ------------------------------------------------------------------
 

@@ -58,6 +58,7 @@ from typing import NamedTuple
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext
 from repro.backend.explicit import QueryResult
 from repro.backend.instrument import phase
+from repro.cache import MISS, CacheInfo, StatementCache
 from repro.errors import (
     EvaluationError,
     RewriteError,
@@ -208,6 +209,27 @@ class InlineQueryResult(BaseQueryResult):
         )
 
 
+def _carrying_versions(
+    replacement: InlinedRepresentation,
+    source: InlinedRepresentation,
+    added: str,
+) -> InlinedRepresentation:
+    """Carry *source*'s table/world versions onto a same-worlds commit.
+
+    Constructing an :class:`InlinedRepresentation` mints fresh versions
+    for every table, which would invalidate the whole result memo. A
+    commit that only *adds* a table (``register``, a world-preserving
+    assignment) leaves the existing tables and the world table
+    untouched, so their versions carry over verbatim; only the added
+    name keeps its fresh mint.
+    """
+    versions = dict(source.versions)
+    versions[added] = replacement.versions[added]
+    replacement.versions = versions
+    replacement.world_version = source.world_version
+    return replacement
+
+
 class InlineBackend(Backend):
     """Session state as an inlined representation; flat-table evaluation."""
 
@@ -219,6 +241,7 @@ class InlineBackend(Backend):
         strategy: str = "physical",
         rewrite: bool = True,
         kernel: str | None = None,
+        cache: "bool | StatementCache" = True,
     ) -> None:
         if strategy not in ("physical", "translate"):
             raise EvaluationError(
@@ -236,6 +259,24 @@ class InlineBackend(Backend):
         self.rewrite = rewrite
         #: Pinned kernel, or None to follow ``REPRO_KERNEL`` per statement.
         self.kernel = kernel
+        #: The statement cache: a private StatementCache (``cache=True``),
+        #: a shared one (``spawn()`` hands the parent's instance to every
+        #: child, making it pool-wide), or None (``cache=False``).
+        if cache is True:
+            self.cache: StatementCache | None = StatementCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        elif isinstance(cache, StatementCache):
+            self.cache = cache
+        else:
+            raise EvaluationError(
+                f"cache must be True, False, or a StatementCache, got {cache!r}"
+            )
+        #: How the cache treated the most recent statement (see Backend).
+        self.last_cache = "bypass"
+        #: Total fallback-route statements over the session's lifetime
+        #: (fallback_events keeps only the newest FALLBACK_EVENT_LIMIT).
+        self.fallback_total = 0
         #: Recent fallback-route events: (kind, reason, clause, span).
         #: Bounded — a long session keeps only the newest
         #: FALLBACK_EVENT_LIMIT diagnostics; ``close()`` clears them.
@@ -258,12 +299,16 @@ class InlineBackend(Backend):
         # replication however many worlds the session already has.
         rep = self.representation
         self._commit(
-            InlinedRepresentation(
-                tuple(rep.tables.items()) + ((name, relation),),
-                rep._world_table,
-                rep.id_attrs,
-                factors=rep.factors,
-                wild_attrs=rep.wild_attrs,
+            _carrying_versions(
+                InlinedRepresentation(
+                    tuple(rep.tables.items()) + ((name, relation),),
+                    rep._world_table,
+                    rep.id_attrs,
+                    factors=rep.factors,
+                    wild_attrs=rep.wild_attrs,
+                ),
+                rep,
+                name,
             )
         )
 
@@ -290,9 +335,21 @@ class InlineBackend(Backend):
         its tables (and of the world table) rebuild on demand. The
         fallback-event log is dropped too; it exists for diagnostics of
         statements already executed.
+
+        The statement cache is **detached**, not cleared: a retired
+        session must stop pinning memoized relations, but when the
+        instance is shared pool-wide (``spawn()``), clearing would wipe
+        the siblings' entries. The replacement keeps the configured
+        bounds, so a reused session caches again from empty.
         """
         self._decoded = None
         self.fallback_events.clear()
+        if self.cache is not None:
+            self.cache = StatementCache(
+                plan_entries=self.cache.plans.maxsize,
+                memo_entries=self.cache.memo.maxsize,
+                parse_entries=self.cache.parses.maxsize,
+            )
         rep = self.representation
         for _, relation in rep.tables.items():
             relation.clear_caches()
@@ -331,11 +388,23 @@ class InlineBackend(Backend):
         representation; the service layer immediately :meth:`restore`\\ s
         a snapshot token into it, which *shares* the immutable tables of
         the source representation — the copy-on-write handoff that makes
-        pooled sessions O(#tables) to create.
+        pooled sessions O(#tables) to create. The statement cache is
+        passed **by reference**: every session forked from one template
+        shares the same plan cache and result memo (lock-cheap — see
+        :mod:`repro.cache`), so compilation amortizes pool-wide.
         """
         return InlineBackend(
-            strategy=self.strategy, rewrite=self.rewrite, kernel=self.kernel
+            strategy=self.strategy,
+            rewrite=self.rewrite,
+            kernel=self.kernel,
+            cache=self.cache if self.cache is not None else False,
         )
+
+    def cache_info(self) -> CacheInfo:
+        """Aggregate hit/miss/entry counters of the statement cache."""
+        if self.cache is None:
+            return CacheInfo.empty()
+        return self.cache.info()
 
     def _fresh_name(self, stem: str = "Q") -> str:
         return fresh_name(self.relation_names(), stem)
@@ -346,11 +415,155 @@ class InlineBackend(Backend):
         rep = self.representation
         return {name: rep.value_attributes(name) for name in rep.tables}
 
+    def _catalog_key(self, context: ExecutionContext) -> tuple:
+        """The schema/view epoch a compiled plan is valid for.
+
+        Value schemas (in catalog order) plus the view definitions: the
+        exact inputs of :func:`compile_query` besides the statement
+        itself. Assignments, registrations, and view changes shift this
+        key, so a plan compiled against the old catalog can never be
+        served against the new one.
+        """
+        rep = self.representation
+        return (
+            tuple((name, rep.value_attributes(name)) for name in rep.tables),
+            tuple(sorted(context.views.items())),
+        )
+
+    def _world_kind(self) -> str:
+        """The one-vs-many-worlds bit the rewriter specializes plans on."""
+        if not self.rewrite:
+            return "-"
+        return "1" if self.representation.world_count() <= 1 else "m"
+
+    def _plan_key(self, tag: str, statement, context: ExecutionContext) -> tuple:
+        return (
+            tag,
+            statement,
+            self._catalog_key(context),
+            self.strategy,
+            self.rewrite,
+            self._world_kind(),
+        )
+
     def _compile(self, query: ast.SelectQuery, context: ExecutionContext):
-        """I-SQL → world-set algebra, then the Figure 7 rewriting pass."""
+        """I-SQL → world-set algebra, then the Figure 7 rewriting pass.
+
+        Consults the plan cache first: a hit skips both compilation and
+        rewriting (the cached artifact is the *rewritten* plan). Compile
+        failures (FragmentError → explicit-engine fallback) are never
+        cached — their diagnostics carry source spans, which the
+        span-insensitive statement fingerprint would skew.
+        """
+        cache = self.cache if context.cache else None
+        if cache is not None:
+            key = self._plan_key("select", query, context)
+            with phase("cache_lookup"):
+                hit = cache.plans.get(key)
+            if hit is not MISS:
+                self.last_cache = "hit"
+                return hit
         with phase("compile"):
             compiled = compile_query(query, self._value_schemas(), dict(context.views))
-        return self._rewritten(compiled)
+        compiled = self._rewritten(compiled)
+        if cache is not None:
+            cache.plans.put(key, compiled)
+            self.last_cache = "miss"
+        return compiled
+
+    def _compiled_dml(
+        self, tag: str, statement, context: ExecutionContext, compiler
+    ) -> tuple:
+        """A DML statement's rewritten match plan + metadata, via the cache.
+
+        Returns exactly what *compiler* (:func:`compile_delete` /
+        :func:`compile_update`) returns, with the plan component already
+        rewritten — callers must not rewrite again. FragmentError
+        propagates uncached, like :meth:`_compile`.
+        """
+        cache = self.cache if context.cache else None
+        if cache is not None:
+            key = self._plan_key(tag, statement, context)
+            with phase("cache_lookup"):
+                hit = cache.plans.get(key)
+            if hit is not MISS:
+                self.last_cache = "hit"
+                return hit
+        with phase("compile"):
+            parts = compiler(statement, self._value_schemas(), dict(context.views))
+        parts = (self._rewritten(parts[0]),) + tuple(parts[1:])
+        if cache is not None:
+            cache.plans.put(key, parts)
+            self.last_cache = "miss"
+        return parts
+
+    def _memo_key(self, query: ast.SelectQuery, context: ExecutionContext):
+        """The result-memo fingerprint of a select, or None if unkeyable.
+
+        Keys on the statement plus the version counters of every
+        relation it reads (and the world version): DML deltas mint a
+        fresh version for exactly the table they touch, so the key
+        changes precisely when the answer could. Versions live inside
+        the (immutable) representation, so snapshot restore / rollback
+        bring the old versions back with the old tables and a pinned
+        reader keeps hitting its own snapshot's entries. Unknown
+        relation names return None so resolution errors surface
+        identically cached or not.
+        """
+        rep = self.representation
+        views = dict(context.views)
+        try:
+            versions = tuple(
+                sorted(
+                    (name, rep.versions[name])
+                    for name in ast.referenced_relations(query, views)
+                )
+            )
+        except KeyError:
+            return None
+        return (
+            "memo",
+            query,
+            versions,
+            rep.world_version,
+            self.strategy,
+            self.rewrite,
+            self.resolved_kernel,
+            context.max_worlds,
+            tuple(sorted(views.items())),
+        )
+
+    def _memoized_state(
+        self, query: ast.SelectQuery, compiled, context: ExecutionContext
+    ) -> PhysicalState:
+        """Evaluate *compiled*, memoizing world-preserving results.
+
+        Only states that mint no fresh world ids (and no new wildcard
+        columns) are stored: they are pure functions of the versioned
+        input tables, and replaying them from the memo cannot collide
+        with ids a later statement mints. ``choice-of`` / repair results
+        always re-evaluate.
+        """
+        cache = self.cache if context.cache else None
+        key = self._memo_key(query, context) if cache is not None else None
+        if key is not None:
+            with phase("cache_lookup"):
+                hit = cache.memo.get(key)
+            if hit is not MISS:
+                self.last_cache = "hit"
+                return hit
+        state = self._evaluate(compiled, context)
+        if key is not None:
+            rep = self.representation
+            if set(state.ids) <= set(rep.id_attrs) and state.wild <= rep.wild_attrs:
+                cache.memo.put(key, state)
+        return state
+
+    def _note_fallback(self, kind: str, reason: FragmentError) -> None:
+        self.fallback_total += 1
+        self.fallback_events.append(
+            FallbackEvent(kind, str(reason), reason.clause, reason.span)
+        )
 
     def _rewritten(self, compiled):
         """The Figure 7 rewriting pass (best effort — plans stay correct)."""
@@ -421,11 +634,9 @@ class InlineBackend(Backend):
         try:
             compiled = self._compile(query, context)
         except FragmentError as reason:
-            self.fallback_events.append(
-                FallbackEvent("select", str(reason), reason.clause, reason.span)
-            )
+            self._note_fallback("select", reason)
             return self._fallback_select(query, context, name)
-        state = self._evaluate(compiled, context)
+        state = self._memoized_state(query, compiled, context)
         return InlineQueryResult(self.representation, state, result_name)
 
     def assign(
@@ -434,16 +645,14 @@ class InlineBackend(Backend):
         try:
             compiled = self._compile(query, context)
         except FragmentError as reason:
-            self.fallback_events.append(
-                FallbackEvent("assign", str(reason), reason.clause, reason.span)
-            )
+            self._note_fallback("assign", reason)
             engine = Engine(context.views, context.keys, context.max_worlds)
             world_set = self.to_world_set()
             with phase("execute"):
                 extended, _ = engine.run_select(query, world_set, name=name)
             self._reinline(extended)
             return
-        state = self._evaluate(compiled, context)
+        state = self._memoized_state(query, compiled, context)
         rep = self.representation
         fresh = tuple(i for i in state.ids if i not in set(rep.id_attrs))
         if not fresh:
@@ -456,12 +665,16 @@ class InlineBackend(Backend):
             assert state.wild <= rep.wild_attrs
             tables = tuple(rep.tables.items()) + ((name, state.answer),)
             self._commit(
-                InlinedRepresentation(
-                    tables,
-                    rep._world_table,
-                    rep.id_attrs,
-                    factors=rep.factors,
-                    wild_attrs=rep.wild_attrs,
+                _carrying_versions(
+                    InlinedRepresentation(
+                        tables,
+                        rep._world_table,
+                        rep.id_attrs,
+                        factors=rep.factors,
+                        wild_attrs=rep.wild_attrs,
+                    ),
+                    rep,
+                    name,
                 )
             )
             return
@@ -610,14 +823,15 @@ class InlineBackend(Backend):
         return cls._key_tuples(relation, key, table_ids) is not None
 
     def _dml_state(self, plan, context: ExecutionContext):
-        """Evaluate a DML match plan against the session representation.
+        """Evaluate a (rewritten) DML match plan against the session state.
 
         The apply paths mask/scatter by exact id match, so a wild
         (PAD-pattern) answer expands to joint ids here — over the
         touched factors only, mirroring :meth:`InlinedRepresentation.expanded`
-        on the table side.
+        on the table side. *plan* comes out of :meth:`_compiled_dml`
+        already rewritten.
         """
-        state = self._evaluate(self._rewritten(plan), context).plain()
+        state = self._evaluate(plan, context).plain()
         stray = [i for i in state.ids if i not in set(self.representation.id_attrs)]
         assert not stray, f"DML plan minted world ids {stray}"
         return state
@@ -665,7 +879,7 @@ class InlineBackend(Backend):
             self._in_kernel(rep.tables[name]).project(rep.value_attributes(name))
         )
         uniform = rep.replacing(name, projected, validate=False)
-        state = self._evaluate(self._rewritten(plan), context, uniform)
+        state = self._evaluate(plan, context, uniform)
         assert not state.ids, f"value-determined DML plan minted ids {state.ids}"
         return state
 
@@ -771,14 +985,11 @@ class InlineBackend(Backend):
         subqueries = ast.condition_subqueries(statement.where)
         if subqueries:
             try:
-                with phase("compile"):
-                    plan, attrs = compile_delete(
-                        statement, self._value_schemas(), dict(context.views)
-                    )
-            except FragmentError as reason:
-                self.fallback_events.append(
-                    FallbackEvent("delete", str(reason), reason.clause, reason.span)
+                plan, attrs = self._compiled_dml(
+                    "delete", statement, context, compile_delete
                 )
+            except FragmentError as reason:
+                self._note_fallback("delete", reason)
                 self._reinline(
                     Engine(
                         context.views, context.keys, context.max_worlds
@@ -864,16 +1075,11 @@ class InlineBackend(Backend):
             subqueries.extend(ast.expression_subqueries(clause.expression))
         if subqueries:
             try:
-                with phase("compile"):
-                    plan, attrs, set_terms = compile_update(
-                        statement, self._value_schemas(), dict(context.views)
-                    )
-            except FragmentError as reason:
-                self.fallback_events.append(
-                    FallbackEvent(
-                        "update", str(reason), reason.clause, reason.span
-                    )
+                plan, attrs, set_terms = self._compiled_dml(
+                    "update", statement, context, compile_update
                 )
+            except FragmentError as reason:
+                self._note_fallback("update", reason)
                 world_set, applied = Engine(
                     context.views, context.keys, context.max_worlds
                 ).run_update(statement, self.to_world_set())

@@ -7,8 +7,9 @@ mask/scatter/append application of DML answers to the flat tables,
 including the batched pipeline's single-pass commit), decode (explicit
 world materialization), rollback (transactional state restores:
 ``atomic`` scripts, ``transaction()`` exits and ``rollback_to`` in
-:mod:`repro.isql.session`) — so that performance PRs can target the
-right layer instead of re-measuring end-to-end numbers.
+:mod:`repro.isql.session`), cache_lookup (plan-cache and result-memo
+probes in the inline backend, hit or miss) — so that performance PRs
+can target the right layer instead of re-measuring end-to-end numbers.
 
 The mechanism is deliberately tiny: a caller installs a collector dict
 with :func:`collect_phases`, and instrumented code brackets work in
@@ -42,6 +43,16 @@ def collect_phases(target: dict[str, float] | None = None) -> Iterator[dict[str,
         yield _collector
     finally:
         _collector = previous
+
+
+def active_collector() -> dict[str, float] | None:
+    """The currently installed phase collector, if any.
+
+    ``ISQLSession.run`` uses this to tee per-statement phase timings
+    into an outer benchmark collector while still attaching a private
+    copy to each :class:`~repro.isql.session.StatementResult`.
+    """
+    return _collector
 
 
 @contextmanager

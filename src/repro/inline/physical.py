@@ -117,6 +117,15 @@ class PhysicalState:
     factor (the repair-by-key sum-size encoding). :meth:`plain`
     converts to the joint form — PADs expanded, product materialized —
     for the consumers that genuinely need exact ids.
+
+    States are immutable once built (the lazy conversions above only
+    cache), which is what lets the inline backend's result memo share
+    one state across repeated executions of the same statement. Memo
+    sharing is additionally restricted to states whose :attr:`ids` and
+    :attr:`wild` already existed on the input representation — a state
+    carrying *freshly minted* world ids (``choice of`` /
+    ``repair by key``) is never memoized, so replaying a memo entry
+    can never collide with ids minted later.
     """
 
     __slots__ = ("_answer", "ids", "_world", "wild", "_plain_state")

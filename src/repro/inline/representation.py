@@ -36,7 +36,7 @@ counting, DML) operate factor by factor and never build it.
 
 from __future__ import annotations
 
-from itertools import product
+from itertools import count, product
 from typing import Iterable, Mapping
 
 from repro.errors import RepresentationError
@@ -59,6 +59,12 @@ WORLD_TABLE = "#W"
 #: Cache key marker for the PAD-expanded view of a wild table.
 _DEWILD = ("$dewild",)
 
+#: Process-global ticker behind :attr:`InlinedRepresentation.versions`.
+#: ``next()`` on a count object is atomic under the GIL, and globality
+#: is load-bearing: versions must never repeat across representations,
+#: or a rollback-and-redo could alias a stale result-memo entry.
+_VERSION_TICKER = count(1)
+
 
 class InlinedRepresentation:
     """A world-set inlined into flat relations plus a world table."""
@@ -71,6 +77,8 @@ class InlinedRepresentation:
         "wild_attrs",
         "_known_ids",
         "_expanded",
+        "versions",
+        "world_version",
     )
 
     def __init__(
@@ -101,6 +109,17 @@ class InlinedRepresentation:
         #: see :meth:`expanded`. Instances are immutable, so entries
         #: never go stale; :meth:`replacing` carries untouched ones over.
         self._expanded: dict[tuple[str, tuple[str, ...]], object] = {}
+        #: Process-unique version counters, one per table plus one for
+        #: the world, the result memo's invalidation keys: a DML delta
+        #: (:meth:`replacing`) mints a fresh version for exactly the
+        #: table it changed, a from-scratch construction (this path)
+        #: mints fresh versions for everything. Versions are drawn from
+        #: one global ticker, so a rolled-back-and-redone table can
+        #: never alias an old version's memo entries — and because they
+        #: live on the (immutable) representation, snapshot restore
+        #: carries the old versions back with the old tables.
+        self.versions = {name: next(_VERSION_TICKER) for name in self.tables}
+        self.world_version = next(_VERSION_TICKER)
         self._validate()
 
     @property
@@ -341,6 +360,13 @@ class InlinedRepresentation:
         replacement._expanded = {
             key: view for key, view in self._expanded.items() if key[0] != name
         }
+        # The delta is exactly one table: it gets a fresh version, every
+        # other table (and the world) keeps its counter, so memoized
+        # results over the untouched tables stay servable.
+        versions = dict(self.versions)
+        versions[name] = next(_VERSION_TICKER)
+        replacement.versions = versions
+        replacement.world_version = self.world_version
         if validate:
             replacement._validate_table(name, table)
         return replacement

@@ -14,7 +14,13 @@ from repro.isql.explain import (
 )
 from repro.isql.lexer import Token, tokenize
 from repro.isql.parser import parse_query, parse_script, parse_statement
-from repro.isql.session import DMLResult, ISQLSession, QueryResult
+from repro.isql.session import (
+    DMLResult,
+    ISQLSession,
+    QueryResult,
+    Savepoint,
+    StatementResult,
+)
 
 __all__ = [
     "DMLResult",
@@ -24,6 +30,8 @@ __all__ = [
     "ISQLSession",
     "QueryResult",
     "RouteReport",
+    "Savepoint",
+    "StatementResult",
     "Token",
     "ast",
     "compile_query",

@@ -66,11 +66,13 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 from repro.backend.base import Backend, BaseQueryResult, ExecutionContext, create_backend
 from repro.backend.explicit import QueryResult
-from repro.backend.instrument import phase
+from repro.backend.instrument import active_collector, collect_phases, phase
+from repro.cache import MISS, CacheInfo
 from repro.errors import EvaluationError, OwnershipError, ReproError, SchemaError
 from repro.isql import ast
 from repro.isql.parser import parse_script
@@ -95,6 +97,85 @@ class DMLResult:
 
 #: DMLResult kind labels per statement node (the batch pipeline's map).
 _DML_KINDS = {ast.Insert: "insert", ast.Delete: "delete", ast.Update: "update"}
+
+
+@dataclass(frozen=True)
+class StatementResult:
+    """The unified outcome of one executed statement.
+
+    :meth:`ISQLSession.run` returns one per statement, replacing the
+    three historical shapes — the heterogeneous
+    ``BaseQueryResult | DMLResult | None`` entries of
+    :meth:`ISQLSession.execute`/:meth:`ISQLSession.run_script`, bare
+    backend returns, and the DBAPI cursor's ad-hoc attributes — with
+    one dataclass carrying the answer, the execution route, the
+    applied flag, per-statement phase timings, and how the statement
+    cache treated the statement. (The old shapes keep working but are
+    deprecated as return-value protocols; new code should go through
+    ``run()`` / the DBAPI cursor.)
+
+    Backward-compatible accessors: ``kind``/``applied`` match the old
+    :class:`DMLResult` surface, and :attr:`relation` /
+    :meth:`answers` / :meth:`possible` / :meth:`certain` /
+    :meth:`world_count` delegate to :attr:`answer` so select-handling
+    code ports by attribute access alone.
+    """
+
+    #: "select" | "assign" | "view" | "insert" | "delete" | "update"
+    kind: str
+    #: The select answer, or None for assignments/views/DML.
+    answer: BaseQueryResult | None = None
+    #: DML applied flag (Section 3 discard rule); None for non-DML.
+    applied: bool | None = None
+    #: Execution route: the backend kind, or "fallback" when the inline
+    #: backend routed the statement to the explicit engine.
+    route: str = "explicit"
+    #: How the statement cache treated this statement:
+    #: "hit" (plan and/or memo served), "miss" (compiled fresh, now
+    #: cached), or "bypass" (cache off / never-cached statement kind).
+    cache: str = "bypass"
+    #: Wall-clock seconds by phase (compile/rewrite/execute/dml_apply/
+    #: cache_lookup/…). Statements coalesced into one DML batch share
+    #: one timing dict — the batch is a single backend pass.
+    phases: Mapping[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def applied_count(self) -> int:
+        """1 when DML applied, 0 when discarded or not DML."""
+        return 1 if self.applied else 0
+
+    @property
+    def relation(self):
+        """The closed answer relation (selects only)."""
+        return self._answer().relation
+
+    def answers(self):
+        return self._answer().answers()
+
+    def possible(self):
+        return self._answer().possible()
+
+    def certain(self):
+        return self._answer().certain()
+
+    def world_count(self) -> int:
+        return self._answer().world_count()
+
+    def _answer(self) -> BaseQueryResult:
+        if self.answer is None:
+            raise EvaluationError(
+                f"{self.kind} statements produce no answer relation"
+            )
+        return self.answer
+
+    def __repr__(self) -> str:
+        status = "" if self.applied is None else (
+            ": applied" if self.applied else ": discarded"
+        )
+        return (
+            f"StatementResult({self.kind}{status}, route={self.route!r}, "
+            f"cache={self.cache!r})"
+        )
 
 
 class _SessionState:
@@ -162,6 +243,7 @@ class ISQLSession:
         backend: str | Backend = "explicit",
         max_rows: int | None = None,
         max_seconds: float | None = None,
+        cache: bool = True,
     ) -> None:
         self.backend = create_backend(backend)
         self.views: dict[str, ast.SelectQuery] = {}
@@ -169,6 +251,10 @@ class ISQLSession:
         self.max_worlds = max_worlds
         self.max_rows = max_rows
         self.max_seconds = max_seconds
+        #: Session-wide cache gate: False bypasses the statement cache
+        #: for every statement (each execute/run call may still override
+        #: per script with its own ``cache=`` argument).
+        self.cache = cache
         self._savepoints: list[Savepoint] = []
         #: Thread ident this session is pinned to, or None (unpinned).
         self._owner_thread: int | None = None
@@ -198,8 +284,38 @@ class ISQLSession:
                 f"it cannot be used from thread {threading.get_ident()}"
             )
 
-    def _context(self) -> ExecutionContext:
-        return ExecutionContext(self.views, self.keys, self.max_worlds)
+    def _context(self, cache: bool | None = None) -> ExecutionContext:
+        return ExecutionContext(
+            self.views,
+            self.keys,
+            self.max_worlds,
+            cache=self.cache if cache is None else cache,
+        )
+
+    def _parse(self, script: str, cache: bool | None) -> tuple[ast.Statement, ...]:
+        """Parse *script*, through the backend's parse cache when on.
+
+        The cache key is the raw script text; the cached value is the
+        (immutable) statement tuple, so a hot script skips tokenizing
+        and parsing entirely on its second run.
+        """
+        use_cache = self.cache if cache is None else cache
+        store = getattr(self.backend, "cache", None) if use_cache else None
+        if store is not None:
+            with phase("cache_lookup"):
+                hit = store.parses.get(script)
+            if hit is not MISS:
+                return hit
+        with phase("compile"):
+            statements = tuple(parse_script(script))
+        if store is not None:
+            store.parses.put(script, statements)
+        return statements
+
+    def cache_info(self) -> CacheInfo:
+        """Aggregate statement-cache counters (hits, misses, entries,
+        invalidations, bytes estimate) of this session's backend."""
+        return self.backend.cache_info()
 
     # -- catalog ------------------------------------------------------------------
 
@@ -233,7 +349,7 @@ class ISQLSession:
     # -- execution -------------------------------------------------------------------
 
     def execute(
-        self, script: str, atomic: bool = False
+        self, script: str, atomic: bool = False, cache: bool | None = None
     ) -> list[BaseQueryResult | DMLResult | None]:
         """Execute a ``;``-separated script; one result entry per statement.
 
@@ -241,28 +357,39 @@ class ISQLSession:
         any error rolls the session back to its state before the first
         statement (otherwise the statements executed so far stay
         committed — statement-level atomicity always holds either way).
+        *cache* overrides the session's cache gate for this script
+        (``cache=False`` bypasses the statement cache — the
+        differential-testing escape hatch).
+
+        .. deprecated:: the heterogeneous
+           ``BaseQueryResult | DMLResult | None`` result shape. It keeps
+           working, but new code should call :meth:`run`, whose
+           :class:`StatementResult` entries carry the same information
+           uniformly (plus route, cache disposition, and phase timings).
         """
-        with phase("compile"):
-            statements = parse_script(script)
+        statements = self._parse(script, cache)
         if atomic:
             with self.transaction():
-                return self._execute_statements(statements, script)
-        return self._execute_statements(statements, script)
+                return self._execute_statements(statements, script, cache)
+        return self._execute_statements(statements, script, cache)
 
     def _execute_statements(
-        self, statements: list[ast.Statement], script: str
+        self,
+        statements: tuple[ast.Statement, ...],
+        script: str,
+        cache: bool | None = None,
     ) -> list[BaseQueryResult | DMLResult | None]:
         results: list[BaseQueryResult | DMLResult | None] = []
         for statement in statements:
             try:
-                results.append(self.execute_statement(statement))
+                results.append(self.execute_statement(statement, cache))
             except ReproError as error:
                 _annotate_statement(error, statement, script)
                 raise
         return results
 
     def run_script(
-        self, script: str, atomic: bool = False
+        self, script: str, atomic: bool = False, cache: bool | None = None
     ) -> list[BaseQueryResult | DMLResult | None]:
         """:meth:`execute` with the DML batch pipeline.
 
@@ -283,16 +410,21 @@ class ISQLSession:
         committed, and the failing statement itself is all-or-nothing.
         With ``atomic=True`` the script runs under one snapshot and any
         error rolls back to the pre-script state.
+
+        .. deprecated:: the heterogeneous result shape — see
+           :meth:`execute`; prefer :meth:`run`.
         """
-        with phase("compile"):
-            statements = parse_script(script)
+        statements = self._parse(script, cache)
         if atomic:
             with self.transaction():
-                return self._run_batched(statements, script)
-        return self._run_batched(statements, script)
+                return self._run_batched(statements, script, cache)
+        return self._run_batched(statements, script, cache)
 
     def _run_batched(
-        self, statements: list[ast.Statement], script: str
+        self,
+        statements: tuple[ast.Statement, ...],
+        script: str,
+        cache: bool | None = None,
     ) -> list[BaseQueryResult | DMLResult | None]:
         results: list[BaseQueryResult | DMLResult | None] = []
         index = 0
@@ -303,7 +435,7 @@ class ISQLSession:
                     applied = self._protected(
                         "dml batch",
                         lambda: self.backend.run_dml_batch(
-                            tuple(batch), self._context()
+                            tuple(batch), self._context(cache)
                         ),
                     )
                 except ReproError as error:
@@ -316,11 +448,129 @@ class ISQLSession:
                 index += len(batch)
             else:
                 try:
-                    results.append(self.execute_statement(statements[index]))
+                    results.append(
+                        self.execute_statement(statements[index], cache)
+                    )
                 except ReproError as error:
                     _annotate_statement(error, statements[index], script)
                     raise
                 index += 1
+        return results
+
+    def run(
+        self, script: str, atomic: bool = False, cache: bool | None = None
+    ) -> list[StatementResult]:
+        """Execute a script; one :class:`StatementResult` per statement.
+
+        The unified statement API: same execution pipeline as
+        :meth:`run_script` (including the DML batch coalescing), but
+        every entry is a :class:`StatementResult` carrying the answer
+        (selects), the applied flag (DML), the execution route, the
+        cache disposition (``"hit"``/``"miss"``/``"bypass"``), and
+        per-statement phase timings. *atomic* and *cache* behave as in
+        :meth:`execute`.
+        """
+        statements = self._parse(script, cache)
+        if atomic:
+            with self.transaction():
+                return self._run_detailed(statements, script, cache)
+        return self._run_detailed(statements, script, cache)
+
+    def _run_detailed(
+        self,
+        statements: tuple[ast.Statement, ...],
+        script: str,
+        cache: bool | None = None,
+    ) -> list[StatementResult]:
+        backend = self.backend
+        outer = active_collector()
+
+        def tee(phases: dict[str, float]) -> None:
+            # Per-statement timings also accumulate into an enclosing
+            # collect_phases() collector (e.g. a benchmark's), which the
+            # inner collector shadowed while the statement ran.
+            if outer is not None:
+                for name, seconds in phases.items():
+                    outer[name] = outer.get(name, 0.0) + seconds
+
+        results: list[StatementResult] = []
+        index = 0
+        while index < len(statements):
+            batch = self._dml_batch_at(statements, index)
+            backend.last_cache = "bypass"
+            phases: dict[str, float] = {}
+            if len(batch) >= 2:
+                with collect_phases(phases):
+                    try:
+                        applied = self._protected(
+                            "dml batch",
+                            lambda: backend.run_dml_batch(
+                                tuple(batch), self._context(cache)
+                            ),
+                        )
+                    except ReproError as error:
+                        _annotate_statement(
+                            error, batch[0], script, until=batch[-1]
+                        )
+                        raise
+                tee(phases)
+                results.extend(
+                    StatementResult(
+                        kind=_DML_KINDS[type(statement)],
+                        applied=flag,
+                        route=backend.kind,
+                        cache=backend.last_cache,
+                        phases=phases,
+                    )
+                    for statement, flag in zip(batch, applied)
+                )
+                index += len(batch)
+                continue
+            statement = statements[index]
+            fallbacks = getattr(backend, "fallback_total", 0)
+            with collect_phases(phases):
+                try:
+                    outcome = self.execute_statement(statement, cache)
+                except ReproError as error:
+                    _annotate_statement(error, statement, script)
+                    raise
+            tee(phases)
+            route = backend.kind
+            if getattr(backend, "fallback_total", 0) > fallbacks:
+                route = "fallback"
+            if isinstance(outcome, DMLResult):
+                results.append(
+                    StatementResult(
+                        kind=outcome.kind,
+                        applied=outcome.applied,
+                        route=route,
+                        cache=backend.last_cache,
+                        phases=phases,
+                    )
+                )
+            elif isinstance(outcome, BaseQueryResult):
+                results.append(
+                    StatementResult(
+                        kind="select",
+                        answer=outcome,
+                        route=route,
+                        cache=backend.last_cache,
+                        phases=phases,
+                    )
+                )
+            else:
+                kind = (
+                    "view" if isinstance(statement, ast.CreateView) else "assign"
+                )
+                results.append(
+                    StatementResult(
+                        kind=kind,
+                        route=route,
+                        cache=backend.last_cache,
+                        phases=phases,
+                    )
+                )
+            index += 1
         return results
 
     @staticmethod
@@ -356,7 +606,7 @@ class ISQLSession:
         return batch
 
     def execute_statement(
-        self, statement: ast.Statement
+        self, statement: ast.Statement, cache: bool | None = None
     ) -> BaseQueryResult | DMLResult | None:
         """Execute one parsed statement, protected and budgeted.
 
@@ -372,7 +622,7 @@ class ISQLSession:
         """
         kind = type(statement).__name__.lower()
         return self._protected(
-            f"{kind} statement", lambda: self._dispatch(statement)
+            f"{kind} statement", lambda: self._dispatch(statement, cache)
         )
 
     def _protected(self, kind: str, run):
@@ -388,9 +638,12 @@ class ISQLSession:
                 ) from error
 
     def _dispatch(
-        self, statement: ast.Statement
+        self, statement: ast.Statement, cache: bool | None = None
     ) -> BaseQueryResult | DMLResult | None:
-        context = self._context()
+        context = self._context(cache)
+        # Reset the per-statement cache disposition so a statement kind
+        # that never consults the cache reads as "bypass".
+        self.backend.last_cache = "bypass"
         if isinstance(statement, ast.SelectQuery):
             return self.backend.run_select(statement, context)
         if isinstance(statement, ast.Assignment):
@@ -551,6 +804,7 @@ class ISQLSession:
             backend=self.backend.spawn(),
             max_rows=self.max_rows,
             max_seconds=self.max_seconds,
+            cache=self.cache,
         )
         clone._restore(self._snapshot())
         return clone
@@ -563,8 +817,11 @@ class ISQLSession:
         Clears the backend's per-relation hash indexes, cached hashes,
         columnar twins and decoded world-sets, plus the process-global
         row intern pool, so long-lived multi-session processes do not
-        accumulate state from sessions they are done with. The session
-        stays usable afterwards — every cache rebuilds on demand; the
+        accumulate state from sessions they are done with. The backend
+        also *detaches* from its statement cache (dropping this
+        session's reference to memoized relations without clearing a
+        pool-shared instance under its siblings). The session stays
+        usable afterwards — every cache rebuilds on demand; the
         registered relations and the possible-worlds state are kept.
 
         Note the intern pool is process-wide (there is exactly one, by
@@ -620,4 +877,10 @@ def _annotate_statement(
     error.add_note(f"while executing: {script[start:end]}")
 
 
-__all__ = ["DMLResult", "ISQLSession", "QueryResult", "Savepoint"]
+__all__ = [
+    "DMLResult",
+    "ISQLSession",
+    "QueryResult",
+    "Savepoint",
+    "StatementResult",
+]

@@ -61,7 +61,8 @@ from repro import errors as _errors
 from repro.datagen.workloads import Scenario, scenarios
 from repro.isql import ast
 from repro.isql.parser import parse_script
-from repro.isql.session import DMLResult, ISQLSession
+from repro.cache import CacheInfo
+from repro.isql.session import ISQLSession, StatementResult
 from repro.service.snapshots import SnapshotStore
 
 apilevel = "2.0"
@@ -210,9 +211,13 @@ class Cursor:
 
     ``execute`` accepts whole ``;``-separated scripts (they run through
     the session's DML batch pipeline); ``description``/fetching reflect
-    the script's **last** statement. Extensions beyond PEP 249:
-    ``result`` (the last select's possible-worlds result object) and
-    ``applied`` (the last DML statement's applied/discarded flag).
+    the script's **last** statement. Extensions beyond PEP 249, all
+    read off the last statement's
+    :class:`~repro.isql.session.StatementResult`: ``result`` (the last
+    select's possible-worlds result object), ``applied`` (the last DML
+    statement's applied/discarded flag), ``route`` (execution route),
+    ``cache`` (``"hit"``/``"miss"``/``"bypass"``), and ``phases``
+    (per-phase wall-clock seconds).
     """
 
     def __init__(self, connection: "Connection") -> None:
@@ -226,6 +231,9 @@ class Cursor:
         self.rowcount = -1
         self.result = None
         self.applied: bool | None = None
+        self.route: str | None = None
+        self.cache: str | None = None
+        self.phases: dict[str, float] = {}
         self._rows: list[tuple] | None = None
         self._fetch_error: str | None = None
         self._cursor_index = 0
@@ -254,14 +262,19 @@ class Cursor:
             self.execute(operation, parameters)
         return self
 
-    def _bind(self, last) -> None:
-        if isinstance(last, DMLResult):
+    def _bind(self, last: StatementResult | None) -> None:
+        if last is None:  # empty script
+            return
+        self.route = last.route
+        self.cache = last.cache
+        self.phases = dict(last.phases)
+        if last.applied is not None:  # DML
             self.applied = last.applied
             return
-        if last is None:  # assignment / create view
+        if last.answer is None:  # assignment / create view
             return
-        self.result = last
-        answers = last.answers()
+        self.result = last.answer
+        answers = self.result.answers()
         if len(answers) != 1:
             self._fetch_error = (
                 f"the answer differs across worlds ({len(answers)} "
@@ -356,11 +369,13 @@ class Connection:
         max_rows: int | None = None,
         max_seconds: float | None = None,
         lock_timeout: float | None = None,
+        cache: bool = True,
     ) -> None:
         self._store = store
         self._session, self._version = store.spawn_session()
         self._session.max_rows = max_rows
         self._session.max_seconds = max_seconds
+        self._session.cache = cache
         self.autocommit = autocommit
         self.lock_timeout = lock_timeout
         self._writing = False
@@ -445,7 +460,7 @@ class Connection:
             self._sync()
         autocommit = writes and self.autocommit
         try:
-            results = self._session.run_script(text, atomic=autocommit)
+            results = self._session.run(text, atomic=autocommit)
         except _errors.ReproError as error:
             if autocommit:
                 # atomic=True already rolled the session back to the
@@ -486,6 +501,16 @@ class Connection:
         self._version = snapshot.version
         self._writing = False
         self._store.release_write()
+
+    def cache_info(self) -> CacheInfo:
+        """Statement-cache counters of this connection's session.
+
+        Connections spawned from one :class:`SnapshotStore` share a
+        single pool-wide cache, so the numbers aggregate over every
+        sibling connection.
+        """
+        self._check_open()
+        return self._session.cache_info()
 
     # -- snapshot isolation --------------------------------------------------------
 
@@ -578,6 +603,7 @@ def connect(
     max_rows: int | None = None,
     max_seconds: float | None = None,
     lock_timeout: float | None = None,
+    cache: bool = True,
 ) -> Connection:
     """Open a :class:`Connection` over *source*.
 
@@ -590,7 +616,9 @@ def connect(
     *max_rows*/*max_seconds* arm the per-statement resource budget of
     this connection, and *lock_timeout* bounds how long a write
     statement waits for the store's writer lock before raising
-    :exc:`OperationalError`.
+    :exc:`OperationalError`. ``cache=False`` bypasses the statement
+    cache for every statement on this connection (the differential
+    testing escape hatch; see :meth:`Connection.cache_info`).
     """
     try:
         if isinstance(source, SnapshotStore):
@@ -605,6 +633,7 @@ def connect(
         max_rows=max_rows,
         max_seconds=max_seconds,
         lock_timeout=lock_timeout,
+        cache=cache,
     )
 
 

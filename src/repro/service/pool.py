@@ -45,7 +45,14 @@ class SessionPool:
     (scenario name, Scenario, session, or an existing store). The
     remaining keywords configure every pooled connection:
     *autocommit*, the *max_rows*/*max_seconds* resource-budget
-    passthrough, and *lock_timeout* for the writer lock.
+    passthrough, *lock_timeout* for the writer lock, and *cache* — the
+    statement-cache gate. Pooled connections share one pool-wide
+    statement cache (their sessions fork from the store template, and
+    forked backends share the template's cache by reference), so a
+    statement compiled on one connection is a plan-cache hit on every
+    other. Retiring a connection (release beyond *max_idle*, pool
+    close) closes it, which detaches its session from the shared cache
+    — a retired session cannot pin memoized relations.
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class SessionPool:
         max_rows: int | None = None,
         max_seconds: float | None = None,
         lock_timeout: float | None = None,
+        cache: bool = True,
     ) -> None:
         if size < 1:
             raise dbapi.InterfaceError(f"pool size must be >= 1, got {size}")
@@ -78,6 +86,7 @@ class SessionPool:
             max_rows=max_rows,
             max_seconds=max_seconds,
             lock_timeout=lock_timeout,
+            cache=cache,
         )
         self._lock = threading.Condition()
         self._idle: deque[dbapi.Connection] = deque()
@@ -181,6 +190,10 @@ class SessionPool:
             self.release(connection)
 
     # -- lifecycle -----------------------------------------------------------------
+
+    def cache_info(self):
+        """Counters of the pool-wide statement cache (see module docs)."""
+        return self.store.cache_info()
 
     @property
     def checked_out(self) -> int:

@@ -91,12 +91,22 @@ class SnapshotStore:
         """The latest published snapshot; never blocks."""
         return self._current
 
+    def cache_info(self):
+        """Counters of the statement cache shared by this store's sessions."""
+        return self._template.cache_info()
+
     def spawn_session(self) -> tuple[ISQLSession, int]:
         """A fresh private session at the latest snapshot.
 
         Returns ``(session, version)``. The session shares all current
         table objects with every other session of this store
-        (copy-on-write) but owns its mutable references outright.
+        (copy-on-write) but owns its mutable references outright. It
+        also shares the template's **statement cache** (forked backends
+        pass the cache by reference), and the per-table version
+        counters the cache keys on ride *inside* the published state
+        tokens — restoring any snapshot restores its versions, so a
+        spawned session can never be served a result memoized against
+        a different published version of a table.
         """
         session = self._template.fork()
         snapshot = self._current

@@ -67,9 +67,18 @@ def _limit(bounded: int) -> int | None:
 
 
 def _fresh(scenario, backend) -> ISQLSession:
-    """A new session with the scenario's relations and keys, script unrun."""
+    """A new session with the scenario's relations and keys, script unrun.
+
+    The statement cache is off: the sweep dry-counts a statement's
+    kernel ops, rolls back, and replays with a fault injected at each
+    op index — a cached replay would legitimately skip those ops (the
+    rolled-back representation carries its old table versions, so the
+    result memo re-hits) and the injection points would never fire.
+    Cache-on fault replay is covered by the cache differential suite
+    (``test_cache_differential.py``).
+    """
     resolved = backend() if callable(backend) else backend
-    session = ISQLSession(backend=resolved)
+    session = ISQLSession(backend=resolved, cache=False)
     for name, relation in scenario.relations:
         session.register(name, relation)
     for relation, attributes in scenario.keys:

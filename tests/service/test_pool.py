@@ -236,3 +236,60 @@ def test_pool_from_scenario_name_and_repr():
 def test_pool_size_validation():
     with pytest.raises(dbapi.InterfaceError):
         SessionPool(_seed(), size=0)
+
+
+# -- the pool-wide statement cache (PR 10) -------------------------------------------
+
+
+def test_pool_wide_cache_is_shared_across_connections():
+    """A statement compiled on one connection is a cache hit on every
+    other: pooled sessions fork from the store template and share its
+    statement cache by reference."""
+    pool = SessionPool(_seed(), size=2)
+    query = "select possible K, V from T;"
+    first = pool.acquire()
+    second = pool.acquire()
+    cursor = first.execute(query)
+    assert cursor.cache == "miss"
+    # Same snapshot, same table versions: the second connection's very
+    # first execution hits both the plan cache and the result memo.
+    assert second.execute(query).cache == "hit"
+    assert pool.cache_info().hits > 0
+    assert first.cache_info() == pool.cache_info()
+    pool.release(first)
+    pool.release(second)
+    pool.close()
+
+
+def test_retired_connections_do_not_pin_or_grow_the_shared_cache():
+    """No-growth across checkout cycles: retiring a connection detaches
+    its session from the shared cache (so it cannot pin memoized
+    relations), and repeated cycles of the same statement leave the
+    shared entry count flat."""
+    pool = SessionPool(_seed(), size=2, max_idle=0)  # every release retires
+    shared = pool.store._template.backend.cache
+    query = "select possible K, V from T;"
+    connection = pool.acquire()
+    connection.execute(query)
+    entries = pool.cache_info().entries
+    pool.release(connection)  # retired: max_idle=0
+    # The retired session holds a *fresh, empty* cache — the shared one
+    # is unreachable from it, so its memoized relations are not pinned.
+    assert connection.session.backend.cache is not shared
+    assert connection.session.backend.cache.info().entries == 0
+    assert shared.info().entries == entries
+    for _ in range(10):
+        with pool.connection() as cycled:
+            assert cycled.execute(query).cache == "hit"
+        assert pool.cache_info().entries == entries, "cache grew across cycles"
+    pool.close()
+
+
+def test_pool_cache_escape_hatch():
+    pool = SessionPool(_seed(), size=1, cache=False)
+    with pool.connection() as connection:
+        assert connection.execute("select possible K from T;").cache == "bypass"
+        assert connection.execute("select possible K from T;").cache == "bypass"
+    info = pool.cache_info()
+    assert info.hits == 0 and info.entries == 0
+    pool.close()

@@ -559,3 +559,98 @@ def test_pool_row_disappearing_fails():
     baseline = _payload(_pool_row())
     problems = check_regression.check(baseline, _payload(), 2.0, 0.002)
     assert len(problems) == 1 and "inline-pool" in problems[0]
+
+
+# -- the prepared-statement replay gate (plan cache, PR 10) --------------------------
+
+
+def _replay_row(seconds=0.05, speedup=10.0, hit_rate=0.98, **extra):
+    row = _row(
+        "statement_replay", backend="inline-replay", seconds=seconds, **extra
+    )
+    if speedup is not None:
+        row["plan_cache_speedup"] = speedup
+    if hit_rate is not None:
+        row["cache_hit_rate"] = hit_rate
+    return row
+
+
+def test_replay_speedup_within_budget_passes():
+    baseline = _payload(_replay_row(speedup=30.0))
+    current = _payload(_replay_row(speedup=5.0))
+    assert check_regression.check(baseline, current, 2.0, 0.002) == []
+
+
+def test_replay_speedup_collapse_fails():
+    current = _payload(_replay_row(speedup=1.2))
+    problems = check_regression.check(_payload(), current, 2.0, 0.002)
+    assert len(problems) == 1 and "plan-cache replay speedup" in problems[0]
+
+
+def test_replay_gate_is_absolute_not_baseline_relative():
+    """Like the guard/pool gates: the ratio is paired and same-process,
+    so it gates with no baseline row at all."""
+    current = _payload(_replay_row(speedup=2.0))
+    problems = check_regression.check(_payload(), current, 2.0, 0.002)
+    assert len(problems) == 1
+
+
+def test_replay_custom_threshold():
+    current = _payload(_replay_row(speedup=5.0))
+    assert (
+        check_regression.check(
+            _payload(), current, 2.0, 0.002, replay_threshold=6.0
+        )
+        != []
+    )
+    assert (
+        check_regression.check(
+            _payload(), current, 2.0, 0.002, replay_threshold=4.0
+        )
+        == []
+    )
+
+
+def test_replay_noise_floor_is_on_the_uncached_side():
+    """A 2× 'collapse' on a sub-50 ms uncached replay is jitter: cached
+    seconds × speedup estimates the paired uncached wall-clock."""
+    current = _payload(_replay_row(seconds=0.004, speedup=2.0))
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+    slow = _payload(_replay_row(seconds=0.04, speedup=2.0))
+    assert check_regression.check(_payload(), slow, 2.0, 0.002) != []
+
+
+def test_replay_row_without_speedup_does_not_gate():
+    current = _payload(_replay_row(speedup=None, hit_rate=None))
+    assert check_regression.check(_payload(), current, 2.0, 0.002) == []
+
+
+def test_replay_row_disappearing_fails():
+    baseline = _payload(_replay_row())
+    problems = check_regression.check(baseline, _payload(), 2.0, 0.002)
+    assert len(problems) == 1 and "inline-replay row disappeared" in problems[0]
+
+
+def test_replay_hit_rate_disappearing_fails():
+    """The hit-rate presence rule: a measured replay row must keep the
+    cache fields the baseline recorded."""
+    baseline = _payload(_replay_row())
+    current = _payload(_replay_row(hit_rate=None))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "cache_hit_rate" in problems[0]
+
+
+def test_replay_speedup_field_disappearing_fails():
+    baseline = _payload(_replay_row())
+    current = _payload(_replay_row(speedup=None))
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert len(problems) == 1 and "plan_cache_speedup" in problems[0]
+
+
+def test_replay_infeasible_current_row_skips_field_presence():
+    baseline = _payload(_replay_row())
+    current = _payload(
+        _replay_row(seconds=None, speedup=None, hit_rate=None, infeasible=True)
+    )
+    problems = check_regression.check(baseline, current, 2.0, 0.002)
+    assert problems == []
